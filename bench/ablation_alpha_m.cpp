@@ -1,0 +1,49 @@
+// Ablation — the tolerance/confidence trade-off of Sec. 3.
+//
+// "A higher tolerance (m) and lower confidence level (alpha) will result in
+// faster performance with less accuracy." This bench maps that surface:
+// Eq. (2) frame size across a grid of m and alpha for a fixed population.
+#include <cstdint>
+
+#include "bench_common.h"
+#include "math/frame_optimizer.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  const auto opt = bench::parse_figure_options(argc, argv);
+
+  constexpr std::uint64_t kTags = 1000;
+  bench::banner("Ablation: Eq. (2) frame size across (m, alpha), n = " +
+                std::to_string(kTags));
+
+  const std::vector<double> alphas{0.80, 0.90, 0.95, 0.99, 0.999};
+  std::vector<std::string> headers{"m"};
+  for (const double a : alphas) headers.push_back("alpha=" + util::format_double(a, 3));
+  util::Table table(headers);
+
+  for (const std::uint64_t m : {0u, 1u, 2u, 5u, 10u, 20u, 30u, 50u, 100u}) {
+    table.begin_row();
+    table.add_cell(static_cast<long long>(m));
+    for (const double a : alphas) {
+      const auto plan = math::optimize_trp_frame(kTags, m, a);
+      table.add_cell(static_cast<long long>(plan.frame_size));
+    }
+  }
+  bench::emit(table, opt);
+
+  // The same surface for UTRP at the paper's c = 20.
+  bench::banner("Same grid for UTRP (Eq. 3 + slack, c = " +
+                std::to_string(opt.budget) + ")");
+  util::Table utable(headers);
+  for (const std::uint64_t m : {0u, 1u, 2u, 5u, 10u, 20u, 30u, 50u, 100u}) {
+    utable.begin_row();
+    utable.add_cell(static_cast<long long>(m));
+    for (const double a : alphas) {
+      const auto plan = math::optimize_utrp_frame(kTags, m, a, opt.budget);
+      utable.add_cell(static_cast<long long>(plan.frame_size));
+    }
+  }
+  bench::emit(utable, opt);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation — imperfect channels: the false-alarm cost of reply loss.
+//
+// The paper motivates the tolerance m with scratched or blocked tags
+// (Sec. 1) but evaluates only ideal channels. This bench measures the
+// operational flip side for TRP: with an *intact* set, what fraction of
+// rounds falsely alarm as the per-reply loss probability grows? It also
+// shows the capture effect is harmless to TRP (captures still mark the slot)
+// while loss is what actually hurts.
+#include <cstdint>
+
+#include "bench_common.h"
+#include "protocol/trp.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  const auto opt = bench::parse_figure_options(argc, argv);
+  const sim::TrialRunner runner(opt.threads);
+
+  constexpr std::uint64_t kTags = 500;
+  constexpr std::uint64_t kTolerance = 10;
+  bench::banner("Ablation: TRP false-alarm rate on an INTACT set vs channel "
+                "loss (n = " + std::to_string(kTags) + ", m = " +
+                std::to_string(kTolerance) + ", " +
+                std::to_string(opt.trials) + " trials/point)");
+
+  const protocol::MonitoringPolicy policy{.tolerated_missing = kTolerance,
+                                          .confidence = opt.alpha};
+
+  util::Table table({"reply_loss_prob", "false_alarm_rate", "capture=0.5_rate"});
+  for (const double loss : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.10}) {
+    double rates[2];
+    for (int with_capture = 0; with_capture < 2; ++with_capture) {
+      const radio::ChannelModel channel{
+          .reply_loss_prob = loss,
+          .capture_prob = with_capture == 1 ? 0.5 : 0.0};
+      const auto result = runner.run_boolean(
+          opt.trials,
+          util::derive_seed(opt.seed, static_cast<std::uint64_t>(loss * 10000),
+                            static_cast<std::uint64_t>(with_capture)),
+          [&](std::uint64_t, util::Rng& rng) {
+            const tag::TagSet set = tag::TagSet::make_random(kTags, rng);
+            const protocol::TrpServer server(set.ids(), policy);
+            const protocol::TrpReader reader(hash::SlotHasher{}, channel);
+            const auto c = server.issue_challenge(rng);
+            return !server.verify(c, reader.scan(set.tags(), c, rng)).intact;
+          });
+      rates[with_capture] = result.proportion();
+    }
+    table.begin_row();
+    table.add_cell(loss, 3);
+    table.add_cell(rates[0], 4);
+    table.add_cell(rates[1], 4);
+  }
+  bench::emit(table, opt);
+
+  std::cout << "A slot flips 1->0 only when EVERY reply in it is lost, so the\n"
+               "false-alarm rate is roughly 1-(1-loss)^S with S the singleton\n"
+               "slot count (~n*e^{-n/f}); even 0.1% per-reply loss alarms over\n"
+               "a tenth of rounds at n=500 — deployments must pair the\n"
+               "tolerance m with link-level retries or repeated frames.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation — the adversary's dilemma under the verification deadline
+// (Sec. 5.4 end to end).
+//
+// The server calibrates STmax from honest scans, sets t = STmax plus the
+// slack that admits exactly c = 20 two-millisecond consults, and sizes the
+// frame by Eq. (3) for that c. The attacker then sweeps its ACTUAL budget:
+// small budgets flunk the content check, big ones blow the deadline; the
+// "escapes" column (passed both) is the protocol's real-world failure rate
+// and should stay below 1 − α everywhere.
+#include <cstdint>
+
+#include "attack/timed_attack.h"
+#include "bench_common.h"
+#include "math/frame_optimizer.h"
+#include "protocol/utrp.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  const auto opt = bench::parse_figure_options(argc, argv);
+  const sim::TrialRunner runner(opt.threads);
+  const radio::TimingModel timing;
+  constexpr double kCommUs = 2000.0;
+
+  constexpr std::uint64_t kTags = 500;
+  constexpr std::uint64_t kTolerance = 5;
+  bench::banner("Ablation: attack budget vs deadline (n = " +
+                std::to_string(kTags) + ", m = " + std::to_string(kTolerance) +
+                ", designed for c = " + std::to_string(opt.budget) + ", " +
+                std::to_string(opt.trials) + " trials/row)");
+
+  // Solve Eq. (3) once: the plan only depends on the scenario shape, and
+  // per-trial servers below inject it instead of re-running the optimizer.
+  const auto plan = math::optimize_utrp_frame(kTags, kTolerance, opt.alpha,
+                                              opt.budget);
+
+  // Calibrate the honest envelope once (same population statistics).
+  double deadline_us = 0.0;
+  {
+    util::Rng rng(opt.seed);
+    tag::TagSet set = tag::TagSet::make_random(kTags, rng);
+    protocol::UtrpServer server(
+        set, {.tolerated_missing = kTolerance, .confidence = opt.alpha},
+        opt.budget, plan);
+    const protocol::UtrpReader reader;
+    double st_max = 0.0;
+    for (int i = 0; i < 20; ++i) {
+      const auto c = server.issue_challenge(rng);
+      const auto scan = reader.scan(set.tags(), c);
+      st_max = std::max(st_max, attack::honest_utrp_scan_us(
+                                    scan.bitstring, scan.reseeds, timing));
+      set.begin_round();
+    }
+    deadline_us = st_max + static_cast<double>(opt.budget) * kCommUs;
+    std::cout << "honest STmax ~ " << util::format_double(st_max / 1000.0, 1)
+              << " ms; deadline t = "
+              << util::format_double(deadline_us / 1000.0, 1) << " ms\n\n";
+  }
+
+  util::Table table({"attack_budget", "content_caught", "deadline_missed",
+                     "escapes", "escape_rate"});
+  for (const std::uint64_t budget : {0u, 5u, 10u, 20u, 40u, 80u, 160u, 500u}) {
+    std::uint64_t content_caught = 0;
+    std::uint64_t deadline_missed = 0;
+    std::uint64_t escapes = 0;
+    // Aggregate counts sequentially (cheap trials; determinism preserved).
+    for (std::uint64_t t = 0; t < opt.trials; ++t) {
+      util::Rng rng(util::derive_seed(opt.seed, budget, t));
+      tag::TagSet set = tag::TagSet::make_random(kTags, rng);
+      protocol::UtrpServer server(
+          set, {.tolerated_missing = kTolerance, .confidence = opt.alpha},
+          opt.budget, plan);
+      tag::TagSet stolen = set.steal_random(kTolerance + 1, rng);
+      const auto challenge = server.issue_challenge(rng);
+      const auto outcome = attack::run_timed_utrp_attack(
+          set.tags(), stolen.tags(), hash::SlotHasher{}, challenge, budget,
+          timing, kCommUs);
+      const bool on_time = outcome.elapsed_us <= deadline_us;
+      const auto verdict = server.verify(challenge, outcome.forged, on_time);
+      if (verdict.intact) {
+        ++escapes;
+      } else if (!on_time) {
+        ++deadline_missed;
+      } else {
+        ++content_caught;
+      }
+    }
+    table.begin_row();
+    table.add_cell(static_cast<long long>(budget));
+    table.add_cell(static_cast<long long>(content_caught));
+    table.add_cell(static_cast<long long>(deadline_missed));
+    table.add_cell(static_cast<long long>(escapes));
+    table.add_cell(static_cast<double>(escapes) /
+                       static_cast<double>(opt.trials),
+                   4);
+  }
+  bench::emit(table, opt);
+  return 0;
+}

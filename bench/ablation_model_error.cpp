@@ -1,0 +1,74 @@
+// Ablation — how much do the analysis approximations matter?
+//
+// Three layers of approximation separate the paper's math from the
+// mechanics: (1) Poisson empty-slot probability e^{-n/f} vs the exact
+// (1-1/f)^n; (2) the Binomial independence assumption on N0 in Theorem 1;
+// (3) the mean-field shortcut 1-(1-e^{-n/f})^x. This bench puts all three
+// next to the ground truth (protocol simulation with real IDs and hashing)
+// at the Eq. 2 frame size, quantifying reproduction caveat #2 of
+// EXPERIMENTS.md: predicted detection overshoots simulated detection by a
+// fraction of a percent, which is exactly why some Fig. 5 bars graze alpha.
+#include <cstdint>
+
+#include "bench_common.h"
+#include "math/approximation.h"
+#include "math/detection.h"
+#include "math/frame_optimizer.h"
+#include "protocol/trp.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  auto opt = bench::parse_figure_options(argc, argv);
+  opt.n_step = std::max<std::uint64_t>(opt.n_step, 400);
+  const sim::TrialRunner runner(opt.threads);
+
+  constexpr std::uint64_t kTolerance = 10;
+  bench::banner("Ablation: analysis models vs simulated ground truth (m = " +
+                std::to_string(kTolerance) + ", f from Eq. 2/poisson, " +
+                std::to_string(opt.trials) + " trials/point)");
+
+  util::Table table({"n", "frame_f", "g_poisson", "g_exact", "g_mean_field",
+                     "simulated", "poisson_minus_sim"});
+  for (const std::uint64_t n : bench::tag_count_sweep(opt)) {
+    if (kTolerance + 1 > n) continue;
+    const auto plan = math::optimize_trp_frame(n, kTolerance, opt.alpha);
+    const std::uint64_t f = plan.frame_size;
+    const double g_poisson = math::detection_probability(
+        n, kTolerance + 1, f, math::EmptySlotModel::kPoissonApprox);
+    const double g_exact = math::detection_probability(
+        n, kTolerance + 1, f, math::EmptySlotModel::kExact);
+    const double g_mean_field =
+        math::detection_probability_mean_field(n, kTolerance + 1, f);
+
+    const protocol::MonitoringPolicy policy{.tolerated_missing = kTolerance,
+                                            .confidence = opt.alpha};
+    const auto simulated = runner.run_boolean(
+        opt.trials, util::derive_seed(opt.seed, n),
+        [&](std::uint64_t, util::Rng& rng) {
+          tag::TagSet set = tag::TagSet::make_random(n, rng);
+          const protocol::TrpServer server(set.ids(), policy);
+          (void)set.steal_random(kTolerance + 1, rng);
+          const auto c = server.issue_challenge(rng);
+          const protocol::TrpReader reader;
+          return !server.verify(c, reader.scan(set.tags(), c, rng)).intact;
+        });
+
+    table.begin_row();
+    table.add_cell(static_cast<long long>(n));
+    table.add_cell(static_cast<long long>(f));
+    table.add_cell(g_poisson, 4);
+    table.add_cell(g_exact, 4);
+    table.add_cell(g_mean_field, 4);
+    table.add_cell(simulated.proportion(), 4);
+    table.add_cell(g_poisson - simulated.proportion(), 4);
+  }
+  bench::emit(table, opt);
+  std::cout << "Every analytic column overshoots the simulation slightly:\n"
+               "slots are negatively correlated (one tag occupies exactly one\n"
+               "slot), which the Binomial model ignores. The gap shrinks\n"
+               "with n and is well inside the paper's 1000-trial noise.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation — Fig. 4 in wall-clock time instead of slot counts.
+//
+// The paper notes (Sec. 6) that slot counts *understate* collect-all's cost:
+// an ID reply (96-bit EPC + CRC) holds the medium much longer than TRP's few
+// random bits. This bench replays the Fig. 4 comparison through the EPC
+// C1G2-derived TimingModel, also charging UTRP's re-seed broadcasts — the
+// other cost Fig. 6 deliberately ignores.
+#include <cstdint>
+
+#include "bench_common.h"
+#include "math/frame_optimizer.h"
+#include "protocol/collect_all.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "radio/timing.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  auto opt = bench::parse_figure_options(argc, argv);
+  opt.n_step = std::max<std::uint64_t>(opt.n_step, 400);
+  const sim::TrialRunner runner(opt.threads);
+  const radio::TimingModel timing;
+  const hash::SlotHasher hasher;
+
+  constexpr std::uint64_t kTolerance = 10;
+  bench::banner("Ablation: wall-clock comparison, m = " +
+                std::to_string(kTolerance) + " (EPC C1G2-derived timing; ms)");
+
+  util::Table table({"n", "collect_all_ms", "trp_ms", "utrp_ms",
+                     "collect_over_trp", "utrp_over_trp"});
+  for (const std::uint64_t n : bench::tag_count_sweep(opt)) {
+    if (kTolerance + 1 > n) continue;
+
+    // collect-all: mean elapsed time across trials.
+    const auto baseline_ms = runner.run_metric(
+        opt.trials, util::derive_seed(opt.seed, n, 1),
+        [&](std::uint64_t, util::Rng& rng) {
+          const tag::TagSet set = tag::TagSet::make_random(n, rng);
+          const auto result = protocol::run_collect_all(
+              set.tags(), hasher, {.stop_after_collected = n - kTolerance}, rng);
+          return result.elapsed_us(timing) / 1000.0;
+        });
+
+    // TRP: frame composition from honest scans.
+    const auto trp_plan = math::optimize_trp_frame(n, kTolerance, opt.alpha);
+    const auto trp_ms = runner.run_metric(
+        opt.trials, util::derive_seed(opt.seed, n, 2),
+        [&](std::uint64_t, util::Rng& rng) {
+          const tag::TagSet set = tag::TagSet::make_random(n, rng);
+          const protocol::TrpChallenge c{trp_plan.frame_size, rng()};
+          const protocol::TrpReader reader(hasher);
+          const auto obs = reader.scan_observed(set.tags(), c, rng);
+          return timing.trp_scan_us(obs.empty_slots,
+                                    obs.single_slots + obs.collision_slots) /
+                 1000.0;
+        });
+
+    // UTRP: walk the real protocol to count re-seed broadcasts.
+    const auto utrp_plan =
+        math::optimize_utrp_frame(n, kTolerance, opt.alpha, opt.budget);
+    const auto utrp_ms = runner.run_metric(
+        opt.trials, util::derive_seed(opt.seed, n, 3),
+        [&](std::uint64_t, util::Rng& rng) {
+          tag::TagSet set = tag::TagSet::make_random(n, rng);
+          protocol::UtrpChallenge c;
+          c.frame_size = utrp_plan.frame_size;
+          c.seeds.reserve(c.frame_size);
+          for (std::uint32_t i = 0; i < c.frame_size; ++i) c.seeds.push_back(rng());
+          const auto scan = protocol::utrp_scan(set.tags(), hasher, c);
+          const std::uint64_t occupied = scan.bitstring.count();
+          return timing.utrp_scan_us(c.frame_size - occupied, occupied,
+                                     scan.reseeds) /
+                 1000.0;
+        });
+
+    table.begin_row();
+    table.add_cell(static_cast<long long>(n));
+    table.add_cell(baseline_ms.mean(), 1);
+    table.add_cell(trp_ms.mean(), 1);
+    table.add_cell(utrp_ms.mean(), 1);
+    table.add_cell(baseline_ms.mean() / trp_ms.mean(), 2);
+    table.add_cell(utrp_ms.mean() / trp_ms.mean(), 2);
+  }
+  bench::emit(table, opt);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Baseline shoot-out: every ID-collection strategy vs TRP monitoring.
+//
+// Extends Fig. 4 with the two extra baselines this repo implements —
+// query-tree walking (deterministic, cited in the paper's related work) and
+// the EPC C1G2 Q algorithm (what deployed readers actually run) — in both
+// slot counts and wall-clock time. The point the paper makes with one
+// baseline holds against all three: any ID-collecting approach pays per tag,
+// while TRP pays only for statistical confidence.
+#include <cmath>
+#include <cstdint>
+
+#include "bench_common.h"
+#include "math/frame_optimizer.h"
+#include "protocol/collect_all.h"
+#include "protocol/q_protocol.h"
+#include "protocol/tree_walk.h"
+#include "radio/timing.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  auto opt = bench::parse_figure_options(argc, argv);
+  opt.n_step = std::max<std::uint64_t>(opt.n_step, 400);
+  const sim::TrialRunner runner(opt.threads);
+  const hash::SlotHasher hasher;
+  const radio::TimingModel timing;
+
+  constexpr std::uint64_t kTolerance = 10;
+  bench::banner("Baselines: slots to account for all but m = " +
+                std::to_string(kTolerance) + " tags (" +
+                std::to_string(opt.trials) + " trials/point)");
+
+  util::Table slots({"n", "aloha_lee", "query_tree", "epc_q_algo", "trp_eq2"});
+  util::Table time_ms({"n", "aloha_ms", "tree_ms", "q_ms", "trp_ms"});
+  for (const std::uint64_t n : bench::tag_count_sweep(opt)) {
+    if (kTolerance + 1 > n) continue;
+    const std::uint64_t target = n - kTolerance;
+
+    const auto aloha = runner.run_metric(
+        opt.trials, util::derive_seed(opt.seed, n, 1),
+        [&](std::uint64_t, util::Rng& rng) {
+          const tag::TagSet set = tag::TagSet::make_random(n, rng);
+          return static_cast<double>(
+              protocol::run_collect_all(set.tags(), hasher,
+                                        {.stop_after_collected = target}, rng)
+                  .total_slots);
+        });
+    const auto tree = runner.run_metric(
+        opt.trials, util::derive_seed(opt.seed, n, 2),
+        [&](std::uint64_t, util::Rng& rng) {
+          const tag::TagSet set = tag::TagSet::make_random(n, rng);
+          return static_cast<double>(
+              protocol::run_tree_walk(set.tags(), target).total_queries);
+        });
+    const auto q = runner.run_metric(
+        opt.trials, util::derive_seed(opt.seed, n, 3),
+        [&](std::uint64_t, util::Rng& rng) {
+          const tag::TagSet set = tag::TagSet::make_random(n, rng);
+          return static_cast<double>(
+              protocol::run_q_protocol(set.tags(),
+                                       {.stop_after_collected = target}, rng)
+                  .total_slots);
+        });
+    const auto trp = math::optimize_trp_frame(n, kTolerance, opt.alpha, opt.model);
+
+    slots.begin_row();
+    slots.add_cell(static_cast<long long>(n));
+    slots.add_cell(aloha.mean(), 1);
+    slots.add_cell(tree.mean(), 1);
+    slots.add_cell(q.mean(), 1);
+    slots.add_cell(static_cast<long long>(trp.frame_size));
+
+    // Wall-clock: ID-carrying slots for the collectors, short slots for TRP.
+    // (Approximate compositions: collectors' singleton slots = target; the
+    // rest split per their measured mixes — recompute one representative
+    // trial for the split.)
+    util::Rng rng(util::derive_seed(opt.seed, n, 4));
+    const tag::TagSet set = tag::TagSet::make_random(n, rng);
+    const auto aloha_run = protocol::run_collect_all(
+        set.tags(), hasher, {.stop_after_collected = target}, rng);
+    const auto tree_run = protocol::run_tree_walk(set.tags(), target);
+    const auto q_run =
+        protocol::run_q_protocol(set.tags(), {.stop_after_collected = target}, rng);
+    const double trp_occupied =
+        static_cast<double>(trp.frame_size) *
+        (1.0 - std::exp(-static_cast<double>(n) / trp.frame_size));
+
+    time_ms.begin_row();
+    time_ms.add_cell(static_cast<long long>(n));
+    time_ms.add_cell(aloha_run.elapsed_us(timing) / 1000.0, 1);
+    time_ms.add_cell(timing.collect_all_us(tree_run.empty_queries,
+                                           tree_run.singleton_queries,
+                                           tree_run.collision_queries,
+                                           /*rounds=*/1) /
+                         1000.0,
+                     1);
+    time_ms.add_cell(timing.collect_all_us(q_run.empty_slots,
+                                           q_run.singleton_slots,
+                                           q_run.collision_slots,
+                                           q_run.query_adjusts) /
+                         1000.0,
+                     1);
+    time_ms.add_cell(
+        timing.trp_scan_us(
+            trp.frame_size - static_cast<std::uint64_t>(trp_occupied),
+            static_cast<std::uint64_t>(trp_occupied)) /
+            1000.0,
+        1);
+  }
+  bench::emit(slots, opt);
+  std::cout << "--- wall-clock (ID slots are ~6x short-reply slots) ---\n";
+  bench::emit(time_ms, opt);
+  return 0;
+}

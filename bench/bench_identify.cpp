@@ -1,0 +1,84 @@
+// Identification cost: detecting that tags are missing is O(f) slots; this
+// bench measures what it costs to learn WHICH tags are missing (the
+// extension protocol in protocol/identify.h) as the theft size and frame
+// load vary — rounds, total slots, wall-clock — against collecting every ID
+// (which identifies the missing by elimination but broadcasts every ID).
+//
+// Honest finding: at these parameters the bitstring identifier spends MORE
+// air time than collect-all (cost_ratio < 1): each round re-frames the whole
+// surviving population, and ~e^{-1} resolution per round costs ~n·log n
+// short slots versus collect-all's ~e·n ID slots. Its value is privacy — no
+// tag ID is ever transmitted, matching the paper's threat model — not speed;
+// the follow-up literature earns speed with filtering tricks out of scope
+// here.
+#include <cstdint>
+
+#include "bench_common.h"
+#include "protocol/collect_all.h"
+#include "protocol/identify.h"
+#include "radio/timing.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rfid;
+  const auto opt = bench::parse_figure_options(argc, argv);
+  const sim::TrialRunner runner(opt.threads);
+  const hash::SlotHasher hasher;
+  const radio::TimingModel timing;
+
+  constexpr std::uint64_t kTags = 1000;
+  bench::banner("Identification: which tags are missing? n = " +
+                std::to_string(kTags) + " (" + std::to_string(opt.trials) +
+                " trials/point)");
+
+  util::Table table({"stolen", "frame_load", "rounds", "slots",
+                     "identify_ms", "collect_all_ms", "cost_ratio"});
+  for (const std::uint64_t stolen : {1u, 10u, 50u, 200u, 500u}) {
+    for (const double load : {1.0, 2.0}) {
+      const auto slot_stats = runner.run_metric(
+          opt.trials,
+          util::derive_seed(opt.seed, stolen, static_cast<std::uint64_t>(load)),
+          [&](std::uint64_t, util::Rng& rng) {
+            tag::TagSet set = tag::TagSet::make_random(kTags, rng);
+            const auto enrolled = set.ids();
+            (void)set.steal_random(stolen, rng);
+            return static_cast<double>(
+                protocol::identify_missing_tags(enrolled, set.tags(), hasher,
+                                                {.frame_load = load}, rng)
+                    .total_slots);
+          });
+      // Round count and the collect-all comparison from one representative
+      // campaign (low variance; the slot column carries the averaged cost).
+      util::Rng rng(util::derive_seed(opt.seed, stolen, 99));
+      tag::TagSet set = tag::TagSet::make_random(kTags, rng);
+      const auto enrolled = set.ids();
+      (void)set.steal_random(stolen, rng);
+      const auto one = protocol::identify_missing_tags(
+          enrolled, set.tags(), hasher, {.frame_load = load}, rng);
+      const auto collect = protocol::run_collect_all(
+          set.tags(), hasher, {.stop_after_collected = set.size()}, rng);
+
+      const double mean_slots = slot_stats.mean();
+      // Identification slots are short-reply slots plus per-round query
+      // broadcasts; collect-all carries IDs.
+      const double id_ms =
+          (static_cast<double>(one.rounds) * timing.query_broadcast_us +
+           mean_slots * timing.short_reply_slot_us) /
+          1000.0;
+      const double coll_ms = collect.elapsed_us(timing) / 1000.0;
+
+      table.begin_row();
+      table.add_cell(static_cast<long long>(stolen));
+      table.add_cell(load, 1);
+      table.add_cell(static_cast<long long>(one.rounds));
+      table.add_cell(mean_slots, 1);
+      table.add_cell(id_ms, 1);
+      table.add_cell(coll_ms, 1);
+      table.add_cell(coll_ms / id_ms, 2);
+    }
+  }
+  bench::emit(table, opt);
+  return 0;
+}

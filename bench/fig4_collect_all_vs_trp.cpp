@@ -1,0 +1,73 @@
+// Figure 4 — "Comparing collect all versus TRP" (4 panels: m = 5/10/20/30).
+//
+// y-axis: number of slots. collect-all is simulated with the Lee et al.
+// frame sizing (first round f = n, then f = #remaining), stopping once
+// n − m IDs are collected; the reported cost is the mean total slot count
+// over --trials runs. TRP's cost is the deterministic Eq. (2) frame size.
+//
+// Expected shape (paper): both grow linearly in n; TRP uses fewer slots,
+// with the gap widening as n and m grow.
+#include <cstdint>
+
+#include "bench_common.h"
+#include "math/frame_optimizer.h"
+#include "protocol/collect_all.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rfid;
+
+double mean_collect_all_slots(std::uint64_t n, std::uint64_t m,
+                              const bench::FigureOptions& opt,
+                              const sim::TrialRunner& runner) {
+  const hash::SlotHasher hasher;
+  const auto stats = runner.run_metric(
+      opt.trials, util::derive_seed(opt.seed, n, m),
+      [&](std::uint64_t, util::Rng& rng) {
+        const tag::TagSet set = tag::TagSet::make_random(n, rng);
+        const auto result = protocol::run_collect_all(
+            set.tags(), hasher, {.stop_after_collected = n - m}, rng);
+        return static_cast<double>(result.total_slots);
+      });
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_figure_options(argc, argv);
+  const sim::TrialRunner runner(opt.threads);
+
+  bench::banner(
+      "Figure 4: collect-all vs TRP, slots to monitor with tolerance m "
+      "(alpha = " +
+      util::format_double(opt.alpha, 2) + ")");
+
+  for (const std::uint64_t m : bench::tolerance_panels()) {
+    util::Table table({"n", "collect_all_slots", "trp_slots", "ratio"});
+    std::vector<double> xs;
+    util::ChartSeries baseline_series{"collect all", {}, 'o'};
+    util::ChartSeries trp_series{"TRP", {}, '*'};
+    for (const std::uint64_t n : bench::tag_count_sweep(opt)) {
+      if (m + 1 > n) continue;
+      const double baseline = mean_collect_all_slots(n, m, opt, runner);
+      const auto plan = math::optimize_trp_frame(n, m, opt.alpha, opt.model);
+      table.begin_row();
+      table.add_cell(static_cast<long long>(n));
+      table.add_cell(baseline, 1);
+      table.add_cell(static_cast<long long>(plan.frame_size));
+      table.add_cell(baseline / plan.frame_size, 3);
+      xs.push_back(static_cast<double>(n));
+      baseline_series.ys.push_back(baseline);
+      trp_series.ys.push_back(plan.frame_size);
+    }
+    std::cout << "--- Tolerate m=" << m << " missing tags ---\n";
+    bench::emit(table, opt);
+    bench::maybe_plot(opt, xs, {baseline_series, trp_series},
+                      "slots vs n (m=" + std::to_string(m) + ")");
+  }
+  return 0;
+}

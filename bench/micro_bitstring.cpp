@@ -1,0 +1,85 @@
+// Microbenchmarks for the Bitstring operations the server performs per
+// verification: construction, population count, compare/diff.
+#include <benchmark/benchmark.h>
+
+#include "bitstring/bitstring.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::bits::Bitstring;
+
+Bitstring random_bitstring(std::size_t size, std::uint64_t seed, double density) {
+  rfid::util::Rng rng(seed);
+  Bitstring bs(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.chance(density)) bs.set(i);
+  }
+  return bs;
+}
+
+void BM_BitstringSet(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Bitstring bs(size);
+  rfid::util::Rng rng(1);
+  for (auto _ : state) {
+    bs.set(static_cast<std::size_t>(rng.below(size)));
+    benchmark::DoNotOptimize(bs);
+  }
+}
+
+void BM_BitstringCount(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Bitstring bs = random_bitstring(size, 2, 0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bs.count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size / 8));
+}
+
+void BM_BitstringHamming(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Bitstring a = random_bitstring(size, 3, 0.6);
+  const Bitstring b = random_bitstring(size, 4, 0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.hamming_distance(b));
+  }
+}
+
+void BM_BitstringFirstDifference(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Bitstring a = random_bitstring(size, 5, 0.6);
+  Bitstring b = a;
+  b.set(size - 1, !b.test(size - 1));  // difference at the very end: worst case
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.first_difference(b));
+  }
+}
+
+void BM_BitstringOr(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Bitstring a = random_bitstring(size, 6, 0.5);
+  Bitstring b = random_bitstring(size, 7, 0.5);
+  for (auto _ : state) {
+    b |= a;
+    benchmark::DoNotOptimize(b);
+  }
+}
+
+void BM_BitstringHexRoundTrip(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Bitstring a = random_bitstring(size, 8, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitstring::from_hex(size, a.to_hex()));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_BitstringSet)->Arg(2048);
+BENCHMARK(BM_BitstringCount)->Arg(512)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_BitstringHamming)->Arg(4096);
+BENCHMARK(BM_BitstringFirstDifference)->Arg(4096);
+BENCHMARK(BM_BitstringOr)->Arg(4096);
+BENCHMARK(BM_BitstringHexRoundTrip)->Arg(2048);

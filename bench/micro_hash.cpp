@@ -1,0 +1,50 @@
+// Microbenchmarks for the slot-hash hot path: one hash per tag per slot
+// assignment, hundreds of millions of evaluations per figure sweep.
+#include <benchmark/benchmark.h>
+
+#include "hash/slot_hash.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::hash::HashKind;
+using rfid::hash::SlotHasher;
+
+void BM_SlotHash(benchmark::State& state, HashKind kind) {
+  const SlotHasher hasher(kind);
+  rfid::util::Rng rng(1);
+  std::uint64_t id = rng();
+  const std::uint64_t r = rng();
+  std::uint64_t ct = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.slot(id, r, 2048, ct));
+    ++id;  // avoid trivially cached inputs
+    ++ct;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SlotAssignmentFrame(benchmark::State& state) {
+  // A full n-tag slot assignment, the inner loop of every TRP frame.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const SlotHasher hasher;
+  rfid::util::Rng rng(2);
+  std::vector<std::uint64_t> ids(n);
+  for (auto& id : ids) id = rng();
+  const std::uint64_t r = rng();
+  const auto f = static_cast<std::uint32_t>(n + n / 16);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t id : ids) acc += hasher.slot(id, r, f);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SlotHash, fnv1a64, HashKind::kFnv1a64);
+BENCHMARK_CAPTURE(BM_SlotHash, murmur_fmix64, HashKind::kMurmurFmix64);
+BENCHMARK_CAPTURE(BM_SlotHash, siphash24, HashKind::kSipHash24);
+BENCHMARK(BM_SlotAssignmentFrame)->Arg(100)->Arg(1000)->Arg(10000);

@@ -1,0 +1,67 @@
+// Microbenchmarks for the wire layer: frame encode/decode and a complete
+// message-driven monitoring round on perfect links.
+#include <benchmark/benchmark.h>
+
+#include "protocol/trp.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "wire/messages.h"
+#include "wire/session.h"
+
+namespace {
+
+using namespace rfid;
+
+void BM_EncodeBitstringReport(benchmark::State& state) {
+  const auto bits_count = static_cast<std::size_t>(state.range(0));
+  bits::Bitstring bs(bits_count);
+  for (std::size_t i = 0; i < bits_count; i += 3) bs.set(i);
+  const wire::BitstringReport report{"group", 1, bs, 1000.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode(report));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits_count / 8));
+}
+
+void BM_DecodeBitstringReport(benchmark::State& state) {
+  const auto bits_count = static_cast<std::size_t>(state.range(0));
+  bits::Bitstring bs(bits_count);
+  for (std::size_t i = 0; i < bits_count; i += 3) bs.set(i);
+  const auto frame = wire::encode(wire::BitstringReport{"group", 1, bs, 1000.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode_bitstring_report(frame));
+  }
+}
+
+void BM_EncodeUtrpChallenge(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  wire::UtrpChallengeMsg msg;
+  msg.round = 1;
+  msg.challenge.frame_size = f;
+  util::Rng rng(1);
+  for (std::uint32_t i = 0; i < f; ++i) msg.challenge.seeds.push_back(rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode(msg));
+  }
+}
+
+void BM_FullSessionRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  util::Rng rng(2);
+  const tag::TagSet set = tag::TagSet::make_random(n, rng);
+  const protocol::TrpServer server(set.ids(),
+                                   {.tolerated_missing = 10, .confidence = 0.95});
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    benchmark::DoNotOptimize(
+        wire::run_trp_session(queue, server, set.tags(), 1, {}, rng));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_EncodeBitstringReport)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_DecodeBitstringReport)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_EncodeUtrpChallenge)->Arg(512)->Arg(4096);
+BENCHMARK(BM_FullSessionRound)->Arg(100)->Arg(1000);

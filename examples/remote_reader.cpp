@@ -1,0 +1,87 @@
+// Remote reader over an unreliable backhaul: the wire layer in action.
+//
+// The paper assumes a channel between the monitoring server and the RFID
+// reader but says nothing about its reliability. This example runs nightly
+// TRP rounds — and then UTRP rounds with a wall-clock deadline — across
+// simulated links that drop a quarter of all frames and jitter the rest,
+// showing the session layer's idempotent retransmission keeping the
+// protocol sound: challenges are never double-issued, verdicts never
+// double-counted, and (for UTRP) honest-but-slow links visibly burn the
+// Alg. 5 timer.
+#include <cstdio>
+
+#include "rfidmon.h"
+
+int main() {
+  using namespace rfid;
+  util::Rng rng(606);
+
+  tag::TagSet stockroom = tag::TagSet::make_random(400, rng);
+  const protocol::TrpServer trp_server(
+      stockroom.ids(), {.tolerated_missing = 5, .confidence = 0.95});
+
+  wire::SessionConfig flaky;
+  flaky.uplink = {.latency_us = 5000.0, .jitter_us = 2000.0, .drop_prob = 0.25};
+  flaky.downlink = {.latency_us = 5000.0, .jitter_us = 2000.0, .drop_prob = 0.25};
+  flaky.retry_timeout_us = 40000.0;
+  flaky.max_retries = 40;
+  flaky.group_name = "stockroom";
+
+  std::printf("=== TRP over a 25%%-loss backhaul ===\n");
+  {
+    sim::EventQueue queue;
+    const auto outcome =
+        wire::run_trp_session(queue, trp_server, stockroom.tags(), 5, flaky, rng);
+    std::printf("rounds completed: %llu/5 (%s)\n",
+                static_cast<unsigned long long>(outcome.rounds_completed),
+                outcome.completed ? "session finished" : "gave up");
+    std::printf("frames sent %llu, dropped %llu, retransmissions %llu\n",
+                static_cast<unsigned long long>(outcome.frames_sent),
+                static_cast<unsigned long long>(outcome.frames_dropped),
+                static_cast<unsigned long long>(outcome.retransmissions));
+    std::printf("wall clock: %.1f ms for what perfect links do in ~%.1f ms\n",
+                outcome.finished_at_us / 1000.0,
+                5 * (trp_server.frame_size() * 0.25));
+    for (std::size_t i = 0; i < outcome.verdicts.size(); ++i) {
+      std::printf("  round %zu: %s\n", i + 1,
+                  outcome.verdicts[i].intact ? "intact" : "ALERT");
+    }
+  }
+
+  std::printf("\n=== Theft, observed remotely ===\n");
+  {
+    (void)stockroom.steal_random(40, rng);
+    sim::EventQueue queue;
+    const auto outcome =
+        wire::run_trp_session(queue, trp_server, stockroom.tags(), 1, flaky, rng);
+    std::printf("verdict arrives despite the bad link: %s\n",
+                !outcome.verdicts.empty() && !outcome.verdicts[0].intact
+                    ? "ALERT — tags missing"
+                    : "(unexpected)");
+  }
+
+  std::printf("\n=== UTRP with a deadline, honest reader, bad link ===\n");
+  {
+    tag::TagSet cage = tag::TagSet::make_random(200, rng);
+    protocol::UtrpServer utrp_server(
+        cage, {.tolerated_missing = 3, .confidence = 0.95}, 20);
+    // Deadline generous against air time but tight against retransmission
+    // stalls: a couple of lost frames blow it.
+    wire::SessionConfig timed = flaky;
+    timed.group_name = "cage";
+    timed.utrp_deadline_us = 250000.0;
+    sim::EventQueue queue;
+    const auto outcome =
+        wire::run_utrp_session(queue, utrp_server, cage.tags(), 3, timed, rng);
+    int late = 0;
+    for (const auto& verdict : outcome.verdicts) {
+      if (!verdict.deadline_met) ++late;
+    }
+    std::printf("rounds: %llu, deadline misses by an HONEST reader: %d\n",
+                static_cast<unsigned long long>(outcome.rounds_completed), late);
+    std::printf("lesson: Alg. 5's timer must be calibrated against the\n"
+                "backhaul's retransmission tail, not just STmax of the scan —\n"
+                "otherwise loss turns into false alarms.\n");
+  }
+  return 0;
+}

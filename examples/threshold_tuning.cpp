@@ -1,0 +1,91 @@
+// Threshold tuning: how should an operator pick (m, alpha)?
+//
+// Sec. 3: "a higher tolerance and lower confidence level will result in
+// faster performance with less accuracy". This example makes the trade
+// concrete for one population by reporting, per candidate (m, alpha):
+//   * scan cost      — the Eq. (2) frame size and its wall-clock estimate,
+//   * sensitivity    — simulated detection rate when m+1 tags go missing,
+//   * nuisance rate  — simulated false-alarm rate on an intact set behind a
+//                      slightly lossy channel (0.2% reply loss), the
+//                      real-world reason tolerance exists at all.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "rfidmon.h"
+
+int main() {
+  using namespace rfid;
+  constexpr std::uint64_t kTags = 800;
+  constexpr std::uint64_t kTrials = 300;
+  const radio::TimingModel timing;
+  const radio::ChannelModel lossy{.reply_loss_prob = 0.002, .capture_prob = 0.0};
+  const sim::TrialRunner runner;
+
+  std::printf("population: %llu tags; channel: 0.2%% reply loss; "
+              "%llu trials per cell\n\n",
+              static_cast<unsigned long long>(kTags),
+              static_cast<unsigned long long>(kTrials));
+
+  util::Table table({"m", "alpha", "frame_slots", "scan_ms", "detect_m+1",
+                     "false_alarm"});
+  for (const std::uint64_t m : {0u, 5u, 10u, 20u, 40u}) {
+    for (const double alpha : {0.90, 0.95, 0.99}) {
+      const protocol::MonitoringPolicy policy{.tolerated_missing = m,
+                                              .confidence = alpha};
+      const auto plan = math::optimize_trp_frame(kTags, m, alpha);
+
+      // Sensitivity: steal m+1, ideal channel (the design-point event).
+      const auto detect = runner.run_boolean(
+          kTrials, util::derive_seed(11, m, static_cast<std::uint64_t>(alpha * 1000)),
+          [&](std::uint64_t, util::Rng& rng) {
+            tag::TagSet set = tag::TagSet::make_random(kTags, rng);
+            const protocol::TrpServer server(set.ids(), policy);
+            (void)set.steal_random(m + 1, rng);
+            const auto c = server.issue_challenge(rng);
+            const protocol::TrpReader reader;
+            return !server.verify(c, reader.scan(set.tags(), c, rng)).intact;
+          });
+
+      // Nuisance: intact set, lossy channel.
+      const auto nuisance = runner.run_boolean(
+          kTrials, util::derive_seed(12, m, static_cast<std::uint64_t>(alpha * 1000)),
+          [&](std::uint64_t, util::Rng& rng) {
+            const tag::TagSet set = tag::TagSet::make_random(kTags, rng);
+            const protocol::TrpServer server(set.ids(), policy);
+            const protocol::TrpReader reader(hash::SlotHasher{}, lossy);
+            const auto c = server.issue_challenge(rng);
+            return !server.verify(c, reader.scan(set.tags(), c, rng)).intact;
+          });
+
+      // Scan time: occupied-slot count ~ f(1 - e^{-n/f}).
+      const double occupied = static_cast<double>(plan.frame_size) *
+                              (1.0 - std::exp(-static_cast<double>(kTags) /
+                                              plan.frame_size));
+      const double ms = timing.trp_scan_us(
+                            plan.frame_size - static_cast<std::uint64_t>(occupied),
+                            static_cast<std::uint64_t>(occupied)) /
+                        1000.0;
+
+      table.begin_row();
+      table.add_cell(static_cast<long long>(m));
+      table.add_cell(alpha, 2);
+      table.add_cell(static_cast<long long>(plan.frame_size));
+      table.add_cell(ms, 1);
+      table.add_cell(detect.proportion(), 3);
+      table.add_cell(nuisance.proportion(), 3);
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nreading the table: frame cost explodes as m -> 0 at high alpha\n"
+      "(catching ONE missing tag among %llu needs a mostly-empty frame);\n"
+      "meanwhile even a 0.2%% lossy channel alarms constantly regardless of\n"
+      "m, because TRP compares exact bitstrings — the tolerance m buys\n"
+      "cheaper frames, not lossy-channel immunity. Operators should budget\n"
+      "for link retries and pick the smallest m whose frame cost fits the\n"
+      "scan window.\n",
+      static_cast<unsigned long long>(kTags));
+  return 0;
+}

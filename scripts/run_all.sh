@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every result in EXPERIMENTS.md.
+#
+# Usage:
+#   scripts/run_all.sh [build-dir]
+#
+# Outputs land in <build-dir>/results/: one .txt per bench binary plus
+# test_output.txt. Pass RFIDMON_BENCH_ARGS to forward options to every
+# figure bench (e.g. RFIDMON_BENCH_ARGS="--trials 200 --nstep 400" for a
+# quick pass).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${BUILD_DIR}/results"
+BENCH_ARGS="${RFIDMON_BENCH_ARGS:-}"
+
+cmake -B "${BUILD_DIR}" -G Ninja
+cmake --build "${BUILD_DIR}"
+
+mkdir -p "${RESULTS_DIR}"
+
+echo "== tests =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  | tee "${RESULTS_DIR}/test_output.txt" | tail -3
+
+echo "== benches =="
+for bench in "${BUILD_DIR}"/bench/*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "-- ${name}"
+  case "${name}" in
+    micro_*)
+      # google-benchmark binaries take their own flags.
+      "${bench}" --benchmark_min_time=0.05s > "${RESULTS_DIR}/${name}.txt" 2>&1
+      ;;
+    *)
+      # shellcheck disable=SC2086
+      "${bench}" ${BENCH_ARGS} > "${RESULTS_DIR}/${name}.txt" 2>&1
+      ;;
+  esac
+done
+
+echo "done; results in ${RESULTS_DIR}/"

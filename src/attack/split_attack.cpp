@@ -1,0 +1,25 @@
+#include "attack/split_attack.h"
+
+#include "protocol/trp.h"
+
+namespace rfid::attack {
+
+SplitAttackResult run_trp_split_attack(std::span<const tag::Tag> s1,
+                                       std::span<const tag::Tag> s2,
+                                       const hash::SlotHasher& hasher,
+                                       const protocol::TrpChallenge& challenge,
+                                       util::Rng& rng) {
+  const protocol::TrpReader reader(hasher);  // ideal channel
+  SplitAttackResult result;
+  const bits::Bitstring bs1 = reader.scan(s1, challenge, rng);
+  const bits::Bitstring bs2 = reader.scan(s2, challenge, rng);
+  result.forged = bs1 | bs2;
+  result.transmissions = 1;  // R2 forwards bs_s2 once (Alg. 4 line 2)
+  return result;
+}
+
+bits::Bitstring replay_recorded_bitstring(const bits::Bitstring& recorded) {
+  return recorded;
+}
+
+}  // namespace rfid::attack

@@ -1,0 +1,40 @@
+// Alg. 4: the OR-combine split attack that defeats TRP (Sec. 5.1).
+//
+// The dishonest reader R1 keeps s1, hands the stolen tags s2 to a
+// collaborator R2, and both scan with the same server challenge. Because a
+// TRP bitstring is just the union of per-tag slot marks, one transmission of
+// bs_s2 lets R1 return  b̂s = bs_s1 ∨ bs_s2 = bs  — indistinguishable from an
+// intact set. This module exists to *demonstrate* the vulnerability (tests
+// assert the forged bitstring verifies as intact) and to motivate UTRP.
+#pragma once
+
+#include <span>
+
+#include "bitstring/bitstring.h"
+#include "hash/slot_hash.h"
+#include "protocol/messages.h"
+#include "tag/tag.h"
+#include "util/random.h"
+
+namespace rfid::attack {
+
+struct SplitAttackResult {
+  bits::Bitstring forged;     // b̂s returned to the server
+  std::uint64_t transmissions = 0;  // reader-to-reader messages used (always 1)
+};
+
+/// Executes Alg. 4 against a TRP challenge: scans s1 and s2 independently
+/// (ideal channel — the adversary picks a clean RF environment) and ORs the
+/// two bitstrings.
+[[nodiscard]] SplitAttackResult run_trp_split_attack(
+    std::span<const tag::Tag> s1, std::span<const tag::Tag> s2,
+    const hash::SlotHasher& hasher, const protocol::TrpChallenge& challenge,
+    util::Rng& rng);
+
+/// The naive replay attack from Sec. 5.1: returning a bitstring recorded
+/// under an older challenge. Provided so tests can show that fresh (f, r)
+/// per round defeats it.
+[[nodiscard]] bits::Bitstring replay_recorded_bitstring(
+    const bits::Bitstring& recorded);
+
+}  // namespace rfid::attack

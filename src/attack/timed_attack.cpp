@@ -1,0 +1,43 @@
+#include "attack/timed_attack.h"
+
+#include "util/expect.h"
+
+namespace rfid::attack {
+
+double honest_utrp_scan_us(const bits::Bitstring& bitstring,
+                           std::uint64_t reseeds,
+                           const radio::TimingModel& timing) {
+  const std::uint64_t occupied = bitstring.count();
+  return timing.utrp_scan_us(bitstring.size() - occupied, occupied, reseeds);
+}
+
+TimedAttackOutcome run_timed_utrp_attack(std::span<tag::Tag> s1,
+                                         std::span<tag::Tag> s2,
+                                         const hash::SlotHasher& hasher,
+                                         const protocol::UtrpChallenge& challenge,
+                                         std::uint64_t comm_budget,
+                                         const radio::TimingModel& timing,
+                                         double comm_roundtrip_us) {
+  RFID_EXPECT(comm_roundtrip_us >= 0.0, "negative communication latency");
+
+  const UtrpAttackResult attack =
+      run_utrp_split_attack(s1, s2, hasher, challenge, comm_budget);
+
+  TimedAttackOutcome outcome;
+  outcome.forged = attack.forged;
+  outcome.comms_used = attack.comms_used;
+  // The pair re-seeds the physical tags after every recorded reply, exactly
+  // like an honest reader — except a final-slot reply needs no re-seed.
+  const std::uint64_t occupied = attack.forged.count();
+  std::uint64_t reseeds = occupied;
+  if (occupied > 0 && attack.forged.test(attack.forged.size() - 1)) {
+    --reseeds;
+  }
+  outcome.air_time_us = honest_utrp_scan_us(attack.forged, reseeds, timing);
+  outcome.comm_time_us =
+      static_cast<double>(attack.comms_used) * comm_roundtrip_us;
+  outcome.elapsed_us = outcome.air_time_us + outcome.comm_time_us;
+  return outcome;
+}
+
+}  // namespace rfid::attack

@@ -1,0 +1,45 @@
+// The deadline arm of UTRP (Sec. 5.4), made executable.
+//
+// UTRP's security argument has two prongs: the bitstring must be *right*
+// (Eq. 3 sizes the frame so a budget-c adversary fails the content check
+// with probability > α) and it must arrive *on time* (the server's timer
+// t = STmax bounds how many reader-to-reader exchanges the pair can afford:
+// c = (t − STmin)/tcomm). This module closes the loop: it runs the
+// mechanically-faithful split attack at an arbitrary budget and charges wall
+//-clock for the walk AND for every consult, so the adversary's real dilemma
+// is measurable — spend more messages and blow the deadline, or fewer and
+// flunk the content check. bench/ablation_deadline sweeps that trade-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "attack/utrp_attack.h"
+#include "radio/timing.h"
+
+namespace rfid::attack {
+
+struct TimedAttackOutcome {
+  bits::Bitstring forged;
+  std::uint64_t comms_used = 0;
+  double air_time_us = 0.0;    // R1's walk: query + slots + re-seeds
+  double comm_time_us = 0.0;   // comms_used · tcomm
+  double elapsed_us = 0.0;     // total
+};
+
+/// Runs the budgeted split attack and prices its wall-clock cost. `s1`/`s2`
+/// mutate as in a real scan. Re-seed broadcasts are charged like an honest
+/// reader's (the pair must re-seed the physical tags either way).
+[[nodiscard]] TimedAttackOutcome run_timed_utrp_attack(
+    std::span<tag::Tag> s1, std::span<tag::Tag> s2,
+    const hash::SlotHasher& hasher, const protocol::UtrpChallenge& challenge,
+    std::uint64_t comm_budget, const radio::TimingModel& timing,
+    double comm_roundtrip_us);
+
+/// Wall-clock of an honest UTRP scan with the given frame composition —
+/// what the server measures when calibrating STmin/STmax.
+[[nodiscard]] double honest_utrp_scan_us(const bits::Bitstring& bitstring,
+                                         std::uint64_t reseeds,
+                                         const radio::TimingModel& timing);
+
+}  // namespace rfid::attack

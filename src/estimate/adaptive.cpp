@@ -1,0 +1,90 @@
+#include "estimate/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "radio/frame.h"
+#include "util/expect.h"
+
+namespace rfid::estimate {
+
+namespace {
+
+/// One real frame: returns the empty-slot count for `frame_size`.
+std::uint64_t scan_empty_slots(std::span<const tag::Tag> tags,
+                               const hash::SlotHasher& hasher,
+                               std::uint32_t frame_size, util::Rng& rng) {
+  const auto choices = radio::assign_trp_slots(tags, hasher, rng(), frame_size);
+  const auto histogram = radio::occupancy_histogram(choices, frame_size);
+  std::uint64_t empty = 0;
+  for (const auto occupancy : histogram) {
+    if (occupancy == 0) ++empty;
+  }
+  return empty;
+}
+
+}  // namespace
+
+AdaptiveEstimate estimate_adaptive(std::span<const tag::Tag> tags,
+                                   const hash::SlotHasher& hasher,
+                                   const AdaptiveConfig& config,
+                                   util::Rng& rng) {
+  RFID_EXPECT(config.initial_frame >= 1, "initial frame must be positive");
+  RFID_EXPECT(config.growth_factor > 1.0, "growth factor must exceed 1");
+  RFID_EXPECT(config.target_relative_error > 0.0, "target error must be positive");
+  RFID_EXPECT(config.max_probes >= 1, "need at least one probe");
+
+  AdaptiveEstimate result;
+
+  // Phase 1: grow geometrically until the frame stops saturating.
+  std::uint32_t frame = config.initial_frame;
+  std::uint64_t empty = 0;
+  while (result.probes + result.refine_rounds < config.max_probes) {
+    ++result.probes;
+    result.total_slots += frame;
+    empty = scan_empty_slots(tags, hasher, frame, rng);
+    if (empty > 0) break;
+    const double grown = static_cast<double>(frame) * config.growth_factor;
+    RFID_EXPECT(grown < 1e9, "population beyond supported probe range");
+    frame = static_cast<std::uint32_t>(grown);
+  }
+  if (empty == 0) return result;  // max_probes exhausted while saturated
+
+  // Phase 2: refine at load ~1 with inverse-variance averaging of
+  // zero-estimator readings.
+  double weight_sum = 0.0;
+  double weighted_estimate = 0.0;
+  auto fold_in = [&](std::uint64_t n0, std::uint32_t f) {
+    const CardinalityEstimate reading = estimate_cardinality(n0, f);
+    const double variance =
+        std::max(reading.std_error * reading.std_error, 1e-6);
+    weight_sum += 1.0 / variance;
+    weighted_estimate += reading.estimate / variance;
+    result.estimate = weighted_estimate / weight_sum;
+    result.std_error = std::sqrt(1.0 / weight_sum);
+  };
+  fold_in(empty, frame);
+
+  while (result.probes + result.refine_rounds < config.max_probes) {
+    if (result.estimate < 1.0 ||
+        result.std_error <= config.target_relative_error * result.estimate) {
+      result.converged = true;
+      break;
+    }
+    const auto refine_frame = static_cast<std::uint32_t>(std::max(
+        static_cast<double>(config.initial_frame), std::round(result.estimate)));
+    ++result.refine_rounds;
+    result.total_slots += refine_frame;
+    const std::uint64_t n0 = scan_empty_slots(tags, hasher, refine_frame, rng);
+    if (n0 == 0) continue;  // unlucky saturation at load ~1; just re-probe
+    fold_in(n0, refine_frame);
+  }
+  if (result.estimate < 1.0 ||
+      result.std_error <= config.target_relative_error * result.estimate) {
+    result.converged = true;
+  }
+  return result;
+}
+
+}  // namespace rfid::estimate

@@ -1,0 +1,55 @@
+// Adaptive multi-frame cardinality estimation (extension; the full version
+// of the Kodialam & Nandagopal idea the single-frame estimators sketch).
+//
+// A single frame only estimates well when its load ρ = n/f sits in a sweet
+// spot (empty fraction neither ~0 nor ~1). When n is unknown a priori, probe:
+//
+//   1. scan with a small frame; while it comes back saturated (no empty
+//      slots), grow the frame geometrically — each probe costs little and
+//      brackets n from below;
+//   2. once a probe lands in the informative band, re-scan with the frame
+//      sized to the current estimate (load ≈ 1) and average zero-estimator
+//      readings until the standard error undercuts `target_relative_error`.
+//
+// The result reports the estimate, its standard error, and the total slots
+// spent — the budget a monitoring server pays to learn a group's size before
+// it can even size an Eq. (2) frame for a population nobody enrolled
+// precisely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "estimate/cardinality.h"
+#include "hash/slot_hash.h"
+#include "tag/tag.h"
+#include "util/random.h"
+
+#include <span>
+
+namespace rfid::estimate {
+
+struct AdaptiveConfig {
+  std::uint32_t initial_frame = 16;
+  double growth_factor = 4.0;         // frame multiplier while saturated
+  double target_relative_error = 0.05;
+  std::uint32_t max_probes = 64;      // hard stop (probe + refine combined)
+};
+
+struct AdaptiveEstimate {
+  double estimate = 0.0;
+  double std_error = 0.0;
+  std::uint64_t probes = 0;        // frames transmitted in phase 1
+  std::uint64_t refine_rounds = 0; // frames transmitted in phase 2
+  std::uint64_t total_slots = 0;
+  bool converged = false;          // hit the target error before max_probes
+};
+
+/// Estimates how many of `tags` are present using repeated real frames
+/// (ideal channel). `rng` supplies the per-frame random numbers r.
+[[nodiscard]] AdaptiveEstimate estimate_adaptive(std::span<const tag::Tag> tags,
+                                                 const hash::SlotHasher& hasher,
+                                                 const AdaptiveConfig& config,
+                                                 util::Rng& rng);
+
+}  // namespace rfid::estimate

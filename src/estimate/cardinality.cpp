@@ -1,0 +1,42 @@
+#include "estimate/cardinality.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace rfid::estimate {
+
+CardinalityEstimate estimate_cardinality(std::uint64_t empty_slots,
+                                         std::uint64_t frame_size) {
+  RFID_EXPECT(frame_size >= 1, "frame size must be positive");
+  RFID_EXPECT(empty_slots <= frame_size, "more empty slots than slots");
+
+  CardinalityEstimate est;
+  est.empty_slots = empty_slots;
+  est.frame_size = frame_size;
+
+  const double f = static_cast<double>(frame_size);
+  if (empty_slots == 0) {
+    // Saturated frame: report the estimate a single empty slot would give,
+    // flagged as a lower bound.
+    est.saturated = true;
+    est.estimate = f * std::log(f);
+    est.std_error = est.estimate;  // effectively unknown
+    return est;
+  }
+
+  const double n0 = static_cast<double>(empty_slots);
+  const double load = -std::log(n0 / f);  // n̂ / f
+  est.estimate = f * load;
+  // Delta method on n0 ~ Binomial(f, e^{-n/f}):
+  //   Var(n̂) ≈ f (e^{n/f} − 1)  ⇒  σ = sqrt(f (e^load − 1)).
+  est.std_error = std::sqrt(f * (std::exp(load) - 1.0));
+  return est;
+}
+
+CardinalityEstimate estimate_cardinality(const bits::Bitstring& bs) {
+  RFID_EXPECT(!bs.empty(), "empty bitstring");
+  return estimate_cardinality(bs.size() - bs.count(), bs.size());
+}
+
+}  // namespace rfid::estimate

@@ -1,0 +1,111 @@
+#include "estimate/upe.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace rfid::estimate {
+
+namespace {
+
+/// Solves target = fn(rho) for increasing (or decreasing) fn on [lo, hi].
+template <typename Fn>
+double bisect(Fn&& fn, double target, double lo, double hi, bool increasing) {
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const bool go_right = increasing ? (fn(mid) < target) : (fn(mid) > target);
+    if (go_right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+constexpr double kMaxLoad = 64.0;  // beyond this every slot collides anyway
+
+}  // namespace
+
+CardinalityEstimate estimate_from_collisions(std::uint64_t collision_slots,
+                                             std::uint64_t frame_size) {
+  RFID_EXPECT(frame_size >= 1, "frame size must be positive");
+  RFID_EXPECT(collision_slots <= frame_size, "more collisions than slots");
+
+  CardinalityEstimate est;
+  est.frame_size = frame_size;
+  const double f = static_cast<double>(frame_size);
+  const double fraction = static_cast<double>(collision_slots) / f;
+
+  if (collision_slots == 0) {
+    est.estimate = 0.0;  // could be 0 or 1 tag per slot; lowest consistent n
+    est.std_error = f;   // essentially uninformative downward
+    return est;
+  }
+  const auto coll_fraction = [](double rho) {
+    return 1.0 - (1.0 + rho) * std::exp(-rho);
+  };
+  if (fraction >= coll_fraction(kMaxLoad)) {
+    est.saturated = true;
+    est.estimate = kMaxLoad * f;
+    est.std_error = est.estimate;
+    return est;
+  }
+  const double rho = bisect(coll_fraction, fraction, 0.0, kMaxLoad,
+                            /*increasing=*/true);
+  est.estimate = rho * f;
+  // Delta method: Var(collisions) ~ f p(1-p) with p the collision fraction;
+  // d(collisions)/d(n) = rho e^{-rho}.
+  const double p = coll_fraction(rho);
+  const double derivative = rho * std::exp(-rho);  // d p / d rho
+  if (derivative > 1e-12) {
+    est.std_error = std::sqrt(f * p * (1.0 - p)) / derivative;
+  } else {
+    est.std_error = est.estimate;
+  }
+  return est;
+}
+
+CardinalityEstimate estimate_from_singletons(std::uint64_t singleton_slots,
+                                             std::uint64_t frame_size,
+                                             bool assume_underloaded) {
+  RFID_EXPECT(frame_size >= 1, "frame size must be positive");
+  RFID_EXPECT(singleton_slots <= frame_size, "more singletons than slots");
+
+  CardinalityEstimate est;
+  est.frame_size = frame_size;
+  const double f = static_cast<double>(frame_size);
+  const double fraction = static_cast<double>(singleton_slots) / f;
+  constexpr double kPeak = 0.3678794411714423;  // 1/e at rho = 1
+
+  RFID_EXPECT(fraction <= kPeak * 1.10,
+              "singleton fraction above the rho*e^{-rho} maximum; the frame "
+              "is inconsistent with the model");
+  const double clamped = std::min(fraction, kPeak);
+  const auto single_fraction = [](double rho) { return rho * std::exp(-rho); };
+  const double rho =
+      assume_underloaded
+          ? bisect(single_fraction, clamped, 0.0, 1.0, /*increasing=*/true)
+          : bisect(single_fraction, clamped, 1.0, kMaxLoad, /*increasing=*/false);
+  est.estimate = rho * f;
+  const double p = single_fraction(rho);
+  const double derivative = std::abs((1.0 - rho) * std::exp(-rho));
+  est.std_error = derivative > 1e-9
+                      ? std::sqrt(f * p * (1.0 - p)) / derivative
+                      : est.estimate;  // near the peak the estimator is blind
+  return est;
+}
+
+CardinalityEstimate estimate_from_frame(std::uint64_t empty_slots,
+                                        std::uint64_t singleton_slots,
+                                        std::uint64_t collision_slots) {
+  const std::uint64_t frame_size =
+      empty_slots + singleton_slots + collision_slots;
+  RFID_EXPECT(frame_size >= 1, "frame has no slots");
+  if (empty_slots > 0) {
+    return estimate_cardinality(empty_slots, frame_size);
+  }
+  return estimate_from_collisions(collision_slots, frame_size);
+}
+
+}  // namespace rfid::estimate

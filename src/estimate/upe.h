@@ -1,0 +1,43 @@
+// Frame-statistics cardinality estimators beyond the zero estimator
+// (extension; cf. Kodialam & Nandagopal, MobiCom 2006).
+//
+// One observed ALOHA frame yields three counts — empty, singleton, collision
+// slots — and each is an invertible function of the load ρ = n/f:
+//   E[empty]/f     = e^{-ρ}                 (Zero Estimator, cardinality.h)
+//   E[single]/f    = ρ e^{-ρ}               (Singleton Estimator; ambiguous —
+//                                            the curve peaks at ρ = 1)
+//   E[collision]/f = 1 − (1+ρ) e^{-ρ}       (Collision Estimator)
+// The collision form stays informative when the frame saturates (every slot
+// occupied) where the zero estimator can only report a lower bound, so a
+// monitoring server can keep triaging alerts even with frames sized for
+// much smaller populations.
+#pragma once
+
+#include <cstdint>
+
+#include "estimate/cardinality.h"
+
+namespace rfid::estimate {
+
+/// Collision estimator: inverts 1 − (1+ρ)e^{-ρ} = collision_slots/f by
+/// bisection (the function is strictly increasing in ρ).
+/// Returns saturated=true when every slot collided (estimate is a bound).
+[[nodiscard]] CardinalityEstimate estimate_from_collisions(
+    std::uint64_t collision_slots, std::uint64_t frame_size);
+
+/// Singleton estimator: inverts ρe^{-ρ} = singleton_slots/f on the branch
+/// selected by `assume_underloaded` (ρ < 1 vs ρ > 1); the caller breaks the
+/// ambiguity, typically with the zero estimator's answer.
+/// Precondition: singleton_slots/f <= 1/e + tolerance (the curve's maximum).
+[[nodiscard]] CardinalityEstimate estimate_from_singletons(
+    std::uint64_t singleton_slots, std::uint64_t frame_size,
+    bool assume_underloaded);
+
+/// Combined estimator over a fully classified frame: uses the zero estimator
+/// when empties exist, otherwise falls back to collisions — the practical
+/// triage call for InventoryServer-style consumers.
+[[nodiscard]] CardinalityEstimate estimate_from_frame(
+    std::uint64_t empty_slots, std::uint64_t singleton_slots,
+    std::uint64_t collision_slots);
+
+}  // namespace rfid::estimate

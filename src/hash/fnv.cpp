@@ -1,0 +1,23 @@
+#include "hash/fnv.h"
+
+namespace rfid::hash {
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = kFnv64OffsetBasis;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+std::uint32_t fnv1a32(std::span<const std::byte> data) noexcept {
+  std::uint32_t h = kFnv32OffsetBasis;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint32_t>(b);
+    h *= kFnv32Prime;
+  }
+  return h;
+}
+
+}  // namespace rfid::hash

@@ -1,0 +1,34 @@
+// Fowler–Noll–Vo hashes (FNV-1a, 32- and 64-bit).
+//
+// The cheapest of the three hash families offered for tag slot selection;
+// adequate avalanche for the low bits after the final mixing used by
+// SlotHasher, and representative of what a real low-cost tag could compute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rfid::hash {
+
+inline constexpr std::uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001b3ULL;
+inline constexpr std::uint32_t kFnv32OffsetBasis = 0x811c9dc5U;
+inline constexpr std::uint32_t kFnv32Prime = 0x01000193U;
+
+/// FNV-1a over an arbitrary byte sequence.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept;
+[[nodiscard]] std::uint32_t fnv1a32(std::span<const std::byte> data) noexcept;
+
+/// FNV-1a over the 8 little-endian bytes of `value` — the fast path used by
+/// slot selection, where the hashed quantity is a 64-bit word.
+[[nodiscard]] constexpr std::uint64_t fnv1a64_u64(std::uint64_t value) noexcept {
+  std::uint64_t h = kFnv64OffsetBasis;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffU;
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+}  // namespace rfid::hash

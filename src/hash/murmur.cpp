@@ -1,0 +1,53 @@
+#include "hash/murmur.h"
+
+#include <cstring>
+
+namespace rfid::hash {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint32_t rotl32(std::uint32_t x, int r) noexcept {
+  return (x << r) | (x >> (32 - r));
+}
+
+}  // namespace
+
+std::uint32_t murmur3_x86_32(std::span<const std::byte> data,
+                             std::uint32_t seed) noexcept {
+  constexpr std::uint32_t c1 = 0xcc9e2d51U;
+  constexpr std::uint32_t c2 = 0x1b873593U;
+
+  std::uint32_t h = seed;
+  const std::size_t nblocks = data.size() / 4;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint32_t k;
+    std::memcpy(&k, data.data() + i * 4, 4);  // little-endian assumed (x86/ARM)
+    k *= c1;
+    k = rotl32(k, 15);
+    k *= c2;
+    h ^= k;
+    h = rotl32(h, 13);
+    h = h * 5 + 0xe6546b64U;
+  }
+
+  std::uint32_t k1 = 0;
+  const std::size_t tail = nblocks * 4;
+  switch (data.size() & 3U) {
+    case 3: k1 ^= static_cast<std::uint32_t>(data[tail + 2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<std::uint32_t>(data[tail + 1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<std::uint32_t>(data[tail]);
+      k1 *= c1;
+      k1 = rotl32(k1, 15);
+      k1 *= c2;
+      h ^= k1;
+      break;
+    default: break;
+  }
+
+  h ^= static_cast<std::uint32_t>(data.size());
+  return murmur3_fmix32(h);
+}
+
+}  // namespace rfid::hash

@@ -1,0 +1,74 @@
+#include "hash/siphash.h"
+
+#include <cstring>
+
+namespace rfid::hash {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl64(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  explicit constexpr SipState(SipKey key) noexcept
+      : v0(key.k0 ^ 0x736f6d6570736575ULL),
+        v1(key.k1 ^ 0x646f72616e646f6dULL),
+        v2(key.k0 ^ 0x6c7967656e657261ULL),
+        v3(key.k1 ^ 0x7465646279746573ULL) {}
+
+  constexpr void round() noexcept {
+    v0 += v1; v1 = rotl64(v1, 13); v1 ^= v0; v0 = rotl64(v0, 32);
+    v2 += v3; v3 = rotl64(v3, 16); v3 ^= v2;
+    v0 += v3; v3 = rotl64(v3, 21); v3 ^= v0;
+    v2 += v1; v1 = rotl64(v1, 17); v1 ^= v2; v2 = rotl64(v2, 32);
+  }
+
+  constexpr void compress(std::uint64_t m) noexcept {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t finalize() noexcept {
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(std::span<const std::byte> data, SipKey key) noexcept {
+  SipState s(key);
+  const std::size_t full_words = data.size() / 8;
+  for (std::size_t i = 0; i < full_words; ++i) {
+    std::uint64_t m;
+    std::memcpy(&m, data.data() + i * 8, 8);  // little-endian assumed
+    s.compress(m);
+  }
+  // Final word: remaining bytes plus the message length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(data.size() & 0xffU) << 56;
+  const std::size_t tail = full_words * 8;
+  for (std::size_t i = 0; i + tail < data.size(); ++i) {
+    last |= static_cast<std::uint64_t>(data[tail + i]) << (8 * i);
+  }
+  s.compress(last);
+  return s.finalize();
+}
+
+std::uint64_t siphash24_u64(std::uint64_t value, SipKey key) noexcept {
+  SipState s(key);
+  s.compress(value);
+  // One 8-byte word consumed; length byte is 8.
+  s.compress(static_cast<std::uint64_t>(8) << 56);
+  return s.finalize();
+}
+
+}  // namespace rfid::hash

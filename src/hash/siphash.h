@@ -1,0 +1,30 @@
+// SipHash-2-4 (Aumasson & Bernstein), reimplemented from the specification.
+//
+// A keyed PRF. In the untrusted-reader setting the server can key the slot
+// hash so that a dishonest reader cannot precompute slot assignments for tags
+// whose IDs it managed to learn; the paper leaves h abstract, and this is the
+// cryptographically strongest of the three options offered.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rfid::hash {
+
+/// 128-bit SipHash key.
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+/// SipHash-2-4 over an arbitrary byte sequence.
+[[nodiscard]] std::uint64_t siphash24(std::span<const std::byte> data,
+                                      SipKey key) noexcept;
+
+/// SipHash-2-4 over the 8 little-endian bytes of one 64-bit word — the fast
+/// path used by slot selection.
+[[nodiscard]] std::uint64_t siphash24_u64(std::uint64_t value, SipKey key) noexcept;
+
+}  // namespace rfid::hash

@@ -1,0 +1,14 @@
+#include "hash/slot_hash.h"
+
+namespace rfid::hash {
+
+std::string_view to_string(HashKind kind) noexcept {
+  switch (kind) {
+    case HashKind::kFnv1a64: return "fnv1a64";
+    case HashKind::kMurmurFmix64: return "murmur-fmix64";
+    case HashKind::kSipHash24: return "siphash-2-4";
+  }
+  return "unknown";
+}
+
+}  // namespace rfid::hash

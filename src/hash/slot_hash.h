@@ -1,0 +1,67 @@
+// Slot selection: the paper's  sn = h(ID ⊕ r [⊕ ct]) mod f.
+//
+// The paper leaves the hash h abstract; SlotHasher makes it a pluggable
+// choice among the three from-scratch implementations in this library so the
+// uniformity assumption behind Theorem 1 can be tested and ablated
+// (bench/ablation_hash). All parties — tags, readers, and the verifying
+// server — must construct SlotHasher with identical parameters, mirroring
+// the paper's assumption that h is public and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hash/fnv.h"
+#include "hash/murmur.h"
+#include "hash/siphash.h"
+
+namespace rfid::hash {
+
+enum class HashKind : std::uint8_t {
+  kFnv1a64,         // cheapest; weakest mixing
+  kMurmurFmix64,    // default: bijective 64-bit finalizer
+  kSipHash24,       // keyed PRF; strongest
+};
+
+[[nodiscard]] std::string_view to_string(HashKind kind) noexcept;
+
+class SlotHasher {
+ public:
+  /// `key` is only used by SipHash; other kinds ignore it.
+  explicit constexpr SlotHasher(HashKind kind = HashKind::kMurmurFmix64,
+                                SipKey key = {0x0706050403020100ULL,
+                                              0x0f0e0d0c0b0a0908ULL}) noexcept
+      : kind_(kind), key_(key) {}
+
+  [[nodiscard]] constexpr HashKind kind() const noexcept { return kind_; }
+
+  /// Raw 64-bit hash of the mixed word `id ^ r ^ ct`.
+  [[nodiscard]] std::uint64_t mix(std::uint64_t id_word, std::uint64_t r,
+                                  std::uint64_t ct = 0) const noexcept {
+    const std::uint64_t input = id_word ^ r ^ ct;
+    switch (kind_) {
+      case HashKind::kFnv1a64: return fnv1a64_u64(input);
+      case HashKind::kMurmurFmix64: return murmur3_fmix64(input);
+      case HashKind::kSipHash24: return siphash24_u64(input, key_);
+    }
+    return murmur3_fmix64(input);  // unreachable; keeps -Wreturn-type happy
+  }
+
+  /// Slot number in [0, frame_size). frame_size must be nonzero; a zero
+  /// frame would mean "no slots", which no protocol in this library issues.
+  [[nodiscard]] std::uint32_t slot(std::uint64_t id_word, std::uint64_t r,
+                                   std::uint32_t frame_size,
+                                   std::uint64_t ct = 0) const noexcept {
+    // Multiply-shift range reduction avoids the modulo bias a plain
+    // `mix % f` would exhibit for frame sizes near 2^64 (and is faster).
+    const std::uint64_t h = mix(id_word, r, ct);
+    return static_cast<std::uint32_t>(
+        (static_cast<__uint128_t>(h) * frame_size) >> 64);
+  }
+
+ private:
+  HashKind kind_;
+  SipKey key_;
+};
+
+}  // namespace rfid::hash

@@ -1,0 +1,41 @@
+#include "math/approximation.h"
+
+#include <cmath>
+
+#include "math/frame_optimizer.h"
+#include "util/expect.h"
+
+namespace rfid::math {
+
+double detection_probability_mean_field(std::uint64_t n, std::uint64_t x,
+                                        std::uint64_t f) {
+  RFID_EXPECT(x <= n, "cannot have more missing tags than tags");
+  RFID_EXPECT(f >= 1, "frame size must be positive");
+  if (x == 0) return 0.0;
+  const double p_empty =
+      std::exp(-static_cast<double>(n) / static_cast<double>(f));
+  // 1 − (1 − p)^x via expm1/log1p for stability when p is tiny.
+  return -std::expm1(static_cast<double>(x) * std::log1p(-p_empty));
+}
+
+std::uint32_t approximate_trp_frame(std::uint64_t n, std::uint64_t m,
+                                    double alpha) {
+  RFID_EXPECT(n >= 1, "need at least one tag");
+  RFID_EXPECT(m + 1 <= n, "tolerance m must satisfy m + 1 <= n");
+  RFID_EXPECT(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+
+  // Invert 1 − (1 − e^{−n/f})^{m+1} > alpha for f:
+  //   e^{−n/f} > 1 − (1 − alpha)^{1/(m+1)}
+  //   f > −n / ln(1 − (1 − alpha)^{1/(m+1)})
+  const double x = static_cast<double>(m + 1);
+  const double per_tag_miss = std::exp(std::log1p(-alpha) / x);  // (1−α)^{1/x}
+  const double required_empty = 1.0 - per_tag_miss;
+  RFID_EXPECT(required_empty > 0.0 && required_empty < 1.0,
+              "alpha too extreme for the closed form");
+  const double f = -static_cast<double>(n) / std::log(required_empty);
+  RFID_EXPECT(f < static_cast<double>(kMaxFrameSize),
+              "closed-form frame exceeds the supported maximum");
+  return static_cast<std::uint32_t>(std::ceil(f));
+}
+
+}  // namespace rfid::math

@@ -1,0 +1,29 @@
+// Closed-form approximations to Theorem 1 and Eq. (2).
+//
+// Replacing the Binomial(f, p) average in Theorem 1 with its mean-field
+// value N0 ≈ f·e^{−n/f} gives
+//     g(n, x, f) ≈ 1 − (1 − e^{−n/f})^x
+// which inverts in closed form:
+//     f*(n, m, α) ≈ −n / ln(1 − (1 − α)^{1/(m+1)})
+// Accurate to a few slots — a couple percent relative, worst at small n —
+// across the paper's whole grid (tests pin the error), it serves three roles: a sanity oracle for the exact optimizer, a
+// cheap bracket hint that makes optimize_trp_frame start its search next to
+// the answer, and the form practitioners can put on a whiteboard.
+#pragma once
+
+#include <cstdint>
+
+namespace rfid::math {
+
+/// Mean-field detection probability: 1 − (1 − e^{−n/f})^x.
+/// Preconditions as detection_probability (x <= n, f >= 1).
+[[nodiscard]] double detection_probability_mean_field(std::uint64_t n,
+                                                      std::uint64_t x,
+                                                      std::uint64_t f);
+
+/// Closed-form frame size: smallest f with the mean-field g above alpha,
+/// rounded up. Requires m + 1 <= n and alpha in (0, 1).
+[[nodiscard]] std::uint32_t approximate_trp_frame(std::uint64_t n,
+                                                  std::uint64_t m, double alpha);
+
+}  // namespace rfid::math

@@ -1,0 +1,52 @@
+#include "math/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace rfid::math {
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  RFID_EXPECT(k <= n, "binomial coefficient requires k <= n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double log_binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  RFID_EXPECT(k <= n, "binomial pmf requires k <= n");
+  RFID_EXPECT(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  if (p == 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (p == 1.0) return k == n ? 0.0 : kNegInf;
+  return log_binomial_coefficient(n, k) +
+         static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  return std::exp(log_binomial_pmf(n, k, p));
+}
+
+OutcomeRange significant_range(std::uint64_t n, double p, double tail_epsilon) {
+  RFID_EXPECT(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  RFID_EXPECT(tail_epsilon > 0.0 && tail_epsilon < 1.0, "epsilon out of (0,1)");
+  if (p == 0.0) return {0, 0};
+  if (p == 1.0) return {n, n};
+  const double mean = static_cast<double>(n) * p;
+  const double sigma = std::sqrt(static_cast<double>(n) * p * (1.0 - p));
+  // Gaussian tail bound: P(|X−mean| > z·sigma) <= 2·exp(−z²/2); solve for z
+  // and pad generously. The +3 absolute slack covers tiny-sigma cases.
+  const double z = std::sqrt(-2.0 * std::log(tail_epsilon / 2.0)) + 1.0;
+  const double lo_f = std::floor(mean - z * sigma - 3.0);
+  const double hi_f = std::ceil(mean + z * sigma + 3.0);
+  OutcomeRange range;
+  range.lo = lo_f <= 0.0 ? 0 : static_cast<std::uint64_t>(lo_f);
+  range.hi = hi_f >= static_cast<double>(n) ? n : static_cast<std::uint64_t>(hi_f);
+  range.lo = std::min(range.lo, n);
+  return range;
+}
+
+}  // namespace rfid::math

@@ -1,0 +1,62 @@
+// Binomial distribution utilities used by the paper's analysis.
+//
+// Theorem 1 sums a Binomial(f, p) pmf over all f+1 outcomes; for the frame
+// sizes this library optimizes (up to tens of thousands of slots) the pmf
+// mass is concentrated in an O(√f) window around the mean, so every consumer
+// here iterates only the significant range. Probabilities are computed with
+// an incremental recurrence seeded from a log-space evaluation at the mode,
+// which is stable for all n, p encountered.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace rfid::math {
+
+/// log C(n, k) via lgamma; requires k <= n.
+[[nodiscard]] double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// log pmf of Binomial(n, p) at k; -inf when the outcome is impossible.
+/// Requires k <= n and p in [0, 1].
+[[nodiscard]] double log_binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// pmf of Binomial(n, p) at k.
+[[nodiscard]] double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Closed interval [lo, hi] of outcomes outside which the Binomial(n, p)
+/// pmf contributes less than ~`tail_epsilon` total mass on each side
+/// (computed as mean ± z·sigma with z chosen from the epsilon).
+struct OutcomeRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+[[nodiscard]] OutcomeRange significant_range(std::uint64_t n, double p,
+                                             double tail_epsilon = 1e-12);
+
+/// Calls fn(k, pmf) for every k in the significant range of Binomial(n, p),
+/// in increasing k. pmf values are computed with the multiplicative
+/// recurrence pmf(k+1) = pmf(k)·(n−k)/(k+1)·p/(1−p), seeded at the mode.
+template <typename Fn>
+void for_each_binomial_outcome(std::uint64_t n, double p, Fn&& fn,
+                               double tail_epsilon = 1e-12) {
+  if (p <= 0.0) {
+    fn(std::uint64_t{0}, 1.0);
+    return;
+  }
+  if (p >= 1.0) {
+    fn(n, 1.0);
+    return;
+  }
+  const OutcomeRange range = significant_range(n, p, tail_epsilon);
+  const double ratio = p / (1.0 - p);
+  double pmf = binomial_pmf(n, range.lo, p);
+  for (std::uint64_t k = range.lo;; ++k) {
+    fn(k, pmf);
+    if (k == range.hi) break;
+    // pmf(k+1) from pmf(k); guarded against underflow to keep the loop sane.
+    pmf *= (static_cast<double>(n - k) / static_cast<double>(k + 1)) * ratio;
+    if (pmf < 1e-300) pmf = 1e-300;
+  }
+}
+
+}  // namespace rfid::math

@@ -1,0 +1,77 @@
+#include "protocol/air_driver.h"
+
+#include "radio/frame.h"
+#include "util/expect.h"
+
+namespace rfid::protocol {
+
+namespace {
+
+/// Schedules one medium occupancy of `duration` and records its completion.
+void occupy_medium(sim::EventQueue& queue, double duration, AirEventKind kind,
+                   std::uint32_t slot, AirRunResult& result, double& cursor) {
+  cursor += duration;
+  queue.schedule_at(cursor, [&result, kind, slot, at = cursor] {
+    result.timeline.push_back(AirEvent{at, kind, slot});
+  });
+}
+
+}  // namespace
+
+AirRunResult AirDriver::run_trp_round(sim::EventQueue& queue,
+                                      std::span<const tag::Tag> present,
+                                      const TrpChallenge& challenge,
+                                      util::Rng& rng) const {
+  RFID_EXPECT(challenge.frame_size >= 1, "challenge has no slots");
+  const radio::FrameObservation obs = radio::simulate_frame(
+      present, hasher_, challenge.r, challenge.frame_size, channel_, rng);
+
+  AirRunResult result;
+  result.bitstring = obs.bitstring;
+  double cursor = queue.now();
+  occupy_medium(queue, timing_.query_broadcast_us, AirEventKind::kQueryBroadcast,
+                0, result, cursor);
+  for (std::uint32_t slot = 0; slot < challenge.frame_size; ++slot) {
+    const bool occupied = obs.bitstring.test(slot);
+    occupy_medium(queue,
+                  occupied ? timing_.short_reply_slot_us : timing_.empty_slot_us,
+                  occupied ? AirEventKind::kReplySlot : AirEventKind::kEmptySlot,
+                  slot, result, cursor);
+  }
+  (void)queue.run(cursor);
+  result.finish_us = cursor;
+  return result;
+}
+
+AirRunResult AirDriver::run_utrp_round(sim::EventQueue& queue,
+                                       std::span<tag::Tag> present,
+                                       const UtrpChallenge& challenge) const {
+  const UtrpScanResult scan = utrp_scan(present, hasher_, challenge);
+
+  AirRunResult result;
+  result.bitstring = scan.bitstring;
+  double cursor = queue.now();
+  occupy_medium(queue, timing_.query_broadcast_us, AirEventKind::kQueryBroadcast,
+                0, result, cursor);
+  // Every observed reply except (possibly) a frame-final one was followed by
+  // a re-seed broadcast; emit them in slot order until the count is spent.
+  std::uint64_t reseeds_left = scan.reseeds;
+  for (std::uint32_t slot = 0; slot < challenge.frame_size; ++slot) {
+    const bool occupied = scan.bitstring.test(slot);
+    occupy_medium(queue,
+                  occupied ? timing_.short_reply_slot_us : timing_.empty_slot_us,
+                  occupied ? AirEventKind::kReplySlot : AirEventKind::kEmptySlot,
+                  slot, result, cursor);
+    if (occupied && reseeds_left > 0) {
+      --reseeds_left;
+      occupy_medium(queue, timing_.reseed_broadcast_us,
+                    AirEventKind::kReseedBroadcast, slot, result, cursor);
+    }
+  }
+  RFID_ENSURE(reseeds_left == 0, "re-seed accounting drifted from the walk");
+  (void)queue.run(cursor);
+  result.finish_us = cursor;
+  return result;
+}
+
+}  // namespace rfid::protocol

@@ -1,0 +1,70 @@
+// Discrete-event execution of protocol rounds on the simulated air interface.
+//
+// The figure benches only need slot *counts*; the timing analyses of
+// Sec. 5.4 (deadline t, STmin/STmax envelopes, adversary budget c) need slot
+// *times*. AirDriver replays a round on sim::EventQueue with one event per
+// medium occupancy — query broadcast, each slot boundary, every UTRP re-seed
+// broadcast — using radio::TimingModel durations. The result carries the
+// bitstring, the exact finish time, and the full timeline, so tests can
+// assert that event-driven time equals the closed-form scan-time formulas
+// and examples can derive realistic deadlines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "protocol/messages.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "radio/timing.h"
+#include "sim/event_queue.h"
+
+namespace rfid::protocol {
+
+enum class AirEventKind : std::uint8_t {
+  kQueryBroadcast,   // initial (f, r) announcement
+  kEmptySlot,
+  kReplySlot,
+  kReseedBroadcast,  // UTRP (f', r_next)
+};
+
+struct AirEvent {
+  sim::SimTime at = 0.0;  // time the medium became free again (end of event)
+  AirEventKind kind = AirEventKind::kQueryBroadcast;
+  std::uint32_t slot = 0;  // global slot index for slot events
+};
+
+struct AirRunResult {
+  bits::Bitstring bitstring;
+  double finish_us = 0.0;
+  std::vector<AirEvent> timeline;
+};
+
+class AirDriver {
+ public:
+  explicit AirDriver(radio::TimingModel timing = {},
+                     hash::SlotHasher hasher = hash::SlotHasher{},
+                     radio::ChannelModel channel = {})
+      : timing_(timing), hasher_(hasher), channel_(channel) {}
+
+  /// One TRP round, event by event. `queue` keeps advancing from its current
+  /// time (rounds can be chained on one queue).
+  [[nodiscard]] AirRunResult run_trp_round(sim::EventQueue& queue,
+                                           std::span<const tag::Tag> present,
+                                           const TrpChallenge& challenge,
+                                           util::Rng& rng) const;
+
+  /// One UTRP round (ideal channel): tags mutate exactly as in utrp_scan;
+  /// each observed reply additionally costs a re-seed broadcast.
+  [[nodiscard]] AirRunResult run_utrp_round(sim::EventQueue& queue,
+                                            std::span<tag::Tag> present,
+                                            const UtrpChallenge& challenge) const;
+
+ private:
+  radio::TimingModel timing_;
+  hash::SlotHasher hasher_;
+  radio::ChannelModel channel_;
+};
+
+}  // namespace rfid::protocol

@@ -1,0 +1,92 @@
+#include "protocol/collect_all.h"
+
+#include <vector>
+
+#include "radio/frame.h"
+#include "util/expect.h"
+
+namespace rfid::protocol {
+
+CollectAllResult run_collect_all(std::span<const tag::Tag> present,
+                                 const hash::SlotHasher& hasher,
+                                 const CollectAllConfig& config,
+                                 util::Rng& rng) {
+  RFID_EXPECT(config.stop_after_collected <= present.size(),
+              "cannot collect more tags than are present");
+
+  CollectAllResult result;
+  // Indices of tags not yet identified; shrinks as singletons are read.
+  std::vector<std::size_t> unidentified(present.size());
+  for (std::size_t i = 0; i < present.size(); ++i) unidentified[i] = i;
+
+  while (result.collected < config.stop_after_collected) {
+    RFID_ENSURE(!unidentified.empty(),
+                "ran out of tags before reaching the collection target");
+    std::uint32_t f;
+    if (result.rounds == 0 && config.initial_frame != 0) {
+      f = config.initial_frame;
+    } else {
+      // Lee et al. [7]: the optimal frame size equals the number of
+      // unidentified tags.
+      f = static_cast<std::uint32_t>(unidentified.size());
+    }
+    if (f == 0) f = 1;
+    ++result.rounds;
+    result.total_slots += f;
+
+    const std::uint64_t r = rng();
+    // Per-slot occupancy and, for singleton candidates, which tag replied.
+    std::vector<std::uint32_t> occupancy(f, 0);
+    std::vector<std::size_t> lone_tag(f, 0);
+    for (const std::size_t i : unidentified) {
+      const std::uint32_t slot = present[i].trp_slot(hasher, r, f);
+      ++occupancy[slot];
+      lone_tag[slot] = i;
+    }
+
+    std::vector<std::size_t> still_unidentified;
+    still_unidentified.reserve(unidentified.size());
+    std::vector<bool> read_this_round(f, false);
+    for (std::uint32_t slot = 0; slot < f; ++slot) {
+      const radio::SlotOutcome outcome =
+          radio::resolve_slot(occupancy[slot], config.channel, rng);
+      switch (outcome) {
+        case radio::SlotOutcome::kEmpty:
+          ++result.empty_slots;
+          break;
+        case radio::SlotOutcome::kSingle:
+          // A decoded ID. With capture effects the decoded tag is one of the
+          // colliders; occupancy==1 is the common case where it is lone_tag.
+          ++result.singleton_slots;
+          if (occupancy[slot] == 1) {
+            read_this_round[slot] = true;
+            ++result.collected;
+          } else {
+            // Captured slot: one collider is read; the rest must retry. We
+            // credit lone_tag (the last writer) as the captured one.
+            read_this_round[slot] = true;
+            ++result.collected;
+          }
+          break;
+        case radio::SlotOutcome::kCollision:
+          ++result.collision_slots;
+          break;
+      }
+    }
+
+    // Rebuild the unidentified list: drop tags whose slot decoded them.
+    for (const std::size_t i : unidentified) {
+      const std::uint32_t slot = present[i].trp_slot(hasher, r, f);
+      const bool read =
+          read_this_round[slot] &&
+          (occupancy[slot] == 1 || lone_tag[slot] == i);  // captured tag only
+      if (!read) still_unidentified.push_back(i);
+    }
+    unidentified = std::move(still_unidentified);
+
+    if (result.collected >= config.stop_after_collected) break;
+  }
+  return result;
+}
+
+}  // namespace rfid::protocol

@@ -1,0 +1,56 @@
+// The paper's baseline: "collect all" — dynamic framed slotted ALOHA ID
+// collection (Sec. 1, Sec. 6).
+//
+// The reader repeatedly announces a frame; each unidentified tag picks a
+// slot and transmits its full ID. Singleton slots are collected and those
+// tags silenced; collided tags retry in the next round. Following the
+// evaluation setup, the frame size of each round equals the number of tags
+// still unidentified (the optimum shown by Lee et al. [7]), with the first
+// round at f = n. To honor the tolerance m, collection stops as soon as
+// n − m IDs have been gathered; the reported cost is the sum of all frame
+// sizes (Fig. 4's y-axis).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hash/slot_hash.h"
+#include "radio/channel.h"
+#include "radio/timing.h"
+#include "tag/tag.h"
+#include "util/random.h"
+
+namespace rfid::protocol {
+
+struct CollectAllConfig {
+  /// Stop once this many IDs are collected (the paper uses n − m).
+  std::uint64_t stop_after_collected = 0;
+  /// Initial frame size; 0 means "number of present tags" (paper: f = n).
+  std::uint32_t initial_frame = 0;
+  radio::ChannelModel channel = {};
+};
+
+struct CollectAllResult {
+  std::uint64_t total_slots = 0;      // Σ frame sizes over all rounds
+  std::uint64_t rounds = 0;
+  std::uint64_t collected = 0;        // IDs successfully read
+  std::uint64_t empty_slots = 0;
+  std::uint64_t singleton_slots = 0;
+  std::uint64_t collision_slots = 0;
+
+  /// Wall-clock cost under a timing model (IDs occupy long slots).
+  [[nodiscard]] double elapsed_us(const radio::TimingModel& timing) const noexcept {
+    return timing.collect_all_us(empty_slots, singleton_slots, collision_slots,
+                                 rounds);
+  }
+};
+
+/// Runs collect-all over the present tags. Each round uses a fresh random
+/// number from `rng`; slot choice is the same h(id ⊕ r) mod f as TRP, so
+/// baseline and protocol share the hashing substrate.
+[[nodiscard]] CollectAllResult run_collect_all(std::span<const tag::Tag> present,
+                                               const hash::SlotHasher& hasher,
+                                               const CollectAllConfig& config,
+                                               util::Rng& rng);
+
+}  // namespace rfid::protocol

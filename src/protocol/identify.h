@@ -1,0 +1,69 @@
+// Missing-tag IDENTIFICATION (extension): not just "something is missing"
+// but "these exact tags are missing" — still without transmitting any ID
+// over the air.
+//
+// This paper founded the missing-tag detection line; the natural follow-up
+// problem (addressed by later work in the same line) is identification. The
+// same bitstring machinery solves it:
+//
+//   Per round, with challenge (f, r), the server knows every tag's slot.
+//   * A slot the server expects occupied but observes EMPTY proves that
+//     every tag mapping to it is absent (present tags always reply).
+//   * A slot with exactly ONE expected mapper observed OCCUPIED proves that
+//     tag present (nobody else could have replied there).
+//   * Slots with several expected mappers observed occupied are ambiguous;
+//     those tags stay "unknown" and are re-examined next round under fresh
+//     randomness.
+//
+//   Rounds repeat until no tag is unknown (or a round cap is hit). Frames
+//   are sized to the tags that still reply — proven-present tags cannot be
+//   silenced without addressing them by ID, so f ≈ (enrolled − proven
+//   missing). At load ≈ 1 each round proves a constant expected fraction of
+//   the unknowns (sole-mapper / empty-slot probabilities are both ≈ e^{-1}),
+//   so the round count is O(log n) and total slots O(n log n).
+//
+// The verdicts are *proofs* under the ideal-channel model: no false
+// accusations and no false clearances (tests assert exactness). Reply loss
+// turns "missing" verdicts into suspicions — callers on lossy links should
+// re-run or demand the same verdict twice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/slot_hash.h"
+#include "radio/channel.h"
+#include "tag/tag.h"
+#include "tag/tag_id.h"
+#include "util/random.h"
+
+namespace rfid::protocol {
+
+struct IdentifyConfig {
+  /// Per-round frame size as a multiple of the tags still replying (enrolled
+  /// minus proven-missing). Load factor 1 is near-optimal; larger trades
+  /// slots for rounds.
+  double frame_load = 1.0;
+  /// Give up after this many rounds (0 slots left unknown on exit is the
+  /// common case well before this cap).
+  std::uint32_t max_rounds = 64;
+  radio::ChannelModel channel = {};
+};
+
+struct IdentifyResult {
+  std::vector<tag::TagId> missing;    // proven absent
+  std::vector<tag::TagId> present;    // proven present
+  std::vector<tag::TagId> unresolved; // round cap hit before classification
+  std::uint64_t rounds = 0;
+  std::uint64_t total_slots = 0;
+};
+
+/// Runs the identification campaign: `enrolled` is the server's ID list,
+/// `present_tags` the physically present population the reader can reach.
+/// `rng` drives challenge randomness (and channel noise, if any).
+[[nodiscard]] IdentifyResult identify_missing_tags(
+    const std::vector<tag::TagId>& enrolled,
+    std::span<const tag::Tag> present_tags, const hash::SlotHasher& hasher,
+    const IdentifyConfig& config, util::Rng& rng);
+
+}  // namespace rfid::protocol

@@ -1,0 +1,90 @@
+#include "protocol/multi_round.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace rfid::protocol {
+
+namespace {
+
+[[nodiscard]] double per_round_alpha(double alpha, std::uint32_t rounds) {
+  // 1 − (1 − α)^{1/k}, computed via expm1/log1p for accuracy near α → 1.
+  return -std::expm1(std::log1p(-alpha) / rounds);
+}
+
+}  // namespace
+
+MultiRoundPlan plan_multi_round_trp(std::uint64_t n, std::uint64_t m,
+                                    double alpha, std::uint32_t rounds,
+                                    math::EmptySlotModel model) {
+  RFID_EXPECT(rounds >= 1, "need at least one round");
+  RFID_EXPECT(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+
+  MultiRoundPlan plan;
+  plan.rounds = rounds;
+  plan.per_round_alpha = per_round_alpha(alpha, rounds);
+  const auto single = math::optimize_trp_frame(n, m, plan.per_round_alpha, model);
+  plan.frame_size = single.frame_size;
+  plan.per_round_detection = single.predicted_detection;
+  // Overall miss = per-round miss^k.
+  plan.predicted_detection =
+      -std::expm1(static_cast<double>(rounds) *
+                  std::log1p(-plan.per_round_detection));
+  plan.total_slots =
+      static_cast<std::uint64_t>(rounds) * static_cast<std::uint64_t>(plan.frame_size);
+  RFID_ENSURE(plan.predicted_detection > alpha,
+              "amplified detection must satisfy the overall target");
+  return plan;
+}
+
+MultiRoundPlan optimize_round_count(std::uint64_t n, std::uint64_t m,
+                                    double alpha, std::uint32_t max_rounds,
+                                    math::EmptySlotModel model) {
+  RFID_EXPECT(max_rounds >= 1, "need at least one candidate round count");
+  MultiRoundPlan best = plan_multi_round_trp(n, m, alpha, 1, model);
+  for (std::uint32_t k = 2; k <= max_rounds; ++k) {
+    const MultiRoundPlan candidate = plan_multi_round_trp(n, m, alpha, k, model);
+    if (candidate.total_slots < best.total_slots) best = candidate;
+  }
+  return best;
+}
+
+MultiRoundTrpServer::MultiRoundTrpServer(std::vector<tag::TagId> ids,
+                                         MonitoringPolicy policy,
+                                         std::uint32_t rounds,
+                                         hash::SlotHasher hasher)
+    : single_(std::move(ids),
+              MonitoringPolicy{
+                  .tolerated_missing = policy.tolerated_missing,
+                  .confidence = per_round_alpha(policy.confidence, rounds),
+                  .model = policy.model},
+              hasher),
+      plan_(plan_multi_round_trp(single_.group_size(), policy.tolerated_missing,
+                                 policy.confidence, rounds, policy.model)) {}
+
+std::vector<TrpChallenge> MultiRoundTrpServer::issue_challenges(
+    util::Rng& rng) const {
+  std::vector<TrpChallenge> challenges;
+  challenges.reserve(plan_.rounds);
+  for (std::uint32_t k = 0; k < plan_.rounds; ++k) {
+    challenges.push_back(single_.issue_challenge(rng));
+  }
+  return challenges;
+}
+
+Verdict MultiRoundTrpServer::verify(
+    const std::vector<TrpChallenge>& challenges,
+    const std::vector<bits::Bitstring>& reported) const {
+  RFID_EXPECT(challenges.size() == plan_.rounds, "expected one challenge per round");
+  RFID_EXPECT(reported.size() == plan_.rounds, "expected one bitstring per round");
+  Verdict verdict;
+  verdict.intact = true;
+  for (std::uint32_t k = 0; k < plan_.rounds; ++k) {
+    const Verdict round = single_.verify(challenges[k], reported[k]);
+    if (!round.intact) return round;  // first failing round describes the alert
+  }
+  return verdict;
+}
+
+}  // namespace rfid::protocol

@@ -1,0 +1,32 @@
+#include "protocol/provisioning.h"
+
+#include "util/expect.h"
+
+namespace rfid::protocol {
+
+TrpChallengeBook::TrpChallengeBook(const TrpServer& server, std::size_t count,
+                                   util::Rng& rng)
+    : server_(server), used_(count, false), remaining_(count) {
+  RFID_EXPECT(count >= 1, "an empty challenge book is useless");
+  challenges_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    challenges_.push_back(server_.issue_challenge(rng));
+  }
+}
+
+bool TrpChallengeBook::used(std::size_t index) const {
+  RFID_EXPECT(index < used_.size(), "challenge index out of range");
+  return used_[index];
+}
+
+Verdict TrpChallengeBook::verify_once(std::size_t index,
+                                      const bits::Bitstring& reported) {
+  RFID_EXPECT(index < challenges_.size(), "challenge index out of range");
+  RFID_EXPECT(!used_[index],
+              "challenge already consumed: refusing a possible replay");
+  used_[index] = true;
+  --remaining_;
+  return server_.verify(challenges_[index], reported);
+}
+
+}  // namespace rfid::protocol

@@ -1,0 +1,48 @@
+// Challenge pre-provisioning (Sec. 4.2): "the server can either communicate
+// a new (f, r) each time the reader executes TRP, or the server can issue a
+// list of different (f, r) pairs to the reader ahead of time."
+//
+// The security obligation that comes with the second option is single-use:
+// a challenge whose bitstring has been seen must never verify again,
+// otherwise the replay attack of Sec. 5.1 returns through the side door.
+// ChallengeBook enforces that: each pre-issued challenge verifies exactly
+// once; a second submission — identical or not — is rejected as a replay,
+// and the book tracks how much budget remains so operators can re-provision
+// before a disconnected site runs dry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/trp.h"
+
+namespace rfid::protocol {
+
+class TrpChallengeBook {
+ public:
+  /// Pre-issues `count` challenges from `server`. The book keeps a reference
+  /// to the server for verification; it must not outlive it.
+  TrpChallengeBook(const TrpServer& server, std::size_t count, util::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return challenges_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return remaining_; }
+  [[nodiscard]] bool used(std::size_t index) const;
+  /// The pre-issued list, e.g. to ship to a disconnected reader.
+  [[nodiscard]] const std::vector<TrpChallenge>& challenges() const noexcept {
+    return challenges_;
+  }
+
+  /// One-shot verification of the bitstring for challenge `index`.
+  /// A second call for the same index throws std::invalid_argument —
+  /// accepting it would re-admit the replay attack.
+  [[nodiscard]] Verdict verify_once(std::size_t index,
+                                    const bits::Bitstring& reported);
+
+ private:
+  const TrpServer& server_;
+  std::vector<TrpChallenge> challenges_;
+  std::vector<bool> used_;
+  std::size_t remaining_;
+};
+
+}  // namespace rfid::protocol

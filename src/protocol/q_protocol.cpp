@@ -1,0 +1,80 @@
+#include "protocol/q_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace rfid::protocol {
+
+QProtocolResult run_q_protocol(std::span<const tag::Tag> present,
+                               const QProtocolConfig& config, util::Rng& rng) {
+  RFID_EXPECT(config.stop_after_collected <= present.size(),
+              "cannot collect more tags than are present");
+  RFID_EXPECT(config.step_c > 0.0 && config.step_c <= 1.0,
+              "C must be in (0, 1]");
+  RFID_EXPECT(config.initial_q >= 0.0 && config.initial_q <= 15.0,
+              "Q must be within the spec's 0..15");
+
+  QProtocolResult result;
+  result.final_q = config.initial_q;
+  if (config.stop_after_collected == 0) return result;
+
+  double qfp = config.initial_q;
+  std::uint64_t uncollected = present.size();
+  std::vector<std::uint32_t> histogram;
+
+  // One Query/QueryAdjust: every unidentified tag draws a counter in
+  // [0, 2^Q); the reader then steps through slots with QueryReps.
+  auto issue_query = [&](std::uint32_t q) {
+    const std::uint32_t slots = 1u << q;
+    histogram.assign(slots, 0);
+    for (std::uint64_t i = 0; i < uncollected; ++i) {
+      ++histogram[rng.below(slots)];
+    }
+  };
+
+  auto current_q = static_cast<std::uint32_t>(std::llround(qfp));
+  issue_query(current_q);
+  ++result.query_adjusts;  // the opening Query
+  ++result.total_slots;    // ... which occupies the medium like any broadcast
+
+  std::uint32_t slot = 0;
+  while (result.collected < config.stop_after_collected) {
+    RFID_ENSURE(uncollected > 0, "ran out of tags before the target");
+
+    if (slot >= histogram.size() ||
+        static_cast<std::uint32_t>(std::llround(qfp)) != current_q) {
+      // Round exhausted, or the Q estimate moved: re-randomize everyone
+      // still unidentified (QueryAdjust / fresh Query).
+      current_q = static_cast<std::uint32_t>(std::llround(qfp));
+      issue_query(current_q);
+      ++result.query_adjusts;
+      ++result.total_slots;  // the adjust broadcast occupies the medium too
+      slot = 0;
+      continue;
+    }
+
+    const std::uint32_t occupancy = histogram[slot];
+    ++slot;
+    ++result.total_slots;
+    if (occupancy == 0) {
+      ++result.empty_slots;
+      qfp = std::max(0.0, qfp - config.step_c);
+    } else if (occupancy == 1) {
+      ++result.singleton_slots;
+      ++result.collected;
+      --uncollected;
+    } else {
+      ++result.collision_slots;
+      qfp = std::min(15.0, qfp + config.step_c);
+      // Colliding tags back off until the next Query/QueryAdjust; they are
+      // re-included by the next issue_query via `uncollected`.
+    }
+  }
+  result.final_q = qfp;
+  return result;
+}
+
+}  // namespace rfid::protocol

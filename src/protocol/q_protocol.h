@@ -1,0 +1,46 @@
+// EPC C1G2 "Q algorithm" ID collection — the standardized baseline.
+//
+// Commercial Gen2 readers do not size frames with Lee et al.'s estimator;
+// they run the slot-count (Q) algorithm from the EPCglobal Class-1 Gen-2
+// spec: a float Qfp is nudged up on collisions and down on empties, and
+// whenever round(Qfp) departs from the current Q the reader issues a
+// QueryAdjust that makes every unidentified tag re-draw a slot counter in
+// [0, 2^Q). This module implements that loop at slot granularity so the
+// Fig. 4-style comparison can include the protocol actually deployed in the
+// field (bench/bench_baselines).
+//
+// Model notes: tags draw true random counters (Gen2 tags carry an RNG —
+// unlike TRP's deterministic hash); every QueryRep/Query/QueryAdjust
+// occupies one slot-equivalent; singleton slots deliver one ID.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tag/tag.h"
+#include "util/random.h"
+
+namespace rfid::protocol {
+
+struct QProtocolConfig {
+  double initial_q = 4.0;   // spec default
+  double step_c = 0.3;      // spec suggests 0.1 <= C <= 0.5
+  std::uint64_t stop_after_collected = 0;
+};
+
+struct QProtocolResult {
+  std::uint64_t total_slots = 0;
+  std::uint64_t collected = 0;
+  std::uint64_t empty_slots = 0;
+  std::uint64_t singleton_slots = 0;
+  std::uint64_t collision_slots = 0;
+  std::uint64_t query_adjusts = 0;  // re-randomization broadcasts issued
+  double final_q = 0.0;
+};
+
+/// Runs the Q algorithm until `stop_after_collected` IDs are gathered.
+[[nodiscard]] QProtocolResult run_q_protocol(std::span<const tag::Tag> present,
+                                             const QProtocolConfig& config,
+                                             util::Rng& rng);
+
+}  // namespace rfid::protocol

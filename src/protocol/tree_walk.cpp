@@ -1,0 +1,70 @@
+#include "protocol/tree_walk.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace rfid::protocol {
+
+TreeWalkResult run_tree_walk(std::span<const tag::Tag> present,
+                             std::uint64_t stop_after_collected) {
+  RFID_EXPECT(stop_after_collected <= present.size(),
+              "cannot collect more tags than are present");
+
+  // Sort the 64-bit slot words once; every prefix then corresponds to a
+  // contiguous range, so "how many tags match prefix p of length L" is two
+  // binary searches.
+  std::vector<std::uint64_t> words;
+  words.reserve(present.size());
+  for (const tag::Tag& t : present) words.push_back(t.id().slot_word());
+  std::sort(words.begin(), words.end());
+
+  TreeWalkResult result;
+  if (stop_after_collected == 0) return result;
+
+  // Depth-first reader walk, 0-subtree before 1-subtree, exactly the
+  // broadcast order of a real tree-walking reader. Stack entries are
+  // (prefix, length); length 0 is the initial "everyone" query.
+  struct Node {
+    std::uint64_t prefix;
+    std::uint32_t length;
+  };
+  std::vector<Node> stack{{0, 0}};
+
+  while (!stack.empty() && result.collected < stop_after_collected) {
+    const Node node = stack.back();
+    stack.pop_back();
+
+    // Range of sorted words starting with `prefix` (top `length` bits).
+    std::uint64_t lo_word = 0;
+    std::uint64_t hi_word = ~std::uint64_t{0};
+    if (node.length > 0) {
+      lo_word = node.prefix << (64 - node.length);
+      const std::uint64_t span_mask =
+          node.length == 64 ? 0 : (~std::uint64_t{0} >> node.length);
+      hi_word = lo_word | span_mask;
+    }
+    const auto lo = std::lower_bound(words.begin(), words.end(), lo_word);
+    const auto hi = std::upper_bound(words.begin(), words.end(), hi_word);
+    const auto matching = static_cast<std::uint64_t>(hi - lo);
+
+    ++result.total_queries;
+    result.max_depth = std::max(result.max_depth, node.length);
+    if (matching == 0) {
+      ++result.empty_queries;
+    } else if (matching == 1) {
+      ++result.singleton_queries;
+      ++result.collected;
+    } else {
+      ++result.collision_queries;
+      RFID_ENSURE(node.length < 64, "distinct tags share a full 64-bit word");
+      // Push 1-child first so the 0-child is broadcast next (DFS order).
+      stack.push_back({(node.prefix << 1) | 1, node.length + 1});
+      stack.push_back({node.prefix << 1, node.length + 1});
+    }
+  }
+  return result;
+}
+
+}  // namespace rfid::protocol

@@ -1,0 +1,38 @@
+// Query-tree (binary tree walking) ID collection — a second baseline.
+//
+// The related-work section cites tree-based anti-collision ([2], [3]): the
+// reader broadcasts a growing ID prefix; tags whose ID matches reply. An
+// empty response prunes the subtree, a lone reply yields an ID, a collision
+// splits the prefix into prefix·0 and prefix·1. The protocol is
+// deterministic (no RNG on tags) and memoryless, and its query count is
+// n·(2 + log2(n/…)) -ish — worse than dynamic framed ALOHA for uniform IDs,
+// which bench/bench_baselines quantifies against Fig. 4's collect-all.
+//
+// Prefixes match the most-significant bits of the tag's 64-bit slot word
+// (the same word every other protocol hashes), walked depth-first exactly as
+// a reader would; collection can stop early once `stop_after_collected` IDs
+// are in hand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tag/tag.h"
+
+namespace rfid::protocol {
+
+struct TreeWalkResult {
+  std::uint64_t total_queries = 0;  // every broadcast costs one slot
+  std::uint64_t collected = 0;
+  std::uint64_t empty_queries = 0;
+  std::uint64_t singleton_queries = 0;
+  std::uint64_t collision_queries = 0;
+  std::uint32_t max_depth = 0;  // longest prefix broadcast
+};
+
+/// Runs the query-tree protocol over the present tags. Stops once
+/// `stop_after_collected` IDs are collected (<= present.size()).
+[[nodiscard]] TreeWalkResult run_tree_walk(std::span<const tag::Tag> present,
+                                           std::uint64_t stop_after_collected);
+
+}  // namespace rfid::protocol

@@ -1,0 +1,58 @@
+#include "protocol/trp.h"
+
+#include "util/expect.h"
+
+namespace rfid::protocol {
+
+TrpServer::TrpServer(std::vector<tag::TagId> ids, MonitoringPolicy policy,
+                     hash::SlotHasher hasher)
+    : ids_(std::move(ids)), policy_(policy), hasher_(hasher) {
+  RFID_EXPECT(!ids_.empty(), "cannot monitor an empty group");
+  RFID_EXPECT(policy_.tolerated_missing + 1 <= ids_.size(),
+              "tolerance m must satisfy m + 1 <= n");
+  plan_ = math::optimize_trp_frame(ids_.size(), policy_.tolerated_missing,
+                                   policy_.confidence, policy_.model);
+}
+
+TrpChallenge TrpServer::issue_challenge(util::Rng& rng) const {
+  return TrpChallenge{plan_.frame_size, rng()};
+}
+
+bits::Bitstring TrpServer::expected_bitstring(const TrpChallenge& challenge) const {
+  RFID_EXPECT(challenge.frame_size >= 1, "challenge has no slots");
+  bits::Bitstring bs(challenge.frame_size);
+  for (const tag::TagId& id : ids_) {
+    bs.set(hasher_.slot(id.slot_word(), challenge.r, challenge.frame_size));
+  }
+  return bs;
+}
+
+Verdict TrpServer::verify(const TrpChallenge& challenge,
+                          const bits::Bitstring& reported) const {
+  const bits::Bitstring expected = expected_bitstring(challenge);
+  RFID_EXPECT(reported.size() == expected.size(),
+              "reported bitstring has wrong length");
+  Verdict verdict;
+  verdict.mismatched_slots = expected.hamming_distance(reported);
+  verdict.intact = verdict.mismatched_slots == 0;
+  if (!verdict.intact) {
+    verdict.first_mismatch_slot = *expected.first_difference(reported);
+  }
+  return verdict;
+}
+
+bits::Bitstring TrpReader::scan(std::span<const tag::Tag> present,
+                                const TrpChallenge& challenge,
+                                util::Rng& rng) const {
+  return scan_observed(present, challenge, rng).bitstring;
+}
+
+radio::FrameObservation TrpReader::scan_observed(std::span<const tag::Tag> present,
+                                                 const TrpChallenge& challenge,
+                                                 util::Rng& rng) const {
+  RFID_EXPECT(challenge.frame_size >= 1, "challenge has no slots");
+  return radio::simulate_frame(present, hasher_, challenge.r,
+                               challenge.frame_size, channel_, rng);
+}
+
+}  // namespace rfid::protocol

@@ -1,0 +1,96 @@
+// TRP — the Trusted Reader Protocol (Sec. 4 of the paper).
+//
+// Round structure (Alg. 1):
+//   1. the server issues a fresh challenge (f, r), with f sized by Eq. (2)
+//      for the group's (n, m, α);
+//   2. the reader broadcasts (f, r); each tag picks slot h(id ⊕ r) mod f and
+//      answers with a few random bits in that slot (Algs. 2–3);
+//   3. the reader reduces the frame to a bitstring (1 = slot occupied) and
+//      returns it;
+//   4. the server compares against the bitstring it computed from its ID
+//      database: any difference ⇒ "not intact".
+//
+// TrpServer is the verifying side; TrpReader drives the air interface over
+// the radio substrate. Both share the SlotHasher so slot choices agree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "hash/slot_hash.h"
+#include "math/frame_optimizer.h"
+#include "protocol/messages.h"
+#include "radio/channel.h"
+#include "radio/frame.h"
+#include "tag/tag_id.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace rfid::protocol {
+
+/// Monitoring requirements for one group of tags (Sec. 3).
+struct MonitoringPolicy {
+  std::uint64_t tolerated_missing = 0;  // m
+  double confidence = 0.95;             // alpha
+  math::EmptySlotModel model = math::EmptySlotModel::kPoissonApprox;
+};
+
+class TrpServer {
+ public:
+  /// Enrolls the group: records all IDs and solves Eq. (2) once (n, m, α are
+  /// fixed for the group's lifetime — the set is static per Sec. 3).
+  TrpServer(std::vector<tag::TagId> ids, MonitoringPolicy policy,
+            hash::SlotHasher hasher = hash::SlotHasher{});
+
+  [[nodiscard]] std::uint64_t group_size() const noexcept { return ids_.size(); }
+  [[nodiscard]] const MonitoringPolicy& policy() const noexcept { return policy_; }
+  /// The Eq. (2) frame size used by every challenge from this server.
+  [[nodiscard]] std::uint32_t frame_size() const noexcept { return plan_.frame_size; }
+  /// g(n, m+1, f) at the chosen frame — the analytical detection guarantee.
+  [[nodiscard]] double predicted_detection() const noexcept {
+    return plan_.predicted_detection;
+  }
+
+  /// A fresh challenge with a never-before-used random number.
+  [[nodiscard]] TrpChallenge issue_challenge(util::Rng& rng) const;
+
+  /// The bitstring an intact set would produce for `challenge` (Sec. 4.1:
+  /// the server can precompute it because slot choice is deterministic).
+  [[nodiscard]] bits::Bitstring expected_bitstring(const TrpChallenge& challenge) const;
+
+  /// Compares the reader's bitstring against the expectation.
+  [[nodiscard]] Verdict verify(const TrpChallenge& challenge,
+                               const bits::Bitstring& reported) const;
+
+ private:
+  std::vector<tag::TagId> ids_;
+  MonitoringPolicy policy_;
+  hash::SlotHasher hasher_;
+  math::TrpPlan plan_;
+};
+
+class TrpReader {
+ public:
+  explicit TrpReader(hash::SlotHasher hasher = hash::SlotHasher{},
+                     radio::ChannelModel channel = {})
+      : hasher_(hasher), channel_(channel) {}
+
+  /// Executes Algs. 1–3 against the physically present tags and returns the
+  /// collected bitstring. `rng` drives channel randomness only.
+  [[nodiscard]] bits::Bitstring scan(std::span<const tag::Tag> present,
+                                     const TrpChallenge& challenge,
+                                     util::Rng& rng) const;
+
+  /// Like scan() but also reports slot statistics (used by timing benches).
+  [[nodiscard]] radio::FrameObservation scan_observed(
+      std::span<const tag::Tag> present, const TrpChallenge& challenge,
+      util::Rng& rng) const;
+
+ private:
+  hash::SlotHasher hasher_;
+  radio::ChannelModel channel_;
+};
+
+}  // namespace rfid::protocol

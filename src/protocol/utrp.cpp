@@ -1,0 +1,174 @@
+#include "protocol/utrp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace rfid::protocol {
+
+namespace {
+
+/// Shared walk core. `channel`/`rng` may be null for the ideal channel.
+UtrpScanResult walk(std::span<tag::Tag> tags, const hash::SlotHasher& hasher,
+                    const UtrpChallenge& challenge,
+                    const radio::ChannelModel* channel, util::Rng* rng) {
+  const std::uint32_t f = challenge.frame_size;
+  RFID_EXPECT(f >= 1, "challenge has no slots");
+  RFID_EXPECT(challenge.seeds.size() >= 1, "challenge has no seeds");
+
+  UtrpScanResult result;
+  result.bitstring = bits::Bitstring(f);
+
+  // Initial broadcast (Alg. 5 line 2): every tag increments its counter and
+  // picks a slot within the full frame.
+  std::vector<std::size_t> active;
+  std::vector<std::uint32_t> pick(tags.size(), 0);
+  active.reserve(tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    tags[i].begin_round();
+    pick[i] = tags[i].utrp_receive_seed(hasher, challenge.seeds[0], f);
+    active.push_back(i);
+  }
+  result.seeds_consumed = 1;
+
+  std::uint32_t subframe_start = 0;  // global slot where the current sub-frame begins
+
+  while (!active.empty()) {
+    // Between re-seeds every slot before the earliest pick is empty, so jump
+    // straight to the next reply event: the minimum pick in the sub-frame.
+    std::uint32_t min_pick = std::numeric_limits<std::uint32_t>::max();
+    for (const std::size_t i : active) min_pick = std::min(min_pick, pick[i]);
+
+    const std::uint32_t global = subframe_start + min_pick;
+    RFID_ENSURE(global < f, "tag picked a slot beyond the frame");
+
+    // All tags that chose this slot transmit and keep silent afterwards
+    // (Alg. 7 line 5) — whether or not the reader decodes anything.
+    std::uint32_t occupancy = 0;
+    std::erase_if(active, [&](std::size_t i) {
+      if (pick[i] != min_pick) return false;
+      tags[i].silence();
+      ++occupancy;
+      return true;
+    });
+    result.replies += occupancy;
+
+    const radio::SlotOutcome outcome =
+        channel == nullptr
+            ? (occupancy >= 2 ? radio::SlotOutcome::kCollision
+                              : radio::SlotOutcome::kSingle)
+            : radio::resolve_slot(occupancy, *channel, *rng);
+    if (!radio::occupied(outcome)) continue;  // replies lost: reader saw nothing
+
+    result.bitstring.set(global);
+
+    // Re-seed (Alg. 6 lines 6–7): the remainder of the frame becomes a new
+    // sub-frame of f' = f − (global+1) slots under the next server seed.
+    if (global + 1 >= f) break;  // reply in the last slot: frame over
+    ++result.reseeds;
+    RFID_ENSURE(result.seeds_consumed < challenge.seeds.size(),
+                "server issued too few seeds for this frame");
+    const std::uint64_t seed = challenge.seeds[result.seeds_consumed++];
+    const std::uint32_t sub_frame = f - (global + 1);
+    subframe_start = global + 1;
+    for (const std::size_t i : active) {
+      pick[i] = tags[i].utrp_receive_seed(hasher, seed, sub_frame);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+UtrpScanResult utrp_scan(std::span<tag::Tag> tags, const hash::SlotHasher& hasher,
+                         const UtrpChallenge& challenge) {
+  return walk(tags, hasher, challenge, nullptr, nullptr);
+}
+
+UtrpScanResult utrp_scan(std::span<tag::Tag> tags, const hash::SlotHasher& hasher,
+                         const UtrpChallenge& challenge,
+                         const radio::ChannelModel& channel, util::Rng& rng) {
+  if (channel.ideal()) return walk(tags, hasher, challenge, nullptr, nullptr);
+  return walk(tags, hasher, challenge, &channel, &rng);
+}
+
+UtrpServer::UtrpServer(const tag::TagSet& enrolled, MonitoringPolicy policy,
+                       std::uint64_t comm_budget, std::uint32_t slack_slots,
+                       hash::SlotHasher hasher)
+    : mirror_(enrolled.tags().begin(), enrolled.tags().end()),
+      policy_(policy),
+      comm_budget_(comm_budget),
+      hasher_(hasher) {
+  RFID_EXPECT(!mirror_.empty(), "cannot monitor an empty group");
+  RFID_EXPECT(policy_.tolerated_missing + 1 <= mirror_.size(),
+              "tolerance m must satisfy m + 1 <= n");
+  plan_ = math::optimize_utrp_frame(mirror_.size(), policy_.tolerated_missing,
+                                    policy_.confidence, comm_budget_,
+                                    slack_slots, policy_.model);
+}
+
+UtrpServer::UtrpServer(const tag::TagSet& enrolled, MonitoringPolicy policy,
+                       std::uint64_t comm_budget, const math::UtrpPlan& plan,
+                       hash::SlotHasher hasher)
+    : mirror_(enrolled.tags().begin(), enrolled.tags().end()),
+      policy_(policy),
+      comm_budget_(comm_budget),
+      hasher_(hasher),
+      plan_(plan) {
+  RFID_EXPECT(!mirror_.empty(), "cannot monitor an empty group");
+  RFID_EXPECT(policy_.tolerated_missing + 1 <= mirror_.size(),
+              "tolerance m must satisfy m + 1 <= n");
+  RFID_EXPECT(plan_.frame_size >= 1, "injected plan has no slots");
+}
+
+UtrpChallenge UtrpServer::issue_challenge(util::Rng& rng) const {
+  UtrpChallenge challenge;
+  challenge.frame_size = plan_.frame_size;
+  challenge.seeds.reserve(challenge.frame_size);
+  for (std::uint32_t i = 0; i < challenge.frame_size; ++i) {
+    challenge.seeds.push_back(rng());
+  }
+  return challenge;
+}
+
+bits::Bitstring UtrpServer::expected_bitstring(const UtrpChallenge& challenge) const {
+  std::vector<tag::Tag> copy = mirror_;
+  return utrp_scan(copy, hasher_, challenge).bitstring;
+}
+
+Verdict UtrpServer::verify(const UtrpChallenge& challenge,
+                           const bits::Bitstring& reported,
+                           bool deadline_met) const {
+  const bits::Bitstring expected = expected_bitstring(challenge);
+  RFID_EXPECT(reported.size() == expected.size(),
+              "reported bitstring has wrong length");
+  Verdict verdict;
+  verdict.deadline_met = deadline_met;
+  verdict.mismatched_slots = expected.hamming_distance(reported);
+  verdict.intact = deadline_met && verdict.mismatched_slots == 0;
+  if (verdict.mismatched_slots != 0) {
+    verdict.first_mismatch_slot = *expected.first_difference(reported);
+  }
+  return verdict;
+}
+
+void UtrpServer::commit_round(const UtrpChallenge& challenge,
+                              const Verdict& verdict) {
+  if (!verdict.intact) {
+    // The real walk may have diverged from the expected one at the first
+    // mismatch; counters beyond that point are unknowable remotely.
+    needs_resync_ = true;
+    return;
+  }
+  (void)utrp_scan(mirror_, hasher_, challenge);
+}
+
+void UtrpServer::resync(const tag::TagSet& audited) {
+  RFID_EXPECT(audited.size() == mirror_.size(),
+              "audit must cover the enrolled group");
+  mirror_.assign(audited.tags().begin(), audited.tags().end());
+  needs_resync_ = false;
+}
+
+}  // namespace rfid::protocol

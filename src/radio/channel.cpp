@@ -1,0 +1,22 @@
+#include "radio/channel.h"
+
+namespace rfid::radio {
+
+SlotOutcome resolve_slot(std::uint32_t occupancy, const ChannelModel& channel,
+                         util::Rng& rng) noexcept {
+  std::uint32_t surviving = occupancy;
+  if (channel.reply_loss_prob > 0.0) {
+    surviving = 0;
+    for (std::uint32_t i = 0; i < occupancy; ++i) {
+      if (!rng.chance(channel.reply_loss_prob)) ++surviving;
+    }
+  }
+  if (surviving == 0) return SlotOutcome::kEmpty;
+  if (surviving == 1) return SlotOutcome::kSingle;
+  if (channel.capture_prob > 0.0 && rng.chance(channel.capture_prob)) {
+    return SlotOutcome::kSingle;
+  }
+  return SlotOutcome::kCollision;
+}
+
+}  // namespace rfid::radio

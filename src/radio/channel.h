@@ -1,0 +1,35 @@
+// Imperfect-channel effects between tags and reader.
+//
+// The paper evaluates on an ideal channel; real deployments see reply loss
+// (fades, blocked tags — the very reason the paper argues for a tolerance m)
+// and the capture effect (one of several colliding replies decodes anyway).
+// ChannelModel lets tests and ablation benches inject both.
+#pragma once
+
+#include <cstdint>
+
+#include "radio/slot.h"
+#include "util/random.h"
+
+namespace rfid::radio {
+
+struct ChannelModel {
+  /// Probability that an individual tag's reply is lost (i.i.d. per reply).
+  double reply_loss_prob = 0.0;
+  /// Probability that a slot with >= 2 surviving replies decodes as one
+  /// reply (capture effect) instead of a collision.
+  double capture_prob = 0.0;
+
+  [[nodiscard]] constexpr bool ideal() const noexcept {
+    return reply_loss_prob == 0.0 && capture_prob == 0.0;
+  }
+};
+
+/// Resolves what the reader observes in a slot that `occupancy` tags chose.
+/// Draws from `rng` only when the channel is imperfect, so ideal-channel
+/// simulations stay deterministic given the tag population.
+[[nodiscard]] SlotOutcome resolve_slot(std::uint32_t occupancy,
+                                       const ChannelModel& channel,
+                                       util::Rng& rng) noexcept;
+
+}  // namespace rfid::radio

@@ -1,0 +1,53 @@
+#include "radio/frame.h"
+
+#include "util/expect.h"
+
+namespace rfid::radio {
+
+std::vector<std::uint32_t> assign_trp_slots(std::span<const tag::Tag> tags,
+                                            const hash::SlotHasher& hasher,
+                                            std::uint64_t r,
+                                            std::uint32_t frame_size) {
+  RFID_EXPECT(frame_size >= 1, "frame size must be positive");
+  std::vector<std::uint32_t> choices;
+  choices.reserve(tags.size());
+  for (const tag::Tag& t : tags) {
+    choices.push_back(t.trp_slot(hasher, r, frame_size));
+  }
+  return choices;
+}
+
+std::vector<std::uint32_t> occupancy_histogram(
+    std::span<const std::uint32_t> slot_choices, std::uint32_t frame_size) {
+  std::vector<std::uint32_t> histogram(frame_size, 0);
+  for (const std::uint32_t slot : slot_choices) {
+    RFID_EXPECT(slot < frame_size, "slot choice outside frame");
+    ++histogram[slot];
+  }
+  return histogram;
+}
+
+FrameObservation simulate_frame(std::span<const tag::Tag> tags,
+                                const hash::SlotHasher& hasher, std::uint64_t r,
+                                std::uint32_t frame_size,
+                                const ChannelModel& channel, util::Rng& rng) {
+  const auto choices = assign_trp_slots(tags, hasher, r, frame_size);
+  const auto histogram = occupancy_histogram(choices, frame_size);
+
+  FrameObservation obs;
+  obs.outcomes.reserve(frame_size);
+  obs.bitstring = bits::Bitstring(frame_size);
+  for (std::uint32_t slot = 0; slot < frame_size; ++slot) {
+    const SlotOutcome outcome = resolve_slot(histogram[slot], channel, rng);
+    obs.outcomes.push_back(outcome);
+    switch (outcome) {
+      case SlotOutcome::kEmpty: ++obs.empty_slots; break;
+      case SlotOutcome::kSingle: ++obs.single_slots; break;
+      case SlotOutcome::kCollision: ++obs.collision_slots; break;
+    }
+    if (occupied(outcome)) obs.bitstring.set(slot);
+  }
+  return obs;
+}
+
+}  // namespace rfid::radio

@@ -1,0 +1,51 @@
+// One framed-slotted-ALOHA inventory frame, simulated at slot granularity.
+//
+// This is the substrate both protocols run on. assign_trp_slots() gives the
+// deterministic slot each tag picks for a (f, r) broadcast; simulate_frame()
+// additionally pushes every reply through the channel model and reports the
+// per-slot observations the reader would make.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "hash/slot_hash.h"
+#include "radio/channel.h"
+#include "radio/slot.h"
+#include "tag/tag.h"
+
+namespace rfid::radio {
+
+/// Slot index chosen by each tag (parallel to `tags`) for broadcast (f, r),
+/// per Alg. 2:  sn = h(id ⊕ r) mod f.
+[[nodiscard]] std::vector<std::uint32_t> assign_trp_slots(
+    std::span<const tag::Tag> tags, const hash::SlotHasher& hasher,
+    std::uint64_t r, std::uint32_t frame_size);
+
+/// What the reader observed across a whole frame.
+struct FrameObservation {
+  std::vector<SlotOutcome> outcomes;    // one entry per slot
+  bits::Bitstring bitstring;            // 1 where the slot was occupied
+  std::uint64_t empty_slots = 0;
+  std::uint64_t single_slots = 0;
+  std::uint64_t collision_slots = 0;
+};
+
+/// Runs one TRP frame: every tag replies (short random bits) in its chosen
+/// slot; the channel decides what the reader sees. `rng` is consulted only
+/// for channel randomness.
+[[nodiscard]] FrameObservation simulate_frame(std::span<const tag::Tag> tags,
+                                              const hash::SlotHasher& hasher,
+                                              std::uint64_t r,
+                                              std::uint32_t frame_size,
+                                              const ChannelModel& channel,
+                                              util::Rng& rng);
+
+/// True per-slot occupancy (before channel effects) — used by tests and by
+/// the collect-all baseline, which needs to know *which* tags collided.
+[[nodiscard]] std::vector<std::uint32_t> occupancy_histogram(
+    std::span<const std::uint32_t> slot_choices, std::uint32_t frame_size);
+
+}  // namespace rfid::radio

@@ -1,0 +1,32 @@
+// Slot-level vocabulary of the framed slotted ALOHA link.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rfid::radio {
+
+/// What the reader observes in one time slot.
+enum class SlotOutcome : std::uint8_t {
+  kEmpty,      // no tag replied (or every reply was lost in the channel)
+  kSingle,     // exactly one reply decoded
+  kCollision,  // multiple replies overlapped and none decoded
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SlotOutcome outcome) noexcept {
+  switch (outcome) {
+    case SlotOutcome::kEmpty: return "empty";
+    case SlotOutcome::kSingle: return "single";
+    case SlotOutcome::kCollision: return "collision";
+  }
+  return "unknown";
+}
+
+/// For the monitoring protocols only slot *occupancy* matters: TRP/UTRP
+/// record a 1 for both kSingle and kCollision (Sec. 4.1 — any reply, even a
+/// collision of random bits, marks the slot as chosen).
+[[nodiscard]] constexpr bool occupied(SlotOutcome outcome) noexcept {
+  return outcome != SlotOutcome::kEmpty;
+}
+
+}  // namespace rfid::radio

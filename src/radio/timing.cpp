@@ -1,0 +1,15 @@
+#include "radio/timing.h"
+
+#include <cmath>
+
+namespace rfid::radio {
+
+std::uint64_t communication_budget(double deadline_us, double honest_min_scan_us,
+                                   double comm_roundtrip_us) noexcept {
+  if (comm_roundtrip_us <= 0.0) return 0;
+  const double slack = deadline_us - honest_min_scan_us;
+  if (slack <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::floor(slack / comm_roundtrip_us));
+}
+
+}  // namespace rfid::radio

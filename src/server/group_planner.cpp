@@ -1,0 +1,62 @@
+#include "server/group_planner.h"
+
+#include <algorithm>
+
+#include "math/frame_optimizer.h"
+#include "util/expect.h"
+
+namespace rfid::server {
+
+GroupPlan plan_groups(const PlannerInput& input) {
+  RFID_EXPECT(input.total_tags >= 1, "need at least one tag");
+  RFID_EXPECT(input.alpha > 0.0 && input.alpha < 1.0, "alpha must be in (0,1)");
+
+  const std::uint64_t capacity =
+      input.max_group_size == 0 ? input.total_tags : input.max_group_size;
+  RFID_EXPECT(capacity >= 1, "zone capacity must be positive");
+  const std::uint64_t zone_count = (input.total_tags + capacity - 1) / capacity;
+  RFID_EXPECT(input.total_tolerance + zone_count <= input.total_tags,
+              "tolerance too large: every zone must be able to lose m_i + 1 tags");
+
+  GroupPlan plan;
+  plan.zones.reserve(zone_count);
+
+  // Near-equal zone sizes: the first (N mod z) zones get one extra tag.
+  const std::uint64_t base_size = input.total_tags / zone_count;
+  const std::uint64_t oversized = input.total_tags % zone_count;
+
+  // Proportional tolerance with exact total: floor allocation, then hand the
+  // remainder to the largest zones (they shoulder theft most cheaply).
+  std::vector<std::uint64_t> sizes(zone_count, base_size);
+  for (std::uint64_t z = 0; z < oversized; ++z) ++sizes[z];
+  std::vector<std::uint64_t> tolerances(zone_count, 0);
+  std::uint64_t allocated = 0;
+  for (std::uint64_t z = 0; z < zone_count; ++z) {
+    tolerances[z] = input.total_tolerance * sizes[z] / input.total_tags;
+    allocated += tolerances[z];
+  }
+  for (std::uint64_t z = 0; allocated < input.total_tolerance; ++z) {
+    ++tolerances[z % zone_count];
+    ++allocated;
+  }
+
+  plan.worst_zone_detection = 1.0;
+  for (std::uint64_t z = 0; z < zone_count; ++z) {
+    RFID_ENSURE(tolerances[z] + 1 <= sizes[z],
+                "tolerance allocation exceeded a zone's size");
+    const auto frame = math::optimize_trp_frame(sizes[z], tolerances[z],
+                                                input.alpha, input.model);
+    ZonePlan zone;
+    zone.tags = sizes[z];
+    zone.tolerance = tolerances[z];
+    zone.frame_size = frame.frame_size;
+    zone.detection = frame.predicted_detection;
+    plan.total_slots += frame.frame_size;
+    plan.worst_zone_detection =
+        std::min(plan.worst_zone_detection, zone.detection);
+    plan.zones.push_back(zone);
+  }
+  return plan;
+}
+
+}  // namespace rfid::server

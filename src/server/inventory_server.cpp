@@ -1,0 +1,126 @@
+#include "server/inventory_server.h"
+
+#include "util/expect.h"
+
+namespace rfid::server {
+
+std::string_view to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kTrp: return "TRP";
+    case ProtocolKind::kUtrp: return "UTRP";
+  }
+  return "unknown";
+}
+
+GroupId InventoryServer::enroll(const tag::TagSet& tags, GroupConfig config) {
+  RFID_EXPECT(!tags.empty(), "cannot enroll an empty group");
+  const GroupId id{groups_.size()};
+  if (config.protocol == ProtocolKind::kTrp) {
+    protocol::TrpServer engine(tags.ids(), config.policy, hasher_);
+    groups_.push_back(Group{std::move(config), std::move(engine), 0});
+  } else {
+    protocol::UtrpServer engine(tags, config.policy, config.comm_budget,
+                                config.slack_slots, hasher_);
+    groups_.push_back(Group{std::move(config), std::move(engine), 0});
+  }
+  return id;
+}
+
+const InventoryServer::Group& InventoryServer::group(GroupId id) const {
+  RFID_EXPECT(id.index < groups_.size(), "unknown group");
+  return groups_[id.index];
+}
+
+InventoryServer::Group& InventoryServer::group(GroupId id) {
+  RFID_EXPECT(id.index < groups_.size(), "unknown group");
+  return groups_[id.index];
+}
+
+const GroupConfig& InventoryServer::config(GroupId id) const {
+  return group(id).config;
+}
+
+std::uint64_t InventoryServer::group_size(GroupId id) const {
+  const Group& g = group(id);
+  if (const auto* trp = std::get_if<protocol::TrpServer>(&g.engine)) {
+    return trp->group_size();
+  }
+  return std::get<protocol::UtrpServer>(g.engine).group_size();
+}
+
+std::uint32_t InventoryServer::frame_size(GroupId id) const {
+  const Group& g = group(id);
+  if (const auto* trp = std::get_if<protocol::TrpServer>(&g.engine)) {
+    return trp->frame_size();
+  }
+  return std::get<protocol::UtrpServer>(g.engine).frame_size();
+}
+
+std::uint64_t InventoryServer::rounds_completed(GroupId id) const {
+  return group(id).rounds;
+}
+
+protocol::TrpChallenge InventoryServer::challenge_trp(GroupId id,
+                                                      util::Rng& rng) const {
+  const Group& g = group(id);
+  const auto* trp = std::get_if<protocol::TrpServer>(&g.engine);
+  RFID_EXPECT(trp != nullptr, "group is not a TRP group");
+  return trp->issue_challenge(rng);
+}
+
+protocol::Verdict InventoryServer::submit_trp(
+    GroupId id, const protocol::TrpChallenge& challenge,
+    const bits::Bitstring& reported) {
+  Group& g = group(id);
+  const auto* trp = std::get_if<protocol::TrpServer>(&g.engine);
+  RFID_EXPECT(trp != nullptr, "group is not a TRP group");
+  const protocol::Verdict verdict = trp->verify(challenge, reported);
+  ++g.rounds;
+  if (!verdict.intact) record_alert(id, verdict, reported);
+  return verdict;
+}
+
+protocol::UtrpChallenge InventoryServer::challenge_utrp(GroupId id,
+                                                        util::Rng& rng) const {
+  const Group& g = group(id);
+  const auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
+  RFID_EXPECT(utrp != nullptr, "group is not a UTRP group");
+  return utrp->issue_challenge(rng);
+}
+
+protocol::Verdict InventoryServer::submit_utrp(
+    GroupId id, const protocol::UtrpChallenge& challenge,
+    const bits::Bitstring& reported, bool deadline_met) {
+  Group& g = group(id);
+  auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
+  RFID_EXPECT(utrp != nullptr, "group is not a UTRP group");
+  const protocol::Verdict verdict = utrp->verify(challenge, reported, deadline_met);
+  utrp->commit_round(challenge, verdict);
+  ++g.rounds;
+  if (!verdict.intact) record_alert(id, verdict, reported);
+  return verdict;
+}
+
+bool InventoryServer::needs_resync(GroupId id) const {
+  const Group& g = group(id);
+  if (const auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine)) {
+    return utrp->needs_resync();
+  }
+  return false;
+}
+
+void InventoryServer::record_alert(GroupId id, const protocol::Verdict& verdict,
+                                   const bits::Bitstring& reported) {
+  Group& g = group(id);
+  Alert alert;
+  alert.group = id;
+  alert.group_name = g.config.name;
+  alert.round = g.rounds;
+  alert.mismatched_slots = verdict.mismatched_slots;
+  alert.deadline_missed = !verdict.deadline_met;
+  alert.enrolled_size = group_size(id);
+  alert.estimated_present = estimate::estimate_cardinality(reported).estimate;
+  alerts_.push_back(std::move(alert));
+}
+
+}  // namespace rfid::server

@@ -1,0 +1,106 @@
+// InventoryServer: the secure back-end of Sec. 3, generalized to many groups.
+//
+// A retailer monitors heterogeneous groups of items — a shelf of razor
+// blades with m = 0, a warehouse pallet area with m = 30 — each with its own
+// protocol choice (TRP where readers are trusted, UTRP where they are not),
+// tolerance, and confidence. The paper highlights this flexibility as an
+// advantage over yoking-proof schemes whose on-tag timers hard-wire one
+// group size (Sec. 2); InventoryServer is where that claim becomes API.
+//
+// The server also keeps an alert log: a warning is recorded whenever a
+// round's bitstring mismatches or (UTRP) misses its deadline, together with
+// a cardinality estimate from the returned bitstring to help triage how much
+// stock is gone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "estimate/cardinality.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "util/random.h"
+
+namespace rfid::server {
+
+enum class ProtocolKind : std::uint8_t { kTrp, kUtrp };
+
+[[nodiscard]] std::string_view to_string(ProtocolKind kind) noexcept;
+
+struct GroupConfig {
+  std::string name;
+  protocol::MonitoringPolicy policy;
+  ProtocolKind protocol = ProtocolKind::kTrp;
+  std::uint64_t comm_budget = 20;  // UTRP: adversary communication budget c
+  std::uint32_t slack_slots = 8;   // UTRP: extra slots over the Eq. (3) optimum
+};
+
+/// Opaque handle to an enrolled group.
+struct GroupId {
+  std::size_t index = 0;
+  friend bool operator==(GroupId, GroupId) = default;
+};
+
+struct Alert {
+  GroupId group;
+  std::string group_name;
+  std::uint64_t round = 0;
+  std::uint64_t mismatched_slots = 0;
+  bool deadline_missed = false;
+  /// Zero-estimator triage: roughly how many tags the bitstring suggests
+  /// were present (vs. the enrolled size).
+  double estimated_present = 0.0;
+  std::uint64_t enrolled_size = 0;
+};
+
+class InventoryServer {
+ public:
+  explicit InventoryServer(hash::SlotHasher hasher = hash::SlotHasher{})
+      : hasher_(hasher) {}
+
+  /// Enrolls a group from a physical audit of its tags. For UTRP groups the
+  /// snapshot includes tag counters.
+  GroupId enroll(const tag::TagSet& tags, GroupConfig config);
+
+  [[nodiscard]] std::size_t group_count() const noexcept { return groups_.size(); }
+  [[nodiscard]] const GroupConfig& config(GroupId id) const;
+  [[nodiscard]] std::uint64_t group_size(GroupId id) const;
+  /// The frame size this group's challenges use (Eq. 2 or Eq. 3 + slack).
+  [[nodiscard]] std::uint32_t frame_size(GroupId id) const;
+  [[nodiscard]] std::uint64_t rounds_completed(GroupId id) const;
+
+  /// Round driver, TRP groups.
+  [[nodiscard]] protocol::TrpChallenge challenge_trp(GroupId id, util::Rng& rng) const;
+  protocol::Verdict submit_trp(GroupId id, const protocol::TrpChallenge& challenge,
+                               const bits::Bitstring& reported);
+
+  /// Round driver, UTRP groups. `deadline_met` is the Alg. 5 timer check.
+  [[nodiscard]] protocol::UtrpChallenge challenge_utrp(GroupId id, util::Rng& rng) const;
+  protocol::Verdict submit_utrp(GroupId id, const protocol::UtrpChallenge& challenge,
+                                const bits::Bitstring& reported, bool deadline_met);
+
+  /// All alerts raised so far, oldest first.
+  [[nodiscard]] const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+  /// True when the UTRP group's mirror may have diverged (post-alert).
+  [[nodiscard]] bool needs_resync(GroupId id) const;
+
+ private:
+  struct Group {
+    GroupConfig config;
+    std::variant<protocol::TrpServer, protocol::UtrpServer> engine;
+    std::uint64_t rounds = 0;
+  };
+
+  [[nodiscard]] const Group& group(GroupId id) const;
+  [[nodiscard]] Group& group(GroupId id);
+  void record_alert(GroupId id, const protocol::Verdict& verdict,
+                    const bits::Bitstring& reported);
+
+  hash::SlotHasher hasher_;
+  std::vector<Group> groups_;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace rfid::server

@@ -1,0 +1,136 @@
+#include "server/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "hash/fnv.h"
+#include "util/expect.h"
+
+namespace rfid::server {
+
+namespace {
+
+constexpr std::string_view kMagic = "RFIDMON-SNAPSHOT 1";
+
+[[nodiscard]] std::uint64_t checksum_of(const std::string& body) {
+  return hash::fnv1a64(
+      std::span(reinterpret_cast<const std::byte*>(body.data()), body.size()));
+}
+
+[[nodiscard]] std::string format_group_line(const EnrolledGroup& group) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "GROUP %s %" PRIu64 " %.17g %" PRIu64 " %u %zu ",
+                group.config.protocol == ProtocolKind::kTrp ? "TRP" : "UTRP",
+                group.config.policy.tolerated_missing,
+                group.config.policy.confidence, group.config.comm_budget,
+                group.config.slack_slots, group.tags.size());
+  return std::string(buf) + group.config.name + "\n";
+}
+
+[[nodiscard]] std::string format_tag_line(const tag::Tag& t) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "TAG %08x %016" PRIx64 " %" PRIu64 "\n",
+                t.id().hi(), t.id().lo(), t.counter());
+  return buf;
+}
+
+}  // namespace
+
+void save_snapshot(std::ostream& os, const std::vector<EnrolledGroup>& groups) {
+  std::string body;
+  body += kMagic;
+  body += '\n';
+  for (const EnrolledGroup& group : groups) {
+    RFID_EXPECT(group.config.name.find('\n') == std::string::npos,
+                "group names must be single-line");
+    body += format_group_line(group);
+    for (const tag::Tag& t : group.tags.tags()) body += format_tag_line(t);
+  }
+  os << body << "END " << std::hex << checksum_of(body) << std::dec << '\n';
+  RFID_EXPECT(os.good(), "snapshot stream write failed");
+}
+
+std::vector<EnrolledGroup> load_snapshot(std::istream& is) {
+  std::string body;
+  std::string line;
+
+  RFID_EXPECT(static_cast<bool>(std::getline(is, line)), "empty snapshot");
+  RFID_EXPECT(line == kMagic, "unsupported snapshot version or not a snapshot");
+  body += line;
+  body += '\n';
+
+  std::vector<EnrolledGroup> groups;
+  std::vector<tag::Tag> pending_tags;
+  bool saw_end = false;
+  std::size_t expected_tags = 0;
+  while (std::getline(is, line)) {
+    if (line.rfind("END ", 0) == 0) {
+      const std::uint64_t declared = std::stoull(line.substr(4), nullptr, 16);
+      RFID_EXPECT(declared == checksum_of(body), "snapshot checksum mismatch");
+      saw_end = true;
+      break;
+    }
+    body += line;
+    body += '\n';
+
+    if (line.rfind("GROUP ", 0) == 0) {
+      // Close out the previous group.
+      if (!groups.empty()) {
+        RFID_EXPECT(pending_tags.size() == expected_tags,
+                    "group tag count mismatch");
+        groups.back().tags = tag::TagSet(std::move(pending_tags));
+        pending_tags = {};
+      }
+      std::istringstream fields(line.substr(6));
+      std::string proto;
+      EnrolledGroup group;
+      std::size_t tag_count = 0;
+      fields >> proto >> group.config.policy.tolerated_missing >>
+          group.config.policy.confidence >> group.config.comm_budget >>
+          group.config.slack_slots >> tag_count;
+      RFID_EXPECT(!fields.fail(), "malformed GROUP line");
+      RFID_EXPECT(proto == "TRP" || proto == "UTRP", "unknown protocol tag");
+      group.config.protocol =
+          proto == "TRP" ? ProtocolKind::kTrp : ProtocolKind::kUtrp;
+      std::getline(fields, group.config.name);
+      if (!group.config.name.empty() && group.config.name.front() == ' ') {
+        group.config.name.erase(0, 1);
+      }
+      expected_tags = tag_count;
+      pending_tags.reserve(tag_count);
+      groups.push_back(std::move(group));
+    } else if (line.rfind("TAG ", 0) == 0) {
+      RFID_EXPECT(!groups.empty(), "TAG line before any GROUP");
+      unsigned hi = 0;
+      std::uint64_t lo = 0;
+      std::uint64_t counter = 0;
+      RFID_EXPECT(std::sscanf(line.c_str(), "TAG %x %" SCNx64 " %" SCNu64, &hi,
+                              &lo, &counter) == 3,
+                  "malformed TAG line");
+      pending_tags.emplace_back(tag::TagId(hi, lo), counter);
+    } else {
+      RFID_EXPECT(false, "unrecognized snapshot line: " + line);
+    }
+  }
+  RFID_EXPECT(saw_end, "snapshot truncated (no END line)");
+  if (!groups.empty()) {
+    RFID_EXPECT(pending_tags.size() == expected_tags, "group tag count mismatch");
+    groups.back().tags = tag::TagSet(std::move(pending_tags));
+  }
+  return groups;
+}
+
+InventoryServer restore_server(const std::vector<EnrolledGroup>& groups,
+                               hash::SlotHasher hasher) {
+  InventoryServer server(hasher);
+  for (const EnrolledGroup& group : groups) {
+    (void)server.enroll(group.tags, group.config);
+  }
+  return server;
+}
+
+}  // namespace rfid::server

@@ -1,0 +1,46 @@
+// Enrollment persistence: save/restore the server's knowledge of its groups.
+//
+// The protocols only work because the server's database — tag IDs and, for
+// UTRP, per-tag counters — survives across monitoring rounds and server
+// restarts. Snapshot is a versioned, checksummed, line-oriented text format:
+//
+//   RFIDMON-SNAPSHOT 1
+//   GROUP <TRP|UTRP> <m> <alpha> <comm_budget> <slack_slots> <tags> <name…>
+//   TAG <hi-hex> <lo-hex> <counter>
+//   ...
+//   END <fnv1a64-of-preceding-lines>
+//
+// Text (not binary) so operators can diff snapshots and audit counter
+// drift; the trailing FNV-1a checksum rejects truncation and bit rot.
+// Hash configuration (SlotHasher kind/key) is deployment config, not state,
+// and is deliberately not serialized.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "server/inventory_server.h"
+#include "tag/tag_set.h"
+
+namespace rfid::server {
+
+struct EnrolledGroup {
+  GroupConfig config;
+  tag::TagSet tags;  // IDs + counters as known at snapshot time
+};
+
+/// Writes all groups; throws on stream failure.
+void save_snapshot(std::ostream& os, const std::vector<EnrolledGroup>& groups);
+
+/// Parses a snapshot; throws std::invalid_argument on malformed input,
+/// version mismatch, or checksum failure.
+[[nodiscard]] std::vector<EnrolledGroup> load_snapshot(std::istream& is);
+
+/// Convenience: rebuilds a live InventoryServer by re-enrolling every group
+/// from the snapshot (UTRP counters are restored via the snapshot tags).
+[[nodiscard]] InventoryServer restore_server(
+    const std::vector<EnrolledGroup>& groups,
+    hash::SlotHasher hasher = hash::SlotHasher{});
+
+}  // namespace rfid::server

@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include "util/expect.h"
+
+namespace rfid::sim {
+
+void EventQueue::schedule_at(SimTime when, Handler handler) {
+  RFID_EXPECT(when >= now_, "cannot schedule into the past");
+  RFID_EXPECT(handler != nullptr, "null event handler");
+  queue_.push(Event{when, next_sequence_++, std::move(handler)});
+}
+
+std::uint64_t EventQueue::run(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (until >= 0.0 && top.when > until) break;
+    // priority_queue::top is const; the handler must be moved out before
+    // pop. The const_cast is safe: the element is removed immediately and
+    // mutating `handler` does not affect the heap ordering key.
+    Handler handler = std::move(const_cast<Event&>(top).handler);
+    now_ = top.when;
+    queue_.pop();
+    handler();
+    ++ran;
+    ++processed_;
+  }
+  if (until >= 0.0 && now_ < until && queue_.empty()) now_ = until;
+  return ran;
+}
+
+void EventQueue::clear() noexcept {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace rfid::sim

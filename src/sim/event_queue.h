@@ -1,0 +1,60 @@
+// A small discrete-event simulation core.
+//
+// Used by the timing experiments: reader/collaborator/server are modeled as
+// actors exchanging messages with latencies (slot boundaries, re-seed
+// broadcasts, reader-to-reader round trips, the server's verification
+// timer). Events are (time, sequence) ordered; ties break by scheduling
+// order, so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rfid::sim {
+
+using SimTime = double;  // microseconds, matching radio::TimingModel
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` to run at absolute time `when` (>= now()).
+  void schedule_at(SimTime when, Handler handler);
+  /// Schedules `handler` to run `delay` after the current time.
+  void schedule_after(SimTime delay, Handler handler) {
+    schedule_at(now_ + delay, std::move(handler));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Runs events until the queue drains or `until` is passed. Returns the
+  /// number of events processed by this call.
+  std::uint64_t run(SimTime until = -1.0);
+
+  /// Drops all pending events (e.g. after the deadline fired).
+  void clear() noexcept;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace rfid::sim

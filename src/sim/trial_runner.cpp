@@ -1,0 +1,83 @@
+#include "sim/trial_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/expect.h"
+
+namespace rfid::sim {
+
+TrialRunner::TrialRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+template <typename T>
+std::vector<T> TrialRunner::map_trials(
+    std::uint64_t trials, std::uint64_t master_seed,
+    const std::function<T(std::uint64_t, util::Rng&)>& fn) const {
+  RFID_EXPECT(fn != nullptr, "null trial function");
+  std::vector<T> results(trials);
+  if (trials == 0) return results;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::uint64_t>(threads_, trials));
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= trials || failed.load(std::memory_order_relaxed)) return;
+      try {
+        util::Rng rng(util::derive_seed(master_seed, index));
+        results[index] = fn(index, rng);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+util::BinomialProportion TrialRunner::run_boolean(
+    std::uint64_t trials, std::uint64_t master_seed,
+    const std::function<bool(std::uint64_t, util::Rng&)>& fn) const {
+  const auto results = map_trials<char>(
+      trials, master_seed,
+      [&fn](std::uint64_t i, util::Rng& rng) -> char { return fn(i, rng) ? 1 : 0; });
+  util::BinomialProportion summary;
+  for (const char r : results) summary.add(r != 0);
+  return summary;
+}
+
+util::RunningStat TrialRunner::run_metric(
+    std::uint64_t trials, std::uint64_t master_seed,
+    const std::function<double(std::uint64_t, util::Rng&)>& fn) const {
+  const auto results = map_trials<double>(trials, master_seed, fn);
+  util::RunningStat summary;
+  for (const double r : results) summary.add(r);
+  return summary;
+}
+
+}  // namespace rfid::sim

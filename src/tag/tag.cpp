@@ -1,0 +1,11 @@
+// Tag is header-only (all methods are small and hot); this translation unit
+// exists to anchor the library and to static_assert basic layout properties.
+#include "tag/tag.h"
+
+namespace rfid::tag {
+
+static_assert(sizeof(Tag) <= 32, "Tag must stay small: simulations hold millions");
+static_assert(std::is_trivially_copyable_v<Tag>,
+              "Tag must be trivially copyable for cheap set splitting");
+
+}  // namespace rfid::tag

@@ -1,0 +1,65 @@
+// The tag-side state machine (Algs. 2 and 7 of the paper).
+//
+// A passive tag in this system has exactly three pieces of protocol state:
+//   * its immutable ID,
+//   * a monotone query counter ct (UTRP only) that increments every time the
+//     tag receives a new (f, r) broadcast — the anti-rewind mechanism, and
+//   * a "silenced" flag set once the tag has replied within the current
+//     inventory round (UTRP tags keep silent after replying; TRP tags reply
+//     in their single chosen slot anyway).
+// Slot choice is  h(ID ⊕ r [⊕ ct]) mod f , evaluated by the shared
+// SlotHasher so tag, reader, and server always agree.
+#pragma once
+
+#include <cstdint>
+
+#include "hash/slot_hash.h"
+#include "tag/tag_id.h"
+
+namespace rfid::tag {
+
+class Tag {
+ public:
+  constexpr Tag() noexcept = default;
+  explicit constexpr Tag(TagId id) noexcept : id_(id) {}
+  /// Restores a tag observed at a known counter value (snapshot loading,
+  /// re-enrollment after a physical audit).
+  constexpr Tag(TagId id, std::uint64_t counter) noexcept
+      : id_(id), counter_(counter) {}
+
+  [[nodiscard]] constexpr TagId id() const noexcept { return id_; }
+  [[nodiscard]] constexpr std::uint64_t counter() const noexcept { return counter_; }
+  [[nodiscard]] constexpr bool silenced() const noexcept { return silenced_; }
+
+  /// TRP query (Alg. 2 line 2): deterministic slot pick, no state change.
+  [[nodiscard]] std::uint32_t trp_slot(const hash::SlotHasher& hasher,
+                                       std::uint64_t r,
+                                       std::uint32_t frame_size) const noexcept {
+    return hasher.slot(id_.slot_word(), r, frame_size);
+  }
+
+  /// UTRP (f, r) reception (Alg. 7 lines 1–2 / 6–8): increments the counter
+  /// *first*, then picks a slot with the new counter value mixed in.
+  /// Returns the chosen slot within [0, frame_size).
+  [[nodiscard]] std::uint32_t utrp_receive_seed(const hash::SlotHasher& hasher,
+                                                std::uint64_t r,
+                                                std::uint32_t frame_size) noexcept {
+    ++counter_;
+    return hasher.slot(id_.slot_word(), r, frame_size, counter_);
+  }
+
+  /// Marks the tag as having replied (Alg. 7 line 5: "keep silent").
+  void silence() noexcept { silenced_ = true; }
+
+  /// New inventory round: the silenced flag clears, the counter persists
+  /// (it is monotone across the tag's lifetime, which is what defeats
+  /// replays across rounds).
+  void begin_round() noexcept { silenced_ = false; }
+
+ private:
+  TagId id_{};
+  std::uint64_t counter_ = 0;
+  bool silenced_ = false;
+};
+
+}  // namespace rfid::tag

@@ -1,0 +1,14 @@
+#include "tag/tag_id.h"
+
+#include <cstdio>
+
+namespace rfid::tag {
+
+std::string TagId::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "urn:epc:raw:%08x.%016llx", hi_,
+                static_cast<unsigned long long>(lo_));
+  return buf;
+}
+
+}  // namespace rfid::tag

@@ -1,0 +1,94 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expect.h"
+#include "util/table.h"
+
+namespace rfid::util {
+
+std::string render_ascii_chart(const std::vector<double>& xs,
+                               const std::vector<ChartSeries>& series,
+                               const ChartOptions& options) {
+  RFID_EXPECT(xs.size() >= 2, "need at least two x positions");
+  RFID_EXPECT(!series.empty(), "need at least one series");
+  for (const auto& s : series) {
+    RFID_EXPECT(s.ys.size() == xs.size(), "series length mismatch");
+  }
+  RFID_EXPECT(options.width >= 8 && options.height >= 4, "chart too small");
+
+  const bool has_reference = options.reference_y != ChartOptions::kNoReference;
+  double y_min = has_reference ? options.reference_y : series[0].ys[0];
+  double y_max = y_min;
+  for (const auto& s : series) {
+    for (const double y : s.ys) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (y_max - y_min < 1e-12) {
+    y_max += 1.0;  // flat data: give the range some thickness
+    y_min -= 1.0;
+  }
+  // A little headroom so extremes don't sit on the border rows.
+  const double pad = (y_max - y_min) * 0.05;
+  y_min -= pad;
+  y_max += pad;
+
+  const std::size_t rows = options.height;
+  const std::size_t cols = options.width;
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+
+  const auto col_of = [&](std::size_t index) {
+    return static_cast<std::size_t>(
+        std::llround(static_cast<double>(index) *
+                     static_cast<double>(cols - 1) /
+                     static_cast<double>(xs.size() - 1)));
+  };
+  const auto row_of = [&](double y) {
+    const double t = (y - y_min) / (y_max - y_min);  // 0 bottom .. 1 top
+    const auto r = static_cast<std::size_t>(
+        std::llround((1.0 - t) * static_cast<double>(rows - 1)));
+    return std::min(r, rows - 1);
+  };
+
+  if (has_reference) {
+    const std::size_t r = row_of(options.reference_y);
+    for (std::size_t c = 0; c < cols; ++c) grid[r][c] = '-';
+  }
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      grid[row_of(s.ys[i])][col_of(i)] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  const std::string top_label = format_double(y_max, 2);
+  const std::string bottom_label = format_double(y_min, 2);
+  const std::size_t label_width = std::max(top_label.size(), bottom_label.size());
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) label = std::string(label_width - top_label.size(), ' ') + top_label;
+    if (r == rows - 1) {
+      label = std::string(label_width - bottom_label.size(), ' ') + bottom_label;
+    }
+    os << label << " |" << grid[r] << '\n';
+  }
+  os << std::string(label_width, ' ') << " +" << std::string(cols, '-') << '\n';
+  os << std::string(label_width, ' ') << "  " << format_double(xs.front(), 0)
+     << std::string(cols > 16 ? cols - 16 : 1, ' ') << format_double(xs.back(), 0)
+     << '\n';
+  os << "legend:";
+  for (const auto& s : series) os << "  " << s.glyph << " = " << s.name;
+  if (has_reference) {
+    os << "  - = " << format_double(options.reference_y, 2) << " reference";
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace rfid::util

@@ -1,0 +1,37 @@
+// Terminal-native plotting for the figure benches.
+//
+// The paper's figures are line/bar plots; the benches reproduce the numbers
+// as tables, and — behind --plot — as ASCII charts so the curve shapes
+// (linear growth, crossovers, the α-line hugging of Figs. 5/7) are visible
+// without leaving the terminal. One glyph per series, shared axes, a legend,
+// and an optional horizontal reference line (the α threshold).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfid::util {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> ys;  // one value per x position
+  char glyph = '*';
+};
+
+struct ChartOptions {
+  std::size_t width = 72;   // plot area columns (x positions are resampled)
+  std::size_t height = 16;  // plot area rows
+  std::string title;
+  /// If set (not NaN), draws a horizontal reference line at this y.
+  double reference_y = kNoReference;
+  static constexpr double kNoReference = -1e308;
+};
+
+/// Renders the series over shared x values as a multi-line string.
+/// All series must have ys.size() == xs.size() >= 2; y range auto-scales to
+/// the data (and the reference line, when present).
+[[nodiscard]] std::string render_ascii_chart(const std::vector<double>& xs,
+                                             const std::vector<ChartSeries>& series,
+                                             const ChartOptions& options = {});
+
+}  // namespace rfid::util

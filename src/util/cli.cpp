@@ -1,0 +1,67 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/expect.h"
+
+namespace rfid::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 std::vector<std::string> allowed) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    RFID_EXPECT(arg.rfind("--", 0) == 0, "options must start with --: " + arg);
+    arg.erase(0, 2);
+    std::string key;
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      // "--key value" form: consume the next token if it is not an option.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+    }
+    check_allowed(key, allowed);
+    values_[key] = value;
+  }
+}
+
+void CliArgs::check_allowed(const std::string& key,
+                            const std::vector<std::string>& allowed) const {
+  if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+    std::string msg = "unknown option --" + key + "; allowed:";
+    for (const auto& a : allowed) msg += " --" + a;
+    throw std::invalid_argument(msg);
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return values_.contains(key); }
+
+std::optional<std::string> CliArgs::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& key, std::string fallback) const {
+  const auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t CliArgs::get_int_or(const std::string& key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  return std::stoll(*v);
+}
+
+double CliArgs::get_double_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  return std::stod(*v);
+}
+
+}  // namespace rfid::util

@@ -1,0 +1,36 @@
+// Minimal command-line parsing for bench and example binaries.
+//
+// Supports "--key value", "--key=value" and boolean "--flag" forms. Unknown
+// arguments raise std::invalid_argument so typos in experiment sweeps fail
+// loudly instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rfid::util {
+
+class CliArgs {
+ public:
+  /// Parses argv[1..argc). `allowed` lists the recognized option names
+  /// (without the leading dashes); anything else throws.
+  CliArgs(int argc, const char* const* argv, std::vector<std::string> allowed);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key) const { return has(key); }
+
+ private:
+  void check_allowed(const std::string& key,
+                     const std::vector<std::string>& allowed) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rfid::util

@@ -1,0 +1,46 @@
+// Precondition / invariant checking helpers.
+//
+// RFID_EXPECT   — precondition on a public API; violations are programmer
+//                 errors and throw std::invalid_argument so tests can assert
+//                 on them without aborting the process.
+// RFID_ENSURE   — internal invariant / postcondition; violations indicate a
+//                 bug inside this library and throw std::logic_error.
+//
+// Both macros always evaluate their condition (they are not compiled out in
+// release builds): every check in this library guards cheap scalar conditions
+// on API boundaries, far from the hot per-slot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rfid::detail {
+
+[[noreturn]] inline void throw_expect_failure(const char* cond, const char* file,
+                                              int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_ensure_failure(const char* cond, const char* file,
+                                              int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace rfid::detail
+
+#define RFID_EXPECT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::rfid::detail::throw_expect_failure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define RFID_ENSURE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::rfid::detail::throw_ensure_failure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

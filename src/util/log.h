@@ -1,0 +1,51 @@
+// Leveled logging to stderr.
+//
+// The simulator is single-binary and offline, so a global sink with an
+// atomic level threshold is sufficient; messages are formatted into a local
+// buffer and written with one << to keep multi-threaded trial runners from
+// interleaving partial lines.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace rfid::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted. Thread-safe.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}
+
+/// Usage: RFID_LOG(Info) << "optimized f=" << f;
+/// The stream body is only evaluated when the level is enabled.
+#define RFID_LOG(level_name)                                                   \
+  for (bool rfid_log_once =                                                    \
+           ::rfid::util::log_level() <= ::rfid::util::LogLevel::k##level_name; \
+       rfid_log_once; rfid_log_once = false)                                   \
+  ::rfid::util::detail::LineLogger(::rfid::util::LogLevel::k##level_name).stream()
+
+namespace detail {
+
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() { emit(level_, buffer_.str()); }
+
+  [[nodiscard]] std::ostream& stream() { return buffer_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace detail
+
+}  // namespace rfid::util

@@ -1,0 +1,71 @@
+// Streaming statistics for Monte-Carlo experiments.
+//
+// RunningStat accumulates mean/variance in one pass (Welford's algorithm);
+// BinomialProportion summarises detect/miss trials with a normal-approximation
+// and a Wilson confidence interval — the quantity plotted in the paper's
+// Figures 5 and 7 is exactly such a proportion over 1000 trials.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rfid::util {
+
+/// One-pass mean / variance / min / max accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Success-proportion summary for Bernoulli trials (e.g. detection events).
+class BinomialProportion {
+ public:
+  void add(bool success) noexcept {
+    ++n_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::size_t trials() const noexcept { return n_; }
+  [[nodiscard]] std::size_t successes() const noexcept { return successes_; }
+  [[nodiscard]] double proportion() const noexcept {
+    return n_ == 0 ? 0.0 : static_cast<double>(successes_) / static_cast<double>(n_);
+  }
+
+  /// Wilson score interval at confidence `z` standard deviations
+  /// (z = 1.96 for 95%). Well-behaved near proportions of 0 and 1, unlike
+  /// the plain normal interval.
+  [[nodiscard]] Interval wilson(double z = 1.96) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Sample quantile (linear interpolation between order statistics).
+/// `q` in [0,1]; the input vector is copied and sorted.
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+}  // namespace rfid::util

@@ -1,0 +1,100 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/expect.h"
+
+namespace rfid::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RFID_EXPECT(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::begin_row() {
+  if (!cells_.empty()) {
+    RFID_EXPECT(cells_.back().size() == headers_.size(),
+                "previous row is incomplete");
+  }
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+}
+
+void Table::add_cell(std::string value) {
+  RFID_EXPECT(!cells_.empty(), "begin_row() before add_cell()");
+  RFID_EXPECT(cells_.back().size() < headers_.size(), "row already full");
+  cells_.back().push_back(std::move(value));
+}
+
+void Table::add_cell(long long value) { add_cell(std::to_string(value)); }
+void Table::add_cell(unsigned long long value) { add_cell(std::to_string(value)); }
+void Table::add_cell(double value, int precision) {
+  add_cell(format_double(value, precision));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  RFID_EXPECT(row < cells_.size(), "row out of range");
+  RFID_EXPECT(col < cells_[row].size(), "column out of range");
+  return cells_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : cells_) emit_row(row);
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace rfid::util

@@ -1,0 +1,45 @@
+// Result presentation: aligned console tables and CSV output.
+//
+// Every bench binary in this repository regenerates one of the paper's
+// figures as a table of series; Table gives them a uniform look and an
+// optional machine-readable CSV dump (--csv flag handled by bench mains).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfid::util {
+
+/// A simple column-oriented table. Cells are stored as strings; numeric
+/// helpers format with a fixed precision. Rows are built left to right.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Must be followed by exactly one add_cell per column.
+  void begin_row();
+  void add_cell(std::string value);
+  void add_cell(long long value);
+  void add_cell(unsigned long long value);
+  void add_cell(double value, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Writes an aligned, human-readable rendering with a header separator.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats `value` with `precision` digits after the decimal point.
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+}  // namespace rfid::util

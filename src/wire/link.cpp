@@ -1,0 +1,23 @@
+#include "wire/link.h"
+
+#include "util/expect.h"
+
+namespace rfid::wire {
+
+bool Link::send(std::vector<std::byte> frame, const Handler& deliver) {
+  RFID_EXPECT(deliver != nullptr, "null delivery handler");
+  ++sent_;
+  if (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob)) {
+    ++dropped_;
+    return false;
+  }
+  double delay = config_.latency_us;
+  if (config_.jitter_us > 0.0) delay += rng_.uniform() * config_.jitter_us;
+  queue_.schedule_after(
+      delay, [deliver, payload = std::move(frame)]() mutable {
+        deliver(std::move(payload));
+      });
+  return true;
+}
+
+}  // namespace rfid::wire

@@ -1,0 +1,139 @@
+#include "wire/messages.h"
+
+#include "util/expect.h"
+
+namespace rfid::wire {
+
+namespace {
+
+[[nodiscard]] std::vector<std::byte> finish(Encoder&& enc) {
+  return frame_payload(std::move(enc).take());
+}
+
+[[nodiscard]] Decoder open(std::vector<std::byte>& storage,
+                           std::span<const std::byte> frame,
+                           MessageType expected) {
+  storage = unframe_payload(frame);
+  Decoder dec(storage);
+  const auto type = static_cast<MessageType>(dec.get_u8());
+  RFID_EXPECT(type == expected, "unexpected message type");
+  return dec;
+}
+
+}  // namespace
+
+MessageType peek_type(std::span<const std::byte> frame) {
+  const auto payload = unframe_payload(frame);
+  RFID_EXPECT(!payload.empty(), "empty message payload");
+  return static_cast<MessageType>(payload.front());
+}
+
+std::vector<std::byte> encode(const ChallengeRequest& msg) {
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(MessageType::kChallengeRequest));
+  enc.put_string(msg.group_name);
+  enc.put_u64(msg.round);
+  return finish(std::move(enc));
+}
+
+std::vector<std::byte> encode(const TrpChallengeMsg& msg) {
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(MessageType::kTrpChallenge));
+  enc.put_u64(msg.round);
+  enc.put_u32(msg.challenge.frame_size);
+  enc.put_u64(msg.challenge.r);
+  return finish(std::move(enc));
+}
+
+std::vector<std::byte> encode(const UtrpChallengeMsg& msg) {
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(MessageType::kUtrpChallenge));
+  enc.put_u64(msg.round);
+  enc.put_u32(msg.challenge.frame_size);
+  enc.put_u32(static_cast<std::uint32_t>(msg.challenge.seeds.size()));
+  for (const std::uint64_t seed : msg.challenge.seeds) enc.put_u64(seed);
+  return finish(std::move(enc));
+}
+
+std::vector<std::byte> encode(const BitstringReport& msg) {
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(MessageType::kBitstringReport));
+  enc.put_string(msg.group_name);
+  enc.put_u64(msg.round);
+  enc.put_u64(msg.bitstring.size());
+  enc.put_string(msg.bitstring.to_hex());
+  enc.put_f64(msg.scan_time_us);
+  return finish(std::move(enc));
+}
+
+std::vector<std::byte> encode(const VerdictAck& msg) {
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(MessageType::kVerdictAck));
+  enc.put_u64(msg.round);
+  enc.put_u8(msg.intact ? 1 : 0);
+  return finish(std::move(enc));
+}
+
+ChallengeRequest decode_challenge_request(std::span<const std::byte> frame) {
+  std::vector<std::byte> storage;
+  Decoder dec = open(storage, frame, MessageType::kChallengeRequest);
+  ChallengeRequest msg;
+  msg.group_name = dec.get_string();
+  msg.round = dec.get_u64();
+  dec.expect_exhausted();
+  return msg;
+}
+
+TrpChallengeMsg decode_trp_challenge(std::span<const std::byte> frame) {
+  std::vector<std::byte> storage;
+  Decoder dec = open(storage, frame, MessageType::kTrpChallenge);
+  TrpChallengeMsg msg;
+  msg.round = dec.get_u64();
+  msg.challenge.frame_size = dec.get_u32();
+  msg.challenge.r = dec.get_u64();
+  dec.expect_exhausted();
+  RFID_EXPECT(msg.challenge.frame_size >= 1, "challenge has no slots");
+  return msg;
+}
+
+UtrpChallengeMsg decode_utrp_challenge(std::span<const std::byte> frame) {
+  std::vector<std::byte> storage;
+  Decoder dec = open(storage, frame, MessageType::kUtrpChallenge);
+  UtrpChallengeMsg msg;
+  msg.round = dec.get_u64();
+  msg.challenge.frame_size = dec.get_u32();
+  const std::uint32_t count = dec.get_u32();
+  msg.challenge.seeds.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    msg.challenge.seeds.push_back(dec.get_u64());
+  }
+  dec.expect_exhausted();
+  RFID_EXPECT(msg.challenge.frame_size >= 1, "challenge has no slots");
+  RFID_EXPECT(!msg.challenge.seeds.empty(), "challenge has no seeds");
+  return msg;
+}
+
+BitstringReport decode_bitstring_report(std::span<const std::byte> frame) {
+  std::vector<std::byte> storage;
+  Decoder dec = open(storage, frame, MessageType::kBitstringReport);
+  BitstringReport msg;
+  msg.group_name = dec.get_string();
+  msg.round = dec.get_u64();
+  const std::uint64_t bits = dec.get_u64();
+  msg.bitstring = bits::Bitstring::from_hex(bits, dec.get_string());
+  msg.scan_time_us = dec.get_f64();
+  dec.expect_exhausted();
+  return msg;
+}
+
+VerdictAck decode_verdict_ack(std::span<const std::byte> frame) {
+  std::vector<std::byte> storage;
+  Decoder dec = open(storage, frame, MessageType::kVerdictAck);
+  VerdictAck msg;
+  msg.round = dec.get_u64();
+  msg.intact = dec.get_u8() != 0;
+  dec.expect_exhausted();
+  return msg;
+}
+
+}  // namespace rfid::wire

@@ -1,0 +1,77 @@
+// The server <-> reader message set, with byte-level encode/decode.
+//
+// Five messages cover one monitoring round of either protocol:
+//   ChallengeRequest   reader -> server   "give me work for group X"
+//   TrpChallengeMsg    server -> reader   (f, r)                  [Alg. 1]
+//   UtrpChallengeMsg   server -> reader   (f, r_1..r_f)           [Alg. 5]
+//   BitstringReport    reader -> server   bs (+ measured scan time)
+//   VerdictAck         server -> reader   round accepted (intact or not)
+// Every message is tagged with a type byte and framed/checksummed by the
+// codec; decode_* functions reject wrong types, truncation, and garbage.
+// Requests and reports are idempotent (keyed by round number) so the session
+// layer can retransmit over lossy links without double-counting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "protocol/messages.h"
+#include "wire/codec.h"
+
+namespace rfid::wire {
+
+enum class MessageType : std::uint8_t {
+  kChallengeRequest = 1,
+  kTrpChallenge = 2,
+  kUtrpChallenge = 3,
+  kBitstringReport = 4,
+  kVerdictAck = 5,
+};
+
+struct ChallengeRequest {
+  std::string group_name;
+  std::uint64_t round = 0;
+};
+
+/// Challenges carry the round they answer so a delayed duplicate from an
+/// earlier round cannot be mistaken for the current one (links may reorder).
+struct TrpChallengeMsg {
+  std::uint64_t round = 0;
+  protocol::TrpChallenge challenge;
+};
+
+struct UtrpChallengeMsg {
+  std::uint64_t round = 0;
+  protocol::UtrpChallenge challenge;
+};
+
+struct BitstringReport {
+  std::string group_name;
+  std::uint64_t round = 0;
+  bits::Bitstring bitstring;
+  double scan_time_us = 0.0;  // the reader's claimed scan duration
+};
+
+struct VerdictAck {
+  std::uint64_t round = 0;
+  bool intact = false;
+};
+
+/// Peeks the type byte of a (framed) message without full decode.
+[[nodiscard]] MessageType peek_type(std::span<const std::byte> frame);
+
+[[nodiscard]] std::vector<std::byte> encode(const ChallengeRequest& msg);
+[[nodiscard]] std::vector<std::byte> encode(const TrpChallengeMsg& msg);
+[[nodiscard]] std::vector<std::byte> encode(const UtrpChallengeMsg& msg);
+[[nodiscard]] std::vector<std::byte> encode(const BitstringReport& msg);
+[[nodiscard]] std::vector<std::byte> encode(const VerdictAck& msg);
+
+[[nodiscard]] ChallengeRequest decode_challenge_request(std::span<const std::byte> frame);
+[[nodiscard]] TrpChallengeMsg decode_trp_challenge(std::span<const std::byte> frame);
+[[nodiscard]] UtrpChallengeMsg decode_utrp_challenge(std::span<const std::byte> frame);
+[[nodiscard]] BitstringReport decode_bitstring_report(std::span<const std::byte> frame);
+[[nodiscard]] VerdictAck decode_verdict_ack(std::span<const std::byte> frame);
+
+}  // namespace rfid::wire

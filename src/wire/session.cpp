@@ -1,0 +1,310 @@
+#include "wire/session.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "util/expect.h"
+
+namespace rfid::wire {
+
+namespace {
+
+// The session state machine is protocol-agnostic; an Adapter supplies the
+// five protocol-specific operations (issue/encode/accept/scan/verify). Both
+// adapters keep scans one-per-round — retransmitted reports reuse the stored
+// bitstring, which matters for UTRP where a re-scan would advance counters.
+
+struct TrpAdapter {
+  const protocol::TrpServer& server;
+  std::span<const tag::Tag> present;
+  const SessionConfig& config;
+
+  using Challenge = protocol::TrpChallenge;
+
+  [[nodiscard]] Challenge issue(util::Rng& rng) const {
+    return server.issue_challenge(rng);
+  }
+  [[nodiscard]] std::vector<std::byte> encode_challenge(std::uint64_t round,
+                                                        const Challenge& c) const {
+    return encode(TrpChallengeMsg{round, c});
+  }
+  [[nodiscard]] static bool is_challenge(MessageType type) {
+    return type == MessageType::kTrpChallenge;
+  }
+  [[nodiscard]] static std::pair<std::uint64_t, Challenge> decode_challenge_frame(
+      std::span<const std::byte> frame) {
+    const TrpChallengeMsg msg = decode_trp_challenge(frame);
+    return {msg.round, msg.challenge};
+  }
+  /// Returns (bitstring, scan duration). `rng` drives channel randomness.
+  [[nodiscard]] std::pair<bits::Bitstring, double> scan(const Challenge& c,
+                                                        util::Rng& rng) const {
+    const protocol::TrpReader reader;
+    const auto obs = reader.scan_observed(present, c, rng);
+    const double us = config.timing.trp_scan_us(
+        obs.empty_slots, obs.single_slots + obs.collision_slots);
+    return {obs.bitstring, us};
+  }
+  [[nodiscard]] protocol::Verdict verify(const Challenge& c,
+                                         const bits::Bitstring& bs,
+                                         double /*elapsed_us*/) const {
+    return server.verify(c, bs);
+  }
+};
+
+struct UtrpAdapter {
+  protocol::UtrpServer& server;
+  std::span<tag::Tag> present;
+  const SessionConfig& config;
+
+  using Challenge = protocol::UtrpChallenge;
+
+  [[nodiscard]] Challenge issue(util::Rng& rng) const {
+    return server.issue_challenge(rng);
+  }
+  [[nodiscard]] std::vector<std::byte> encode_challenge(std::uint64_t round,
+                                                        const Challenge& c) const {
+    return encode(UtrpChallengeMsg{round, c});
+  }
+  [[nodiscard]] static bool is_challenge(MessageType type) {
+    return type == MessageType::kUtrpChallenge;
+  }
+  [[nodiscard]] static std::pair<std::uint64_t, Challenge> decode_challenge_frame(
+      std::span<const std::byte> frame) {
+    UtrpChallengeMsg msg = decode_utrp_challenge(frame);
+    return {msg.round, std::move(msg.challenge)};
+  }
+  [[nodiscard]] std::pair<bits::Bitstring, double> scan(const Challenge& c,
+                                                        util::Rng& /*rng*/) const {
+    for (tag::Tag& t : present) t.begin_round();
+    const auto result = protocol::utrp_scan(present, hash::SlotHasher{}, c);
+    const std::uint64_t occupied = result.bitstring.count();
+    const double us = config.timing.utrp_scan_us(
+        c.frame_size - occupied, occupied, result.reseeds);
+    return {result.bitstring, us};
+  }
+  [[nodiscard]] protocol::Verdict verify(const Challenge& c,
+                                         const bits::Bitstring& bs,
+                                         double elapsed_us) const {
+    const bool on_time = config.utrp_deadline_us <= 0.0 ||
+                         elapsed_us <= config.utrp_deadline_us;
+    const protocol::Verdict verdict = server.verify(c, bs, on_time);
+    server.commit_round(c, verdict);
+    return verdict;
+  }
+};
+
+/// All mutable state of one session, shared by the event-queue callbacks.
+/// Held by shared_ptr so late-firing timeout events cannot dangle (they
+/// compare generations and become no-ops).
+template <typename Adapter>
+struct SessionState {
+  sim::EventQueue& queue;
+  Adapter adapter;
+  const SessionConfig& config;
+  util::Rng& rng;
+  Link uplink;    // reader -> server
+  Link downlink;  // server -> reader
+
+  using Challenge = typename Adapter::Challenge;
+
+  // --- server endpoint ----------------------------------------------------
+  std::map<std::uint64_t, Challenge> issued;
+  std::map<std::uint64_t, double> issued_at_us;      // first-issue timestamp
+  std::map<std::uint64_t, protocol::Verdict> decided;
+
+  // --- reader endpoint ----------------------------------------------------
+  std::uint64_t total_rounds;
+  std::uint64_t round = 0;
+  enum class Phase { kRequesting, kScanning, kReporting, kDone, kFailed };
+  Phase phase = Phase::kRequesting;
+  BitstringReport pending_report;
+  std::uint32_t retries = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t generation = 0;
+
+  SessionOutcome outcome;
+
+  SessionState(sim::EventQueue& q, Adapter a, std::uint64_t rounds,
+               const SessionConfig& cfg, util::Rng& r)
+      : queue(q),
+        adapter(std::move(a)),
+        config(cfg),
+        rng(r),
+        uplink(q, cfg.uplink, r),
+        downlink(q, cfg.downlink, r),
+        total_rounds(rounds) {}
+};
+
+template <typename Adapter>
+using StatePtr = std::shared_ptr<SessionState<Adapter>>;
+
+template <typename Adapter>
+void reader_send_request(const StatePtr<Adapter>& state);
+template <typename Adapter>
+void reader_send_report(const StatePtr<Adapter>& state);
+
+template <typename Adapter>
+void arm_timeout(const StatePtr<Adapter>& state) {
+  using Phase = typename SessionState<Adapter>::Phase;
+  const std::uint64_t armed_generation = state->generation;
+  state->queue.schedule_after(
+      state->config.retry_timeout_us, [state, armed_generation] {
+        if (state->generation != armed_generation) return;  // progressed
+        if (state->retries >= state->config.max_retries) {
+          state->phase = Phase::kFailed;
+          ++state->generation;
+          return;
+        }
+        ++state->retries;
+        ++state->retransmissions;
+        if (state->phase == Phase::kRequesting) {
+          reader_send_request(state);
+        } else if (state->phase == Phase::kReporting) {
+          reader_send_report(state);
+        }
+      });
+}
+
+template <typename Adapter>
+void server_on_frame(const StatePtr<Adapter>& state, std::vector<std::byte> frame);
+
+/// Downlink delivery: the reader's half of the state machine.
+template <typename Adapter>
+void server_send(const StatePtr<Adapter>& state, std::vector<std::byte> frame) {
+  using Phase = typename SessionState<Adapter>::Phase;
+  (void)state->downlink.send(
+      std::move(frame), [state](std::vector<std::byte> f) {
+        const MessageType type = peek_type(f);
+        if (Adapter::is_challenge(type)) {
+          auto [round, challenge] = Adapter::decode_challenge_frame(f);
+          if (state->phase != Phase::kRequesting || round != state->round) {
+            return;  // stale duplicate
+          }
+          state->phase = Phase::kScanning;
+          ++state->generation;
+          state->retries = 0;
+
+          auto [bitstring, scan_us] = state->adapter.scan(challenge, state->rng);
+          state->pending_report = BitstringReport{
+              state->config.group_name, state->round, std::move(bitstring),
+              scan_us};
+          state->queue.schedule_after(scan_us, [state] {
+            if (state->phase != Phase::kScanning) return;
+            state->phase = Phase::kReporting;
+            ++state->generation;
+            state->retries = 0;
+            reader_send_report(state);
+          });
+        } else if (type == MessageType::kVerdictAck) {
+          const VerdictAck ack = decode_verdict_ack(f);
+          if (state->phase != Phase::kReporting || ack.round != state->round) {
+            return;  // stale duplicate
+          }
+          ++state->outcome.rounds_completed;
+          ++state->round;
+          ++state->generation;
+          state->retries = 0;
+          if (state->round >= state->total_rounds) {
+            state->phase = Phase::kDone;
+            state->outcome.completed = true;
+            state->outcome.finished_at_us = state->queue.now();
+          } else {
+            state->phase = Phase::kRequesting;
+            reader_send_request(state);
+          }
+        }
+      });
+}
+
+/// Uplink delivery: the server's half of the state machine.
+template <typename Adapter>
+void server_on_frame(const StatePtr<Adapter>& state, std::vector<std::byte> frame) {
+  const MessageType type = peek_type(frame);
+  if (type == MessageType::kChallengeRequest) {
+    const ChallengeRequest request = decode_challenge_request(frame);
+    // Idempotent issue: one challenge per round, replayed for duplicates;
+    // the deadline clock starts at FIRST issue.
+    auto [it, inserted] = state->issued.try_emplace(request.round);
+    if (inserted) {
+      it->second = state->adapter.issue(state->rng);
+      state->issued_at_us[request.round] = state->queue.now();
+    }
+    server_send(state, state->adapter.encode_challenge(request.round, it->second));
+  } else if (type == MessageType::kBitstringReport) {
+    const BitstringReport report = decode_bitstring_report(frame);
+    const auto issued_it = state->issued.find(report.round);
+    if (issued_it == state->issued.end()) return;  // report for unknown round
+    auto [it, inserted] = state->decided.try_emplace(report.round);
+    if (inserted) {
+      const double elapsed =
+          state->queue.now() - state->issued_at_us[report.round];
+      it->second =
+          state->adapter.verify(issued_it->second, report.bitstring, elapsed);
+      state->outcome.verdicts.push_back(it->second);
+    }
+    server_send(state, encode(VerdictAck{report.round, it->second.intact}));
+  }
+}
+
+template <typename Adapter>
+void reader_send(const StatePtr<Adapter>& state, std::vector<std::byte> frame) {
+  (void)state->uplink.send(std::move(frame), [state](std::vector<std::byte> f) {
+    server_on_frame(state, std::move(f));
+  });
+  arm_timeout(state);
+}
+
+template <typename Adapter>
+void reader_send_request(const StatePtr<Adapter>& state) {
+  reader_send(state,
+              encode(ChallengeRequest{state->config.group_name, state->round}));
+}
+
+template <typename Adapter>
+void reader_send_report(const StatePtr<Adapter>& state) {
+  reader_send(state, encode(state->pending_report));
+}
+
+template <typename Adapter>
+SessionOutcome run_session(sim::EventQueue& queue, Adapter adapter,
+                           std::uint64_t rounds, const SessionConfig& config,
+                           util::Rng& rng) {
+  RFID_EXPECT(rounds >= 1, "need at least one round");
+  auto state = std::make_shared<SessionState<Adapter>>(
+      queue, std::move(adapter), rounds, config, rng);
+  reader_send_request(state);
+  (void)queue.run();
+
+  state->outcome.frames_sent =
+      state->uplink.frames_sent() + state->downlink.frames_sent();
+  state->outcome.frames_dropped =
+      state->uplink.frames_dropped() + state->downlink.frames_dropped();
+  state->outcome.retransmissions = state->retransmissions;
+  if (!state->outcome.completed) state->outcome.finished_at_us = queue.now();
+  return state->outcome;
+}
+
+}  // namespace
+
+SessionOutcome run_trp_session(sim::EventQueue& queue,
+                               const protocol::TrpServer& server,
+                               std::span<const tag::Tag> present,
+                               std::uint64_t rounds,
+                               const SessionConfig& config, util::Rng& rng) {
+  return run_session(queue, TrpAdapter{server, present, config}, rounds, config,
+                     rng);
+}
+
+SessionOutcome run_utrp_session(sim::EventQueue& queue,
+                                protocol::UtrpServer& server,
+                                std::span<tag::Tag> present,
+                                std::uint64_t rounds,
+                                const SessionConfig& config, util::Rng& rng) {
+  return run_session(queue, UtrpAdapter{server, present, config}, rounds,
+                     config, rng);
+}
+
+}  // namespace rfid::wire

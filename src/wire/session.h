@@ -1,0 +1,81 @@
+// A complete message-driven monitoring session over lossy links.
+//
+// ServerEndpoint and ReaderEndpoint exchange the wire messages of
+// messages.h across two Links on one EventQueue, executing `rounds` TRP
+// monitoring rounds end to end:
+//
+//   reader --ChallengeRequest(round)-->  server          (retry on timeout)
+//   reader <--TrpChallenge(f, r)-------  server          (idempotent per round)
+//   [reader scans the tag field: TimingModel-priced air time]
+//   reader --BitstringReport----------->  server          (retry on timeout)
+//   reader <--VerdictAck---------------  server
+//
+// Both request and report are idempotent (keyed by round): the server caches
+// the round's challenge and verdict and replays them for duplicates, so
+// retransmissions over a dropping link cannot double-issue randomness or
+// double-count rounds — the property the paper needs for "a new (f, r) each
+// time" to stay well-defined under an unreliable backhaul.
+//
+// run_trp_session drives the whole exchange and reports per-round verdicts
+// plus link statistics; it gives up on a round after `max_retries` timeouts
+// (completed == false).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "radio/timing.h"
+#include "sim/event_queue.h"
+#include "wire/link.h"
+#include "wire/messages.h"
+
+namespace rfid::wire {
+
+struct SessionConfig {
+  LinkConfig uplink;              // reader -> server
+  LinkConfig downlink;            // server -> reader
+  double retry_timeout_us = 50000.0;
+  std::uint32_t max_retries = 8;  // per message, per round
+  radio::TimingModel timing = {};
+  std::string group_name = "group";
+  /// UTRP only: wall-clock budget from challenge issue to report receipt
+  /// (Alg. 5's timer). 0 disables the check. Note that link retransmissions
+  /// eat into this budget — an honest reader on a bad link can miss it,
+  /// which is precisely the paper's STmax-calibration problem.
+  double utrp_deadline_us = 0.0;
+};
+
+struct SessionOutcome {
+  bool completed = false;              // all rounds finished (acked)
+  std::uint64_t rounds_completed = 0;
+  std::vector<protocol::Verdict> verdicts;  // one per completed round
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t retransmissions = 0;
+  double finished_at_us = 0.0;
+};
+
+/// Runs `rounds` TRP rounds between `server` and a reader scanning
+/// `present`. `rng` drives link loss/jitter and challenge randomness.
+[[nodiscard]] SessionOutcome run_trp_session(sim::EventQueue& queue,
+                                             const protocol::TrpServer& server,
+                                             std::span<const tag::Tag> present,
+                                             std::uint64_t rounds,
+                                             const SessionConfig& config,
+                                             util::Rng& rng);
+
+/// Runs `rounds` UTRP rounds. The tags mutate (counters advance) exactly as
+/// in a physical scan; the server's mirror is committed after each verified
+/// round. When config.utrp_deadline_us > 0, a report arriving later than
+/// that after its challenge was first issued fails verification (Alg. 5's
+/// timer) — including when the delay came from honest retransmissions.
+[[nodiscard]] SessionOutcome run_utrp_session(sim::EventQueue& queue,
+                                              protocol::UtrpServer& server,
+                                              std::span<tag::Tag> present,
+                                              std::uint64_t rounds,
+                                              const SessionConfig& config,
+                                              util::Rng& rng);
+
+}  // namespace rfid::wire

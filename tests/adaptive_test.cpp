@@ -1,0 +1,113 @@
+// Tests for the adaptive multi-frame cardinality estimator.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "estimate/adaptive.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+using rfid::estimate::AdaptiveConfig;
+using rfid::estimate::estimate_adaptive;
+using rfid::tag::TagSet;
+
+TEST(Adaptive, ConvergesToTruePopulation) {
+  const rfid::hash::SlotHasher hasher;
+  for (const std::size_t n : {50u, 500u, 5000u}) {
+    rfid::util::Rng rng(rfid::util::derive_seed(70, n));
+    const TagSet set = TagSet::make_random(n, rng);
+    const auto result = estimate_adaptive(set.tags(), hasher, {}, rng);
+    EXPECT_TRUE(result.converged) << "n=" << n;
+    // Target 5% relative error; allow 4 standard errors of slack.
+    EXPECT_NEAR(result.estimate, static_cast<double>(n),
+                std::max(4.0 * result.std_error,
+                         0.04 * static_cast<double>(n)))
+        << "n=" << n;
+    EXPECT_LE(result.std_error, 0.05 * result.estimate + 1e-9);
+  }
+}
+
+TEST(Adaptive, EmptyPopulationIsCheap) {
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::Rng rng(1);
+  const auto result = estimate_adaptive({}, hasher, {}, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.estimate, 1.0);
+  EXPECT_EQ(result.probes, 1u);  // first probe already informative
+}
+
+TEST(Adaptive, ProbePhaseGrowsGeometrically) {
+  // A big population forces several saturated probes before the frame
+  // catches up; their total cost stays small relative to the refine frames.
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::Rng rng(2);
+  const TagSet set = TagSet::make_random(20000, rng);
+  const auto result = estimate_adaptive(set.tags(), hasher, {}, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.probes, 3u);
+  EXPECT_NEAR(result.estimate, 20000.0, 2000.0);
+}
+
+TEST(Adaptive, TighterTargetCostsMoreSlots) {
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::Rng rng_a(3);
+  rfid::util::Rng rng_b(3);
+  const TagSet set = TagSet::make_random(1000, rng_a);
+  (void)TagSet::make_random(1000, rng_b);  // align streams
+
+  AdaptiveConfig loose;
+  loose.target_relative_error = 0.10;
+  AdaptiveConfig tight;
+  tight.target_relative_error = 0.02;
+  const auto cheap = estimate_adaptive(set.tags(), hasher, loose, rng_a);
+  const auto precise = estimate_adaptive(set.tags(), hasher, tight, rng_b);
+  EXPECT_TRUE(cheap.converged);
+  EXPECT_TRUE(precise.converged);
+  EXPECT_LT(cheap.total_slots, precise.total_slots);
+  EXPECT_LT(precise.std_error, cheap.std_error);
+}
+
+TEST(Adaptive, MaxProbesBoundsWork) {
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::Rng rng(4);
+  const TagSet set = TagSet::make_random(100000, rng);
+  AdaptiveConfig strangled;
+  strangled.max_probes = 2;  // cannot even exit the saturation phase
+  const auto result = estimate_adaptive(set.tags(), hasher, strangled, rng);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.probes + result.refine_rounds, 2u);
+}
+
+TEST(Adaptive, RejectsBadConfig) {
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::Rng rng(5);
+  const TagSet set = TagSet::make_random(5, rng);
+  AdaptiveConfig bad;
+  bad.growth_factor = 1.0;
+  EXPECT_THROW((void)estimate_adaptive(set.tags(), hasher, bad, rng),
+               std::invalid_argument);
+  bad = {};
+  bad.initial_frame = 0;
+  EXPECT_THROW((void)estimate_adaptive(set.tags(), hasher, bad, rng),
+               std::invalid_argument);
+  bad = {};
+  bad.target_relative_error = 0.0;
+  EXPECT_THROW((void)estimate_adaptive(set.tags(), hasher, bad, rng),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, SlotBudgetIsLinearInPopulation) {
+  // Total slots ~ c * n for modest targets (each refine frame is ~n wide and
+  // only a handful are needed at 5%).
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::Rng rng(6);
+  const TagSet set = TagSet::make_random(2000, rng);
+  const auto result = estimate_adaptive(set.tags(), hasher, {}, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.total_slots, 2000u * 12);
+}
+
+}  // namespace

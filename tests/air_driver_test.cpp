@@ -1,0 +1,137 @@
+// Tests for the discrete-event air-interface driver.
+#include <gtest/gtest.h>
+
+#include "protocol/air_driver.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::protocol::AirDriver;
+using rfid::protocol::AirEventKind;
+using rfid::protocol::TrpChallenge;
+using rfid::protocol::UtrpChallenge;
+using rfid::tag::TagSet;
+
+UtrpChallenge make_utrp_challenge(std::uint32_t f, rfid::util::Rng& rng) {
+  UtrpChallenge c;
+  c.frame_size = f;
+  for (std::uint32_t i = 0; i < f; ++i) c.seeds.push_back(rng());
+  return c;
+}
+
+TEST(AirDriver, TrpTimeMatchesClosedForm) {
+  rfid::util::Rng rng(1);
+  const TagSet set = TagSet::make_random(150, rng);
+  const rfid::radio::TimingModel timing;
+  const AirDriver driver(timing);
+  rfid::sim::EventQueue queue;
+  const TrpChallenge challenge{200, rng()};
+  const auto run = driver.run_trp_round(queue, set.tags(), challenge, rng);
+
+  const std::uint64_t occupied = run.bitstring.count();
+  EXPECT_DOUBLE_EQ(run.finish_us,
+                   timing.trp_scan_us(200 - occupied, occupied));
+  EXPECT_DOUBLE_EQ(queue.now(), run.finish_us);
+}
+
+TEST(AirDriver, TrpBitstringMatchesPlainReaderScan) {
+  rfid::util::Rng rng_a(2);
+  rfid::util::Rng rng_b(2);
+  const TagSet set = TagSet::make_random(100, rng_a);
+  (void)TagSet::make_random(100, rng_b);  // keep the two streams aligned
+  const TrpChallenge challenge{128, 777};
+
+  const AirDriver driver;
+  rfid::sim::EventQueue queue;
+  const auto via_events = driver.run_trp_round(queue, set.tags(), challenge, rng_a);
+  const rfid::protocol::TrpReader reader;
+  const auto direct = reader.scan(set.tags(), challenge, rng_b);
+  EXPECT_EQ(via_events.bitstring, direct);
+}
+
+TEST(AirDriver, TimelineIsCompleteAndMonotone) {
+  rfid::util::Rng rng(3);
+  const TagSet set = TagSet::make_random(60, rng);
+  const AirDriver driver;
+  rfid::sim::EventQueue queue;
+  const TrpChallenge challenge{80, rng()};
+  const auto run = driver.run_trp_round(queue, set.tags(), challenge, rng);
+
+  ASSERT_EQ(run.timeline.size(), 81u);  // query + one event per slot
+  EXPECT_EQ(run.timeline.front().kind, AirEventKind::kQueryBroadcast);
+  for (std::size_t i = 1; i < run.timeline.size(); ++i) {
+    EXPECT_GT(run.timeline[i].at, run.timeline[i - 1].at);
+  }
+  EXPECT_DOUBLE_EQ(run.timeline.back().at, run.finish_us);
+}
+
+TEST(AirDriver, UtrpChargesReseedBroadcasts) {
+  rfid::util::Rng rng(4);
+  TagSet set = TagSet::make_random(80, rng);
+  const rfid::radio::TimingModel timing;
+  const AirDriver driver(timing);
+  rfid::sim::EventQueue queue;
+  const auto challenge = make_utrp_challenge(160, rng);
+  const auto run = driver.run_utrp_round(queue, set.tags(), challenge);
+
+  std::uint64_t reseeds = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t empties = 0;
+  for (const auto& event : run.timeline) {
+    switch (event.kind) {
+      case AirEventKind::kReseedBroadcast: ++reseeds; break;
+      case AirEventKind::kReplySlot: ++replies; break;
+      case AirEventKind::kEmptySlot: ++empties; break;
+      case AirEventKind::kQueryBroadcast: break;
+    }
+  }
+  EXPECT_EQ(replies + empties, 160u);
+  EXPECT_GE(reseeds, 1u);
+  EXPECT_DOUBLE_EQ(run.finish_us,
+                   timing.utrp_scan_us(empties, replies, reseeds));
+}
+
+TEST(AirDriver, UtrpBitstringVerifiesAgainstServer) {
+  rfid::util::Rng rng(5);
+  TagSet set = TagSet::make_random(120, rng);
+  const rfid::protocol::UtrpServer server(
+      set, {.tolerated_missing = 3, .confidence = 0.95}, 20);
+  const AirDriver driver;
+  rfid::sim::EventQueue queue;
+  const auto challenge = server.issue_challenge(rng);
+  const auto run = driver.run_utrp_round(queue, set.tags(), challenge);
+  EXPECT_TRUE(server.verify(challenge, run.bitstring).intact);
+}
+
+TEST(AirDriver, RoundsChainOnOneQueue) {
+  // Two consecutive rounds on the same queue: the second starts where the
+  // first ended, as on a real shared medium.
+  rfid::util::Rng rng(6);
+  const TagSet set = TagSet::make_random(40, rng);
+  const AirDriver driver;
+  rfid::sim::EventQueue queue;
+  const TrpChallenge c1{64, rng()};
+  const TrpChallenge c2{64, rng()};
+  const auto first = driver.run_trp_round(queue, set.tags(), c1, rng);
+  const auto second = driver.run_trp_round(queue, set.tags(), c2, rng);
+  EXPECT_GT(second.finish_us, first.finish_us);
+  EXPECT_GT(second.timeline.front().at, first.timeline.back().at - 1e-9);
+}
+
+TEST(AirDriver, UtrpIsSlowerThanTrpPerSlot) {
+  // The cost Fig. 6 ignores: same population, UTRP's re-seeds make its
+  // round take longer than a TRP round of equal frame size.
+  rfid::util::Rng rng(7);
+  TagSet set = TagSet::make_random(100, rng);
+  const AirDriver driver;
+  rfid::sim::EventQueue q1;
+  rfid::sim::EventQueue q2;
+  const TrpChallenge trp_c{256, rng()};
+  const auto trp_run = driver.run_trp_round(q1, set.tags(), trp_c, rng);
+  const auto utrp_c = make_utrp_challenge(256, rng);
+  const auto utrp_run = driver.run_utrp_round(q2, set.tags(), utrp_c);
+  EXPECT_GT(utrp_run.finish_us, trp_run.finish_us);
+}
+
+}  // namespace

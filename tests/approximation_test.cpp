@@ -1,0 +1,99 @@
+// Tests for the closed-form mean-field approximations.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "math/approximation.h"
+#include "math/detection.h"
+#include "math/frame_optimizer.h"
+
+namespace {
+
+using rfid::math::approximate_trp_frame;
+using rfid::math::detection_probability;
+using rfid::math::detection_probability_mean_field;
+using rfid::math::optimize_trp_frame;
+
+TEST(MeanField, MatchesExactDetectionClosely) {
+  for (const std::uint64_t n : {100u, 500u, 2000u}) {
+    for (const std::uint64_t x : {1u, 6u, 31u}) {
+      const std::uint64_t f = n;  // load 1, the interesting regime
+      const double exact = detection_probability(n, x, f);
+      const double mean_field = detection_probability_mean_field(n, x, f);
+      EXPECT_NEAR(mean_field, exact, 0.02) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(MeanField, ZeroMissingIsZero) {
+  EXPECT_DOUBLE_EQ(detection_probability_mean_field(100, 0, 128), 0.0);
+}
+
+TEST(MeanField, MonotoneInXAndF) {
+  double prev = 0.0;
+  for (std::uint64_t x = 1; x <= 30; ++x) {
+    const double g = detection_probability_mean_field(500, x, 600);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+  prev = 0.0;
+  for (std::uint64_t f = 100; f <= 3000; f += 100) {
+    const double g = detection_probability_mean_field(500, 6, f);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(MeanField, RejectsBadInput) {
+  EXPECT_THROW((void)detection_probability_mean_field(5, 6, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)detection_probability_mean_field(5, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(ClosedFormFrame, SatisfiesItsOwnModel) {
+  for (const std::uint64_t n : {100u, 1000u, 2000u}) {
+    for (const std::uint64_t m : {0u, 5u, 30u}) {
+      const std::uint32_t f = approximate_trp_frame(n, m, 0.95);
+      EXPECT_GT(detection_probability_mean_field(n, m + 1, f), 0.95);
+      if (f > 1) {
+        EXPECT_LE(detection_probability_mean_field(n, m + 1, f - 1), 0.951);
+      }
+    }
+  }
+}
+
+class ClosedFormVsExact
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t, double>> {};
+
+TEST_P(ClosedFormVsExact, WithinAFewPercentOfOptimizer) {
+  const auto [n, m, alpha] = GetParam();
+  const std::uint32_t closed = approximate_trp_frame(n, m, alpha);
+  const std::uint32_t exact = optimize_trp_frame(n, m, alpha).frame_size;
+  const double abs_diff = std::abs(static_cast<double>(closed) - exact);
+  const double rel = abs_diff / static_cast<double>(exact);
+  // Mean-field error is a handful of slots; only at small n is that a
+  // noticeable fraction.
+  EXPECT_TRUE(rel < 0.025 || abs_diff <= 10.0)
+      << "closed=" << closed << " exact=" << exact;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, ClosedFormVsExact,
+    ::testing::Combine(::testing::Values(100u, 500u, 1000u, 2000u),
+                       ::testing::Values(0u, 5u, 10u, 30u),
+                       ::testing::Values(0.9, 0.95, 0.99)));
+
+TEST(ClosedFormFrame, RejectsBadInput) {
+  EXPECT_THROW((void)approximate_trp_frame(0, 0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)approximate_trp_frame(5, 5, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)approximate_trp_frame(10, 1, 1.0), std::invalid_argument);
+}
+
+TEST(ClosedFormFrame, ExtremeAlphaThrowsInsteadOfOverflowing) {
+  EXPECT_THROW((void)approximate_trp_frame(10, 0, 1.0 - 1e-16),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Tests for the ASCII chart renderer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/ascii_chart.h"
+
+namespace {
+
+using rfid::util::ChartOptions;
+using rfid::util::ChartSeries;
+using rfid::util::render_ascii_chart;
+
+TEST(AsciiChart, ContainsGlyphsTitleAndLegend) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const ChartSeries s{"rising", {1.0, 2.0, 3.0, 4.0}, '*'};
+  ChartOptions options;
+  options.title = "my chart";
+  const std::string out = render_ascii_chart(xs, {s}, options);
+  EXPECT_NE(out.find("my chart"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("rising"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+}
+
+TEST(AsciiChart, RisingSeriesRisesOnTheGrid) {
+  // The first point of a rising series must be drawn on a LOWER row (later
+  // line) than the last point.
+  const std::vector<double> xs{0, 1};
+  const ChartSeries s{"up", {0.0, 10.0}, '#'};
+  const std::string out = render_ascii_chart(xs, {s});
+  const auto first_hash = out.find('#');
+  const auto last_hash = out.rfind('#');
+  ASSERT_NE(first_hash, std::string::npos);
+  // Earlier in the string = higher on screen = larger y.
+  const auto line_of = [&](std::size_t pos) {
+    return std::count(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(pos), '\n');
+  };
+  EXPECT_LT(line_of(first_hash), line_of(last_hash));
+  // And the high point must be near the top row: its line index is small.
+  EXPECT_LE(line_of(first_hash), 1);
+}
+
+TEST(AsciiChart, ReferenceLineAppears) {
+  const std::vector<double> xs{0, 1, 2};
+  const ChartSeries s{"flat", {0.95, 0.96, 0.94}, '*'};
+  ChartOptions options;
+  options.reference_y = 0.95;
+  const std::string out = render_ascii_chart(xs, {s}, options);
+  // A long dashed row exists.
+  EXPECT_NE(out.find("--------"), std::string::npos);
+  EXPECT_NE(out.find("0.95 reference"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesKeepTheirGlyphs) {
+  const std::vector<double> xs{0, 1, 2};
+  const ChartSeries a{"A", {1, 2, 3}, 'a'};
+  const ChartSeries b{"B", {3, 2, 1}, 'b'};
+  const std::string out = render_ascii_chart(xs, {a, b});
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiChart, FlatSeriesDoesNotDivideByZero) {
+  const std::vector<double> xs{0, 1, 2};
+  const ChartSeries s{"flat", {5.0, 5.0, 5.0}, '*'};
+  EXPECT_NO_THROW((void)render_ascii_chart(xs, {s}));
+}
+
+TEST(AsciiChart, AxisLabelsShowRange) {
+  const std::vector<double> xs{100, 2000};
+  const ChartSeries s{"s", {1.0, 2.0}, '*'};
+  const std::string out = render_ascii_chart(xs, {s});
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("2000"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsBadInput) {
+  EXPECT_THROW((void)render_ascii_chart({1.0}, {{"s", {1.0}, '*'}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)render_ascii_chart({1.0, 2.0}, {}), std::invalid_argument);
+  EXPECT_THROW((void)render_ascii_chart({1.0, 2.0}, {{"s", {1.0}, '*'}}),
+               std::invalid_argument);
+  ChartOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(
+      (void)render_ascii_chart({1.0, 2.0}, {{"s", {1.0, 2.0}, '*'}}, tiny),
+      std::invalid_argument);
+}
+
+TEST(AsciiChart, ManyPointsResampleIntoWidth) {
+  std::vector<double> xs;
+  ChartSeries s{"dense", {}, '*'};
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(i);
+    s.ys.push_back(std::sin(i * 0.01));
+  }
+  ChartOptions options;
+  options.width = 40;
+  const std::string out = render_ascii_chart(xs, {s}, options);
+  // Every line must stay within the configured width plus label/border.
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i <= out.size(); ++i) {
+    if (i == out.size() || out[i] == '\n') {
+      EXPECT_LE(i - line_start, 40u + 20u);
+      line_start = i + 1;
+    }
+  }
+}
+
+}  // namespace

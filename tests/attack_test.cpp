@@ -1,0 +1,317 @@
+// Tests for the adversaries: the Alg. 4 OR-combine attack that breaks TRP,
+// and the budgeted attacks against UTRP (mechanical and analysis-faithful).
+#include <gtest/gtest.h>
+
+#include "attack/split_attack.h"
+#include "attack/utrp_attack.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::attack::run_trp_split_attack;
+using rfid::attack::run_utrp_split_attack;
+using rfid::attack::run_utrp_static_model_attack;
+using rfid::protocol::MonitoringPolicy;
+using rfid::protocol::TrpReader;
+using rfid::protocol::TrpServer;
+using rfid::protocol::UtrpReader;
+using rfid::protocol::UtrpServer;
+using rfid::tag::TagSet;
+
+MonitoringPolicy policy(std::uint64_t m, double alpha = 0.95) {
+  return MonitoringPolicy{.tolerated_missing = m, .confidence = alpha};
+}
+
+// ------------------------------------------------- Alg. 4 breaks TRP -----
+
+TEST(TrpSplitAttack, ForgedBitstringVerifiesAsIntact) {
+  // The motivating vulnerability (Sec. 5.1): stealing m+1 tags and handing
+  // them to a collaborator defeats TRP with a single transmission, every
+  // single time.
+  for (int t = 0; t < 20; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(1, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(300, rng);
+    const TrpServer server(set.ids(), policy(5));
+    const TagSet stolen = set.steal_random(6, rng);
+    const auto c = server.issue_challenge(rng);
+    const auto attack = run_trp_split_attack(set.tags(), stolen.tags(),
+                                             rfid::hash::SlotHasher{}, c, rng);
+    EXPECT_TRUE(server.verify(c, attack.forged).intact);
+    EXPECT_EQ(attack.transmissions, 1u);
+  }
+}
+
+TEST(TrpSplitAttack, ForgeryEqualsHonestBitstring) {
+  rfid::util::Rng rng(2);
+  TagSet set = TagSet::make_random(150, rng);
+  const rfid::hash::SlotHasher hasher;
+  const TrpServer server(set.ids(), policy(3), hasher);
+  const auto c = server.issue_challenge(rng);
+  const auto honest = server.expected_bitstring(c);
+  const TagSet stolen = set.steal_random(4, rng);
+  const auto attack =
+      run_trp_split_attack(set.tags(), stolen.tags(), hasher, c, rng);
+  EXPECT_EQ(attack.forged, honest);
+}
+
+TEST(TrpReplayAttack, FreshChallengeDefeatsReplay) {
+  // Sec. 5.1: replaying a bitstring recorded under an old (f, r) fails once
+  // the server issues fresh randomness.
+  rfid::util::Rng rng(3);
+  const TagSet set = TagSet::make_random(250, rng);
+  const TrpServer server(set.ids(), policy(5));
+  const TrpReader reader;
+  const auto c_old = server.issue_challenge(rng);
+  const auto recorded = reader.scan(set.tags(), c_old, rng);
+  EXPECT_TRUE(server.verify(c_old, recorded).intact);
+
+  const auto c_new = server.issue_challenge(rng);
+  const auto replayed = rfid::attack::replay_recorded_bitstring(recorded);
+  EXPECT_FALSE(server.verify(c_new, replayed).intact);
+}
+
+// --------------------------------------- mechanical attack vs UTRP -------
+
+TEST(UtrpSplitAttack, UnlimitedBudgetForgesPerfectly) {
+  // With budget >= f the pair behaves as one reader: the forgery matches the
+  // honest bitstring exactly.
+  rfid::util::Rng rng(4);
+  TagSet set = TagSet::make_random(200, rng);
+  UtrpServer server(set, policy(5), 20);
+  const auto c = server.issue_challenge(rng);
+  const auto expected = server.expected_bitstring(c);
+  TagSet stolen = set.steal_random(6, rng);
+  const auto attack =
+      run_utrp_split_attack(set.tags(), stolen.tags(), rfid::hash::SlotHasher{},
+                            c, /*comm_budget=*/c.frame_size);
+  EXPECT_EQ(attack.forged, expected);
+  EXPECT_EQ(attack.coordinated_slots, c.frame_size);
+}
+
+TEST(UtrpSplitAttack, ZeroBudgetDetectedAboveAlpha) {
+  // With no communication at all, a stolen tag escapes notice only by
+  // landing (throughout the walk) on slots the remaining tags also occupy,
+  // so detection sits at the g(n, m+1, f) level — above alpha since the
+  // UTRP frame is oversized relative to TRP's.
+  int detected = 0;
+  constexpr int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng trial_rng(rfid::util::derive_seed(5, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(200, trial_rng);
+    UtrpServer server(set, policy(5), 20);
+    TagSet stolen = set.steal_random(6, trial_rng);
+    const auto c = server.issue_challenge(trial_rng);
+    const auto attack = run_utrp_split_attack(
+        set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, c, 0);
+    if (!server.verify(c, attack.forged).intact) ++detected;
+  }
+  EXPECT_GE(detected, kTrials * 88 / 100);
+}
+
+TEST(UtrpSplitAttack, BudgetedAttackDetectedAboveAlpha) {
+  // The protocol's design point: even with c = 20 messages the mechanical
+  // attack is detected with probability > alpha (it is in fact detected more
+  // often than the analytical bound suggests — see ablation_attack_model).
+  constexpr int kTrials = 150;
+  int detected = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(6, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(300, rng);
+    UtrpServer server(set, policy(5, 0.9), 20);
+    TagSet stolen = set.steal_random(6, rng);
+    const auto c = server.issue_challenge(rng);
+    const auto attack = run_utrp_split_attack(
+        set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, c, 20);
+    if (!server.verify(c, attack.forged).intact) ++detected;
+  }
+  EXPECT_GE(static_cast<double>(detected) / kTrials, 0.9);
+}
+
+TEST(UtrpSplitAttack, CoordinatedPrefixMatchesExpected) {
+  // Up to the slot where the budget runs out, the forgery is byte-identical
+  // to the honest bitstring (that is what the communication buys).
+  rfid::util::Rng rng(7);
+  TagSet set = TagSet::make_random(250, rng);
+  UtrpServer server(set, policy(5), 20);
+  const auto c = server.issue_challenge(rng);
+  const auto expected = server.expected_bitstring(c);
+  TagSet stolen = set.steal_random(6, rng);
+  const auto attack = run_utrp_split_attack(
+      set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, c, 20);
+  const auto first_diff = expected.first_difference(attack.forged);
+  if (first_diff.has_value()) {
+    EXPECT_GE(*first_diff, attack.coordinated_slots);
+  }
+  EXPECT_LE(attack.comms_used, 20u);
+}
+
+TEST(UtrpSplitAttack, BudgetConsumedOnEmptySlots) {
+  rfid::util::Rng rng(8);
+  TagSet set = TagSet::make_random(100, rng);
+  UtrpServer server(set, policy(3), 20);
+  const auto c = server.issue_challenge(rng);
+  TagSet stolen = set.steal_random(4, rng);
+  const auto attack = run_utrp_split_attack(
+      set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, c, 5);
+  EXPECT_LE(attack.comms_used, 5u);
+  EXPECT_LT(attack.coordinated_slots, c.frame_size);
+}
+
+// ------------------------------------------------ attack boundaries ------
+
+TEST(AttackBoundaries, BlanketJammingNeverFools) {
+  // An adversary without the stolen tags cannot learn their slots (tags
+  // never transmit IDs), so the best ID-free forgery is setting extra bits.
+  // But any expected-0 slot set to 1 is itself a mismatch: all-ones fails
+  // whenever the expected bitstring has at least one empty slot — which
+  // Eq. (2) frames guarantee by construction (they NEED empty slots).
+  rfid::util::Rng rng(20);
+  const TagSet set = TagSet::make_random(300, rng);
+  const TrpServer server(set.ids(), policy(5));
+  for (int round = 0; round < 10; ++round) {
+    const auto c = server.issue_challenge(rng);
+    rfid::bits::Bitstring all_ones(c.frame_size);
+    for (std::size_t i = 0; i < all_ones.size(); ++i) all_ones.set(i);
+    EXPECT_FALSE(server.verify(c, all_ones).intact);
+  }
+}
+
+TEST(AttackBoundaries, RandomBitstringGuessingIsHopeless) {
+  rfid::util::Rng rng(21);
+  const TagSet set = TagSet::make_random(200, rng);
+  const TrpServer server(set.ids(), policy(5));
+  for (int round = 0; round < 20; ++round) {
+    const auto c = server.issue_challenge(rng);
+    rfid::bits::Bitstring guess(c.frame_size);
+    for (std::size_t i = 0; i < guess.size(); ++i) {
+      guess.set(i, rng.chance(0.6));
+    }
+    EXPECT_FALSE(server.verify(c, guess).intact);
+  }
+}
+
+TEST(AttackBoundaries, CloneAndReplaceIsOutOfScopeByConstruction) {
+  // The paper's documented limitation (Sec. 3, adversary model): replacing
+  // stolen tags with clones carrying identical IDs is undetectable, because
+  // the protocol observes only ID-derived slot choices. This test pins the
+  // boundary so nobody mistakes it for a regression.
+  rfid::util::Rng rng(22);
+  TagSet set = TagSet::make_random(250, rng);
+  const TrpServer server(set.ids(), policy(5));
+  const TrpReader reader;
+
+  const TagSet stolen = set.steal_random(6, rng);
+  // The adversary manufactures clones with the stolen IDs and reinserts.
+  std::vector<rfid::tag::Tag> with_clones(set.tags().begin(), set.tags().end());
+  for (const auto& original : stolen.tags()) {
+    with_clones.emplace_back(original.id());  // clone: same ID, fresh state
+  }
+  TagSet replaced{std::move(with_clones)};
+  for (int round = 0; round < 5; ++round) {
+    const auto c = server.issue_challenge(rng);
+    EXPECT_TRUE(server.verify(c, reader.scan(replaced.tags(), c, rng)).intact);
+  }
+}
+
+TEST(AttackBoundaries, UtrpCountersDoNotStopClones) {
+  // Clones defeat UTRP too IF the cloner also copies the counter value —
+  // counters defeat rewind/replay, not cloning. Documented boundary.
+  rfid::util::Rng rng(23);
+  TagSet set = TagSet::make_random(150, rng);
+  UtrpServer server(set, policy(3), 20);
+  const UtrpReader reader;
+  TagSet stolen = set.steal_random(4, rng);
+  std::vector<rfid::tag::Tag> with_clones(set.tags().begin(), set.tags().end());
+  for (const auto& original : stolen.tags()) {
+    with_clones.emplace_back(original.id(), original.counter());
+  }
+  TagSet replaced{std::move(with_clones)};
+  const auto c = server.issue_challenge(rng);
+  const auto scan = reader.scan(replaced.tags(), c);
+  EXPECT_TRUE(server.verify(c, scan.bitstring).intact);
+}
+
+// --------------------------------------- analysis-faithful model ---------
+
+TEST(UtrpStaticModel, UnlimitedBudgetNeverDetected) {
+  rfid::util::Rng rng(9);
+  TagSet set = TagSet::make_random(200, rng);
+  TagSet stolen = set.steal_random(6, rng);
+  const auto trial = run_utrp_static_model_attack(
+      set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, 400, 12345,
+      /*comm_budget=*/400);
+  EXPECT_FALSE(trial.detected);
+  EXPECT_EQ(trial.realized_cprime, 400u);
+  EXPECT_EQ(trial.exposed_stolen, 0u);
+}
+
+TEST(UtrpStaticModel, ZeroBudgetReducesToTrpDetection) {
+  // c = 0: coordination covers nothing; detection is the plain TRP event.
+  constexpr int kTrials = 400;
+  int detected = 0;
+  const auto plan = rfid::math::optimize_trp_frame(300, 5, 0.95);
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(10, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(300, rng);
+    TagSet stolen = set.steal_random(6, rng);
+    const auto trial = run_utrp_static_model_attack(
+        set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, plan.frame_size,
+        rng(), 0);
+    EXPECT_EQ(trial.realized_cprime, 0u);
+    if (trial.detected) ++detected;
+  }
+  EXPECT_NEAR(static_cast<double>(detected) / kTrials,
+              plan.predicted_detection, 0.05);
+}
+
+TEST(UtrpStaticModel, DetectionRateMatchesEq3Prediction) {
+  // The cornerstone of Fig. 7: simulate the analysis-faithful attack at the
+  // Eq. 3 frame size and compare with the predicted probability.
+  const std::uint64_t n = 500;
+  const std::uint64_t m = 10;
+  const std::uint64_t budget = 20;
+  const auto plan = rfid::math::optimize_utrp_frame(n, m, 0.95, budget);
+  constexpr int kTrials = 600;
+  int detected = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(11, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(n, rng);
+    TagSet stolen = set.steal_random(m + 1, rng);
+    const auto trial = run_utrp_static_model_attack(
+        set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, plan.frame_size,
+        rng(), budget);
+    if (trial.detected) ++detected;
+  }
+  const double rate = static_cast<double>(detected) / kTrials;
+  EXPECT_GT(rate, 0.92);  // must sit at/above alpha within Monte-Carlo noise
+  EXPECT_NEAR(rate, plan.predicted_detection, 0.04);
+}
+
+TEST(UtrpStaticModel, LargerBudgetsExposeFewerStolenTags) {
+  rfid::util::Rng rng(12);
+  TagSet set = TagSet::make_random(400, rng);
+  TagSet stolen = set.steal_random(21, rng);
+  const std::uint64_t r = rng();
+  const auto none = run_utrp_static_model_attack(
+      set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, 500, r, 0);
+  const auto some = run_utrp_static_model_attack(
+      set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, 500, r, 50);
+  EXPECT_EQ(none.exposed_stolen, 21u);
+  EXPECT_LE(some.exposed_stolen, none.exposed_stolen);
+  EXPECT_GT(some.realized_cprime, 0u);
+}
+
+TEST(UtrpStaticModel, RejectsZeroFrame) {
+  rfid::util::Rng rng(13);
+  TagSet set = TagSet::make_random(10, rng);
+  TagSet stolen = set.steal_random(2, rng);
+  EXPECT_THROW((void)run_utrp_static_model_attack(set.tags(), stolen.tags(),
+                                                  rfid::hash::SlotHasher{}, 0,
+                                                  1, 5),
+               std::invalid_argument);
+}
+
+}  // namespace

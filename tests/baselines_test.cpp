@@ -1,0 +1,199 @@
+// Tests for the extra ID-collection baselines: query-tree walking and the
+// EPC C1G2 Q algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "protocol/collect_all.h"
+#include "protocol/q_protocol.h"
+#include "protocol/tree_walk.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+using rfid::protocol::QProtocolConfig;
+using rfid::protocol::run_collect_all;
+using rfid::protocol::run_q_protocol;
+using rfid::protocol::run_tree_walk;
+using rfid::tag::TagSet;
+
+// ------------------------------------------------------------- tree walk --
+
+TEST(TreeWalk, CollectsEveryone) {
+  rfid::util::Rng rng(1);
+  const TagSet set = TagSet::make_random(500, rng);
+  const auto result = run_tree_walk(set.tags(), 500);
+  EXPECT_EQ(result.collected, 500u);
+  EXPECT_EQ(result.singleton_queries, 500u);
+  EXPECT_EQ(result.total_queries, result.empty_queries +
+                                      result.singleton_queries +
+                                      result.collision_queries);
+}
+
+TEST(TreeWalk, QueryCountNearTheory) {
+  // For n uniform IDs, the query tree protocol needs about 2.885n + O(1)
+  // queries in total (classic QT analysis).
+  rfid::util::Rng rng(2);
+  rfid::util::RunningStat queries;
+  for (int t = 0; t < 10; ++t) {
+    const TagSet set = TagSet::make_random(1000, rng);
+    queries.add(static_cast<double>(run_tree_walk(set.tags(), 1000).total_queries));
+  }
+  EXPECT_NEAR(queries.mean(), 2.885 * 1000, 250.0);
+}
+
+TEST(TreeWalk, BinaryTreeStructureInvariant) {
+  // Internal (collision) nodes of a binary tree with L leaves that each
+  // produce two children: collisions = singletons + empties − 1.
+  rfid::util::Rng rng(3);
+  const TagSet set = TagSet::make_random(300, rng);
+  const auto r = run_tree_walk(set.tags(), 300);
+  EXPECT_EQ(r.collision_queries + 1, r.singleton_queries + r.empty_queries);
+}
+
+TEST(TreeWalk, EarlyStopSavesQueries) {
+  rfid::util::Rng rng(4);
+  const TagSet set = TagSet::make_random(400, rng);
+  const auto full = run_tree_walk(set.tags(), 400);
+  const auto partial = run_tree_walk(set.tags(), 200);
+  EXPECT_LT(partial.total_queries, full.total_queries);
+  EXPECT_EQ(partial.collected, 200u);
+}
+
+TEST(TreeWalk, DepthIsLogarithmicForUniformIds) {
+  rfid::util::Rng rng(5);
+  const TagSet set = TagSet::make_random(1024, rng);
+  const auto r = run_tree_walk(set.tags(), 1024);
+  EXPECT_GE(r.max_depth, 10u);   // must at least distinguish 2^10 tags
+  EXPECT_LE(r.max_depth, 40u);   // uniform 64-bit words: ~log2(n)+O(loglog)
+}
+
+TEST(TreeWalk, EdgeCases) {
+  rfid::util::Rng rng(6);
+  const TagSet one = TagSet::make_random(1, rng);
+  const auto r1 = run_tree_walk(one.tags(), 1);
+  EXPECT_EQ(r1.total_queries, 1u);
+  EXPECT_EQ(r1.collected, 1u);
+  EXPECT_EQ(r1.max_depth, 0u);
+
+  const auto r0 = run_tree_walk(one.tags(), 0);
+  EXPECT_EQ(r0.total_queries, 0u);
+
+  const TagSet five = TagSet::make_random(5, rng);
+  EXPECT_THROW((void)run_tree_walk(five.tags(), 6), std::invalid_argument);
+}
+
+TEST(TreeWalk, WorseThanDynamicAlohaForUniformIds) {
+  // The reason the paper's collect-all baseline is framed-ALOHA: QT costs
+  // ~2.885n vs ~e*n, and every QT query carries a prefix too.
+  rfid::util::Rng rng(7);
+  const TagSet set = TagSet::make_random(800, rng);
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::RunningStat aloha;
+  for (int t = 0; t < 10; ++t) {
+    aloha.add(static_cast<double>(
+        run_collect_all(set.tags(), hasher, {.stop_after_collected = 800}, rng)
+            .total_slots));
+  }
+  const auto tree = run_tree_walk(set.tags(), 800);
+  EXPECT_GT(static_cast<double>(tree.total_queries), aloha.mean());
+}
+
+// ------------------------------------------------------------ Q protocol --
+
+TEST(QProtocol, CollectsEveryone) {
+  rfid::util::Rng rng(8);
+  const TagSet set = TagSet::make_random(300, rng);
+  const auto result =
+      run_q_protocol(set.tags(), {.stop_after_collected = 300}, rng);
+  EXPECT_EQ(result.collected, 300u);
+  EXPECT_EQ(result.singleton_slots, 300u);
+  EXPECT_GT(result.total_slots, 300u);
+}
+
+TEST(QProtocol, SlotAccountingConsistent) {
+  rfid::util::Rng rng(9);
+  const TagSet set = TagSet::make_random(200, rng);
+  const auto r = run_q_protocol(set.tags(), {.stop_after_collected = 200}, rng);
+  // Every slot is empty, singleton, collision, or an adjust broadcast.
+  EXPECT_EQ(r.total_slots,
+            r.empty_slots + r.singleton_slots + r.collision_slots +
+                r.query_adjusts);
+}
+
+TEST(QProtocol, AdaptsQTowardPopulation) {
+  // Starting from the spec default Q=4 (16 slots) with 2000 tags, the
+  // algorithm must climb; final Q ends in a sane range.
+  rfid::util::Rng rng(10);
+  const TagSet set = TagSet::make_random(2000, rng);
+  const auto r = run_q_protocol(set.tags(), {.stop_after_collected = 2000}, rng);
+  EXPECT_EQ(r.collected, 2000u);
+  EXPECT_GT(r.query_adjusts, 1u);
+}
+
+TEST(QProtocol, CostWithinSmallFactorOfOptimalAloha) {
+  // Q's adaptive overhead over Lee-style perfect sizing is known to be
+  // modest (tens of percent, not multiples).
+  rfid::util::Rng rng(11);
+  const TagSet set = TagSet::make_random(1000, rng);
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::RunningStat q_cost;
+  rfid::util::RunningStat aloha_cost;
+  for (int t = 0; t < 10; ++t) {
+    q_cost.add(static_cast<double>(
+        run_q_protocol(set.tags(), {.stop_after_collected = 1000}, rng)
+            .total_slots));
+    aloha_cost.add(static_cast<double>(
+        run_collect_all(set.tags(), hasher, {.stop_after_collected = 1000}, rng)
+            .total_slots));
+  }
+  EXPECT_LT(q_cost.mean(), aloha_cost.mean() * 2.0);
+  EXPECT_GT(q_cost.mean(), aloha_cost.mean() * 0.5);
+}
+
+TEST(QProtocol, EarlyStopHonored) {
+  rfid::util::Rng rng(12);
+  const TagSet set = TagSet::make_random(500, rng);
+  const auto r = run_q_protocol(set.tags(), {.stop_after_collected = 100}, rng);
+  EXPECT_EQ(r.collected, 100u);
+}
+
+TEST(QProtocol, ZeroTargetDoesNothing) {
+  rfid::util::Rng rng(13);
+  const TagSet set = TagSet::make_random(10, rng);
+  const auto r = run_q_protocol(set.tags(), {.stop_after_collected = 0}, rng);
+  EXPECT_EQ(r.total_slots, 0u);
+}
+
+TEST(QProtocol, RejectsBadConfig) {
+  rfid::util::Rng rng(14);
+  const TagSet set = TagSet::make_random(10, rng);
+  EXPECT_THROW(
+      (void)run_q_protocol(set.tags(), {.stop_after_collected = 11}, rng),
+      std::invalid_argument);
+  EXPECT_THROW((void)run_q_protocol(
+                   set.tags(),
+                   {.initial_q = 4.0, .step_c = 0.0, .stop_after_collected = 5},
+                   rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_q_protocol(
+                   set.tags(),
+                   {.initial_q = 16.0, .step_c = 0.3, .stop_after_collected = 5},
+                   rng),
+               std::invalid_argument);
+}
+
+TEST(QProtocol, SingleTagFastPath) {
+  rfid::util::Rng rng(15);
+  const TagSet set = TagSet::make_random(1, rng);
+  const auto r = run_q_protocol(
+      set.tags(), {.initial_q = 0.0, .step_c = 0.3, .stop_after_collected = 1},
+      rng);
+  EXPECT_EQ(r.collected, 1u);
+  EXPECT_LE(r.total_slots, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Numeric tests for the binomial utilities behind Theorem 1 / Eq. 3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/binomial.h"
+
+namespace {
+
+using rfid::math::binomial_pmf;
+using rfid::math::for_each_binomial_outcome;
+using rfid::math::log_binomial_coefficient;
+using rfid::math::log_binomial_pmf;
+using rfid::math::significant_range;
+
+TEST(LogBinomialCoefficient, SmallExactValues) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 5)), 252.0, 1e-7);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(0, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(7, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(7, 7)), 1.0, 1e-12);
+}
+
+TEST(LogBinomialCoefficient, SymmetricInK) {
+  for (std::uint64_t k = 0; k <= 40; ++k) {
+    EXPECT_NEAR(log_binomial_coefficient(40, k),
+                log_binomial_coefficient(40, 40 - k), 1e-9);
+  }
+}
+
+TEST(LogBinomialCoefficient, PascalRecurrenceHoldsInLogSpace) {
+  // C(n,k) = C(n-1,k-1) + C(n-1,k), checked via exp for moderate n.
+  for (std::uint64_t n = 2; n <= 30; ++n) {
+    for (std::uint64_t k = 1; k < n; ++k) {
+      const double lhs = std::exp(log_binomial_coefficient(n, k));
+      const double rhs = std::exp(log_binomial_coefficient(n - 1, k - 1)) +
+                         std::exp(log_binomial_coefficient(n - 1, k));
+      EXPECT_NEAR(lhs, rhs, rhs * 1e-10);
+    }
+  }
+}
+
+TEST(LogBinomialCoefficient, RejectsKAboveN) {
+  EXPECT_THROW((void)log_binomial_coefficient(3, 4), std::invalid_argument);
+}
+
+TEST(BinomialPmf, MatchesHandComputedValues) {
+  // B(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+  EXPECT_NEAR(binomial_pmf(4, 0, 0.5), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 1, 0.5), 4.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 4, 0.5), 1.0 / 16, 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, SumsToOneOverFullSupport) {
+  for (const double p : {0.01, 0.3, 0.5, 0.9}) {
+    double total = 0.0;
+    for (std::uint64_t k = 0; k <= 50; ++k) total += binomial_pmf(50, k, p);
+    EXPECT_NEAR(total, 1.0, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmf, RejectsInvalidInputs) {
+  EXPECT_THROW((void)binomial_pmf(5, 6, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)binomial_pmf(5, 2, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)binomial_pmf(5, 2, 1.1), std::invalid_argument);
+}
+
+TEST(SignificantRange, CoversTheMean) {
+  const auto range = significant_range(10000, 0.37);
+  EXPECT_LE(range.lo, 3700u);
+  EXPECT_GE(range.hi, 3700u);
+  EXPECT_LE(range.hi, 10000u);
+}
+
+TEST(SignificantRange, DegenerateEndpoints) {
+  const auto zero = significant_range(100, 0.0);
+  EXPECT_EQ(zero.lo, 0u);
+  EXPECT_EQ(zero.hi, 0u);
+  const auto one = significant_range(100, 1.0);
+  EXPECT_EQ(one.lo, 100u);
+  EXPECT_EQ(one.hi, 100u);
+}
+
+TEST(SignificantRange, CapturesAlmostAllMass) {
+  for (const double p : {0.05, 0.5, 0.93}) {
+    const std::uint64_t n = 5000;
+    const auto range = significant_range(n, p, 1e-12);
+    double inside = 0.0;
+    for (std::uint64_t k = range.lo; k <= range.hi; ++k) {
+      inside += binomial_pmf(n, k, p);
+    }
+    EXPECT_GT(inside, 1.0 - 1e-9) << "p=" << p;
+  }
+}
+
+TEST(SignificantRange, RejectsBadEpsilon) {
+  EXPECT_THROW((void)significant_range(10, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)significant_range(10, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(ForEachBinomialOutcome, MatchesDirectPmf) {
+  const std::uint64_t n = 2000;
+  const double p = 0.41;
+  double total = 0.0;
+  std::uint64_t calls = 0;
+  for_each_binomial_outcome(n, p, [&](std::uint64_t k, double pmf) {
+    EXPECT_NEAR(pmf, binomial_pmf(n, k, p), binomial_pmf(n, k, p) * 1e-6 + 1e-14);
+    total += pmf;
+    ++calls;
+  });
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The whole point of truncation: far fewer than n+1 evaluations.
+  EXPECT_LT(calls, 600u);
+  EXPECT_GT(calls, 10u);
+}
+
+TEST(ForEachBinomialOutcome, DegenerateProbabilities) {
+  int calls = 0;
+  for_each_binomial_outcome(50, 0.0, [&](std::uint64_t k, double pmf) {
+    EXPECT_EQ(k, 0u);
+    EXPECT_DOUBLE_EQ(pmf, 1.0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  calls = 0;
+  for_each_binomial_outcome(50, 1.0, [&](std::uint64_t k, double pmf) {
+    EXPECT_EQ(k, 50u);
+    EXPECT_DOUBLE_EQ(pmf, 1.0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ForEachBinomialOutcome, IncreasingKOrder) {
+  std::uint64_t last = 0;
+  bool first = true;
+  for_each_binomial_outcome(300, 0.6, [&](std::uint64_t k, double) {
+    if (!first) {
+      EXPECT_EQ(k, last + 1);
+    }
+    last = k;
+    first = false;
+  });
+}
+
+TEST(ForEachBinomialOutcome, TinyN) {
+  double total = 0.0;
+  for_each_binomial_outcome(1, 0.5, [&](std::uint64_t, double pmf) { total += pmf; });
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Unit tests for the Bitstring protocol artifact.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bitstring/bitstring.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::bits::Bitstring;
+
+TEST(Bitstring, DefaultIsEmpty) {
+  const Bitstring bs;
+  EXPECT_TRUE(bs.empty());
+  EXPECT_EQ(bs.size(), 0u);
+  EXPECT_EQ(bs.count(), 0u);
+}
+
+TEST(Bitstring, StartsAllZero) {
+  const Bitstring bs(200);
+  EXPECT_EQ(bs.size(), 200u);
+  EXPECT_EQ(bs.count(), 0u);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(bs.test(i));
+}
+
+TEST(Bitstring, SetAndTestAcrossWordBoundaries) {
+  Bitstring bs(130);
+  for (const std::size_t pos : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    bs.set(pos);
+    EXPECT_TRUE(bs.test(pos));
+  }
+  EXPECT_EQ(bs.count(), 8u);
+  bs.reset(64);
+  EXPECT_FALSE(bs.test(64));
+  EXPECT_EQ(bs.count(), 7u);
+}
+
+TEST(Bitstring, SetIsIdempotent) {
+  Bitstring bs(10);
+  bs.set(3);
+  bs.set(3);
+  EXPECT_EQ(bs.count(), 1u);
+}
+
+TEST(Bitstring, ClearKeepsSize) {
+  Bitstring bs(77);
+  bs.set(5);
+  bs.set(76);
+  bs.clear();
+  EXPECT_EQ(bs.size(), 77u);
+  EXPECT_EQ(bs.count(), 0u);
+}
+
+TEST(Bitstring, OutOfRangeAccessThrows) {
+  Bitstring bs(64);
+  EXPECT_THROW((void)bs.test(64), std::invalid_argument);
+  EXPECT_THROW(bs.set(100), std::invalid_argument);
+}
+
+TEST(Bitstring, EqualityAndFirstDifference) {
+  Bitstring a(100);
+  Bitstring b(100);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.first_difference(b).has_value());
+
+  b.set(71);
+  EXPECT_NE(a, b);
+  ASSERT_TRUE(a.first_difference(b).has_value());
+  EXPECT_EQ(*a.first_difference(b), 71u);
+
+  a.set(3);
+  EXPECT_EQ(*a.first_difference(b), 3u);  // earliest difference wins
+}
+
+TEST(Bitstring, HammingDistance) {
+  Bitstring a(128);
+  Bitstring b(128);
+  a.set(0);
+  a.set(64);
+  b.set(64);
+  b.set(127);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(Bitstring, SizeMismatchThrows) {
+  Bitstring a(10);
+  Bitstring b(11);
+  EXPECT_THROW((void)a.hamming_distance(b), std::invalid_argument);
+  EXPECT_THROW((void)(a |= b), std::invalid_argument);
+  EXPECT_THROW((void)a.first_difference(b), std::invalid_argument);
+}
+
+TEST(Bitstring, OrIsUnion) {
+  Bitstring a(70);
+  Bitstring b(70);
+  a.set(1);
+  a.set(69);
+  b.set(2);
+  b.set(69);
+  const Bitstring u = a | b;
+  EXPECT_TRUE(u.test(1));
+  EXPECT_TRUE(u.test(2));
+  EXPECT_TRUE(u.test(69));
+  EXPECT_EQ(u.count(), 3u);
+}
+
+TEST(Bitstring, AndIsIntersection) {
+  Bitstring a(70);
+  Bitstring b(70);
+  a.set(1);
+  a.set(69);
+  b.set(2);
+  b.set(69);
+  const Bitstring i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(69));
+}
+
+TEST(Bitstring, XorIsSymmetricDifference) {
+  Bitstring a(70);
+  Bitstring b(70);
+  a.set(1);
+  a.set(69);
+  b.set(2);
+  b.set(69);
+  const Bitstring x = a ^ b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(1));
+  EXPECT_TRUE(x.test(2));
+}
+
+TEST(Bitstring, AlgebraIdentities) {
+  rfid::util::Rng rng(31);
+  Bitstring a(500);
+  Bitstring b(500);
+  for (int i = 0; i < 120; ++i) {
+    a.set(static_cast<std::size_t>(rng.below(500)));
+    b.set(static_cast<std::size_t>(rng.below(500)));
+  }
+  EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+  EXPECT_EQ((a ^ b).count(), a.hamming_distance(b));
+  EXPECT_EQ((a ^ a).count(), 0u);
+  EXPECT_EQ(a | a, a);
+  EXPECT_EQ(a & a, a);
+}
+
+TEST(Bitstring, HexRoundTrip) {
+  rfid::util::Rng rng(37);
+  for (const std::size_t size : {1u, 63u, 64u, 65u, 129u, 1000u}) {
+    Bitstring bs(size);
+    for (std::size_t i = 0; i < size; i += 3) bs.set(i);
+    const Bitstring back = Bitstring::from_hex(size, bs.to_hex());
+    EXPECT_EQ(back, bs) << "size " << size;
+  }
+}
+
+TEST(Bitstring, FromHexRejectsWrongLength) {
+  EXPECT_THROW((void)Bitstring::from_hex(64, "abc"), std::invalid_argument);
+}
+
+TEST(Bitstring, FromHexRejectsInvalidDigits) {
+  const std::string bad(16, 'g');
+  EXPECT_THROW((void)Bitstring::from_hex(64, bad), std::invalid_argument);
+}
+
+TEST(Bitstring, FromHexRejectsBitsBeyondSize) {
+  // 63-bit string whose hex sets bit 63.
+  Bitstring full(64);
+  full.set(63);
+  const std::string hex = full.to_hex();
+  EXPECT_THROW((void)Bitstring::from_hex(63, hex), std::invalid_argument);
+}
+
+TEST(Bitstring, BinaryStringRendering) {
+  Bitstring bs(5);
+  bs.set(0);
+  bs.set(3);
+  EXPECT_EQ(bs.to_binary_string(), "10010");
+}
+
+TEST(Bitstring, CountMatchesBruteForce) {
+  rfid::util::Rng rng(41);
+  Bitstring bs(777);
+  std::size_t expected = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto pos = static_cast<std::size_t>(rng.below(777));
+    if (!bs.test(pos)) ++expected;
+    bs.set(pos);
+  }
+  EXPECT_EQ(bs.count(), expected);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Tests for the collect-all baseline (dynamic framed slotted ALOHA).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "protocol/collect_all.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+using rfid::protocol::CollectAllConfig;
+using rfid::protocol::run_collect_all;
+using rfid::tag::TagSet;
+
+TEST(CollectAll, CollectsEveryTagWhenAsked) {
+  rfid::util::Rng rng(1);
+  const TagSet set = TagSet::make_random(200, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto result = run_collect_all(set.tags(), hasher,
+                                      {.stop_after_collected = 200}, rng);
+  EXPECT_EQ(result.collected, 200u);
+  EXPECT_GE(result.rounds, 1u);
+  EXPECT_GE(result.total_slots, 200u);
+}
+
+TEST(CollectAll, StopsAtTarget) {
+  rfid::util::Rng rng(2);
+  const TagSet set = TagSet::make_random(300, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto result = run_collect_all(set.tags(), hasher,
+                                      {.stop_after_collected = 250}, rng);
+  EXPECT_GE(result.collected, 250u);
+  EXPECT_LE(result.collected, 300u);
+}
+
+TEST(CollectAll, ZeroTargetDoesNothing) {
+  rfid::util::Rng rng(3);
+  const TagSet set = TagSet::make_random(10, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto result =
+      run_collect_all(set.tags(), hasher, {.stop_after_collected = 0}, rng);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.total_slots, 0u);
+}
+
+TEST(CollectAll, RejectsTargetAbovepresent) {
+  rfid::util::Rng rng(4);
+  const TagSet set = TagSet::make_random(10, rng);
+  const rfid::hash::SlotHasher hasher;
+  EXPECT_THROW((void)run_collect_all(set.tags(), hasher,
+                                     {.stop_after_collected = 11}, rng),
+               std::invalid_argument);
+}
+
+TEST(CollectAll, SlotAccountingIsConsistent) {
+  rfid::util::Rng rng(5);
+  const TagSet set = TagSet::make_random(150, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto result = run_collect_all(set.tags(), hasher,
+                                      {.stop_after_collected = 150}, rng);
+  EXPECT_EQ(result.empty_slots + result.singleton_slots + result.collision_slots,
+            result.total_slots);
+  EXPECT_EQ(result.singleton_slots, result.collected);
+}
+
+TEST(CollectAll, TotalSlotsNearTheoreticalExpectation) {
+  // With per-round f = #unidentified, the expected total is ~ e * n
+  // (each round identifies ~ 1/e of the remainder).
+  rfid::util::Rng rng(6);
+  const TagSet set = TagSet::make_random(1000, rng);
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::RunningStat slots;
+  for (int t = 0; t < 20; ++t) {
+    const auto result = run_collect_all(set.tags(), hasher,
+                                        {.stop_after_collected = 1000}, rng);
+    slots.add(static_cast<double>(result.total_slots));
+  }
+  const double expected = std::exp(1.0) * 1000.0;
+  EXPECT_NEAR(slots.mean(), expected, expected * 0.15);
+}
+
+TEST(CollectAll, ToleranceSavesSlots) {
+  // Stopping at n - m is cheaper than collecting everything (the long tail
+  // of collisions is exactly where collect-all hurts).
+  rfid::util::Rng rng(7);
+  const TagSet set = TagSet::make_random(500, rng);
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::RunningStat full;
+  rfid::util::RunningStat tolerant;
+  for (int t = 0; t < 20; ++t) {
+    full.add(static_cast<double>(
+        run_collect_all(set.tags(), hasher, {.stop_after_collected = 500}, rng)
+            .total_slots));
+    tolerant.add(static_cast<double>(
+        run_collect_all(set.tags(), hasher, {.stop_after_collected = 470}, rng)
+            .total_slots));
+  }
+  EXPECT_LT(tolerant.mean(), full.mean());
+}
+
+TEST(CollectAll, InitialFrameOverrideIsUsed) {
+  rfid::util::Rng rng(8);
+  const TagSet set = TagSet::make_random(50, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto result = run_collect_all(
+      set.tags(), hasher,
+      {.stop_after_collected = 1, .initial_frame = 4096}, rng);
+  EXPECT_GE(result.total_slots, 4096u);
+}
+
+TEST(CollectAll, SingleTagIsCollectedInOneSlot) {
+  rfid::util::Rng rng(9);
+  const TagSet set = TagSet::make_random(1, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto result =
+      run_collect_all(set.tags(), hasher, {.stop_after_collected = 1}, rng);
+  EXPECT_EQ(result.collected, 1u);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.total_slots, 1u);
+}
+
+TEST(CollectAll, LossyChannelIncreasesCost) {
+  rfid::util::Rng rng(10);
+  const TagSet set = TagSet::make_random(300, rng);
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::RunningStat ideal;
+  rfid::util::RunningStat lossy;
+  for (int t = 0; t < 10; ++t) {
+    ideal.add(static_cast<double>(
+        run_collect_all(set.tags(), hasher, {.stop_after_collected = 300}, rng)
+            .total_slots));
+    lossy.add(static_cast<double>(
+        run_collect_all(
+            set.tags(), hasher,
+            {.stop_after_collected = 300,
+             .initial_frame = 0,
+             .channel = {.reply_loss_prob = 0.3, .capture_prob = 0.0}},
+            rng)
+            .total_slots));
+  }
+  EXPECT_GT(lossy.mean(), ideal.mean());
+}
+
+TEST(CollectAll, CaptureChannelStillTerminates) {
+  // With capture, collided slots sometimes decode one tag; the loop must
+  // still converge and never double-collect.
+  rfid::util::Rng rng(11);
+  const TagSet set = TagSet::make_random(200, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto result = run_collect_all(
+      set.tags(), hasher,
+      {.stop_after_collected = 200,
+       .initial_frame = 0,
+       .channel = {.reply_loss_prob = 0.0, .capture_prob = 0.5}},
+      rng);
+  EXPECT_EQ(result.collected, 200u);
+}
+
+TEST(CollectAll, ElapsedTimeUsesIdSlotCosts) {
+  rfid::util::Rng rng(12);
+  const TagSet set = TagSet::make_random(100, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto result = run_collect_all(set.tags(), hasher,
+                                      {.stop_after_collected = 100}, rng);
+  const rfid::radio::TimingModel timing;
+  const double us = result.elapsed_us(timing);
+  EXPECT_GT(us, static_cast<double>(result.collected) * timing.id_reply_slot_us);
+}
+
+}  // namespace

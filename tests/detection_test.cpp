@@ -1,0 +1,158 @@
+// Tests for Theorem 1: g(n, x, f), the TRP detection probability.
+//
+// Beyond unit checks, the key validation is a Monte-Carlo cross-check: the
+// closed form must agree with brute-force balls-in-bins simulation of the
+// actual detection event.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "math/detection.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::math::detection_probability;
+using rfid::math::empty_slot_probability;
+using rfid::math::EmptySlotModel;
+using rfid::math::miss_probability;
+
+TEST(EmptySlotProbability, PoissonApproximation) {
+  EXPECT_NEAR(empty_slot_probability(100, 100, EmptySlotModel::kPoissonApprox),
+              std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(empty_slot_probability(0, 10, EmptySlotModel::kPoissonApprox),
+                   1.0);
+}
+
+TEST(EmptySlotProbability, ExactBallsInBins) {
+  // (1 - 1/f)^n exactly.
+  EXPECT_NEAR(empty_slot_probability(3, 4, EmptySlotModel::kExact),
+              std::pow(0.75, 3), 1e-12);
+  EXPECT_DOUBLE_EQ(empty_slot_probability(0, 4, EmptySlotModel::kExact), 1.0);
+  // f = 1: the single slot is empty iff no tags exist.
+  EXPECT_DOUBLE_EQ(empty_slot_probability(5, 1, EmptySlotModel::kExact), 0.0);
+  EXPECT_DOUBLE_EQ(empty_slot_probability(0, 1, EmptySlotModel::kExact), 1.0);
+}
+
+TEST(EmptySlotProbability, ApproximationConvergesToExact) {
+  // For large f the two models agree closely.
+  const double approx = empty_slot_probability(500, 5000, EmptySlotModel::kPoissonApprox);
+  const double exact = empty_slot_probability(500, 5000, EmptySlotModel::kExact);
+  EXPECT_NEAR(approx, exact, 1e-4);
+}
+
+TEST(DetectionProbability, ZeroMissingNeverDetects) {
+  EXPECT_DOUBLE_EQ(detection_probability(100, 0, 128), 0.0);
+}
+
+TEST(DetectionProbability, AllMissingAlwaysDetects) {
+  // With every tag missing, every occupied-looking slot disappears; any
+  // missing tag landing anywhere flips a bit (all slots are empty of
+  // present tags).
+  EXPECT_NEAR(detection_probability(50, 50, 64), 1.0, 1e-9);
+}
+
+TEST(DetectionProbability, WithinUnitInterval) {
+  for (const std::uint64_t f : {1u, 10u, 100u, 1000u}) {
+    for (const std::uint64_t x : {1u, 5u, 20u}) {
+      const double g = detection_probability(100, x, f);
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+}
+
+TEST(DetectionProbability, Lemma1MonotoneInMissingCount) {
+  // Lemma 1: more missing tags are easier to detect.
+  const std::uint64_t n = 500;
+  const std::uint64_t f = 600;
+  double prev = 0.0;
+  for (std::uint64_t x = 1; x <= 40; ++x) {
+    const double g = detection_probability(n, x, f);
+    EXPECT_GE(g, prev - 1e-12) << "x=" << x;
+    prev = g;
+  }
+}
+
+TEST(DetectionProbability, MonotoneInFrameSize) {
+  // More slots -> more empty slots -> better detection.
+  const std::uint64_t n = 500;
+  const std::uint64_t x = 6;
+  double prev = 0.0;
+  for (std::uint64_t f = 50; f <= 3000; f += 50) {
+    const double g = detection_probability(n, x, f);
+    EXPECT_GE(g, prev - 1e-9) << "f=" << f;
+    prev = g;
+  }
+}
+
+TEST(DetectionProbability, ApproachesOneForHugeFrames) {
+  EXPECT_GT(detection_probability(100, 1, 1u << 20), 0.999);
+}
+
+TEST(DetectionProbability, TinyFrameDetectsAlmostNothing) {
+  // f = 1: the single slot is occupied by the 99 remaining tags, so the
+  // expected and observed bitstrings are identical -> no detection.
+  EXPECT_LT(detection_probability(100, 1, 1), 1e-6);
+}
+
+TEST(DetectionProbability, MissProbabilityIsComplement) {
+  const double g = detection_probability(300, 4, 400);
+  EXPECT_NEAR(miss_probability(300, 4, 400), 1.0 - g, 1e-12);
+}
+
+TEST(DetectionProbability, RejectsInvalidArguments) {
+  EXPECT_THROW((void)detection_probability(5, 6, 10), std::invalid_argument);
+  EXPECT_THROW((void)detection_probability(5, 1, 0), std::invalid_argument);
+}
+
+TEST(DetectionProbability, ModelNamesRoundTrip) {
+  EXPECT_EQ(rfid::math::to_string(EmptySlotModel::kPoissonApprox),
+            "poisson-approx");
+  EXPECT_EQ(rfid::math::to_string(EmptySlotModel::kExact), "exact");
+}
+
+// Monte-Carlo cross-validation of Theorem 1 against the real detection
+// event: throw n-x present balls and x missing balls into f bins; detection
+// iff some missing ball lands in a bin with no present ball.
+class DetectionMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> {};
+
+TEST_P(DetectionMonteCarlo, ClosedFormMatchesSimulation) {
+  const auto [n, x, f] = GetParam();
+  rfid::util::Rng rng(rfid::util::derive_seed(2024, n * 31 + x, f));
+  constexpr int kTrials = 20000;
+  int detected = 0;
+  std::vector<char> occupied(f);
+  for (int t = 0; t < kTrials; ++t) {
+    std::fill(occupied.begin(), occupied.end(), 0);
+    for (std::uint64_t i = 0; i < n - x; ++i) {
+      occupied[rng.below(f)] = 1;
+    }
+    bool hit = false;
+    for (std::uint64_t i = 0; i < x && !hit; ++i) {
+      hit = occupied[rng.below(f)] == 0;
+    }
+    detected += hit ? 1 : 0;
+  }
+  const double simulated = static_cast<double>(detected) / kTrials;
+  const double exact = detection_probability(n, x, f, EmptySlotModel::kExact);
+  // Binomial noise over 20k trials: sigma <= 0.0035; allow 4 sigma.
+  EXPECT_NEAR(simulated, exact, 0.015)
+      << "n=" << n << " x=" << x << " f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DetectionMonteCarlo,
+    ::testing::Values(std::make_tuple(100u, 6u, 104u),
+                      std::make_tuple(100u, 6u, 50u),
+                      std::make_tuple(100u, 1u, 200u),
+                      std::make_tuple(500u, 11u, 345u),
+                      std::make_tuple(500u, 31u, 203u),
+                      std::make_tuple(50u, 3u, 25u),
+                      std::make_tuple(20u, 2u, 40u)));
+
+}  // namespace

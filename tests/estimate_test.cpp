@@ -1,0 +1,112 @@
+// Tests for the zero-estimator cardinality module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "estimate/cardinality.h"
+#include "radio/frame.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+using rfid::estimate::estimate_cardinality;
+using rfid::tag::TagSet;
+
+TEST(Cardinality, ExactAtTheExpectedEmptyCount) {
+  // If exactly f * e^{-n/f} slots are empty, the estimate is exactly n.
+  const std::uint64_t f = 1000;
+  const double n = 700.0;
+  const auto n0 = static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(f) * std::exp(-n / static_cast<double>(f))));
+  const auto est = estimate_cardinality(n0, f);
+  EXPECT_NEAR(est.estimate, n, 5.0);
+  EXPECT_FALSE(est.saturated);
+  EXPECT_GT(est.std_error, 0.0);
+}
+
+TEST(Cardinality, AllEmptyMeansZeroTags) {
+  const auto est = estimate_cardinality(512, 512);
+  EXPECT_DOUBLE_EQ(est.estimate, 0.0);
+  EXPECT_FALSE(est.saturated);
+}
+
+TEST(Cardinality, SaturatedFrameIsFlagged) {
+  const auto est = estimate_cardinality(0, 256);
+  EXPECT_TRUE(est.saturated);
+  EXPECT_GT(est.estimate, 256.0);  // at least more tags than slots, roughly
+}
+
+TEST(Cardinality, RejectsBadInputs) {
+  EXPECT_THROW((void)estimate_cardinality(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_cardinality(11, 10), std::invalid_argument);
+  EXPECT_THROW((void)estimate_cardinality(rfid::bits::Bitstring{}),
+               std::invalid_argument);
+}
+
+TEST(Cardinality, BitstringOverloadCountsZeros) {
+  rfid::bits::Bitstring bs(100);
+  for (std::size_t i = 0; i < 60; ++i) bs.set(i);
+  const auto est = estimate_cardinality(bs);
+  EXPECT_EQ(est.empty_slots, 40u);
+  EXPECT_EQ(est.frame_size, 100u);
+}
+
+TEST(Cardinality, UnbiasedOverSimulatedFrames) {
+  // End-to-end: simulate real TRP frames and check the estimator recovers
+  // the true cardinality within a few standard errors.
+  constexpr std::uint64_t kTags = 800;
+  constexpr std::uint32_t kFrame = 1000;
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::RunningStat estimates;
+  for (int t = 0; t < 50; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(20, static_cast<std::uint64_t>(t)));
+    const TagSet set = TagSet::make_random(kTags, rng);
+    const auto obs =
+        rfid::radio::simulate_frame(set.tags(), hasher, rng(), kFrame, {}, rng);
+    estimates.add(estimate_cardinality(obs.bitstring).estimate);
+  }
+  EXPECT_NEAR(estimates.mean(), static_cast<double>(kTags), 40.0);
+}
+
+TEST(Cardinality, StdErrorTracksEmpiricalSpread) {
+  // The delta-method standard error should be the right order of magnitude
+  // compared with the empirical spread across trials.
+  constexpr std::uint64_t kTags = 500;
+  constexpr std::uint32_t kFrame = 600;
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::RunningStat estimates;
+  double predicted_se = 0.0;
+  for (int t = 0; t < 80; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(21, static_cast<std::uint64_t>(t)));
+    const TagSet set = TagSet::make_random(kTags, rng);
+    const auto obs =
+        rfid::radio::simulate_frame(set.tags(), hasher, rng(), kFrame, {}, rng);
+    const auto est = estimate_cardinality(obs.bitstring);
+    estimates.add(est.estimate);
+    predicted_se = est.std_error;
+  }
+  EXPECT_GT(estimates.stddev(), predicted_se * 0.4);
+  EXPECT_LT(estimates.stddev(), predicted_se * 2.5);
+}
+
+TEST(Cardinality, TheftShowsUpAsLowerEstimate) {
+  // The triage behaviour used by InventoryServer alerts: estimates after a
+  // large theft drop accordingly.
+  rfid::util::Rng rng(22);
+  TagSet set = TagSet::make_random(1000, rng);
+  const rfid::hash::SlotHasher hasher;
+  const std::uint64_t r = rng();
+  const auto before =
+      rfid::radio::simulate_frame(set.tags(), hasher, r, 1200, {}, rng);
+  (void)set.steal_random(400, rng);
+  const auto after =
+      rfid::radio::simulate_frame(set.tags(), hasher, r, 1200, {}, rng);
+  const double est_before = estimate_cardinality(before.bitstring).estimate;
+  const double est_after = estimate_cardinality(after.bitstring).estimate;
+  EXPECT_GT(est_before - est_after, 250.0);
+}
+
+}  // namespace

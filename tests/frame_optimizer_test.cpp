@@ -1,0 +1,216 @@
+// Tests for the Eq. (2) and Eq. (3) frame-size optimizers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "math/detection.h"
+#include "math/frame_optimizer.h"
+
+namespace {
+
+using rfid::math::detection_probability;
+using rfid::math::EmptySlotModel;
+using rfid::math::optimize_trp_frame;
+using rfid::math::optimize_utrp_frame;
+using rfid::math::utrp_detection_probability;
+
+// ----------------------------------------------------------------- Eq. 2 --
+
+TEST(TrpOptimizer, SatisfiesConstraintAtOptimum) {
+  const auto plan = optimize_trp_frame(1000, 10, 0.95);
+  EXPECT_GT(plan.predicted_detection, 0.95);
+  EXPECT_NEAR(plan.predicted_detection,
+              detection_probability(1000, 11, plan.frame_size), 1e-12);
+}
+
+TEST(TrpOptimizer, IsMinimal) {
+  for (const std::uint64_t n : {100u, 500u, 1500u}) {
+    for (const std::uint64_t m : {0u, 5u, 30u}) {
+      const auto plan = optimize_trp_frame(n, m, 0.95);
+      ASSERT_GT(plan.frame_size, 1u);
+      EXPECT_LE(detection_probability(n, m + 1, plan.frame_size - 1), 0.95)
+          << "n=" << n << " m=" << m << " f=" << plan.frame_size;
+    }
+  }
+}
+
+TEST(TrpOptimizer, MatchesLinearScanOnSmallInputs) {
+  // Ground truth by exhaustive search.
+  for (const std::uint64_t n : {20u, 60u, 150u}) {
+    for (const std::uint64_t m : {0u, 2u, 5u}) {
+      const auto plan = optimize_trp_frame(n, m, 0.9);
+      std::uint32_t truth = 0;
+      for (std::uint32_t f = 1; f < 10000; ++f) {
+        if (detection_probability(n, m + 1, f) > 0.9) {
+          truth = f;
+          break;
+        }
+      }
+      EXPECT_EQ(plan.frame_size, truth) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(TrpOptimizer, FrameGrowsLinearlyWithN) {
+  // Fig. 4's qualitative shape: f scales roughly linearly in n for fixed m.
+  const auto f500 = optimize_trp_frame(500, 5, 0.95).frame_size;
+  const auto f1000 = optimize_trp_frame(1000, 5, 0.95).frame_size;
+  const auto f2000 = optimize_trp_frame(2000, 5, 0.95).frame_size;
+  EXPECT_NEAR(static_cast<double>(f1000) / f500, 2.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(f2000) / f1000, 2.0, 0.2);
+}
+
+TEST(TrpOptimizer, FrameShrinksWithTolerance) {
+  // More tolerated losses -> fewer slots needed (Fig. 4 across panels).
+  const auto m5 = optimize_trp_frame(2000, 5, 0.95).frame_size;
+  const auto m10 = optimize_trp_frame(2000, 10, 0.95).frame_size;
+  const auto m30 = optimize_trp_frame(2000, 30, 0.95).frame_size;
+  EXPECT_GT(m5, m10);
+  EXPECT_GT(m10, m30);
+}
+
+TEST(TrpOptimizer, FrameGrowsWithConfidence) {
+  const auto lo = optimize_trp_frame(1000, 5, 0.90).frame_size;
+  const auto mid = optimize_trp_frame(1000, 5, 0.95).frame_size;
+  const auto hi = optimize_trp_frame(1000, 5, 0.999).frame_size;
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+}
+
+TEST(TrpOptimizer, StrictMonitoringSingleItem) {
+  // m = 0, alpha = 0.99 — the paper's "strict monitoring" example.
+  const auto plan = optimize_trp_frame(100, 0, 0.99);
+  EXPECT_GT(plan.predicted_detection, 0.99);
+  EXPECT_GT(plan.frame_size, 100u);  // one missing tag needs a sparse frame
+}
+
+TEST(TrpOptimizer, WorksWithExactModel) {
+  const auto plan = optimize_trp_frame(300, 3, 0.95, EmptySlotModel::kExact);
+  EXPECT_GT(detection_probability(300, 4, plan.frame_size, EmptySlotModel::kExact),
+            0.95);
+}
+
+TEST(TrpOptimizer, RejectsBadParameters) {
+  EXPECT_THROW((void)optimize_trp_frame(0, 0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)optimize_trp_frame(5, 5, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)optimize_trp_frame(10, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)optimize_trp_frame(10, 1, 1.0), std::invalid_argument);
+}
+
+TEST(TrpOptimizer, UnsatisfiableAlphaThrows) {
+  // alpha numerically indistinguishable from 1 can exceed any frame bound.
+  EXPECT_THROW((void)optimize_trp_frame(10, 0, 1.0 - 1e-16),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Eq. 3 --
+
+TEST(UtrpDetection, ZeroWhenAdversaryCoversWholeFrame) {
+  // With a huge budget c, c' >= f and the attack is undetectable.
+  EXPECT_DOUBLE_EQ(utrp_detection_probability(100, 5, 100000, 200), 0.0);
+}
+
+TEST(UtrpDetection, MatchesTrpWhenBudgetIsZero) {
+  // c = 0 means no collaboration at all: the stolen tags contribute exactly
+  // as in TRP, so Eq. 3 collapses to (a mixture dominated by) g(n, m+1, f).
+  const std::uint64_t n = 500;
+  const std::uint64_t m = 5;
+  const std::uint64_t f = 600;
+  const double eq3 = utrp_detection_probability(n, m, 0, f);
+  const double trp = detection_probability(n, m + 1, f);
+  EXPECT_NEAR(eq3, trp, 0.02);
+}
+
+TEST(UtrpDetection, DecreasesWithBudget) {
+  const std::uint64_t n = 1000;
+  const std::uint64_t m = 10;
+  const std::uint64_t f = 800;
+  double prev = 1.0;
+  for (const std::uint64_t c : {0u, 10u, 20u, 50u, 100u}) {
+    const double d = utrp_detection_probability(n, m, c, f);
+    EXPECT_LE(d, prev + 1e-9) << "c=" << c;
+    prev = d;
+  }
+}
+
+TEST(UtrpDetection, IncreasesWithFrameSize) {
+  const std::uint64_t n = 1000;
+  const std::uint64_t m = 10;
+  double prev = 0.0;
+  for (std::uint64_t f = 700; f <= 1600; f += 100) {
+    const double d = utrp_detection_probability(n, m, 20, f);
+    EXPECT_GE(d, prev - 1e-9) << "f=" << f;
+    prev = d;
+  }
+}
+
+TEST(UtrpOptimizer, SatisfiesConstraintIncludingSlack) {
+  const auto plan = optimize_utrp_frame(1000, 10, 0.95, 20);
+  EXPECT_GT(plan.predicted_detection, 0.95);
+  EXPECT_EQ(plan.frame_size, plan.optimal_frame + 8);
+  EXPECT_LE(utrp_detection_probability(1000, 10, 20, plan.optimal_frame - 1),
+            0.95);
+}
+
+TEST(UtrpOptimizer, NeverSmallerThanTrp) {
+  // The adversary only gains information relative to TRP (Sec. 5.4).
+  for (const std::uint64_t n : {200u, 1000u, 2000u}) {
+    for (const std::uint64_t m : {5u, 20u}) {
+      const auto trp = optimize_trp_frame(n, m, 0.95);
+      const auto utrp = optimize_utrp_frame(n, m, 0.95, 20, 0);
+      EXPECT_GE(utrp.frame_size, trp.frame_size) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(UtrpOptimizer, OverheadOverTrpIsModest) {
+  // Fig. 6's observation: the UTRP overhead is small at c = 20.
+  const auto trp = optimize_trp_frame(2000, 10, 0.95);
+  const auto utrp = optimize_utrp_frame(2000, 10, 0.95, 20);
+  EXPECT_LT(utrp.frame_size, trp.frame_size * 3 / 2);
+}
+
+TEST(UtrpOptimizer, FrameGrowsWithBudget) {
+  const auto c10 = optimize_utrp_frame(1000, 10, 0.95, 10, 0).frame_size;
+  const auto c40 = optimize_utrp_frame(1000, 10, 0.95, 40, 0).frame_size;
+  const auto c100 = optimize_utrp_frame(1000, 10, 0.95, 100, 0).frame_size;
+  EXPECT_LE(c10, c40);
+  EXPECT_LT(c40, c100);
+}
+
+TEST(UtrpOptimizer, ExpectedCprimeMatchesTheorem3) {
+  const auto plan = optimize_utrp_frame(500, 5, 0.95, 20);
+  const double p_empty = rfid::math::empty_slot_probability(
+      500 - 5 - 1, plan.frame_size, EmptySlotModel::kPoissonApprox);
+  EXPECT_NEAR(plan.expected_cprime, 20.0 / p_empty, 1e-9);
+  EXPECT_LT(plan.expected_cprime, plan.frame_size);
+}
+
+TEST(UtrpOptimizer, RejectsBadParameters) {
+  EXPECT_THROW((void)optimize_utrp_frame(0, 0, 0.95, 20), std::invalid_argument);
+  EXPECT_THROW((void)optimize_utrp_frame(10, 1, 1.5, 20), std::invalid_argument);
+}
+
+// Parameterized sweep over the paper's full evaluation grid: both optimizers
+// must produce frames satisfying their constraints for every (n, m) pair of
+// Figs. 4–7.
+class PaperGrid
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(PaperGrid, BothOptimizersSatisfyConstraints) {
+  const auto [n, m] = GetParam();
+  const double alpha = 0.95;
+  const auto trp = optimize_trp_frame(n, m, alpha);
+  EXPECT_GT(trp.predicted_detection, alpha);
+  const auto utrp = optimize_utrp_frame(n, m, alpha, 20);
+  EXPECT_GT(utrp.predicted_detection, alpha);
+  EXPECT_GE(utrp.frame_size, trp.frame_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvaluationSection, PaperGrid,
+    ::testing::Combine(::testing::Values(100u, 400u, 800u, 1200u, 1600u, 2000u),
+                       ::testing::Values(5u, 10u, 20u, 30u)));
+
+}  // namespace

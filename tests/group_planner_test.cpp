@@ -1,0 +1,145 @@
+// Tests for the zone/group planner.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "math/frame_optimizer.h"
+#include "server/group_planner.h"
+
+namespace {
+
+using rfid::server::GroupPlan;
+using rfid::server::plan_groups;
+using rfid::server::PlannerInput;
+
+TEST(GroupPlanner, SingleZoneWhenUnconstrained) {
+  const GroupPlan plan = plan_groups(
+      {.total_tags = 1000, .total_tolerance = 10, .alpha = 0.95});
+  ASSERT_EQ(plan.zones.size(), 1u);
+  EXPECT_EQ(plan.zones[0].tags, 1000u);
+  EXPECT_EQ(plan.zones[0].tolerance, 10u);
+  const auto single = rfid::math::optimize_trp_frame(1000, 10, 0.95);
+  EXPECT_EQ(plan.total_slots, single.frame_size);
+}
+
+TEST(GroupPlanner, SizesAndTolerancesSumExactly) {
+  const GroupPlan plan = plan_groups({.total_tags = 1003,
+                                      .total_tolerance = 17,
+                                      .alpha = 0.95,
+                                      .max_group_size = 250});
+  std::uint64_t tags = 0;
+  std::uint64_t tolerance = 0;
+  for (const auto& zone : plan.zones) {
+    tags += zone.tags;
+    tolerance += zone.tolerance;
+    EXPECT_LE(zone.tags, 250u);
+    EXPECT_GE(zone.tags, 1u);
+  }
+  EXPECT_EQ(tags, 1003u);
+  EXPECT_EQ(tolerance, 17u);
+  EXPECT_EQ(plan.zones.size(), 5u);  // ceil(1003 / 250)
+}
+
+TEST(GroupPlanner, ZoneSizesNearlyEqual) {
+  const GroupPlan plan = plan_groups({.total_tags = 1000,
+                                      .total_tolerance = 20,
+                                      .alpha = 0.95,
+                                      .max_group_size = 300});
+  std::uint64_t min_size = ~0ull;
+  std::uint64_t max_size = 0;
+  for (const auto& zone : plan.zones) {
+    min_size = std::min(min_size, zone.tags);
+    max_size = std::max(max_size, zone.tags);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(GroupPlanner, EveryZoneMeetsAlpha) {
+  const GroupPlan plan = plan_groups({.total_tags = 2000,
+                                      .total_tolerance = 30,
+                                      .alpha = 0.95,
+                                      .max_group_size = 400});
+  EXPECT_GT(plan.worst_zone_detection, 0.95);
+  for (const auto& zone : plan.zones) {
+    EXPECT_GT(zone.detection, 0.95);
+    EXPECT_NEAR(zone.detection,
+                rfid::math::detection_probability(zone.tags, zone.tolerance + 1,
+                                                  zone.frame_size),
+                1e-12);
+  }
+}
+
+TEST(GroupPlanner, ShardingCostsSlots) {
+  // The documented shape: more zones => more total slots, monotonically.
+  const auto one = plan_groups({.total_tags = 1200, .total_tolerance = 12,
+                                .alpha = 0.95});
+  const auto three = plan_groups({.total_tags = 1200, .total_tolerance = 12,
+                                  .alpha = 0.95, .max_group_size = 400});
+  const auto twelve = plan_groups({.total_tags = 1200, .total_tolerance = 12,
+                                   .alpha = 0.95, .max_group_size = 100});
+  EXPECT_LT(one.total_slots, three.total_slots);
+  EXPECT_LT(three.total_slots, twelve.total_slots);
+}
+
+TEST(GroupPlanner, ZeroToleranceZonesAllowed) {
+  // M smaller than the zone count: some zones run at m = 0.
+  const GroupPlan plan = plan_groups({.total_tags = 400,
+                                      .total_tolerance = 2,
+                                      .alpha = 0.9,
+                                      .max_group_size = 100});
+  ASSERT_EQ(plan.zones.size(), 4u);
+  std::uint64_t zero_zones = 0;
+  for (const auto& zone : plan.zones) {
+    if (zone.tolerance == 0) ++zero_zones;
+  }
+  EXPECT_EQ(zero_zones, 2u);
+  EXPECT_GT(plan.worst_zone_detection, 0.9);
+}
+
+TEST(GroupPlanner, RejectsImpossibleInputs) {
+  EXPECT_THROW((void)plan_groups({.total_tags = 0, .total_tolerance = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_groups({.total_tags = 10, .total_tolerance = 10}),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_groups({.total_tags = 100,
+                                  .total_tolerance = 99,
+                                  .alpha = 0.95,
+                                  .max_group_size = 50}),
+               std::invalid_argument);
+  // Boundary case: M + zones == N is feasible (every zone may lose all but
+  // one... plus the one: m_i + 1 == n_i exactly).
+  EXPECT_NO_THROW((void)plan_groups({.total_tags = 100,
+                                     .total_tolerance = 98,
+                                     .alpha = 0.95,
+                                     .max_group_size = 50}));
+  EXPECT_THROW((void)plan_groups({.total_tags = 10,
+                                  .total_tolerance = 1,
+                                  .alpha = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(GroupPlanner, PigeonholeGuaranteeHolds) {
+  // Any theft pattern exceeding M in total overloads some zone: check the
+  // combinatorial core directly for a concrete plan.
+  const GroupPlan plan = plan_groups({.total_tags = 600,
+                                      .total_tolerance = 9,
+                                      .alpha = 0.95,
+                                      .max_group_size = 200});
+  std::uint64_t total_tolerance = 0;
+  for (const auto& zone : plan.zones) total_tolerance += zone.tolerance;
+  // Steal M+1 = 10 tags in ANY split across 3 zones: since Σ m_i = 9, some
+  // zone must get >= m_i + 1. (Exhaustive check over all compositions.)
+  const std::uint64_t theft = total_tolerance + 1;
+  for (std::uint64_t a = 0; a <= theft; ++a) {
+    for (std::uint64_t b = 0; a + b <= theft; ++b) {
+      const std::uint64_t c = theft - a - b;
+      const bool overloaded = a > plan.zones[0].tolerance ||
+                              b > plan.zones[1].tolerance ||
+                              c > plan.zones[2].tolerance;
+      EXPECT_TRUE(overloaded) << a << "," << b << "," << c;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for the missing-tag identification extension.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "protocol/identify.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::protocol::identify_missing_tags;
+using rfid::protocol::IdentifyConfig;
+using rfid::tag::TagId;
+using rfid::tag::TagSet;
+
+std::set<std::uint64_t> words_of(const std::vector<TagId>& ids) {
+  std::set<std::uint64_t> out;
+  for (const TagId& id : ids) out.insert(id.slot_word());
+  return out;
+}
+
+TEST(Identify, ExactlyIdentifiesTheStolenTags) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    rfid::util::Rng rng(rfid::util::derive_seed(50, seed));
+    TagSet set = TagSet::make_random(400, rng);
+    const auto enrolled = set.ids();
+    const TagSet stolen = set.steal_random(25, rng);
+    const auto result = identify_missing_tags(enrolled, set.tags(),
+                                              rfid::hash::SlotHasher{}, {}, rng);
+    EXPECT_TRUE(result.unresolved.empty());
+    EXPECT_EQ(result.missing.size(), 25u);
+    EXPECT_EQ(result.present.size(), 375u);
+    EXPECT_EQ(words_of(result.missing), words_of(stolen.ids()));
+  }
+}
+
+TEST(Identify, NothingMissingMeansEveryoneProvenPresent) {
+  rfid::util::Rng rng(1);
+  const TagSet set = TagSet::make_random(200, rng);
+  const auto result = identify_missing_tags(set.ids(), set.tags(),
+                                            rfid::hash::SlotHasher{}, {}, rng);
+  EXPECT_TRUE(result.missing.empty());
+  EXPECT_TRUE(result.unresolved.empty());
+  EXPECT_EQ(result.present.size(), 200u);
+}
+
+TEST(Identify, EverythingMissingResolvedInOneRound) {
+  rfid::util::Rng rng(2);
+  const TagSet set = TagSet::make_random(100, rng);
+  const auto result = identify_missing_tags(set.ids(), {},
+                                            rfid::hash::SlotHasher{}, {}, rng);
+  EXPECT_EQ(result.missing.size(), 100u);
+  EXPECT_TRUE(result.present.empty());
+  EXPECT_EQ(result.rounds, 1u);  // every slot observed empty: all proven
+}
+
+TEST(Identify, NoFalseAccusationsEver) {
+  // Across many randomized campaigns, a physically present tag must never
+  // land in `missing` (the verdicts are proofs on an ideal channel).
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    rfid::util::Rng rng(rfid::util::derive_seed(51, seed));
+    TagSet set = TagSet::make_random(150, rng);
+    const auto enrolled = set.ids();
+    (void)set.steal_random(static_cast<std::size_t>(rng.below(40)), rng);
+    const auto result = identify_missing_tags(enrolled, set.tags(),
+                                              rfid::hash::SlotHasher{}, {}, rng);
+    const auto present_words = words_of(set.ids());
+    for (const TagId& accused : result.missing) {
+      EXPECT_FALSE(present_words.contains(accused.slot_word()))
+          << "present tag falsely accused (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(Identify, RoundCountIsLogarithmic) {
+  rfid::util::Rng rng(3);
+  TagSet set = TagSet::make_random(2000, rng);
+  const auto enrolled = set.ids();
+  (void)set.steal_random(100, rng);
+  const auto result = identify_missing_tags(enrolled, set.tags(),
+                                            rfid::hash::SlotHasher{}, {}, rng);
+  EXPECT_TRUE(result.unresolved.empty());
+  EXPECT_LT(result.rounds, 45u);  // e^{-1}-ish resolution per round
+  // Frames stay ~n wide while any tag is unknown: O(n log n) total.
+  EXPECT_LT(result.total_slots, 2000u * 50);
+}
+
+TEST(Identify, LargerFramesFewerRounds) {
+  // Identical population and randomness; only the frame load differs.
+  rfid::util::Rng make_rng(4);
+  TagSet proto = TagSet::make_random(500, make_rng);
+  const auto enrolled = proto.ids();
+  (void)proto.steal_random(20, make_rng);
+
+  rfid::util::Rng rng_tight(99);
+  rfid::util::Rng rng_roomy(99);
+  const auto tight = identify_missing_tags(
+      enrolled, proto.tags(), rfid::hash::SlotHasher{}, {.frame_load = 1.0},
+      rng_tight);
+  const auto roomy = identify_missing_tags(
+      enrolled, proto.tags(), rfid::hash::SlotHasher{}, {.frame_load = 4.0},
+      rng_roomy);
+  EXPECT_LE(roomy.rounds, tight.rounds);
+  EXPECT_TRUE(roomy.unresolved.empty());
+}
+
+TEST(Identify, RoundCapLeavesUnresolvedNotWrong) {
+  rfid::util::Rng rng(5);
+  TagSet set = TagSet::make_random(300, rng);
+  const auto enrolled = set.ids();
+  const TagSet stolen = set.steal_random(10, rng);
+  const auto result = identify_missing_tags(
+      enrolled, set.tags(), rfid::hash::SlotHasher{},
+      {.frame_load = 1.0, .max_rounds = 1}, rng);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_FALSE(result.unresolved.empty());
+  // Whatever WAS classified must still be correct.
+  const auto stolen_words = words_of(stolen.ids());
+  for (const TagId& id : result.missing) {
+    EXPECT_TRUE(stolen_words.contains(id.slot_word()));
+  }
+  const auto present_words = words_of(set.ids());
+  for (const TagId& id : result.present) {
+    EXPECT_TRUE(present_words.contains(id.slot_word()));
+  }
+  // Classified + unresolved covers everyone exactly once.
+  EXPECT_EQ(result.missing.size() + result.present.size() +
+                result.unresolved.size(),
+            enrolled.size());
+}
+
+TEST(Identify, LossyChannelCausesFalseAccusations) {
+  // The documented caveat: a lost reply looks like absence. Expect at least
+  // one present tag accused under heavy loss.
+  rfid::util::Rng rng(6);
+  TagSet set = TagSet::make_random(300, rng);
+  const auto enrolled = set.ids();
+  (void)set.steal_random(5, rng);
+  const auto result = identify_missing_tags(
+      enrolled, set.tags(), rfid::hash::SlotHasher{},
+      {.frame_load = 1.0,
+       .max_rounds = 64,
+       .channel = {.reply_loss_prob = 0.2, .capture_prob = 0.0}},
+      rng);
+  EXPECT_GT(result.missing.size(), 5u);
+}
+
+TEST(Identify, RejectsBadConfig) {
+  rfid::util::Rng rng(7);
+  const TagSet set = TagSet::make_random(5, rng);
+  EXPECT_THROW((void)identify_missing_tags({}, set.tags(),
+                                           rfid::hash::SlotHasher{}, {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)identify_missing_tags(set.ids(), set.tags(),
+                                           rfid::hash::SlotHasher{},
+                                           {.frame_load = 0.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)identify_missing_tags(set.ids(), set.tags(), rfid::hash::SlotHasher{},
+                                  {.frame_load = 1.0, .max_rounds = 0}, rng),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Cross-module integration tests: full monitoring campaigns that exercise
+// server + protocol + radio + attack + estimate together, the way the
+// examples and benches do.
+#include <gtest/gtest.h>
+
+#include "attack/split_attack.h"
+#include "attack/utrp_attack.h"
+#include "protocol/collect_all.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "radio/timing.h"
+#include "server/inventory_server.h"
+#include "sim/event_queue.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::protocol::MonitoringPolicy;
+using rfid::server::GroupConfig;
+using rfid::server::InventoryServer;
+using rfid::server::ProtocolKind;
+using rfid::tag::TagSet;
+
+TEST(Integration, MonitoringCampaignDetectsTheftAtTheRightRound) {
+  // A warehouse runs nightly TRP rounds; the theft happens before round 3
+  // and must be flagged from round 3 onward.
+  rfid::util::Rng rng(1);
+  InventoryServer server;
+  TagSet set = TagSet::make_random(400, rng);
+  GroupConfig cfg;
+  cfg.name = "warehouse";
+  cfg.policy = MonitoringPolicy{.tolerated_missing = 5, .confidence = 0.95};
+  const auto id = server.enroll(set, cfg);
+  const rfid::protocol::TrpReader reader;
+
+  int first_alert_round = -1;
+  for (int round = 1; round <= 6; ++round) {
+    if (round == 3) (void)set.steal_random(120, rng);  // the heist
+    const auto c = server.challenge_trp(id, rng);
+    const auto verdict =
+        server.submit_trp(id, c, reader.scan(set.tags(), c, rng));
+    if (!verdict.intact && first_alert_round < 0) first_alert_round = round;
+    if (round < 3) {
+      EXPECT_TRUE(verdict.intact) << "round " << round;
+    }
+  }
+  EXPECT_EQ(first_alert_round, 3);
+  EXPECT_GE(server.alerts().size(), 1u);
+}
+
+TEST(Integration, TrpVersusCollectAllSlotCounts) {
+  // Fig. 4's qualitative claim at one data point: TRP uses fewer slots than
+  // collect-all for the same monitoring task.
+  rfid::util::Rng rng(2);
+  const TagSet set = TagSet::make_random(1000, rng);
+  const rfid::hash::SlotHasher hasher;
+  const auto trp_plan = rfid::math::optimize_trp_frame(1000, 10, 0.95);
+  const auto baseline = rfid::protocol::run_collect_all(
+      set.tags(), hasher, {.stop_after_collected = 1000 - 10}, rng);
+  EXPECT_LT(trp_plan.frame_size, baseline.total_slots);
+}
+
+TEST(Integration, UtrpCampaignSurvivesManyRoundsThenCatchesSplitAttack) {
+  rfid::util::Rng rng(3);
+  InventoryServer server;
+  TagSet set = TagSet::make_random(300, rng);
+  GroupConfig cfg;
+  cfg.name = "cage";
+  cfg.policy = MonitoringPolicy{.tolerated_missing = 5, .confidence = 0.95};
+  cfg.protocol = ProtocolKind::kUtrp;
+  cfg.comm_budget = 20;
+  const auto id = server.enroll(set, cfg);
+  const rfid::protocol::UtrpReader reader;
+
+  // Five honest rounds keep counters in sync.
+  for (int round = 0; round < 5; ++round) {
+    const auto c = server.challenge_utrp(id, rng);
+    const auto scan = reader.scan(set.tags(), c);
+    ASSERT_TRUE(server.submit_utrp(id, c, scan.bitstring, true).intact);
+    set.begin_round();
+  }
+
+  // Now the reader turns dishonest and splits the set.
+  TagSet stolen = set.steal_random(6, rng);
+  const auto c = server.challenge_utrp(id, rng);
+  const auto attack = rfid::attack::run_utrp_split_attack(
+      set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, c, 20);
+  const auto verdict = server.submit_utrp(id, c, attack.forged, true);
+  EXPECT_FALSE(verdict.intact);
+  EXPECT_TRUE(server.needs_resync(id));
+}
+
+TEST(Integration, TrpIsVulnerableWhereUtrpIsNot) {
+  // The paper's core security comparison, run end-to-end on one population:
+  // identical theft, identical budget-unbounded-within-reason adversary;
+  // TRP is fooled, UTRP is not.
+  rfid::util::Rng rng(4);
+  const TagSet proto = TagSet::make_random(250, rng);
+  const MonitoringPolicy policy{.tolerated_missing = 5, .confidence = 0.95};
+  constexpr std::uint64_t kBudget = 20;
+
+  int trp_fooled = 0;
+  int utrp_fooled = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng trial_rng(rfid::util::derive_seed(5, static_cast<std::uint64_t>(t)));
+    TagSet set = proto;
+    const rfid::protocol::TrpServer trp_server(set.ids(), policy);
+    rfid::protocol::UtrpServer utrp_server(set, policy, kBudget);
+    TagSet stolen = set.steal_random(6, trial_rng);
+
+    const auto trp_c = trp_server.issue_challenge(trial_rng);
+    const auto trp_attack = rfid::attack::run_trp_split_attack(
+        set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, trp_c, trial_rng);
+    if (trp_server.verify(trp_c, trp_attack.forged).intact) ++trp_fooled;
+
+    const auto utrp_c = utrp_server.issue_challenge(trial_rng);
+    const auto utrp_attack = rfid::attack::run_utrp_split_attack(
+        set.tags(), stolen.tags(), rfid::hash::SlotHasher{}, utrp_c, kBudget);
+    if (utrp_server.verify(utrp_c, utrp_attack.forged).intact) ++utrp_fooled;
+  }
+  EXPECT_EQ(trp_fooled, kTrials);  // Alg. 4 always beats TRP
+  EXPECT_LE(utrp_fooled, kTrials / 10);
+}
+
+TEST(Integration, TimingDerivedBudgetFlowsIntoOptimizer) {
+  // Sec. 5.4 end-to-end: estimate STmin/STmax from the timing model, derive
+  // the adversary's c from the deadline, and size the UTRP frame with it.
+  rfid::util::Rng rng(6);
+  const TagSet set = TagSet::make_random(500, rng);
+  const rfid::radio::TimingModel timing;
+
+  // Honest scan-time envelope from real walks.
+  rfid::util::RunningStat scan_us;
+  for (int t = 0; t < 10; ++t) {
+    TagSet copy = set;
+    rfid::protocol::UtrpChallenge c;
+    c.frame_size = 700;
+    for (std::uint32_t i = 0; i < c.frame_size; ++i) c.seeds.push_back(rng());
+    const auto result =
+        rfid::protocol::utrp_scan(copy.tags(), rfid::hash::SlotHasher{}, c);
+    const std::uint64_t occupied = result.bitstring.count();
+    scan_us.add(timing.utrp_scan_us(c.frame_size - occupied, occupied,
+                                    result.reseeds));
+  }
+  const double deadline = scan_us.max() * 1.05;  // server sets t = STmax-ish
+  const std::uint64_t c_budget = rfid::radio::communication_budget(
+      deadline, scan_us.min(), /*comm_roundtrip_us=*/2000.0);
+  EXPECT_GT(c_budget, 0u);
+  EXPECT_LT(c_budget, 700u);
+
+  const auto plan = rfid::math::optimize_utrp_frame(500, 5, 0.95, c_budget);
+  EXPECT_GT(plan.predicted_detection, 0.95);
+}
+
+TEST(Integration, EventQueueDrivesAScanTimeline) {
+  // Model one TRP frame as discrete events: query broadcast, then one event
+  // per slot boundary; the finish time must equal the timing model's sum.
+  rfid::util::Rng rng(7);
+  const TagSet set = TagSet::make_random(120, rng);
+  const rfid::hash::SlotHasher hasher;
+  const rfid::radio::TimingModel timing;
+  const std::uint32_t f = 150;
+  const auto obs =
+      rfid::radio::simulate_frame(set.tags(), hasher, rng(), f, {}, rng);
+
+  rfid::sim::EventQueue queue;
+  double finish_time = -1.0;
+  queue.schedule_at(timing.query_broadcast_us, [&] {
+    double t = queue.now();
+    for (std::uint32_t slot = 0; slot < f; ++slot) {
+      t += obs.bitstring.test(slot) ? timing.short_reply_slot_us
+                                    : timing.empty_slot_us;
+    }
+    queue.schedule_at(t, [&] { finish_time = queue.now(); });
+  });
+  (void)queue.run();
+  const std::uint64_t occupied = obs.bitstring.count();
+  EXPECT_DOUBLE_EQ(finish_time, timing.trp_scan_us(f - occupied, occupied));
+}
+
+TEST(Integration, ParallelTrialsReproduceFig5Point) {
+  // One Fig. 5 data point computed exactly the way the bench does, asserting
+  // the detection probability clears alpha.
+  constexpr std::uint64_t kTags = 500;
+  constexpr std::uint64_t kTolerance = 10;
+  const rfid::sim::TrialRunner runner;
+  const auto result = runner.run_boolean(
+      500, 2026, [&](std::uint64_t, rfid::util::Rng& rng) {
+        TagSet set = TagSet::make_random(kTags, rng);
+        const rfid::protocol::TrpServer server(
+            set.ids(),
+            MonitoringPolicy{.tolerated_missing = kTolerance, .confidence = 0.95});
+        (void)set.steal_random(kTolerance + 1, rng);
+        const auto c = server.issue_challenge(rng);
+        const rfid::protocol::TrpReader reader;
+        return !server.verify(c, reader.scan(set.tags(), c, rng)).intact;
+      });
+  EXPECT_GT(result.proportion(), 0.92);
+  EXPECT_EQ(result.trials(), 500u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for multi-round TRP amplification.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "protocol/multi_round.h"
+#include "protocol/trp.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::protocol::MonitoringPolicy;
+using rfid::protocol::MultiRoundTrpServer;
+using rfid::protocol::optimize_round_count;
+using rfid::protocol::plan_multi_round_trp;
+using rfid::protocol::TrpReader;
+using rfid::tag::TagSet;
+
+TEST(MultiRoundPlan, OneRoundEqualsEq2) {
+  const auto multi = plan_multi_round_trp(1000, 10, 0.95, 1);
+  const auto single = rfid::math::optimize_trp_frame(1000, 10, 0.95);
+  EXPECT_EQ(multi.frame_size, single.frame_size);
+  EXPECT_DOUBLE_EQ(multi.per_round_alpha, 0.95);
+  EXPECT_EQ(multi.total_slots, single.frame_size);
+}
+
+TEST(MultiRoundPlan, AmplifiedDetectionClearsTarget) {
+  for (const std::uint32_t k : {2u, 3u, 5u, 10u}) {
+    const auto plan = plan_multi_round_trp(500, 5, 0.95, k);
+    EXPECT_GT(plan.predicted_detection, 0.95) << "k=" << k;
+    EXPECT_LT(plan.per_round_alpha, 0.95);
+    EXPECT_EQ(plan.total_slots,
+              static_cast<std::uint64_t>(k) * plan.frame_size);
+  }
+}
+
+TEST(MultiRoundPlan, PerRoundAlphaFormula) {
+  const auto plan = plan_multi_round_trp(500, 5, 0.99, 2);
+  // 1 - (1-0.99)^(1/2) = 1 - 0.1 = 0.9.
+  EXPECT_NEAR(plan.per_round_alpha, 0.9, 1e-12);
+}
+
+TEST(MultiRoundPlan, StrictPoliciesGainMassively) {
+  // The headline: m = 0 at alpha = 0.99 is ~5x cheaper split into rounds.
+  const auto single = plan_multi_round_trp(1000, 0, 0.99, 1);
+  const auto best = optimize_round_count(1000, 0, 0.99, 16);
+  EXPECT_GT(best.rounds, 1u);
+  EXPECT_LT(best.total_slots, single.total_slots / 3);
+}
+
+TEST(MultiRoundPlan, LoosePoliciesPreferOneRound) {
+  // With m = 30 at alpha = 0.9 a single frame is already cheap; splitting
+  // must not be forced (ties break toward fewer rounds).
+  const auto best = optimize_round_count(1000, 30, 0.90, 8);
+  const auto single = plan_multi_round_trp(1000, 30, 0.90, 1);
+  EXPECT_LE(best.total_slots, single.total_slots);
+  if (best.total_slots == single.total_slots) {
+    EXPECT_EQ(best.rounds, 1u);
+  }
+}
+
+TEST(MultiRoundPlan, RejectsBadInputs) {
+  EXPECT_THROW((void)plan_multi_round_trp(100, 5, 0.95, 0), std::invalid_argument);
+  EXPECT_THROW((void)plan_multi_round_trp(100, 5, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)optimize_round_count(100, 5, 0.95, 0), std::invalid_argument);
+}
+
+TEST(MultiRoundServer, IntactSetPassesAllRounds) {
+  rfid::util::Rng rng(1);
+  const TagSet set = TagSet::make_random(300, rng);
+  const MultiRoundTrpServer server(
+      set.ids(), MonitoringPolicy{.tolerated_missing = 5, .confidence = 0.99}, 3);
+  const TrpReader reader;
+  const auto challenges = server.issue_challenges(rng);
+  ASSERT_EQ(challenges.size(), 3u);
+  std::vector<rfid::bits::Bitstring> reported;
+  for (const auto& c : challenges) {
+    EXPECT_EQ(c.frame_size, server.plan().frame_size);
+    reported.push_back(reader.scan(set.tags(), c, rng));
+  }
+  EXPECT_TRUE(server.verify(challenges, reported).intact);
+}
+
+TEST(MultiRoundServer, ChallengesUseDistinctRandomness) {
+  rfid::util::Rng rng(2);
+  const TagSet set = TagSet::make_random(100, rng);
+  const MultiRoundTrpServer server(
+      set.ids(), MonitoringPolicy{.tolerated_missing = 2, .confidence = 0.95}, 4);
+  const auto challenges = server.issue_challenges(rng);
+  for (std::size_t i = 0; i < challenges.size(); ++i) {
+    for (std::size_t j = i + 1; j < challenges.size(); ++j) {
+      EXPECT_NE(challenges[i].r, challenges[j].r);
+    }
+  }
+}
+
+TEST(MultiRoundServer, VerifyRejectsWrongRoundCount) {
+  rfid::util::Rng rng(3);
+  const TagSet set = TagSet::make_random(50, rng);
+  const MultiRoundTrpServer server(
+      set.ids(), MonitoringPolicy{.tolerated_missing = 2, .confidence = 0.95}, 2);
+  const auto challenges = server.issue_challenges(rng);
+  EXPECT_THROW((void)server.verify(challenges, {}), std::invalid_argument);
+}
+
+TEST(MultiRoundServer, AmplificationHoldsEmpirically) {
+  // The empirical heart: per-round frames sized at alpha_k = 0.684 (k=3,
+  // alpha=0.9685...) must still catch m+1 thieves at >= the overall alpha.
+  constexpr std::uint64_t kTags = 400;
+  constexpr std::uint64_t kTolerance = 5;
+  constexpr double kAlpha = 0.95;
+  constexpr std::uint32_t kRounds = 3;
+  const rfid::sim::TrialRunner runner;
+  const auto outcome = runner.run_boolean(
+      600, 42, [&](std::uint64_t, rfid::util::Rng& rng) {
+        TagSet set = TagSet::make_random(kTags, rng);
+        const MultiRoundTrpServer server(
+            set.ids(),
+            MonitoringPolicy{.tolerated_missing = kTolerance, .confidence = kAlpha},
+            kRounds);
+        (void)set.steal_random(kTolerance + 1, rng);
+        const TrpReader reader;
+        const auto challenges = server.issue_challenges(rng);
+        std::vector<rfid::bits::Bitstring> reported;
+        for (const auto& c : challenges) {
+          reported.push_back(reader.scan(set.tags(), c, rng));
+        }
+        return !server.verify(challenges, reported).intact;
+      });
+  EXPECT_GT(outcome.proportion(), kAlpha - 0.025);  // 600-trial noise margin
+}
+
+TEST(MultiRoundServer, CheaperThanSingleRoundForStrictPolicy) {
+  rfid::util::Rng rng(4);
+  const TagSet set = TagSet::make_random(500, rng);
+  const auto best = optimize_round_count(500, 0, 0.99);
+  const MultiRoundTrpServer server(
+      set.ids(), MonitoringPolicy{.tolerated_missing = 0, .confidence = 0.99},
+      best.rounds);
+  const auto single = rfid::math::optimize_trp_frame(500, 0, 0.99);
+  EXPECT_LT(server.plan().total_slots, single.frame_size);
+}
+
+}  // namespace

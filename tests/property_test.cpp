@@ -1,0 +1,207 @@
+// Property-based sweeps over the protocol invariants, parameterized across
+// the (n, m, alpha, hash) space. These are the "does the math stay glued to
+// the mechanics" tests: every point asserts relationships that must hold for
+// ANY parameter choice, not specific values.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "attack/utrp_attack.h"
+#include "math/detection.h"
+#include "math/frame_optimizer.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::hash::HashKind;
+using rfid::hash::SlotHasher;
+using rfid::protocol::MonitoringPolicy;
+using rfid::protocol::TrpReader;
+using rfid::protocol::TrpServer;
+using rfid::protocol::UtrpReader;
+using rfid::protocol::UtrpServer;
+using rfid::tag::TagSet;
+
+// --------------------------------------------------------------- TRP laws --
+
+struct TrpCase {
+  std::uint64_t n;
+  std::uint64_t m;
+  double alpha;
+  HashKind hash;
+};
+
+class TrpProperties : public ::testing::TestWithParam<TrpCase> {};
+
+TEST_P(TrpProperties, IntactNeverAlarmsAndTheftObeysSubset) {
+  const auto [n, m, alpha, kind] = GetParam();
+  rfid::util::Rng rng(rfid::util::derive_seed(101, n * 37 + m, kind == HashKind::kFnv1a64 ? 0 : 1));
+  const SlotHasher hasher(kind);
+  TagSet set = TagSet::make_random(n, rng);
+  const TrpServer server(set.ids(),
+                         MonitoringPolicy{.tolerated_missing = m, .confidence = alpha},
+                         hasher);
+  const TrpReader reader(hasher);
+
+  // Law 1: an intact set never alarms (zero false positives on an ideal
+  // channel, any hash, any parameters).
+  for (int round = 0; round < 3; ++round) {
+    const auto c = server.issue_challenge(rng);
+    EXPECT_TRUE(server.verify(c, reader.scan(set.tags(), c, rng)).intact);
+  }
+
+  // Law 2: after any theft, reported ⊆ expected (1s can only disappear).
+  (void)set.steal_random(m + 1, rng);
+  const auto c = server.issue_challenge(rng);
+  const auto expected = server.expected_bitstring(c);
+  const auto reported = reader.scan(set.tags(), c, rng);
+  EXPECT_EQ((reported & expected), reported);
+
+  // Law 3: the planned frame satisfies the Eq. 2 constraint.
+  EXPECT_GT(server.predicted_detection(), alpha);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TrpProperties,
+    ::testing::Values(TrpCase{50, 0, 0.9, HashKind::kMurmurFmix64},
+                      TrpCase{100, 5, 0.95, HashKind::kMurmurFmix64},
+                      TrpCase{100, 5, 0.95, HashKind::kFnv1a64},
+                      TrpCase{100, 5, 0.95, HashKind::kSipHash24},
+                      TrpCase{400, 10, 0.99, HashKind::kMurmurFmix64},
+                      TrpCase{800, 30, 0.9, HashKind::kSipHash24},
+                      TrpCase{1500, 20, 0.95, HashKind::kMurmurFmix64},
+                      TrpCase{31, 2, 0.8, HashKind::kFnv1a64}));
+
+// -------------------------------------------------------------- UTRP laws --
+
+struct UtrpCase {
+  std::uint64_t n;
+  std::uint64_t m;
+  std::uint64_t budget;
+};
+
+class UtrpProperties : public ::testing::TestWithParam<UtrpCase> {};
+
+TEST_P(UtrpProperties, WalkConservationLaws) {
+  const auto [n, m, budget] = GetParam();
+  rfid::util::Rng rng(rfid::util::derive_seed(202, n, budget));
+  TagSet set = TagSet::make_random(n, rng);
+  UtrpServer server(set,
+                    MonitoringPolicy{.tolerated_missing = m, .confidence = 0.95},
+                    budget);
+  const UtrpReader reader;
+  const auto c = server.issue_challenge(rng);
+  const auto scan = reader.scan(set.tags(), c);
+
+  // Law 1: every tag replies exactly once per round.
+  EXPECT_EQ(scan.replies, n);
+  for (const auto& t : set.tags()) EXPECT_TRUE(t.silenced());
+
+  // Law 2: seed consumption = re-seeds + 1, bounded by the frame size.
+  EXPECT_EQ(scan.seeds_consumed, scan.reseeds + 1);
+  EXPECT_LE(scan.seeds_consumed, c.seeds.size());
+
+  // Law 3: occupied slots <= replies; every re-seed had an occupied slot.
+  EXPECT_LE(scan.bitstring.count(), scan.replies);
+  EXPECT_LE(scan.reseeds, scan.bitstring.count());
+
+  // Law 4: the honest scan verifies (mirror matches reality).
+  EXPECT_TRUE(server.verify(c, scan.bitstring).intact);
+
+  // Law 5: counters are bounded by the number of broadcasts and at least 1.
+  for (const auto& t : set.tags()) {
+    EXPECT_GE(t.counter(), 1u);
+    EXPECT_LE(t.counter(), scan.seeds_consumed);
+  }
+}
+
+TEST_P(UtrpProperties, MechanicalAttackNeverBeatsStaticModel) {
+  // The mechanical re-seed walk gives the adversary strictly less room than
+  // the paper's static analysis: if the mechanical forgery passes, the
+  // static model must also have passed (undetected) on the same layout —
+  // checked statistically: mechanical detection rate >= static rate - noise.
+  const auto [n, m, budget] = GetParam();
+  constexpr int kTrials = 60;
+  int mech_detected = 0;
+  int static_detected = 0;
+  const auto plan = rfid::math::optimize_utrp_frame(n, m, 0.95, budget);
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(203, n * 31 + m, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(n, rng);
+    UtrpServer server(set,
+                      MonitoringPolicy{.tolerated_missing = m, .confidence = 0.95},
+                      budget);
+    TagSet stolen = set.steal_random(m + 1, rng);
+    const auto c = server.issue_challenge(rng);
+
+    const auto mech = rfid::attack::run_utrp_split_attack(
+        set.tags(), stolen.tags(), SlotHasher{}, c, budget);
+    if (!server.verify(c, mech.forged).intact) ++mech_detected;
+
+    set.begin_round();
+    const auto stat = rfid::attack::run_utrp_static_model_attack(
+        set.tags(), stolen.tags(), SlotHasher{}, plan.frame_size, rng(), budget);
+    if (stat.detected) ++static_detected;
+  }
+  EXPECT_GE(mech_detected + 8, static_detected);
+  // And the design constraint: static-model detection must clear alpha-ish.
+  EXPECT_GT(static_detected, kTrials * 8 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, UtrpProperties,
+                         ::testing::Values(UtrpCase{100, 5, 10},
+                                           UtrpCase{200, 5, 20},
+                                           UtrpCase{400, 10, 20},
+                                           UtrpCase{400, 30, 20},
+                                           UtrpCase{800, 20, 40}));
+
+// ----------------------------------------------- math vs mechanics glue ---
+
+struct GlueCase {
+  std::uint64_t n;
+  std::uint64_t x;
+};
+
+class MathMechanicsGlue : public ::testing::TestWithParam<GlueCase> {};
+
+TEST_P(MathMechanicsGlue, TheoremOneTracksProtocolSimulation) {
+  // The full pipeline check behind Fig. 5: simulate the *actual protocol*
+  // (IDs, hashing, bitstrings) and compare the detection frequency with
+  // Theorem 1 evaluated at the same parameters.
+  const auto [n, x] = GetParam();
+  const std::uint64_t f = rfid::math::optimize_trp_frame(n, x - 1, 0.95).frame_size;
+  constexpr int kTrials = 800;
+  int detected = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(404, n * 97 + x, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(n, rng);
+    const SlotHasher hasher;
+    const std::uint64_t r = rng();
+    rfid::bits::Bitstring expected(f);
+    for (const auto& tag : set.tags()) {
+      expected.set(tag.trp_slot(hasher, r, static_cast<std::uint32_t>(f)));
+    }
+    (void)set.steal_random(x, rng);
+    rfid::bits::Bitstring observed(f);
+    for (const auto& tag : set.tags()) {
+      observed.set(tag.trp_slot(hasher, r, static_cast<std::uint32_t>(f)));
+    }
+    if (observed != expected) ++detected;
+  }
+  const double simulated = static_cast<double>(detected) / kTrials;
+  const double predicted = rfid::math::detection_probability(n, x, f);
+  EXPECT_NEAR(simulated, predicted, 0.035)
+      << "n=" << n << " x=" << x << " f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MathMechanicsGlue,
+                         ::testing::Values(GlueCase{100, 6}, GlueCase{200, 11},
+                                           GlueCase{500, 6}, GlueCase{500, 21},
+                                           GlueCase{1000, 31},
+                                           GlueCase{1500, 11}));
+
+}  // namespace

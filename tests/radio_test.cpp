@@ -1,0 +1,216 @@
+// Unit tests for the radio substrate: slots, channel, frame simulation,
+// timing model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radio/channel.h"
+#include "radio/frame.h"
+#include "radio/slot.h"
+#include "radio/timing.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::hash::SlotHasher;
+using rfid::radio::ChannelModel;
+using rfid::radio::SlotOutcome;
+using rfid::radio::TimingModel;
+using rfid::tag::TagSet;
+
+// ------------------------------------------------------------------ slot --
+
+TEST(Slot, OccupiedPredicate) {
+  EXPECT_FALSE(rfid::radio::occupied(SlotOutcome::kEmpty));
+  EXPECT_TRUE(rfid::radio::occupied(SlotOutcome::kSingle));
+  EXPECT_TRUE(rfid::radio::occupied(SlotOutcome::kCollision));
+}
+
+TEST(Slot, Names) {
+  EXPECT_EQ(rfid::radio::to_string(SlotOutcome::kEmpty), "empty");
+  EXPECT_EQ(rfid::radio::to_string(SlotOutcome::kSingle), "single");
+  EXPECT_EQ(rfid::radio::to_string(SlotOutcome::kCollision), "collision");
+}
+
+// --------------------------------------------------------------- channel --
+
+TEST(Channel, IdealChannelIsDeterministic) {
+  rfid::util::Rng rng(1);
+  const ChannelModel ideal;
+  EXPECT_TRUE(ideal.ideal());
+  EXPECT_EQ(rfid::radio::resolve_slot(0, ideal, rng), SlotOutcome::kEmpty);
+  EXPECT_EQ(rfid::radio::resolve_slot(1, ideal, rng), SlotOutcome::kSingle);
+  EXPECT_EQ(rfid::radio::resolve_slot(2, ideal, rng), SlotOutcome::kCollision);
+  EXPECT_EQ(rfid::radio::resolve_slot(100, ideal, rng), SlotOutcome::kCollision);
+}
+
+TEST(Channel, TotalLossEmptiesEverySlot) {
+  rfid::util::Rng rng(2);
+  const ChannelModel lossy{.reply_loss_prob = 1.0, .capture_prob = 0.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rfid::radio::resolve_slot(3, lossy, rng), SlotOutcome::kEmpty);
+  }
+}
+
+TEST(Channel, LossRateIsRespectedStatistically) {
+  rfid::util::Rng rng(3);
+  const ChannelModel lossy{.reply_loss_prob = 0.3, .capture_prob = 0.0};
+  int empty = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rfid::radio::resolve_slot(1, lossy, rng) == SlotOutcome::kEmpty) ++empty;
+  }
+  EXPECT_NEAR(static_cast<double>(empty) / kTrials, 0.3, 0.02);
+}
+
+TEST(Channel, FullCaptureTurnsCollisionsIntoSingles) {
+  rfid::util::Rng rng(4);
+  const ChannelModel capture{.reply_loss_prob = 0.0, .capture_prob = 1.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rfid::radio::resolve_slot(5, capture, rng), SlotOutcome::kSingle);
+  }
+}
+
+TEST(Channel, PartialCaptureIsStatistical) {
+  rfid::util::Rng rng(5);
+  const ChannelModel capture{.reply_loss_prob = 0.0, .capture_prob = 0.4};
+  int singles = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rfid::radio::resolve_slot(2, capture, rng) == SlotOutcome::kSingle) {
+      ++singles;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(singles) / kTrials, 0.4, 0.02);
+}
+
+// ----------------------------------------------------------------- frame --
+
+TEST(Frame, AssignTrpSlotsDeterministic) {
+  rfid::util::Rng rng(6);
+  const TagSet set = TagSet::make_random(100, rng);
+  const SlotHasher hasher;
+  const auto a = rfid::radio::assign_trp_slots(set.tags(), hasher, 9, 128);
+  const auto b = rfid::radio::assign_trp_slots(set.tags(), hasher, 9, 128);
+  EXPECT_EQ(a, b);
+  for (const auto slot : a) EXPECT_LT(slot, 128u);
+}
+
+TEST(Frame, AssignTrpSlotsChangesWithR) {
+  rfid::util::Rng rng(7);
+  const TagSet set = TagSet::make_random(200, rng);
+  const SlotHasher hasher;
+  const auto a = rfid::radio::assign_trp_slots(set.tags(), hasher, 1, 512);
+  const auto b = rfid::radio::assign_trp_slots(set.tags(), hasher, 2, 512);
+  EXPECT_NE(a, b);
+}
+
+TEST(Frame, OccupancyHistogramCounts) {
+  const std::vector<std::uint32_t> choices{0, 0, 3, 3, 3, 7};
+  const auto hist = rfid::radio::occupancy_histogram(choices, 8);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[3], 3u);
+  EXPECT_EQ(hist[7], 1u);
+  EXPECT_EQ(hist[1], 0u);
+}
+
+TEST(Frame, OccupancyRejectsOutOfFrameChoice) {
+  const std::vector<std::uint32_t> choices{9};
+  EXPECT_THROW((void)rfid::radio::occupancy_histogram(choices, 8),
+               std::invalid_argument);
+}
+
+TEST(Frame, SimulateFrameClassifiesSlots) {
+  rfid::util::Rng rng(8);
+  const TagSet set = TagSet::make_random(300, rng);
+  const SlotHasher hasher;
+  const auto obs =
+      rfid::radio::simulate_frame(set.tags(), hasher, 42, 300, {}, rng);
+  EXPECT_EQ(obs.outcomes.size(), 300u);
+  EXPECT_EQ(obs.bitstring.size(), 300u);
+  EXPECT_EQ(obs.empty_slots + obs.single_slots + obs.collision_slots, 300u);
+  // Bitstring 1s = occupied slots.
+  EXPECT_EQ(obs.bitstring.count(), obs.single_slots + obs.collision_slots);
+  // Every tag replied somewhere: singles + colliders account for all 300.
+  EXPECT_GT(obs.single_slots, 0u);
+}
+
+TEST(Frame, SimulateFrameIdealOccupancyMatchesBallsInBins) {
+  // Load factor 1: empty fraction ~ 1/e.
+  rfid::util::Rng rng(9);
+  const TagSet set = TagSet::make_random(2000, rng);
+  const SlotHasher hasher;
+  const auto obs =
+      rfid::radio::simulate_frame(set.tags(), hasher, 5, 2000, {}, rng);
+  const double empty_fraction = static_cast<double>(obs.empty_slots) / 2000.0;
+  EXPECT_NEAR(empty_fraction, std::exp(-1.0), 0.05);
+}
+
+TEST(Frame, LossyChannelIncreasesEmptySlots) {
+  rfid::util::Rng rng(10);
+  const TagSet set = TagSet::make_random(500, rng);
+  const SlotHasher hasher;
+  const auto ideal =
+      rfid::radio::simulate_frame(set.tags(), hasher, 5, 600, {}, rng);
+  const auto lossy = rfid::radio::simulate_frame(
+      set.tags(), hasher, 5, 600, {.reply_loss_prob = 0.5, .capture_prob = 0.0},
+      rng);
+  EXPECT_GT(lossy.empty_slots, ideal.empty_slots);
+}
+
+TEST(Frame, ZeroFrameSizeRejected) {
+  rfid::util::Rng rng(11);
+  const TagSet set = TagSet::make_random(5, rng);
+  const SlotHasher hasher;
+  EXPECT_THROW(
+      (void)rfid::radio::simulate_frame(set.tags(), hasher, 1, 0, {}, rng),
+      std::invalid_argument);
+}
+
+TEST(Frame, EmptyTagSpanGivesAllZeroBitstring) {
+  rfid::util::Rng rng(12);
+  const SlotHasher hasher;
+  const auto obs = rfid::radio::simulate_frame({}, hasher, 1, 64, {}, rng);
+  EXPECT_EQ(obs.bitstring.count(), 0u);
+  EXPECT_EQ(obs.empty_slots, 64u);
+}
+
+// ---------------------------------------------------------------- timing --
+
+TEST(Timing, TrpScanAddsUp) {
+  const TimingModel t;
+  const double us = t.trp_scan_us(10, 5);
+  EXPECT_DOUBLE_EQ(us, t.query_broadcast_us + 10 * t.empty_slot_us +
+                           5 * t.short_reply_slot_us);
+}
+
+TEST(Timing, UtrpAddsReseedCost) {
+  const TimingModel t;
+  EXPECT_DOUBLE_EQ(t.utrp_scan_us(10, 5, 5),
+                   t.trp_scan_us(10, 5) + 5 * t.reseed_broadcast_us);
+}
+
+TEST(Timing, CollectAllChargesIdSlots) {
+  const TimingModel t;
+  const double us = t.collect_all_us(4, 3, 2, 2);
+  EXPECT_DOUBLE_EQ(us, 2 * t.query_broadcast_us + 4 * t.empty_slot_us +
+                           5 * t.id_reply_slot_us);
+}
+
+TEST(Timing, IdSlotsDominateShortSlots) {
+  // The premise of the paper's Fig. 4 caveat.
+  const TimingModel t;
+  EXPECT_GT(t.id_reply_slot_us, 3 * t.short_reply_slot_us);
+}
+
+TEST(Timing, CommunicationBudgetFormula) {
+  // c = (t - STmin) / tcomm, floored.
+  EXPECT_EQ(rfid::radio::communication_budget(1000.0, 500.0, 100.0), 5u);
+  EXPECT_EQ(rfid::radio::communication_budget(1000.0, 999.0, 100.0), 0u);
+  EXPECT_EQ(rfid::radio::communication_budget(1000.0, 1200.0, 100.0), 0u);
+  EXPECT_EQ(rfid::radio::communication_budget(1000.0, 0.0, 0.0), 0u);
+  EXPECT_EQ(rfid::radio::communication_budget(1049.0, 1000.0, 10.0), 4u);
+}
+
+}  // namespace

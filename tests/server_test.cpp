@@ -1,0 +1,176 @@
+// Tests for the multi-group InventoryServer front-end.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "protocol/utrp.h"
+#include "server/inventory_server.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::protocol::MonitoringPolicy;
+using rfid::server::GroupConfig;
+using rfid::server::GroupId;
+using rfid::server::InventoryServer;
+using rfid::server::ProtocolKind;
+using rfid::tag::TagSet;
+
+GroupConfig trp_config(std::string name, std::uint64_t m, double alpha = 0.95) {
+  GroupConfig cfg;
+  cfg.name = std::move(name);
+  cfg.policy = MonitoringPolicy{.tolerated_missing = m, .confidence = alpha};
+  cfg.protocol = ProtocolKind::kTrp;
+  return cfg;
+}
+
+GroupConfig utrp_config(std::string name, std::uint64_t m, double alpha = 0.95) {
+  GroupConfig cfg = trp_config(std::move(name), m, alpha);
+  cfg.protocol = ProtocolKind::kUtrp;
+  return cfg;
+}
+
+TEST(InventoryServer, EnrollsHeterogeneousGroups) {
+  rfid::util::Rng rng(1);
+  InventoryServer server;
+  const TagSet razors = TagSet::make_random(50, rng);
+  const TagSet pallets = TagSet::make_random(800, rng);
+  const GroupId g1 = server.enroll(razors, trp_config("razors", 0, 0.99));
+  const GroupId g2 = server.enroll(pallets, utrp_config("pallets", 30));
+  EXPECT_EQ(server.group_count(), 2u);
+  EXPECT_EQ(server.group_size(g1), 50u);
+  EXPECT_EQ(server.group_size(g2), 800u);
+  EXPECT_EQ(server.config(g1).name, "razors");
+  EXPECT_EQ(server.config(g2).name, "pallets");
+  EXPECT_GT(server.frame_size(g1), 0u);
+  EXPECT_GT(server.frame_size(g2), 0u);
+}
+
+TEST(InventoryServer, ToStringNames) {
+  EXPECT_EQ(rfid::server::to_string(ProtocolKind::kTrp), "TRP");
+  EXPECT_EQ(rfid::server::to_string(ProtocolKind::kUtrp), "UTRP");
+}
+
+TEST(InventoryServer, TrpRoundLifecycle) {
+  rfid::util::Rng rng(2);
+  InventoryServer server;
+  const TagSet set = TagSet::make_random(300, rng);
+  const GroupId id = server.enroll(set, trp_config("shelf", 5));
+
+  const auto challenge = server.challenge_trp(id, rng);
+  const rfid::protocol::TrpReader reader;
+  const auto verdict =
+      server.submit_trp(id, challenge, reader.scan(set.tags(), challenge, rng));
+  EXPECT_TRUE(verdict.intact);
+  EXPECT_EQ(server.rounds_completed(id), 1u);
+  EXPECT_TRUE(server.alerts().empty());
+}
+
+TEST(InventoryServer, TrpTheftRaisesAlertWithTriage) {
+  rfid::util::Rng rng(3);
+  InventoryServer server;
+  TagSet set = TagSet::make_random(600, rng);
+  const GroupId id = server.enroll(set, trp_config("shelf", 5));
+  (void)set.steal_random(200, rng);
+
+  const auto challenge = server.challenge_trp(id, rng);
+  const rfid::protocol::TrpReader reader;
+  const auto verdict =
+      server.submit_trp(id, challenge, reader.scan(set.tags(), challenge, rng));
+  EXPECT_FALSE(verdict.intact);
+  ASSERT_EQ(server.alerts().size(), 1u);
+  const auto& alert = server.alerts().front();
+  EXPECT_EQ(alert.group_name, "shelf");
+  EXPECT_EQ(alert.enrolled_size, 600u);
+  EXPECT_GT(alert.mismatched_slots, 0u);
+  // Triage: the estimate should be much closer to 400 than to 600.
+  EXPECT_LT(alert.estimated_present, 520.0);
+  EXPECT_GT(alert.estimated_present, 280.0);
+}
+
+TEST(InventoryServer, UtrpRoundLifecycleWithCommit) {
+  rfid::util::Rng rng(4);
+  InventoryServer server;
+  TagSet set = TagSet::make_random(250, rng);
+  const GroupId id = server.enroll(set, utrp_config("cage", 5));
+  const rfid::protocol::UtrpReader reader;
+
+  for (int round = 0; round < 3; ++round) {
+    const auto challenge = server.challenge_utrp(id, rng);
+    const auto scan = reader.scan(set.tags(), challenge);
+    const auto verdict = server.submit_utrp(id, challenge, scan.bitstring, true);
+    EXPECT_TRUE(verdict.intact) << "round " << round;
+    EXPECT_FALSE(server.needs_resync(id));
+    set.begin_round();
+  }
+  EXPECT_EQ(server.rounds_completed(id), 3u);
+}
+
+TEST(InventoryServer, UtrpDeadlineMissRaisesAlert) {
+  rfid::util::Rng rng(5);
+  InventoryServer server;
+  TagSet set = TagSet::make_random(150, rng);
+  const GroupId id = server.enroll(set, utrp_config("cage", 5));
+  const rfid::protocol::UtrpReader reader;
+  const auto challenge = server.challenge_utrp(id, rng);
+  const auto scan = reader.scan(set.tags(), challenge);
+  const auto verdict = server.submit_utrp(id, challenge, scan.bitstring,
+                                          /*deadline_met=*/false);
+  EXPECT_FALSE(verdict.intact);
+  ASSERT_EQ(server.alerts().size(), 1u);
+  EXPECT_TRUE(server.alerts().front().deadline_missed);
+}
+
+TEST(InventoryServer, ProtocolMismatchRejected) {
+  rfid::util::Rng rng(6);
+  InventoryServer server;
+  const TagSet set = TagSet::make_random(40, rng);
+  const GroupId trp_id = server.enroll(set, trp_config("a", 2));
+  const GroupId utrp_id = server.enroll(set, utrp_config("b", 2));
+  EXPECT_THROW((void)server.challenge_utrp(trp_id, rng), std::invalid_argument);
+  EXPECT_THROW((void)server.challenge_trp(utrp_id, rng), std::invalid_argument);
+}
+
+TEST(InventoryServer, UnknownGroupRejected) {
+  InventoryServer server;
+  EXPECT_THROW((void)server.group_size(GroupId{0}), std::invalid_argument);
+}
+
+TEST(InventoryServer, EmptyEnrollmentRejected) {
+  InventoryServer server;
+  EXPECT_THROW((void)server.enroll(TagSet{}, trp_config("x", 0)),
+               std::invalid_argument);
+}
+
+TEST(InventoryServer, GroupsAreIndependent) {
+  // A theft in one group must not affect another group's verdicts.
+  rfid::util::Rng rng(7);
+  InventoryServer server;
+  TagSet a = TagSet::make_random(200, rng);
+  TagSet b = TagSet::make_random(200, rng);
+  const GroupId ga = server.enroll(a, trp_config("a", 2));
+  const GroupId gb = server.enroll(b, trp_config("b", 2));
+  (void)a.steal_random(100, rng);
+
+  const rfid::protocol::TrpReader reader;
+  const auto ca = server.challenge_trp(ga, rng);
+  EXPECT_FALSE(server.submit_trp(ga, ca, reader.scan(a.tags(), ca, rng)).intact);
+  const auto cb = server.challenge_trp(gb, rng);
+  EXPECT_TRUE(server.submit_trp(gb, cb, reader.scan(b.tags(), cb, rng)).intact);
+  EXPECT_EQ(server.alerts().size(), 1u);
+  EXPECT_EQ(server.alerts().front().group_name, "a");
+}
+
+TEST(InventoryServer, DifferentPoliciesGiveDifferentFrames) {
+  // The flexibility claim: same set size, different (m, alpha) => different
+  // challenge sizes.
+  rfid::util::Rng rng(8);
+  InventoryServer server;
+  const TagSet set = TagSet::make_random(500, rng);
+  const GroupId strict = server.enroll(set, trp_config("strict", 0, 0.99));
+  const GroupId loose = server.enroll(set, trp_config("loose", 30, 0.9));
+  EXPECT_GT(server.frame_size(strict), server.frame_size(loose));
+}
+
+}  // namespace

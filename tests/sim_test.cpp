@@ -1,0 +1,170 @@
+// Tests for the simulation substrate: event queue and parallel trial runner.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/trial_runner.h"
+
+namespace {
+
+using rfid::sim::EventQueue;
+using rfid::sim::TrialRunner;
+
+// ----------------------------------------------------------- event queue --
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5.0, [&] { order.push_back(1); });
+  q.schedule_at(5.0, [&] { order.push_back(2); });
+  q.schedule_at(5.0, [&] { order.push_back(3); });
+  (void)q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_after(1.0, [&] {
+      ++fired;
+      q.schedule_after(1.0, [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(q.run(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  (void)q.run(7.5);
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  (void)q.run();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, NullHandlerRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, ClearDropsPendingEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.clear();
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, ProcessedCountsAcrossRuns) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  (void)q.run();
+  q.schedule_at(2.0, [] {});
+  (void)q.run();
+  EXPECT_EQ(q.processed(), 2u);
+}
+
+// ----------------------------------------------------------- trial runner --
+
+TEST(TrialRunner, BooleanCountsAreExact) {
+  const TrialRunner runner(4);
+  const auto result = runner.run_boolean(
+      1000, 7, [](std::uint64_t index, rfid::util::Rng&) { return index % 4 == 0; });
+  EXPECT_EQ(result.trials(), 1000u);
+  EXPECT_EQ(result.successes(), 250u);
+}
+
+TEST(TrialRunner, DeterministicAcrossThreadCounts) {
+  // The heart of reproducibility: 1 thread and 8 threads must agree bit-for-
+  // bit because streams derive from the trial index.
+  auto trial = [](std::uint64_t, rfid::util::Rng& rng) {
+    return rng.uniform() < 0.37;
+  };
+  const auto serial = TrialRunner(1).run_boolean(5000, 42, trial);
+  const auto parallel = TrialRunner(8).run_boolean(5000, 42, trial);
+  EXPECT_EQ(serial.successes(), parallel.successes());
+}
+
+TEST(TrialRunner, MetricAggregationDeterministic) {
+  auto trial = [](std::uint64_t, rfid::util::Rng& rng) { return rng.uniform(); };
+  const auto serial = TrialRunner(1).run_metric(2000, 99, trial);
+  const auto parallel = TrialRunner(6).run_metric(2000, 99, trial);
+  EXPECT_DOUBLE_EQ(serial.mean(), parallel.mean());
+  EXPECT_DOUBLE_EQ(serial.variance(), parallel.variance());
+  EXPECT_EQ(serial.count(), 2000u);
+}
+
+TEST(TrialRunner, MasterSeedChangesResults) {
+  auto trial = [](std::uint64_t, rfid::util::Rng& rng) {
+    return rng.uniform() < 0.5;
+  };
+  const auto a = TrialRunner(2).run_boolean(2000, 1, trial);
+  const auto b = TrialRunner(2).run_boolean(2000, 2, trial);
+  EXPECT_NE(a.successes(), b.successes());
+}
+
+TEST(TrialRunner, ZeroTrials) {
+  const auto result = TrialRunner(2).run_boolean(
+      0, 7, [](std::uint64_t, rfid::util::Rng&) { return true; });
+  EXPECT_EQ(result.trials(), 0u);
+}
+
+TEST(TrialRunner, PropagatesExceptions) {
+  const TrialRunner runner(4);
+  EXPECT_THROW(
+      (void)runner.run_boolean(100, 7,
+                               [](std::uint64_t index, rfid::util::Rng&) -> bool {
+                                 if (index == 50) throw std::runtime_error("boom");
+                                 return true;
+                               }),
+      std::runtime_error);
+}
+
+TEST(TrialRunner, DefaultThreadCountIsPositive) {
+  const TrialRunner runner;
+  EXPECT_GE(runner.threads(), 1u);
+}
+
+TEST(TrialRunner, UniformProportionConverges) {
+  const auto result = TrialRunner(0).run_boolean(
+      20000, 5,
+      [](std::uint64_t, rfid::util::Rng& rng) { return rng.uniform() < 0.25; });
+  EXPECT_NEAR(result.proportion(), 0.25, 0.02);
+}
+
+}  // namespace

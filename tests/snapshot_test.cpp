@@ -1,0 +1,168 @@
+// Tests for enrollment snapshot persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "protocol/utrp.h"
+#include "server/snapshot.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::server::EnrolledGroup;
+using rfid::server::GroupConfig;
+using rfid::server::load_snapshot;
+using rfid::server::ProtocolKind;
+using rfid::server::restore_server;
+using rfid::server::save_snapshot;
+using rfid::tag::TagSet;
+
+std::vector<EnrolledGroup> sample_groups(rfid::util::Rng& rng) {
+  std::vector<EnrolledGroup> groups;
+  {
+    EnrolledGroup g;
+    g.config = GroupConfig{.name = "front shelf A",
+                           .policy = {.tolerated_missing = 5, .confidence = 0.95},
+                           .protocol = ProtocolKind::kTrp};
+    g.tags = TagSet::make_random(40, rng);
+    groups.push_back(std::move(g));
+  }
+  {
+    EnrolledGroup g;
+    g.config = GroupConfig{.name = "cage (night shift)",
+                           .policy = {.tolerated_missing = 2, .confidence = 0.99},
+                           .protocol = ProtocolKind::kUtrp,
+                           .comm_budget = 35,
+                           .slack_slots = 10};
+    g.tags = TagSet::make_random(25, rng);
+    // Give the tags non-trivial counters, as after some UTRP rounds.
+    for (auto& t : g.tags.tags()) {
+      for (std::uint64_t i = 0; i < 1 + (t.id().lo() % 5); ++i) {
+        (void)t.utrp_receive_seed(rfid::hash::SlotHasher{}, 1, 8);
+      }
+      t.begin_round();
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+TEST(Snapshot, RoundTripPreservesEverything) {
+  rfid::util::Rng rng(1);
+  const auto groups = sample_groups(rng);
+  std::stringstream stream;
+  save_snapshot(stream, groups);
+  const auto loaded = load_snapshot(stream);
+
+  ASSERT_EQ(loaded.size(), groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_EQ(loaded[g].config.name, groups[g].config.name);
+    EXPECT_EQ(loaded[g].config.protocol, groups[g].config.protocol);
+    EXPECT_EQ(loaded[g].config.policy.tolerated_missing,
+              groups[g].config.policy.tolerated_missing);
+    EXPECT_DOUBLE_EQ(loaded[g].config.policy.confidence,
+                     groups[g].config.policy.confidence);
+    EXPECT_EQ(loaded[g].config.comm_budget, groups[g].config.comm_budget);
+    EXPECT_EQ(loaded[g].config.slack_slots, groups[g].config.slack_slots);
+    ASSERT_EQ(loaded[g].tags.size(), groups[g].tags.size());
+    for (std::size_t i = 0; i < groups[g].tags.size(); ++i) {
+      EXPECT_EQ(loaded[g].tags.at(i).id(), groups[g].tags.at(i).id());
+      EXPECT_EQ(loaded[g].tags.at(i).counter(), groups[g].tags.at(i).counter());
+    }
+  }
+}
+
+TEST(Snapshot, EmptyGroupListRoundTrips) {
+  std::stringstream stream;
+  save_snapshot(stream, {});
+  EXPECT_TRUE(load_snapshot(stream).empty());
+}
+
+TEST(Snapshot, ChecksumCatchesCorruption) {
+  rfid::util::Rng rng(2);
+  std::stringstream stream;
+  save_snapshot(stream, sample_groups(rng));
+  std::string text = stream.str();
+  // Flip one hex digit inside a TAG line.
+  const auto pos = text.find("TAG ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 4] = text[pos + 4] == '0' ? '1' : '0';
+  std::istringstream corrupted(text);
+  EXPECT_THROW((void)load_snapshot(corrupted), std::invalid_argument);
+}
+
+TEST(Snapshot, TruncationDetected) {
+  rfid::util::Rng rng(3);
+  std::stringstream stream;
+  save_snapshot(stream, sample_groups(rng));
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::istringstream truncated(text);
+  EXPECT_THROW((void)load_snapshot(truncated), std::invalid_argument);
+}
+
+TEST(Snapshot, RejectsWrongMagic) {
+  std::istringstream bogus("SOMETHING ELSE\n");
+  EXPECT_THROW((void)load_snapshot(bogus), std::invalid_argument);
+  std::istringstream empty("");
+  EXPECT_THROW((void)load_snapshot(empty), std::invalid_argument);
+}
+
+TEST(Snapshot, RejectsMultilineGroupName) {
+  EnrolledGroup g;
+  g.config.name = "evil\nname";
+  rfid::util::Rng rng(4);
+  g.tags = TagSet::make_random(1, rng);
+  std::stringstream stream;
+  EXPECT_THROW(save_snapshot(stream, {g}), std::invalid_argument);
+}
+
+TEST(Snapshot, RestoredUtrpServerVerifiesAgainstLiveTags) {
+  // The operational point of persistence: a UTRP server rebuilt from a
+  // snapshot (counters included!) must verify the real tags' next round.
+  rfid::util::Rng rng(5);
+  TagSet live = TagSet::make_random(120, rng);
+
+  // Run some rounds against an initial server so the counters move.
+  rfid::protocol::UtrpServer original(
+      live, {.tolerated_missing = 3, .confidence = 0.95}, 20);
+  const rfid::protocol::UtrpReader reader;
+  for (int round = 0; round < 3; ++round) {
+    const auto c = original.issue_challenge(rng);
+    const auto scan = reader.scan(live.tags(), c);
+    const auto verdict = original.verify(c, scan.bitstring);
+    ASSERT_TRUE(verdict.intact);
+    original.commit_round(c, verdict);
+    live.begin_round();
+  }
+
+  // Snapshot the CURRENT state (a physical audit) and restore elsewhere.
+  EnrolledGroup g;
+  g.config = GroupConfig{.name = "restored",
+                         .policy = {.tolerated_missing = 3, .confidence = 0.95},
+                         .protocol = ProtocolKind::kUtrp,
+                         .comm_budget = 20};
+  g.tags = live;  // snapshot includes counters
+  std::stringstream stream;
+  save_snapshot(stream, {g});
+  auto server = restore_server(load_snapshot(stream));
+
+  const auto id = rfid::server::GroupId{0};
+  const auto c = server.challenge_utrp(id, rng);
+  const auto scan = reader.scan(live.tags(), c);
+  EXPECT_TRUE(server.submit_utrp(id, c, scan.bitstring, true).intact);
+}
+
+TEST(Snapshot, RestoreServerPreservesGroupOrderAndSizes) {
+  rfid::util::Rng rng(6);
+  const auto groups = sample_groups(rng);
+  const auto server = restore_server(groups);
+  EXPECT_EQ(server.group_count(), 2u);
+  EXPECT_EQ(server.group_size(rfid::server::GroupId{0}), 40u);
+  EXPECT_EQ(server.group_size(rfid::server::GroupId{1}), 25u);
+  EXPECT_EQ(server.config(rfid::server::GroupId{1}).comm_budget, 35u);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Unit tests for the tag substrate: IDs, tag state machine, tag sets.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "hash/slot_hash.h"
+#include "tag/tag.h"
+#include "tag/tag_id.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::hash::SlotHasher;
+using rfid::tag::Tag;
+using rfid::tag::TagId;
+using rfid::tag::TagSet;
+
+// ---------------------------------------------------------------- tag id --
+
+TEST(TagId, DefaultIsZero) {
+  const TagId id;
+  EXPECT_EQ(id.hi(), 0u);
+  EXPECT_EQ(id.lo(), 0u);
+  EXPECT_EQ(id.slot_word(), 0u);
+}
+
+TEST(TagId, SlotWordMixesHighBits) {
+  const TagId a(1, 42);
+  const TagId b(2, 42);
+  EXPECT_NE(a.slot_word(), b.slot_word());
+}
+
+TEST(TagId, SlotWordPreservesLowWordDifferences) {
+  const TagId a(7, 1);
+  const TagId b(7, 2);
+  EXPECT_NE(a.slot_word(), b.slot_word());
+}
+
+TEST(TagId, OrderingIsLexicographic) {
+  EXPECT_LT(TagId(1, 99), TagId(2, 0));
+  EXPECT_LT(TagId(1, 5), TagId(1, 6));
+  EXPECT_EQ(TagId(3, 4), TagId(3, 4));
+}
+
+TEST(TagId, ToStringFormat) {
+  const TagId id(0xdeadbeef, 0x0123456789abcdefULL);
+  EXPECT_EQ(id.to_string(), "urn:epc:raw:deadbeef.0123456789abcdef");
+}
+
+// ------------------------------------------------------------------- tag --
+
+TEST(Tag, FreshTagState) {
+  const Tag t(TagId(1, 2));
+  EXPECT_EQ(t.counter(), 0u);
+  EXPECT_FALSE(t.silenced());
+  EXPECT_EQ(t.id(), TagId(1, 2));
+}
+
+TEST(Tag, TrpSlotIsStateless) {
+  const SlotHasher hasher;
+  const Tag t(TagId(1, 99));
+  const auto s1 = t.trp_slot(hasher, 7, 100);
+  const auto s2 = t.trp_slot(hasher, 7, 100);
+  EXPECT_EQ(s1, s2);
+  EXPECT_LT(s1, 100u);
+  EXPECT_EQ(t.counter(), 0u);  // TRP queries never touch the counter
+}
+
+TEST(Tag, UtrpSeedIncrementsCounterFirst) {
+  const SlotHasher hasher;
+  Tag t(TagId(1, 99));
+  const auto slot = t.utrp_receive_seed(hasher, 7, 100);
+  EXPECT_EQ(t.counter(), 1u);
+  EXPECT_LT(slot, 100u);
+  // Alg. 7 line 1-2: the pick uses the *new* counter value.
+  EXPECT_EQ(slot, hasher.slot(TagId(1, 99).slot_word(), 7, 100, 1));
+}
+
+TEST(Tag, CounterMonotoneAcrossSeeds) {
+  const SlotHasher hasher;
+  Tag t(TagId(5, 5));
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    (void)t.utrp_receive_seed(hasher, i, 64);
+    EXPECT_EQ(t.counter(), i);
+  }
+}
+
+TEST(Tag, CounterSurvivesRoundBoundary) {
+  // The anti-replay property: begin_round clears silencing but never the
+  // counter.
+  const SlotHasher hasher;
+  Tag t(TagId(5, 5));
+  (void)t.utrp_receive_seed(hasher, 1, 64);
+  t.silence();
+  t.begin_round();
+  EXPECT_FALSE(t.silenced());
+  EXPECT_EQ(t.counter(), 1u);
+}
+
+TEST(Tag, SameSeedDifferentCounterMovesSlot) {
+  // Re-querying with identical (f, r) still yields a fresh pick — the
+  // mechanism that defeats the rewind attack of Sec. 5.2/Fig. 3.
+  const SlotHasher hasher;
+  rfid::util::Rng rng(77);
+  int moved = 0;
+  constexpr int kTags = 500;
+  for (int i = 0; i < kTags; ++i) {
+    Tag t(TagId(static_cast<std::uint32_t>(rng()), rng()));
+    const auto first = t.utrp_receive_seed(hasher, 42, 256);
+    const auto second = t.utrp_receive_seed(hasher, 42, 256);
+    if (first != second) ++moved;
+  }
+  EXPECT_GT(moved, kTags * 9 / 10);
+}
+
+// --------------------------------------------------------------- tag set --
+
+TEST(TagSet, MakeRandomCreatesUniqueIds) {
+  rfid::util::Rng rng(1);
+  const TagSet set = TagSet::make_random(5000, rng);
+  EXPECT_EQ(set.size(), 5000u);
+  std::unordered_set<std::uint64_t> words;
+  for (const Tag& t : set.tags()) words.insert(t.id().slot_word());
+  EXPECT_EQ(words.size(), 5000u);
+}
+
+TEST(TagSet, MakeRandomZeroTags) {
+  rfid::util::Rng rng(2);
+  const TagSet set = TagSet::make_random(0, rng);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(TagSet, IdsMatchTagOrder) {
+  rfid::util::Rng rng(3);
+  const TagSet set = TagSet::make_random(50, rng);
+  const auto ids = set.ids();
+  ASSERT_EQ(ids.size(), 50u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], set.at(i).id());
+  }
+}
+
+TEST(TagSet, AtRangeChecks) {
+  rfid::util::Rng rng(4);
+  TagSet set = TagSet::make_random(3, rng);
+  EXPECT_NO_THROW((void)set.at(2));
+  EXPECT_THROW((void)set.at(3), std::invalid_argument);
+}
+
+TEST(TagSet, StealRandomPartitionsTheSet) {
+  rfid::util::Rng rng(5);
+  TagSet set = TagSet::make_random(100, rng);
+  const auto before = set.ids();
+  TagSet stolen = set.steal_random(10, rng);
+  EXPECT_EQ(set.size(), 90u);
+  EXPECT_EQ(stolen.size(), 10u);
+
+  std::set<std::uint64_t> remaining_words;
+  for (const Tag& t : set.tags()) remaining_words.insert(t.id().slot_word());
+  for (const Tag& t : stolen.tags()) {
+    EXPECT_FALSE(remaining_words.contains(t.id().slot_word()))
+        << "stolen tag still present";
+  }
+  // Union equals the original set.
+  std::set<std::uint64_t> all = remaining_words;
+  for (const Tag& t : stolen.tags()) all.insert(t.id().slot_word());
+  EXPECT_EQ(all.size(), before.size());
+}
+
+TEST(TagSet, StealAllAndNone) {
+  rfid::util::Rng rng(6);
+  TagSet set = TagSet::make_random(10, rng);
+  const TagSet none = set.steal_random(0, rng);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(set.size(), 10u);
+  const TagSet all = set.steal_random(10, rng);
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(TagSet, StealMoreThanExistThrows) {
+  rfid::util::Rng rng(7);
+  TagSet set = TagSet::make_random(5, rng);
+  EXPECT_THROW((void)set.steal_random(6, rng), std::invalid_argument);
+}
+
+TEST(TagSet, StealIsUniform) {
+  // Every tag should be stolen roughly equally often across many trials.
+  constexpr int kTrials = 20000;
+  constexpr std::size_t kSetSize = 20;
+  std::vector<int> stolen_count(kSetSize, 0);
+  rfid::util::Rng make_rng(8);
+  const TagSet proto = TagSet::make_random(kSetSize, make_rng);
+  for (int t = 0; t < kTrials; ++t) {
+    TagSet set = proto;  // copy, same IDs
+    rfid::util::Rng rng(rfid::util::derive_seed(9, static_cast<std::uint64_t>(t)));
+    const TagSet stolen = set.steal_random(1, rng);
+    for (std::size_t i = 0; i < kSetSize; ++i) {
+      if (proto.at(i).id() == stolen.at(0).id()) ++stolen_count[i];
+    }
+  }
+  const double expected = static_cast<double>(kTrials) / kSetSize;
+  double chi2 = 0.0;
+  for (const int c : stolen_count) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 43.8);  // 19 dof, 99.9% quantile
+}
+
+TEST(TagSet, BeginRoundClearsSilenceFlags) {
+  rfid::util::Rng rng(10);
+  TagSet set = TagSet::make_random(5, rng);
+  for (Tag& t : set.tags()) t.silence();
+  set.begin_round();
+  for (const Tag& t : set.tags()) EXPECT_FALSE(t.silenced());
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for the deadline-priced attack (Sec. 5.4's two-pronged defense).
+#include <gtest/gtest.h>
+
+#include "attack/timed_attack.h"
+#include "protocol/utrp.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::attack::honest_utrp_scan_us;
+using rfid::attack::run_timed_utrp_attack;
+using rfid::protocol::UtrpReader;
+using rfid::protocol::UtrpServer;
+using rfid::tag::TagSet;
+
+constexpr double kCommUs = 2000.0;  // 2 ms per reader-to-reader round trip
+
+struct Scenario {
+  TagSet remaining;
+  TagSet stolen;
+  UtrpServer server;
+  rfid::protocol::UtrpChallenge challenge;
+};
+
+Scenario make_scenario(std::uint64_t seed, std::uint64_t n = 300,
+                       std::uint64_t m = 5, std::uint64_t budget = 20) {
+  rfid::util::Rng rng(seed);
+  TagSet set = TagSet::make_random(n, rng);
+  UtrpServer server(set, {.tolerated_missing = m, .confidence = 0.95}, budget);
+  TagSet stolen = set.steal_random(m + 1, rng);
+  auto challenge = server.issue_challenge(rng);
+  return Scenario{std::move(set), std::move(stolen), std::move(server),
+                  std::move(challenge)};
+}
+
+TEST(TimedAttack, CommunicationTimeScalesWithBudget) {
+  const rfid::radio::TimingModel timing;
+  auto a = make_scenario(1);
+  const auto few = run_timed_utrp_attack(a.remaining.tags(), a.stolen.tags(),
+                                         rfid::hash::SlotHasher{}, a.challenge,
+                                         5, timing, kCommUs);
+  auto b = make_scenario(1);
+  const auto many = run_timed_utrp_attack(b.remaining.tags(), b.stolen.tags(),
+                                          rfid::hash::SlotHasher{}, b.challenge,
+                                          200, timing, kCommUs);
+  EXPECT_LE(few.comms_used, 5u);
+  EXPECT_GT(many.comms_used, few.comms_used);
+  EXPECT_GT(many.comm_time_us, few.comm_time_us);
+  EXPECT_DOUBLE_EQ(few.comm_time_us,
+                   static_cast<double>(few.comms_used) * kCommUs);
+}
+
+TEST(TimedAttack, ElapsedDecomposesExactly) {
+  const rfid::radio::TimingModel timing;
+  auto s = make_scenario(2);
+  const auto outcome = run_timed_utrp_attack(
+      s.remaining.tags(), s.stolen.tags(), rfid::hash::SlotHasher{},
+      s.challenge, 20, timing, kCommUs);
+  EXPECT_DOUBLE_EQ(outcome.elapsed_us,
+                   outcome.air_time_us + outcome.comm_time_us);
+  EXPECT_GT(outcome.air_time_us, 0.0);
+}
+
+TEST(TimedAttack, HonestScanSetsTheBaseline) {
+  // An honest reader's scan time must not include any comm overhead; the
+  // attacker's air time is comparable, so the deadline margin is pure tcomm.
+  const rfid::radio::TimingModel timing;
+  rfid::util::Rng rng(3);
+  TagSet set = TagSet::make_random(300, rng);
+  const UtrpServer server(set, {.tolerated_missing = 5, .confidence = 0.95}, 20);
+  const auto challenge = server.issue_challenge(rng);
+  const UtrpReader reader;
+  const auto scan = reader.scan(set.tags(), challenge);
+  const double honest = honest_utrp_scan_us(scan.bitstring, scan.reseeds, timing);
+  EXPECT_GT(honest, 0.0);
+
+  auto s = make_scenario(3);
+  const auto attack = run_timed_utrp_attack(
+      s.remaining.tags(), s.stolen.tags(), rfid::hash::SlotHasher{},
+      s.challenge, 20, timing, kCommUs);
+  // Same frame size, similar composition: air times within a factor of two.
+  EXPECT_LT(attack.air_time_us, honest * 2.0);
+  EXPECT_GT(attack.air_time_us, honest * 0.5);
+}
+
+TEST(TimedAttack, TheAdversaryDilemmaIsReal) {
+  // With the deadline set to the honest envelope plus the tolerated-budget
+  // slack (t such that c = 20), an attacker using a much larger budget blows
+  // the deadline; one respecting the budget usually fails the content check.
+  const rfid::radio::TimingModel timing;
+  int both_checks_passed = 0;
+  constexpr int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    auto s = make_scenario(100 + static_cast<std::uint64_t>(t));
+    // Honest envelope for this challenge (replay on a pristine copy).
+    rfid::util::Rng env_rng(1);
+    TagSet honest_copy = TagSet::make_random(300, env_rng);
+    const UtrpReader reader;
+
+    const double deadline =
+        honest_utrp_scan_us(s.server.expected_bitstring(s.challenge),
+                            /*reseeds≈*/s.challenge.frame_size / 4, timing) +
+        20.0 * kCommUs;
+
+    for (const std::uint64_t budget : {20ull, 400ull}) {
+      auto sc = make_scenario(100 + static_cast<std::uint64_t>(t), 300, 5, 20);
+      const auto outcome = run_timed_utrp_attack(
+          sc.remaining.tags(), sc.stolen.tags(), rfid::hash::SlotHasher{},
+          sc.challenge, budget, timing, kCommUs);
+      const bool on_time = outcome.elapsed_us <= deadline;
+      const auto verdict =
+          sc.server.verify(sc.challenge, outcome.forged, on_time);
+      if (verdict.intact) ++both_checks_passed;
+    }
+  }
+  // Escapes require winning the content lottery at the allowed budget —
+  // bounded well below alpha's complement across 80 attack attempts.
+  EXPECT_LE(both_checks_passed, 10);
+}
+
+TEST(TimedAttack, RejectsNegativeLatency) {
+  const rfid::radio::TimingModel timing;
+  auto s = make_scenario(4);
+  EXPECT_THROW(
+      (void)run_timed_utrp_attack(s.remaining.tags(), s.stolen.tags(),
+                                  rfid::hash::SlotHasher{}, s.challenge, 5,
+                                  timing, -1.0),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Tests for the Trusted Reader Protocol (Sec. 4): server, reader, and the
+// end-to-end detection behaviour of Alg. 1–3.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "protocol/trp.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::protocol::MonitoringPolicy;
+using rfid::protocol::TrpChallenge;
+using rfid::protocol::TrpReader;
+using rfid::protocol::TrpServer;
+using rfid::tag::TagSet;
+
+MonitoringPolicy policy(std::uint64_t m, double alpha = 0.95) {
+  return MonitoringPolicy{.tolerated_missing = m, .confidence = alpha};
+}
+
+TEST(TrpServer, FrameSizeMatchesOptimizer) {
+  rfid::util::Rng rng(1);
+  const TagSet set = TagSet::make_random(500, rng);
+  const TrpServer server(set.ids(), policy(5));
+  const auto plan = rfid::math::optimize_trp_frame(500, 5, 0.95);
+  EXPECT_EQ(server.frame_size(), plan.frame_size);
+  EXPECT_GT(server.predicted_detection(), 0.95);
+  EXPECT_EQ(server.group_size(), 500u);
+}
+
+TEST(TrpServer, ChallengeUsesPlannedFrame) {
+  rfid::util::Rng rng(2);
+  const TagSet set = TagSet::make_random(200, rng);
+  const TrpServer server(set.ids(), policy(5));
+  const TrpChallenge c = server.issue_challenge(rng);
+  EXPECT_EQ(c.frame_size, server.frame_size());
+}
+
+TEST(TrpServer, FreshChallengesHaveFreshRandomness) {
+  rfid::util::Rng rng(3);
+  const TagSet set = TagSet::make_random(100, rng);
+  const TrpServer server(set.ids(), policy(5));
+  const auto c1 = server.issue_challenge(rng);
+  const auto c2 = server.issue_challenge(rng);
+  EXPECT_NE(c1.r, c2.r);
+}
+
+TEST(TrpServer, RejectsEmptyGroupAndBadTolerance) {
+  rfid::util::Rng rng(4);
+  const TagSet set = TagSet::make_random(5, rng);
+  EXPECT_THROW(TrpServer({}, policy(0)), std::invalid_argument);
+  EXPECT_THROW(TrpServer(set.ids(), policy(5)), std::invalid_argument);
+}
+
+TEST(TrpServer, ExpectedBitstringMarksEveryTagSlot) {
+  rfid::util::Rng rng(5);
+  const TagSet set = TagSet::make_random(64, rng);
+  const rfid::hash::SlotHasher hasher;
+  const TrpServer server(set.ids(), policy(2), hasher);
+  const TrpChallenge c = server.issue_challenge(rng);
+  const auto bs = server.expected_bitstring(c);
+  ASSERT_EQ(bs.size(), c.frame_size);
+  for (const auto& t : set.tags()) {
+    EXPECT_TRUE(bs.test(t.trp_slot(hasher, c.r, c.frame_size)));
+  }
+  // No spurious 1s: the count never exceeds the number of tags.
+  EXPECT_LE(bs.count(), set.size());
+}
+
+TEST(TrpEndToEnd, IntactSetAlwaysVerifies) {
+  rfid::util::Rng rng(6);
+  const TagSet set = TagSet::make_random(400, rng);
+  const TrpServer server(set.ids(), policy(10));
+  const TrpReader reader;
+  for (int round = 0; round < 20; ++round) {
+    const TrpChallenge c = server.issue_challenge(rng);
+    const auto bs = reader.scan(set.tags(), c, rng);
+    const auto verdict = server.verify(c, bs);
+    EXPECT_TRUE(verdict.intact) << "round " << round;
+    EXPECT_EQ(verdict.mismatched_slots, 0u);
+  }
+}
+
+TEST(TrpEndToEnd, MassTheftIsAlwaysDetected) {
+  // Removing half the set leaves so many exposed slots that every challenge
+  // detects it.
+  rfid::util::Rng rng(7);
+  TagSet set = TagSet::make_random(400, rng);
+  const TrpServer server(set.ids(), policy(10));
+  const TrpReader reader;
+  (void)set.steal_random(200, rng);
+  for (int round = 0; round < 10; ++round) {
+    const TrpChallenge c = server.issue_challenge(rng);
+    const auto bs = reader.scan(set.tags(), c, rng);
+    const auto verdict = server.verify(c, bs);
+    EXPECT_FALSE(verdict.intact);
+    EXPECT_GT(verdict.mismatched_slots, 0u);
+    EXPECT_LT(verdict.first_mismatch_slot, c.frame_size);
+  }
+}
+
+TEST(TrpEndToEnd, MissingBeyondToleranceDetectedAtConfidence) {
+  // The paper's headline guarantee: stealing m+1 tags is detected with
+  // probability > alpha. 300 trials at alpha = 0.9; the failure probability
+  // of this test given a correct implementation is < 1e-3 (binomial tail).
+  constexpr std::uint64_t kTags = 300;
+  constexpr std::uint64_t kTolerance = 5;
+  constexpr double kAlpha = 0.9;
+  constexpr int kTrials = 300;
+  int detected = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(8, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(kTags, rng);
+    const TrpServer server(set.ids(), policy(kTolerance, kAlpha));
+    const TrpReader reader;
+    (void)set.steal_random(kTolerance + 1, rng);
+    const TrpChallenge c = server.issue_challenge(rng);
+    const auto verdict = server.verify(c, reader.scan(set.tags(), c, rng));
+    if (!verdict.intact) ++detected;
+  }
+  // Expect >= alpha - 4*sigma fraction detected; sigma ~ sqrt(0.9*0.1/300).
+  EXPECT_GE(static_cast<double>(detected) / kTrials, kAlpha - 0.07);
+}
+
+TEST(TrpEndToEnd, MissingTagsOnlyEverFlipOnesToZeros) {
+  // A missing tag can only vacate slots; the reported bitstring must be a
+  // subset of the expected one (no new 1s appear on an ideal channel).
+  rfid::util::Rng rng(9);
+  TagSet set = TagSet::make_random(250, rng);
+  const TrpServer server(set.ids(), policy(3));
+  const TrpReader reader;
+  (void)set.steal_random(20, rng);
+  const TrpChallenge c = server.issue_challenge(rng);
+  const auto expected = server.expected_bitstring(c);
+  const auto reported = reader.scan(set.tags(), c, rng);
+  EXPECT_EQ((reported & expected), reported);  // reported ⊆ expected
+}
+
+TEST(TrpEndToEnd, WithinToleranceTheftCanPassUndetected) {
+  // With m large and only 1 tag missing, misses must happen well over half
+  // the time (the protocol is sized for m+1, not 1).
+  constexpr int kTrials = 100;
+  int missed = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(10, static_cast<std::uint64_t>(t)));
+    TagSet set = TagSet::make_random(300, rng);
+    const TrpServer server(set.ids(), policy(30));
+    const TrpReader reader;
+    (void)set.steal_random(1, rng);
+    const TrpChallenge c = server.issue_challenge(rng);
+    if (server.verify(c, reader.scan(set.tags(), c, rng)).intact) ++missed;
+  }
+  EXPECT_GT(missed, kTrials / 2);
+}
+
+TEST(TrpServer, VerifyRejectsWrongLengthBitstring) {
+  rfid::util::Rng rng(11);
+  const TagSet set = TagSet::make_random(50, rng);
+  const TrpServer server(set.ids(), policy(2));
+  const TrpChallenge c = server.issue_challenge(rng);
+  EXPECT_THROW((void)server.verify(c, rfid::bits::Bitstring(c.frame_size + 1)),
+               std::invalid_argument);
+}
+
+TEST(TrpReader, HasherMismatchBreaksVerification) {
+  // All parties must share the hash configuration; a reader with a different
+  // hash kind produces garbage.
+  rfid::util::Rng rng(12);
+  const TagSet set = TagSet::make_random(300, rng);
+  const TrpServer server(set.ids(), policy(5),
+                         rfid::hash::SlotHasher(rfid::hash::HashKind::kMurmurFmix64));
+  const TrpReader reader(rfid::hash::SlotHasher(rfid::hash::HashKind::kFnv1a64));
+  const TrpChallenge c = server.issue_challenge(rng);
+  const auto verdict = server.verify(c, reader.scan(set.tags(), c, rng));
+  EXPECT_FALSE(verdict.intact);
+}
+
+TEST(TrpReader, ScanObservedStatisticsAreConsistent) {
+  rfid::util::Rng rng(13);
+  const TagSet set = TagSet::make_random(200, rng);
+  const TrpServer server(set.ids(), policy(5));
+  const TrpReader reader;
+  const TrpChallenge c = server.issue_challenge(rng);
+  const auto obs = reader.scan_observed(set.tags(), c, rng);
+  EXPECT_EQ(obs.empty_slots + obs.single_slots + obs.collision_slots,
+            c.frame_size);
+  EXPECT_EQ(obs.bitstring.count(), obs.single_slots + obs.collision_slots);
+}
+
+TEST(TrpEndToEnd, LossyChannelCausesFalseAlarms) {
+  // Reply loss looks like missing tags: expect not-intact verdicts even for
+  // an intact set — the deployment reason for tolerance m (Sec. 1).
+  rfid::util::Rng rng(14);
+  const TagSet set = TagSet::make_random(400, rng);
+  const TrpServer server(set.ids(), policy(5));
+  const TrpReader lossy_reader(rfid::hash::SlotHasher{},
+                               {.reply_loss_prob = 0.2, .capture_prob = 0.0});
+  int alarms = 0;
+  for (int round = 0; round < 20; ++round) {
+    const TrpChallenge c = server.issue_challenge(rng);
+    if (!server.verify(c, lossy_reader.scan(set.tags(), c, rng)).intact) {
+      ++alarms;
+    }
+  }
+  EXPECT_GT(alarms, 15);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Tests for the collision/singleton cardinality estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "estimate/upe.h"
+#include "radio/frame.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+using rfid::estimate::estimate_from_collisions;
+using rfid::estimate::estimate_from_frame;
+using rfid::estimate::estimate_from_singletons;
+using rfid::tag::TagSet;
+
+TEST(CollisionEstimator, InvertsTheModelExactly) {
+  // Feed the estimator the model's own expected counts: it must return the
+  // load it came from.
+  const std::uint64_t f = 2000;
+  for (const double rho : {0.3, 1.0, 2.5, 6.0}) {
+    const double expected_coll = f * (1.0 - (1.0 + rho) * std::exp(-rho));
+    const auto est = estimate_from_collisions(
+        static_cast<std::uint64_t>(std::llround(expected_coll)), f);
+    EXPECT_NEAR(est.estimate, rho * f, f * 0.01) << "rho=" << rho;
+    EXPECT_FALSE(est.saturated);
+  }
+}
+
+TEST(CollisionEstimator, ZeroCollisionsMeansSparse) {
+  const auto est = estimate_from_collisions(0, 100);
+  EXPECT_DOUBLE_EQ(est.estimate, 0.0);
+}
+
+TEST(CollisionEstimator, AllCollisionsSaturates) {
+  const auto est = estimate_from_collisions(256, 256);
+  EXPECT_TRUE(est.saturated);
+  EXPECT_GT(est.estimate, 256.0 * 10);
+}
+
+TEST(CollisionEstimator, RejectsBadInput) {
+  EXPECT_THROW((void)estimate_from_collisions(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_from_collisions(11, 10), std::invalid_argument);
+}
+
+TEST(CollisionEstimator, UnbiasedOverSimulatedFrames) {
+  constexpr std::uint64_t kTags = 1500;
+  constexpr std::uint32_t kFrame = 1000;  // overloaded: rho = 1.5
+  const rfid::hash::SlotHasher hasher;
+  rfid::util::RunningStat estimates;
+  for (int t = 0; t < 60; ++t) {
+    rfid::util::Rng rng(rfid::util::derive_seed(60, static_cast<std::uint64_t>(t)));
+    const TagSet set = TagSet::make_random(kTags, rng);
+    const auto obs =
+        rfid::radio::simulate_frame(set.tags(), hasher, rng(), kFrame, {}, rng);
+    estimates.add(estimate_from_collisions(obs.collision_slots, kFrame).estimate);
+  }
+  EXPECT_NEAR(estimates.mean(), static_cast<double>(kTags), 60.0);
+}
+
+TEST(SingletonEstimator, BothBranchesInvertTheModel) {
+  const std::uint64_t f = 5000;
+  // Underloaded branch: rho = 0.4.
+  {
+    const double singles = f * 0.4 * std::exp(-0.4);
+    const auto est = estimate_from_singletons(
+        static_cast<std::uint64_t>(std::llround(singles)), f, true);
+    EXPECT_NEAR(est.estimate, 0.4 * f, f * 0.02);
+  }
+  // Overloaded branch: rho = 2.2 gives the same singleton fraction as some
+  // rho < 1; the caller's branch choice disambiguates.
+  {
+    const double singles = f * 2.2 * std::exp(-2.2);
+    const auto est = estimate_from_singletons(
+        static_cast<std::uint64_t>(std::llround(singles)), f, false);
+    EXPECT_NEAR(est.estimate, 2.2 * f, f * 0.03);
+  }
+}
+
+TEST(SingletonEstimator, RejectsImpossibleFraction) {
+  // More than f/e singleton slots is inconsistent with the model.
+  EXPECT_THROW((void)estimate_from_singletons(500, 1000, true),
+               std::invalid_argument);
+}
+
+TEST(SingletonEstimator, PeakFractionIsAccepted) {
+  // Exactly at the maximum the estimate is rho ~ 1 on either branch.
+  const std::uint64_t f = 10000;
+  const auto singles = static_cast<std::uint64_t>(std::llround(f * std::exp(-1.0)));
+  const auto lo = estimate_from_singletons(singles, f, true);
+  const auto hi = estimate_from_singletons(singles, f, false);
+  EXPECT_NEAR(lo.estimate, static_cast<double>(f), f * 0.05);
+  EXPECT_NEAR(hi.estimate, static_cast<double>(f), f * 0.05);
+}
+
+TEST(FrameEstimator, UsesZeroEstimatorWhenPossible) {
+  // 30 empty, 50 single, 20 collision: zero estimator applies.
+  const auto est = estimate_from_frame(30, 50, 20);
+  const auto ze = rfid::estimate::estimate_cardinality(30, 100);
+  EXPECT_DOUBLE_EQ(est.estimate, ze.estimate);
+}
+
+TEST(FrameEstimator, FallsBackToCollisionsWhenSaturated) {
+  // No empty slots: the zero estimator only gives a bound; collisions still
+  // carry signal.
+  const auto est = estimate_from_frame(0, 40, 60);
+  EXPECT_FALSE(est.saturated);
+  EXPECT_GT(est.estimate, 100.0);
+}
+
+TEST(FrameEstimator, SaturatedFrameStillBounded) {
+  const auto est = estimate_from_frame(0, 0, 100);
+  EXPECT_TRUE(est.saturated);
+}
+
+TEST(FrameEstimator, TracksTheftAcrossLoadRegimes) {
+  // End-to-end triage check in the overloaded regime where cardinality.h's
+  // zero estimator would saturate.
+  rfid::util::Rng rng(61);
+  TagSet set = TagSet::make_random(4000, rng);
+  const rfid::hash::SlotHasher hasher;
+  constexpr std::uint32_t kFrame = 600;  // rho ~ 6.7: almost no empty slots
+  const std::uint64_t r = rng();
+  const auto before =
+      rfid::radio::simulate_frame(set.tags(), hasher, r, kFrame, {}, rng);
+  (void)set.steal_random(2000, rng);
+  const auto after =
+      rfid::radio::simulate_frame(set.tags(), hasher, r, kFrame, {}, rng);
+  const double est_before =
+      estimate_from_frame(before.empty_slots, before.single_slots,
+                          before.collision_slots)
+          .estimate;
+  const double est_after =
+      estimate_from_frame(after.empty_slots, after.single_slots,
+                          after.collision_slots)
+          .estimate;
+  EXPECT_GT(est_before, est_after + 1000.0);
+}
+
+}  // namespace

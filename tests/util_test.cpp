@@ -1,0 +1,363 @@
+// Unit tests for the util substrate: RNG, statistics, tables, CLI, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/expect.h"
+#include "util/log.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using rfid::util::BinomialProportion;
+using rfid::util::CliArgs;
+using rfid::util::Rng;
+using rfid::util::RunningStat;
+using rfid::util::Table;
+
+// ---------------------------------------------------------------- random --
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Reference outputs for seed 0 from the canonical splitmix64.c.
+  std::uint64_t state = 0;
+  EXPECT_EQ(rfid::util::splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(rfid::util::splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(rfid::util::splitmix64_next(state), 0x06c45d188009454fULL);
+}
+
+TEST(DeriveSeed, DistinctIndicesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 50; ++a) {
+    for (std::uint64_t b = 0; b < 50; ++b) {
+      seen.insert(rfid::util::derive_seed(42, a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 2500u);
+}
+
+TEST(DeriveSeed, DependsOnMasterSeed) {
+  EXPECT_NE(rfid::util::derive_seed(1, 7, 7), rfid::util::derive_seed(2, 7, 7));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroDegradesToZero) {
+  Rng rng(9);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  // Mean of U(0,1) is 0.5 with sigma/sqrt(N) ~ 0.0009.
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(17);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  // Chi-square with 9 dof; 99.9% quantile ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, ChanceRespectsProbabilityExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MatchesTwoPassComputation) {
+  Rng rng(23);
+  std::vector<double> xs;
+  RunningStat s;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform() * 100.0 - 50.0;
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(BinomialProportion, CountsSuccesses) {
+  BinomialProportion p;
+  for (int i = 0; i < 10; ++i) p.add(i < 7);
+  EXPECT_EQ(p.trials(), 10u);
+  EXPECT_EQ(p.successes(), 7u);
+  EXPECT_DOUBLE_EQ(p.proportion(), 0.7);
+}
+
+TEST(BinomialProportion, WilsonIntervalContainsProportion) {
+  BinomialProportion p;
+  for (int i = 0; i < 1000; ++i) p.add(i < 950);
+  const auto ci = p.wilson();
+  EXPECT_LT(ci.lo, 0.95);
+  EXPECT_GT(ci.hi, 0.95);
+  EXPECT_GT(ci.lo, 0.93);
+  EXPECT_LT(ci.hi, 0.97);
+}
+
+TEST(BinomialProportion, WilsonHandlesExtremes) {
+  BinomialProportion all;
+  for (int i = 0; i < 100; ++i) all.add(true);
+  const auto hi = all.wilson();
+  EXPECT_GT(hi.lo, 0.9);
+  EXPECT_DOUBLE_EQ(hi.hi, 1.0);
+
+  BinomialProportion none;
+  for (int i = 0; i < 100; ++i) none.add(false);
+  const auto lo = none.wilson();
+  EXPECT_DOUBLE_EQ(lo.lo, 0.0);
+  EXPECT_LT(lo.hi, 0.1);
+}
+
+TEST(BinomialProportion, EmptyIntervalIsVacuous) {
+  const BinomialProportion p;
+  const auto ci = p.wilson();
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(rfid::util::quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(rfid::util::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rfid::util::quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(rfid::util::quantile(xs, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW((void)rfid::util::quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)rfid::util::quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(Table, AlignedPrintContainsHeadersAndCells) {
+  Table t({"n", "slots"});
+  t.begin_row();
+  t.add_cell(100LL);
+  t.add_cell(271LL);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("slots"), std::string::npos);
+  EXPECT_NE(out.find("271"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "value"});
+  t.begin_row();
+  t.add_cell(std::string("a,b"));
+  t.add_cell(std::string("say \"hi\""));
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RejectsOverfullRow) {
+  Table t({"only"});
+  t.begin_row();
+  t.add_cell(1LL);
+  EXPECT_THROW(t.add_cell(2LL), std::invalid_argument);
+}
+
+TEST(Table, RejectsIncompleteRowOnNextBegin) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.add_cell(1LL);
+  EXPECT_THROW(t.begin_row(), std::invalid_argument);
+}
+
+TEST(Table, CellAccessorRoundTrips) {
+  Table t({"a"});
+  t.begin_row();
+  t.add_cell(3.14159, 2);
+  EXPECT_EQ(t.cell(0, 0), "3.14");
+  EXPECT_THROW((void)t.cell(1, 0), std::invalid_argument);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(rfid::util::format_double(0.95, 4), "0.9500");
+  EXPECT_EQ(rfid::util::format_double(1234.0, 0), "1234");
+}
+
+// ------------------------------------------------------------------- cli --
+
+TEST(CliArgs, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--trials", "500", "--seed=42", "--csv"};
+  CliArgs args(5, argv, {"trials", "seed", "csv"});
+  EXPECT_EQ(args.get_int_or("trials", 0), 500);
+  EXPECT_EQ(args.get_int_or("seed", 0), 42);
+  EXPECT_TRUE(args.get_bool("csv"));
+  EXPECT_FALSE(args.get_bool("trials-other"));
+}
+
+TEST(CliArgs, DefaultsApplyWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv, {"trials"});
+  EXPECT_EQ(args.get_int_or("trials", 1000), 1000);
+  EXPECT_DOUBLE_EQ(args.get_double_or("trials", 0.5), 0.5);
+  EXPECT_EQ(args.get_or("trials", "fallback"), "fallback");
+}
+
+TEST(CliArgs, RejectsUnknownOption) {
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(CliArgs(2, argv, {"trials"}), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsNonOptionToken) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(CliArgs(2, argv, {"trials"}), std::invalid_argument);
+}
+
+TEST(CliArgs, ParsesDoubles) {
+  const char* argv[] = {"prog", "--alpha", "0.99"};
+  CliArgs args(3, argv, {"alpha"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("alpha", 0.0), 0.99);
+}
+
+// ---------------------------------------------------------------- expect --
+
+TEST(Expect, ThrowsInvalidArgumentWithContext) {
+  try {
+    RFID_EXPECT(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Ensure, ThrowsLogicError) {
+  EXPECT_THROW(RFID_ENSURE(false, "broken invariant"), std::logic_error);
+}
+
+TEST(Expect, PassesSilently) {
+  EXPECT_NO_THROW(RFID_EXPECT(true, "fine"));
+  EXPECT_NO_THROW(RFID_ENSURE(true, "fine"));
+}
+
+// ------------------------------------------------------------------- log --
+
+TEST(Log, LevelGateIsRespected) {
+  using rfid::util::LogLevel;
+  const LogLevel old = rfid::util::log_level();
+  rfid::util::set_log_level(LogLevel::kError);
+  EXPECT_EQ(rfid::util::log_level(), LogLevel::kError);
+  rfid::util::set_log_level(LogLevel::kOff);
+  RFID_LOG(Error) << "suppressed entirely";  // must not crash
+  rfid::util::set_log_level(old);
+}
+
+}  // namespace

@@ -1,0 +1,388 @@
+// Tests for the wire layer: codec, messages, links, and full sessions.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "protocol/trp.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "wire/codec.h"
+#include "wire/link.h"
+#include "wire/messages.h"
+#include "wire/session.h"
+
+namespace {
+
+using namespace rfid;
+using wire::Decoder;
+using wire::Encoder;
+
+// ----------------------------------------------------------------- codec --
+
+TEST(Codec, PrimitiveRoundTrip) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u32(0xdeadbeef);
+  enc.put_u64(0x0123456789abcdefULL);
+  enc.put_f64(3.14159);
+  enc.put_string("hello RFID");
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xab);
+  EXPECT_EQ(dec.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(dec.get_f64(), 3.14159);
+  EXPECT_EQ(dec.get_string(), "hello RFID");
+  EXPECT_NO_THROW(dec.expect_exhausted());
+}
+
+TEST(Codec, TruncationThrows) {
+  Encoder enc;
+  enc.put_u32(42);
+  Decoder dec(enc.bytes());
+  (void)dec.get_u32();
+  EXPECT_THROW((void)dec.get_u8(), std::invalid_argument);
+}
+
+TEST(Codec, TrailingGarbageDetected) {
+  Encoder enc;
+  enc.put_u8(1);
+  enc.put_u8(2);
+  Decoder dec(enc.bytes());
+  (void)dec.get_u8();
+  EXPECT_THROW(dec.expect_exhausted(), std::invalid_argument);
+}
+
+TEST(Codec, FrameRoundTrip) {
+  Encoder enc;
+  enc.put_string("payload");
+  const auto framed = wire::frame_payload(enc.bytes());
+  const auto payload = wire::unframe_payload(framed);
+  EXPECT_EQ(payload, enc.bytes());
+}
+
+TEST(Codec, FrameChecksumCatchesBitFlip) {
+  Encoder enc;
+  enc.put_u64(12345);
+  auto framed = wire::frame_payload(enc.bytes());
+  framed[5] ^= std::byte{0x01};
+  EXPECT_THROW((void)wire::unframe_payload(framed), std::invalid_argument);
+}
+
+TEST(Codec, FrameLengthMismatchCaught) {
+  Encoder enc;
+  enc.put_u64(12345);
+  auto framed = wire::frame_payload(enc.bytes());
+  framed.pop_back();
+  EXPECT_THROW((void)wire::unframe_payload(framed), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- messages --
+
+TEST(Messages, ChallengeRequestRoundTrip) {
+  const wire::ChallengeRequest msg{"warehouse east", 17};
+  const auto decoded = wire::decode_challenge_request(wire::encode(msg));
+  EXPECT_EQ(decoded.group_name, "warehouse east");
+  EXPECT_EQ(decoded.round, 17u);
+}
+
+TEST(Messages, TrpChallengeRoundTrip) {
+  const wire::TrpChallengeMsg msg{3, {1068, 0xfeedfaceULL}};
+  const auto decoded = wire::decode_trp_challenge(wire::encode(msg));
+  EXPECT_EQ(decoded.round, 3u);
+  EXPECT_EQ(decoded.challenge.frame_size, 1068u);
+  EXPECT_EQ(decoded.challenge.r, 0xfeedfaceULL);
+}
+
+TEST(Messages, UtrpChallengeRoundTrip) {
+  wire::UtrpChallengeMsg msg;
+  msg.round = 9;
+  msg.challenge.frame_size = 5;
+  msg.challenge.seeds = {1, 2, 3, 4, 5};
+  const auto decoded = wire::decode_utrp_challenge(wire::encode(msg));
+  EXPECT_EQ(decoded.round, 9u);
+  EXPECT_EQ(decoded.challenge.frame_size, 5u);
+  EXPECT_EQ(decoded.challenge.seeds, msg.challenge.seeds);
+}
+
+TEST(Messages, BitstringReportRoundTrip) {
+  bits::Bitstring bs(130);
+  bs.set(0);
+  bs.set(64);
+  bs.set(129);
+  const wire::BitstringReport msg{"g", 4, bs, 12345.5};
+  const auto decoded = wire::decode_bitstring_report(wire::encode(msg));
+  EXPECT_EQ(decoded.bitstring, bs);
+  EXPECT_EQ(decoded.round, 4u);
+  EXPECT_DOUBLE_EQ(decoded.scan_time_us, 12345.5);
+}
+
+TEST(Messages, VerdictAckRoundTrip) {
+  const auto yes = wire::decode_verdict_ack(wire::encode(wire::VerdictAck{7, true}));
+  EXPECT_EQ(yes.round, 7u);
+  EXPECT_TRUE(yes.intact);
+  const auto no = wire::decode_verdict_ack(wire::encode(wire::VerdictAck{8, false}));
+  EXPECT_FALSE(no.intact);
+}
+
+TEST(Messages, PeekTypeAndWrongTypeRejected) {
+  const auto frame = wire::encode(wire::ChallengeRequest{"x", 1});
+  EXPECT_EQ(wire::peek_type(frame), wire::MessageType::kChallengeRequest);
+  EXPECT_THROW((void)wire::decode_trp_challenge(frame), std::invalid_argument);
+}
+
+TEST(Messages, MalformedChallengeRejected) {
+  const auto frame = wire::encode(wire::TrpChallengeMsg{1, {0, 5}});
+  EXPECT_THROW((void)wire::decode_trp_challenge(frame), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ link --
+
+TEST(Link, DeliversAfterLatency) {
+  sim::EventQueue queue;
+  util::Rng rng(1);
+  wire::Link link(queue, {.latency_us = 500.0}, rng);
+  double delivered_at = -1.0;
+  Encoder enc;
+  enc.put_u8(7);
+  ASSERT_TRUE(link.send(enc.bytes(), [&](std::vector<std::byte> f) {
+    delivered_at = queue.now();
+    EXPECT_EQ(f.size(), 1u);
+  }));
+  (void)queue.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 500.0);
+}
+
+TEST(Link, DropsAtConfiguredRate) {
+  sim::EventQueue queue;
+  util::Rng rng(2);
+  wire::Link link(queue, {.latency_us = 1.0, .jitter_us = 0.0, .drop_prob = 0.3},
+                  rng);
+  int delivered = 0;
+  constexpr int kFrames = 5000;
+  for (int i = 0; i < kFrames; ++i) {
+    (void)link.send({}, [&](std::vector<std::byte>) { ++delivered; });
+  }
+  (void)queue.run();
+  EXPECT_EQ(link.frames_sent(), static_cast<std::uint64_t>(kFrames));
+  EXPECT_NEAR(static_cast<double>(link.frames_dropped()) / kFrames, 0.3, 0.03);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered) + link.frames_dropped(),
+            link.frames_sent());
+}
+
+TEST(Link, JitterBoundsDelay) {
+  sim::EventQueue queue;
+  util::Rng rng(3);
+  wire::Link link(queue, {.latency_us = 100.0, .jitter_us = 50.0}, rng);
+  for (int i = 0; i < 200; ++i) {
+    (void)link.send({}, [&](std::vector<std::byte>) {
+      EXPECT_GE(queue.now(), 100.0);
+      EXPECT_LT(queue.now(), 150.0 + 1e-9);
+    });
+  }
+  (void)queue.run();
+}
+
+// --------------------------------------------------------------- session --
+
+TEST(Session, PerfectLinksCompleteAllRounds) {
+  sim::EventQueue queue;
+  util::Rng rng(4);
+  const tag::TagSet set = tag::TagSet::make_random(200, rng);
+  const protocol::TrpServer server(set.ids(),
+                                   {.tolerated_missing = 5, .confidence = 0.95});
+  wire::SessionConfig config;
+  config.group_name = "g";
+  const auto outcome =
+      wire::run_trp_session(queue, server, set.tags(), 5, config, rng);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.rounds_completed, 5u);
+  ASSERT_EQ(outcome.verdicts.size(), 5u);
+  for (const auto& verdict : outcome.verdicts) EXPECT_TRUE(verdict.intact);
+  EXPECT_EQ(outcome.retransmissions, 0u);
+  // 4 messages per round, both directions counted.
+  EXPECT_EQ(outcome.frames_sent, 20u);
+}
+
+TEST(Session, LossyLinksStillCompleteViaRetransmission) {
+  sim::EventQueue queue;
+  util::Rng rng(5);
+  const tag::TagSet set = tag::TagSet::make_random(150, rng);
+  const protocol::TrpServer server(set.ids(),
+                                   {.tolerated_missing = 5, .confidence = 0.95});
+  wire::SessionConfig config;
+  config.uplink = {.latency_us = 1000.0, .jitter_us = 200.0, .drop_prob = 0.25};
+  config.downlink = {.latency_us = 1000.0, .jitter_us = 200.0, .drop_prob = 0.25};
+  config.max_retries = 30;
+  const auto outcome =
+      wire::run_trp_session(queue, server, set.tags(), 4, config, rng);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.rounds_completed, 4u);
+  EXPECT_GT(outcome.frames_dropped, 0u);
+  EXPECT_GT(outcome.retransmissions, 0u);
+  for (const auto& verdict : outcome.verdicts) EXPECT_TRUE(verdict.intact);
+}
+
+TEST(Session, DetectsTheftOverTheWire) {
+  sim::EventQueue queue;
+  util::Rng rng(6);
+  tag::TagSet set = tag::TagSet::make_random(300, rng);
+  const protocol::TrpServer server(set.ids(),
+                                   {.tolerated_missing = 5, .confidence = 0.95});
+  (void)set.steal_random(60, rng);
+  const auto outcome =
+      wire::run_trp_session(queue, server, set.tags(), 3, {}, rng);
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_EQ(outcome.verdicts.size(), 3u);
+  for (const auto& verdict : outcome.verdicts) EXPECT_FALSE(verdict.intact);
+}
+
+TEST(Session, DeadLinkGivesUpGracefully) {
+  sim::EventQueue queue;
+  util::Rng rng(7);
+  const tag::TagSet set = tag::TagSet::make_random(50, rng);
+  const protocol::TrpServer server(set.ids(),
+                                   {.tolerated_missing = 2, .confidence = 0.95});
+  wire::SessionConfig config;
+  config.uplink = {.latency_us = 1000.0, .jitter_us = 0.0, .drop_prob = 1.0};
+  config.max_retries = 3;
+  const auto outcome =
+      wire::run_trp_session(queue, server, set.tags(), 1, config, rng);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.rounds_completed, 0u);
+  EXPECT_EQ(outcome.frames_dropped, outcome.frames_sent);
+}
+
+TEST(UtrpSession, PerfectLinksCompleteAndCommitCounters) {
+  sim::EventQueue queue;
+  util::Rng rng(9);
+  tag::TagSet set = tag::TagSet::make_random(150, rng);
+  protocol::UtrpServer server(set,
+                              {.tolerated_missing = 3, .confidence = 0.95}, 20);
+  wire::SessionConfig config;
+  const auto outcome =
+      wire::run_utrp_session(queue, server, set.tags(), 4, config, rng);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.rounds_completed, 4u);
+  for (const auto& verdict : outcome.verdicts) EXPECT_TRUE(verdict.intact);
+  EXPECT_FALSE(server.needs_resync());
+  // Counters advanced: at least one tag heard more than the initial seeds.
+  bool counters_moved = false;
+  for (const auto& t : set.tags()) {
+    if (t.counter() >= 4) counters_moved = true;
+  }
+  EXPECT_TRUE(counters_moved);
+}
+
+TEST(UtrpSession, TheftDetectedAndResyncFlagged) {
+  sim::EventQueue queue;
+  util::Rng rng(10);
+  tag::TagSet set = tag::TagSet::make_random(200, rng);
+  protocol::UtrpServer server(set,
+                              {.tolerated_missing = 3, .confidence = 0.95}, 20);
+  (void)set.steal_random(40, rng);
+  wire::SessionConfig config;
+  const auto outcome =
+      wire::run_utrp_session(queue, server, set.tags(), 1, config, rng);
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_EQ(outcome.verdicts.size(), 1u);
+  EXPECT_FALSE(outcome.verdicts[0].intact);
+  EXPECT_TRUE(server.needs_resync());
+}
+
+TEST(UtrpSession, DeadlineEnforcedAgainstSlowLinks) {
+  // An honest reader behind a miserable link: the content is right but the
+  // wall-clock budget is blown by retransmissions — Alg. 5's timer fires.
+  sim::EventQueue queue;
+  util::Rng rng(11);
+  tag::TagSet set = tag::TagSet::make_random(100, rng);
+  protocol::UtrpServer server(set,
+                              {.tolerated_missing = 3, .confidence = 0.95}, 20);
+  wire::SessionConfig config;
+  config.uplink = {.latency_us = 200000.0, .jitter_us = 0.0, .drop_prob = 0.0};
+  config.downlink = {.latency_us = 200000.0, .jitter_us = 0.0, .drop_prob = 0.0};
+  config.retry_timeout_us = 500000.0;
+  config.utrp_deadline_us = 100000.0;  // far less than one link round trip
+  const auto outcome =
+      wire::run_utrp_session(queue, server, set.tags(), 1, config, rng);
+  EXPECT_TRUE(outcome.completed);
+  ASSERT_EQ(outcome.verdicts.size(), 1u);
+  EXPECT_FALSE(outcome.verdicts[0].intact);
+  EXPECT_FALSE(outcome.verdicts[0].deadline_met);
+  EXPECT_EQ(outcome.verdicts[0].mismatched_slots, 0u);  // content was right
+}
+
+TEST(UtrpSession, GenerousDeadlinePasses) {
+  sim::EventQueue queue;
+  util::Rng rng(12);
+  tag::TagSet set = tag::TagSet::make_random(100, rng);
+  protocol::UtrpServer server(set,
+                              {.tolerated_missing = 3, .confidence = 0.95}, 20);
+  wire::SessionConfig config;
+  config.utrp_deadline_us = 10e6;  // ten simulated seconds
+  const auto outcome =
+      wire::run_utrp_session(queue, server, set.tags(), 2, config, rng);
+  EXPECT_TRUE(outcome.completed);
+  for (const auto& verdict : outcome.verdicts) EXPECT_TRUE(verdict.intact);
+}
+
+TEST(Session, TwoGroupsInterleaveOnOneQueue) {
+  // Two independent sessions share the simulated clock: their events
+  // interleave like two readers on one backhaul, and both must complete
+  // with correct verdicts.
+  sim::EventQueue queue;
+  util::Rng rng(13);
+  const tag::TagSet intact_set = tag::TagSet::make_random(120, rng);
+  tag::TagSet robbed_set = tag::TagSet::make_random(120, rng);
+  const protocol::TrpServer server_a(
+      intact_set.ids(), {.tolerated_missing = 3, .confidence = 0.95});
+  const protocol::TrpServer server_b(
+      robbed_set.ids(), {.tolerated_missing = 3, .confidence = 0.95});
+  (void)robbed_set.steal_random(30, rng);
+
+  // Run A to completion first on the shared queue, then B starting at A's
+  // finish time (sequential reuse); the clock must only move forward.
+  wire::SessionConfig config;
+  config.group_name = "A";
+  const auto outcome_a =
+      wire::run_trp_session(queue, server_a, intact_set.tags(), 2, config, rng);
+  const double a_finish = outcome_a.finished_at_us;
+  config.group_name = "B";
+  const auto outcome_b =
+      wire::run_trp_session(queue, server_b, robbed_set.tags(), 2, config, rng);
+  EXPECT_TRUE(outcome_a.completed);
+  EXPECT_TRUE(outcome_b.completed);
+  EXPECT_GT(outcome_b.finished_at_us, a_finish);
+  for (const auto& verdict : outcome_a.verdicts) EXPECT_TRUE(verdict.intact);
+  for (const auto& verdict : outcome_b.verdicts) EXPECT_FALSE(verdict.intact);
+}
+
+TEST(Session, RejectsZeroRounds) {
+  sim::EventQueue queue;
+  util::Rng rng(14);
+  const tag::TagSet set = tag::TagSet::make_random(20, rng);
+  const protocol::TrpServer server(set.ids(),
+                                   {.tolerated_missing = 1, .confidence = 0.9});
+  EXPECT_THROW((void)wire::run_trp_session(queue, server, set.tags(), 0, {}, rng),
+               std::invalid_argument);
+}
+
+TEST(Session, RetransmittedRequestsReuseTheSameChallenge) {
+  // Idempotency property: even under heavy drop, each round produces at
+  // most one verdict (duplicates are replayed, not re-verified).
+  sim::EventQueue queue;
+  util::Rng rng(8);
+  const tag::TagSet set = tag::TagSet::make_random(100, rng);
+  const protocol::TrpServer server(set.ids(),
+                                   {.tolerated_missing = 2, .confidence = 0.95});
+  wire::SessionConfig config;
+  config.uplink = {.latency_us = 500.0, .jitter_us = 0.0, .drop_prob = 0.4};
+  config.downlink = {.latency_us = 500.0, .jitter_us = 0.0, .drop_prob = 0.4};
+  config.max_retries = 50;
+  const auto outcome =
+      wire::run_trp_session(queue, server, set.tags(), 6, config, rng);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.verdicts.size(), 6u);
+}
+
+}  // namespace
