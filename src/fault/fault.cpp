@@ -1,0 +1,136 @@
+#include "fault/fault.h"
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/expect.h"
+
+namespace rfid::fault {
+
+double GilbertElliottConfig::stationary_loss() const noexcept {
+  const double denom = p_enter_bad + p_exit_bad;
+  if (denom <= 0.0) return loss_good;  // chain never moves: stays good
+  const double pi_bad = p_enter_bad / denom;
+  return pi_bad * loss_bad + (1.0 - pi_bad) * loss_good;
+}
+
+bool GilbertElliott::drop(util::Rng& rng) noexcept {
+  const double loss = bad_ ? config_.loss_bad : config_.loss_good;
+  const bool dropped = loss > 0.0 && rng.chance(loss);
+  const double flip = bad_ ? config_.p_exit_bad : config_.p_enter_bad;
+  if (flip > 0.0 && rng.chance(flip)) bad_ = !bad_;
+  return dropped;
+}
+
+FrameFate FaultInjector::on_frame() {
+  FrameFate fate;
+  if (plan_.burst.enabled() && chain_.drop(rng_)) {
+    fate.drop = true;
+    ++burst_dropped_;
+    return fate;  // a dropped frame cannot also be corrupted or duplicated
+  }
+  if (plan_.corrupt_prob > 0.0 && rng_.chance(plan_.corrupt_prob)) {
+    fate.corrupt = true;
+    ++corrupted_;
+  }
+  if (plan_.duplicate_prob > 0.0 && rng_.chance(plan_.duplicate_prob)) {
+    fate.duplicate = true;
+    ++duplicated_;
+  }
+  if (plan_.reorder_prob > 0.0 && rng_.chance(plan_.reorder_prob)) {
+    fate.extra_delay_us = plan_.reorder_delay_us;
+    ++reordered_;
+  }
+  return fate;
+}
+
+void FaultInjector::corrupt(std::vector<std::byte>& frame) {
+  RFID_EXPECT(!frame.empty(), "cannot corrupt an empty frame");
+  const std::uint64_t bit = rng_.below(frame.size() * 8);
+  frame[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+}
+
+namespace {
+
+[[nodiscard]] double parse_number(std::istringstream& is, const std::string& line) {
+  double v = 0.0;
+  RFID_EXPECT(static_cast<bool>(is >> v), "malformed fault-plan line: " + line);
+  return v;
+}
+
+[[nodiscard]] double parse_prob(std::istringstream& is, const std::string& line) {
+  const double v = parse_number(is, line);
+  RFID_EXPECT(v >= 0.0 && v <= 1.0,
+              "fault-plan probability outside [0, 1]: " + line);
+  return v;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream is(line);
+    std::string directive;
+    if (!(is >> directive)) continue;  // blank or comment-only line
+
+    if (directive == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_number(is, line));
+    } else if (directive == "burst") {
+      plan.burst.p_enter_bad = parse_prob(is, line);
+      plan.burst.p_exit_bad = parse_prob(is, line);
+      double loss_bad = 1.0;
+      if (is >> loss_bad) {
+        RFID_EXPECT(loss_bad >= 0.0 && loss_bad <= 1.0,
+                    "fault-plan probability outside [0, 1]: " + line);
+        if (double loss_good = 0.0; is >> loss_good) {
+          RFID_EXPECT(loss_good >= 0.0 && loss_good <= 1.0,
+                      "fault-plan probability outside [0, 1]: " + line);
+          plan.burst.loss_good = loss_good;
+        }
+      }
+      plan.burst.loss_bad = loss_bad;
+    } else if (directive == "corrupt") {
+      plan.corrupt_prob = parse_prob(is, line);
+    } else if (directive == "duplicate") {
+      plan.duplicate_prob = parse_prob(is, line);
+    } else if (directive == "reorder") {
+      plan.reorder_prob = parse_prob(is, line);
+      if (double delay = 0.0; is >> delay) {
+        RFID_EXPECT(delay >= 0.0, "reorder delay must be >= 0: " + line);
+        plan.reorder_delay_us = delay;
+      }
+    } else if (directive == "skew") {
+      plan.clock_skew = parse_number(is, line);
+      RFID_EXPECT(plan.clock_skew > 0.0, "clock skew must be > 0: " + line);
+      if (double offset = 0.0; is >> offset) plan.clock_offset_us = offset;
+    } else if (directive == "crash") {
+      CrashWindow window;
+      window.start_us = parse_number(is, line);
+      RFID_EXPECT(window.start_us >= 0.0, "crash start must be >= 0: " + line);
+      std::string end;
+      RFID_EXPECT(static_cast<bool>(is >> end),
+                  "crash needs <start_us> <end_us|never>: " + line);
+      if (end == "never") {
+        window.end_us = std::numeric_limits<double>::infinity();
+      } else {
+        std::istringstream end_is(end);
+        window.end_us = parse_number(end_is, line);
+      }
+      plan.reader_crashes.push_back(window);
+    } else {
+      RFID_EXPECT(false, "unknown fault-plan directive: " + directive);
+    }
+    std::string trailing;
+    RFID_EXPECT(!(is >> trailing), "trailing tokens on fault-plan line: " + line);
+  }
+  return plan;
+}
+
+}  // namespace rfid::fault

@@ -1,0 +1,152 @@
+// Deterministic fault injection for the wire layer.
+//
+// The paper assumes an ideal backhaul between server and reader; the wire
+// layer already survives i.i.d. frame drops. Real deployments additionally
+// see correlated burst loss, corrupted frames, duplicated and reordered
+// deliveries, readers crashing mid-round, and clock skew on the UTRP
+// deadline timer (Sec. 5.4). A FaultPlan scripts all of these; a
+// FaultInjector executes the script frame by frame so `wire::Link` and the
+// session endpoints can be driven through every adverse condition the
+// protocol must survive — reproducibly, from a seed.
+//
+// The injector draws from its own private RNG stream (FaultPlan::seed), so
+// attaching faults never perturbs the challenge/channel randomness of an
+// existing simulation: a faultless run is bit-identical with or without the
+// subsystem linked in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rfid::fault {
+
+/// Two-state Gilbert–Elliott loss chain: a "good" and a "bad" state with
+/// per-frame transition probabilities and per-state loss probabilities.
+/// Models the correlated burst loss of real backhauls, which i.i.d.
+/// `drop_prob` cannot reproduce (retransmission schemes that survive i.i.d.
+/// loss can starve under bursts of the same average rate).
+struct GilbertElliottConfig {
+  double p_enter_bad = 0.0;  // per-frame transition good -> bad
+  double p_exit_bad = 0.3;   // per-frame transition bad -> good
+  double loss_good = 0.0;    // drop probability while in the good state
+  double loss_bad = 1.0;     // drop probability while in the bad state
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return p_enter_bad > 0.0 || loss_good > 0.0;
+  }
+  /// Long-run average drop probability of the chain (stationary mix of the
+  /// two states). Use to dial "20% burst loss" without hand-solving.
+  [[nodiscard]] double stationary_loss() const noexcept;
+};
+
+/// The chain itself. Each offered frame samples a drop in the current state,
+/// then steps the state — so consecutive frames see correlated fates.
+class GilbertElliott {
+ public:
+  explicit GilbertElliott(GilbertElliottConfig config) noexcept
+      : config_(config) {}
+
+  /// Decides the fate of one frame and advances the chain.
+  [[nodiscard]] bool drop(util::Rng& rng) noexcept;
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  GilbertElliottConfig config_;
+  bool bad_ = false;
+};
+
+/// A scripted reader outage in absolute simulation time. The reader loses
+/// all volatile state (in-flight scan, pending report) at `start_us` and
+/// cold-restarts at `end_us`, resuming the current round via the server's
+/// idempotent per-round challenge cache. `end_us <= start_us` (or +inf)
+/// means the reader never comes back.
+struct CrashWindow {
+  double start_us = 0.0;
+  double end_us = 0.0;
+};
+
+/// The full fault script. Everything defaults to off; a default FaultPlan
+/// injects nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0x6661756c74ULL;  // injector's private RNG stream
+  GilbertElliottConfig burst;            // correlated burst loss
+  double corrupt_prob = 0.0;       // per frame: flip one random payload bit
+  double duplicate_prob = 0.0;     // per frame: deliver a second copy
+  double reorder_prob = 0.0;       // per frame: delay past later sends
+  double reorder_delay_us = 5000.0;  // extra delay applied to reordered frames
+  double clock_skew = 1.0;         // multiplies the server-observed elapsed
+                                   // time in the UTRP deadline check
+  double clock_offset_us = 0.0;    // additive skew on the same measurement
+  std::vector<CrashWindow> reader_crashes;
+
+  [[nodiscard]] bool skews_clock() const noexcept {
+    return clock_skew != 1.0 || clock_offset_us != 0.0;
+  }
+};
+
+/// Per-frame decision handed to the link.
+struct FrameFate {
+  bool drop = false;
+  bool corrupt = false;
+  bool duplicate = false;
+  double extra_delay_us = 0.0;
+};
+
+/// Executes a FaultPlan. One injector serves both directions of a session's
+/// backhaul (the burst chain models the shared physical path).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed), chain_(plan.burst) {}
+
+  /// Rolls the dice for one offered frame and advances the burst chain.
+  [[nodiscard]] FrameFate on_frame();
+
+  /// Flips one uniformly-random bit of `frame` (the framing checksum must
+  /// catch it downstream). Requires a non-empty frame.
+  void corrupt(std::vector<std::byte>& frame);
+
+  /// Applies the scripted clock skew to a server-side elapsed-time
+  /// measurement (the Alg. 5 deadline input).
+  [[nodiscard]] double skewed_elapsed(double elapsed_us) const noexcept {
+    return plan_.clock_skew * elapsed_us + plan_.clock_offset_us;
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  // Injection counters, for outcomes and tests.
+  [[nodiscard]] std::uint64_t burst_dropped() const noexcept { return burst_dropped_; }
+  [[nodiscard]] std::uint64_t corrupted() const noexcept { return corrupted_; }
+  [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_; }
+  [[nodiscard]] std::uint64_t reordered() const noexcept { return reordered_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  GilbertElliott chain_;
+  std::uint64_t burst_dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+/// Parses the line-oriented FaultPlan script format (see
+/// docs/fault_injection.md): one directive per line, `#` comments.
+///
+///   seed <n>
+///   burst <p_enter> <p_exit> [loss_bad [loss_good]]
+///   corrupt <prob>
+///   duplicate <prob>
+///   reorder <prob> [delay_us]
+///   skew <factor> [offset_us]
+///   crash <start_us> <end_us|never>
+///
+/// Throws std::invalid_argument on unknown directives, malformed numbers,
+/// or out-of-range probabilities.
+[[nodiscard]] FaultPlan parse_fault_plan(std::string_view text);
+
+}  // namespace rfid::fault

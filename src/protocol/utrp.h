@@ -114,6 +114,12 @@ class UtrpServer {
   /// Re-enrolls from a trusted physical audit of the tags (counters copied).
   void resync(const tag::TagSet& audited);
 
+  /// The mirrored database (IDs + counters as the server believes them).
+  /// Read-only: exposed so recovery flows can audit counter drift.
+  [[nodiscard]] std::span<const tag::Tag> mirror() const noexcept {
+    return mirror_;
+  }
+
  private:
   std::vector<tag::Tag> mirror_;  // IDs + counters as the server believes them
   MonitoringPolicy policy_;

@@ -18,6 +18,7 @@
 #include "estimate/adaptive.h"        // IWYU pragma: export
 #include "estimate/cardinality.h"     // IWYU pragma: export
 #include "estimate/upe.h"             // IWYU pragma: export
+#include "fault/fault.h"              // IWYU pragma: export
 #include "hash/slot_hash.h"           // IWYU pragma: export
 #include "math/approximation.h"       // IWYU pragma: export
 #include "math/binomial.h"            // IWYU pragma: export

@@ -12,6 +12,14 @@ std::string_view to_string(ProtocolKind kind) noexcept {
   return "unknown";
 }
 
+std::string_view to_string(AlertKind kind) noexcept {
+  switch (kind) {
+    case AlertKind::kRoundFailure: return "round-failure";
+    case AlertKind::kResync: return "resync";
+  }
+  return "unknown";
+}
+
 GroupId InventoryServer::enroll(const tag::TagSet& tags, GroupConfig config) {
   RFID_EXPECT(!tags.empty(), "cannot enroll an empty group");
   const GroupId id{groups_.size()};
@@ -107,6 +115,30 @@ bool InventoryServer::needs_resync(GroupId id) const {
     return utrp->needs_resync();
   }
   return false;
+}
+
+void InventoryServer::resync(GroupId id, const tag::TagSet& audited) {
+  Group& g = group(id);
+  auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
+  RFID_EXPECT(utrp != nullptr, "only UTRP groups carry a mirror to resync");
+  utrp->resync(audited);
+
+  Alert alert;
+  alert.kind = AlertKind::kResync;
+  alert.group = id;
+  alert.group_name = g.config.name;
+  alert.round = g.rounds;
+  alert.enrolled_size = utrp->group_size();
+  alert.estimated_present = static_cast<double>(audited.size());
+  alerts_.push_back(std::move(alert));
+}
+
+tag::TagSet InventoryServer::utrp_mirror(GroupId id) const {
+  const Group& g = group(id);
+  const auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
+  RFID_EXPECT(utrp != nullptr, "only UTRP groups carry a mirror");
+  const std::span<const tag::Tag> mirror = utrp->mirror();
+  return tag::TagSet(std::vector<tag::Tag>(mirror.begin(), mirror.end()));
 }
 
 void InventoryServer::record_alert(GroupId id, const protocol::Verdict& verdict,

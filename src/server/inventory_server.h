@@ -43,14 +43,23 @@ struct GroupId {
   friend bool operator==(GroupId, GroupId) = default;
 };
 
+/// What an Alert records: a monitoring round that failed verification, or a
+/// recovery action taken in response (so the log reads as a full incident
+/// timeline: failure, then the resync that healed it).
+enum class AlertKind : std::uint8_t { kRoundFailure, kResync };
+
+[[nodiscard]] std::string_view to_string(AlertKind kind) noexcept;
+
 struct Alert {
+  AlertKind kind = AlertKind::kRoundFailure;
   GroupId group;
   std::string group_name;
   std::uint64_t round = 0;
   std::uint64_t mismatched_slots = 0;
   bool deadline_missed = false;
   /// Zero-estimator triage: roughly how many tags the bitstring suggests
-  /// were present (vs. the enrolled size).
+  /// were present (vs. the enrolled size). For kResync alerts, the audited
+  /// group size.
   double estimated_present = 0.0;
   std::uint64_t enrolled_size = 0;
 };
@@ -85,6 +94,17 @@ class InventoryServer {
   [[nodiscard]] const std::vector<Alert>& alerts() const noexcept { return alerts_; }
   /// True when the UTRP group's mirror may have diverged (post-alert).
   [[nodiscard]] bool needs_resync(GroupId id) const;
+
+  /// Recovery flow for a diverged UTRP mirror: re-commits the mirror from a
+  /// trusted physical audit (IDs + counters — e.g. a snapshot refreshed at
+  /// the shelf), clears needs_resync, and records a kResync alert so the
+  /// incident log shows the recovery alongside the failure that caused it.
+  /// The audit must cover exactly the enrolled group.
+  void resync(GroupId id, const tag::TagSet& audited);
+
+  /// Copy of a UTRP group's mirrored database (IDs + counters as the server
+  /// believes them) — what an operator diffs against a physical audit.
+  [[nodiscard]] tag::TagSet utrp_mirror(GroupId id) const;
 
  private:
   struct Group {

@@ -133,4 +133,15 @@ InventoryServer restore_server(const std::vector<EnrolledGroup>& groups,
   return server;
 }
 
+void resync_from_snapshot(InventoryServer& server, GroupId id,
+                          const EnrolledGroup& audited) {
+  RFID_EXPECT(audited.config.protocol == ProtocolKind::kUtrp,
+              "resync applies to UTRP groups only");
+  RFID_EXPECT(audited.config.name == server.config(id).name,
+              "snapshot group name does not match the live group");
+  RFID_EXPECT(audited.tags.size() == server.group_size(id),
+              "snapshot tag count does not match the enrolled size");
+  server.resync(id, audited.tags);
+}
+
 }  // namespace rfid::server

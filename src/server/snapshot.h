@@ -43,4 +43,12 @@ void save_snapshot(std::ostream& os, const std::vector<EnrolledGroup>& groups);
     const std::vector<EnrolledGroup>& groups,
     hash::SlotHasher hasher = hash::SlotHasher{});
 
+/// Recovery: re-commits a diverged UTRP mirror from a snapshot taken at a
+/// fresh physical audit. Validates that the snapshot group matches the live
+/// one (name, protocol, size) before handing its tags to
+/// InventoryServer::resync — feeding the wrong group's counters into a
+/// mirror would be a second divergence, not a recovery.
+void resync_from_snapshot(InventoryServer& server, GroupId id,
+                          const EnrolledGroup& audited);
+
 }  // namespace rfid::server

@@ -9,6 +9,11 @@
 // Both macros always evaluate their condition (they are not compiled out in
 // release builds): every check in this library guards cheap scalar conditions
 // on API boundaries, far from the hot per-slot loops.
+//
+// RFID_DEBUG_EXPECT — like RFID_EXPECT, but compiled out under NDEBUG. For
+//                 checks on hot paths (per-draw, per-slot) where the release
+//                 build must pay nothing and a documented degraded result is
+//                 acceptable.
 #pragma once
 
 #include <sstream>
@@ -44,3 +49,11 @@ namespace rfid::detail {
   do {                                                                      \
     if (!(cond)) ::rfid::detail::throw_ensure_failure(#cond, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+#ifdef NDEBUG
+#define RFID_DEBUG_EXPECT(cond, msg) \
+  do {                               \
+  } while (false)
+#else
+#define RFID_DEBUG_EXPECT(cond, msg) RFID_EXPECT(cond, msg)
+#endif

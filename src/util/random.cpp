@@ -1,11 +1,15 @@
 #include "util/random.h"
 
+#include "util/expect.h"
+
 namespace rfid::util {
 
-std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+std::uint64_t Rng::below(std::uint64_t bound) {
   // Lemire's nearly-divisionless method: multiply a 64-bit draw by the bound
   // and keep the high word; reject draws in the biased low region.
-  // For bound == 0 (a caller bug) we degrade to returning 0 rather than UB.
+  // bound == 0 is a caller bug: loud in debug builds, degrade to 0 (without
+  // consuming a draw) in release builds rather than UB.
+  RFID_DEBUG_EXPECT(bound != 0, "below(0) requested — empty range [0, 0)");
   if (bound == 0) return 0;
   std::uint64_t x = (*this)();
   __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);

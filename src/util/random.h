@@ -73,12 +73,19 @@ class Rng {
     return result;
   }
 
-  /// Uniform integer in [0, bound). `bound` must be nonzero. Uses Lemire's
-  /// multiply-shift rejection method (unbiased).
-  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method (unbiased).
+  ///
+  /// Contract: `bound` must be nonzero — [0, 0) is empty, so there is no
+  /// value to return. Debug builds throw std::invalid_argument (via
+  /// RFID_DEBUG_EXPECT); release builds return 0 without consuming a draw,
+  /// keeping the hot path branch-cheap. Callers must not rely on the
+  /// degraded value.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
 
-  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
-  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi (checked in
+  /// debug builds via the below() contract when the range wraps to empty).
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
     return lo + below(hi - lo + 1);
   }
 

@@ -1,22 +1,40 @@
 #include "wire/link.h"
 
+#include <utility>
+
 #include "util/expect.h"
 
 namespace rfid::wire {
 
+double Link::delivery_delay() noexcept {
+  double delay = config_.latency_us;
+  if (config_.jitter_us > 0.0) delay += rng_.uniform() * config_.jitter_us;
+  return delay;
+}
+
 bool Link::send(std::vector<std::byte> frame, const Handler& deliver) {
   RFID_EXPECT(deliver != nullptr, "null delivery handler");
   ++sent_;
-  if (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob)) {
+  fault::FrameFate fate;
+  if (injector_ != nullptr) fate = injector_->on_frame();
+  if (fate.drop || (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob))) {
     ++dropped_;
     return false;
   }
-  double delay = config_.latency_us;
-  if (config_.jitter_us > 0.0) delay += rng_.uniform() * config_.jitter_us;
-  queue_.schedule_after(
-      delay, [deliver, payload = std::move(frame)]() mutable {
-        deliver(std::move(payload));
-      });
+  if (fate.corrupt && !frame.empty()) injector_->corrupt(frame);
+  if (fate.duplicate) {
+    // The duplicate takes its own independently-jittered path, so it can
+    // arrive before or after the original — receivers must stay idempotent.
+    ++sent_;
+    queue_.schedule_after(delivery_delay(),
+                          [deliver, payload = frame]() mutable {
+                            deliver(std::move(payload));
+                          });
+  }
+  queue_.schedule_after(delivery_delay() + fate.extra_delay_us,
+                        [deliver, payload = std::move(frame)]() mutable {
+                          deliver(std::move(payload));
+                        });
   return true;
 }
 

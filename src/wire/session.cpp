@@ -1,13 +1,27 @@
 #include "wire/session.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "util/expect.h"
 
 namespace rfid::wire {
+
+std::string_view to_string(FailureReason reason) noexcept {
+  switch (reason) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kTimeoutExhausted: return "timeout-exhausted";
+    case FailureReason::kDeadlineMissed: return "deadline-missed";
+    case FailureReason::kCrashed: return "crashed";
+    case FailureReason::kCorruptGiveup: return "corrupt-giveup";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -15,6 +29,10 @@ namespace {
 // five protocol-specific operations (issue/encode/accept/scan/verify). Both
 // adapters keep scans one-per-round — retransmitted reports reuse the stored
 // bitstring, which matters for UTRP where a re-scan would advance counters.
+// (A crash/restart deliberately re-scans: the reader lost its volatile scan
+// state, exactly like real hardware. For TRP the re-scan is idempotent; for
+// UTRP it advances counters past the mirror — the divergence the server's
+// resync flow exists to heal.)
 
 struct TrpAdapter {
   const protocol::TrpServer& server;
@@ -105,6 +123,9 @@ struct SessionState {
   Adapter adapter;
   const SessionConfig& config;
   util::Rng& rng;
+  /// Executes the scripted FaultPlan, if any. Constructed before the links
+  /// so they can hold a stable pointer into it.
+  std::optional<fault::FaultInjector> injector;
   Link uplink;    // reader -> server
   Link downlink;  // server -> reader
 
@@ -118,12 +139,21 @@ struct SessionState {
   // --- reader endpoint ----------------------------------------------------
   std::uint64_t total_rounds;
   std::uint64_t round = 0;
-  enum class Phase { kRequesting, kScanning, kReporting, kDone, kFailed };
+  enum class Phase { kRequesting, kScanning, kReporting, kDone, kFailed, kCrashed };
   Phase phase = Phase::kRequesting;
   BitstringReport pending_report;
   std::uint32_t retries = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t generation = 0;
+  /// When the reader first requested the current round (its local view of
+  /// the UTRP deadline clock; the server's true clock starts at first
+  /// issue, slightly later, so this is conservative).
+  double round_started_at_us = 0.0;
+  /// corrupt_frames_dropped at round start, to attribute corrupt-giveup.
+  std::uint64_t round_corrupt_base = 0;
+  /// Backoff jitter draws come from a dedicated stream so enabling them
+  /// never perturbs challenge/channel randomness.
+  util::Rng backoff_rng{0x6b63616266666f62ULL};
 
   SessionOutcome outcome;
 
@@ -133,9 +163,18 @@ struct SessionState {
         adapter(std::move(a)),
         config(cfg),
         rng(r),
-        uplink(q, cfg.uplink, r),
-        downlink(q, cfg.downlink, r),
+        injector(cfg.faults != nullptr
+                     ? std::optional<fault::FaultInjector>(
+                           std::in_place, *cfg.faults)
+                     : std::nullopt),
+        uplink(q, cfg.uplink, r, injector ? &*injector : nullptr),
+        downlink(q, cfg.downlink, r, injector ? &*injector : nullptr),
         total_rounds(rounds) {}
+
+  void begin_round_clock() {
+    round_started_at_us = queue.now();
+    round_corrupt_base = outcome.corrupt_frames_dropped;
+  }
 };
 
 template <typename Adapter>
@@ -146,16 +185,55 @@ void reader_send_request(const StatePtr<Adapter>& state);
 template <typename Adapter>
 void reader_send_report(const StatePtr<Adapter>& state);
 
+/// Capped exponential backoff with jitter. For UTRP the schedule is
+/// deadline-aware: while the round's Alg. 5 budget has not expired, a retry
+/// is never postponed past (half of) what remains — sleeping through the
+/// deadline converts recoverable loss into a guaranteed verification
+/// failure. Once the budget is blown the clamp disappears and the normal
+/// schedule resumes (the round still completes, for accounting).
+template <typename Adapter>
+double backoff_delay(SessionState<Adapter>& state) {
+  const SessionConfig& config = state.config;
+  const double cap = config.backoff_cap_us > 0.0
+                         ? config.backoff_cap_us
+                         : 16.0 * config.retry_timeout_us;
+  double delay = config.retry_timeout_us;
+  for (std::uint32_t i = 0; i < state.retries && delay < cap; ++i) {
+    delay *= config.backoff_multiplier;
+  }
+  delay = std::min(delay, cap);
+  if (config.backoff_jitter > 0.0) {
+    delay += delay * config.backoff_jitter * state.backoff_rng.uniform();
+  }
+  if (config.utrp_deadline_us > 0.0) {
+    const double remaining = state.round_started_at_us +
+                             config.utrp_deadline_us - state.queue.now();
+    if (remaining > 0.0) {
+      delay = std::min(delay,
+                       std::max(remaining * 0.5, config.retry_timeout_us * 0.25));
+    }
+  }
+  return delay;
+}
+
 template <typename Adapter>
 void arm_timeout(const StatePtr<Adapter>& state) {
   using Phase = typename SessionState<Adapter>::Phase;
   const std::uint64_t armed_generation = state->generation;
   state->queue.schedule_after(
-      state->config.retry_timeout_us, [state, armed_generation] {
+      backoff_delay(*state), [state, armed_generation] {
         if (state->generation != armed_generation) return;  // progressed
         if (state->retries >= state->config.max_retries) {
           state->phase = Phase::kFailed;
           ++state->generation;
+          // Name the give-up: if the checksum was rejecting frames during
+          // this round, the link was corrupting, not just losing.
+          const FailureReason reason =
+              state->outcome.corrupt_frames_dropped > state->round_corrupt_base
+                  ? FailureReason::kCorruptGiveup
+                  : FailureReason::kTimeoutExhausted;
+          state->outcome.failure = reason;
+          state->outcome.round_failures.push_back({state->round, reason});
           return;
         }
         ++state->retries;
@@ -171,81 +249,106 @@ void arm_timeout(const StatePtr<Adapter>& state) {
 template <typename Adapter>
 void server_on_frame(const StatePtr<Adapter>& state, std::vector<std::byte> frame);
 
-/// Downlink delivery: the reader's half of the state machine.
+/// Downlink delivery: the reader's half of the state machine. A frame that
+/// fails the checksum (or any decode check) is counted as corrupt and
+/// dropped — an exception must never propagate into the event queue.
 template <typename Adapter>
 void server_send(const StatePtr<Adapter>& state, std::vector<std::byte> frame) {
   using Phase = typename SessionState<Adapter>::Phase;
   (void)state->downlink.send(
       std::move(frame), [state](std::vector<std::byte> f) {
-        const MessageType type = peek_type(f);
-        if (Adapter::is_challenge(type)) {
-          auto [round, challenge] = Adapter::decode_challenge_frame(f);
-          if (state->phase != Phase::kRequesting || round != state->round) {
-            return;  // stale duplicate
-          }
-          state->phase = Phase::kScanning;
-          ++state->generation;
-          state->retries = 0;
-
-          auto [bitstring, scan_us] = state->adapter.scan(challenge, state->rng);
-          state->pending_report = BitstringReport{
-              state->config.group_name, state->round, std::move(bitstring),
-              scan_us};
-          state->queue.schedule_after(scan_us, [state] {
-            if (state->phase != Phase::kScanning) return;
-            state->phase = Phase::kReporting;
+        if (state->phase == Phase::kCrashed) return;  // reader is down
+        try {
+          const MessageType type = peek_type(f);
+          if (Adapter::is_challenge(type)) {
+            auto [round, challenge] = Adapter::decode_challenge_frame(f);
+            if (state->phase != Phase::kRequesting || round != state->round) {
+              return;  // stale duplicate
+            }
+            state->phase = Phase::kScanning;
             ++state->generation;
             state->retries = 0;
-            reader_send_report(state);
-          });
-        } else if (type == MessageType::kVerdictAck) {
-          const VerdictAck ack = decode_verdict_ack(f);
-          if (state->phase != Phase::kReporting || ack.round != state->round) {
-            return;  // stale duplicate
+
+            auto [bitstring, scan_us] =
+                state->adapter.scan(challenge, state->rng);
+            state->pending_report = BitstringReport{
+                state->config.group_name, state->round, std::move(bitstring),
+                scan_us};
+            const std::uint64_t scan_generation = state->generation;
+            state->queue.schedule_after(scan_us, [state, scan_generation] {
+              if (state->generation != scan_generation ||
+                  state->phase != Phase::kScanning) {
+                return;  // crashed (or otherwise moved on) mid-scan
+              }
+              state->phase = Phase::kReporting;
+              ++state->generation;
+              state->retries = 0;
+              reader_send_report(state);
+            });
+          } else if (type == MessageType::kVerdictAck) {
+            const VerdictAck ack = decode_verdict_ack(f);
+            if (state->phase != Phase::kReporting || ack.round != state->round) {
+              return;  // stale duplicate
+            }
+            ++state->outcome.rounds_completed;
+            ++state->round;
+            ++state->generation;
+            state->retries = 0;
+            if (state->round >= state->total_rounds) {
+              state->phase = Phase::kDone;
+              state->outcome.completed = true;
+              state->outcome.finished_at_us = state->queue.now();
+            } else {
+              state->phase = Phase::kRequesting;
+              state->begin_round_clock();
+              reader_send_request(state);
+            }
           }
-          ++state->outcome.rounds_completed;
-          ++state->round;
-          ++state->generation;
-          state->retries = 0;
-          if (state->round >= state->total_rounds) {
-            state->phase = Phase::kDone;
-            state->outcome.completed = true;
-            state->outcome.finished_at_us = state->queue.now();
-          } else {
-            state->phase = Phase::kRequesting;
-            reader_send_request(state);
-          }
+        } catch (const std::invalid_argument&) {
+          ++state->outcome.corrupt_frames_dropped;
         }
       });
 }
 
-/// Uplink delivery: the server's half of the state machine.
+/// Uplink delivery: the server's half of the state machine. Same corruption
+/// guard as the reader side.
 template <typename Adapter>
 void server_on_frame(const StatePtr<Adapter>& state, std::vector<std::byte> frame) {
-  const MessageType type = peek_type(frame);
-  if (type == MessageType::kChallengeRequest) {
-    const ChallengeRequest request = decode_challenge_request(frame);
-    // Idempotent issue: one challenge per round, replayed for duplicates;
-    // the deadline clock starts at FIRST issue.
-    auto [it, inserted] = state->issued.try_emplace(request.round);
-    if (inserted) {
-      it->second = state->adapter.issue(state->rng);
-      state->issued_at_us[request.round] = state->queue.now();
+  try {
+    const MessageType type = peek_type(frame);
+    if (type == MessageType::kChallengeRequest) {
+      const ChallengeRequest request = decode_challenge_request(frame);
+      // Idempotent issue: one challenge per round, replayed for duplicates;
+      // the deadline clock starts at FIRST issue.
+      auto [it, inserted] = state->issued.try_emplace(request.round);
+      if (inserted) {
+        it->second = state->adapter.issue(state->rng);
+        state->issued_at_us[request.round] = state->queue.now();
+      }
+      server_send(state, state->adapter.encode_challenge(request.round, it->second));
+    } else if (type == MessageType::kBitstringReport) {
+      const BitstringReport report = decode_bitstring_report(frame);
+      const auto issued_it = state->issued.find(report.round);
+      if (issued_it == state->issued.end()) return;  // report for unknown round
+      auto [it, inserted] = state->decided.try_emplace(report.round);
+      if (inserted) {
+        double elapsed =
+            state->queue.now() - state->issued_at_us[report.round];
+        // A skewed server clock mis-measures the Alg. 5 interval — the
+        // calibration hazard the fault plan makes testable.
+        if (state->injector) elapsed = state->injector->skewed_elapsed(elapsed);
+        it->second =
+            state->adapter.verify(issued_it->second, report.bitstring, elapsed);
+        state->outcome.verdicts.push_back(it->second);
+        if (!it->second.deadline_met) {
+          state->outcome.round_failures.push_back(
+              {report.round, FailureReason::kDeadlineMissed});
+        }
+      }
+      server_send(state, encode(VerdictAck{report.round, it->second.intact}));
     }
-    server_send(state, state->adapter.encode_challenge(request.round, it->second));
-  } else if (type == MessageType::kBitstringReport) {
-    const BitstringReport report = decode_bitstring_report(frame);
-    const auto issued_it = state->issued.find(report.round);
-    if (issued_it == state->issued.end()) return;  // report for unknown round
-    auto [it, inserted] = state->decided.try_emplace(report.round);
-    if (inserted) {
-      const double elapsed =
-          state->queue.now() - state->issued_at_us[report.round];
-      it->second =
-          state->adapter.verify(issued_it->second, report.bitstring, elapsed);
-      state->outcome.verdicts.push_back(it->second);
-    }
-    server_send(state, encode(VerdictAck{report.round, it->second.intact}));
+  } catch (const std::invalid_argument&) {
+    ++state->outcome.corrupt_frames_dropped;
   }
 }
 
@@ -268,13 +371,44 @@ void reader_send_report(const StatePtr<Adapter>& state) {
   reader_send(state, encode(state->pending_report));
 }
 
+/// Schedules the FaultPlan's scripted reader outages. A crash abandons all
+/// volatile reader state (mid-scan progress, pending retries); the restart
+/// cold-boots into the current round, whose challenge the server replays
+/// from its idempotent cache.
+template <typename Adapter>
+void schedule_crashes(const StatePtr<Adapter>& state) {
+  using Phase = typename SessionState<Adapter>::Phase;
+  for (const fault::CrashWindow& window : state->injector->plan().reader_crashes) {
+    RFID_EXPECT(window.start_us >= state->queue.now(),
+                "crash window starts in the simulated past");
+    state->queue.schedule_at(window.start_us, [state] {
+      if (state->phase == Phase::kDone || state->phase == Phase::kFailed) return;
+      state->phase = Phase::kCrashed;
+      ++state->generation;  // cancels pending timeouts and the scan event
+      ++state->outcome.reader_crashes;
+    });
+    if (std::isfinite(window.end_us) && window.end_us > window.start_us) {
+      state->queue.schedule_at(window.end_us, [state] {
+        if (state->phase != Phase::kCrashed) return;
+        state->phase = Phase::kRequesting;
+        ++state->generation;
+        state->retries = 0;
+        reader_send_request(state);
+      });
+    }
+  }
+}
+
 template <typename Adapter>
 SessionOutcome run_session(sim::EventQueue& queue, Adapter adapter,
                            std::uint64_t rounds, const SessionConfig& config,
                            util::Rng& rng) {
+  using Phase = typename SessionState<Adapter>::Phase;
   RFID_EXPECT(rounds >= 1, "need at least one round");
   auto state = std::make_shared<SessionState<Adapter>>(
       queue, std::move(adapter), rounds, config, rng);
+  if (state->injector) schedule_crashes(state);
+  state->begin_round_clock();
   reader_send_request(state);
   (void)queue.run();
 
@@ -283,7 +417,19 @@ SessionOutcome run_session(sim::EventQueue& queue, Adapter adapter,
   state->outcome.frames_dropped =
       state->uplink.frames_dropped() + state->downlink.frames_dropped();
   state->outcome.retransmissions = state->retransmissions;
-  if (!state->outcome.completed) state->outcome.finished_at_us = queue.now();
+  if (state->injector) {
+    state->outcome.burst_frames_dropped = state->injector->burst_dropped();
+    state->outcome.frames_duplicated = state->injector->duplicated();
+    state->outcome.frames_reordered = state->injector->reordered();
+  }
+  if (!state->outcome.completed) {
+    state->outcome.finished_at_us = queue.now();
+    if (state->phase == Phase::kCrashed) {
+      state->outcome.failure = FailureReason::kCrashed;
+      state->outcome.round_failures.push_back(
+          {state->round, FailureReason::kCrashed});
+    }
+  }
   return state->outcome;
 }
 

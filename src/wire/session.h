@@ -16,14 +16,26 @@
 // double-count rounds — the property the paper needs for "a new (f, r) each
 // time" to stay well-defined under an unreliable backhaul.
 //
+// Retries follow capped exponential backoff with jitter; for UTRP the
+// schedule is deadline-aware (while the Alg. 5 budget has not expired, a
+// retry is never postponed past it). A SessionConfig may carry a
+// fault::FaultPlan, which layers burst loss, corruption, duplication,
+// reordering, scripted reader crashes, and deadline-clock skew on top of the
+// links; the endpoints survive all of it: corrupt frames are rejected by the
+// framing checksum and counted (never thrown out of the event queue), and a
+// crashed reader cold-restarts into the current round via the server's
+// idempotent challenge cache.
+//
 // run_trp_session drives the whole exchange and reports per-round verdicts
-// plus link statistics; it gives up on a round after `max_retries` timeouts
-// (completed == false).
+// plus link statistics; when a round cannot complete, SessionOutcome names
+// the specific FailureReason instead of a bare `completed == false`.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
+#include "fault/fault.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
 #include "radio/timing.h"
@@ -36,7 +48,14 @@ namespace rfid::wire {
 struct SessionConfig {
   LinkConfig uplink;              // reader -> server
   LinkConfig downlink;            // server -> reader
+  /// Base retry timeout: the first retransmission fires this long after a
+  /// send; subsequent ones back off exponentially.
   double retry_timeout_us = 50000.0;
+  double backoff_multiplier = 2.0;  // per-retry growth factor (1.0 = fixed)
+  double backoff_cap_us = 0.0;      // ceiling; 0 = 16x the base timeout
+  /// Uniform jitter added to each backoff delay, as a fraction of it
+  /// (de-synchronizes retry storms; drawn from a dedicated RNG stream).
+  double backoff_jitter = 0.1;
   std::uint32_t max_retries = 8;  // per message, per round
   radio::TimingModel timing = {};
   std::string group_name = "group";
@@ -45,16 +64,48 @@ struct SessionConfig {
   /// eat into this budget — an honest reader on a bad link can miss it,
   /// which is precisely the paper's STmax-calibration problem.
   double utrp_deadline_us = 0.0;
+  /// Optional scripted faults (not owned; must outlive the session run).
+  /// Crash windows are in absolute queue time and must not lie in the past.
+  const fault::FaultPlan* faults = nullptr;
+};
+
+/// Why a round did not produce a clean, on-time verdict.
+enum class FailureReason : std::uint8_t {
+  kNone = 0,            // session completed every round
+  kTimeoutExhausted,    // max_retries timeouts with nothing heard back
+  kDeadlineMissed,      // UTRP: report verified after the Alg. 5 timer
+  kCrashed,             // reader crashed and never restarted
+  kCorruptGiveup,       // retries exhausted while corrupt frames were being
+                        // rejected by the checksum
+};
+
+[[nodiscard]] std::string_view to_string(FailureReason reason) noexcept;
+
+struct RoundFailure {
+  std::uint64_t round = 0;
+  FailureReason reason = FailureReason::kNone;
 };
 
 struct SessionOutcome {
   bool completed = false;              // all rounds finished (acked)
+  /// Why the session stopped early; kNone when completed. The failing round
+  /// is `rounds_completed` (rounds are acked in order).
+  FailureReason failure = FailureReason::kNone;
+  /// Every round that failed, terminal or not — deadline-missed rounds
+  /// complete (the server acks them) but appear here with kDeadlineMissed.
+  std::vector<RoundFailure> round_failures;
   std::uint64_t rounds_completed = 0;
   std::vector<protocol::Verdict> verdicts;  // one per completed round
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_dropped = 0;
   std::uint64_t retransmissions = 0;
   double finished_at_us = 0.0;
+  // Fault accounting (all zero without a FaultPlan).
+  std::uint64_t corrupt_frames_dropped = 0;  // rejected by the checksum
+  std::uint64_t burst_frames_dropped = 0;    // Gilbert–Elliott losses
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_reordered = 0;
+  std::uint64_t reader_crashes = 0;
 };
 
 /// Runs `rounds` TRP rounds between `server` and a reader scanning

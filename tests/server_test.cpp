@@ -5,6 +5,7 @@
 
 #include "protocol/utrp.h"
 #include "server/inventory_server.h"
+#include "server/snapshot.h"
 #include "tag/tag_set.h"
 #include "util/random.h"
 
@@ -171,6 +172,101 @@ TEST(InventoryServer, DifferentPoliciesGiveDifferentFrames) {
   const GroupId strict = server.enroll(set, trp_config("strict", 0, 0.99));
   const GroupId loose = server.enroll(set, trp_config("loose", 30, 0.9));
   EXPECT_GT(server.frame_size(strict), server.frame_size(loose));
+}
+
+TEST(InventoryServer, ResyncHealsDivergedMirrorAndLogsRecovery) {
+  // Full incident timeline: a rogue scan diverges the counters, the next
+  // round alerts and trips needs_resync, a resync from a fresh audit heals
+  // the mirror, and subsequent rounds verify clean. The alert log records
+  // both the failure and the recovery, in order.
+  rfid::util::Rng rng(9);
+  InventoryServer server;
+  TagSet set = TagSet::make_random(200, rng);
+  const GroupId id = server.enroll(set, utrp_config("vault", 2));
+  const rfid::protocol::UtrpReader reader;
+
+  // Rogue reader advances real counters behind the server's back.
+  {
+    rfid::util::Rng rogue_rng(99);
+    rfid::protocol::UtrpChallenge rogue;
+    rogue.frame_size = server.frame_size(id);
+    for (std::uint32_t i = 0; i < rogue.frame_size; ++i) {
+      rogue.seeds.push_back(rogue_rng());
+    }
+    (void)rfid::protocol::utrp_scan(set.tags(), rfid::hash::SlotHasher{}, rogue);
+    set.begin_round();
+  }
+
+  const auto c1 = server.challenge_utrp(id, rng);
+  const auto v1 =
+      server.submit_utrp(id, c1, reader.scan(set.tags(), c1).bitstring, true);
+  EXPECT_FALSE(v1.intact);
+  ASSERT_TRUE(server.needs_resync(id));
+  ASSERT_EQ(server.alerts().size(), 1u);
+  EXPECT_EQ(server.alerts()[0].kind, rfid::server::AlertKind::kRoundFailure);
+  set.begin_round();
+
+  // Recovery path: a fresh physical audit, resynced through the snapshot
+  // helper (as an operator restoring from an audit file would).
+  const rfid::server::EnrolledGroup audit{server.config(id), set};
+  rfid::server::resync_from_snapshot(server, id, audit);
+  EXPECT_FALSE(server.needs_resync(id));
+  ASSERT_EQ(server.alerts().size(), 2u);
+  EXPECT_EQ(server.alerts()[1].kind, rfid::server::AlertKind::kResync);
+  EXPECT_EQ(server.alerts()[1].group_name, "vault");
+
+  for (int round = 0; round < 2; ++round) {
+    const auto c = server.challenge_utrp(id, rng);
+    const auto v =
+        server.submit_utrp(id, c, reader.scan(set.tags(), c).bitstring, true);
+    EXPECT_TRUE(v.intact) << "post-resync round " << round;
+    set.begin_round();
+  }
+  EXPECT_FALSE(server.needs_resync(id));
+  EXPECT_EQ(server.alerts().size(), 2u);  // no new alerts after recovery
+}
+
+TEST(InventoryServer, ResyncRejectsWrongTargets) {
+  rfid::util::Rng rng(10);
+  InventoryServer server;
+  TagSet trp_set = TagSet::make_random(50, rng);
+  TagSet utrp_set = TagSet::make_random(50, rng);
+  const GroupId trp_id = server.enroll(trp_set, trp_config("shelf", 2));
+  const GroupId utrp_id = server.enroll(utrp_set, utrp_config("cage", 2));
+
+  // TRP groups have no mirror.
+  EXPECT_THROW(server.resync(trp_id, trp_set), std::invalid_argument);
+  EXPECT_THROW((void)server.utrp_mirror(trp_id), std::invalid_argument);
+
+  // Snapshot-group validation: name and size must match the live group.
+  rfid::server::EnrolledGroup wrong_name{utrp_config("wrong", 2), utrp_set};
+  EXPECT_THROW(rfid::server::resync_from_snapshot(server, utrp_id, wrong_name),
+               std::invalid_argument);
+  rfid::server::EnrolledGroup wrong_size{utrp_config("cage", 2),
+                                         TagSet::make_random(10, rng)};
+  EXPECT_THROW(rfid::server::resync_from_snapshot(server, utrp_id, wrong_size),
+               std::invalid_argument);
+}
+
+TEST(InventoryServer, UtrpMirrorTracksCommittedCounters) {
+  rfid::util::Rng rng(11);
+  InventoryServer server;
+  TagSet set = TagSet::make_random(100, rng);
+  const GroupId id = server.enroll(set, utrp_config("cage", 3));
+  const rfid::protocol::UtrpReader reader;
+
+  const auto c = server.challenge_utrp(id, rng);
+  (void)server.submit_utrp(id, c, reader.scan(set.tags(), c).bitstring, true);
+  set.begin_round();
+
+  // After an intact committed round the mirror's counters equal the real
+  // tags' counters, id by id.
+  const TagSet mirror = server.utrp_mirror(id);
+  ASSERT_EQ(mirror.size(), set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(mirror.at(i).id(), set.at(i).id());
+    EXPECT_EQ(mirror.at(i).counter(), set.at(i).counter());
+  }
 }
 
 }  // namespace

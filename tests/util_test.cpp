@@ -76,9 +76,20 @@ TEST(Rng, BelowOneAlwaysZero) {
   for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
 }
 
-TEST(Rng, BelowZeroDegradesToZero) {
+TEST(Rng, BelowZeroContract) {
+  // below(0) asks for a draw from the empty range [0, 0) — a caller bug.
+  // Debug builds refuse loudly; release builds degrade to 0 without
+  // consuming a draw (so a buggy caller does not silently desync streams).
   Rng rng(9);
+#ifdef NDEBUG
   EXPECT_EQ(rng.below(0), 0u);
+  Rng fresh(9);
+  (void)fresh.below(0);
+  EXPECT_EQ(rng(), fresh());  // no draw was consumed
+#else
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+  EXPECT_THROW((void)rng.between(5, 4), std::invalid_argument);  // empty range
+#endif
 }
 
 TEST(Rng, BetweenInclusiveBounds) {

@@ -251,6 +251,7 @@ TEST(Session, DeadLinkGivesUpGracefully) {
   EXPECT_FALSE(outcome.completed);
   EXPECT_EQ(outcome.rounds_completed, 0u);
   EXPECT_EQ(outcome.frames_dropped, outcome.frames_sent);
+  EXPECT_EQ(outcome.failure, wire::FailureReason::kTimeoutExhausted);
 }
 
 TEST(UtrpSession, PerfectLinksCompleteAndCommitCounters) {
