@@ -1,0 +1,118 @@
+// Ablation — recovery time vs journal length: what checkpoint rotation buys.
+//
+// The durability layer (src/storage) makes every monitoring round a journaled
+// mutation; recovery replays the journal suffix through the ordinary server
+// entry points. Replay cost therefore grows with the number of un-checkpointed
+// rounds, while restoring from a rotated snapshot is one parse. This bench
+// quantifies that trade so an operator can pick rotate_after_records: for each
+// journal length it reports the journal size on storage, cold-recovery time
+// (journal replay) and the same store recovered after one rotate() call
+// (snapshot load, zero records replayed).
+//
+// Extra options beyond the common set (bench_common.h):
+//   --tags N       group size (default 200)
+//   --repeats R    recovery timing repetitions, best-of (default 5)
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "bench_common.h"
+#include "protocol/utrp.h"
+#include "storage/backend.h"
+#include "storage/durable_server.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rfid;
+
+/// Enrolls one UTRP group and drives `rounds` intact rounds, all journaled.
+void run_rounds(storage::DurableInventoryServer& durable, tag::TagSet& set,
+                std::uint64_t rounds, util::Rng& rng) {
+  const server::GroupId id{0};
+  const protocol::UtrpReader reader;
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    const auto challenge = durable.challenge_utrp(id, rng);
+    (void)durable.submit_utrp(id, challenge,
+                              reader.scan(set.tags(), challenge).bitstring,
+                              /*deadline_met=*/true);
+    set.begin_round();
+  }
+}
+
+/// Best-of-`repeats` wall time of recovering a fresh server from `backend`.
+double recovery_ms(storage::MemoryBackend& backend, std::uint64_t repeats) {
+  double best = 0.0;
+  for (std::uint64_t i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const storage::DurableInventoryServer recovered(backend);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+std::uint64_t journal_bytes(const storage::MemoryBackend& backend) {
+  std::uint64_t total = 0;
+  for (const std::string& name : backend.list()) {
+    if (name.find(".journal.") != std::string::npos) {
+      total += backend.read(name).size();
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs* extra = nullptr;
+  const auto opt =
+      bench::parse_figure_options(argc, argv, &extra, {"tags", "repeats"});
+  const auto tags = static_cast<std::uint64_t>(extra->get_int_or("tags", 200));
+  const auto repeats =
+      static_cast<std::uint64_t>(extra->get_int_or("repeats", 5));
+
+  bench::banner("Recovery time vs journal length (group of " +
+                std::to_string(tags) + " tags, UTRP rounds journaled)");
+
+  util::Table table({"journal_records", "journal_kb", "recovery_ms",
+                     "records_replayed", "rotated_recovery_ms"});
+  for (const std::uint64_t rounds :
+       {0ULL, 25ULL, 50ULL, 100ULL, 200ULL, 400ULL, 800ULL}) {
+    util::Rng rng(util::derive_seed(opt.seed, rounds));
+    storage::MemoryBackend backend;
+    tag::TagSet set = tag::TagSet::make_random(tags, rng);
+    {
+      storage::DurableInventoryServer durable(backend);
+      server::GroupConfig config;
+      config.name = "bench";
+      config.policy = {.tolerated_missing = 5, .confidence = opt.alpha};
+      config.protocol = server::ProtocolKind::kUtrp;
+      config.comm_budget = opt.budget;
+      (void)durable.enroll(set, config);
+      run_rounds(durable, set, rounds, rng);
+    }
+
+    const double cold = recovery_ms(backend, repeats);
+    const std::uint64_t bytes = journal_bytes(backend);
+    std::uint64_t replayed = 0;
+    {
+      storage::DurableInventoryServer durable(backend);
+      replayed = durable.recovery_report().records_replayed;
+      durable.rotate();  // checkpoint: next recovery loads the snapshot
+    }
+    const double warm = recovery_ms(backend, repeats);
+
+    table.begin_row();
+    table.add_cell(static_cast<unsigned long long>(rounds + 1));  // + enroll
+    table.add_cell(static_cast<double>(bytes) / 1024.0, 1);
+    table.add_cell(cold, 3);
+    table.add_cell(static_cast<unsigned long long>(replayed));
+    table.add_cell(warm, 3);
+  }
+  bench::emit(table, opt);
+  return 0;
+}

@@ -23,6 +23,10 @@ echo "== tests =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   | tee "${RESULTS_DIR}/test_output.txt" | tail -3
 
+echo "== durability smoke (persist -> crash -> recover) =="
+"${BUILD_DIR}/examples/durability_drill" "${BUILD_DIR}/rfidmon-drill-state" \
+  | tee "${RESULTS_DIR}/durability_drill.txt"
+
 echo "== benches =="
 for bench in "${BUILD_DIR}"/bench/*; do
   [ -x "${bench}" ] || continue

@@ -1,0 +1,80 @@
+#include "fault/storage_fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfid::fault {
+
+namespace {
+
+/// Bytes of an operation that still make it to storage, rounded down — a torn
+/// write never invents data it was not given.
+[[nodiscard]] std::size_t keep_bytes(std::size_t size, double fraction) {
+  const double clamped = std::clamp(fraction, 0.0, 1.0);
+  return static_cast<std::size_t>(
+      std::floor(static_cast<double>(size) * clamped));
+}
+
+}  // namespace
+
+bool FaultyBackend::arm() {
+  ++ops_;
+  return plan_.crash_at_op != 0 && ops_ == plan_.crash_at_op;
+}
+
+void FaultyBackend::crash_now(std::string_view op) {
+  throw CrashInjected("injected crash at mutating op " + std::to_string(ops_) +
+                      " (" + std::string(op) + ")");
+}
+
+void FaultyBackend::append(const std::string& name, std::string_view bytes) {
+  const bool crashing = arm();
+  ++appends_;
+  if (crashing) {
+    if (plan_.crash_before_effect) crash_now("append");
+    // Torn write: a prefix of the bytes reaches durable storage before the
+    // power cut. Force the prefix through the write cache — the harness's
+    // crash() wipes buffered bytes, and a torn frame must survive it for
+    // recovery's truncation path to be exercised.
+    const std::size_t keep = keep_bytes(bytes.size(), plan_.torn_keep_fraction);
+    if (keep > 0) {
+      inner_.append(name, bytes.substr(0, keep));
+      inner_.flush(name);
+    }
+    crash_now("append");
+  }
+  if (plan_.partial_append_at != 0 && appends_ == plan_.partial_append_at) {
+    // Disk full: part of the record is written, then the append fails. The
+    // process survives and must cope with the torn prefix it left behind.
+    const std::size_t keep =
+        keep_bytes(bytes.size(), plan_.partial_append_keep_fraction);
+    if (keep > 0) inner_.append(name, bytes.substr(0, keep));
+    throw storage::IoError("injected short append to " + name);
+  }
+  inner_.append(name, bytes);
+}
+
+void FaultyBackend::flush(const std::string& name) {
+  const bool crashing = arm();
+  if (crashing && plan_.crash_before_effect) crash_now("flush");
+  const bool lying =
+      plan_.lying_flush_from_op != 0 && ops_ >= plan_.lying_flush_from_op;
+  if (!lying) inner_.flush(name);
+  if (crashing) crash_now("flush");
+}
+
+void FaultyBackend::rename(const std::string& from, const std::string& to) {
+  const bool crashing = arm();
+  if (crashing && plan_.crash_before_effect) crash_now("rename");
+  inner_.rename(from, to);
+  if (crashing) crash_now("rename");
+}
+
+void FaultyBackend::remove(const std::string& name) {
+  const bool crashing = arm();
+  if (crashing && plan_.crash_before_effect) crash_now("remove");
+  inner_.remove(name);
+  if (crashing) crash_now("remove");
+}
+
+}  // namespace rfid::fault

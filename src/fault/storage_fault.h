@@ -1,0 +1,104 @@
+// Storage fault injection: the durability-layer counterpart of the wire
+// FaultInjector (fault.h).
+//
+// The wire injector proves the *protocol* survives a hostile backhaul; this
+// one proves the *server state* survives a hostile disk. FaultyBackend wraps
+// any StorageBackend and scripts the failure modes a real storage stack
+// exhibits at the worst possible moment:
+//
+//  * crash at the k-th mutating operation — before or after its effect, so a
+//    torture sweep visits every possible crash point of a workload;
+//  * torn write — the crashing append persists only a prefix of its bytes
+//    (what a power cut mid-sector-write leaves behind);
+//  * partial append — an append fails with IoError after writing a prefix
+//    (disk full), without killing the process;
+//  * crash-before-flush — flush reports success but persists nothing, then
+//    the crash eats the buffer (a lying write cache).
+//
+// Bit rot is injected directly through MemoryBackend::corrupt_durable — it
+// is a property of bytes at rest, not of an operation in flight.
+//
+// A crash is delivered as a thrown CrashInjected. The harness catches it,
+// calls MemoryBackend::crash() to drop unflushed bytes, and then recovers a
+// fresh DurableInventoryServer from the survivors — asserting the recovered
+// state is bit-identical to the pre- or post-mutation state, never between
+// (tests/storage_torture_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "storage/backend.h"
+
+namespace rfid::fault {
+
+/// The simulated power cut. Deliberately NOT derived from storage::IoError:
+/// an IoError is a failure the running process may observe and handle; a
+/// crash is the end of the process, and only the torture harness catches it.
+struct CrashInjected : std::runtime_error {
+  explicit CrashInjected(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Everything defaults to off; a default plan injects nothing.
+struct StorageFaultPlan {
+  /// Crash when the N-th mutating operation (1-based; append/flush/rename/
+  /// remove) is reached. 0 = never.
+  std::uint64_t crash_at_op = 0;
+  /// Deliver the crash before the operation takes effect (true) or after
+  /// its effect is in place (false).
+  bool crash_before_effect = false;
+  /// If the crashing op is an append: fraction of its bytes that become
+  /// durable anyway (torn write). 1.0 persists the full record, 0.0 none.
+  double torn_keep_fraction = 1.0;
+  /// From this flush op (1-based) onward, flushes lie: they report success
+  /// without persisting. 0 = flushes work.
+  std::uint64_t lying_flush_from_op = 0;
+  /// The N-th append (1-based) throws IoError after persisting only
+  /// `partial_append_keep_fraction` of its bytes. 0 = never.
+  std::uint64_t partial_append_at = 0;
+  double partial_append_keep_fraction = 0.0;
+};
+
+/// Decorator over a StorageBackend executing a StorageFaultPlan. Reads pass
+/// through untouched and are not counted — only mutations can tear state.
+class FaultyBackend : public storage::StorageBackend {
+ public:
+  /// The wrapped backend must outlive the decorator. For torn-write
+  /// semantics the inner backend should be a MemoryBackend (its
+  /// durable/buffered split is what gives "prefix survived" meaning).
+  FaultyBackend(storage::StorageBackend& inner, StorageFaultPlan plan)
+      : inner_(inner), plan_(plan) {}
+
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return inner_.exists(name);
+  }
+  [[nodiscard]] std::vector<std::string> list() const override {
+    return inner_.list();
+  }
+  [[nodiscard]] std::string read(const std::string& name) const override {
+    return inner_.read(name);
+  }
+  void append(const std::string& name, std::string_view bytes) override;
+  void flush(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& name) override;
+
+  /// Mutating operations observed so far — run a workload with a no-crash
+  /// plan first to learn how many crash points it has.
+  [[nodiscard]] std::uint64_t mutating_ops() const noexcept { return ops_; }
+  [[nodiscard]] const StorageFaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  /// Counts the op; true when this op is the scripted crash point.
+  [[nodiscard]] bool arm();
+  [[noreturn]] void crash_now(std::string_view op);
+
+  storage::StorageBackend& inner_;
+  StorageFaultPlan plan_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t appends_ = 0;
+};
+
+}  // namespace rfid::fault

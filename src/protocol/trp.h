@@ -45,6 +45,9 @@ class TrpServer {
             hash::SlotHasher hasher = hash::SlotHasher{});
 
   [[nodiscard]] std::uint64_t group_size() const noexcept { return ids_.size(); }
+  /// The enrolled IDs, in enrollment order (persistence reads these back
+  /// when snapshotting a running server).
+  [[nodiscard]] std::span<const tag::TagId> ids() const noexcept { return ids_; }
   [[nodiscard]] const MonitoringPolicy& policy() const noexcept { return policy_; }
   /// The Eq. (2) frame size used by every challenge from this server.
   [[nodiscard]] std::uint32_t frame_size() const noexcept { return plan_.frame_size; }

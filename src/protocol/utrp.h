@@ -111,6 +111,11 @@ class UtrpServer {
   /// True once a failed round has left mirror and reality possibly diverged.
   [[nodiscard]] bool needs_resync() const noexcept { return needs_resync_; }
 
+  /// Recovery hook: reinstates a diverged-mirror flag recorded before a
+  /// snapshot (the failed round that set it is not replayed, so the flag
+  /// must be restored explicitly). Not for normal operation.
+  void mark_needs_resync() noexcept { needs_resync_ = true; }
+
   /// Re-enrolls from a trusted physical audit of the tags (counters copied).
   void resync(const tag::TagSet& audited);
 

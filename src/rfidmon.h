@@ -7,6 +7,7 @@
 //   * protocol/utrp.h       — UTRP: untrusted-reader monitoring (Sec. 5)
 //   * protocol/collect_all.h — the collect-all baseline
 //   * server/inventory_server.h — multi-group server front-end
+//   * storage/durable_server.h — crash-consistent persistence (WAL + snapshots)
 //   * math/frame_optimizer.h — Eq. (2) / Eq. (3) frame sizing
 //   * attack/…              — the adversaries both protocols are measured against
 #pragma once
@@ -19,6 +20,7 @@
 #include "estimate/cardinality.h"     // IWYU pragma: export
 #include "estimate/upe.h"             // IWYU pragma: export
 #include "fault/fault.h"              // IWYU pragma: export
+#include "fault/storage_fault.h"      // IWYU pragma: export
 #include "hash/slot_hash.h"           // IWYU pragma: export
 #include "math/approximation.h"       // IWYU pragma: export
 #include "math/binomial.h"            // IWYU pragma: export
@@ -41,6 +43,10 @@
 #include "server/inventory_server.h"  // IWYU pragma: export
 #include "server/snapshot.h"          // IWYU pragma: export
 #include "sim/event_queue.h"          // IWYU pragma: export
+#include "storage/backend.h"          // IWYU pragma: export
+#include "storage/durable_server.h"   // IWYU pragma: export
+#include "storage/journal.h"          // IWYU pragma: export
+#include "storage/server_state.h"     // IWYU pragma: export
 #include "sim/trial_runner.h"         // IWYU pragma: export
 #include "tag/tag_set.h"              // IWYU pragma: export
 #include "util/random.h"              // IWYU pragma: export

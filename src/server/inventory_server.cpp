@@ -124,6 +124,7 @@ void InventoryServer::resync(GroupId id, const tag::TagSet& audited) {
   utrp->resync(audited);
 
   Alert alert;
+  alert.sequence = next_alert_sequence_++;
   alert.kind = AlertKind::kResync;
   alert.group = id;
   alert.group_name = g.config.name;
@@ -141,10 +142,52 @@ tag::TagSet InventoryServer::utrp_mirror(GroupId id) const {
   return tag::TagSet(std::vector<tag::Tag>(mirror.begin(), mirror.end()));
 }
 
+tag::TagSet InventoryServer::group_tags(GroupId id) const {
+  const Group& g = group(id);
+  if (const auto* trp = std::get_if<protocol::TrpServer>(&g.engine)) {
+    std::vector<tag::Tag> tags;
+    tags.reserve(trp->ids().size());
+    for (const tag::TagId tid : trp->ids()) tags.emplace_back(tid);
+    return tag::TagSet(std::move(tags));
+  }
+  return utrp_mirror(id);
+}
+
+InventoryServer::GroupState InventoryServer::group_state(GroupId id) const {
+  return GroupState{rounds_completed(id), needs_resync(id)};
+}
+
+void InventoryServer::restore_history(std::vector<Alert> alerts,
+                                      const std::vector<GroupState>& states) {
+  RFID_EXPECT(states.size() == groups_.size(),
+              "one GroupState per enrolled group");
+  RFID_EXPECT(alerts_.empty() && next_alert_sequence_ == 0,
+              "restore_history applies to a freshly restored server");
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    Group& g = groups_[i];
+    RFID_EXPECT(g.rounds == 0, "restore_history applies before any rounds");
+    g.rounds = states[i].rounds;
+    if (states[i].needs_resync) {
+      auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
+      RFID_EXPECT(utrp != nullptr, "needs_resync restored onto a TRP group");
+      utrp->mark_needs_resync();
+    }
+  }
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    RFID_EXPECT(alerts[i].group.index < groups_.size(),
+                "restored alert references an unknown group");
+    RFID_EXPECT(i == 0 || alerts[i - 1].sequence < alerts[i].sequence,
+                "restored alert sequences must be strictly increasing");
+  }
+  if (!alerts.empty()) next_alert_sequence_ = alerts.back().sequence + 1;
+  alerts_ = std::move(alerts);
+}
+
 void InventoryServer::record_alert(GroupId id, const protocol::Verdict& verdict,
                                    const bits::Bitstring& reported) {
   Group& g = group(id);
   Alert alert;
+  alert.sequence = next_alert_sequence_++;
   alert.group = id;
   alert.group_name = g.config.name;
   alert.round = g.rounds;

@@ -51,6 +51,11 @@ enum class AlertKind : std::uint8_t { kRoundFailure, kResync };
 [[nodiscard]] std::string_view to_string(AlertKind kind) noexcept;
 
 struct Alert {
+  /// Monotone per-server sequence number, assigned at record time. Keeps the
+  /// incident timeline totally ordered even after the log round-trips
+  /// through persistence (restore + journal replay must regenerate the same
+  /// ordering — asserted by the storage torture tests).
+  std::uint64_t sequence = 0;
   AlertKind kind = AlertKind::kRoundFailure;
   GroupId group;
   std::string group_name;
@@ -106,6 +111,27 @@ class InventoryServer {
   /// believes them) — what an operator diffs against a physical audit.
   [[nodiscard]] tag::TagSet utrp_mirror(GroupId id) const;
 
+  /// The group's tags as persistence must record them: enrolled IDs for TRP
+  /// (counters are not protocol state there), the live counter mirror for
+  /// UTRP. This is what save_snapshot needs to capture a *running* server,
+  /// not just a fresh enrollment.
+  [[nodiscard]] tag::TagSet group_tags(GroupId id) const;
+
+  /// Per-group state the snapshot's AUX section persists alongside the tag
+  /// database (see storage/server_state.h).
+  struct GroupState {
+    std::uint64_t rounds = 0;
+    bool needs_resync = false;
+  };
+  [[nodiscard]] GroupState group_state(GroupId id) const;
+
+  /// Recovery hook for the storage layer: reinstates history that predates
+  /// the newest snapshot (round counts, diverged-mirror flags, the alert
+  /// log with its sequence numbers). Only valid on a freshly restored
+  /// server that has completed no rounds; not for normal operation.
+  void restore_history(std::vector<Alert> alerts,
+                       const std::vector<GroupState>& states);
+
  private:
   struct Group {
     GroupConfig config;
@@ -121,6 +147,7 @@ class InventoryServer {
   hash::SlotHasher hasher_;
   std::vector<Group> groups_;
   std::vector<Alert> alerts_;
+  std::uint64_t next_alert_sequence_ = 0;
 };
 
 }  // namespace rfid::server

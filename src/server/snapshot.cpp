@@ -51,26 +51,51 @@ void save_snapshot(std::ostream& os, const std::vector<EnrolledGroup>& groups) {
     for (const tag::Tag& t : group.tags.tags()) body += format_tag_line(t);
   }
   os << body << "END " << std::hex << checksum_of(body) << std::dec << '\n';
+  // Flush before checking: a failure the streambuf buffered during the
+  // writes above (e.g. a full disk) only surfaces in the stream state once
+  // the buffer drains. Checking os.good() without the flush would report
+  // success for a snapshot that never reached its destination.
+  os.flush();
   RFID_EXPECT(os.good(), "snapshot stream write failed");
 }
 
 std::vector<EnrolledGroup> load_snapshot(std::istream& is) {
   std::string body;
   std::string line;
+  // Every failure names the 1-based line it was detected on, so an operator
+  // staring at a hand-edited or damaged snapshot knows where to look.
+  std::uint64_t lineno = 0;
+  const auto at = [&lineno](std::string_view what) {
+    return "line " + std::to_string(lineno) + ": " + std::string(what);
+  };
 
+  ++lineno;
   RFID_EXPECT(static_cast<bool>(std::getline(is, line)), "empty snapshot");
-  RFID_EXPECT(line == kMagic, "unsupported snapshot version or not a snapshot");
+  RFID_EXPECT(line == kMagic,
+              at("unsupported snapshot version or not a snapshot"));
   body += line;
   body += '\n';
 
   std::vector<EnrolledGroup> groups;
+  std::vector<std::string> seen_names;
   std::vector<tag::Tag> pending_tags;
   bool saw_end = false;
   std::size_t expected_tags = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.rfind("END ", 0) == 0) {
-      const std::uint64_t declared = std::stoull(line.substr(4), nullptr, 16);
-      RFID_EXPECT(declared == checksum_of(body), "snapshot checksum mismatch");
+      std::uint64_t declared = 0;
+      try {
+        std::size_t consumed = 0;
+        declared = std::stoull(line.substr(4), &consumed, 16);
+        RFID_EXPECT(consumed == line.size() - 4, "bad END checksum hex");
+      } catch (const std::invalid_argument&) {
+        RFID_EXPECT(false, at("bad END checksum hex"));
+      } catch (const std::out_of_range&) {
+        RFID_EXPECT(false, at("bad END checksum hex"));
+      }
+      RFID_EXPECT(declared == checksum_of(body),
+                  at("snapshot checksum mismatch"));
       saw_end = true;
       break;
     }
@@ -81,7 +106,7 @@ std::vector<EnrolledGroup> load_snapshot(std::istream& is) {
       // Close out the previous group.
       if (!groups.empty()) {
         RFID_EXPECT(pending_tags.size() == expected_tags,
-                    "group tag count mismatch");
+                    at("group tag count mismatch"));
         groups.back().tags = tag::TagSet(std::move(pending_tags));
         pending_tags = {};
       }
@@ -92,34 +117,51 @@ std::vector<EnrolledGroup> load_snapshot(std::istream& is) {
       fields >> proto >> group.config.policy.tolerated_missing >>
           group.config.policy.confidence >> group.config.comm_budget >>
           group.config.slack_slots >> tag_count;
-      RFID_EXPECT(!fields.fail(), "malformed GROUP line");
-      RFID_EXPECT(proto == "TRP" || proto == "UTRP", "unknown protocol tag");
+      RFID_EXPECT(!fields.fail(), at("malformed GROUP line"));
+      RFID_EXPECT(proto == "TRP" || proto == "UTRP",
+                  at("unknown protocol tag"));
       group.config.protocol =
           proto == "TRP" ? ProtocolKind::kTrp : ProtocolKind::kUtrp;
       std::getline(fields, group.config.name);
       if (!group.config.name.empty() && group.config.name.front() == ' ') {
         group.config.name.erase(0, 1);
       }
+      for (const std::string& name : seen_names) {
+        RFID_EXPECT(name != group.config.name,
+                    at("duplicate GROUP name: " + group.config.name));
+      }
+      seen_names.push_back(group.config.name);
       expected_tags = tag_count;
       pending_tags.reserve(tag_count);
       groups.push_back(std::move(group));
     } else if (line.rfind("TAG ", 0) == 0) {
-      RFID_EXPECT(!groups.empty(), "TAG line before any GROUP");
+      RFID_EXPECT(!groups.empty(), at("TAG line before any GROUP"));
       unsigned hi = 0;
       std::uint64_t lo = 0;
       std::uint64_t counter = 0;
       RFID_EXPECT(std::sscanf(line.c_str(), "TAG %x %" SCNx64 " %" SCNu64, &hi,
                               &lo, &counter) == 3,
-                  "malformed TAG line");
+                  at("bad TAG hex"));
       pending_tags.emplace_back(tag::TagId(hi, lo), counter);
     } else {
-      RFID_EXPECT(false, "unrecognized snapshot line: " + line);
+      RFID_EXPECT(false, at("unrecognized snapshot line: " + line));
     }
   }
-  RFID_EXPECT(saw_end, "snapshot truncated (no END line)");
+  RFID_EXPECT(saw_end, at("snapshot truncated (no END line)"));
   if (!groups.empty()) {
-    RFID_EXPECT(pending_tags.size() == expected_tags, "group tag count mismatch");
+    RFID_EXPECT(pending_tags.size() == expected_tags,
+                at("group tag count mismatch"));
     groups.back().tags = tag::TagSet(std::move(pending_tags));
+  }
+  return groups;
+}
+
+std::vector<EnrolledGroup> enrolled_groups(const InventoryServer& server) {
+  std::vector<EnrolledGroup> groups;
+  groups.reserve(server.group_count());
+  for (std::size_t i = 0; i < server.group_count(); ++i) {
+    const GroupId id{i};
+    groups.push_back(EnrolledGroup{server.config(id), server.group_tags(id)});
   }
   return groups;
 }

@@ -30,12 +30,24 @@ struct EnrolledGroup {
   tag::TagSet tags;  // IDs + counters as known at snapshot time
 };
 
-/// Writes all groups; throws on stream failure.
+/// Writes all groups; throws std::invalid_argument on stream failure (the
+/// stream is flushed and its state checked after the final write, so a
+/// buffered failure cannot slip past).
 void save_snapshot(std::ostream& os, const std::vector<EnrolledGroup>& groups);
 
 /// Parses a snapshot; throws std::invalid_argument on malformed input,
-/// version mismatch, or checksum failure.
+/// version mismatch, or checksum failure. Error messages carry the 1-based
+/// line number of the offending line ("line 42: bad TAG hex") for operator
+/// triage. The stream is left positioned just past the END line, so callers
+/// may append and parse trailing sections (see storage/server_state.h).
 [[nodiscard]] std::vector<EnrolledGroup> load_snapshot(std::istream& is);
+
+/// Captures a *running* server's enrollment state: group configs plus the
+/// tags as persistence must record them (enrolled IDs for TRP, the live
+/// counter mirror for UTRP). save_snapshot(os, enrolled_groups(server)) is
+/// the canonical "snapshot the server now" call.
+[[nodiscard]] std::vector<EnrolledGroup> enrolled_groups(
+    const InventoryServer& server);
 
 /// Convenience: rebuilds a live InventoryServer by re-enrolling every group
 /// from the snapshot (UTRP counters are restored via the snapshot tags).

@@ -1,0 +1,149 @@
+#include "storage/backend.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/expect.h"
+
+namespace rfid::storage {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+
+bool MemoryBackend::exists(const std::string& name) const {
+  return files_.contains(name);
+}
+
+std::vector<std::string> MemoryBackend::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;
+}
+
+const MemoryBackend::File& MemoryBackend::file(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) throw IoError("no such file: " + name);
+  return it->second;
+}
+
+std::string MemoryBackend::read(const std::string& name) const {
+  const File& f = file(name);
+  return f.durable + f.buffered;
+}
+
+void MemoryBackend::append(const std::string& name, std::string_view bytes) {
+  files_[name].buffered.append(bytes);
+}
+
+void MemoryBackend::flush(const std::string& name) {
+  File& f = files_[name];
+  f.durable += f.buffered;
+  f.buffered.clear();
+}
+
+void MemoryBackend::rename(const std::string& from, const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) throw IoError("rename source missing: " + from);
+  File moved = std::move(it->second);
+  files_.erase(it);
+  files_[to] = std::move(moved);
+}
+
+void MemoryBackend::remove(const std::string& name) {
+  if (files_.erase(name) == 0) throw IoError("remove target missing: " + name);
+}
+
+void MemoryBackend::crash() {
+  for (auto& [name, f] : files_) f.buffered.clear();
+}
+
+void MemoryBackend::corrupt_durable(const std::string& name,
+                                    std::uint64_t offset, unsigned bit) {
+  RFID_EXPECT(bit < 8, "bit index must be 0-7");
+  const auto it = files_.find(name);
+  if (it == files_.end()) throw IoError("no such file: " + name);
+  std::string& durable = it->second.durable;
+  if (durable.empty()) return;
+  const auto flipped = static_cast<unsigned char>(
+      static_cast<unsigned char>(durable[offset % durable.size()]) ^
+      (1u << bit));
+  durable[offset % durable.size()] = static_cast<char>(flipped);
+}
+
+std::string MemoryBackend::durable_bytes(const std::string& name) const {
+  return file(name).durable;
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+
+FileBackend::FileBackend(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw IoError("cannot create directory " + dir_ + ": " + ec.message());
+}
+
+std::string FileBackend::path_of(const std::string& name) const {
+  RFID_EXPECT(name.find('/') == std::string::npos &&
+                  name.find("..") == std::string::npos,
+              "backend file names must be flat");
+  return dir_ + "/" + name;
+}
+
+bool FileBackend::exists(const std::string& name) const {
+  return fs::exists(path_of(name));
+}
+
+std::vector<std::string> FileBackend::list() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+  }
+  if (ec) throw IoError("cannot list " + dir_ + ": " + ec.message());
+  return names;
+}
+
+std::string FileBackend::read(const std::string& name) const {
+  std::ifstream in(path_of(name), std::ios::binary);
+  if (!in) throw IoError("cannot open " + path_of(name));
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) throw IoError("read failed: " + path_of(name));
+  return std::move(out).str();
+}
+
+void FileBackend::append(const std::string& name, std::string_view bytes) {
+  std::ofstream out(path_of(name), std::ios::binary | std::ios::app);
+  if (!out) throw IoError("cannot open for append: " + path_of(name));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) throw IoError("append failed: " + path_of(name));
+}
+
+void FileBackend::flush(const std::string& name) {
+  // Appends above already push to the OS; durability against power loss
+  // would need fsync, which std::ostream cannot express (documented in
+  // docs/persistence.md). Existence check keeps the contract symmetric
+  // with MemoryBackend.
+  if (!exists(name)) throw IoError("flush target missing: " + path_of(name));
+}
+
+void FileBackend::rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(path_of(from), path_of(to), ec);
+  if (ec) throw IoError("rename " + from + " -> " + to + ": " + ec.message());
+}
+
+void FileBackend::remove(const std::string& name) {
+  std::error_code ec;
+  if (!fs::remove(path_of(name), ec) || ec) {
+    throw IoError("remove " + name + ": " + ec.message());
+  }
+}
+
+}  // namespace rfid::storage

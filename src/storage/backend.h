@@ -1,0 +1,116 @@
+// StorageBackend: the narrow waist between the durability layer and the
+// place bytes actually live.
+//
+// The write-ahead journal and snapshot rotation (journal.h, durable_server.h)
+// are written against five primitives — append, flush, atomic rename, remove,
+// whole-file read — because those are exactly the primitives whose crash
+// semantics differ between "what the process wrote" and "what survives a
+// power cut". Two implementations:
+//
+//  * MemoryBackend — models the durable/buffered split explicitly: append()
+//    lands in a per-file buffer, flush() makes it durable, crash() discards
+//    every unflushed byte. This is what the crash-point torture test runs
+//    against (see fault/storage_fault.h for the injector layered on top).
+//  * FileBackend — real files via <filesystem> for tools and examples.
+//    flush() pushes to the OS; it does NOT fsync (std::ostream cannot), so
+//    its crash story covers process death, not power loss — see
+//    docs/persistence.md.
+//
+// All mutating operations throw storage::IoError on failure; read() throws
+// if the file does not exist (check exists() first).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfid::storage {
+
+/// A backend operation failed (disk full, missing file, OS error). Distinct
+/// from std::invalid_argument so callers can tell "you misused the API"
+/// from "the storage below you is unhealthy".
+struct IoError : std::runtime_error {
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+  /// All file names in the store, in unspecified order.
+  [[nodiscard]] virtual std::vector<std::string> list() const = 0;
+  /// Whole-file read, as the live process sees it (buffered bytes included).
+  [[nodiscard]] virtual std::string read(const std::string& name) const = 0;
+  /// Appends to the file, creating it if missing. Buffered until flush().
+  virtual void append(const std::string& name, std::string_view bytes) = 0;
+  /// Makes every byte appended so far durable.
+  virtual void flush(const std::string& name) = 0;
+  /// Atomic replace: after rename() either the old or the new binding is
+  /// visible, never a mix. Overwrites `to` if it exists.
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  virtual void remove(const std::string& name) = 0;
+};
+
+/// In-memory backend with an explicit durable/buffered split per file.
+class MemoryBackend : public StorageBackend {
+ public:
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+  [[nodiscard]] std::string read(const std::string& name) const override;
+  void append(const std::string& name, std::string_view bytes) override;
+  void flush(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& name) override;
+
+  /// Simulated power cut: every unflushed byte vanishes. Files created but
+  /// never flushed remain as empty durable files (creation is metadata; the
+  /// torture test treats either outcome as "torn", so the simpler model —
+  /// keep the name — is fine).
+  void crash();
+
+  /// Bit-rot injection hook: flips bit `bit` (0–7) of the durable byte at
+  /// `offset` (modulo the durable size; no-op on empty files).
+  void corrupt_durable(const std::string& name, std::uint64_t offset,
+                       unsigned bit = 0);
+
+  /// Durable prefix only — what a post-crash recovery would read.
+  [[nodiscard]] std::string durable_bytes(const std::string& name) const;
+
+ private:
+  struct File {
+    std::string durable;
+    std::string buffered;
+  };
+  [[nodiscard]] const File& file(const std::string& name) const;
+
+  std::map<std::string, File> files_;
+};
+
+/// Directory-backed store for real deployments (examples/durability_drill,
+/// run_all.sh smoke step). Names map to files directly under `dir`.
+class FileBackend : public StorageBackend {
+ public:
+  /// Creates `dir` if missing.
+  explicit FileBackend(std::string dir);
+
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+  [[nodiscard]] std::string read(const std::string& name) const override;
+  void append(const std::string& name, std::string_view bytes) override;
+  void flush(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& name) override;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  [[nodiscard]] std::string path_of(const std::string& name) const;
+
+  std::string dir_;
+};
+
+}  // namespace rfid::storage

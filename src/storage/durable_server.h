@@ -1,0 +1,131 @@
+// DurableInventoryServer: crash-consistent wrapper around InventoryServer.
+//
+// Discipline (classic WAL + checkpoint, the same checkpoint/recover shape
+// Jacobsen et al. apply to unreliable reader sessions):
+//
+//  * Every mutation (enroll, TRP/UTRP round submission, resync) is appended
+//    to the current generation's journal and flushed BEFORE it is applied to
+//    the in-memory server. A mutation is durable iff its record is fully on
+//    storage; replay regenerates its effects deterministically.
+//  * rotate() checkpoints: the full state (snapshot + AUX history, see
+//    server_state.h) is written to a temp file, flushed, and atomically
+//    renamed to snapshot.<g+1>; a fresh journal.<g+1> is started and
+//    generations older than keep_generations are removed. A crash at any
+//    point inside rotate() recovers to the exact pre-rotation state.
+//  * Recovery (the constructor) loads the newest snapshot generation that
+//    parses and checksums clean, then replays the journal chain from that
+//    generation forward, truncating a torn or rotted journal tail instead of
+//    failing. If anything abnormal was seen (skipped snapshot, dropped
+//    bytes), it immediately re-checkpoints so the on-storage state is clean
+//    again.
+//
+// Atomicity invariant (enforced by tests/storage_torture_test.cpp): kill the
+// process at ANY storage operation — torn mid-append, before a flush, between
+// the rotation steps — and the recovered server is bit-identical (per
+// server_state.h's dump_state fingerprint) to either the pre-mutation or the
+// post-mutation state, never anything in between.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "storage/backend.h"
+#include "storage/journal.h"
+#include "storage/server_state.h"
+
+namespace rfid::storage {
+
+struct DurabilityConfig {
+  /// File-name prefix: files are "<prefix>.snapshot.<g>", "<prefix>.journal.<g>".
+  std::string prefix = "rfidmon";
+  /// Auto-checkpoint after this many journal records (0 = manual rotate() only).
+  std::uint64_t rotate_after_records = 0;
+  /// Generations retained after a rotation (>= 1). Two generations let
+  /// recovery fall back across a rotted snapshot without losing history.
+  std::uint32_t keep_generations = 2;
+};
+
+/// What recovery found and did — surfaced so operators (and tests) can tell
+/// a clean restart from one that healed damage.
+struct RecoveryReport {
+  bool snapshot_loaded = false;        // false: rebuilt from journals alone
+  std::uint64_t base_generation = 0;   // snapshot generation loaded
+  std::uint32_t snapshots_skipped = 0; // rotted/torn snapshots passed over
+  std::uint64_t journals_replayed = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t records_skipped = 0;   // records that failed to apply
+  std::uint64_t truncated_bytes = 0;   // torn/rotted journal bytes dropped
+  bool rotated_after_recovery = false; // re-checkpointed to heal damage
+
+  [[nodiscard]] bool clean() const noexcept {
+    return snapshots_skipped == 0 && truncated_bytes == 0 &&
+           records_skipped == 0;
+  }
+};
+
+class DurableInventoryServer {
+ public:
+  /// Opens the store: recovers whatever state the backend holds (an empty
+  /// backend yields an empty server) and readies the current journal.
+  explicit DurableInventoryServer(StorageBackend& backend,
+                                  DurabilityConfig config = {},
+                                  hash::SlotHasher hasher = hash::SlotHasher{});
+
+  // Mutations — journaled, then applied. Signatures mirror InventoryServer.
+  server::GroupId enroll(const tag::TagSet& tags, server::GroupConfig config);
+  protocol::Verdict submit_trp(server::GroupId id,
+                               const protocol::TrpChallenge& challenge,
+                               const bits::Bitstring& reported);
+  protocol::Verdict submit_utrp(server::GroupId id,
+                                const protocol::UtrpChallenge& challenge,
+                                const bits::Bitstring& reported,
+                                bool deadline_met);
+  void resync(server::GroupId id, const tag::TagSet& audited);
+
+  // Reads — challenges mutate nothing (randomness comes from the caller's
+  // rng; the journal records the challenge actually submitted), so they and
+  // every query forward to the wrapped server.
+  [[nodiscard]] protocol::TrpChallenge challenge_trp(server::GroupId id,
+                                                     util::Rng& rng) const {
+    return server_.challenge_trp(id, rng);
+  }
+  [[nodiscard]] protocol::UtrpChallenge challenge_utrp(server::GroupId id,
+                                                       util::Rng& rng) const {
+    return server_.challenge_utrp(id, rng);
+  }
+  [[nodiscard]] const server::InventoryServer& server() const noexcept {
+    return server_;
+  }
+
+  /// Checkpoint now: snapshot + fresh journal + old-generation cleanup.
+  void rotate();
+
+  [[nodiscard]] const RecoveryReport& recovery_report() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  /// Records appended to the current journal since the last rotation.
+  [[nodiscard]] std::uint64_t journal_records() const noexcept {
+    return journal_records_;
+  }
+
+  [[nodiscard]] std::string snapshot_name(std::uint64_t generation) const;
+  [[nodiscard]] std::string journal_name(std::uint64_t generation) const;
+
+ private:
+  void recover();
+  void journal_append(const JournalRecord& record);
+  void replay(const JournalRecord& record);
+  void remove_stale_generations();
+
+  StorageBackend& backend_;
+  DurabilityConfig config_;
+  hash::SlotHasher hasher_;
+  server::InventoryServer server_;
+  RecoveryReport recovery_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t journal_records_ = 0;
+};
+
+}  // namespace rfid::storage

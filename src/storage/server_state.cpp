@@ -1,0 +1,181 @@
+#include "storage/server_state.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <sstream>
+
+#include "hash/fnv.h"
+#include "util/expect.h"
+
+namespace rfid::storage {
+
+namespace {
+
+constexpr std::string_view kAuxMagic = "AUX 1";
+
+[[nodiscard]] std::uint64_t checksum_of(const std::string& body) {
+  return hash::fnv1a64(
+      std::span(reinterpret_cast<const std::byte*>(body.data()), body.size()));
+}
+
+[[nodiscard]] std::string format_state_line(
+    std::size_t index, const server::InventoryServer::GroupState& gs) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "STATE %zu %" PRIu64 " %d\n", index,
+                gs.rounds, gs.needs_resync ? 1 : 0);
+  return buf;
+}
+
+[[nodiscard]] std::string format_alert_line(const server::Alert& alert) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ALERT %" PRIu64 " %s %zu %" PRIu64 " %" PRIu64
+                " %d %.17g %" PRIu64 " ",
+                alert.sequence, std::string(to_string(alert.kind)).c_str(),
+                alert.group.index, alert.round, alert.mismatched_slots,
+                alert.deadline_missed ? 1 : 0, alert.estimated_present,
+                alert.enrolled_size);
+  return std::string(buf) + alert.group_name + "\n";
+}
+
+[[nodiscard]] server::AlertKind parse_alert_kind(const std::string& name,
+                                                 const std::string& context) {
+  if (name == to_string(server::AlertKind::kRoundFailure)) {
+    return server::AlertKind::kRoundFailure;
+  }
+  RFID_EXPECT(name == to_string(server::AlertKind::kResync),
+              context + "unknown ALERT kind: " + name);
+  return server::AlertKind::kResync;
+}
+
+}  // namespace
+
+PersistedState capture_state(const server::InventoryServer& server) {
+  PersistedState state;
+  state.groups = server::enrolled_groups(server);
+  state.group_states.reserve(server.group_count());
+  for (std::size_t i = 0; i < server.group_count(); ++i) {
+    state.group_states.push_back(server.group_state(server::GroupId{i}));
+  }
+  state.alerts = server.alerts();
+  return state;
+}
+
+void write_state(std::ostream& os, const PersistedState& state) {
+  RFID_EXPECT(state.group_states.size() == state.groups.size(),
+              "one GroupState per group");
+  server::save_snapshot(os, state.groups);
+
+  std::string aux;
+  aux += kAuxMagic;
+  aux += '\n';
+  for (std::size_t i = 0; i < state.group_states.size(); ++i) {
+    aux += format_state_line(i, state.group_states[i]);
+  }
+  for (const server::Alert& alert : state.alerts) {
+    RFID_EXPECT(alert.group_name.find('\n') == std::string::npos,
+                "alert group names must be single-line");
+    aux += format_alert_line(alert);
+  }
+  os << aux << "ENDAUX " << std::hex << checksum_of(aux) << std::dec << '\n';
+  os.flush();
+  RFID_EXPECT(os.good(), "state stream write failed");
+}
+
+PersistedState read_state(std::istream& is) {
+  PersistedState state;
+  state.groups = server::load_snapshot(is);
+  state.group_states.assign(state.groups.size(), {});
+
+  std::string line;
+  if (!std::getline(is, line)) return state;  // plain snapshot: zero history
+  std::uint64_t lineno = 1;
+  const auto at = [&lineno](std::string_view what) {
+    return "aux line " + std::to_string(lineno) + ": " + std::string(what);
+  };
+  RFID_EXPECT(line == kAuxMagic, at("expected AUX section after END"));
+
+  std::string aux;
+  aux += line;
+  aux += '\n';
+  bool saw_end = false;
+  std::size_t states_seen = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.rfind("ENDAUX ", 0) == 0) {
+      std::uint64_t declared = 0;
+      try {
+        declared = std::stoull(line.substr(7), nullptr, 16);
+      } catch (const std::invalid_argument&) {
+        RFID_EXPECT(false, at("bad ENDAUX checksum hex"));
+      } catch (const std::out_of_range&) {
+        RFID_EXPECT(false, at("bad ENDAUX checksum hex"));
+      }
+      RFID_EXPECT(declared == checksum_of(aux), at("AUX checksum mismatch"));
+      saw_end = true;
+      break;
+    }
+    aux += line;
+    aux += '\n';
+
+    if (line.rfind("STATE ", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::size_t index = 0;
+      server::InventoryServer::GroupState gs;
+      int needs_resync = 0;
+      fields >> index >> gs.rounds >> needs_resync;
+      RFID_EXPECT(!fields.fail(), at("malformed STATE line"));
+      RFID_EXPECT(index < state.group_states.size(),
+                  at("STATE index out of range"));
+      RFID_EXPECT(index == states_seen, at("STATE lines out of order"));
+      gs.needs_resync = needs_resync != 0;
+      state.group_states[index] = gs;
+      ++states_seen;
+    } else if (line.rfind("ALERT ", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      server::Alert alert;
+      std::string kind;
+      int deadline_missed = 0;
+      fields >> alert.sequence >> kind >> alert.group.index >> alert.round >>
+          alert.mismatched_slots >> deadline_missed >>
+          alert.estimated_present >> alert.enrolled_size;
+      RFID_EXPECT(!fields.fail(), at("malformed ALERT line"));
+      alert.kind = parse_alert_kind(kind, at(""));
+      alert.deadline_missed = deadline_missed != 0;
+      RFID_EXPECT(alert.group.index < state.groups.size(),
+                  at("ALERT group index out of range"));
+      std::getline(fields, alert.group_name);
+      if (!alert.group_name.empty() && alert.group_name.front() == ' ') {
+        alert.group_name.erase(0, 1);
+      }
+      RFID_EXPECT(state.alerts.empty() ||
+                      state.alerts.back().sequence < alert.sequence,
+                  at("ALERT sequences out of order"));
+      state.alerts.push_back(std::move(alert));
+    } else {
+      RFID_EXPECT(false, at("unrecognized AUX line: " + line));
+    }
+  }
+  RFID_EXPECT(saw_end, at("AUX section truncated (no ENDAUX line)"));
+  RFID_EXPECT(states_seen == state.group_states.size(),
+              at("one STATE line per group required"));
+  return state;
+}
+
+server::InventoryServer build_server(const PersistedState& state,
+                                     hash::SlotHasher hasher) {
+  server::InventoryServer server = server::restore_server(state.groups, hasher);
+  server.restore_history(state.alerts, state.group_states);
+  return server;
+}
+
+std::string dump_state(const server::InventoryServer& server) {
+  std::ostringstream os;
+  write_state(os, capture_state(server));
+  return std::move(os).str();
+}
+
+}  // namespace rfid::storage

@@ -1,0 +1,65 @@
+// Full-fidelity persisted server state: the snapshot format plus an AUX
+// section for the history the enrollment snapshot alone cannot carry.
+//
+// save_snapshot/load_snapshot (server/snapshot.h) persist the *database* —
+// group configs, tag IDs, UTRP counters. A recovered server must also agree
+// on its *history*: per-group round counts, diverged-mirror flags, and the
+// alert log with its sequence numbers (the incident timeline is evidence;
+// losing it on restart defeats the point of keeping it). Rather than fork
+// the snapshot format, a rotated snapshot file appends an AUX section after
+// the snapshot's END line:
+//
+//   RFIDMON-SNAPSHOT 1
+//   ...                                      (unchanged; load_snapshot stops
+//   END <fnv1a64>                             at END, so operator tooling
+//   AUX 1                                     still reads these files)
+//   STATE <group-index> <rounds> <needs_resync>
+//   ALERT <seq> <kind> <group> <round> <mismatched> <deadline_missed>
+//         <estimated_present> <enrolled_size> <group-name…>
+//   ENDAUX <fnv1a64-of-aux-lines>
+//
+// The AUX section is checksummed independently, and a file without one
+// parses as zero history (a plain enrollment snapshot remains loadable).
+//
+// dump_state() doubles as the bit-identity fingerprint of the crash-point
+// torture test: two servers are "the same state" iff their dumps are equal
+// byte for byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hash/slot_hash.h"
+#include "server/inventory_server.h"
+#include "server/snapshot.h"
+
+namespace rfid::storage {
+
+/// Everything a server must carry across a crash.
+struct PersistedState {
+  std::vector<server::EnrolledGroup> groups;
+  std::vector<server::InventoryServer::GroupState> group_states;  // per group
+  std::vector<server::Alert> alerts;  // full log, ascending sequence
+};
+
+/// Reads the live server's state (database + history).
+[[nodiscard]] PersistedState capture_state(const server::InventoryServer& server);
+
+/// Serializes as snapshot + AUX text; throws on stream failure.
+void write_state(std::ostream& os, const PersistedState& state);
+
+/// Parses snapshot + AUX; throws std::invalid_argument on malformed input or
+/// checksum failure in either section. A stream ending right after the
+/// snapshot's END line yields empty history.
+[[nodiscard]] PersistedState read_state(std::istream& is);
+
+/// Rebuilds a live server: re-enrolls every group, then reinstates history.
+[[nodiscard]] server::InventoryServer build_server(
+    const PersistedState& state, hash::SlotHasher hasher = hash::SlotHasher{});
+
+/// Canonical byte-for-byte fingerprint of a running server — write_state()
+/// into a string. Equal dumps <=> identical recovered-visible state.
+[[nodiscard]] std::string dump_state(const server::InventoryServer& server);
+
+}  // namespace rfid::storage

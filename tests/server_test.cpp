@@ -248,6 +248,42 @@ TEST(InventoryServer, ResyncRejectsWrongTargets) {
                std::invalid_argument);
 }
 
+TEST(InventoryServer, AlertSequencesAreMonotonicAcrossGroups) {
+  // Alerts carry a server-wide monotone sequence number so the incident
+  // timeline stays totally ordered even interleaved across groups — and
+  // stays stable through persistence (the storage tests round-trip it).
+  rfid::util::Rng rng(12);
+  InventoryServer server;
+  TagSet shelf = TagSet::make_random(200, rng);
+  TagSet cage = TagSet::make_random(100, rng);
+  const GroupId g0 = server.enroll(shelf, trp_config("shelf", 1));
+  const GroupId g1 = server.enroll(cage, utrp_config("cage", 1));
+  const rfid::protocol::TrpReader trp_reader;
+  const rfid::protocol::UtrpReader utrp_reader;
+
+  // Interleave failures: TRP theft, UTRP deadline miss, resync, TRP theft.
+  TagSet looted = shelf;
+  (void)looted.steal_random(60, rng);
+  const auto c1 = server.challenge_trp(g0, rng);
+  (void)server.submit_trp(g0, c1, trp_reader.scan(looted.tags(), c1, rng));
+  const auto c2 = server.challenge_utrp(g1, rng);
+  (void)server.submit_utrp(g1, c2, utrp_reader.scan(cage.tags(), c2).bitstring,
+                           /*deadline_met=*/false);
+  cage.begin_round();
+  server.resync(g1, cage);
+  const auto c3 = server.challenge_trp(g0, rng);
+  (void)server.submit_trp(g0, c3, trp_reader.scan(looted.tags(), c3, rng));
+
+  const auto& alerts = server.alerts();
+  ASSERT_GE(alerts.size(), 4u);
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    EXPECT_EQ(alerts[i].sequence, i) << "alert " << i;
+    if (i > 0) {
+      EXPECT_LT(alerts[i - 1].sequence, alerts[i].sequence);
+    }
+  }
+}
+
 TEST(InventoryServer, UtrpMirrorTracksCommittedCounters) {
   rfid::util::Rng rng(11);
   InventoryServer server;

@@ -1,8 +1,12 @@
 // Tests for enrollment snapshot persistence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <streambuf>
+#include <string_view>
 
 #include "protocol/utrp.h"
 #include "server/snapshot.h"
@@ -153,6 +157,155 @@ TEST(Snapshot, RestoredUtrpServerVerifiesAgainstLiveTags) {
   const auto c = server.challenge_utrp(id, rng);
   const auto scan = reader.scan(live.tags(), c);
   EXPECT_TRUE(server.submit_utrp(id, c, scan.bitstring, true).intact);
+}
+
+/// Expects `fn` to throw std::invalid_argument whose message contains
+/// `fragment` — how every malformed-snapshot case asserts the error is
+/// actually useful to the operator reading it, not just thrown.
+template <typename Fn>
+void expect_rejected_with(Fn&& fn, std::string_view fragment) {
+  try {
+    fn();
+    FAIL() << "expected rejection mentioning \"" << fragment << "\"";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string_view(e.what()).find(fragment), std::string_view::npos)
+        << "message \"" << e.what() << "\" does not mention \"" << fragment
+        << "\"";
+  }
+}
+
+TEST(Snapshot, ErrorsCarryTheOffendingLineNumber) {
+  rfid::util::Rng rng(7);
+  std::stringstream stream;
+  save_snapshot(stream, sample_groups(rng));
+  std::string text = stream.str();
+  // Break the hex of the first TAG line and compute which line that is.
+  const auto pos = text.find("TAG ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 4] = 'z';
+  const auto lineno =
+      1 + static_cast<std::uint64_t>(
+              std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+  expect_rejected_with(
+      [&] {
+        std::istringstream is(text);
+        (void)load_snapshot(is);
+      },
+      "line " + std::to_string(lineno) + ": bad TAG hex");
+}
+
+TEST(Snapshot, MalformedCorpusIsRejectedWithUsefulMessages) {
+  rfid::util::Rng rng(8);
+  std::stringstream stream;
+  save_snapshot(stream, sample_groups(rng));
+  const std::string good = stream.str();
+
+  const auto load_text = [](std::string text) {
+    return [text = std::move(text)] {
+      std::istringstream is(text);
+      (void)load_snapshot(is);
+    };
+  };
+
+  // Truncated before the END line: the checksum never arrives.
+  expect_rejected_with(load_text(good.substr(0, good.rfind("END "))),
+                       "snapshot truncated (no END line)");
+  // END present but its checksum is not hex.
+  std::string bad_hex = good.substr(0, good.rfind("END "));
+  bad_hex += "END zzzz\n";
+  expect_rejected_with(load_text(bad_hex), "bad END checksum hex");
+  // END checksum is valid hex for the wrong body.
+  std::string wrong_sum = good.substr(0, good.rfind("END "));
+  wrong_sum += "END 0\n";
+  expect_rejected_with(load_text(wrong_sum), "snapshot checksum mismatch");
+  // A TAG line with no GROUP to own it.
+  expect_rejected_with(
+      load_text("RFIDMON-SNAPSHOT 1\nTAG 00000001 0000000000000002 0\nEND 0\n"),
+      "TAG line before any GROUP");
+  // Two groups with the same name would collide on restore.
+  {
+    rfid::util::Rng rng2(9);
+    EnrolledGroup a, b;
+    a.config.name = b.config.name = "same shelf";
+    a.tags = TagSet::make_random(2, rng2);
+    b.tags = TagSet::make_random(2, rng2);
+    std::stringstream dup;
+    save_snapshot(dup, {a, b});
+    expect_rejected_with(load_text(dup.str()),
+                         "duplicate GROUP name: same shelf");
+  }
+}
+
+TEST(Snapshot, PropertyRandomGroupSetsRoundTripExactly) {
+  // Property test: any server-producible group set must survive save -> load
+  // -> save byte-identically. Byte equality of the re-save subsumes field
+  // equality and pins the format itself (a formatting change that loses
+  // precision or reorders fields fails here).
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    rfid::util::Rng rng(seed);
+    std::vector<EnrolledGroup> groups;
+    const std::size_t group_count = rng.below(5);  // 0..4 groups
+    for (std::size_t g = 0; g < group_count; ++g) {
+      EnrolledGroup group;
+      const bool utrp = rng.chance(0.5);
+      group.config.name = "group " + std::to_string(seed) + "-" +
+                          std::to_string(g) + (utrp ? " (cage)" : "");
+      group.config.protocol = utrp ? ProtocolKind::kUtrp : ProtocolKind::kTrp;
+      group.config.policy.tolerated_missing = rng.below(7);
+      group.config.policy.confidence =
+          0.90 + 0.01 * static_cast<double>(rng.below(10));
+      group.config.comm_budget = 10 + rng.below(50);
+      group.config.slack_slots = static_cast<std::uint32_t>(rng.below(16));
+      group.tags = TagSet::make_random(1 + rng.below(30), rng);
+      if (utrp) {
+        for (auto& t : group.tags.tags()) {
+          const std::uint64_t advances = rng.below(6);
+          for (std::uint64_t i = 0; i < advances; ++i) {
+            (void)t.utrp_receive_seed(rfid::hash::SlotHasher{}, 1, 8);
+          }
+          t.begin_round();
+        }
+      }
+      groups.push_back(std::move(group));
+    }
+
+    std::stringstream first;
+    save_snapshot(first, groups);
+    std::istringstream reload(first.str());
+    const auto loaded = load_snapshot(reload);
+    std::stringstream second;
+    save_snapshot(second, loaded);
+    ASSERT_EQ(second.str(), first.str()) << "seed " << seed;
+  }
+}
+
+namespace failing_stream {
+
+/// streambuf with a real buffer whose flush always fails — models a disk
+/// that accepts writes into the page cache and errors only at sync time.
+class FlushFailBuf : public std::streambuf {
+ public:
+  FlushFailBuf() { setp(buf_, buf_ + sizeof(buf_)); }
+
+ protected:
+  int sync() override { return -1; }
+  int_type overflow(int_type) override { return traits_type::eof(); }
+
+ private:
+  char buf_[1 << 16];
+};
+
+}  // namespace failing_stream
+
+TEST(Snapshot, SaveThrowsWhenTheStreamFailsOnlyAtFlush) {
+  // Regression for the silent-loss bug: every write fits the buffer, so the
+  // stream stays good() until flush. save_snapshot must flush and check, or
+  // this "successful" save would never reach storage.
+  rfid::util::Rng rng(10);
+  const auto groups = sample_groups(rng);
+  failing_stream::FlushFailBuf buf;
+  std::ostream os(&buf);
+  EXPECT_THROW(save_snapshot(os, groups), std::invalid_argument);
 }
 
 TEST(Snapshot, RestoreServerPreservesGroupOrderAndSizes) {

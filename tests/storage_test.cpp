@@ -1,0 +1,591 @@
+// Tests for the crash-consistent storage layer: backend semantics, journal
+// framing, full-state codec, and DurableInventoryServer recovery. The
+// exhaustive crash-point sweep lives in storage_torture_test.cpp; these are
+// the targeted unit tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "fault/storage_fault.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "storage/backend.h"
+#include "storage/durable_server.h"
+#include "storage/journal.h"
+#include "storage/server_state.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::fault::CrashInjected;
+using rfid::fault::FaultyBackend;
+using rfid::fault::StorageFaultPlan;
+using rfid::server::GroupConfig;
+using rfid::server::GroupId;
+using rfid::server::InventoryServer;
+using rfid::server::ProtocolKind;
+using rfid::storage::DurabilityConfig;
+using rfid::storage::DurableInventoryServer;
+using rfid::storage::EnrollRecord;
+using rfid::storage::FileBackend;
+using rfid::storage::IoError;
+using rfid::storage::JournalRecord;
+using rfid::storage::MemoryBackend;
+using rfid::storage::ResyncRecord;
+using rfid::storage::TrpRoundRecord;
+using rfid::storage::UtrpRoundRecord;
+using rfid::tag::TagSet;
+
+GroupConfig trp_config(std::string name, std::uint64_t m) {
+  GroupConfig cfg;
+  cfg.name = std::move(name);
+  cfg.policy = {.tolerated_missing = m, .confidence = 0.95};
+  cfg.protocol = ProtocolKind::kTrp;
+  return cfg;
+}
+
+GroupConfig utrp_config(std::string name, std::uint64_t m) {
+  GroupConfig cfg = trp_config(std::move(name), m);
+  cfg.protocol = ProtocolKind::kUtrp;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+
+TEST(MemoryBackend, AppendIsBufferedUntilFlush) {
+  MemoryBackend b;
+  b.append("f", "hello");
+  EXPECT_TRUE(b.exists("f"));
+  EXPECT_EQ(b.read("f"), "hello");        // the live process sees its writes
+  EXPECT_EQ(b.durable_bytes("f"), "");    // a power cut would lose them
+  b.flush("f");
+  EXPECT_EQ(b.durable_bytes("f"), "hello");
+  b.append("f", " world");
+  b.crash();
+  EXPECT_EQ(b.read("f"), "hello");  // unflushed suffix vanished
+}
+
+TEST(MemoryBackend, RenameIsAtomicReplace) {
+  MemoryBackend b;
+  b.append("tmp", "new");
+  b.flush("tmp");
+  b.append("dst", "old");
+  b.flush("dst");
+  b.rename("tmp", "dst");
+  EXPECT_FALSE(b.exists("tmp"));
+  EXPECT_EQ(b.read("dst"), "new");
+  EXPECT_THROW(b.rename("missing", "x"), IoError);
+}
+
+TEST(MemoryBackend, RemoveAndList) {
+  MemoryBackend b;
+  b.append("a", "1");
+  b.append("b", "2");
+  auto names = b.list();
+  EXPECT_EQ(names.size(), 2u);
+  b.remove("a");
+  EXPECT_FALSE(b.exists("a"));
+  EXPECT_THROW(b.remove("a"), IoError);
+  EXPECT_THROW((void)b.read("a"), IoError);
+}
+
+TEST(MemoryBackend, CorruptDurableFlipsOneBit) {
+  MemoryBackend b;
+  b.append("f", "abc");
+  b.flush("f");
+  b.corrupt_durable("f", 1, 0);
+  EXPECT_EQ(b.durable_bytes("f"), std::string("a") +
+                                      static_cast<char>('b' ^ 1) + "c");
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+
+TEST(FileBackend, RoundTripsThroughRealFiles) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "rfidmon_storage_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  FileBackend b(dir);
+  b.append("snap", "line one\n");
+  b.append("snap", "line two\n");
+  b.flush("snap");
+  EXPECT_EQ(b.read("snap"), "line one\nline two\n");
+  b.rename("snap", "snap2");
+  EXPECT_FALSE(b.exists("snap"));
+  EXPECT_TRUE(b.exists("snap2"));
+  EXPECT_EQ(b.list().size(), 1u);
+  b.remove("snap2");
+  EXPECT_TRUE(b.list().empty());
+  EXPECT_THROW((void)b.read("nope"), IoError);
+  // Names that escape the directory are API misuse, not I/O failure.
+  EXPECT_THROW(b.append("../evil", "x"), std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Journal framing
+
+JournalRecord sample_enroll(rfid::util::Rng& rng) {
+  EnrollRecord r;
+  r.config = utrp_config("cage 7", 3);
+  r.tags = TagSet::make_random(12, rng);
+  return r;
+}
+
+TEST(Journal, EncodeScanRoundTripsEveryKind) {
+  rfid::util::Rng rng(11);
+  std::string bytes(rfid::storage::kJournalMagic);
+  bytes += encode_record(sample_enroll(rng));
+  bytes += encode_record(TrpRoundRecord{
+      0, {.frame_size = 32, .r = 987654321}, rfid::bits::Bitstring(32)});
+  UtrpRoundRecord utrp_record;
+  utrp_record.group = 1;
+  utrp_record.challenge = {.frame_size = 3, .seeds = {7, 8, 9}};
+  utrp_record.reported = rfid::bits::Bitstring(3);
+  utrp_record.deadline_met = false;
+  bytes += encode_record(utrp_record);
+  bytes += encode_record(ResyncRecord{1, TagSet::make_random(4, rng)});
+
+  const auto scan = rfid::storage::scan_journal(bytes);
+  EXPECT_TRUE(scan.header_valid);
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+  EXPECT_EQ(scan.valid_bytes, bytes.size());
+  ASSERT_EQ(scan.records.size(), 4u);
+
+  const auto& enroll = std::get<EnrollRecord>(scan.records[0]);
+  EXPECT_EQ(enroll.config.name, "cage 7");
+  EXPECT_EQ(enroll.config.protocol, ProtocolKind::kUtrp);
+  EXPECT_EQ(enroll.tags.size(), 12u);
+  const auto& trp = std::get<TrpRoundRecord>(scan.records[1]);
+  EXPECT_EQ(trp.challenge.frame_size, 32u);
+  EXPECT_EQ(trp.challenge.r, 987654321u);
+  const auto& utrp = std::get<UtrpRoundRecord>(scan.records[2]);
+  EXPECT_EQ(utrp.group, 1u);
+  EXPECT_EQ(utrp.challenge.seeds, (std::vector<std::uint64_t>{7, 8, 9}));
+  EXPECT_FALSE(utrp.deadline_met);
+  EXPECT_EQ(std::get<ResyncRecord>(scan.records[3]).audited.size(), 4u);
+}
+
+TEST(Journal, TornTailIsTruncatedNotFatal) {
+  rfid::util::Rng rng(12);
+  std::string bytes(rfid::storage::kJournalMagic);
+  bytes += encode_record(sample_enroll(rng));
+  const std::size_t clean = bytes.size();
+  bytes += encode_record(ResyncRecord{0, TagSet::make_random(4, rng)});
+  bytes.resize(clean + 5);  // crash mid-append: half a frame on disk
+
+  const auto scan = rfid::storage::scan_journal(bytes);
+  EXPECT_TRUE(scan.header_valid);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, clean);
+  EXPECT_EQ(scan.dropped_bytes, 5u);
+}
+
+TEST(Journal, RottedRecordTruncatesSuffix) {
+  rfid::util::Rng rng(13);
+  std::string bytes(rfid::storage::kJournalMagic);
+  bytes += encode_record(sample_enroll(rng));
+  const std::size_t first_end = bytes.size();
+  bytes += encode_record(ResyncRecord{0, TagSet::make_random(4, rng)});
+  bytes += encode_record(ResyncRecord{0, TagSet::make_random(4, rng)});
+  bytes[first_end + 20] = static_cast<char>(bytes[first_end + 20] ^ 0x40);
+
+  const auto scan = rfid::storage::scan_journal(bytes);
+  // The rotted record and everything behind it is dropped; the clean prefix
+  // survives. Damage is data, not an exception.
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, first_end);
+  EXPECT_GT(scan.dropped_bytes, 0u);
+}
+
+TEST(Journal, BadHeaderRejectsWholeFile) {
+  const auto scan = rfid::storage::scan_journal("NOT A JOURNAL\n");
+  EXPECT_FALSE(scan.header_valid);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Full-state codec (snapshot + AUX)
+
+/// A server with history: two groups, a failed TRP round (alert), a clean
+/// UTRP round, a deadline miss (alert + needs_resync), and a resync (alert).
+InventoryServer server_with_history(rfid::util::Rng& rng) {
+  InventoryServer server;
+  TagSet shelf = TagSet::make_random(80, rng);
+  TagSet cage = TagSet::make_random(60, rng);
+  const GroupId g0 = server.enroll(shelf, trp_config("shelf", 0));
+  const GroupId g1 = server.enroll(cage, utrp_config("cage", 2));
+
+  const rfid::protocol::TrpReader trp_reader;
+  TagSet looted = shelf;
+  (void)looted.steal_random(20, rng);
+  const auto c0 = server.challenge_trp(g0, rng);
+  (void)server.submit_trp(g0, c0, trp_reader.scan(looted.tags(), c0, rng));
+
+  const rfid::protocol::UtrpReader utrp_reader;
+  const auto c1 = server.challenge_utrp(g1, rng);
+  (void)server.submit_utrp(g1, c1, utrp_reader.scan(cage.tags(), c1).bitstring,
+                           /*deadline_met=*/true);
+  cage.begin_round();
+  const auto c2 = server.challenge_utrp(g1, rng);
+  (void)server.submit_utrp(g1, c2, utrp_reader.scan(cage.tags(), c2).bitstring,
+                           /*deadline_met=*/false);
+  cage.begin_round();
+  server.resync(g1, cage);
+  return server;
+}
+
+TEST(ServerState, DumpBuildRoundTripIsBitIdentical) {
+  rfid::util::Rng rng(21);
+  const InventoryServer server = server_with_history(rng);
+  ASSERT_GE(server.alerts().size(), 2u);
+
+  const std::string dump = rfid::storage::dump_state(server);
+  std::istringstream is(dump);
+  const auto state = rfid::storage::read_state(is);
+  const InventoryServer rebuilt = rfid::storage::build_server(state);
+
+  EXPECT_EQ(rfid::storage::dump_state(rebuilt), dump);
+  EXPECT_EQ(rebuilt.alerts().size(), server.alerts().size());
+  EXPECT_EQ(rebuilt.rounds_completed(GroupId{1}), 2u);
+  EXPECT_FALSE(rebuilt.needs_resync(GroupId{1}));
+}
+
+TEST(ServerState, PlainSnapshotReadsAsZeroHistory) {
+  rfid::util::Rng rng(22);
+  const InventoryServer server = server_with_history(rng);
+  std::stringstream plain;
+  rfid::server::save_snapshot(plain, rfid::server::enrolled_groups(server));
+  const auto state = rfid::storage::read_state(plain);
+  EXPECT_EQ(state.groups.size(), 2u);
+  EXPECT_TRUE(state.alerts.empty());
+  EXPECT_EQ(state.group_states[1].rounds, 0u);
+}
+
+TEST(ServerState, AuxDamageIsRejectedWithContext) {
+  rfid::util::Rng rng(23);
+  std::string dump = rfid::storage::dump_state(server_with_history(rng));
+
+  {
+    // Flip a digit inside an ALERT line: AUX checksum must catch it.
+    std::string bad = dump;
+    const auto pos = bad.find("ALERT ");
+    ASSERT_NE(pos, std::string::npos);
+    bad[pos + 6] = bad[pos + 6] == '0' ? '1' : '0';
+    std::istringstream is(bad);
+    EXPECT_THROW((void)rfid::storage::read_state(is), std::invalid_argument);
+  }
+  {
+    // Cut the file before ENDAUX: truncation must be named, with a line.
+    std::string bad = dump.substr(0, dump.rfind("ENDAUX"));
+    std::istringstream is(bad);
+    try {
+      (void)rfid::storage::read_state(is);
+      FAIL() << "truncated AUX accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("aux line"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DurableInventoryServer
+
+/// Drives a short mixed workload through a durable server; returns the live
+/// tag sets so callers can continue the story.
+struct Workload {
+  TagSet shelf;
+  TagSet cage;
+  GroupId g0, g1;
+};
+
+Workload run_workload(DurableInventoryServer& durable, rfid::util::Rng& rng) {
+  Workload w;
+  w.shelf = TagSet::make_random(70, rng);
+  w.cage = TagSet::make_random(50, rng);
+  w.g0 = durable.enroll(w.shelf, trp_config("shelf", 1));
+  w.g1 = durable.enroll(w.cage, utrp_config("cage", 2));
+
+  const rfid::protocol::TrpReader trp_reader;
+  const rfid::protocol::UtrpReader utrp_reader;
+  for (int i = 0; i < 2; ++i) {
+    const auto c = durable.challenge_trp(w.g0, rng);
+    (void)durable.submit_trp(w.g0, c, trp_reader.scan(w.shelf.tags(), c, rng));
+  }
+  for (int i = 0; i < 2; ++i) {
+    const auto c = durable.challenge_utrp(w.g1, rng);
+    (void)durable.submit_utrp(w.g1, c,
+                              utrp_reader.scan(w.cage.tags(), c).bitstring,
+                              /*deadline_met=*/true);
+    w.cage.begin_round();
+  }
+  return w;
+}
+
+TEST(DurableServer, StateSurvivesReopen) {
+  MemoryBackend backend;
+  rfid::util::Rng rng(31);
+  std::string fingerprint;
+  {
+    DurableInventoryServer durable(backend);
+    EXPECT_TRUE(durable.recovery_report().clean());
+    EXPECT_FALSE(durable.recovery_report().snapshot_loaded);
+    (void)run_workload(durable, rng);
+    fingerprint = rfid::storage::dump_state(durable.server());
+    EXPECT_EQ(durable.journal_records(), 6u);
+  }
+  backend.crash();  // everything was flushed record-by-record; no-op
+
+  DurableInventoryServer reopened(backend);
+  EXPECT_EQ(rfid::storage::dump_state(reopened.server()), fingerprint);
+  EXPECT_TRUE(reopened.recovery_report().clean());
+  EXPECT_EQ(reopened.recovery_report().records_replayed, 6u);
+  EXPECT_FALSE(reopened.recovery_report().snapshot_loaded);
+}
+
+TEST(DurableServer, RotationCheckpointsAndPrunes) {
+  MemoryBackend backend;
+  rfid::util::Rng rng(32);
+  DurabilityConfig cfg;
+  cfg.keep_generations = 1;
+  DurableInventoryServer durable(backend, cfg);
+  Workload w = run_workload(durable, rng);
+  const std::string fingerprint = rfid::storage::dump_state(durable.server());
+
+  durable.rotate();
+  EXPECT_EQ(durable.generation(), 1u);
+  EXPECT_EQ(durable.journal_records(), 0u);
+  EXPECT_TRUE(backend.exists(durable.snapshot_name(1)));
+  EXPECT_FALSE(backend.exists(durable.journal_name(0)));  // pruned (keep=1)
+
+  durable.rotate();  // idle rotation: same state, next generation
+  EXPECT_EQ(durable.generation(), 2u);
+  EXPECT_FALSE(backend.exists(durable.snapshot_name(1)));
+
+  DurableInventoryServer reopened(backend, cfg);
+  EXPECT_EQ(rfid::storage::dump_state(reopened.server()), fingerprint);
+  EXPECT_TRUE(reopened.recovery_report().snapshot_loaded);
+  EXPECT_EQ(reopened.recovery_report().base_generation, 2u);
+  EXPECT_EQ(reopened.recovery_report().records_replayed, 0u);
+  (void)w;
+}
+
+TEST(DurableServer, AutoRotationAfterRecordThreshold) {
+  MemoryBackend backend;
+  rfid::util::Rng rng(33);
+  DurabilityConfig cfg;
+  cfg.rotate_after_records = 4;
+  DurableInventoryServer durable(backend, cfg);
+  (void)run_workload(durable, rng);  // 6 records -> one auto-rotation
+  EXPECT_EQ(durable.generation(), 1u);
+  EXPECT_EQ(durable.journal_records(), 2u);
+
+  DurableInventoryServer reopened(backend, cfg);
+  EXPECT_EQ(rfid::storage::dump_state(reopened.server()),
+            rfid::storage::dump_state(durable.server()));
+  EXPECT_EQ(reopened.recovery_report().records_replayed, 2u);
+}
+
+TEST(DurableServer, TornJournalTailIsDroppedAndHealed) {
+  MemoryBackend backend;
+  rfid::util::Rng rng(34);
+  std::string before_last;
+  {
+    DurableInventoryServer durable(backend);
+    Workload w = run_workload(durable, rng);
+    before_last = rfid::storage::dump_state(durable.server());
+    // One more UTRP round, then rot a byte inside its journal record.
+    const auto c = durable.challenge_utrp(w.g1, rng);
+    (void)durable.submit_utrp(
+        w.g1, c, rfid::protocol::UtrpReader{}.scan(w.cage.tags(), c).bitstring,
+        true);
+  }
+  const std::string journal = "rfidmon.journal.0";
+  backend.corrupt_durable(journal, backend.durable_bytes(journal).size() - 3);
+
+  DurableInventoryServer recovered(backend);
+  EXPECT_EQ(rfid::storage::dump_state(recovered.server()), before_last);
+  EXPECT_FALSE(recovered.recovery_report().clean());
+  EXPECT_GT(recovered.recovery_report().truncated_bytes, 0u);
+  EXPECT_TRUE(recovered.recovery_report().rotated_after_recovery);
+  // Healing re-checkpointed: the next open is clean again.
+  DurableInventoryServer again(backend);
+  EXPECT_TRUE(again.recovery_report().clean());
+  EXPECT_EQ(rfid::storage::dump_state(again.server()), before_last);
+}
+
+TEST(DurableServer, RottedSnapshotFallsBackToJournalChain) {
+  MemoryBackend backend;
+  rfid::util::Rng rng(35);
+  std::string fingerprint;
+  {
+    DurableInventoryServer durable(backend);
+    Workload w = run_workload(durable, rng);
+    durable.rotate();  // snapshot.1 + journal.1
+    const auto c = durable.challenge_trp(w.g0, rng);
+    (void)durable.submit_trp(
+        w.g0, c, rfid::protocol::TrpReader{}.scan(w.shelf.tags(), c, rng));
+    fingerprint = rfid::storage::dump_state(durable.server());
+  }
+  // Rot the snapshot. journal.0 (still retained: keep_generations=2) plus
+  // journal.1 re-derive the same state from scratch.
+  backend.corrupt_durable("rfidmon.snapshot.1", 100);
+
+  DurableInventoryServer recovered(backend);
+  EXPECT_EQ(rfid::storage::dump_state(recovered.server()), fingerprint);
+  EXPECT_FALSE(recovered.recovery_report().snapshot_loaded);
+  EXPECT_EQ(recovered.recovery_report().snapshots_skipped, 1u);
+  EXPECT_EQ(recovered.recovery_report().records_replayed, 7u);
+  EXPECT_TRUE(recovered.recovery_report().rotated_after_recovery);
+}
+
+TEST(DurableServer, PreValidationKeepsBadMutationsOutOfTheJournal) {
+  MemoryBackend backend;
+  rfid::util::Rng rng(36);
+  DurableInventoryServer durable(backend);
+  Workload w = run_workload(durable, rng);
+
+  EXPECT_THROW((void)durable.enroll(TagSet{}, trp_config("empty", 0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)durable.enroll(TagSet::make_random(3, rng),
+                                    trp_config("shelf", 0)),  // duplicate name
+               std::invalid_argument);
+  EXPECT_THROW((void)durable.submit_trp(w.g1, {.frame_size = 8, .r = 1},
+                                        rfid::bits::Bitstring(8)),
+               std::invalid_argument);  // UTRP group
+  EXPECT_THROW((void)durable.submit_utrp(w.g1, {.frame_size = 8, .seeds = {1}},
+                                         rfid::bits::Bitstring(8), true),
+               std::invalid_argument);  // seed count != frame
+  EXPECT_THROW(durable.resync(w.g1, TagSet::make_random(3, rng)),
+               std::invalid_argument);  // wrong audit size
+  // None of those may have journaled: a reopen replays cleanly.
+  EXPECT_EQ(durable.journal_records(), 6u);
+  DurableInventoryServer reopened(backend);
+  EXPECT_TRUE(reopened.recovery_report().clean());
+  EXPECT_EQ(rfid::storage::dump_state(reopened.server()),
+            rfid::storage::dump_state(durable.server()));
+}
+
+TEST(DurableServer, WorksOnFileBackend) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "rfidmon_durable_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  FileBackend backend(dir);
+  rfid::util::Rng rng(37);
+  std::string fingerprint;
+  {
+    DurableInventoryServer durable(backend);
+    (void)run_workload(durable, rng);
+    durable.rotate();
+    fingerprint = rfid::storage::dump_state(durable.server());
+  }
+  DurableInventoryServer reopened(backend);
+  EXPECT_EQ(rfid::storage::dump_state(reopened.server()), fingerprint);
+  EXPECT_TRUE(reopened.recovery_report().clean());
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyBackend
+
+TEST(FaultyBackend, CrashAtOpCountsOnlyMutations) {
+  MemoryBackend inner;
+  StorageFaultPlan plan;
+  plan.crash_at_op = 2;
+  FaultyBackend faulty(inner, plan);
+  faulty.append("f", "a");
+  (void)faulty.read("f");    // reads are free
+  (void)faulty.exists("f");  // so are probes
+  EXPECT_THROW(faulty.flush("f"), CrashInjected);
+  EXPECT_EQ(faulty.mutating_ops(), 2u);
+}
+
+TEST(FaultyBackend, TornCrashPersistsOnlyAPrefix) {
+  MemoryBackend inner;
+  StorageFaultPlan plan;
+  plan.crash_at_op = 1;
+  plan.torn_keep_fraction = 0.5;
+  FaultyBackend faulty(inner, plan);
+  EXPECT_THROW(faulty.append("f", "abcdefgh"), CrashInjected);
+  inner.crash();
+  // The torn prefix was forced durable before the "power cut".
+  EXPECT_EQ(inner.durable_bytes("f"), "abcd");
+}
+
+TEST(FaultyBackend, CrashBeforeEffectLeavesNothing) {
+  MemoryBackend inner;
+  StorageFaultPlan plan;
+  plan.crash_at_op = 1;
+  plan.crash_before_effect = true;
+  plan.torn_keep_fraction = 1.0;
+  FaultyBackend faulty(inner, plan);
+  EXPECT_THROW(faulty.append("f", "abcdefgh"), CrashInjected);
+  inner.crash();
+  EXPECT_FALSE(inner.exists("f"));
+}
+
+TEST(FaultyBackend, LyingFlushDropsDataAtCrash) {
+  MemoryBackend inner;
+  StorageFaultPlan plan;
+  plan.lying_flush_from_op = 1;
+  FaultyBackend faulty(inner, plan);
+  faulty.append("f", "abc");
+  faulty.flush("f");  // reports success, persists nothing
+  EXPECT_EQ(inner.read("f"), "abc");
+  inner.crash();
+  EXPECT_EQ(inner.durable_bytes("f"), "");
+}
+
+TEST(FaultyBackend, PartialAppendFailsWithoutCrashing) {
+  MemoryBackend inner;
+  StorageFaultPlan plan;
+  plan.partial_append_at = 2;
+  plan.partial_append_keep_fraction = 0.25;
+  FaultyBackend faulty(inner, plan);
+  faulty.append("f", "full");
+  EXPECT_THROW(faulty.append("f", "abcdefgh"), IoError);
+  faulty.append("f", "more");  // the process lives on
+  EXPECT_EQ(inner.read("f"), "fullabmore");
+}
+
+TEST(DurableServer, SurvivesAPartialAppendByRotating) {
+  // Disk-full during a journal append: the mutation fails (IoError), but the
+  // torn prefix must not poison later records — the server abandons the
+  // damaged journal by checkpointing onto a fresh generation.
+  MemoryBackend inner;
+  rfid::util::Rng rng(38);
+  DurableInventoryServer setup(inner);
+  Workload w = run_workload(setup, rng);
+  const std::string before = rfid::storage::dump_state(setup.server());
+
+  StorageFaultPlan plan;
+  plan.partial_append_at = 1;
+  plan.partial_append_keep_fraction = 0.5;
+  FaultyBackend faulty(inner, plan);
+  DurableInventoryServer durable(faulty);
+  EXPECT_EQ(rfid::storage::dump_state(durable.server()), before);
+
+  const auto c = durable.challenge_trp(w.g0, rng);
+  const auto reported = rfid::protocol::TrpReader{}.scan(w.shelf.tags(), c, rng);
+  EXPECT_THROW((void)durable.submit_trp(w.g0, c, reported), IoError);
+  EXPECT_EQ(rfid::storage::dump_state(durable.server()), before);
+
+  // The same mutation, retried, succeeds into the fresh generation…
+  (void)durable.submit_trp(w.g0, c, reported);
+  const std::string after = rfid::storage::dump_state(durable.server());
+  EXPECT_NE(after, before);
+  // …and a reopen sees exactly the post-retry state.
+  DurableInventoryServer reopened(inner);
+  EXPECT_EQ(rfid::storage::dump_state(reopened.server()), after);
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Crash-point torture test for the durability layer.
+//
+// The contract under test (durable_server.h): kill the process at ANY storage
+// operation — before it, after it, or tearing it mid-write — and the
+// recovered server is bit-identical to either the pre-mutation or the
+// post-mutation state of the mutation in flight. Never anything in between,
+// never a state the workload was not actually in.
+//
+// Method: a fixed, deterministic workload (enrollments, intact and theft TRP
+// rounds, intact/diverged UTRP rounds, a resync, a checkpoint rotation) is
+// first recorded fault-free, capturing the dump_state fingerprint S[0..N]
+// after every mutation and counting the backend's mutating operations. The
+// sweep then re-runs the workload once per (crash op k, before/after effect,
+// torn-write fraction), lets the injected crash kill it, drops unflushed
+// bytes, recovers, and asserts the fingerprint invariant. A final sweep rots
+// single durable bits at rest and asserts recovery still lands on some S[m]
+// without ever throwing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/storage_fault.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "storage/backend.h"
+#include "storage/durable_server.h"
+#include "storage/server_state.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using rfid::fault::CrashInjected;
+using rfid::fault::FaultyBackend;
+using rfid::fault::StorageFaultPlan;
+using rfid::server::GroupConfig;
+using rfid::server::GroupId;
+using rfid::server::ProtocolKind;
+using rfid::storage::DurableInventoryServer;
+using rfid::storage::MemoryBackend;
+using rfid::storage::StorageBackend;
+using rfid::tag::TagSet;
+
+constexpr std::uint64_t kSeed = 77;
+
+GroupConfig config(std::string name, ProtocolKind kind) {
+  GroupConfig cfg;
+  cfg.name = std::move(name);
+  cfg.policy = {.tolerated_missing = 2, .confidence = 0.95};
+  cfg.protocol = kind;
+  return cfg;
+}
+
+/// The scripted workload. Fully deterministic given kSeed: every run visits
+/// the same mutations with the same challenges and bitstrings, so a crashed
+/// run's completed-mutation count indexes into the recorded fingerprints.
+/// `observe` runs after each completed mutation (rotation included — it is a
+/// storage mutation with an unchanged server state).
+template <typename Observe>
+void run_workload(DurableInventoryServer& durable, Observe&& observe) {
+  rfid::util::Rng rng(kSeed);
+  TagSet shelf = TagSet::make_random(60, rng);
+  TagSet cage = TagSet::make_random(40, rng);
+  const rfid::protocol::TrpReader trp_reader;
+  const rfid::protocol::UtrpReader utrp_reader;
+
+  const GroupId g0 = durable.enroll(shelf, config("shelf", ProtocolKind::kTrp));
+  observe();
+  const GroupId g1 = durable.enroll(cage, config("cage", ProtocolKind::kUtrp));
+  observe();
+
+  {  // Intact TRP round.
+    const auto c = durable.challenge_trp(g0, rng);
+    (void)durable.submit_trp(g0, c, trp_reader.scan(shelf.tags(), c, rng));
+    observe();
+  }
+  {  // Theft: 15 tags gone from the shelf scan -> round failure alert.
+    TagSet looted = shelf;
+    (void)looted.steal_random(15, rng);
+    const auto c = durable.challenge_trp(g0, rng);
+    (void)durable.submit_trp(g0, c, trp_reader.scan(looted.tags(), c, rng));
+    observe();
+  }
+  {  // Intact UTRP round; the physical tags advance their counters.
+    const auto c = durable.challenge_utrp(g1, rng);
+    (void)durable.submit_utrp(g1, c, utrp_reader.scan(cage.tags(), c).bitstring,
+                              /*deadline_met=*/true);
+    cage.begin_round();
+    observe();
+  }
+  {  // Rogue scan: a looted copy answers, the real tags never hear the
+     // seeds -> mismatch alert, mirror flagged diverged.
+    TagSet looted = cage;
+    (void)looted.steal_random(10, rng);
+    const auto c = durable.challenge_utrp(g1, rng);
+    (void)durable.submit_utrp(g1, c,
+                              utrp_reader.scan(looted.tags(), c).bitstring,
+                              /*deadline_met=*/true);
+    observe();
+  }
+  // Physical audit of the real (intact) cage heals the mirror.
+  durable.resync(g1, cage);
+  observe();
+
+  durable.rotate();  // checkpoint mid-history: snapshot + journal swap
+  observe();
+
+  {  // Post-rotation rounds land in the new journal generation.
+    const auto c = durable.challenge_utrp(g1, rng);
+    (void)durable.submit_utrp(g1, c, utrp_reader.scan(cage.tags(), c).bitstring,
+                              /*deadline_met=*/true);
+    cage.begin_round();
+    observe();
+  }
+  {
+    const auto c = durable.challenge_trp(g0, rng);
+    (void)durable.submit_trp(g0, c, trp_reader.scan(shelf.tags(), c, rng));
+    observe();
+  }
+}
+
+struct Recording {
+  std::vector<std::string> fingerprints;  // S[0..N], S[0] = empty server
+  std::uint64_t total_ops = 0;            // backend mutating ops, ctor included
+};
+
+Recording record_reference() {
+  Recording rec;
+  MemoryBackend inner;
+  FaultyBackend counting(inner, StorageFaultPlan{});  // counts, injects nothing
+  DurableInventoryServer durable(counting);
+  rec.fingerprints.push_back(rfid::storage::dump_state(durable.server()));
+  run_workload(durable, [&] {
+    rec.fingerprints.push_back(rfid::storage::dump_state(durable.server()));
+  });
+  rec.total_ops = counting.mutating_ops();
+  return rec;
+}
+
+TEST(StorageTorture, EveryCrashPointRecoversToAdjacentState) {
+  const Recording rec = record_reference();
+  const std::uint64_t mutations = rec.fingerprints.size() - 1;
+  ASSERT_EQ(mutations, 10u);
+  ASSERT_GT(rec.total_ops, mutations);  // several storage ops per mutation
+
+  struct Variant {
+    bool before;
+    double torn;
+  };
+  // before-effect (torn moot), after-effect with the record fully durable,
+  // and two torn-write severities.
+  const Variant variants[] = {
+      {true, 1.0}, {false, 1.0}, {false, 0.4}, {false, 0.0}};
+
+  for (std::uint64_t k = 1; k <= rec.total_ops; ++k) {
+    for (const Variant& v : variants) {
+      StorageFaultPlan plan;
+      plan.crash_at_op = k;
+      plan.crash_before_effect = v.before;
+      plan.torn_keep_fraction = v.torn;
+
+      MemoryBackend inner;
+      FaultyBackend faulty(inner, plan);
+      std::uint64_t completed = 0;
+      bool crashed = false;
+      try {
+        DurableInventoryServer durable(faulty);
+        run_workload(durable, [&] { ++completed; });
+      } catch (const CrashInjected&) {
+        crashed = true;
+      }
+      ASSERT_TRUE(crashed) << "op " << k << " never reached";
+      inner.crash();  // the power cut eats every unflushed byte
+
+      const DurableInventoryServer recovered(inner);
+      const std::string fp = rfid::storage::dump_state(recovered.server());
+      const bool pre = fp == rec.fingerprints[completed];
+      const bool post = completed < mutations &&
+                        fp == rec.fingerprints[completed + 1];
+      EXPECT_TRUE(pre || post)
+          << "crash at op " << k << (v.before ? " (before" : " (after")
+          << ", torn " << v.torn << "): recovered state is neither the pre- "
+          << "nor the post-mutation state of mutation " << completed + 1;
+
+      // The recovered alert log must still be totally ordered.
+      const auto& alerts = recovered.server().alerts();
+      for (std::size_t i = 1; i < alerts.size(); ++i) {
+        EXPECT_LT(alerts[i - 1].sequence, alerts[i].sequence);
+      }
+    }
+  }
+}
+
+TEST(StorageTorture, BitRotAtRestRecoversToSomeRecordedState) {
+  const Recording rec = record_reference();
+
+  // One flipped durable bit per trial, walking offsets across every file the
+  // finished workload leaves behind (snapshots, both journal generations).
+  for (int trial = 0; trial < 6; ++trial) {
+    MemoryBackend inner;
+    {
+      DurableInventoryServer durable(inner);
+      run_workload(durable, [] {});
+    }
+    for (const std::string& name : inner.list()) {
+      const std::uint64_t size = inner.durable_bytes(name).size();
+      if (size == 0) continue;
+      inner.corrupt_durable(
+          name, (size / 7) * static_cast<std::uint64_t>(trial + 1) + 3,
+          static_cast<unsigned>(trial % 8));
+    }
+
+    std::string fp;
+    ASSERT_NO_THROW({
+      const DurableInventoryServer recovered(inner);
+      fp = rfid::storage::dump_state(recovered.server());
+    }) << "trial " << trial << ": recovery threw on rotted storage";
+    bool known = false;
+    for (const std::string& s : rec.fingerprints) known = known || fp == s;
+    EXPECT_TRUE(known) << "trial " << trial
+                       << ": recovered state matches no recorded state";
+  }
+}
+
+TEST(StorageTorture, RepeatedCrashRecoverCyclesConverge) {
+  // Crash, recover, crash again mid-recovery's healing rotation, recover
+  // again: the store must never regress to an older state than the last
+  // recovery exposed.
+  const Recording rec = record_reference();
+  MemoryBackend inner;
+  std::uint64_t completed = 0;
+  {
+    StorageFaultPlan plan;
+    plan.crash_at_op = rec.total_ops / 2;
+    plan.torn_keep_fraction = 0.5;
+    FaultyBackend faulty(inner, plan);
+    try {
+      DurableInventoryServer durable(faulty);
+      run_workload(durable, [&] { ++completed; });
+      FAIL() << "crash never fired";
+    } catch (const CrashInjected&) {
+    }
+    inner.crash();
+  }
+
+  std::string exposed;
+  {
+    const DurableInventoryServer recovered(inner);
+    exposed = rfid::storage::dump_state(recovered.server());
+    EXPECT_TRUE(exposed == rec.fingerprints[completed] ||
+                exposed == rec.fingerprints[completed + 1]);
+  }
+  // Second crash: the healing rotation of a fresh recovery is itself torn.
+  {
+    StorageFaultPlan plan;
+    plan.crash_at_op = 2;
+    plan.torn_keep_fraction = 0.3;
+    FaultyBackend faulty(inner, plan);
+    try {
+      const DurableInventoryServer again(faulty);
+      // Recovery may finish without two mutating ops (clean store) — fine.
+    } catch (const CrashInjected&) {
+      inner.crash();
+    }
+  }
+  const DurableInventoryServer final_server(inner);
+  EXPECT_EQ(rfid::storage::dump_state(final_server.server()), exposed);
+}
+
+}  // namespace
