@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/metrics_*.txt from the seeded scenario in
+# tests/obs_golden_test.cpp. Run after an INTENTIONAL change to the metric
+# catalog or the exposition formats, then review the golden diff like any
+# other code change.
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target obs_golden_test -j
+
+mkdir -p tests/golden
+RFIDMON_REGEN_GOLDEN=1 "$BUILD_DIR/tests/obs_golden_test"
+
+echo "Regenerated:"
+git diff --stat -- tests/golden || true

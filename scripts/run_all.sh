@@ -27,6 +27,11 @@ echo "== durability smoke (persist -> crash -> recover) =="
 "${BUILD_DIR}/examples/durability_drill" "${BUILD_DIR}/rfidmon-drill-state" \
   | tee "${RESULTS_DIR}/durability_drill.txt"
 
+echo "== observability (final metrics dump) =="
+"${BUILD_DIR}/examples/metrics_dump" | tee "${RESULTS_DIR}/metrics_prometheus.txt" | tail -5
+"${BUILD_DIR}/examples/metrics_dump" --json > "${RESULTS_DIR}/metrics_json.txt"
+"${BUILD_DIR}/examples/metrics_dump" --trace > "${RESULTS_DIR}/session_traces.txt"
+
 echo "== benches =="
 for bench in "${BUILD_DIR}"/bench/*; do
   [ -x "${bench}" ] || continue
@@ -35,7 +40,9 @@ for bench in "${BUILD_DIR}"/bench/*; do
   case "${name}" in
     micro_*)
       # google-benchmark binaries take their own flags.
-      "${bench}" --benchmark_min_time=0.05s > "${RESULTS_DIR}/${name}.txt" 2>&1
+      # Plain double: accepted by both old and new google-benchmark (the
+      # "0.05s" suffix form requires >= 1.7).
+      "${bench}" --benchmark_min_time=0.05 > "${RESULTS_DIR}/${name}.txt" 2>&1
       ;;
     *)
       # shellcheck disable=SC2086

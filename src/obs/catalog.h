@@ -1,0 +1,253 @@
+// The metric catalog: every family the instrumented layers emit, defined
+// once so label sets, help strings, and bucket layouts cannot drift between
+// call sites (the registry rejects conflicting re-registration, so a drifted
+// caller fails fast instead of forking the series).
+//
+// Naming follows Prometheus conventions: rfidmon_ prefix, _total suffix on
+// counters, explicit unit suffixes (_us, _bytes). The full table with
+// layers and label meanings lives in docs/observability.md — keep the two
+// in sync.
+//
+// Each helper resolves through the family map under a mutex; hot paths
+// (per-round, per-frame) should resolve once and cache the reference —
+// that is what TrpServer/UtrpServer/Link do in their set_metrics/attach
+// hooks.
+#pragma once
+
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace rfid::obs::catalog {
+
+// ----------------------------------------------------------- protocol ----
+
+inline Counter& challenges_total(MetricsRegistry& r, std::string_view protocol) {
+  return r.counter_family("rfidmon_challenges_total",
+                          "Challenges issued, by protocol.", {"protocol"})
+      .with({protocol});
+}
+
+inline Counter& rounds_total(MetricsRegistry& r, std::string_view protocol,
+                             std::string_view outcome) {
+  return r.counter_family(
+           "rfidmon_rounds_total",
+           "Monitoring rounds verified, by protocol and verdict outcome.",
+           {"protocol", "outcome"})
+      .with({protocol, outcome});
+}
+
+inline Counter& slots_total(MetricsRegistry& r, std::string_view protocol) {
+  return r.counter_family("rfidmon_slots_total",
+                          "Frame slots consumed by verified rounds.",
+                          {"protocol"})
+      .with({protocol});
+}
+
+inline Counter& mismatched_slots_total(MetricsRegistry& r,
+                                       std::string_view protocol) {
+  return r.counter_family(
+           "rfidmon_mismatched_slots_total",
+           "Slots that differed from the expected bitstring (theft signal).",
+           {"protocol"})
+      .with({protocol});
+}
+
+inline Histogram& frame_size(MetricsRegistry& r, std::string_view protocol) {
+  return r.histogram_family(
+           "rfidmon_frame_size",
+           "Frame size chosen per issued challenge (Eq. 2 / Eq. 3).",
+           {"protocol"}, Histogram::exponential_bounds(16.0, 2.0, 16))
+      .with({protocol});
+}
+
+inline Counter& reseeds_total(MetricsRegistry& r, std::string_view side) {
+  return r.counter_family(
+           "rfidmon_reseeds_total",
+           "UTRP re-seed broadcasts walked (reader = physical scan, mirror = "
+           "server-side commit replay).",
+           {"side"})
+      .with({side});
+}
+
+inline Counter& multi_round_campaigns_total(MetricsRegistry& r,
+                                            std::string_view outcome) {
+  return r.counter_family("rfidmon_multi_round_campaigns_total",
+                          "Multi-round TRP campaigns verified, by outcome.",
+                          {"outcome"})
+      .with({outcome});
+}
+
+// --------------------------------------------------------------- wire ----
+
+inline Counter& frames_sent_total(MetricsRegistry& r,
+                                  std::string_view direction) {
+  return r.counter_family("rfidmon_frames_sent_total",
+                          "Frames offered to a link (duplicates included).",
+                          {"direction"})
+      .with({direction});
+}
+
+inline Counter& frames_dropped_total(MetricsRegistry& r,
+                                     std::string_view direction) {
+  return r.counter_family("rfidmon_frames_dropped_total",
+                          "Frames a link dropped (i.i.d. loss plus bursts).",
+                          {"direction"})
+      .with({direction});
+}
+
+inline Counter& bytes_sent_total(MetricsRegistry& r,
+                                 std::string_view direction) {
+  return r.counter_family("rfidmon_bytes_sent_total",
+                          "Payload bytes offered to a link.", {"direction"})
+      .with({direction});
+}
+
+inline Counter& retransmissions_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_retransmissions_total",
+                   "Timeout-driven retransmissions across all sessions.");
+}
+
+inline Counter& scan_slots_total(MetricsRegistry& r, std::string_view protocol,
+                                 std::string_view kind) {
+  return r.counter_family(
+           "rfidmon_scan_slots_total",
+           "Slots the reader observed while scanning, empty vs. reply.",
+           {"protocol", "kind"})
+      .with({protocol, kind});
+}
+
+inline Counter& sessions_total(MetricsRegistry& r, std::string_view protocol,
+                               std::string_view outcome) {
+  return r.counter_family(
+           "rfidmon_sessions_total",
+           "Wire sessions finished, by protocol and outcome ('completed' or "
+           "the FailureReason).",
+           {"protocol", "outcome"})
+      .with({protocol, outcome});
+}
+
+inline Histogram& session_duration_us(MetricsRegistry& r,
+                                      std::string_view protocol) {
+  return r.histogram_family(
+           "rfidmon_session_duration_us",
+           "End-to-end wire session duration in simulated microseconds.",
+           {"protocol"}, Histogram::exponential_bounds(1000.0, 4.0, 12))
+      .with({protocol});
+}
+
+inline Counter& round_failures_total(MetricsRegistry& r,
+                                     std::string_view reason) {
+  return r.counter_family("rfidmon_round_failures_total",
+                          "Rounds that failed, by FailureReason.", {"reason"})
+      .with({reason});
+}
+
+inline Counter& faults_injected_total(MetricsRegistry& r,
+                                      std::string_view kind) {
+  return r.counter_family(
+           "rfidmon_faults_injected_total",
+           "Faults the injector actually delivered, by kind (burst_drop, "
+           "corrupt, duplicate, reorder, reader_crash).",
+           {"kind"})
+      .with({kind});
+}
+
+inline Counter& corrupt_frames_rejected_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_corrupt_frames_rejected_total",
+                   "Frames the framing checksum rejected at a receiver.");
+}
+
+// ------------------------------------------------------------- server ----
+
+inline Counter& alerts_total(MetricsRegistry& r, std::string_view kind) {
+  return r.counter_family("rfidmon_alerts_total",
+                          "Alerts recorded on the inventory server, by kind.",
+                          {"kind"})
+      .with({kind});
+}
+
+inline Counter& resyncs_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_resyncs_total",
+                   "Diverged UTRP mirrors healed from a physical audit.");
+}
+
+inline Counter& verdicts_total(MetricsRegistry& r, std::string_view protocol,
+                               std::string_view verdict) {
+  return r.counter_family(
+           "rfidmon_verdicts_total",
+           "Detection verdicts the inventory server produced (intact | "
+           "violated).",
+           {"protocol", "verdict"})
+      .with({protocol, verdict});
+}
+
+inline Counter& groups_enrolled_total(MetricsRegistry& r,
+                                      std::string_view protocol) {
+  return r.counter_family("rfidmon_groups_enrolled_total",
+                          "Groups enrolled on the inventory server.",
+                          {"protocol"})
+      .with({protocol});
+}
+
+// ------------------------------------------------------------ storage ----
+
+inline Counter& journal_appends_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_journal_appends_total",
+                   "Mutation records appended (and flushed) to the WAL.");
+}
+
+inline Counter& journal_bytes_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_journal_bytes_total",
+                   "Encoded bytes appended to the WAL.");
+}
+
+inline Counter& journal_append_failures_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_journal_append_failures_total",
+                   "WAL appends that failed with IoError (journal abandoned "
+                   "by an emergency rotation).");
+}
+
+inline Counter& snapshot_rotations_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_snapshot_rotations_total",
+                   "Checkpoint rotations (snapshot + fresh journal).");
+}
+
+inline Counter& recoveries_total(MetricsRegistry& r, std::string_view clean) {
+  return r.counter_family(
+           "rfidmon_recoveries_total",
+           "Recoveries completed at startup; clean=\"false\" means damage "
+           "was found (and healed).",
+           {"clean"})
+      .with({clean});
+}
+
+inline Histogram& recovery_duration_us(MetricsRegistry& r) {
+  return r.histogram("rfidmon_recovery_duration_us",
+                     "Wall-clock recovery duration (clock seam: see "
+                     "DurabilityConfig::clock).",
+                     Histogram::exponential_bounds(10.0, 4.0, 12));
+}
+
+inline Counter& recovery_records_replayed_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_recovery_records_replayed_total",
+                   "Journal records replayed across all recoveries.");
+}
+
+inline Counter& recovery_truncated_bytes_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_recovery_truncated_bytes_total",
+                   "Torn or rotted journal bytes dropped during recovery.");
+}
+
+inline Counter& recovery_snapshots_skipped_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_recovery_snapshots_skipped_total",
+                   "Rotted/torn snapshots passed over during recovery.");
+}
+
+inline Counter& recovery_healed_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_recovery_healed_total",
+                   "Recoveries that re-checkpointed to heal on-storage "
+                   "damage (RecoveryReport::rotated_after_recovery).");
+}
+
+}  // namespace rfid::obs::catalog

@@ -1,0 +1,243 @@
+#include "obs/expose.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+#include "util/expect.h"
+
+namespace rfid::obs {
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  RFID_ENSURE(result.ec == std::errc{}, "to_chars cannot fail on a double");
+  return std::string(buffer, result.ptr);
+}
+
+namespace {
+
+/// Counters hold integral values in a double; print them without a decimal
+/// point (Prometheus convention for counters).
+[[nodiscard]] std::string format_value(double value, bool integral) {
+  if (integral && std::isfinite(value)) {
+    return std::to_string(static_cast<std::uint64_t>(value));
+  }
+  return format_double(value);
+}
+
+void append_escaped_label(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// {a="x",b="y"} — empty when there are no labels. `extra` appends one more
+/// pair (the histogram le label).
+[[nodiscard]] std::string label_block(
+    const std::vector<std::string>& names,
+    const std::vector<std::string>& values, std::string_view extra_name = {},
+    std::string_view extra_value = {}) {
+  if (names.empty() && extra_name.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ',';
+    out += names[i];
+    out += "=\"";
+    append_escaped_label(out, values[i]);
+    out += '"';
+  }
+  if (!extra_name.empty()) {
+    if (!names.empty()) out += ',';
+    out += extra_name;
+    out += "=\"";
+    append_escaped_label(out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void append_json_string(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += hex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// JSON numbers reject Inf/NaN; quote them (consumers of this schema treat
+/// the three literals specially).
+void append_json_number(std::string& out, double value) {
+  if (std::isfinite(value)) {
+    out += format_double(value);
+  } else {
+    append_json_string(out, format_double(value));
+  }
+}
+
+void append_json_label_array(std::string& out,
+                             const std::vector<std::string>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    append_json_string(out, values[i]);
+  }
+  out += ']';
+}
+
+[[nodiscard]] std::string_view kind_name(Snapshot::Kind kind) {
+  switch (kind) {
+    case Snapshot::Kind::kCounter: return "counter";
+    case Snapshot::Kind::kGauge: return "gauge";
+    case Snapshot::Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string render_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const Snapshot::Family& family : snapshot.families) {
+    out += "# HELP " + family.name + ' ' + family.help + '\n';
+    out += "# TYPE " + family.name + ' ';
+    out += kind_name(family.kind);
+    out += '\n';
+    for (const Snapshot::Series& series : family.series) {
+      if (family.kind != Snapshot::Kind::kHistogram) {
+        out += family.name +
+               label_block(family.label_names, series.label_values) + ' ' +
+               format_value(series.value,
+                            family.kind == Snapshot::Kind::kCounter) +
+               '\n';
+        continue;
+      }
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < series.bucket_counts.size(); ++b) {
+        cumulative += series.bucket_counts[b];
+        const std::string le = b < family.upper_bounds.size()
+                                   ? format_double(family.upper_bounds[b])
+                                   : "+Inf";
+        out += family.name + "_bucket" +
+               label_block(family.label_names, series.label_values, "le", le) +
+               ' ' + std::to_string(cumulative) + '\n';
+      }
+      out += family.name + "_sum" +
+             label_block(family.label_names, series.label_values) + ' ' +
+             format_double(series.sum) + '\n';
+      out += family.name + "_count" +
+             label_block(family.label_names, series.label_values) + ' ' +
+             std::to_string(series.count) + '\n';
+    }
+  }
+  return out;
+}
+
+std::string render_json(const Snapshot& snapshot, const SessionLog* sessions) {
+  std::string out = "{\n";
+  const char* kind_keys[] = {"counters", "gauges", "histograms"};
+  for (int k = 0; k < 3; ++k) {
+    const auto kind = static_cast<Snapshot::Kind>(k);
+    out += "  \"";
+    out += kind_keys[k];
+    out += "\": [";
+    bool first_family = true;
+    for (const Snapshot::Family& family : snapshot.families) {
+      if (family.kind != kind) continue;
+      if (!first_family) out += ',';
+      first_family = false;
+      out += "\n    {\"name\":";
+      append_json_string(out, family.name);
+      out += ",\"help\":";
+      append_json_string(out, family.help);
+      out += ",\"labelNames\":";
+      append_json_label_array(out, family.label_names);
+      if (kind == Snapshot::Kind::kHistogram) {
+        out += ",\"upperBounds\":[";
+        for (std::size_t i = 0; i < family.upper_bounds.size(); ++i) {
+          if (i > 0) out += ',';
+          append_json_number(out, family.upper_bounds[i]);
+        }
+        out += ']';
+      }
+      out += ",\"series\":[";
+      for (std::size_t s = 0; s < family.series.size(); ++s) {
+        const Snapshot::Series& series = family.series[s];
+        if (s > 0) out += ',';
+        out += "\n      {\"labels\":";
+        append_json_label_array(out, series.label_values);
+        if (kind == Snapshot::Kind::kHistogram) {
+          out += ",\"bucketCounts\":[";
+          for (std::size_t b = 0; b < series.bucket_counts.size(); ++b) {
+            if (b > 0) out += ',';
+            out += std::to_string(series.bucket_counts[b]);
+          }
+          out += "],\"count\":" + std::to_string(series.count) + ",\"sum\":";
+          append_json_number(out, series.sum);
+        } else if (kind == Snapshot::Kind::kCounter) {
+          out += ",\"value\":" + format_value(series.value, true);
+        } else {
+          out += ",\"value\":";
+          append_json_number(out, series.value);
+        }
+        out += '}';
+      }
+      if (!family.series.empty()) out += "\n    ";
+      out += "]}";
+    }
+    if (!first_family) out += "\n  ";
+    out += "],\n";
+  }
+  out += "  \"sessions\": [";
+  if (sessions != nullptr) {
+    const std::vector<SessionSummary> recent = sessions->recent();
+    for (std::size_t i = 0; i < recent.size(); ++i) {
+      const SessionSummary& s = recent[i];
+      if (i > 0) out += ',';
+      out += "\n    {\"protocol\":";
+      append_json_string(out, s.protocol);
+      out += ",\"group\":";
+      append_json_string(out, s.group);
+      out += ",\"completed\":";
+      out += s.completed ? "true" : "false";
+      out += ",\"outcome\":";
+      append_json_string(out, s.outcome);
+      out += ",\"roundsCompleted\":" + std::to_string(s.rounds_completed);
+      out += ",\"roundFailures\":" + std::to_string(s.round_failures);
+      out += ",\"framesSent\":" + std::to_string(s.frames_sent);
+      out += ",\"retransmissions\":" + std::to_string(s.retransmissions);
+      out += ",\"durationUs\":";
+      append_json_number(out, s.duration_us);
+      out += '}';
+    }
+    if (!recent.empty()) out += "\n  ";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace rfid::obs

@@ -1,0 +1,32 @@
+// Exposition: render a metrics Snapshot as Prometheus text or JSON.
+//
+// Both formats are deterministic down to the byte: families sorted by name,
+// series by label values, doubles printed via std::to_chars shortest
+// round-trip form (no locale, no precision surprises) — which is what lets
+// tests/obs_golden_test.cpp compare a seeded end-to-end run against checked
+// in golden files. The Prometheus text follows the exposition format v0.0.4
+// (HELP/TYPE comments, cumulative _bucket series with an le label, _sum and
+// _count); the JSON format is this library's own stable schema, one object
+// with "counters" / "gauges" / "histograms" arrays plus an optional
+// "sessions" array from a SessionLog.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/session_log.h"
+
+namespace rfid::obs {
+
+/// Shortest decimal form that round-trips to the same double ("13" for
+/// 13.0, "0.25", "1e+30", "+Inf"/"-Inf"/"NaN"). Exposed for tests.
+[[nodiscard]] std::string format_double(double value);
+
+[[nodiscard]] std::string render_prometheus(const Snapshot& snapshot);
+
+/// `sessions` (optional) embeds the ring buffer of recent session
+/// summaries under a "sessions" key.
+[[nodiscard]] std::string render_json(const Snapshot& snapshot,
+                                      const SessionLog* sessions = nullptr);
+
+}  // namespace rfid::obs

@@ -1,0 +1,258 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace rfid::obs {
+
+namespace {
+
+[[nodiscard]] bool valid_name_char(char c, bool first, bool allow_colon) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+  const bool digit = c >= '0' && c <= '9';
+  if (alpha || c == '_' || (allow_colon && c == ':')) return true;
+  return digit && !first;
+}
+
+void validate_name(std::string_view name, bool allow_colon,
+                   std::string_view what) {
+  RFID_EXPECT(!name.empty(), std::string(what) + " must be non-empty");
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    RFID_EXPECT(valid_name_char(name[i], i == 0, allow_colon),
+                std::string(what) + " '" + std::string(name) +
+                    "' violates [a-zA-Z_:][a-zA-Z0-9_:]*");
+  }
+}
+
+[[nodiscard]] std::vector<std::string> validated_labels(
+    std::initializer_list<std::string_view> labels) {
+  std::vector<std::string> names;
+  names.reserve(labels.size());
+  for (const std::string_view label : labels) {
+    validate_name(label, /*allow_colon=*/false, "label name");
+    RFID_EXPECT(std::find(names.begin(), names.end(), label) == names.end(),
+                "duplicate label name '" + std::string(label) + "'");
+    names.emplace_back(label);
+  }
+  return names;
+}
+
+/// Shared family-resolution body: look up `name` in `own` (must match
+/// `labels` if found), reject cross-type collisions with `other_a/other_b`,
+/// create otherwise. `matches` performs the type-specific compatibility
+/// check (histogram bounds); `make` builds a new family.
+template <typename Map, typename MapB, typename MapC, typename Matches,
+          typename Make>
+auto& resolve_family(std::string_view name, const Map& own,
+                     const MapB& other_a, const MapC& other_b,
+                     const Matches& matches, const Make& make, Map& own_mut) {
+  validate_name(name, /*allow_colon=*/true, "metric name");
+  if (const auto it = own.find(name); it != own.end()) {
+    RFID_EXPECT(matches(*it->second),
+                "metric '" + std::string(name) +
+                    "' re-registered with different labels or buckets");
+    return *it->second;
+  }
+  RFID_EXPECT(!other_a.contains(name) && !other_b.contains(name),
+              "metric '" + std::string(name) +
+                  "' already registered as a different type");
+  return *own_mut.emplace(std::string(name), make()).first->second;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  RFID_EXPECT(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    RFID_EXPECT(std::isfinite(bounds_[i]), "bucket bounds must be finite");
+    RFID_EXPECT(i == 0 || bounds_[i - 1] < bounds_[i],
+                "bucket bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  RFID_EXPECT(start > 0.0 && factor > 1.0 && count >= 1,
+              "need start > 0, factor > 1, count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::hdr_bounds(double min_value, double max_value,
+                                          unsigned sub_buckets_per_octave) {
+  RFID_EXPECT(min_value > 0.0 && max_value > min_value,
+              "need 0 < min_value < max_value");
+  RFID_EXPECT(sub_buckets_per_octave >= 1, "need at least one sub-bucket");
+  std::vector<double> bounds;
+  for (double octave = min_value; octave < max_value; octave *= 2.0) {
+    const double width = octave / sub_buckets_per_octave;
+    for (unsigned s = 1; s <= sub_buckets_per_octave; ++s) {
+      const double bound = octave + width * s;
+      bounds.push_back(bound);
+      if (bound >= max_value) return bounds;
+    }
+    RFID_EXPECT(bounds.size() <= 1u << 20,
+                "hdr bounds would exceed a million buckets");
+  }
+  return bounds;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t index) const {
+  RFID_EXPECT(index <= bounds_.size(), "bucket index out of range");
+  return buckets_[index].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  RFID_EXPECT(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Target rank (1-based): the smallest observation index covering q.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket >= rank) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double position = static_cast<double>(rank - cumulative) /
+                              static_cast<double>(in_bucket);
+      return lo + position * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return std::numeric_limits<double>::infinity();  // overflow bucket
+}
+
+CounterFamily& MetricsRegistry::counter_family(
+    std::string_view name, std::string_view help,
+    std::initializer_list<std::string_view> labels) {
+  std::vector<std::string> names = validated_labels(labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  return resolve_family(
+      name, counters_, gauges_, histograms_,
+      [&](const CounterFamily& f) { return f.label_names() == names; },
+      [&] {
+        return std::unique_ptr<CounterFamily>(new CounterFamily(
+            std::string(name), std::string(help), std::move(names)));
+      },
+      counters_);
+}
+
+GaugeFamily& MetricsRegistry::gauge_family(
+    std::string_view name, std::string_view help,
+    std::initializer_list<std::string_view> labels) {
+  std::vector<std::string> names = validated_labels(labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  return resolve_family(
+      name, gauges_, counters_, histograms_,
+      [&](const GaugeFamily& f) { return f.label_names() == names; },
+      [&] {
+        return std::unique_ptr<GaugeFamily>(new GaugeFamily(
+            std::string(name), std::string(help), std::move(names)));
+      },
+      gauges_);
+}
+
+HistogramFamily& MetricsRegistry::histogram_family(
+    std::string_view name, std::string_view help,
+    std::initializer_list<std::string_view> labels,
+    std::vector<double> upper_bounds) {
+  std::vector<std::string> names = validated_labels(labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  return resolve_family(
+      name, histograms_, counters_, gauges_,
+      [&](const HistogramFamily& f) {
+        return f.label_names() == names && f.upper_bounds() == upper_bounds;
+      },
+      [&] {
+        return std::unique_ptr<HistogramFamily>(
+            new HistogramFamily(std::string(name), std::string(help),
+                                std::move(names), std::move(upper_bounds)));
+      },
+      histograms_);
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : counters_) {
+    Snapshot::Family out;
+    out.name = name;
+    out.help = family->help();
+    out.kind = Snapshot::Kind::kCounter;
+    out.label_names = family->label_names();
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Counter& counter) {
+      out.series.push_back(Snapshot::Series{
+          labels, static_cast<double>(counter.value()), {}, 0, 0.0});
+    });
+    snap.families.push_back(std::move(out));
+  }
+  for (const auto& [name, family] : gauges_) {
+    Snapshot::Family out;
+    out.name = name;
+    out.help = family->help();
+    out.kind = Snapshot::Kind::kGauge;
+    out.label_names = family->label_names();
+    family->for_each(
+        [&](const std::vector<std::string>& labels, const Gauge& gauge) {
+          out.series.push_back(
+              Snapshot::Series{labels, gauge.value(), {}, 0, 0.0});
+        });
+    snap.families.push_back(std::move(out));
+  }
+  for (const auto& [name, family] : histograms_) {
+    Snapshot::Family out;
+    out.name = name;
+    out.help = family->help();
+    out.kind = Snapshot::Kind::kHistogram;
+    out.label_names = family->label_names();
+    out.upper_bounds = family->upper_bounds();
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Histogram& histogram) {
+      Snapshot::Series series;
+      series.label_values = labels;
+      series.bucket_counts.reserve(histogram.upper_bounds().size() + 1);
+      for (std::size_t i = 0; i <= histogram.upper_bounds().size(); ++i) {
+        series.bucket_counts.push_back(histogram.bucket_count(i));
+      }
+      series.count = histogram.count();
+      series.sum = histogram.sum();
+      out.series.push_back(std::move(series));
+    });
+    snap.families.push_back(std::move(out));
+  }
+  std::sort(snap.families.begin(), snap.families.end(),
+            [](const Snapshot::Family& a, const Snapshot::Family& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace rfid::obs

@@ -1,0 +1,308 @@
+// Dependency-free metrics: counters, gauges, histograms, labeled families.
+//
+// Design (mirrors the Prometheus client-library data model):
+//
+//  * An *instrument* (Counter, Gauge, Histogram) is a single time series.
+//    Updates are lock-free — one relaxed atomic RMW per increment/observe —
+//    so instruments can sit on the per-round hot paths of the protocol and
+//    wire layers without perturbing what they measure.
+//  * A *family* groups series of one name under a fixed set of label names
+//    (e.g. rfidmon_rounds_total{protocol,outcome}). Resolving a labeled
+//    series (`with(...)`) takes a mutex; callers on hot paths resolve once
+//    and cache the returned reference, which stays valid for the registry's
+//    lifetime (map nodes never move).
+//  * A MetricsRegistry owns the families, rejects name collisions across
+//    types, and produces a deterministic Snapshot for exposition
+//    (expose.h): families sorted by name, series sorted by label values —
+//    two identical workloads render byte-identical output.
+//
+// Histograms come in two flavors built on one implementation: explicit
+// fixed buckets (Histogram::exponential_bounds or any sorted vector) and
+// HDR-style log2-linear buckets (Histogram::hdr_bounds), whose quantile
+// estimates carry a bounded relative error of 1/sub_buckets_per_octave
+// (asserted by tests/obs_test.cpp on randomized inputs).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfid::obs {
+
+/// Monotone event count. Relaxed atomics: totals are exact (asserted by the
+/// multi-threaded hammer tests) but carry no ordering guarantees.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) noexcept {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up or down. Stored as the bit pattern of a double in
+/// a 64-bit atomic (the zero pattern is 0.0, so default-init is correct);
+/// add() is a CAS loop, set() a plain store.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  void add(double d) noexcept {
+    std::uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + d),
+        std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Bucketed distribution of non-negative observations. The bucket layout is
+/// immutable after construction, so observe() is wait-free: one binary
+/// search plus three relaxed RMWs.
+class Histogram {
+ public:
+  /// `upper_bounds` are the finite inclusive bucket ceilings, strictly
+  /// increasing and non-empty; an overflow (+Inf) bucket is implicit.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `count` bounds at start, start*factor, start*factor^2, ...
+  [[nodiscard]] static std::vector<double> exponential_bounds(
+      double start, double factor, std::size_t count);
+
+  /// HDR-style log2-linear bounds covering [min_value, max_value]: every
+  /// octave [s, 2s) is split into `sub_buckets_per_octave` equal-width
+  /// buckets, so any bucket's width is at most lower_edge /
+  /// sub_buckets_per_octave and quantile estimates carry relative error
+  /// <= 1 / sub_buckets_per_octave for values >= min_value.
+  [[nodiscard]] static std::vector<double> hdr_bounds(
+      double min_value, double max_value, unsigned sub_buckets_per_octave);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) count; index bounds_.size() is overflow.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const;
+
+  /// Estimates the q-quantile (q in [0, 1]) by locating the bucket holding
+  /// the target rank and interpolating linearly inside it. Returns 0 when
+  /// empty and +Inf when the rank falls in the overflow bucket. Assumes
+  /// non-negative observations (the first bucket's lower edge is 0).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // bit pattern of a double
+};
+
+namespace detail {
+
+/// Shared label plumbing: validates cardinality and owns the series map.
+/// `Series` must be constructible from `ExtraArgs...` (empty for
+/// Counter/Gauge, the bucket bounds for Histogram). Map nodes are stable,
+/// so returned references live as long as the family.
+template <typename Series>
+class FamilyBase {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+  [[nodiscard]] const std::vector<std::string>& label_names() const noexcept {
+    return label_names_;
+  }
+
+ protected:
+  FamilyBase(std::string name, std::string help,
+             std::vector<std::string> label_names)
+      : name_(std::move(name)),
+        help_(std::move(help)),
+        label_names_(std::move(label_names)) {}
+
+  template <typename... CtorArgs>
+  Series& series(std::initializer_list<std::string_view> label_values,
+                 const CtorArgs&... args);
+
+  /// Sorted copy of (label_values, series pointer) under the lock.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [labels, series] : series_) fn(labels, series);
+  }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::vector<std::string> label_names_;
+  mutable std::mutex mu_;
+  std::map<std::vector<std::string>, Series> series_;
+};
+
+}  // namespace detail
+
+class CounterFamily : public detail::FamilyBase<Counter> {
+ public:
+  /// Resolves (creating on first use) the series for these label values —
+  /// one value per label name, in declaration order. Takes a mutex: resolve
+  /// once and cache the reference on hot paths.
+  Counter& with(std::initializer_list<std::string_view> label_values) {
+    return series(label_values);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  using FamilyBase::FamilyBase;
+};
+
+class GaugeFamily : public detail::FamilyBase<Gauge> {
+ public:
+  Gauge& with(std::initializer_list<std::string_view> label_values) {
+    return series(label_values);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  using FamilyBase::FamilyBase;
+};
+
+class HistogramFamily : public detail::FamilyBase<Histogram> {
+ public:
+  Histogram& with(std::initializer_list<std::string_view> label_values) {
+    return series(label_values, bounds_);
+  }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+    return bounds_;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramFamily(std::string name, std::string help,
+                  std::vector<std::string> label_names,
+                  std::vector<double> bounds)
+      : FamilyBase(std::move(name), std::move(help), std::move(label_names)),
+        bounds_(std::move(bounds)) {}
+
+  std::vector<double> bounds_;
+};
+
+/// Point-in-time copy of a registry, ordered deterministically (families by
+/// name, series by label values). What the exposition formats consume.
+struct Snapshot {
+  struct Series {
+    std::vector<std::string> label_values;
+    double value = 0.0;                       // counters/gauges
+    std::vector<std::uint64_t> bucket_counts; // histograms (incl. overflow)
+    std::uint64_t count = 0;                  // histograms
+    double sum = 0.0;                         // histograms
+  };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<std::string> label_names;
+    std::vector<double> upper_bounds;  // histograms only
+    std::vector<Series> series;
+  };
+  std::vector<Family> families;  // sorted by name
+};
+
+/// Owns every family. Registration is idempotent: re-registering a name
+/// returns the existing family if the type, label names, and (histogram)
+/// bounds match, and throws std::invalid_argument otherwise. Metric and
+/// label names must match [a-zA-Z_:][a-zA-Z0-9_:]* (label names without the
+/// colon). Thread-safe; snapshot() sees a consistent family list but
+/// individual values are read with relaxed loads.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  CounterFamily& counter_family(std::string_view name, std::string_view help,
+                                std::initializer_list<std::string_view> labels);
+  GaugeFamily& gauge_family(std::string_view name, std::string_view help,
+                            std::initializer_list<std::string_view> labels);
+  HistogramFamily& histogram_family(
+      std::string_view name, std::string_view help,
+      std::initializer_list<std::string_view> labels,
+      std::vector<double> upper_bounds);
+
+  /// Label-less conveniences: a family with no label names, one series.
+  Counter& counter(std::string_view name, std::string_view help) {
+    return counter_family(name, help, {}).with({});
+  }
+  Gauge& gauge(std::string_view name, std::string_view help) {
+    return gauge_family(name, help, {}).with({});
+  }
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> upper_bounds) {
+    return histogram_family(name, help, {}, std::move(upper_bounds)).with({});
+  }
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CounterFamily>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<GaugeFamily>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramFamily>, std::less<>> histograms_;
+};
+
+// ---------------------------------------------------------------- inline --
+
+namespace detail {
+
+template <typename Series>
+template <typename... CtorArgs>
+Series& FamilyBase<Series>::series(
+    std::initializer_list<std::string_view> label_values,
+    const CtorArgs&... args) {
+  if (label_values.size() != label_names_.size()) {
+    throw std::invalid_argument(
+        "metric family '" + name_ + "' takes " +
+        std::to_string(label_names_.size()) + " label value(s), got " +
+        std::to_string(label_values.size()));
+  }
+  std::vector<std::string> key;
+  key.reserve(label_values.size());
+  for (const std::string_view v : label_values) key.emplace_back(v);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(key);
+  if (it != series_.end()) return it->second;
+  return series_
+      .emplace(std::piecewise_construct,
+               std::forward_as_tuple(std::move(key)),
+               std::forward_as_tuple(args...))
+      .first->second;
+}
+
+}  // namespace detail
+
+}  // namespace rfid::obs

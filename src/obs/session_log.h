@@ -1,0 +1,75 @@
+// Ring buffer of recent monitoring-session summaries.
+//
+// The metrics registry answers "how much, in aggregate"; this log answers
+// "what happened lately": the last N sessions with their outcome, round
+// count, and link statistics, oldest evicted first. The wire layer records
+// one entry per run_*_session when a SessionLog is attached to the
+// SessionConfig; render_json (expose.h) can embed the log in the JSON
+// exposition. Mutex-guarded — sessions on different threads may share one
+// log.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rfid::obs {
+
+struct SessionSummary {
+  std::string protocol;       // "trp" | "utrp"
+  std::string group;
+  bool completed = false;
+  std::string outcome;        // "completed" or the FailureReason string
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t round_failures = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t retransmissions = 0;
+  double duration_us = 0.0;
+};
+
+class SessionLog {
+ public:
+  explicit SessionLog(std::size_t capacity = 64) : capacity_(capacity) {
+    ring_.reserve(capacity_ == 0 ? 1 : capacity_);
+  }
+
+  void record(SessionSummary summary) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    if (capacity_ == 0) return;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(summary));
+    } else {
+      ring_[next_] = std::move(summary);
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+
+  /// The retained summaries, oldest first.
+  [[nodiscard]] std::vector<SessionSummary> recent() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SessionSummary> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Sessions ever recorded, including evicted ones.
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // index of the oldest entry once the ring is full
+  std::uint64_t total_ = 0;
+  std::vector<SessionSummary> ring_;
+};
+
+}  // namespace rfid::obs

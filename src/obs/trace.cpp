@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "util/expect.h"
+
+namespace rfid::obs {
+
+double steady_now_us() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(now).count();
+}
+
+Tracer::Tracer(Clock clock, std::size_t max_spans)
+    : clock_(std::move(clock)), max_spans_(max_spans) {
+  RFID_EXPECT(clock_ != nullptr, "tracer needs a clock");
+  RFID_EXPECT(max_spans_ >= 1, "tracer must hold at least one span");
+}
+
+std::uint64_t Tracer::begin_span(std::string_view name, std::uint64_t parent) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  Span span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::string(name);
+  span.start_us = clock_();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+Span* Tracer::find(std::uint64_t id) {
+  if (id == kNoSpan) return nullptr;
+  for (Span& span : spans_) {
+    if (span.id == id) return &span;
+  }
+  return nullptr;
+}
+
+void Tracer::annotate(std::uint64_t span, std::string_view key,
+                      std::string_view value) {
+  if (Span* s = find(span)) {
+    s->attributes.emplace_back(std::string(key), std::string(value));
+  }
+}
+
+void Tracer::end_span(std::uint64_t span) {
+  Span* s = find(span);
+  if (s == nullptr || s->ended) return;
+  s->end_us = clock_();
+  s->ended = true;
+}
+
+void Tracer::clear() { spans_.clear(); }
+
+namespace {
+
+void render_subtree(const std::vector<Span>& spans, std::uint64_t parent,
+                    int depth, std::ostringstream& os) {
+  for (const Span& span : spans) {
+    if (span.parent != parent) continue;
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << span.name << " [" << span.start_us << ", ";
+    if (span.ended) {
+      os << span.end_us << ") dur=" << span.duration_us() << "us";
+    } else {
+      os << "...) open";
+    }
+    for (const auto& [key, value] : span.attributes) {
+      os << ' ' << key << '=' << value;
+    }
+    os << '\n';
+    render_subtree(spans, span.id, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string Tracer::render() const {
+  std::ostringstream os;
+  render_subtree(spans_, kNoSpan, 0, os);
+  return os.str();
+}
+
+}  // namespace rfid::obs

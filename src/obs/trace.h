@@ -1,0 +1,91 @@
+// Hierarchical span tracing with a deterministic clock seam.
+//
+// A Tracer records spans (session → round → scan in the wire layer) against
+// whatever Clock it was constructed with. Under test and simulation the
+// clock is the discrete-event queue's now() (or a hand-advanced counter),
+// which makes every recorded trace bit-for-bit reproducible from a seed —
+// the property the golden exposition tests rely on. In live deployments
+// pass steady_now_us.
+//
+// Span ids are sequential and start at 1; id 0 (kNoSpan) means "no span"
+// and every operation on it is a no-op, so call sites can trace
+// unconditionally and leave the tracer out at runtime. The span store is
+// bounded: past `max_spans`, begin_span drops the span (counted) instead of
+// growing without bound. A Tracer is deliberately NOT thread-safe — it
+// records one logical session; use one Tracer per concurrent session.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rfid::obs {
+
+/// Time source, in microseconds. Any monotone callable works; determinism
+/// is the caller's choice of clock, not the tracer's concern.
+using Clock = std::function<double()>;
+
+/// Wall-clock microseconds from a monotonic source (live deployments).
+[[nodiscard]] double steady_now_us();
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  bool ended = false;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  [[nodiscard]] double duration_us() const noexcept {
+    return ended ? end_us - start_us : 0.0;
+  }
+};
+
+class Tracer {
+ public:
+  static constexpr std::uint64_t kNoSpan = 0;
+
+  explicit Tracer(Clock clock, std::size_t max_spans = 65536);
+
+  /// Opens a span; returns its id, or kNoSpan if the store is full (the
+  /// drop is counted). `parent` may be kNoSpan for a root span.
+  [[nodiscard]] std::uint64_t begin_span(std::string_view name,
+                                         std::uint64_t parent = kNoSpan);
+  /// Attaches a key/value annotation. No-op on kNoSpan or unknown ids.
+  void annotate(std::uint64_t span, std::string_view key,
+                std::string_view value);
+  /// Closes the span at the current clock reading. Idempotent: a span ends
+  /// at its first end_span; later calls are no-ops.
+  void end_span(std::uint64_t span);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] std::uint64_t dropped_spans() const noexcept {
+    return dropped_;
+  }
+
+  /// Indented tree rendering (children under parents, in id order), one
+  /// span per line with interval, duration, and annotations. Deterministic
+  /// for a deterministic clock.
+  [[nodiscard]] std::string render() const;
+
+  /// Forgets every recorded span (ids keep climbing, so late end_span calls
+  /// from a previous session cannot touch a new session's spans).
+  void clear();
+
+ private:
+  [[nodiscard]] Span* find(std::uint64_t id);
+
+  Clock clock_;
+  std::size_t max_spans_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::vector<Span> spans_;
+};
+
+}  // namespace rfid::obs

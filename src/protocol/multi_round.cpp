@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/catalog.h"
 #include "util/expect.h"
 
 namespace rfid::protocol {
@@ -82,9 +83,26 @@ Verdict MultiRoundTrpServer::verify(
   verdict.intact = true;
   for (std::uint32_t k = 0; k < plan_.rounds; ++k) {
     const Verdict round = single_.verify(challenges[k], reported[k]);
-    if (!round.intact) return round;  // first failing round describes the alert
+    if (!round.intact) {
+      if (campaigns_mismatch_ != nullptr) campaigns_mismatch_->inc();
+      return round;  // first failing round describes the alert
+    }
   }
+  if (campaigns_intact_ != nullptr) campaigns_intact_->inc();
   return verdict;
+}
+
+void MultiRoundTrpServer::set_metrics(obs::MetricsRegistry* registry) {
+  single_.set_metrics(registry);
+  if (registry == nullptr) {
+    campaigns_intact_ = nullptr;
+    campaigns_mismatch_ = nullptr;
+    return;
+  }
+  campaigns_intact_ =
+      &obs::catalog::multi_round_campaigns_total(*registry, "intact");
+  campaigns_mismatch_ =
+      &obs::catalog::multi_round_campaigns_total(*registry, "mismatch");
 }
 
 }  // namespace rfid::protocol

@@ -68,9 +68,16 @@ class MultiRoundTrpServer {
   [[nodiscard]] Verdict verify(const std::vector<TrpChallenge>& challenges,
                                const std::vector<bits::Bitstring>& reported) const;
 
+  /// Attaches an observability registry: forwards to the inner TRP server
+  /// (per-round counters) and records one campaigns_total{outcome} increment
+  /// per verify(). Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   TrpServer single_;  // owns ids/hasher; reused for per-round verification
   MultiRoundPlan plan_;
+  obs::Counter* campaigns_intact_ = nullptr;
+  obs::Counter* campaigns_mismatch_ = nullptr;
 };
 
 }  // namespace rfid::protocol

@@ -1,5 +1,6 @@
 #include "protocol/trp.h"
 
+#include "obs/catalog.h"
 #include "util/expect.h"
 
 namespace rfid::protocol {
@@ -14,7 +15,26 @@ TrpServer::TrpServer(std::vector<tag::TagId> ids, MonitoringPolicy policy,
                                    policy_.confidence, policy_.model);
 }
 
+void TrpServer::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    return;
+  }
+  namespace cat = obs::catalog;
+  instruments_.challenges = &cat::challenges_total(*registry, "trp");
+  instruments_.rounds_intact = &cat::rounds_total(*registry, "trp", "intact");
+  instruments_.rounds_mismatch =
+      &cat::rounds_total(*registry, "trp", "mismatch");
+  instruments_.slots = &cat::slots_total(*registry, "trp");
+  instruments_.mismatched_slots = &cat::mismatched_slots_total(*registry, "trp");
+  instruments_.frame_size = &cat::frame_size(*registry, "trp");
+}
+
 TrpChallenge TrpServer::issue_challenge(util::Rng& rng) const {
+  if (instruments_.challenges != nullptr) {
+    instruments_.challenges->inc();
+    instruments_.frame_size->observe(static_cast<double>(plan_.frame_size));
+  }
   return TrpChallenge{plan_.frame_size, rng()};
 }
 
@@ -37,6 +57,12 @@ Verdict TrpServer::verify(const TrpChallenge& challenge,
   verdict.intact = verdict.mismatched_slots == 0;
   if (!verdict.intact) {
     verdict.first_mismatch_slot = *expected.first_difference(reported);
+  }
+  if (instruments_.slots != nullptr) {
+    instruments_.slots->inc(challenge.frame_size);
+    instruments_.mismatched_slots->inc(verdict.mismatched_slots);
+    (verdict.intact ? instruments_.rounds_intact : instruments_.rounds_mismatch)
+        ->inc();
   }
   return verdict;
 }

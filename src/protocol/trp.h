@@ -21,6 +21,7 @@
 #include "bitstring/bitstring.h"
 #include "hash/slot_hash.h"
 #include "math/frame_optimizer.h"
+#include "obs/metrics.h"
 #include "protocol/messages.h"
 #include "radio/channel.h"
 #include "radio/frame.h"
@@ -67,11 +68,29 @@ class TrpServer {
   [[nodiscard]] Verdict verify(const TrpChallenge& challenge,
                                const bits::Bitstring& reported) const;
 
+  /// Attaches an observability registry: issue_challenge/verify start
+  /// recording challenge counts, round outcomes, slot totals, and frame
+  /// sizes under protocol="trp". Family lookups happen once, here; the hot
+  /// path only touches cached atomics. Pass nullptr to detach. The registry
+  /// must outlive this server.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
+  /// Cached series handles; null when no registry is attached.
+  struct Instruments {
+    obs::Counter* challenges = nullptr;
+    obs::Counter* rounds_intact = nullptr;
+    obs::Counter* rounds_mismatch = nullptr;
+    obs::Counter* slots = nullptr;
+    obs::Counter* mismatched_slots = nullptr;
+    obs::Histogram* frame_size = nullptr;
+  };
+
   std::vector<tag::TagId> ids_;
   MonitoringPolicy policy_;
   hash::SlotHasher hasher_;
   math::TrpPlan plan_;
+  Instruments instruments_;
 };
 
 class TrpReader {

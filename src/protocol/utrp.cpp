@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/catalog.h"
 #include "util/expect.h"
 
 namespace rfid::protocol {
@@ -122,7 +123,30 @@ UtrpServer::UtrpServer(const tag::TagSet& enrolled, MonitoringPolicy policy,
   RFID_EXPECT(plan_.frame_size >= 1, "injected plan has no slots");
 }
 
+void UtrpServer::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    return;
+  }
+  namespace cat = obs::catalog;
+  instruments_.challenges = &cat::challenges_total(*registry, "utrp");
+  instruments_.rounds_intact = &cat::rounds_total(*registry, "utrp", "intact");
+  instruments_.rounds_mismatch =
+      &cat::rounds_total(*registry, "utrp", "mismatch");
+  instruments_.rounds_deadline_missed =
+      &cat::rounds_total(*registry, "utrp", "deadline_missed");
+  instruments_.slots = &cat::slots_total(*registry, "utrp");
+  instruments_.mismatched_slots =
+      &cat::mismatched_slots_total(*registry, "utrp");
+  instruments_.mirror_reseeds = &cat::reseeds_total(*registry, "mirror");
+  instruments_.frame_size = &cat::frame_size(*registry, "utrp");
+}
+
 UtrpChallenge UtrpServer::issue_challenge(util::Rng& rng) const {
+  if (instruments_.challenges != nullptr) {
+    instruments_.challenges->inc();
+    instruments_.frame_size->observe(static_cast<double>(plan_.frame_size));
+  }
   UtrpChallenge challenge;
   challenge.frame_size = plan_.frame_size;
   challenge.seeds.reserve(challenge.frame_size);
@@ -150,6 +174,17 @@ Verdict UtrpServer::verify(const UtrpChallenge& challenge,
   if (verdict.mismatched_slots != 0) {
     verdict.first_mismatch_slot = *expected.first_difference(reported);
   }
+  if (instruments_.slots != nullptr) {
+    instruments_.slots->inc(challenge.frame_size);
+    instruments_.mismatched_slots->inc(verdict.mismatched_slots);
+    if (!deadline_met) {
+      instruments_.rounds_deadline_missed->inc();
+    } else if (verdict.intact) {
+      instruments_.rounds_intact->inc();
+    } else {
+      instruments_.rounds_mismatch->inc();
+    }
+  }
   return verdict;
 }
 
@@ -161,7 +196,10 @@ void UtrpServer::commit_round(const UtrpChallenge& challenge,
     needs_resync_ = true;
     return;
   }
-  (void)utrp_scan(mirror_, hasher_, challenge);
+  const UtrpScanResult replay = utrp_scan(mirror_, hasher_, challenge);
+  if (instruments_.mirror_reseeds != nullptr) {
+    instruments_.mirror_reseeds->inc(replay.reseeds);
+  }
 }
 
 void UtrpServer::resync(const tag::TagSet& audited) {

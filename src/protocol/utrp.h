@@ -33,6 +33,7 @@
 #include "bitstring/bitstring.h"
 #include "hash/slot_hash.h"
 #include "math/frame_optimizer.h"
+#include "obs/metrics.h"
 #include "protocol/messages.h"
 #include "protocol/trp.h"
 #include "radio/channel.h"
@@ -125,13 +126,33 @@ class UtrpServer {
     return mirror_;
   }
 
+  /// Attaches an observability registry: issue_challenge/verify/commit_round
+  /// start recording challenges, round outcomes (intact | mismatch |
+  /// deadline_missed), slot totals, frame sizes, and mirror-side re-seed
+  /// replays under protocol="utrp". Pass nullptr to detach. The registry
+  /// must outlive this server.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
+  /// Cached series handles; null when no registry is attached.
+  struct Instruments {
+    obs::Counter* challenges = nullptr;
+    obs::Counter* rounds_intact = nullptr;
+    obs::Counter* rounds_mismatch = nullptr;
+    obs::Counter* rounds_deadline_missed = nullptr;
+    obs::Counter* slots = nullptr;
+    obs::Counter* mismatched_slots = nullptr;
+    obs::Counter* mirror_reseeds = nullptr;
+    obs::Histogram* frame_size = nullptr;
+  };
+
   std::vector<tag::Tag> mirror_;  // IDs + counters as the server believes them
   MonitoringPolicy policy_;
   std::uint64_t comm_budget_;
   hash::SlotHasher hasher_;
   math::UtrpPlan plan_;
   bool needs_resync_ = false;
+  Instruments instruments_;
 };
 
 class UtrpReader {

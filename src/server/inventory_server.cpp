@@ -1,8 +1,18 @@
 #include "server/inventory_server.h"
 
+#include "obs/catalog.h"
 #include "util/expect.h"
 
 namespace rfid::server {
+
+namespace {
+
+/// Lowercase protocol label shared with the protocol engines' own series.
+[[nodiscard]] std::string_view protocol_label(ProtocolKind kind) noexcept {
+  return kind == ProtocolKind::kTrp ? "trp" : "utrp";
+}
+
+}  // namespace
 
 std::string_view to_string(ProtocolKind kind) noexcept {
   switch (kind) {
@@ -31,7 +41,21 @@ GroupId InventoryServer::enroll(const tag::TagSet& tags, GroupConfig config) {
                                 config.slack_slots, hasher_);
     groups_.push_back(Group{std::move(config), std::move(engine), 0});
   }
+  if (metrics_ != nullptr) {
+    Group& g = groups_.back();
+    std::visit([&](auto& engine) { engine.set_metrics(metrics_); }, g.engine);
+    obs::catalog::groups_enrolled_total(*metrics_,
+                                        protocol_label(g.config.protocol))
+        .inc();
+  }
   return id;
+}
+
+void InventoryServer::attach_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  for (Group& g : groups_) {
+    std::visit([&](auto& engine) { engine.set_metrics(registry); }, g.engine);
+  }
 }
 
 const InventoryServer::Group& InventoryServer::group(GroupId id) const {
@@ -84,6 +108,11 @@ protocol::Verdict InventoryServer::submit_trp(
   RFID_EXPECT(trp != nullptr, "group is not a TRP group");
   const protocol::Verdict verdict = trp->verify(challenge, reported);
   ++g.rounds;
+  if (metrics_ != nullptr) {
+    obs::catalog::verdicts_total(*metrics_, "trp",
+                                 verdict.intact ? "intact" : "violated")
+        .inc();
+  }
   if (!verdict.intact) record_alert(id, verdict, reported);
   return verdict;
 }
@@ -105,6 +134,11 @@ protocol::Verdict InventoryServer::submit_utrp(
   const protocol::Verdict verdict = utrp->verify(challenge, reported, deadline_met);
   utrp->commit_round(challenge, verdict);
   ++g.rounds;
+  if (metrics_ != nullptr) {
+    obs::catalog::verdicts_total(*metrics_, "utrp",
+                                 verdict.intact ? "intact" : "violated")
+        .inc();
+  }
   if (!verdict.intact) record_alert(id, verdict, reported);
   return verdict;
 }
@@ -132,6 +166,10 @@ void InventoryServer::resync(GroupId id, const tag::TagSet& audited) {
   alert.enrolled_size = utrp->group_size();
   alert.estimated_present = static_cast<double>(audited.size());
   alerts_.push_back(std::move(alert));
+  if (metrics_ != nullptr) {
+    obs::catalog::alerts_total(*metrics_, "resync").inc();
+    obs::catalog::resyncs_total(*metrics_).inc();
+  }
 }
 
 tag::TagSet InventoryServer::utrp_mirror(GroupId id) const {
@@ -196,6 +234,9 @@ void InventoryServer::record_alert(GroupId id, const protocol::Verdict& verdict,
   alert.enrolled_size = group_size(id);
   alert.estimated_present = estimate::estimate_cardinality(reported).estimate;
   alerts_.push_back(std::move(alert));
+  if (metrics_ != nullptr) {
+    obs::catalog::alerts_total(*metrics_, "round_failure").inc();
+  }
 }
 
 }  // namespace rfid::server

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "estimate/cardinality.h"
+#include "obs/metrics.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
 #include "util/random.h"
@@ -132,6 +133,12 @@ class InventoryServer {
   void restore_history(std::vector<Alert> alerts,
                        const std::vector<GroupState>& states);
 
+  /// Attaches an observability registry to this server and every enrolled
+  /// protocol engine (present and future): verdicts, alerts, resyncs, and
+  /// enrollments are counted, and engines record their per-round series.
+  /// Pass nullptr to detach. The registry must outlive this server.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Group {
     GroupConfig config;
@@ -148,6 +155,7 @@ class InventoryServer {
   std::vector<Group> groups_;
   std::vector<Alert> alerts_;
   std::uint64_t next_alert_sequence_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace rfid::server

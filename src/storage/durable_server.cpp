@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/catalog.h"
 #include "util/expect.h"
 
 namespace rfid::storage {
@@ -36,7 +37,36 @@ DurableInventoryServer::DurableInventoryServer(StorageBackend& backend,
       server_(hasher) {
   RFID_EXPECT(config_.keep_generations >= 1, "must keep at least one generation");
   RFID_EXPECT(!config_.prefix.empty(), "prefix must be non-empty");
+  if (config_.metrics != nullptr) {
+    namespace cat = obs::catalog;
+    obs::MetricsRegistry& reg = *config_.metrics;
+    instruments_.journal_appends = &cat::journal_appends_total(reg);
+    instruments_.journal_bytes = &cat::journal_bytes_total(reg);
+    instruments_.journal_append_failures =
+        &cat::journal_append_failures_total(reg);
+    instruments_.rotations = &cat::snapshot_rotations_total(reg);
+    if (!config_.clock) config_.clock = obs::Clock(obs::steady_now_us);
+  }
+  const double recovery_start_us =
+      config_.clock ? config_.clock() : 0.0;
   recover();
+  if (config_.metrics != nullptr) {
+    record_recovery_metrics(config_.clock() - recovery_start_us);
+    // Attach the wrapped server only now: replaying the journal above must
+    // not re-count historical rounds as live verdict/alert traffic.
+    server_.attach_metrics(config_.metrics);
+  }
+}
+
+void DurableInventoryServer::record_recovery_metrics(double duration_us) {
+  namespace cat = obs::catalog;
+  obs::MetricsRegistry& reg = *config_.metrics;
+  cat::recoveries_total(reg, recovery_.clean() ? "true" : "false").inc();
+  cat::recovery_duration_us(reg).observe(duration_us);
+  cat::recovery_records_replayed_total(reg).inc(recovery_.records_replayed);
+  cat::recovery_truncated_bytes_total(reg).inc(recovery_.truncated_bytes);
+  cat::recovery_snapshots_skipped_total(reg).inc(recovery_.snapshots_skipped);
+  if (recovery_.rotated_after_recovery) cat::recovery_healed_total(reg).inc();
 }
 
 std::string DurableInventoryServer::snapshot_name(std::uint64_t generation) const {
@@ -172,10 +202,14 @@ void DurableInventoryServer::journal_append(const JournalRecord& record) {
     rotate();
   }
   const std::string name = journal_name(generation_);
+  const std::string encoded = encode_record(record);
   try {
-    backend_.append(name, encode_record(record));
+    backend_.append(name, encoded);
     backend_.flush(name);
   } catch (const IoError&) {
+    if (instruments_.journal_append_failures != nullptr) {
+      instruments_.journal_append_failures->inc();
+    }
     // The failed append may have landed a torn prefix, and a torn frame
     // swallows every record behind it (scan_journal truncates there). Abandon
     // this journal by checkpointing onto a fresh generation, then surface the
@@ -186,6 +220,10 @@ void DurableInventoryServer::journal_append(const JournalRecord& record) {
     throw;
   }
   ++journal_records_;
+  if (instruments_.journal_appends != nullptr) {
+    instruments_.journal_appends->inc();
+    instruments_.journal_bytes->inc(encoded.size());
+  }
 }
 
 server::GroupId DurableInventoryServer::enroll(const tag::TagSet& tags,
@@ -251,6 +289,7 @@ void DurableInventoryServer::rotate() {
   backend_.flush(journal_name(next));
   generation_ = next;
   journal_records_ = 0;
+  if (instruments_.rotations != nullptr) instruments_.rotations->inc();
   remove_stale_generations();
 }
 

@@ -30,6 +30,8 @@
 #include <optional>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/backend.h"
 #include "storage/journal.h"
 #include "storage/server_state.h"
@@ -44,6 +46,15 @@ struct DurabilityConfig {
   /// Generations retained after a rotation (>= 1). Two generations let
   /// recovery fall back across a rotted snapshot without losing history.
   std::uint32_t keep_generations = 2;
+  /// Optional observability (not owned; must outlive the server). Records
+  /// journal appends/bytes/failures, rotations, and the recovery series;
+  /// also attaches the wrapped InventoryServer to the registry — but only
+  /// AFTER recovery completes, so journal replay does not re-count
+  /// historical rounds as live traffic.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Clock (microseconds) used to time recovery. Empty = the process steady
+  /// clock; inject a manual clock for deterministic tests.
+  obs::Clock clock = {};
 };
 
 /// What recovery found and did — surfaced so operators (and tests) can tell
@@ -118,6 +129,15 @@ class DurableInventoryServer {
   void journal_append(const JournalRecord& record);
   void replay(const JournalRecord& record);
   void remove_stale_generations();
+  void record_recovery_metrics(double duration_us);
+
+  /// Cached series handles; null when DurabilityConfig carried no registry.
+  struct Instruments {
+    obs::Counter* journal_appends = nullptr;
+    obs::Counter* journal_bytes = nullptr;
+    obs::Counter* journal_append_failures = nullptr;
+    obs::Counter* rotations = nullptr;
+  };
 
   StorageBackend& backend_;
   DurabilityConfig config_;
@@ -126,6 +146,7 @@ class DurableInventoryServer {
   RecoveryReport recovery_;
   std::uint64_t generation_ = 0;
   std::uint64_t journal_records_ = 0;
+  Instruments instruments_;
 };
 
 }  // namespace rfid::storage

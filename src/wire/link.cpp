@@ -2,9 +2,17 @@
 
 #include <utility>
 
+#include "obs/catalog.h"
 #include "util/expect.h"
 
 namespace rfid::wire {
+
+void Link::attach_metrics(obs::MetricsRegistry& registry,
+                          std::string_view direction) {
+  frames_counter_ = &obs::catalog::frames_sent_total(registry, direction);
+  bytes_counter_ = &obs::catalog::bytes_sent_total(registry, direction);
+  dropped_counter_ = &obs::catalog::frames_dropped_total(registry, direction);
+}
 
 double Link::delivery_delay() noexcept {
   double delay = config_.latency_us;
@@ -15,10 +23,15 @@ double Link::delivery_delay() noexcept {
 bool Link::send(std::vector<std::byte> frame, const Handler& deliver) {
   RFID_EXPECT(deliver != nullptr, "null delivery handler");
   ++sent_;
+  if (frames_counter_ != nullptr) {
+    frames_counter_->inc();
+    bytes_counter_->inc(frame.size());
+  }
   fault::FrameFate fate;
   if (injector_ != nullptr) fate = injector_->on_frame();
   if (fate.drop || (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob))) {
     ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
     return false;
   }
   if (fate.corrupt && !frame.empty()) injector_->corrupt(frame);
@@ -26,6 +39,10 @@ bool Link::send(std::vector<std::byte> frame, const Handler& deliver) {
     // The duplicate takes its own independently-jittered path, so it can
     // arrive before or after the original — receivers must stay idempotent.
     ++sent_;
+    if (frames_counter_ != nullptr) {
+      frames_counter_->inc();
+      bytes_counter_->inc(frame.size());
+    }
     queue_.schedule_after(delivery_delay(),
                           [deliver, payload = frame]() mutable {
                             deliver(std::move(payload));

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "util/random.h"
 
@@ -49,6 +50,11 @@ class Link {
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
 
+  /// Starts recording frames/bytes/drops under the given direction label
+  /// ("uplink" / "downlink"). Resolves the series once here; send() then
+  /// only touches cached atomics. The registry must outlive this link.
+  void attach_metrics(obs::MetricsRegistry& registry, std::string_view direction);
+
  private:
   [[nodiscard]] double delivery_delay() noexcept;
 
@@ -58,6 +64,9 @@ class Link {
   fault::FaultInjector* injector_;  // not owned; may be null
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  obs::Counter* frames_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
 };
 
 }  // namespace rfid::wire

@@ -6,8 +6,10 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "obs/catalog.h"
 #include "util/expect.h"
 
 namespace rfid::wire {
@@ -40,6 +42,7 @@ struct TrpAdapter {
   const SessionConfig& config;
 
   using Challenge = protocol::TrpChallenge;
+  static constexpr std::string_view kProtocol{"trp"};
 
   [[nodiscard]] Challenge issue(util::Rng& rng) const {
     return server.issue_challenge(rng);
@@ -60,10 +63,17 @@ struct TrpAdapter {
   [[nodiscard]] std::pair<bits::Bitstring, double> scan(const Challenge& c,
                                                         util::Rng& rng) const {
     const protocol::TrpReader reader;
-    const auto obs = reader.scan_observed(present, c, rng);
-    const double us = config.timing.trp_scan_us(
-        obs.empty_slots, obs.single_slots + obs.collision_slots);
-    return {obs.bitstring, us};
+    const auto observed = reader.scan_observed(present, c, rng);
+    const std::uint64_t replies =
+        observed.single_slots + observed.collision_slots;
+    if (config.metrics != nullptr) {
+      obs::catalog::scan_slots_total(*config.metrics, kProtocol, "empty")
+          .inc(observed.empty_slots);
+      obs::catalog::scan_slots_total(*config.metrics, kProtocol, "reply")
+          .inc(replies);
+    }
+    const double us = config.timing.trp_scan_us(observed.empty_slots, replies);
+    return {observed.bitstring, us};
   }
   [[nodiscard]] protocol::Verdict verify(const Challenge& c,
                                          const bits::Bitstring& bs,
@@ -78,6 +88,7 @@ struct UtrpAdapter {
   const SessionConfig& config;
 
   using Challenge = protocol::UtrpChallenge;
+  static constexpr std::string_view kProtocol{"utrp"};
 
   [[nodiscard]] Challenge issue(util::Rng& rng) const {
     return server.issue_challenge(rng);
@@ -99,6 +110,13 @@ struct UtrpAdapter {
     for (tag::Tag& t : present) t.begin_round();
     const auto result = protocol::utrp_scan(present, hash::SlotHasher{}, c);
     const std::uint64_t occupied = result.bitstring.count();
+    if (config.metrics != nullptr) {
+      obs::catalog::scan_slots_total(*config.metrics, kProtocol, "empty")
+          .inc(c.frame_size - occupied);
+      obs::catalog::scan_slots_total(*config.metrics, kProtocol, "reply")
+          .inc(occupied);
+      obs::catalog::reseeds_total(*config.metrics, "reader").inc(result.reseeds);
+    }
     const double us = config.timing.utrp_scan_us(
         c.frame_size - occupied, occupied, result.reseeds);
     return {result.bitstring, us};
@@ -157,6 +175,12 @@ struct SessionState {
 
   SessionOutcome outcome;
 
+  // --- observability (all optional; see SessionConfig) --------------------
+  obs::Counter* retrans_counter = nullptr;
+  std::uint64_t session_span = obs::Tracer::kNoSpan;
+  std::uint64_t round_span = obs::Tracer::kNoSpan;
+  std::uint64_t scan_span = obs::Tracer::kNoSpan;
+
   SessionState(sim::EventQueue& q, Adapter a, std::uint64_t rounds,
                const SessionConfig& cfg, util::Rng& r)
       : queue(q),
@@ -169,11 +193,27 @@ struct SessionState {
                      : std::nullopt),
         uplink(q, cfg.uplink, r, injector ? &*injector : nullptr),
         downlink(q, cfg.downlink, r, injector ? &*injector : nullptr),
-        total_rounds(rounds) {}
+        total_rounds(rounds) {
+    if (cfg.metrics != nullptr) {
+      uplink.attach_metrics(*cfg.metrics, "uplink");
+      downlink.attach_metrics(*cfg.metrics, "downlink");
+      retrans_counter = &obs::catalog::retransmissions_total(*cfg.metrics);
+    }
+    if (cfg.tracer != nullptr) {
+      session_span = cfg.tracer->begin_span("session");
+      cfg.tracer->annotate(session_span, "protocol", Adapter::kProtocol);
+      cfg.tracer->annotate(session_span, "group", cfg.group_name);
+    }
+  }
 
   void begin_round_clock() {
     round_started_at_us = queue.now();
     round_corrupt_base = outcome.corrupt_frames_dropped;
+    if (config.tracer != nullptr) {
+      config.tracer->end_span(round_span);  // no-op on the first round
+      round_span = config.tracer->begin_span("round", session_span);
+      config.tracer->annotate(round_span, "round", std::to_string(round));
+    }
   }
 };
 
@@ -238,6 +278,7 @@ void arm_timeout(const StatePtr<Adapter>& state) {
         }
         ++state->retries;
         ++state->retransmissions;
+        if (state->retrans_counter != nullptr) state->retrans_counter->inc();
         if (state->phase == Phase::kRequesting) {
           reader_send_request(state);
         } else if (state->phase == Phase::kReporting) {
@@ -269,6 +310,10 @@ void server_send(const StatePtr<Adapter>& state, std::vector<std::byte> frame) {
             ++state->generation;
             state->retries = 0;
 
+            if (state->config.tracer != nullptr) {
+              state->scan_span =
+                  state->config.tracer->begin_span("scan", state->round_span);
+            }
             auto [bitstring, scan_us] =
                 state->adapter.scan(challenge, state->rng);
             state->pending_report = BitstringReport{
@@ -279,6 +324,9 @@ void server_send(const StatePtr<Adapter>& state, std::vector<std::byte> frame) {
               if (state->generation != scan_generation ||
                   state->phase != Phase::kScanning) {
                 return;  // crashed (or otherwise moved on) mid-scan
+              }
+              if (state->config.tracer != nullptr) {
+                state->config.tracer->end_span(state->scan_span);
               }
               state->phase = Phase::kReporting;
               ++state->generation;
@@ -408,6 +456,7 @@ SessionOutcome run_session(sim::EventQueue& queue, Adapter adapter,
   auto state = std::make_shared<SessionState<Adapter>>(
       queue, std::move(adapter), rounds, config, rng);
   if (state->injector) schedule_crashes(state);
+  const double started_at_us = queue.now();
   state->begin_round_clock();
   reader_send_request(state);
   (void)queue.run();
@@ -429,6 +478,54 @@ SessionOutcome run_session(sim::EventQueue& queue, Adapter adapter,
       state->outcome.round_failures.push_back(
           {state->round, FailureReason::kCrashed});
     }
+  }
+
+  // Observability epilogue: close any spans a failure path left open
+  // (end_span is idempotent), then record the session-level series.
+  if (config.tracer != nullptr) {
+    config.tracer->end_span(state->scan_span);
+    config.tracer->end_span(state->round_span);
+    config.tracer->end_span(state->session_span);
+  }
+  const std::string_view outcome_label = state->outcome.completed
+                                             ? std::string_view("completed")
+                                             : to_string(state->outcome.failure);
+  if (config.metrics != nullptr) {
+    namespace cat = obs::catalog;
+    obs::MetricsRegistry& reg = *config.metrics;
+    cat::sessions_total(reg, Adapter::kProtocol, outcome_label).inc();
+    cat::session_duration_us(reg, Adapter::kProtocol)
+        .observe(state->outcome.finished_at_us - started_at_us);
+    for (const RoundFailure& failure : state->outcome.round_failures) {
+      cat::round_failures_total(reg, to_string(failure.reason)).inc();
+    }
+    cat::corrupt_frames_rejected_total(reg).inc(
+        state->outcome.corrupt_frames_dropped);
+    if (state->injector) {
+      cat::faults_injected_total(reg, "burst_drop")
+          .inc(state->outcome.burst_frames_dropped);
+      cat::faults_injected_total(reg, "corrupt")
+          .inc(state->injector->corrupted());
+      cat::faults_injected_total(reg, "duplicate")
+          .inc(state->outcome.frames_duplicated);
+      cat::faults_injected_total(reg, "reorder")
+          .inc(state->outcome.frames_reordered);
+      cat::faults_injected_total(reg, "reader_crash")
+          .inc(state->outcome.reader_crashes);
+    }
+  }
+  if (config.session_log != nullptr) {
+    obs::SessionSummary summary;
+    summary.protocol = std::string(Adapter::kProtocol);
+    summary.group = config.group_name;
+    summary.completed = state->outcome.completed;
+    summary.outcome = std::string(outcome_label);
+    summary.rounds_completed = state->outcome.rounds_completed;
+    summary.round_failures = state->outcome.round_failures.size();
+    summary.frames_sent = state->outcome.frames_sent;
+    summary.retransmissions = state->outcome.retransmissions;
+    summary.duration_us = state->outcome.finished_at_us - started_at_us;
+    config.session_log->record(std::move(summary));
   }
   return state->outcome;
 }

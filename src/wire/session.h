@@ -36,6 +36,9 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/session_log.h"
+#include "obs/trace.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
 #include "radio/timing.h"
@@ -67,6 +70,14 @@ struct SessionConfig {
   /// Optional scripted faults (not owned; must outlive the session run).
   /// Crash windows are in absolute queue time and must not lie in the past.
   const fault::FaultPlan* faults = nullptr;
+  /// Optional observability hooks (none owned; each must outlive the run).
+  /// `metrics` turns on link/scan/retry counters plus the session epilogue
+  /// series; `tracer` records a session → round → scan span tree (construct
+  /// it with the queue's clock for deterministic timestamps); `session_log`
+  /// receives one SessionSummary per run.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::SessionLog* session_log = nullptr;
 };
 
 /// Why a round did not produce a clean, on-time verdict.

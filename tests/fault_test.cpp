@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
 #include "tag/tag_set.h"
@@ -303,6 +305,53 @@ TEST(FaultSession, ReaderCrashRestartResumesViaChallengeCache) {
   for (const auto& verdict : outcome.verdicts) EXPECT_TRUE(verdict.intact);
   EXPECT_EQ(outcome.reader_crashes, 1u);
   EXPECT_GT(outcome.burst_frames_dropped, 0u);
+}
+
+TEST(FaultSession, ObservabilityCountersMatchOutcomeUnderFaults) {
+  // The acceptance scenario again, with a MetricsRegistry attached: every
+  // fault the injector delivered and every retransmission the endpoints
+  // performed must be visible in the counters, agreeing exactly with the
+  // outcome's own accounting.
+  sim::EventQueue queue;
+  util::Rng rng(36);
+  const tag::TagSet set = tag::TagSet::make_random(200, rng);
+  const protocol::TrpServer server(set.ids(),
+                                   {.tolerated_missing = 5, .confidence = 0.95});
+  const fault::FaultPlan plan = fault::parse_fault_plan(
+      "seed 99\n"
+      "burst 0.05 0.2\n"
+      "corrupt 0.05\n"
+      "duplicate 0.2\n"
+      "reorder 0.2 5000\n"
+      "crash 50000 90000\n");
+  obs::MetricsRegistry reg;
+  wire::SessionConfig config;
+  config.max_retries = 40;
+  config.faults = &plan;
+  config.metrics = &reg;
+  const auto outcome =
+      wire::run_trp_session(queue, server, set.tags(), 4, config, rng);
+  ASSERT_TRUE(outcome.completed);
+
+  namespace cat = obs::catalog;
+  EXPECT_EQ(cat::faults_injected_total(reg, "burst_drop").value(),
+            outcome.burst_frames_dropped);
+  EXPECT_EQ(cat::faults_injected_total(reg, "duplicate").value(),
+            outcome.frames_duplicated);
+  EXPECT_EQ(cat::faults_injected_total(reg, "reorder").value(),
+            outcome.frames_reordered);
+  EXPECT_EQ(cat::faults_injected_total(reg, "reader_crash").value(),
+            outcome.reader_crashes);
+  EXPECT_EQ(cat::corrupt_frames_rejected_total(reg).value(),
+            outcome.corrupt_frames_dropped);
+  EXPECT_EQ(cat::retransmissions_total(reg).value(), outcome.retransmissions);
+  EXPECT_EQ(cat::sessions_total(reg, "trp", "completed").value(), 1u);
+  EXPECT_EQ(cat::frames_sent_total(reg, "uplink").value() +
+                cat::frames_sent_total(reg, "downlink").value(),
+            outcome.frames_sent);
+  // The scenario is deterministic, so the faults really fired.
+  EXPECT_GT(outcome.burst_frames_dropped, 0u);
+  EXPECT_EQ(outcome.reader_crashes, 1u);
 }
 
 TEST(FaultSession, CrashWithoutRestartReportsCrashed) {

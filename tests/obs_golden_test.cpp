@@ -1,0 +1,179 @@
+// Golden-file lockdown of the exposition formats. One fully seeded scenario
+// — a TRP wire session under injected faults, a UTRP wire session, and a
+// durable server that survives bit rot on its journal tail — is rendered to
+// Prometheus text and JSON and compared byte-for-byte against
+// tests/golden/metrics_*.txt. Any drift in the metric catalog, the counter
+// semantics, or the renderers shows up as a diff here.
+//
+// After an INTENTIONAL change, regenerate with scripts/regen_golden.sh
+// (which runs this binary with RFIDMON_REGEN_GOLDEN=1) and review the diff
+// like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/fault.h"
+#include "obs/expose.h"
+#include "obs/metrics.h"
+#include "obs/session_log.h"
+#include "obs/trace.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "server/inventory_server.h"
+#include "sim/event_queue.h"
+#include "storage/backend.h"
+#include "storage/durable_server.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "wire/session.h"
+
+#ifndef RFIDMON_GOLDEN_DIR
+#error "RFIDMON_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace {
+
+using namespace rfid;
+
+/// Deterministic end-to-end scenario. Every random stream is seeded, the
+/// tracer runs on the event-queue clock, and the storage layer gets a manual
+/// clock — nothing here reads wall time, so the rendered output is stable
+/// across runs and machines.
+struct Scenario {
+  obs::MetricsRegistry registry;
+  obs::SessionLog session_log{8};
+
+  void run() {
+    sim::EventQueue queue;
+    obs::Tracer tracer([&queue] { return queue.now(); });
+
+    // --- TRP session over faulty links -------------------------------
+    {
+      util::Rng rng(1001);
+      const tag::TagSet set = tag::TagSet::make_random(150, rng);
+      protocol::TrpServer server(set.ids(),
+                                 {.tolerated_missing = 3, .confidence = 0.95});
+      server.set_metrics(&registry);
+      const fault::FaultPlan plan = fault::parse_fault_plan(
+          "seed 77\n"
+          "burst 0.3 0.3\n"
+          "corrupt 0.1\n"
+          "duplicate 0.3\n");
+      wire::SessionConfig config;
+      config.max_retries = 30;
+      config.faults = &plan;
+      config.metrics = &registry;
+      config.tracer = &tracer;
+      config.session_log = &session_log;
+      config.group_name = "shelf-razors";
+      const auto outcome =
+          wire::run_trp_session(queue, server, set.tags(), 3, config, rng);
+      ASSERT_TRUE(outcome.completed);
+    }
+
+    // --- UTRP session on clean links ---------------------------------
+    {
+      util::Rng rng(1002);
+      tag::TagSet set = tag::TagSet::make_random(80, rng);
+      protocol::UtrpServer server(
+          set, {.tolerated_missing = 2, .confidence = 0.9}, 20);
+      server.set_metrics(&registry);
+      wire::SessionConfig config;
+      config.metrics = &registry;
+      config.tracer = &tracer;
+      config.session_log = &session_log;
+      config.group_name = "pallet-area";
+      config.utrp_deadline_us = 10e6;
+      const auto outcome =
+          wire::run_utrp_session(queue, server, set.tags(), 2, config, rng);
+      ASSERT_TRUE(outcome.completed);
+    }
+
+    // --- Durable server: rounds, rotation, bit rot, healed recovery --
+    storage::MemoryBackend backend;
+    {
+      util::Rng rng(1003);
+      const tag::TagSet set = tag::TagSet::make_random(60, rng);
+      double now = 0.0;
+      storage::DurabilityConfig dcfg;
+      dcfg.metrics = &registry;
+      dcfg.clock = [&now] { return now += 125.0; };
+      storage::DurableInventoryServer durable(backend, dcfg);
+      server::GroupConfig cfg;
+      cfg.name = "backroom";
+      cfg.policy = {.tolerated_missing = 1, .confidence = 0.9};
+      const auto id = durable.enroll(set, cfg);
+      const protocol::TrpServer oracle(set.ids(), cfg.policy);
+      for (int round = 0; round < 2; ++round) {
+        const auto challenge = durable.challenge_trp(id, rng);
+        (void)durable.submit_trp(id, challenge,
+                                 oracle.expected_bitstring(challenge));
+      }
+      durable.rotate();
+      const auto challenge = durable.challenge_trp(id, rng);
+      (void)durable.submit_trp(id, challenge,
+                               oracle.expected_bitstring(challenge));
+      // Power cut, then bit rot on the journal tail: the reopen below must
+      // truncate the rotted record and re-checkpoint — an unclean recovery.
+      backend.crash();
+      backend.corrupt_durable(durable.journal_name(durable.generation()),
+                              /*offset=*/5, /*bit=*/3);
+    }
+    {
+      double now = 0.0;
+      storage::DurabilityConfig dcfg;
+      dcfg.metrics = &registry;
+      dcfg.clock = [&now] { return now += 400.0; };
+      const storage::DurableInventoryServer reopened(backend, dcfg);
+      ASSERT_FALSE(reopened.recovery_report().clean());
+      ASSERT_GT(reopened.recovery_report().truncated_bytes, 0u);
+      ASSERT_EQ(reopened.server().group_count(), 1u);
+    }
+  }
+};
+
+[[nodiscard]] std::string golden_path(const std::string& file) {
+  return std::string(RFIDMON_GOLDEN_DIR) + "/" + file;
+}
+
+[[nodiscard]] bool regen_requested() {
+  const char* env = std::getenv("RFIDMON_REGEN_GOLDEN");
+  return env != nullptr && std::string_view(env) == "1";
+}
+
+void compare_or_regen(const std::string& file, const std::string& actual) {
+  const std::string path = golden_path(file);
+  if (regen_requested()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    ASSERT_TRUE(out.good());
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run scripts/regen_golden.sh to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "exposition drifted from " << path
+      << "; if intentional, regenerate via scripts/regen_golden.sh and "
+         "review the diff";
+}
+
+TEST(ObsGolden, PrometheusAndJsonMatchGoldenFiles) {
+  Scenario scenario;
+  scenario.run();
+  if (HasFatalFailure()) return;
+  const obs::Snapshot snapshot = scenario.registry.snapshot();
+  compare_or_regen("metrics_prometheus.txt", obs::render_prometheus(snapshot));
+  compare_or_regen("metrics_json.txt",
+                   obs::render_json(snapshot, &scenario.session_log));
+}
+
+}  // namespace

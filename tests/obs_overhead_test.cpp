@@ -1,0 +1,80 @@
+// Perf smoke test: attaching a MetricsRegistry must not slow the TRP hot
+// path by more than 5%. The instrumented round adds a handful of relaxed
+// atomic increments to a frame-sized verification loop, so the real budget
+// is far below the asserted ceiling — this test exists to catch an
+// accidental reintroduction of per-round family lookups (mutex + map) into
+// the hot path. bench/micro_obs.cpp measures the same thing with
+// statistical rigor; here we take min-of-trials to shrug off scheduler
+// noise and keep CI green.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "protocol/trp.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace rfid;
+
+/// Wall time for `rounds` full TRP rounds (challenge + expected + verify).
+[[nodiscard]] double run_rounds_us(const protocol::TrpServer& server,
+                                   std::uint64_t rounds, util::Rng& rng,
+                                   std::uint64_t& sink) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    const auto challenge = server.issue_challenge(rng);
+    const auto expected = server.expected_bitstring(challenge);
+    const auto verdict = server.verify(challenge, expected);
+    sink += verdict.intact ? challenge.frame_size : 0;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+TEST(ObsOverhead, InstrumentedTrpRoundWithinFivePercent) {
+#if defined(RFIDMON_SANITIZED_BUILD)
+  GTEST_SKIP() << "timing is meaningless under sanitizers";
+#elif defined(RFIDMON_UNOPTIMIZED_BUILD)
+  GTEST_SKIP() << "timing is meaningless without optimization";
+#else
+  util::Rng rng(404);
+  const tag::TagSet set = tag::TagSet::make_random(500, rng);
+  protocol::TrpServer server(set.ids(),
+                             {.tolerated_missing = 5, .confidence = 0.95});
+  obs::MetricsRegistry registry;
+  constexpr std::uint64_t kRounds = 400;
+  constexpr int kTrials = 7;
+  std::uint64_t sink = 0;
+
+  // Warm-up: fault in code and allocator state before either timer runs.
+  (void)run_rounds_us(server, kRounds / 4, rng, sink);
+
+  double plain_us = std::numeric_limits<double>::infinity();
+  double instrumented_us = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < kTrials; ++trial) {
+    server.set_metrics(nullptr);
+    plain_us = std::min(plain_us, run_rounds_us(server, kRounds, rng, sink));
+    server.set_metrics(&registry);
+    instrumented_us =
+        std::min(instrumented_us, run_rounds_us(server, kRounds, rng, sink));
+  }
+  ASSERT_GT(sink, 0u);  // defeat dead-code elimination
+  ASSERT_GT(plain_us, 0.0);
+
+  const double overhead = instrumented_us / plain_us - 1.0;
+  RecordProperty("plain_us", static_cast<int>(plain_us));
+  RecordProperty("instrumented_us", static_cast<int>(instrumented_us));
+  EXPECT_LT(overhead, 0.05)
+      << "instrumented=" << instrumented_us << "us plain=" << plain_us
+      << "us — did a family lookup sneak into the hot path?";
+#endif
+}
+
+}  // namespace

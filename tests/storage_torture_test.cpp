@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "fault/storage_fault.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
 #include "storage/backend.h"
@@ -221,6 +223,77 @@ TEST(StorageTorture, BitRotAtRestRecoversToSomeRecordedState) {
     for (const std::string& s : rec.fingerprints) known = known || fp == s;
     EXPECT_TRUE(known) << "trial " << trial
                        << ": recovered state matches no recorded state";
+  }
+}
+
+TEST(StorageTorture, ObservabilityCountersMatchJournalAndRecoveryReports) {
+  namespace cat = rfid::obs::catalog;
+
+  // Reference run with a registry attached: the journal counters must agree
+  // with the workload shape — 10 mutations, one of which is the rotation
+  // (not a journal record), so 9 appends and 1 rotation.
+  MemoryBackend inner;
+  {
+    rfid::obs::MetricsRegistry reg;
+    rfid::storage::DurabilityConfig dcfg;
+    dcfg.metrics = &reg;
+    DurableInventoryServer durable(inner, dcfg);
+    run_workload(durable, [] {});
+    EXPECT_EQ(cat::journal_appends_total(reg).value(), 9u);
+    EXPECT_EQ(cat::snapshot_rotations_total(reg).value(), 1u);
+    EXPECT_GT(cat::journal_bytes_total(reg).value(), 0u);
+    EXPECT_EQ(cat::journal_append_failures_total(reg).value(), 0u);
+    EXPECT_EQ(cat::recoveries_total(reg, "true").value(), 1u);
+  }
+
+  // Now damage the store and reopen with a fresh registry: every recovery
+  // counter must equal the corresponding RecoveryReport field, clean or not.
+  for (int trial = 0; trial < 4; ++trial) {
+    MemoryBackend backend;
+    {
+      DurableInventoryServer durable(backend);
+      run_workload(durable, [] {});
+    }
+    if (trial > 0) {
+      // Rot one durable bit per journal/snapshot file (trial 0 stays clean).
+      for (const std::string& name : backend.list()) {
+        const std::uint64_t size = backend.durable_bytes(name).size();
+        if (size == 0) continue;
+        backend.corrupt_durable(name, size / 3 + static_cast<std::uint64_t>(trial),
+                                static_cast<unsigned>(trial));
+      }
+    }
+
+    rfid::obs::MetricsRegistry reg;
+    rfid::storage::DurabilityConfig dcfg;
+    dcfg.metrics = &reg;
+    double now = 0.0;
+    dcfg.clock = [&now] { return now += 50.0; };
+    const DurableInventoryServer recovered(backend, dcfg);
+    const rfid::storage::RecoveryReport& report = recovered.recovery_report();
+
+    EXPECT_EQ(cat::recoveries_total(reg, report.clean() ? "true" : "false")
+                  .value(),
+              1u)
+        << "trial " << trial;
+    EXPECT_EQ(cat::recoveries_total(reg, report.clean() ? "false" : "true")
+                  .value(),
+              0u)
+        << "trial " << trial;
+    EXPECT_EQ(cat::recovery_records_replayed_total(reg).value(),
+              report.records_replayed)
+        << "trial " << trial;
+    EXPECT_EQ(cat::recovery_truncated_bytes_total(reg).value(),
+              report.truncated_bytes)
+        << "trial " << trial;
+    EXPECT_EQ(cat::recovery_snapshots_skipped_total(reg).value(),
+              report.snapshots_skipped)
+        << "trial " << trial;
+    EXPECT_EQ(cat::recovery_healed_total(reg).value(),
+              report.rotated_after_recovery ? 1u : 0u)
+        << "trial " << trial;
+    EXPECT_EQ(cat::recovery_duration_us(reg).count(), 1u);
+    EXPECT_DOUBLE_EQ(cat::recovery_duration_us(reg).sum(), 50.0);
   }
 }
 
