@@ -1,18 +1,34 @@
-// Warehouse monitoring: the paper's motivating scenario (Sec. 1) end to end.
+// Warehouse monitoring: the paper's motivating scenario (Sec. 1), scaled up
+// and driven end to end through the fleet orchestrator.
 //
-// A retailer's back-room server monitors several heterogeneous groups at
-// once — the "different sized groups" flexibility the paper claims over
-// yoking-proof schemes:
+// A retailer's back-room server watches several heterogeneous inventories
+// at once — the "different sized groups" flexibility the paper claims over
+// yoking-proof schemes — but a real warehouse is also *sharded*: a reader's
+// field covers one aisle or cage, not the whole floor. So each inventory is
+// planned into zones (server::plan_groups, Σ m_i = M pigeonhole guarantee),
+// and the fleet executes every zone session concurrently on a deadline-aware
+// work-stealing pool, aggregating one global verdict:
+//
 //   * "razor-blades"  — 60 high-value items, zero tolerance, 99% confidence,
-//                       trusted dock reader (TRP);
-//   * "apparel"       — 1200 garments, m = 20, 95%, trusted reader (TRP);
-//   * "electronics"   — 400 boxed TVs, m = 5, 95%, UNtrusted night-shift
-//                       reader (UTRP with a c = 20 adversary budget).
+//                       one trusted dock reader (TRP);
+//   * "apparel"       — 1200 garments, M = 20, 95%, trusted readers, zones
+//                       of <= 300 (TRP); shoplifters hit this one;
+//   * "electronics"   — 400 boxed TVs, M = 5, 95%, UNtrusted night-shift
+//                       readers with a c = 20 adversary budget and an
+//                       Alg. 5 deadline (UTRP); an employee steals six;
+//   * "pharmacy"      — 240 regulated items, M = 2, 99%, trusted readers;
+//                       one cage reader crashes mid-scan and the fleet
+//                       requeues it (the retry recovers the zone);
+//   * "cold-storage"  — 40 items behind a dead uplink: every attempt times
+//                       out, the zone is escalated as a fleet alert, and
+//                       the global verdict degrades to "inconclusive"
+//                       territory (outranked here by the thefts).
 //
-// The simulation runs a week of nightly scans: day 3 an employee steals six
-// TVs and forges the reply with a collaborator (Alg. 4-style split), day 5
-// shoplifters take 25 garments. Watch the alert log.
+// The run is seeded and deterministic: the printed summary is identical no
+// matter how many worker threads execute it.
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "rfidmon.h"
 
@@ -20,106 +36,99 @@ namespace {
 
 using namespace rfid;
 
-void print_alerts(const server::InventoryServer& inv, std::size_t since) {
-  for (std::size_t i = since; i < inv.alerts().size(); ++i) {
-    const auto& a = inv.alerts()[i];
-    std::printf("  !! ALERT [%s] round %llu: %llu slot(s) mismatched%s — "
-                "estimated ~%.0f of %llu items present\n",
-                a.group_name.c_str(),
-                static_cast<unsigned long long>(a.round),
-                static_cast<unsigned long long>(a.mismatched_slots),
-                a.deadline_missed ? ", deadline missed" : "",
-                a.estimated_present,
-                static_cast<unsigned long long>(a.enrolled_size));
-  }
+fleet::InventorySpec plan_inventory(const char* name, tag::TagSet tags,
+                                    std::uint64_t tolerance, double alpha,
+                                    std::uint64_t zone_capacity) {
+  fleet::InventorySpec spec;
+  spec.name = name;
+  spec.plan = server::plan_groups({.total_tags = tags.size(),
+                                   .total_tolerance = tolerance,
+                                   .alpha = alpha,
+                                   .max_group_size = zone_capacity});
+  spec.tags = std::move(tags);
+  spec.alpha = alpha;
+  return spec;
 }
 
 }  // namespace
 
 int main() {
   util::Rng rng(7);
-  server::InventoryServer inventory;
 
-  tag::TagSet razors = tag::TagSet::make_random(60, rng);
-  tag::TagSet apparel = tag::TagSet::make_random(1200, rng);
-  tag::TagSet tvs = tag::TagSet::make_random(400, rng);
+  obs::MetricsRegistry metrics;
+  obs::SessionLog session_log(128);
+  storage::MemoryBackend journal_store;
 
-  const auto razors_id = inventory.enroll(
-      razors, {.name = "razor-blades",
-               .policy = {.tolerated_missing = 0, .confidence = 0.99},
-               .protocol = server::ProtocolKind::kTrp});
-  const auto apparel_id = inventory.enroll(
-      apparel, {.name = "apparel",
-                .policy = {.tolerated_missing = 20, .confidence = 0.95},
-                .protocol = server::ProtocolKind::kTrp});
-  const auto tvs_id = inventory.enroll(
-      tvs, {.name = "electronics",
-            .policy = {.tolerated_missing = 5, .confidence = 0.95},
-            .protocol = server::ProtocolKind::kUtrp,
-            .comm_budget = 20});
+  fleet::FleetOrchestrator orchestrator({.seed = 7,
+                                         .threads = 4,
+                                         .max_zone_attempts = 3,
+                                         .fleet_name = "back-room",
+                                         .metrics = &metrics,
+                                         .session_log = &session_log,
+                                         .journal_backend = &journal_store});
 
-  std::printf("enrolled 3 groups; challenge frames: razors=%u apparel=%u "
-              "electronics=%u slots\n\n",
-              inventory.frame_size(razors_id), inventory.frame_size(apparel_id),
-              inventory.frame_size(tvs_id));
+  // --- razor-blades: small, zero tolerance, one zone --------------------
+  orchestrator.submit(plan_inventory(
+      "razor-blades", tag::TagSet::make_random(60, rng), 0, 0.99, 0));
 
-  const protocol::TrpReader trusted_reader;
-  const protocol::UtrpReader night_reader;
-  tag::TagSet stolen_tvs;  // what the dishonest employee holds
-
-  for (int night = 1; night <= 7; ++night) {
-    std::printf("night %d:\n", night);
-    const std::size_t alerts_before = inventory.alerts().size();
-
-    if (night == 3) {
-      stolen_tvs = tvs.steal_random(6, rng);
-      std::printf("  (an employee smuggles out 6 TVs and keeps their tags "
-                  "with an accomplice)\n");
+  // --- apparel: 1200 garments in 4 zones; 25 walk out -------------------
+  {
+    auto spec = plan_inventory("apparel", tag::TagSet::make_random(1200, rng),
+                               20, 0.95, 300);
+    for (std::uint64_t i = 0; i < 25; ++i) {
+      spec.stolen.push_back(i * 37 % 1200);  // scattered across the floor
     }
-    if (night == 5) {
-      (void)apparel.steal_random(25, rng);
-      std::printf("  (shoplifters got away with 25 garments)\n");
-    }
-
-    // Trusted TRP rounds for razors and apparel.
-    for (const auto& [id, set] : {std::pair<server::GroupId, tag::TagSet*>{
-                                      razors_id, &razors},
-                                  {apparel_id, &apparel}}) {
-      const auto c = inventory.challenge_trp(id, rng);
-      const auto bs = trusted_reader.scan(set->tags(), c, rng);
-      (void)inventory.submit_trp(id, c, bs);
-    }
-
-    // The electronics cage is scanned by the night-shift reader. Honest
-    // before the theft; afterwards it mounts the budgeted split attack.
-    {
-      const auto c = inventory.challenge_utrp(tvs_id, rng);
-      bits::Bitstring reported(c.frame_size);
-      if (stolen_tvs.empty()) {
-        reported = night_reader.scan(tvs.tags(), c).bitstring;
-      } else {
-        const auto attack = attack::run_utrp_split_attack(
-            tvs.tags(), stolen_tvs.tags(), hash::SlotHasher{}, c,
-            /*comm_budget=*/20);
-        reported = attack.forged;
-      }
-      (void)inventory.submit_utrp(tvs_id, c, reported, /*deadline_met=*/true);
-      tvs.begin_round();
-      stolen_tvs.begin_round();
-    }
-
-    if (inventory.alerts().size() == alerts_before) {
-      std::printf("  all groups verified intact\n");
-    } else {
-      print_alerts(inventory, alerts_before);
-    }
-    if (inventory.needs_resync(tvs_id)) {
-      std::printf("  -> electronics group flagged for physical re-audit "
-                  "(counters may have diverged)\n");
-    }
+    orchestrator.submit(std::move(spec));
   }
 
-  std::printf("\nweek summary: %zu alert(s) recorded\n",
-              inventory.alerts().size());
-  return 0;
+  // --- electronics: untrusted night reader, deadline, 6 TVs stolen ------
+  {
+    auto spec = plan_inventory(
+        "electronics", tag::TagSet::make_random(400, rng), 5, 0.95, 100);
+    spec.protocol = fleet::Protocol::kUtrp;
+    spec.comm_budget = 20;
+    spec.session.utrp_deadline_us = 30e6;  // Alg. 5: report within 30 s
+    for (std::uint64_t i = 0; i < 6; ++i) spec.stolen.push_back(i * 61 % 400);
+    orchestrator.submit(std::move(spec));
+  }
+
+  // --- pharmacy: a reader crashes mid-scan; the fleet requeues the zone --
+  {
+    auto spec = plan_inventory(
+        "pharmacy", tag::TagSet::make_random(240, rng), 2, 0.99, 60);
+    spec.zone_faults.emplace_back(
+        1, fault::parse_fault_plan("crash 10000 never\n"));
+    orchestrator.submit(std::move(spec));
+  }
+
+  // --- cold-storage: dead uplink, every attempt exhausts its retries ----
+  {
+    auto spec = plan_inventory(
+        "cold-storage", tag::TagSet::make_random(40, rng), 1, 0.95, 0);
+    spec.session.uplink.drop_prob = 1.0;
+    spec.session.max_retries = 2;
+    orchestrator.submit(std::move(spec));
+  }
+
+  const fleet::FleetResult result = orchestrator.run();
+
+  std::printf("%s\n", fleet::summary(result).c_str());
+  std::printf("scheduler: %u worker thread(s)\n", result.threads);
+  std::printf("journal: %zu bytes (replayable after a crash mid-run)\n",
+              journal_store.read("fleet.journal").size());
+
+  // The verdict line a night-shift operator would page on.
+  switch (result.verdict) {
+    case fleet::GlobalVerdict::kIntact:
+      std::printf("\nwarehouse verified intact\n");
+      break;
+    case fleet::GlobalVerdict::kViolated:
+      std::printf("\nTHEFT DETECTED — see per-inventory verdicts above\n");
+      break;
+    case fleet::GlobalVerdict::kInconclusive:
+      std::printf("\ncoverage incomplete — dispatch a physical audit to the "
+                  "escalated zones\n");
+      break;
+  }
+  return result.verdict == fleet::GlobalVerdict::kIntact ? 0 : 1;
 }

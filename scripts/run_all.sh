@@ -27,6 +27,12 @@ echo "== durability smoke (persist -> crash -> recover) =="
 "${BUILD_DIR}/examples/durability_drill" "${BUILD_DIR}/rfidmon-drill-state" \
   | tee "${RESULTS_DIR}/durability_drill.txt"
 
+echo "== fleet orchestration (concurrent multi-zone warehouse) =="
+# Exits 1 by design: the scenario contains thefts, so the verdict is
+# "violated". The output itself is the artifact.
+"${BUILD_DIR}/examples/warehouse_monitoring" \
+  | tee "${RESULTS_DIR}/fleet_warehouse.txt" || true
+
 echo "== observability (final metrics dump) =="
 "${BUILD_DIR}/examples/metrics_dump" | tee "${RESULTS_DIR}/metrics_prometheus.txt" | tail -5
 "${BUILD_DIR}/examples/metrics_dump" --json > "${RESULTS_DIR}/metrics_json.txt"

@@ -1,0 +1,660 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <utility>
+
+#include "fleet/scheduler.h"
+#include "hash/fnv.h"
+#include "math/frame_optimizer.h"
+#include "obs/catalog.h"
+#include "obs/expose.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "sim/event_queue.h"
+#include "util/expect.h"
+#include "util/random.h"
+
+namespace rfid::fleet {
+
+namespace {
+
+[[nodiscard]] std::uint64_t name_hash_of(std::string_view name) noexcept {
+  return hash::fnv1a64(std::as_bytes(std::span(name.data(), name.size())));
+}
+
+[[nodiscard]] bool is_retryable(wire::FailureReason reason) noexcept {
+  // Deadline misses are a verification outcome (Alg. 5's timer), not an
+  // infrastructure hiccup — retrying cannot un-fail the round.
+  switch (reason) {
+    case wire::FailureReason::kTimeoutExhausted:
+    case wire::FailureReason::kCrashed:
+    case wire::FailureReason::kCorruptGiveup:
+      return true;
+    case wire::FailureReason::kNone:
+    case wire::FailureReason::kDeadlineMissed:
+      return false;
+  }
+  return false;
+}
+
+[[nodiscard]] GlobalVerdict worse(GlobalVerdict a, GlobalVerdict b) noexcept {
+  // Severity order: violated > inconclusive > intact.
+  const auto rank = [](GlobalVerdict v) {
+    switch (v) {
+      case GlobalVerdict::kViolated: return 2;
+      case GlobalVerdict::kInconclusive: return 1;
+      case GlobalVerdict::kIntact: return 0;
+    }
+    return 0;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+}  // namespace
+
+std::string_view to_string(Protocol protocol) noexcept {
+  return protocol == Protocol::kTrp ? "trp" : "utrp";
+}
+
+std::string_view to_string(ZoneStatus status) noexcept {
+  switch (status) {
+    case ZoneStatus::kIntact: return "intact";
+    case ZoneStatus::kViolated: return "violated";
+    case ZoneStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(GlobalVerdict verdict) noexcept {
+  switch (verdict) {
+    case GlobalVerdict::kIntact: return "intact";
+    case GlobalVerdict::kViolated: return "violated";
+    case GlobalVerdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Admission admission) noexcept {
+  switch (admission) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kDeferred: return "deferred";
+    case Admission::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AlertKind kind) noexcept {
+  switch (kind) {
+    case AlertKind::kZoneEscalated: return "zone_escalated";
+    case AlertKind::kInventoryRejected: return "inventory_rejected";
+  }
+  return "unknown";
+}
+
+struct FleetOrchestrator::ZoneState {
+  tag::TagSet enrolled;            // zone slice, counters as enrolled
+  std::vector<bool> absent;        // zone-local: true = stolen
+  std::vector<tag::Tag> present;   // live tag state across attempts
+  math::UtrpPlan utrp_plan;        // solved once at submit (UTRP only)
+  const fault::FaultPlan* faults = nullptr;
+  double deadline_us = std::numeric_limits<double>::infinity();
+  std::vector<wire::SessionOutcome> attempts_log;
+  ZoneReport report;
+};
+
+struct FleetOrchestrator::Inventory {
+  InventorySpec spec;
+  std::uint64_t wave = 0;
+  std::uint64_t name_hash = 0;
+  std::vector<ZoneState> zones;
+};
+
+FleetOrchestrator::FleetOrchestrator(FleetConfig config)
+    : config_(std::move(config)) {
+  RFID_EXPECT(config_.max_zone_attempts >= 1,
+              "max_zone_attempts must be at least 1");
+  RFID_EXPECT(!config_.fleet_name.empty(), "fleet needs a name");
+}
+
+FleetOrchestrator::~FleetOrchestrator() = default;
+
+Admission FleetOrchestrator::submit(InventorySpec spec) {
+  RFID_EXPECT(!ran_, "submit() after run()");
+  RFID_EXPECT(!spec.name.empty(), "inventory needs a name");
+  RFID_EXPECT(!spec.plan.zones.empty(), "inventory plan has no zones");
+  RFID_EXPECT(spec.rounds >= 1, "inventory needs at least one round");
+  for (const auto& existing : inventories_) {
+    RFID_EXPECT(existing->spec.name != spec.name,
+                "inventory names must be unique (they key the journal)");
+  }
+  for (const std::uint64_t idx : spec.stolen) {
+    RFID_EXPECT(idx < spec.tags.size(), "stolen index out of range");
+  }
+
+  // Admission: bin zones into waves of at most admission_capacity each.
+  // An inventory is never split — one too large for the capacity gets an
+  // (oversized) wave of its own rather than being refused outright.
+  const std::uint64_t zone_count = spec.plan.zones.size();
+  Admission admission = Admission::kAccepted;
+  std::uint64_t wave = 0;
+  if (config_.admission_capacity == 0) {
+    if (wave_zones_.empty()) wave_zones_.push_back(0);
+    wave_zones_[0] += zone_count;
+  } else {
+    if (wave_zones_.empty()) wave_zones_.push_back(0);
+    const std::size_t last = wave_zones_.size() - 1;
+    if (wave_zones_[last] == 0 ||
+        wave_zones_[last] + zone_count <= config_.admission_capacity) {
+      wave = last;
+    } else if (config_.defer_when_saturated) {
+      wave_zones_.push_back(0);
+      wave = last + 1;
+      admission = Admission::kDeferred;
+      ++deferred_count_;
+    } else {
+      rejected_.push_back(std::move(spec.name));
+      return Admission::kRejected;
+    }
+    wave_zones_[wave] += zone_count;
+  }
+
+  auto inventory = std::make_unique<Inventory>();
+  inventory->spec = std::move(spec);
+  inventory->wave = wave;
+  const InventorySpec& s = inventory->spec;
+  inventory->name_hash = name_hash_of(s.name);
+
+  // Zone slices (validates that the population matches the plan).
+  std::vector<tag::TagSet> slices = server::split_by_plan(s.tags, s.plan);
+
+  std::vector<bool> absent(s.tags.size(), false);
+  for (const std::uint64_t idx : s.stolen) {
+    absent[static_cast<std::size_t>(idx)] = true;
+  }
+
+  // Eq. (3) solves cost tens of milliseconds; zones share the few distinct
+  // (n, m) shapes the near-equal split produces, so solve each shape once —
+  // here, sequentially, before any worker thread exists.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, math::UtrpPlan> solved;
+
+  inventory->zones.resize(slices.size());
+  std::size_t offset = 0;
+  for (std::size_t z = 0; z < slices.size(); ++z) {
+    ZoneState& state = inventory->zones[z];
+    state.enrolled = std::move(slices[z]);
+    const std::size_t n = state.enrolled.size();
+    state.absent.assign(n, false);
+    state.present.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (absent[offset + j]) {
+        state.absent[j] = true;
+      } else {
+        state.present.push_back(state.enrolled.at(j));
+      }
+    }
+    offset += n;
+
+    if (s.protocol == Protocol::kUtrp) {
+      const std::pair<std::uint64_t, std::uint64_t> key{
+          n, s.plan.zones[z].tolerance};
+      auto it = solved.find(key);
+      if (it == solved.end()) {
+        it = solved
+                 .emplace(key, math::optimize_utrp_frame(
+                                   key.first, key.second, s.alpha,
+                                   s.comm_budget, s.slack_slots, s.model))
+                 .first;
+      }
+      state.utrp_plan = it->second;
+    }
+
+    if (s.deadline_us > 0.0) {
+      state.deadline_us = s.deadline_us;
+    } else if (s.protocol == Protocol::kUtrp &&
+               s.session.utrp_deadline_us > 0.0) {
+      // EDF key: the Alg. 5 budget — zones closest to expiry run first.
+      state.deadline_us = s.session.utrp_deadline_us;
+    }
+  }
+  for (const auto& [zone, plan] : s.zone_faults) {
+    RFID_EXPECT(zone < inventory->zones.size(), "fault zone out of range");
+    inventory->zones[static_cast<std::size_t>(zone)].faults = &plan;
+  }
+
+  inventories_.push_back(std::move(inventory));
+  return admission;
+}
+
+tag::TagSet FleetOrchestrator::audit_set(const ZoneState& state) const {
+  // The zone as a physical audit would re-enroll it: present tags at their
+  // current counters, stolen tags frozen at the last value the server saw
+  // (they are out of range and never hear a broadcast).
+  std::vector<tag::Tag> tags;
+  tags.reserve(state.enrolled.size());
+  std::size_t cursor = 0;
+  for (std::size_t j = 0; j < state.enrolled.size(); ++j) {
+    if (state.absent[j]) {
+      tags.push_back(state.enrolled.at(j));
+    } else {
+      tags.push_back(state.present[cursor++]);
+    }
+  }
+  return tag::TagSet(std::move(tags));
+}
+
+void FleetOrchestrator::run_zone_attempt(std::size_t inv, std::size_t zone,
+                                         std::uint32_t attempt) {
+  Inventory& inventory = *inventories_[inv];
+  ZoneState& state = inventory.zones[zone];
+  const InventorySpec& s = inventory.spec;
+
+  // The determinism contract: everything random about this attempt flows
+  // from (fleet seed, inventory name, zone, attempt). Thread identity and
+  // execution order never enter.
+  util::Rng rng(util::derive_seed(
+      util::derive_seed(config_.seed, inventory.name_hash, zone), attempt));
+  sim::EventQueue queue;
+
+  wire::SessionConfig session = s.session;
+  session.metrics = nullptr;  // recorded post-run, in deterministic order
+  session.tracer = nullptr;
+  session.session_log = nullptr;
+  session.group_name = s.name + "/zone" + std::to_string(zone);
+  session.faults =
+      (attempt == 0 || config_.faults_on_retries) ? state.faults : nullptr;
+
+  const protocol::MonitoringPolicy policy{s.plan.zones[zone].tolerance,
+                                          s.alpha, s.model};
+  wire::SessionOutcome outcome;
+  if (s.protocol == Protocol::kTrp) {
+    const protocol::TrpServer server(state.enrolled.ids(), policy);
+    outcome = wire::run_trp_session(
+        queue, server, std::span<const tag::Tag>(state.present), s.rounds,
+        session, rng);
+  } else {
+    // Every attempt re-enrolls the mirror from a fresh audit; on a retry
+    // this is exactly the divergence healing resync() performs after a
+    // crashed session left mirror and reality out of step.
+    const tag::TagSet audited = audit_set(state);
+    protocol::UtrpServer server(audited, policy, s.comm_budget,
+                                state.utrp_plan);
+    outcome = wire::run_utrp_session(queue, server,
+                                     std::span<tag::Tag>(state.present),
+                                     s.rounds, session, rng);
+  }
+  state.attempts_log.push_back(std::move(outcome));
+
+  const wire::SessionOutcome& last = state.attempts_log.back();
+  if (!last.completed && is_retryable(last.failure) &&
+      attempt + 1 < config_.max_zone_attempts) {
+    // Requeue onto healthy capacity: the submitting worker keeps it local,
+    // an idle worker may steal it — either way the result is the same.
+    scheduler_->submit(state.deadline_us,
+                       [this, inv, zone, next = attempt + 1] {
+                         run_zone_attempt(inv, zone, next);
+                       });
+    return;
+  }
+  finalize_zone(inv, zone);
+}
+
+void FleetOrchestrator::finalize_zone(std::size_t inv, std::size_t zone) {
+  Inventory& inventory = *inventories_[inv];
+  ZoneState& state = inventory.zones[zone];
+  const wire::SessionOutcome& last = state.attempts_log.back();
+
+  ZoneReport& report = state.report;
+  report.zone = zone;
+  report.attempts = static_cast<std::uint32_t>(state.attempts_log.size());
+  report.last_failure = last.failure;
+  report.resynced = inventory.spec.protocol == Protocol::kUtrp &&
+                    state.attempts_log.size() > 1;
+  report.rounds_completed = last.rounds_completed;
+  for (const protocol::Verdict& verdict : last.verdicts) {
+    if (!verdict.deadline_met) {
+      ++report.deadline_missed_rounds;
+    } else if (verdict.intact) {
+      ++report.intact_rounds;
+    } else {
+      ++report.mismatched_rounds;
+    }
+  }
+  for (const wire::SessionOutcome& a : state.attempts_log) {
+    report.frames_sent += a.frames_sent;
+    report.retransmissions += a.retransmissions;
+  }
+  report.duration_us = last.finished_at_us;
+
+  // Theft evidence outranks infrastructure failure: a non-intact verdict in
+  // ANY attempt marks the zone violated even if a later (or the same)
+  // session died mid-way.
+  bool violated = false;
+  for (const wire::SessionOutcome& a : state.attempts_log) {
+    for (const protocol::Verdict& verdict : a.verdicts) {
+      if (!verdict.intact) violated = true;
+    }
+  }
+  report.status = violated           ? ZoneStatus::kViolated
+                  : last.completed   ? ZoneStatus::kIntact
+                                     : ZoneStatus::kFailed;
+
+  if (journal_ != nullptr) {
+    storage::FleetZoneRecord record;
+    record.inventory = inventory.spec.name;
+    record.zone = zone;
+    record.status = static_cast<std::uint8_t>(report.status);
+    record.attempts = report.attempts;
+    record.last_failure = static_cast<std::uint8_t>(report.last_failure);
+    record.resynced = report.resynced;
+    record.rounds_completed = report.rounds_completed;
+    record.intact_rounds = report.intact_rounds;
+    record.mismatched_rounds = report.mismatched_rounds;
+    record.deadline_missed_rounds = report.deadline_missed_rounds;
+    record.frames_sent = report.frames_sent;
+    record.retransmissions = report.retransmissions;
+    record.duration_us = report.duration_us;
+    journal_->append(record);
+  }
+}
+
+FleetResult FleetOrchestrator::run() {
+  RFID_EXPECT(!ran_, "run() may only be called once");
+  ran_ = true;
+
+  FleetResult result;
+
+  // Harvest an interrupted run before overwriting the journal: matching
+  // zone records are folded in as-is (determinism makes them exactly what
+  // re-execution would produce) and carried into the fresh journal so a
+  // second crash still sees them.
+  std::map<std::pair<std::string, std::uint64_t>, storage::FleetZoneRecord>
+      recovered;
+  if (config_.journal_backend != nullptr) {
+    journal_ = std::make_unique<storage::FleetJournal>(
+        *config_.journal_backend, config_.journal_name);
+    recovered = storage::recover_interrupted_run(
+        journal_->load(), config_.seed, config_.fleet_name);
+    std::vector<storage::FleetZoneRecord> carried;
+    for (const auto& inventory : inventories_) {
+      for (std::size_t z = 0; z < inventory->zones.size(); ++z) {
+        const auto it = recovered.find({inventory->spec.name, z});
+        if (it != recovered.end()) carried.push_back(it->second);
+      }
+    }
+    journal_->begin({config_.seed, config_.fleet_name}, carried);
+  }
+
+  scheduler_ = std::make_unique<FleetScheduler>(config_.threads);
+  result.threads = scheduler_->threads();
+
+  const std::size_t wave_count = std::max<std::size_t>(wave_zones_.size(), 1);
+  for (std::size_t w = 0; w < wave_count; ++w) {
+    for (std::size_t i = 0; i < inventories_.size(); ++i) {
+      Inventory& inventory = *inventories_[i];
+      if (inventory.wave != w) continue;
+      for (std::size_t z = 0; z < inventory.zones.size(); ++z) {
+        const auto it = recovered.find({inventory.spec.name, z});
+        if (it != recovered.end()) {
+          const storage::FleetZoneRecord& rec = it->second;
+          ZoneReport& report = inventory.zones[z].report;
+          report.zone = z;
+          report.status = static_cast<ZoneStatus>(rec.status);
+          report.last_failure =
+              static_cast<wire::FailureReason>(rec.last_failure);
+          report.attempts = rec.attempts;
+          report.resynced = rec.resynced;
+          report.recovered = true;
+          report.rounds_completed = rec.rounds_completed;
+          report.intact_rounds = rec.intact_rounds;
+          report.mismatched_rounds = rec.mismatched_rounds;
+          report.deadline_missed_rounds = rec.deadline_missed_rounds;
+          report.frames_sent = rec.frames_sent;
+          report.retransmissions = rec.retransmissions;
+          report.duration_us = rec.duration_us;
+          continue;
+        }
+        ZoneState& state = inventory.zones[z];
+        scheduler_->submit(state.deadline_us, [this, i, z] {
+          run_zone_attempt(i, z, 0);
+        });
+      }
+    }
+    // The wave barrier IS the backpressure: the next wave's zones are not
+    // offered to the pool until the saturated one drains.
+    scheduler_->wait_idle();
+  }
+
+  result.tasks_stolen = scheduler_->stolen();
+  scheduler_.reset();  // join workers; all zone state is quiescent below
+
+  result.waves = wave_count;
+  result.deferred_inventories = deferred_count_;
+  result.rejected = rejected_;
+  for (const std::string& name : rejected_) {
+    result.alerts.push_back(FleetAlert{
+        AlertKind::kInventoryRejected, name, 0,
+        "admission capacity saturated; inventory is NOT monitored"});
+  }
+
+  for (const auto& inventory : inventories_) {
+    InventoryReport inv_report;
+    inv_report.name = inventory->spec.name;
+    inv_report.protocol = inventory->spec.protocol;
+    inv_report.wave = inventory->wave;
+    inv_report.tags = inventory->spec.tags.size();
+    inv_report.worst_zone_detection =
+        inventory->spec.plan.worst_zone_detection;
+    for (const server::ZonePlan& zone : inventory->spec.plan.zones) {
+      inv_report.tolerance += zone.tolerance;
+    }
+    GlobalVerdict verdict = GlobalVerdict::kIntact;
+    for (std::size_t z = 0; z < inventory->zones.size(); ++z) {
+      const ZoneState& state = inventory->zones[z];
+      const ZoneReport& report = state.report;
+      inv_report.zones.push_back(report);
+      ++result.zones;
+      result.attempts += state.attempts_log.size();
+      if (state.attempts_log.size() > 1) {
+        result.requeues += state.attempts_log.size() - 1;
+      }
+      if (report.resynced) ++result.resyncs;
+      if (report.recovered) ++result.zones_recovered;
+      switch (report.status) {
+        case ZoneStatus::kViolated:
+          verdict = worse(verdict, GlobalVerdict::kViolated);
+          break;
+        case ZoneStatus::kFailed: {
+          verdict = worse(verdict, GlobalVerdict::kInconclusive);
+          ++result.escalations;
+          std::string detail = std::string(to_string(report.last_failure)) +
+                               " after " + std::to_string(report.attempts) +
+                               " attempt(s)";
+          result.alerts.push_back(FleetAlert{AlertKind::kZoneEscalated,
+                                             inventory->spec.name, z,
+                                             std::move(detail)});
+          break;
+        }
+        case ZoneStatus::kIntact:
+          break;
+      }
+    }
+    inv_report.verdict = verdict;
+    result.verdict = worse(result.verdict, verdict);
+    result.inventories.push_back(std::move(inv_report));
+  }
+
+  if (journal_ != nullptr) {
+    journal_->append(storage::FleetRunEndRecord{
+        static_cast<std::uint8_t>(result.verdict)});
+  }
+
+  record_observability(result);
+  return result;
+}
+
+void FleetOrchestrator::record_observability(const FleetResult& result) {
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    const std::uint64_t accepted =
+        inventories_.size() - deferred_count_;
+    if (accepted > 0) {
+      obs::catalog::fleet_admissions_total(m, "accepted").inc(accepted);
+    }
+    if (deferred_count_ > 0) {
+      obs::catalog::fleet_admissions_total(m, "deferred").inc(deferred_count_);
+    }
+    if (!rejected_.empty()) {
+      obs::catalog::fleet_admissions_total(m, "rejected")
+          .inc(rejected_.size());
+    }
+    for (const InventoryReport& inventory : result.inventories) {
+      obs::catalog::fleet_inventories_total(m, to_string(inventory.verdict))
+          .inc();
+      const std::string_view protocol = to_string(inventory.protocol);
+      for (const ZoneReport& zone : inventory.zones) {
+        obs::catalog::fleet_zones_total(m, to_string(zone.status)).inc();
+        if (!zone.recovered) {
+          obs::catalog::fleet_zone_attempts_total(m, protocol)
+              .inc(zone.attempts);
+        }
+        obs::catalog::fleet_zone_duration_us(m, protocol)
+            .observe(zone.duration_us);
+      }
+    }
+    if (result.requeues > 0) {
+      obs::catalog::fleet_requeues_total(m).inc(result.requeues);
+    }
+    if (result.escalations > 0) {
+      obs::catalog::fleet_escalations_total(m).inc(result.escalations);
+    }
+    if (result.resyncs > 0) {
+      obs::catalog::fleet_zone_resyncs_total(m).inc(result.resyncs);
+    }
+    if (result.zones_recovered > 0) {
+      obs::catalog::fleet_zones_recovered_total(m).inc(result.zones_recovered);
+    }
+    obs::catalog::fleet_runs_total(m, to_string(result.verdict)).inc();
+  }
+
+  if (config_.tracer != nullptr) {
+    obs::Tracer& tracer = *config_.tracer;
+    const std::uint64_t fleet_span = tracer.begin_span("fleet");
+    tracer.annotate(fleet_span, "name", config_.fleet_name);
+    tracer.annotate(fleet_span, "verdict", to_string(result.verdict));
+    tracer.annotate(fleet_span, "zones", std::to_string(result.zones));
+    for (std::size_t i = 0; i < result.inventories.size(); ++i) {
+      const InventoryReport& inventory = result.inventories[i];
+      const std::uint64_t inv_span =
+          tracer.begin_span("inventory", fleet_span);
+      tracer.annotate(inv_span, "name", inventory.name);
+      tracer.annotate(inv_span, "protocol", to_string(inventory.protocol));
+      tracer.annotate(inv_span, "verdict", to_string(inventory.verdict));
+      for (std::size_t z = 0; z < inventory.zones.size(); ++z) {
+        const ZoneReport& zone = inventory.zones[z];
+        const std::uint64_t zone_span = tracer.begin_span("zone", inv_span);
+        tracer.annotate(zone_span, "zone", std::to_string(zone.zone));
+        tracer.annotate(zone_span, "status", to_string(zone.status));
+        tracer.annotate(zone_span, "attempts",
+                        std::to_string(zone.attempts));
+        if (zone.recovered) {
+          tracer.annotate(zone_span, "recovered", "true");
+        } else {
+          const ZoneState& state = inventories_[i]->zones[z];
+          for (std::size_t a = 0; a < state.attempts_log.size(); ++a) {
+            const wire::SessionOutcome& outcome = state.attempts_log[a];
+            const std::uint64_t session_span =
+                tracer.begin_span("session", zone_span);
+            tracer.annotate(session_span, "attempt", std::to_string(a));
+            tracer.annotate(session_span, "outcome",
+                            outcome.completed
+                                ? std::string_view("completed")
+                                : wire::to_string(outcome.failure));
+            tracer.end_span(session_span);
+          }
+        }
+        tracer.end_span(zone_span);
+      }
+      tracer.end_span(inv_span);
+    }
+    tracer.end_span(fleet_span);
+  }
+
+  if (config_.session_log != nullptr) {
+    for (const auto& inventory : inventories_) {
+      for (std::size_t z = 0; z < inventory->zones.size(); ++z) {
+        const ZoneState& state = inventory->zones[z];
+        for (std::size_t a = 0; a < state.attempts_log.size(); ++a) {
+          const wire::SessionOutcome& outcome = state.attempts_log[a];
+          obs::SessionSummary summary;
+          summary.protocol = std::string(to_string(inventory->spec.protocol));
+          summary.group =
+              inventory->spec.name + "/zone" + std::to_string(z);
+          summary.fleet = config_.fleet_name;
+          summary.attempt = a;
+          summary.completed = outcome.completed;
+          summary.outcome = outcome.completed
+                                ? "completed"
+                                : std::string(wire::to_string(outcome.failure));
+          summary.rounds_completed = outcome.rounds_completed;
+          summary.round_failures = outcome.round_failures.size();
+          summary.frames_sent = outcome.frames_sent;
+          summary.retransmissions = outcome.retransmissions;
+          summary.duration_us = outcome.finished_at_us;
+          config_.session_log->record(std::move(summary));
+        }
+      }
+    }
+  }
+}
+
+std::string summary(const FleetResult& result) {
+  std::string out;
+  out += "fleet verdict: ";
+  out += to_string(result.verdict);
+  out += '\n';
+  out += "inventories: " + std::to_string(result.inventories.size()) +
+         " monitored, " + std::to_string(result.rejected.size()) +
+         " rejected, " + std::to_string(result.deferred_inventories) +
+         " deferred; waves: " + std::to_string(result.waves) + '\n';
+  for (const InventoryReport& inventory : result.inventories) {
+    std::uint64_t intact = 0;
+    std::uint64_t violated = 0;
+    std::uint64_t failed = 0;
+    for (const ZoneReport& zone : inventory.zones) {
+      switch (zone.status) {
+        case ZoneStatus::kIntact: ++intact; break;
+        case ZoneStatus::kViolated: ++violated; break;
+        case ZoneStatus::kFailed: ++failed; break;
+      }
+    }
+    out += "  " + inventory.name + " [" +
+           std::string(to_string(inventory.protocol)) + "] wave " +
+           std::to_string(inventory.wave) + ": " +
+           std::string(to_string(inventory.verdict)) + " - zones " +
+           std::to_string(inventory.zones.size()) + " (intact " +
+           std::to_string(intact) + ", violated " + std::to_string(violated) +
+           ", failed " + std::to_string(failed) + "), tags " +
+           std::to_string(inventory.tags) + ", tolerance " +
+           std::to_string(inventory.tolerance) + ", worst-zone detection " +
+           obs::format_double(inventory.worst_zone_detection) + '\n';
+  }
+  out += "zones: " + std::to_string(result.zones) + "; attempts: " +
+         std::to_string(result.attempts) + ", requeues: " +
+         std::to_string(result.requeues) + ", escalations: " +
+         std::to_string(result.escalations) + ", resyncs: " +
+         std::to_string(result.resyncs) + ", recovered: " +
+         std::to_string(result.zones_recovered) + '\n';
+  for (const FleetAlert& alert : result.alerts) {
+    out += "alert [" + std::string(to_string(alert.kind)) + "] " +
+           alert.inventory;
+    if (alert.kind == AlertKind::kZoneEscalated) {
+      out += "/zone" + std::to_string(alert.zone);
+    }
+    out += ": " + alert.detail + '\n';
+  }
+  return out;
+}
+
+}  // namespace rfid::fleet

@@ -1,0 +1,255 @@
+// Fleet orchestration: concurrent multi-zone monitoring with deadline
+// scheduling and global verdict aggregation.
+//
+// The group planner (server/group_planner.h) shards one inventory into
+// zones whose tolerances sum to the global M; the wire layer runs one
+// monitoring session per zone. This subsystem closes the loop at warehouse
+// scale: a FleetOrchestrator takes one InventorySpec per inventory, executes
+// every zone's session on a deadline-aware work-stealing pool
+// (FleetScheduler), retries zones that failed for retryable infrastructure
+// reasons on healthy capacity (capped attempts), escalates permanent
+// failures as fleet alerts, and folds the per-zone outcomes into one global
+// verdict:
+//
+//   * kViolated      — some zone produced a non-intact (or late, for UTRP)
+//                      verdict in any attempt. Theft evidence outranks
+//                      infrastructure failure.
+//   * kInconclusive  — no violation seen, but some zone never completed a
+//                      session (retries exhausted), so the pigeonhole
+//                      argument over Sigma m_i = M does not close.
+//   * kIntact        — every zone completed and verified intact; more than
+//                      M missing tags overall would have tripped at least
+//                      one zone with probability > alpha.
+//
+// Admission control: admission_capacity bounds how many zones run in one
+// wave. Saturated submissions are either deferred to a later wave (FIFO,
+// an oversized inventory gets a wave of its own) or rejected outright —
+// rejected inventories are excluded from the verdict and surfaced as
+// alerts, never silently dropped.
+//
+// Determinism contract (the TrialRunner discipline): every zone attempt
+// derives its RNG and its private virtual-time EventQueue from
+// (fleet seed, inventory name, zone, attempt) — never from thread identity
+// or wall-clock order. Zone sessions run with all observability hooks
+// detached; the orchestrator re-records metrics, spans
+// (fleet -> inventory -> zone -> session), and SessionLog entries after the
+// pool drains, single-threaded, in (inventory, zone, attempt) order. A
+// seeded fleet is therefore bit-identical — aggregated verdicts, metric
+// exposition, session logs, summary() text — on 1 thread or 64
+// (tests/fleet_determinism_test.cpp pins this down).
+//
+// Durability: with a journal backend attached, every terminal zone outcome
+// is appended to a FleetJournal (storage/fleet_journal.h). Because zone
+// results are pure functions of the seed, a crashed orchestrator that
+// restarts with the same (seed, fleet, specs) reuses journaled zones
+// instead of re-running them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "math/detection.h"
+#include "obs/metrics.h"
+#include "obs/session_log.h"
+#include "obs/trace.h"
+#include "server/group_planner.h"
+#include "storage/backend.h"
+#include "storage/fleet_journal.h"
+#include "tag/tag_set.h"
+#include "wire/session.h"
+
+namespace rfid::fleet {
+
+enum class Protocol : std::uint8_t { kTrp = 0, kUtrp = 1 };
+
+/// Terminal state of one zone after capped attempts.
+enum class ZoneStatus : std::uint8_t {
+  kIntact = 0,    // completed; every round verified intact
+  kViolated = 1,  // some round mismatched or missed the Alg. 5 deadline
+  kFailed = 2,    // never completed a session (escalated as an alert)
+};
+
+enum class GlobalVerdict : std::uint8_t {
+  kIntact = 0,
+  kViolated = 1,
+  kInconclusive = 2,
+};
+
+/// What happened to an inventory at submit().
+enum class Admission : std::uint8_t {
+  kAccepted = 0,  // runs in the first wave
+  kDeferred = 1,  // capacity-saturated; runs in a later wave
+  kRejected = 2,  // capacity-saturated and deferral disabled; not monitored
+};
+
+enum class AlertKind : std::uint8_t {
+  kZoneEscalated = 0,      // a zone exhausted its attempts without completing
+  kInventoryRejected = 1,  // an inventory was refused admission
+};
+
+[[nodiscard]] std::string_view to_string(Protocol protocol) noexcept;
+[[nodiscard]] std::string_view to_string(ZoneStatus status) noexcept;
+[[nodiscard]] std::string_view to_string(GlobalVerdict verdict) noexcept;
+[[nodiscard]] std::string_view to_string(Admission admission) noexcept;
+[[nodiscard]] std::string_view to_string(AlertKind kind) noexcept;
+
+struct FleetConfig {
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 = hardware concurrency. Never affects results.
+  unsigned threads = 0;
+  /// Attempt cap per zone (first try + retries). Must be >= 1.
+  std::uint32_t max_zone_attempts = 3;
+  /// Max zones in flight per wave; 0 = unlimited (everything is wave 0).
+  std::uint64_t admission_capacity = 0;
+  /// Saturated submissions: true defers to a later wave, false rejects.
+  bool defer_when_saturated = true;
+  /// Replay an attempt-0 fault plan on retries too. Off by default: the
+  /// plans model transient outages, and a retry on healthy capacity is
+  /// exactly the recovery story being tested.
+  bool faults_on_retries = false;
+  std::string fleet_name = "fleet";
+  /// Observability sinks (none owned; each must outlive run()). All
+  /// recording happens post-run on the caller's thread, in deterministic
+  /// order — the tracer's documented non-thread-safety is fine here.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::SessionLog* session_log = nullptr;
+  /// Durable fleet-run journal (not owned; may be null for no durability).
+  storage::StorageBackend* journal_backend = nullptr;
+  std::string journal_name = "fleet.journal";
+};
+
+/// One inventory: a planned population plus everything needed to run its
+/// zones. The spec owns its tags and fault plans; the orchestrator keeps
+/// the spec alive for the whole run.
+struct InventorySpec {
+  std::string name;  // stable across restarts (keys the journal)
+  Protocol protocol = Protocol::kTrp;
+  /// The enrolled population, in zone order: zone i covers the next
+  /// plan.zones[i].tags tags (split_by_plan's slicing).
+  tag::TagSet tags;
+  server::GroupPlan plan;
+  /// Global indices into `tags` that are physically absent (stolen).
+  std::vector<std::uint64_t> stolen;
+  double alpha = 0.95;
+  math::EmptySlotModel model = math::EmptySlotModel::kPoissonApprox;
+  /// UTRP only: Eq. (3) adversary communication budget and frame slack.
+  std::uint64_t comm_budget = 100;
+  std::uint32_t slack_slots = 8;
+  std::uint64_t rounds = 1;  // monitoring rounds per zone session
+  /// Session template. Observability hooks and the fault plan are
+  /// overridden per zone; everything else (links, retry policy, timing,
+  /// UTRP deadline) applies to every zone of this inventory.
+  wire::SessionConfig session;
+  /// Scheduling deadline (absolute, microseconds): earliest first. 0
+  /// derives it from session.utrp_deadline_us (UTRP zones closest to
+  /// Alg. 5 budget expiry run first); TRP zones default to "whenever".
+  double deadline_us = 0.0;
+  /// Sparse per-zone fault scripts, applied on attempt 0 (and on retries
+  /// iff FleetConfig::faults_on_retries).
+  std::vector<std::pair<std::uint64_t, fault::FaultPlan>> zone_faults;
+};
+
+struct ZoneReport {
+  std::uint64_t zone = 0;
+  ZoneStatus status = ZoneStatus::kFailed;
+  wire::FailureReason last_failure = wire::FailureReason::kNone;
+  std::uint32_t attempts = 0;  // session attempts executed (>= 1 unless recovered)
+  bool resynced = false;   // UTRP mirror rebuilt from audit before a retry
+  bool recovered = false;  // reused from an interrupted run's journal
+  // Round accounting from the final attempt; frame counters are summed
+  // across attempts (total backhaul cost of the zone).
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t intact_rounds = 0;
+  std::uint64_t mismatched_rounds = 0;
+  std::uint64_t deadline_missed_rounds = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t retransmissions = 0;
+  double duration_us = 0.0;  // simulated time of the final attempt
+};
+
+struct InventoryReport {
+  std::string name;
+  Protocol protocol = Protocol::kTrp;
+  GlobalVerdict verdict = GlobalVerdict::kInconclusive;
+  std::vector<ZoneReport> zones;
+  std::uint64_t tags = 0;
+  std::uint64_t tolerance = 0;  // Sigma m_i == M
+  double worst_zone_detection = 0.0;
+  std::uint64_t wave = 0;  // admission wave it ran in
+};
+
+struct FleetAlert {
+  AlertKind kind = AlertKind::kZoneEscalated;
+  std::string inventory;
+  std::uint64_t zone = 0;  // meaningful for kZoneEscalated
+  std::string detail;
+};
+
+struct FleetResult {
+  GlobalVerdict verdict = GlobalVerdict::kIntact;
+  std::vector<InventoryReport> inventories;  // monitored, submission order
+  std::vector<std::string> rejected;         // refused admission
+  std::vector<FleetAlert> alerts;
+  std::uint64_t zones = 0;            // zones monitored (recovered included)
+  std::uint64_t attempts = 0;         // session attempts executed this run
+  std::uint64_t requeues = 0;         // retryable failures put back on the pool
+  std::uint64_t escalations = 0;      // zones that ended kFailed
+  std::uint64_t resyncs = 0;          // UTRP mirrors re-audited before a retry
+  std::uint64_t zones_recovered = 0;  // reused from the journal
+  std::uint64_t deferred_inventories = 0;
+  std::uint64_t waves = 1;
+  // Diagnostics only — timing-dependent, excluded from summary().
+  std::uint64_t tasks_stolen = 0;
+  unsigned threads = 0;
+};
+
+/// Deterministic human-readable rendering of a result (verdict, per-
+/// inventory lines, totals, alerts). Bit-identical across thread counts;
+/// the timing-dependent diagnostics are deliberately left out.
+[[nodiscard]] std::string summary(const FleetResult& result);
+
+class FleetOrchestrator {
+ public:
+  explicit FleetOrchestrator(FleetConfig config);
+  ~FleetOrchestrator();
+
+  FleetOrchestrator(const FleetOrchestrator&) = delete;
+  FleetOrchestrator& operator=(const FleetOrchestrator&) = delete;
+
+  /// Admits an inventory (or defers/rejects it under saturation). All
+  /// Eq. (3) solves happen here, sequentially, so worker threads never
+  /// race on the optimizer. Must not be called after run().
+  Admission submit(InventorySpec spec);
+
+  /// Executes every admitted zone and aggregates. Call once.
+  [[nodiscard]] FleetResult run();
+
+ private:
+  struct ZoneState;
+  struct Inventory;
+
+  void run_zone_attempt(std::size_t inv, std::size_t zone,
+                        std::uint32_t attempt);
+  void finalize_zone(std::size_t inv, std::size_t zone);
+  [[nodiscard]] tag::TagSet audit_set(const ZoneState& state) const;
+  void record_observability(const FleetResult& result);
+
+  FleetConfig config_;
+  std::vector<std::unique_ptr<Inventory>> inventories_;
+  std::vector<std::string> rejected_;
+  std::vector<std::uint64_t> wave_zones_;  // zones admitted per wave
+  std::uint64_t deferred_count_ = 0;
+  bool ran_ = false;
+
+  std::unique_ptr<class FleetScheduler> scheduler_;
+  std::unique_ptr<storage::FleetJournal> journal_;
+};
+
+}  // namespace rfid::fleet

@@ -1,0 +1,137 @@
+#include "fleet/scheduler.h"
+
+#include <limits>
+#include <utility>
+
+#include "util/expect.h"
+
+namespace rfid::fleet {
+
+namespace {
+
+/// Which worker the current thread is, if it is one. One scheduler per
+/// fleet run means a plain thread-local index is enough; -1 = external.
+thread_local std::ptrdiff_t t_worker_index = -1;
+thread_local const FleetScheduler* t_worker_owner = nullptr;
+
+}  // namespace
+
+FleetScheduler::FleetScheduler(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+FleetScheduler::~FleetScheduler() {
+  wait_idle();
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void FleetScheduler::submit(double deadline_us, Task fn) {
+  RFID_EXPECT(fn != nullptr, "null fleet task");
+  const std::uint64_t seq =
+      next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  // A requeue from inside a task stays on the submitting worker; external
+  // submissions round-robin by sequence.
+  std::size_t target;
+  if (t_worker_owner == this && t_worker_index >= 0) {
+    target = static_cast<std::size_t>(t_worker_index);
+  } else {
+    target = static_cast<std::size_t>(seq % workers_.size());
+  }
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->queue.push(Entry{deadline_us, seq, std::move(fn)});
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_all();
+}
+
+bool FleetScheduler::try_take(std::size_t self, Entry& out) {
+  // Own queue first.
+  {
+    Worker& mine = *workers_[self];
+    const std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.queue.empty()) {
+      out = mine.queue.top();
+      mine.queue.pop();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal: peek every other queue and take the earliest deadline on offer.
+  // Two passes (scan, then re-lock the victim) keep lock holds tiny; the
+  // victim's top may have changed in between, which is fine — we take
+  // whatever is best there now.
+  std::size_t victim = workers_.size();
+  double best = std::numeric_limits<double>::infinity();
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t j = 0; j < workers_.size(); ++j) {
+    if (j == self) continue;
+    const std::lock_guard<std::mutex> lock(workers_[j]->mu);
+    if (workers_[j]->queue.empty()) continue;
+    const Entry& top = workers_[j]->queue.top();
+    if (top.deadline_us < best ||
+        (top.deadline_us == best && top.sequence < best_seq)) {
+      best = top.deadline_us;
+      best_seq = top.sequence;
+      victim = j;
+    }
+  }
+  if (victim == workers_.size()) return false;
+  const std::lock_guard<std::mutex> lock(workers_[victim]->mu);
+  if (workers_[victim]->queue.empty()) return false;
+  out = workers_[victim]->queue.top();
+  workers_[victim]->queue.pop();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  stolen_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FleetScheduler::worker_loop(std::size_t self) {
+  t_worker_index = static_cast<std::ptrdiff_t>(self);
+  t_worker_owner = this;
+  while (true) {
+    Entry entry;
+    if (try_take(self, entry)) {
+      entry.fn();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task done: wake wait_idle under the lock so the notify
+        // cannot race past a waiter between its predicate check and sleep.
+        const std::lock_guard<std::mutex> lock(wake_mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return shutdown_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_ && pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+void FleetScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace rfid::fleet

@@ -1,0 +1,108 @@
+// Deadline-aware work-stealing thread pool for zone sessions.
+//
+// The fleet orchestrator hands this pool one task per (zone, attempt); each
+// task is a whole wire session — milliseconds of simulated protocol work —
+// so scheduling overhead is cold and the interesting policy is *order*:
+//
+//  * Every worker owns a priority queue ordered earliest-deadline-first
+//    (UTRP zones whose Alg. 5 budget is closest to expiry run first; ties
+//    break by submission sequence, so equal-deadline tasks are FIFO).
+//  * submit() round-robins tasks across workers, except that a worker
+//    re-submitting from inside a task (a zone retry) pushes to its own
+//    queue — the requeue lands on provably-alive capacity without a trip
+//    through another worker's lock.
+//  * An idle worker steals: it peeks every other queue and takes the
+//    globally earliest deadline on offer, so a backlog behind a slow worker
+//    drains through whoever is free (the hammer test pins this down by
+//    blocking one worker and asserting its queue still empties).
+//
+// Determinism contract: the pool promises nothing about which thread runs a
+// task or in what wall-clock order — fleet results must be derived from task
+// *identity* (inventory, zone, attempt), never from scheduling. That is why
+// FleetOrchestrator seeds every session from (fleet seed, inventory, zone,
+// attempt) and aggregates in index order: bit-identical on 1 or 64 threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rfid::fleet {
+
+class FleetScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  /// `threads` = 0 picks the hardware concurrency (at least 1). Workers
+  /// start immediately and sleep until work arrives.
+  explicit FleetScheduler(unsigned threads = 0);
+  /// Waits for every submitted task (requeues included), then joins.
+  ~FleetScheduler();
+
+  FleetScheduler(const FleetScheduler&) = delete;
+  FleetScheduler& operator=(const FleetScheduler&) = delete;
+
+  /// Enqueues `fn` with an earliest-deadline-first priority (microseconds;
+  /// +infinity = "whenever"). Safe to call from worker threads (a task may
+  /// submit its own retry).
+  void submit(double deadline_us, Task fn);
+
+  /// Blocks until every task submitted so far — and every task those tasks
+  /// submitted — has finished.
+  void wait_idle();
+
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  /// Tasks completed so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks a worker took from another worker's queue. Timing-dependent:
+  /// never fold this into anything that must be deterministic.
+  [[nodiscard]] std::uint64_t stolen() const noexcept {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    double deadline_us;
+    std::uint64_t sequence;
+    Task fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.deadline_us != b.deadline_us) return a.deadline_us > b.deadline_us;
+      return a.sequence > b.sequence;
+    }
+  };
+  struct Worker {
+    std::mutex mu;
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+  };
+
+  void worker_loop(std::size_t self);
+  [[nodiscard]] bool try_take(std::size_t self, Entry& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  bool shutdown_ = false;
+
+  std::atomic<std::uint64_t> next_sequence_{0};
+  std::atomic<std::size_t> pending_{0};      // queued, not yet taken
+  std::atomic<std::size_t> outstanding_{0};  // submitted, not yet finished
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+};
+
+}  // namespace rfid::fleet

@@ -8,11 +8,28 @@
 
 namespace rfid::math {
 
+namespace {
+
+// std::lgamma writes the result's sign into the global `signgam`, which is
+// a data race when fleet workers size frames on several threads at once.
+// lgamma_r takes the sign out-parameter instead; our arguments are always
+// >= 1 so the sign is never consulted.
+double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
   RFID_EXPECT(k <= n, "binomial coefficient requires k <= n");
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return lgamma_threadsafe(static_cast<double>(n) + 1.0) -
+         lgamma_threadsafe(static_cast<double>(k) + 1.0) -
+         lgamma_threadsafe(static_cast<double>(n - k) + 1.0);
 }
 
 double log_binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {

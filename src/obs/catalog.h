@@ -190,6 +190,89 @@ inline Counter& groups_enrolled_total(MetricsRegistry& r,
       .with({protocol});
 }
 
+// -------------------------------------------------------------- fleet ----
+
+inline Counter& fleet_runs_total(MetricsRegistry& r, std::string_view verdict) {
+  return r.counter_family(
+           "rfidmon_fleet_runs_total",
+           "Fleet runs aggregated, by global verdict (intact | violated | "
+           "inconclusive).",
+           {"verdict"})
+      .with({verdict});
+}
+
+inline Counter& fleet_inventories_total(MetricsRegistry& r,
+                                        std::string_view verdict) {
+  return r.counter_family(
+           "rfidmon_fleet_inventories_total",
+           "Inventories a fleet run monitored, by per-inventory verdict.",
+           {"verdict"})
+      .with({verdict});
+}
+
+inline Counter& fleet_admissions_total(MetricsRegistry& r,
+                                       std::string_view result) {
+  return r.counter_family(
+           "rfidmon_fleet_admissions_total",
+           "Inventory submissions, by admission result (accepted | deferred "
+           "| rejected).",
+           {"result"})
+      .with({result});
+}
+
+inline Counter& fleet_zones_total(MetricsRegistry& r,
+                                  std::string_view status) {
+  return r.counter_family(
+           "rfidmon_fleet_zones_total",
+           "Zones that reached a terminal state, by ZoneStatus (intact | "
+           "violated | failed).",
+           {"status"})
+      .with({status});
+}
+
+inline Counter& fleet_zone_attempts_total(MetricsRegistry& r,
+                                          std::string_view protocol) {
+  return r.counter_family(
+           "rfidmon_fleet_zone_attempts_total",
+           "Zone session attempts executed (first tries plus requeues), by "
+           "protocol.",
+           {"protocol"})
+      .with({protocol});
+}
+
+inline Counter& fleet_requeues_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_fleet_requeues_total",
+                   "Zones requeued onto healthy capacity after a retryable "
+                   "FailureReason.");
+}
+
+inline Counter& fleet_escalations_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_fleet_escalations_total",
+                   "Zones escalated as fleet-level alerts after exhausting "
+                   "their attempt cap.");
+}
+
+inline Counter& fleet_zone_resyncs_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_fleet_zone_resyncs_total",
+                   "UTRP zone mirrors rebuilt from a fresh audit before a "
+                   "retry (divergence healing).");
+}
+
+inline Counter& fleet_zones_recovered_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_fleet_zones_recovered_total",
+                   "Zone results reused from an interrupted run's fleet "
+                   "journal instead of re-executed.");
+}
+
+inline Histogram& fleet_zone_duration_us(MetricsRegistry& r,
+                                         std::string_view protocol) {
+  return r.histogram_family(
+           "rfidmon_fleet_zone_duration_us",
+           "Simulated duration of a zone's final session attempt.",
+           {"protocol"}, Histogram::exponential_bounds(1000.0, 4.0, 12))
+      .with({protocol});
+}
+
 // ------------------------------------------------------------ storage ----
 
 inline Counter& journal_appends_total(MetricsRegistry& r) {

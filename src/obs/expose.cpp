@@ -222,6 +222,13 @@ std::string render_json(const Snapshot& snapshot, const SessionLog* sessions) {
       append_json_string(out, s.protocol);
       out += ",\"group\":";
       append_json_string(out, s.group);
+      // Fleet provenance is rendered only for orchestrated sessions so the
+      // standalone exposition (and its golden files) is unchanged.
+      if (!s.fleet.empty()) {
+        out += ",\"fleet\":";
+        append_json_string(out, s.fleet);
+        out += ",\"attempt\":" + std::to_string(s.attempt);
+      }
       out += ",\"completed\":";
       out += s.completed ? "true" : "false";
       out += ",\"outcome\":";

@@ -19,6 +19,8 @@ namespace rfid::obs {
 struct SessionSummary {
   std::string protocol;       // "trp" | "utrp"
   std::string group;
+  std::string fleet;          // fleet name when run by an orchestrator
+  std::uint64_t attempt = 0;  // zone attempt index (0 = first try)
   bool completed = false;
   std::string outcome;        // "completed" or the FailureReason string
   std::uint64_t rounds_completed = 0;

@@ -7,6 +7,7 @@
 //   * protocol/utrp.h       — UTRP: untrusted-reader monitoring (Sec. 5)
 //   * protocol/collect_all.h — the collect-all baseline
 //   * server/inventory_server.h — multi-group server front-end
+//   * fleet/fleet.h         — concurrent multi-zone fleet orchestration
 //   * storage/durable_server.h — crash-consistent persistence (WAL + snapshots)
 //   * math/frame_optimizer.h — Eq. (2) / Eq. (3) frame sizing
 //   * attack/…              — the adversaries both protocols are measured against
@@ -21,6 +22,8 @@
 #include "estimate/upe.h"             // IWYU pragma: export
 #include "fault/fault.h"              // IWYU pragma: export
 #include "fault/storage_fault.h"      // IWYU pragma: export
+#include "fleet/fleet.h"              // IWYU pragma: export
+#include "fleet/scheduler.h"          // IWYU pragma: export
 #include "hash/slot_hash.h"           // IWYU pragma: export
 #include "math/approximation.h"       // IWYU pragma: export
 #include "math/binomial.h"            // IWYU pragma: export
@@ -45,6 +48,7 @@
 #include "sim/event_queue.h"          // IWYU pragma: export
 #include "storage/backend.h"          // IWYU pragma: export
 #include "storage/durable_server.h"   // IWYU pragma: export
+#include "storage/fleet_journal.h"    // IWYU pragma: export
 #include "storage/journal.h"          // IWYU pragma: export
 #include "storage/server_state.h"     // IWYU pragma: export
 #include "sim/trial_runner.h"         // IWYU pragma: export

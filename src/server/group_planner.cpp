@@ -59,4 +59,23 @@ GroupPlan plan_groups(const PlannerInput& input) {
   return plan;
 }
 
+std::vector<tag::TagSet> split_by_plan(const tag::TagSet& tags,
+                                       const GroupPlan& plan) {
+  std::uint64_t total = 0;
+  for (const ZonePlan& zone : plan.zones) total += zone.tags;
+  RFID_EXPECT(tags.size() == total,
+              "population size does not match the plan's zone totals");
+  std::vector<tag::TagSet> out;
+  out.reserve(plan.zones.size());
+  const std::span<const tag::Tag> all = tags.tags();
+  std::size_t offset = 0;
+  for (const ZonePlan& zone : plan.zones) {
+    const std::span<const tag::Tag> slice =
+        all.subspan(offset, static_cast<std::size_t>(zone.tags));
+    out.emplace_back(std::vector<tag::Tag>(slice.begin(), slice.end()));
+    offset += static_cast<std::size_t>(zone.tags);
+  }
+  return out;
+}
+
 }  // namespace rfid::server

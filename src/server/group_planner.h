@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "math/detection.h"
+#include "tag/tag_set.h"
 
 namespace rfid::server {
 
@@ -55,5 +56,13 @@ struct GroupPlan {
 /// frame by Eq. (2). Requires total_tolerance + zone_count <= total_tags
 /// (every zone must be able to lose m_i + 1 tags).
 [[nodiscard]] GroupPlan plan_groups(const PlannerInput& input);
+
+/// Partitions a population into per-zone TagSets matching `plan` — zone i
+/// receives the next plan.zones[i].tags tags, in set order (tag state,
+/// counters included, is copied unchanged). Requires the population size to
+/// equal the plan's total. This is the handoff from planning to execution:
+/// the fleet orchestrator scans each returned set with its zone's reader.
+[[nodiscard]] std::vector<tag::TagSet> split_by_plan(const tag::TagSet& tags,
+                                                     const GroupPlan& plan);
 
 }  // namespace rfid::server

@@ -1,0 +1,277 @@
+#include "storage/fleet_journal.h"
+
+#include <bit>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "hash/fnv.h"
+#include "util/expect.h"
+
+namespace rfid::storage {
+
+namespace {
+
+enum class RecordKind : std::uint8_t {
+  kRunStart = 1,
+  kZone = 2,
+  kRunEnd = 3,
+};
+
+// Little-endian scalar encoding, same shape as the WAL's (journal.cpp keeps
+// its writer/reader private, and the two formats should be free to drift).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(std::string_view v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_.append(v);
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    return static_cast<std::uint8_t>(take(1)[0]);
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const std::string_view b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const std::string_view b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::string_view bytes() { return take(u32()); }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  [[nodiscard]] std::string_view take(std::size_t n) {
+    RFID_EXPECT(data_.size() - pos_ >= n, "fleet journal payload truncated");
+    const std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] std::uint64_t checksum_of(std::string_view payload) noexcept {
+  return hash::fnv1a64(std::as_bytes(std::span(payload.data(), payload.size())));
+}
+
+[[nodiscard]] std::string encode_payload(const FleetJournalRecord& record) {
+  ByteWriter w;
+  std::visit(
+      [&w](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, FleetRunStartRecord>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kRunStart));
+          w.u64(r.seed);
+          w.bytes(r.fleet);
+        } else if constexpr (std::is_same_v<T, FleetZoneRecord>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kZone));
+          w.bytes(r.inventory);
+          w.u64(r.zone);
+          w.u8(r.status);
+          w.u32(r.attempts);
+          w.u8(r.last_failure);
+          w.u8(r.resynced ? 1 : 0);
+          w.u64(r.rounds_completed);
+          w.u64(r.intact_rounds);
+          w.u64(r.mismatched_rounds);
+          w.u64(r.deadline_missed_rounds);
+          w.u64(r.frames_sent);
+          w.u64(r.retransmissions);
+          w.f64(r.duration_us);
+        } else {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kRunEnd));
+          w.u8(r.verdict);
+        }
+      },
+      record);
+  return w.take();
+}
+
+[[nodiscard]] FleetJournalRecord decode_payload(std::string_view payload) {
+  ByteReader r(payload);
+  const auto kind = static_cast<RecordKind>(r.u8());
+  FleetJournalRecord out;
+  switch (kind) {
+    case RecordKind::kRunStart: {
+      FleetRunStartRecord rec;
+      rec.seed = r.u64();
+      rec.fleet = std::string(r.bytes());
+      out = std::move(rec);
+      break;
+    }
+    case RecordKind::kZone: {
+      FleetZoneRecord rec;
+      rec.inventory = std::string(r.bytes());
+      rec.zone = r.u64();
+      rec.status = r.u8();
+      rec.attempts = r.u32();
+      rec.last_failure = r.u8();
+      rec.resynced = r.u8() != 0;
+      rec.rounds_completed = r.u64();
+      rec.intact_rounds = r.u64();
+      rec.mismatched_rounds = r.u64();
+      rec.deadline_missed_rounds = r.u64();
+      rec.frames_sent = r.u64();
+      rec.retransmissions = r.u64();
+      rec.duration_us = r.f64();
+      out = std::move(rec);
+      break;
+    }
+    case RecordKind::kRunEnd: {
+      FleetRunEndRecord rec;
+      rec.verdict = r.u8();
+      out = rec;
+      break;
+    }
+    default:
+      throw std::invalid_argument("unknown fleet journal record kind");
+  }
+  RFID_EXPECT(r.exhausted(), "trailing bytes in fleet journal payload");
+  return out;
+}
+
+}  // namespace
+
+std::string encode_fleet_record(const FleetJournalRecord& record) {
+  const std::string payload = encode_payload(record);
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u64(checksum_of(payload));
+  std::string out = frame.take();
+  out += payload;
+  return out;
+}
+
+FleetJournalScan scan_fleet_journal(std::string_view bytes) {
+  FleetJournalScan scan;
+  if (bytes.substr(0, kFleetJournalMagic.size()) != kFleetJournalMagic) {
+    scan.dropped_bytes = bytes.size();
+    return scan;
+  }
+  scan.header_valid = true;
+  std::size_t pos = kFleetJournalMagic.size();
+  scan.valid_bytes = pos;
+  constexpr std::size_t kFrameHeader = 4 + 8;
+  while (bytes.size() - pos >= kFrameHeader) {
+    ByteReader frame(bytes.substr(pos, kFrameHeader));
+    const std::uint32_t len = frame.u32();
+    const std::uint64_t declared = frame.u64();
+    if (bytes.size() - pos - kFrameHeader < len) break;  // torn tail
+    const std::string_view payload = bytes.substr(pos + kFrameHeader, len);
+    if (checksum_of(payload) != declared) break;  // torn or rotted
+    try {
+      scan.records.push_back(decode_payload(payload));
+    } catch (const std::invalid_argument&) {
+      break;  // checksum collision on garbage; treat as corruption
+    }
+    pos += kFrameHeader + len;
+    scan.valid_bytes = pos;
+  }
+  scan.dropped_bytes = bytes.size() - scan.valid_bytes;
+  return scan;
+}
+
+std::map<std::pair<std::string, std::uint64_t>, FleetZoneRecord>
+recover_interrupted_run(const FleetJournalScan& scan, std::uint64_t seed,
+                        std::string_view fleet) {
+  // Find the last start record; only its suffix describes the current run.
+  std::size_t start = scan.records.size();
+  for (std::size_t i = scan.records.size(); i-- > 0;) {
+    if (std::holds_alternative<FleetRunStartRecord>(scan.records[i])) {
+      start = i;
+      break;
+    }
+  }
+  std::map<std::pair<std::string, std::uint64_t>, FleetZoneRecord> zones;
+  if (start == scan.records.size()) return zones;
+  const auto& begun = std::get<FleetRunStartRecord>(scan.records[start]);
+  if (begun.seed != seed || begun.fleet != fleet) return zones;
+  for (std::size_t i = start + 1; i < scan.records.size(); ++i) {
+    if (std::holds_alternative<FleetRunEndRecord>(scan.records[i])) {
+      zones.clear();  // the run finished; nothing to resume
+      return zones;
+    }
+    const auto& zone = std::get<FleetZoneRecord>(scan.records[i]);
+    zones.insert_or_assign({zone.inventory, zone.zone}, zone);
+  }
+  return zones;
+}
+
+FleetJournalScan FleetJournal::load() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!backend_.exists(name_)) return {};
+  try {
+    return scan_fleet_journal(backend_.read(name_));
+  } catch (const IoError&) {
+    return {};
+  }
+}
+
+void FleetJournal::begin(const FleetRunStartRecord& start,
+                         const std::vector<FleetZoneRecord>& carried) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  try {
+    if (backend_.exists(name_)) backend_.remove(name_);
+    backend_.append(name_, kFleetJournalMagic);
+    backend_.append(name_, encode_fleet_record(start));
+    for (const FleetZoneRecord& zone : carried) {
+      backend_.append(name_, encode_fleet_record(zone));
+    }
+    backend_.flush(name_);
+  } catch (const IoError&) {
+    ++append_failures_;
+  }
+}
+
+void FleetJournal::append(const FleetJournalRecord& record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  append_locked(record);
+}
+
+void FleetJournal::append_locked(const FleetJournalRecord& record) {
+  try {
+    backend_.append(name_, encode_fleet_record(record));
+    backend_.flush(name_);
+  } catch (const IoError&) {
+    ++append_failures_;
+  }
+}
+
+}  // namespace rfid::storage

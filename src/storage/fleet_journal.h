@@ -1,0 +1,127 @@
+// Durable fleet-run journal: which zones a fleet orchestrator finished.
+//
+// A fleet run executes dozens of zone sessions; a crashed orchestrator that
+// restarts from scratch re-pays every completed zone's simulated air time.
+// Because every zone's result is a pure function of (fleet seed, inventory,
+// zone) — the orchestrator's determinism contract — a journaled terminal
+// zone record can simply be *reused* on restart: the orchestrator skips the
+// zone and folds the recorded outcome into the aggregate verdict.
+//
+// Framing is the WAL's (journal.h): a magic header, then
+// [u32 len][u64 fnv1a64(payload)][payload] per record, truncate-at-first-
+// tear on scan. Record stream shape:
+//
+//   FleetRunStartRecord(seed, fleet)        one per run, written at start
+//   FleetZoneRecord ...                     one per zone reaching a terminal
+//                                           state (any order — workers race)
+//   FleetRunEndRecord(verdict)              written after aggregation
+//
+// Recovery looks at the records after the LAST start record: if no end
+// record follows, the run was interrupted and its zone records are
+// reusable — but only when seed and fleet name match the restarted run
+// (recover_interrupted_run enforces this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "storage/backend.h"
+
+namespace rfid::storage {
+
+inline constexpr std::string_view kFleetJournalMagic = "RFIDMON-FLEET 1\n";
+
+struct FleetRunStartRecord {
+  std::uint64_t seed = 0;
+  std::string fleet;
+};
+
+/// A zone that reached a terminal state (verified, violated, or failed for
+/// good after capped retries). Everything aggregation needs; link-level
+/// counters that only feed operator curiosity (burst drops, duplicates) are
+/// deliberately not journaled.
+struct FleetZoneRecord {
+  std::string inventory;            // inventory name (stable across restarts)
+  std::uint64_t zone = 0;           // zone index within the inventory
+  std::uint8_t status = 0;          // fleet::ZoneStatus raw value
+  std::uint32_t attempts = 0;
+  std::uint8_t last_failure = 0;    // wire::FailureReason raw value
+  bool resynced = false;            // UTRP mirror re-audited before a retry
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t intact_rounds = 0;
+  std::uint64_t mismatched_rounds = 0;
+  std::uint64_t deadline_missed_rounds = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t retransmissions = 0;
+  double duration_us = 0.0;         // simulated time of the final attempt
+};
+
+struct FleetRunEndRecord {
+  std::uint8_t verdict = 0;  // fleet::GlobalVerdict raw value
+};
+
+using FleetJournalRecord =
+    std::variant<FleetRunStartRecord, FleetZoneRecord, FleetRunEndRecord>;
+
+/// Frames one record (length prefix + checksum + payload).
+[[nodiscard]] std::string encode_fleet_record(const FleetJournalRecord& record);
+
+struct FleetJournalScan {
+  std::vector<FleetJournalRecord> records;
+  bool header_valid = false;
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+/// Truncate-at-first-tear scan; never throws on damaged input.
+[[nodiscard]] FleetJournalScan scan_fleet_journal(std::string_view bytes);
+
+/// Zone records of an interrupted run (a start record with no end record),
+/// keyed by (inventory name, zone); later records win. Empty when the
+/// journal is clean, finished, or belongs to a different (seed, fleet).
+[[nodiscard]] std::map<std::pair<std::string, std::uint64_t>, FleetZoneRecord>
+recover_interrupted_run(const FleetJournalScan& scan, std::uint64_t seed,
+                        std::string_view fleet);
+
+/// Thread-safe appender: workers race to journal terminal zones, so every
+/// append serializes under a mutex and flushes before returning (a record
+/// is reusable iff it is durable). Append failures are swallowed and
+/// counted — a sick journal disk must not take the fleet run down with it.
+class FleetJournal {
+ public:
+  FleetJournal(StorageBackend& backend, std::string name)
+      : backend_(backend), name_(std::move(name)) {}
+
+  /// Scans whatever the backend holds under this name (missing file = empty
+  /// scan). Call before begin() to harvest an interrupted run.
+  [[nodiscard]] FleetJournalScan load() const;
+
+  /// Starts a fresh journal: removes any previous bytes, writes the header
+  /// and the start record, then re-appends `carried` zone records (results
+  /// recovered from the interrupted run, so a second crash still sees them).
+  void begin(const FleetRunStartRecord& start,
+             const std::vector<FleetZoneRecord>& carried);
+
+  void append(const FleetJournalRecord& record);
+
+  /// Appends the journal failed to make durable (IoError swallowed).
+  [[nodiscard]] std::uint64_t append_failures() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return append_failures_;
+  }
+
+ private:
+  void append_locked(const FleetJournalRecord& record);
+
+  StorageBackend& backend_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::uint64_t append_failures_ = 0;
+};
+
+}  // namespace rfid::storage

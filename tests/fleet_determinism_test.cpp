@@ -1,0 +1,204 @@
+// The fleet determinism contract, pinned down byte-for-byte: the same
+// seeded fleet run at threads=1 and threads=8 must produce identical
+// aggregated verdicts, summary text, metric exposition (Prometheus and
+// JSON, session log included), and trace renderings. Everything random
+// derives from (fleet seed, inventory, zone, attempt) — never from thread
+// identity or scheduling order — and the orchestrator records
+// observability post-run in deterministic order, so none of the
+// order-sensitive sinks (histogram FP sums, span ids, log entries) can
+// drift with the thread count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "fault/fault.h"
+#include "fleet/fleet.h"
+#include "obs/expose.h"
+#include "obs/metrics.h"
+#include "obs/session_log.h"
+#include "obs/trace.h"
+#include "server/group_planner.h"
+#include "storage/backend.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace rfid;
+
+struct Rendered {
+  fleet::GlobalVerdict verdict;
+  std::string summary;
+  std::string prometheus;
+  std::string json;
+  std::string trace;
+  std::string journal;
+};
+
+// A fleet that exercises every code path whose ordering could leak thread
+// identity: clean TRP zones, a theft (violated verdict), a crash-then-retry
+// zone (requeue), a permanently dark zone (escalation), a UTRP inventory
+// with an Alg. 5 deadline (EDF priority + mirror resync on retry), and an
+// admission capacity that forces a second wave.
+Rendered run_fleet(unsigned threads) {
+  obs::MetricsRegistry metrics;
+  double clock = 0.0;
+  obs::Tracer tracer([&clock] { return clock += 1.0; });
+  obs::SessionLog log(256);
+  storage::MemoryBackend backend;
+
+  fleet::FleetOrchestrator orchestrator({.seed = 4242,
+                                         .threads = threads,
+                                         .max_zone_attempts = 3,
+                                         .admission_capacity = 8,
+                                         .fleet_name = "det-fleet",
+                                         .metrics = &metrics,
+                                         .tracer = &tracer,
+                                         .session_log = &log,
+                                         .journal_backend = &backend});
+
+  util::Rng rng(2026);  // same population every call
+
+  {
+    fleet::InventorySpec spec;
+    spec.name = "clean";
+    spec.tags = tag::TagSet::make_random(120, rng);
+    spec.plan = server::plan_groups({.total_tags = 120,
+                                     .total_tolerance = 4,
+                                     .alpha = 0.95,
+                                     .max_group_size = 30});
+    spec.rounds = 2;
+    orchestrator.submit(std::move(spec));
+  }
+  {
+    fleet::InventorySpec spec;
+    spec.name = "looted";
+    spec.tags = tag::TagSet::make_random(90, rng);
+    spec.plan = server::plan_groups({.total_tags = 90,
+                                     .total_tolerance = 3,
+                                     .alpha = 0.95,
+                                     .max_group_size = 30});
+    spec.rounds = 2;
+    for (std::uint64_t i = 0; i < 8; ++i) spec.stolen.push_back(i);
+    spec.zone_faults.emplace_back(
+        1, fault::parse_fault_plan("crash 10000 never\n"));
+    orchestrator.submit(std::move(spec));
+  }
+  {
+    fleet::InventorySpec spec;
+    spec.name = "dark";
+    spec.tags = tag::TagSet::make_random(30, rng);
+    spec.plan = server::plan_groups({.total_tags = 30,
+                                     .total_tolerance = 1,
+                                     .alpha = 0.95,
+                                     .max_group_size = 0});
+    spec.rounds = 1;
+    spec.session.uplink.drop_prob = 1.0;
+    spec.session.max_retries = 2;
+    orchestrator.submit(std::move(spec));
+  }
+  {
+    fleet::InventorySpec spec;
+    spec.name = "utrp-cage";
+    spec.protocol = fleet::Protocol::kUtrp;
+    spec.tags = tag::TagSet::make_random(60, rng);
+    spec.plan = server::plan_groups({.total_tags = 60,
+                                     .total_tolerance = 2,
+                                     .alpha = 0.95,
+                                     .max_group_size = 30});
+    spec.comm_budget = 10;
+    spec.rounds = 1;
+    spec.session.utrp_deadline_us = 10e6;
+    spec.zone_faults.emplace_back(
+        0, fault::parse_fault_plan("crash 10000 never\n"));
+    orchestrator.submit(std::move(spec));
+  }
+
+  const fleet::FleetResult result = orchestrator.run();
+  Rendered out{result.verdict,
+               fleet::summary(result),
+               obs::render_prometheus(metrics.snapshot()),
+               obs::render_json(metrics.snapshot(), &log),
+               tracer.render(),
+               backend.read("fleet.journal")};
+  return out;
+}
+
+TEST(FleetDeterminism, MixedFleetIsBitIdenticalAcrossThreadCounts) {
+  const Rendered one = run_fleet(1);
+  const Rendered eight = run_fleet(8);
+
+  EXPECT_EQ(one.verdict, fleet::GlobalVerdict::kViolated);
+  EXPECT_EQ(one.verdict, eight.verdict);
+  EXPECT_EQ(one.summary, eight.summary);
+  EXPECT_EQ(one.prometheus, eight.prometheus);
+  EXPECT_EQ(one.json, eight.json);
+  EXPECT_EQ(one.trace, eight.trace);
+  // The journal's zone records may legitimately appear in any order
+  // (workers race to append), so byte-comparing it would be wrong; but its
+  // CONTENT folded through recovery is canonical.
+  const auto scan_one = storage::scan_fleet_journal(one.journal);
+  const auto scan_eight = storage::scan_fleet_journal(eight.journal);
+  EXPECT_EQ(scan_one.records.size(), scan_eight.records.size());
+
+  // The interesting paths really ran.
+  EXPECT_NE(one.summary.find("requeues: "), std::string::npos);
+  EXPECT_NE(one.summary.find("zone_escalated"), std::string::npos);
+  EXPECT_NE(one.prometheus.find("rfidmon_fleet_runs_total"),
+            std::string::npos);
+  EXPECT_NE(one.json.find("\"fleet\":\"det-fleet\""), std::string::npos);
+}
+
+// The ISSUE acceptance scenario: >= 64 zones across >= 4 inventories, run
+// to completion with a correct aggregated verdict, bit-identical at 1 and
+// 8 threads.
+Rendered run_big_fleet(unsigned threads) {
+  obs::MetricsRegistry metrics;
+  double clock = 0.0;
+  obs::Tracer tracer([&clock] { return clock += 1.0; });
+  obs::SessionLog log(256);
+
+  fleet::FleetOrchestrator orchestrator({.seed = 777,
+                                         .threads = threads,
+                                         .fleet_name = "big-fleet",
+                                         .metrics = &metrics,
+                                         .tracer = &tracer,
+                                         .session_log = &log});
+  util::Rng rng(555);
+  for (int i = 0; i < 4; ++i) {
+    fleet::InventorySpec spec;
+    spec.name = "inv" + std::to_string(i);
+    spec.tags = tag::TagSet::make_random(320, rng);
+    spec.plan = server::plan_groups({.total_tags = 320,
+                                     .total_tolerance = 8,
+                                     .alpha = 0.95,
+                                     .max_group_size = 20});
+    spec.rounds = 1;
+    if (i == 1) {
+      for (std::uint64_t t = 0; t < 6; ++t) spec.stolen.push_back(t);
+    }
+    orchestrator.submit(std::move(spec));
+  }
+  const fleet::FleetResult result = orchestrator.run();
+  EXPECT_EQ(result.zones, 64u);
+  return Rendered{result.verdict,
+                  fleet::summary(result),
+                  obs::render_prometheus(metrics.snapshot()),
+                  obs::render_json(metrics.snapshot(), &log),
+                  tracer.render(),
+                  {}};
+}
+
+TEST(FleetDeterminism, SixtyFourZoneFleetIsBitIdenticalAcrossThreadCounts) {
+  const Rendered one = run_big_fleet(1);
+  const Rendered eight = run_big_fleet(8);
+  EXPECT_EQ(one.verdict, fleet::GlobalVerdict::kViolated);
+  EXPECT_EQ(one.verdict, eight.verdict);
+  EXPECT_EQ(one.summary, eight.summary);
+  EXPECT_EQ(one.prometheus, eight.prometheus);
+  EXPECT_EQ(one.json, eight.json);
+  EXPECT_EQ(one.trace, eight.trace);
+}
+
+}  // namespace

