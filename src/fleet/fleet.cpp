@@ -485,6 +485,13 @@ FleetResult FleetOrchestrator::run() {
     result.inventories.push_back(std::move(inv_report));
   }
 
+  // An intact verdict asserts the pigeonhole guarantee held, which requires
+  // zones to have actually run. A fleet where nothing was monitored (every
+  // inventory rejected at admission, or nothing submitted) is inconclusive.
+  if (result.zones == 0) {
+    result.verdict = worse(result.verdict, GlobalVerdict::kInconclusive);
+  }
+
   if (journal_ != nullptr) {
     journal_->append(storage::FleetRunEndRecord{
         static_cast<std::uint8_t>(result.verdict)});

@@ -58,7 +58,16 @@ void FleetScheduler::submit(double deadline_us, Task fn) {
     const std::lock_guard<std::mutex> lock(workers_[target]->mu);
     workers_[target]->queue.push(Entry{deadline_us, seq, std::move(fn)});
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // The increment must happen under wake_mu_: a worker that read
+    // pending_==0 in its wait predicate is either still holding the lock
+    // (we block until it sleeps) or already in the wait set (the notify
+    // reaches it). An unlocked increment could slip into that gap and the
+    // notify would wake nobody — with no later submit, the task strands
+    // and wait_idle() deadlocks.
+    const std::lock_guard<std::mutex> wake_lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
   wake_cv_.notify_all();
 }
 

@@ -247,14 +247,22 @@ FleetJournalScan FleetJournal::load() const {
 void FleetJournal::begin(const FleetRunStartRecord& start,
                          const std::vector<FleetZoneRecord>& carried) {
   const std::lock_guard<std::mutex> lock(mu_);
+  // temp -> flush -> rename (the durable_server rotation idiom): the old
+  // journal — and any carried records it holds — stays readable until the
+  // new one is fully durable, so a crash anywhere in here loses nothing,
+  // and a failed write can never leave a headerless file that later
+  // appends would extend into an unreadable journal.
+  const std::string tmp = name_ + ".tmp";
   try {
-    if (backend_.exists(name_)) backend_.remove(name_);
-    backend_.append(name_, kFleetJournalMagic);
-    backend_.append(name_, encode_fleet_record(start));
+    if (backend_.exists(tmp)) backend_.remove(tmp);
+    std::string bytes(kFleetJournalMagic);
+    bytes += encode_fleet_record(start);
     for (const FleetZoneRecord& zone : carried) {
-      backend_.append(name_, encode_fleet_record(zone));
+      bytes += encode_fleet_record(zone);
     }
-    backend_.flush(name_);
+    backend_.append(tmp, bytes);
+    backend_.flush(tmp);
+    backend_.rename(tmp, name_);
   } catch (const IoError&) {
     ++append_failures_;
   }

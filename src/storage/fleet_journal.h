@@ -101,9 +101,11 @@ class FleetJournal {
   /// scan). Call before begin() to harvest an interrupted run.
   [[nodiscard]] FleetJournalScan load() const;
 
-  /// Starts a fresh journal: removes any previous bytes, writes the header
-  /// and the start record, then re-appends `carried` zone records (results
-  /// recovered from the interrupted run, so a second crash still sees them).
+  /// Starts a fresh journal: writes the header, the start record, and the
+  /// `carried` zone records (results recovered from the interrupted run) to
+  /// a temporary name, then atomically renames it over the old journal.
+  /// Either the old journal or the complete new one is readable at every
+  /// point, so a second crash still sees the carried records.
   void begin(const FleetRunStartRecord& start,
              const std::vector<FleetZoneRecord>& carried);
 

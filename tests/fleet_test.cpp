@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/storage_fault.h"
 #include "fleet/fleet.h"
 #include "fleet/scheduler.h"
 #include "obs/catalog.h"
@@ -125,6 +126,23 @@ TEST(FleetScheduler, TasksMaySubmitTasks) {
   }
   pool.wait_idle();  // must cover the requeues, not just the first wave
   EXPECT_EQ(executed.load(), 16);
+}
+
+TEST(FleetScheduler, SingleSubmitToAnIdlePoolAlwaysWakesAWorker) {
+  // Lost-wakeup regression: a task submitted while every worker sleeps has
+  // no later submit to mask a dropped notify, so a submit that publishes
+  // pending_ outside wake_mu_ can strand the task and hang wait_idle().
+  // Tight submit/drain cycles against a single worker give the race many
+  // chances to land in the predicate-check-to-sleep window.
+  fleet::FleetScheduler pool(1);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 2000; ++i) {
+    pool.submit(0.0, [&executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(executed.load(), 2000);
 }
 
 // ---------------------------------------------------------- test rig ----
@@ -417,6 +435,93 @@ TEST(FleetJournal, RecoveryMatchesSeedAndFleetOnly) {
   EXPECT_TRUE(storage::recover_interrupted_run(done, 5, "f").empty());
 }
 
+// Rig for the begin() crash-atomicity sweep: an interrupted run's journal
+// (start record, one terminal zone, no end record) under (seed 9, "f").
+storage::FleetZoneRecord carried_zone() {
+  storage::FleetZoneRecord zone;
+  zone.inventory = "inv";
+  zone.zone = 1;
+  zone.status = 0;
+  zone.attempts = 2;
+  zone.duration_us = 7.0;
+  return zone;
+}
+
+void build_interrupted_journal(storage::MemoryBackend& backend) {
+  storage::FleetJournal journal(backend, "fleet.journal");
+  journal.begin({.seed = 9, .fleet = "f"}, {});
+  journal.append(carried_zone());
+}
+
+TEST(FleetJournal, BeginIsCrashAtomicAtEveryCrashPoint) {
+  // Contract: begin() replaces the journal atomically, so a crash anywhere
+  // inside it leaves either the complete old journal or the complete new
+  // one — the carried (recovered) zone record is readable in both, and a
+  // second crash never loses it.
+  std::uint64_t total_ops = 0;
+  {
+    storage::MemoryBackend inner;
+    build_interrupted_journal(inner);
+    fault::FaultyBackend faulty(inner, {});
+    storage::FleetJournal journal(faulty, "fleet.journal");
+    journal.begin({.seed = 9, .fleet = "f"}, {carried_zone()});
+    total_ops = faulty.mutating_ops();
+  }
+  ASSERT_GE(total_ops, 2u);
+
+  for (std::uint64_t k = 1; k <= total_ops; ++k) {
+    for (const bool before : {true, false}) {
+      storage::MemoryBackend inner;
+      build_interrupted_journal(inner);
+      fault::FaultyBackend faulty(
+          inner, {.crash_at_op = k, .crash_before_effect = before});
+      storage::FleetJournal journal(faulty, "fleet.journal");
+      try {
+        journal.begin({.seed = 9, .fleet = "f"}, {carried_zone()});
+        FAIL() << "crash point " << k << " never fired";
+      } catch (const fault::CrashInjected&) {
+      }
+      inner.crash();  // drop unflushed bytes, as a power cut would
+
+      const auto scan =
+          storage::scan_fleet_journal(inner.read("fleet.journal"));
+      EXPECT_TRUE(scan.header_valid)
+          << "crash at op " << k << " (before=" << before
+          << ") left an unreadable journal";
+      EXPECT_EQ(scan.dropped_bytes, 0u);
+      const auto zones = storage::recover_interrupted_run(scan, 9, "f");
+      ASSERT_EQ(zones.count({"inv", 1}), 1u)
+          << "crash at op " << k << " (before=" << before
+          << ") lost the carried zone record";
+      EXPECT_DOUBLE_EQ(zones.at({"inv", 1}).duration_us, 7.0);
+    }
+  }
+}
+
+TEST(FleetJournal, FailedBeginLeavesTheOldJournalReadable) {
+  // An IoError inside begin() (disk full while staging the replacement)
+  // must not damage the current journal: the old bytes stay bound to the
+  // journal name and later appends still land on a well-formed file.
+  storage::MemoryBackend inner;
+  build_interrupted_journal(inner);
+  const std::string old_bytes = inner.read("fleet.journal");
+
+  fault::FaultyBackend faulty(
+      inner, {.partial_append_at = 1, .partial_append_keep_fraction = 0.5});
+  storage::FleetJournal journal(faulty, "fleet.journal");
+  journal.begin({.seed = 9, .fleet = "f"}, {carried_zone()});
+  EXPECT_EQ(journal.append_failures(), 1u);
+  EXPECT_EQ(inner.read("fleet.journal"), old_bytes);
+
+  storage::FleetZoneRecord late = carried_zone();
+  late.zone = 2;
+  journal.append(late);
+  const auto scan = storage::scan_fleet_journal(inner.read("fleet.journal"));
+  EXPECT_TRUE(scan.header_valid);
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+  EXPECT_EQ(storage::recover_interrupted_run(scan, 9, "f").size(), 2u);
+}
+
 TEST(FleetOrchestrator, ReusesZonesJournaledByAnInterruptedRun) {
   storage::MemoryBackend backend;
   // Simulate a crashed orchestrator: a journal holding a start record and
@@ -472,6 +577,16 @@ TEST(FleetOrchestrator, CompletedRunLeavesAFinishedJournal) {
       scan.records.back()));
   // A restart after completion recovers nothing (the run is finished).
   EXPECT_TRUE(storage::recover_interrupted_run(scan, 41, "fleet").empty());
+}
+
+TEST(FleetOrchestrator, FleetWithNothingMonitoredIsInconclusive) {
+  // "Intact" asserts the pigeonhole guarantee held, which requires zones to
+  // have actually run — a run that monitored nothing must not report it.
+  fleet::FleetOrchestrator orchestrator({.seed = 7, .threads = 2});
+  const fleet::FleetResult result = orchestrator.run();
+  EXPECT_TRUE(result.inventories.empty());
+  EXPECT_EQ(result.zones, 0u);
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kInconclusive);
 }
 
 // --------------------------------------------------------- guard rails ----

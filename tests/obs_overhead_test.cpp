@@ -24,7 +24,9 @@ namespace {
 using namespace rfid;
 
 /// Wall time for `rounds` full TRP rounds (challenge + expected + verify).
-[[nodiscard]] double run_rounds_us(const protocol::TrpServer& server,
+/// [[maybe_unused]]: sanitized/unoptimized builds compile the test body out.
+[[nodiscard]] [[maybe_unused]] double run_rounds_us(
+    const protocol::TrpServer& server,
                                    std::uint64_t rounds, util::Rng& rng,
                                    std::uint64_t& sink) {
   const auto start = std::chrono::steady_clock::now();
