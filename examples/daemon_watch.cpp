@@ -1,0 +1,95 @@
+// daemon_watch — a warehouse under continuous monitoring, end to end.
+//
+// One MonitorDaemon life: 10 re-scan epochs over a churning population
+// (growth at epoch 2, a theft at epoch 4, a zone outage across epochs 5-7)
+// with two scripted process crashes along the way. The supervisor restarts
+// the monitor, the journal replay carries the alert history across the
+// crashes, and the run ends with the full sequenced alert log, per-epoch
+// verdicts, and the daemon's metrics.
+//
+// Exits 1 (like warehouse_monitoring) because the scenario contains a
+// theft: an intact exit code would be a lie.
+#include <cstdlib>
+#include <iostream>
+
+#include "daemon/daemon.h"
+#include "fault/daemon_fault.h"
+#include "fault/fault.h"
+#include "obs/expose.h"
+#include "obs/metrics.h"
+#include "storage/backend.h"
+
+int main() {
+  using namespace rfid;
+
+  daemon::WarehouseConfig warehouse;
+  warehouse.initial_tags = 120;
+  warehouse.tolerance = 4;
+  warehouse.zone_capacity = 40;
+  warehouse.rounds = 2;
+  // The script: the warehouse grows, then loses 8 tags of zone 0 to theft,
+  // then zone 1's reader dies for three epochs.
+  warehouse.churn.push_back(daemon::ChurnEvent{.epoch = 2, .enroll = 40});
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 4, .enroll = 0, .decommission = 0, .steal = 8, .steal_from = 0});
+  fault::FaultPlan dead_reader;
+  dead_reader.reader_crashes.push_back(fault::CrashWindow{0.0, 0.0});
+  for (std::uint64_t epoch = 5; epoch <= 7; ++epoch) {
+    warehouse.zone_faults.push_back(
+        {.epoch = epoch, .zone = 1, .plan = dead_reader});
+  }
+
+  // Two scripted process deaths: one straddling the checkpoint write, one
+  // right at an epoch boundary.
+  fault::DaemonFaultPlan crashes;
+  crashes.crashes.push_back({3, fault::DaemonCrashPoint::kBeforeCheckpoint});
+  crashes.crashes.push_back({6, fault::DaemonCrashPoint::kEpochStart});
+  fault::DaemonFaultInjector faults(crashes);
+
+  storage::MemoryBackend backend;
+  obs::MetricsRegistry metrics;
+  daemon::DaemonConfig config;
+  config.seed = 2008;
+  config.name = "warehouse-watch";
+  config.epochs = 10;
+  config.threads = 2;
+  config.faults_on_retries = true;  // the outage is real, retries see it too
+  config.debounce_epochs = 2;
+  config.quarantine_after_epochs = 3;
+  config.backend = &backend;
+  config.faults = &faults;
+  config.crash_hook = [&backend] { backend.crash(); };
+  config.metrics = &metrics;
+
+  daemon::MonitorDaemon daemon_instance(config, warehouse);
+  const daemon::DaemonResult result = daemon_instance.run();
+
+  std::cout << "=== continuous monitoring: " << result.epochs_completed
+            << " epochs ===\n\nPer-epoch verdicts:\n";
+  for (std::size_t epoch = 0; epoch < result.epoch_verdicts.size(); ++epoch) {
+    std::cout << "  epoch " << epoch << ": "
+              << daemon::to_string(result.epoch_verdicts[epoch]) << "\n";
+  }
+
+  std::cout << "\nSupervision: " << result.restarts << " restart(s) ("
+            << result.crash_restarts << " crash, " << result.hang_restarts
+            << " hang), " << result.replayed_alerts
+            << " alert(s) replayed from the journal, last resume "
+            << result.last_resume_us << " us\n";
+  for (const daemon::DaemonEvent& event : result.events) {
+    std::cout << "  " << daemon::to_string(event.kind)
+              << " at epoch " << event.epoch << "\n";
+  }
+
+  std::cout << "\nAlert history (sequenced, crash-proof):\n"
+            << daemon::render_alert_history(result.alerts);
+
+  std::cout << "\nDaemon metrics:\n";
+  std::cout << obs::render_prometheus(metrics.snapshot());
+
+  bool violated = false;
+  for (const daemon::EpochVerdict verdict : result.epoch_verdicts) {
+    if (verdict == daemon::EpochVerdict::kViolated) violated = true;
+  }
+  return violated ? EXIT_FAILURE : EXIT_SUCCESS;
+}

@@ -33,6 +33,11 @@ echo "== fleet orchestration (concurrent multi-zone warehouse) =="
 "${BUILD_DIR}/examples/warehouse_monitoring" \
   | tee "${RESULTS_DIR}/fleet_warehouse.txt" || true
 
+echo "== continuous-monitoring daemon (crashes, churn, supervised resume) =="
+# Also exits 1 by design: the scripted scenario contains a theft.
+"${BUILD_DIR}/examples/daemon_watch" \
+  | tee "${RESULTS_DIR}/daemon_watch.txt" || true
+
 echo "== observability (final metrics dump) =="
 "${BUILD_DIR}/examples/metrics_dump" | tee "${RESULTS_DIR}/metrics_prometheus.txt" | tail -5
 "${BUILD_DIR}/examples/metrics_dump" --json > "${RESULTS_DIR}/metrics_json.txt"

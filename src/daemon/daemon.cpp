@@ -1,0 +1,596 @@
+#include "daemon/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/catalog.h"
+#include "server/group_planner.h"
+#include "util/expect.h"
+#include "util/random.h"
+
+namespace rfid::daemon {
+
+namespace {
+
+constexpr std::uint64_t kPopulationSalt = 0x706f70756cULL;  // "popul"
+constexpr std::uint64_t kChurnSalt = 0x636875726eULL;       // "churn"
+constexpr std::uint64_t kEpochSalt = 0x65706f6368ULL;       // "epoch"
+
+[[nodiscard]] std::string_view restart_cause(DaemonEventKind kind) noexcept {
+  return kind == DaemonEventKind::kHangRestart ? "hang" : "crash";
+}
+
+}  // namespace
+
+std::string_view to_string(EpochVerdict verdict) noexcept {
+  switch (verdict) {
+    case EpochVerdict::kIntact: return "intact";
+    case EpochVerdict::kViolated: return "violated";
+    case EpochVerdict::kInconclusive: return "inconclusive";
+    case EpochVerdict::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DaemonAlertKind kind) noexcept {
+  switch (kind) {
+    case DaemonAlertKind::kZoneViolated: return "zone_violated";
+    case DaemonAlertKind::kZoneEscalated: return "zone_escalated";
+    case DaemonAlertKind::kZoneQuarantined: return "zone_quarantined";
+    case DaemonAlertKind::kZoneRecovered: return "zone_recovered";
+    case DaemonAlertKind::kReplanned: return "replanned";
+    case DaemonAlertKind::kStaleJournalQuarantined:
+      return "stale_journal_quarantined";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DaemonEventKind kind) noexcept {
+  switch (kind) {
+    case DaemonEventKind::kCrashRestart: return "crash_restart";
+    case DaemonEventKind::kHangRestart: return "hang_restart";
+    case DaemonEventKind::kGaveUp: return "gave_up";
+  }
+  return "unknown";
+}
+
+std::string render_alert_history(std::span<const DaemonAlert> alerts) {
+  std::string out;
+  for (const DaemonAlert& alert : alerts) {
+    out += '#';
+    out += std::to_string(alert.sequence);
+    out += " epoch ";
+    out += std::to_string(alert.epoch);
+    out += " [";
+    out += to_string(alert.kind);
+    out += "] zone ";
+    out += std::to_string(alert.zone);
+    out += ": ";
+    out += alert.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+MonitorDaemon::MonitorDaemon(DaemonConfig config, WarehouseConfig warehouse)
+    : config_(std::move(config)), warehouse_(std::move(warehouse)) {
+  RFID_EXPECT(config_.backend != nullptr, "daemon needs a storage backend");
+  RFID_EXPECT(config_.epochs >= 1, "daemon needs at least one epoch");
+  RFID_EXPECT(config_.debounce_epochs >= 1, "debounce_epochs must be >= 1");
+  RFID_EXPECT(config_.quarantine_after_epochs >= config_.debounce_epochs,
+              "quarantine must not precede escalation");
+  RFID_EXPECT(config_.quarantine_cooldown_epochs >= 1,
+              "quarantine_cooldown_epochs must be >= 1");
+  RFID_EXPECT(warehouse_.initial_tags >= 1, "warehouse needs tags");
+  RFID_EXPECT(!config_.name.empty(), "daemon needs a name");
+}
+
+MonitorDaemon::~MonitorDaemon() = default;
+
+std::uint64_t MonitorDaemon::config_fingerprint() const {
+  // Everything that shapes epoch results and alert decisions. A resumed
+  // journal whose recording daemon disagreed on any of these would replay
+  // health machines for zones that no longer mean the same thing — it is
+  // quarantined instead (same |1-vs-0 sentinel convention as the fleet's).
+  std::uint64_t h = 0x6461656d6f6eULL;  // "daemon"
+  h = util::derive_seed(h, warehouse_.initial_tags, warehouse_.tolerance);
+  h = util::derive_seed(h, warehouse_.zone_capacity, warehouse_.rounds);
+  h = util::derive_seed(h, static_cast<std::uint64_t>(warehouse_.protocol),
+                        config_.max_zone_attempts);
+  h = util::derive_seed(h, config_.debounce_epochs,
+                        config_.quarantine_after_epochs);
+  h = util::derive_seed(h, config_.quarantine_cooldown_epochs,
+                        config_.faults_on_retries ? 1 : 0);
+  for (const ChurnEvent& event : warehouse_.churn) {
+    h = util::derive_seed(h, event.epoch, event.enroll);
+    h = util::derive_seed(h, event.decommission, event.steal);
+    h = util::derive_seed(h, event.steal_from, 1);
+  }
+  for (const WarehouseConfig::ZoneFault& zf : warehouse_.zone_faults) {
+    h = util::derive_seed(h, zf.epoch, zf.zone);
+  }
+  return h | 1;
+}
+
+MonitorDaemon::Population MonitorDaemon::population_at(
+    std::uint64_t epoch) const {
+  // The population is a pure function of (seed, churn script, epoch): the
+  // initial audit and every enrollment draw from seeds derived here, so a
+  // resumed daemon re-derives tag-for-tag the population the crashed one
+  // was monitoring.
+  Population population;
+  {
+    util::Rng rng(util::derive_seed(config_.seed, 0, kPopulationSalt));
+    tag::TagSet initial =
+        tag::TagSet::make_random(warehouse_.initial_tags, rng);
+    population.tags.assign(initial.tags().begin(), initial.tags().end());
+  }
+  population.stolen.assign(population.tags.size(), false);
+
+  for (const ChurnEvent& event : warehouse_.churn) {
+    if (event.epoch > epoch) continue;
+    const std::uint64_t retire = std::min<std::uint64_t>(
+        event.decommission, population.tags.size());
+    population.tags.erase(
+        population.tags.begin(),
+        population.tags.begin() + static_cast<std::ptrdiff_t>(retire));
+    population.stolen.erase(
+        population.stolen.begin(),
+        population.stolen.begin() + static_cast<std::ptrdiff_t>(retire));
+    if (event.enroll > 0) {
+      util::Rng rng(util::derive_seed(config_.seed, event.epoch, kChurnSalt));
+      tag::TagSet fresh = tag::TagSet::make_random(
+          static_cast<std::size_t>(event.enroll), rng);
+      for (const tag::Tag& t : fresh.tags()) population.tags.push_back(t);
+      population.stolen.resize(population.tags.size(), false);
+    }
+    for (std::uint64_t i = 0; i < event.steal; ++i) {
+      const std::uint64_t index = event.steal_from + i;
+      if (index < population.stolen.size()) {
+        population.stolen[static_cast<std::size_t>(index)] = true;
+      }
+    }
+  }
+  return population;
+}
+
+void MonitorDaemon::resume_from_journal(DaemonResult& result) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const storage::DaemonStartRecord start{config_.seed, config_.name,
+                                         config_fingerprint()};
+  storage::DaemonReplay replay = journal_->open(start);
+
+  // In-memory state is a cache of the journal, never the truth: rebuild it
+  // wholesale so the daemon after a crash is in exactly the state the
+  // journal proves, nothing more.
+  healths_.clear();
+  alerts_.clear();
+  pending_alerts_.clear();
+  verdicts_.clear();
+  next_alert_sequence_ = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t restored = 0;
+  for (storage::DaemonCheckpointRecord& checkpoint : replay.checkpoints) {
+    verdicts_.push_back(static_cast<EpochVerdict>(checkpoint.verdict));
+    healths_ = checkpoint.zones;
+    next_alert_sequence_ = checkpoint.next_alert_sequence;
+    committed = checkpoint.epoch + 1;
+    restored += checkpoint.alerts.size();
+    for (storage::DaemonAlertRecord& alert : checkpoint.alerts) {
+      alerts_.push_back(std::move(alert));
+    }
+  }
+  epochs_committed_.store(committed, std::memory_order_release);
+
+  if (replay.stale) {
+    // The refusal itself must reach the operator — but an alert is only
+    // durable inside a checkpoint, so park it for the next epoch's record.
+    storage::DaemonAlertRecord pending;
+    pending.kind =
+        static_cast<std::uint8_t>(DaemonAlertKind::kStaleJournalQuarantined);
+    pending.detail =
+        std::to_string(replay.stale_checkpoints) +
+        " checkpointed epoch(s) from a different monitoring config were "
+        "quarantined; monitoring restarts at epoch 0";
+    pending_alerts_.push_back(std::move(pending));
+  }
+
+  result.replayed_alerts += restored;
+  const double resume_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  result.last_resume_us = resume_us;
+  if (config_.metrics != nullptr) {
+    if (restored > 0) {
+      obs::catalog::daemon_replayed_alerts_total(*config_.metrics)
+          .inc(restored);
+    }
+    obs::catalog::daemon_resume_duration_us(*config_.metrics)
+        .observe(resume_us);
+  }
+}
+
+void MonitorDaemon::sync_registry(const tag::TagSet& tags,
+                                  const server::GroupPlan& plan) {
+  const std::vector<tag::TagSet> slices = server::split_by_plan(tags, plan);
+  for (std::size_t z = 0; z < slices.size(); ++z) {
+    server::GroupConfig cfg;
+    cfg.name = config_.name + "/zone-" + std::to_string(z);
+    cfg.policy = protocol::MonitoringPolicy{plan.zones[z].tolerance,
+                                            warehouse_.alpha, warehouse_.model};
+    cfg.protocol = warehouse_.protocol == fleet::Protocol::kUtrp
+                       ? server::ProtocolKind::kUtrp
+                       : server::ProtocolKind::kTrp;
+    cfg.comm_budget = warehouse_.comm_budget;
+    cfg.slack_slots = warehouse_.slack_slots;
+    if (z < registry_zones_.size()) {
+      // Same zone identity, fresh membership — re-enrollment in place, the
+      // whole point of not rebuilding the server across re-plans.
+      registry_.re_enroll(registry_zones_[z], slices[z], std::move(cfg));
+    } else {
+      registry_zones_.push_back(registry_.enroll(slices[z], std::move(cfg)));
+    }
+  }
+  for (std::size_t z = slices.size(); z < registry_zones_.size(); ++z) {
+    if (registry_.active(registry_zones_[z])) {
+      registry_.decommission(registry_zones_[z]);
+    }
+  }
+}
+
+void MonitorDaemon::run_epoch(std::uint64_t epoch) {
+  if (abort_.load(std::memory_order_acquire)) {
+    throw fault::CrashInjected("monitor killed before epoch " +
+                               std::to_string(epoch));
+  }
+  fault::DaemonFaultInjector* faults = config_.faults;
+  if (faults != nullptr) {
+    faults->at(epoch, fault::DaemonCrashPoint::kEpochStart);
+    faults->maybe_hang(epoch);
+  }
+
+  // Re-audit: apply churn and re-plan so Σ m_i = M still covers whatever
+  // the population has become. The tolerance clamps to keep the planner's
+  // M + zones <= N invariant alive through heavy decommissioning.
+  Population population = population_at(epoch);
+  const std::uint64_t n = population.tags.size();
+  RFID_EXPECT(n > 0, "churn script emptied the population");
+  const std::uint64_t zones_estimate =
+      warehouse_.zone_capacity == 0
+          ? 1
+          : (n + warehouse_.zone_capacity - 1) / warehouse_.zone_capacity;
+  std::uint64_t tolerance = warehouse_.tolerance;
+  if (tolerance + zones_estimate > n) {
+    tolerance = n > zones_estimate ? n - zones_estimate : 0;
+  }
+  const server::GroupPlan plan =
+      server::plan_groups({.total_tags = n,
+                           .total_tolerance = tolerance,
+                           .alpha = warehouse_.alpha,
+                           .max_group_size = warehouse_.zone_capacity,
+                           .model = warehouse_.model});
+  const std::size_t zone_count = plan.zones.size();
+
+  tag::TagSet tags(std::move(population.tags));
+  sync_registry(tags, plan);
+
+  fleet::InventorySpec spec;
+  spec.name = "warehouse";
+  spec.protocol = warehouse_.protocol;
+  spec.plan = plan;
+  spec.alpha = warehouse_.alpha;
+  spec.model = warehouse_.model;
+  spec.comm_budget = warehouse_.comm_budget;
+  spec.slack_slots = warehouse_.slack_slots;
+  spec.rounds = warehouse_.rounds;
+  spec.session = warehouse_.session;
+  for (std::size_t i = 0; i < population.stolen.size(); ++i) {
+    if (population.stolen[i]) spec.stolen.push_back(i);
+  }
+  for (const WarehouseConfig::ZoneFault& zf : warehouse_.zone_faults) {
+    if (zf.epoch == epoch && zf.zone < zone_count) {
+      spec.zone_faults.emplace_back(zf.zone, zf.plan);
+    }
+  }
+  spec.tags = std::move(tags);
+
+  fleet::FleetConfig fleet_config;
+  fleet_config.seed = util::derive_seed(config_.seed, epoch + 1, kEpochSalt);
+  fleet_config.threads = config_.threads;
+  fleet_config.max_zone_attempts = config_.max_zone_attempts;
+  fleet_config.faults_on_retries = config_.faults_on_retries;
+  fleet_config.fleet_name = config_.name + "/epoch-" + std::to_string(epoch);
+  fleet_config.journal_backend = config_.backend;
+  fleet_config.journal_name = config_.fleet_journal_name;
+  fleet_config.abort = &abort_;
+
+  fleet::FleetOrchestrator orchestrator(std::move(fleet_config));
+  orchestrator.submit(std::move(spec));
+  fleet::FleetResult fleet_result = orchestrator.run();
+
+  if (faults != nullptr) {
+    faults->at(epoch, fault::DaemonCrashPoint::kAfterFleetRun);
+  }
+  if (fleet_result.aborted) {
+    // The watchdog pulled the kill switch mid-run; unwind as the crash the
+    // supervisor is already expecting. Nothing was journaled for this
+    // epoch, so the restart re-runs it (resuming finished zones from the
+    // fleet journal).
+    throw fault::CrashInjected("epoch " + std::to_string(epoch) +
+                               " aborted by supervisor");
+  }
+
+  // ---- decide (nothing in-memory mutates until the checkpoint holds) ----
+  const std::vector<fleet::ZoneReport>& reports =
+      fleet_result.inventories.at(0).zones;
+  std::vector<storage::DaemonZoneHealthRecord> healths = healths_;
+  std::vector<storage::DaemonAlertRecord> raised;
+  std::uint64_t sequence = next_alert_sequence_;
+  const auto raise = [&](DaemonAlertKind kind, std::uint64_t zone,
+                         std::string detail) {
+    storage::DaemonAlertRecord alert;
+    alert.sequence = sequence++;
+    alert.kind = static_cast<std::uint8_t>(kind);
+    alert.epoch = epoch;
+    alert.zone = zone;
+    alert.detail = std::move(detail);
+    raised.push_back(std::move(alert));
+  };
+
+  for (const storage::DaemonAlertRecord& pending : pending_alerts_) {
+    raise(static_cast<DaemonAlertKind>(pending.kind), pending.zone,
+          pending.detail);
+  }
+  for (const fleet::FleetAlert& alert : fleet_result.alerts) {
+    if (alert.kind == fleet::AlertKind::kRecoveredRunQuarantined) {
+      raise(DaemonAlertKind::kStaleJournalQuarantined, 0,
+            "fleet journal: " + alert.detail);
+    }
+  }
+  if (!healths.empty() && healths.size() != zone_count) {
+    raise(DaemonAlertKind::kReplanned, 0,
+          "zone count changed from " + std::to_string(healths.size()) +
+              " to " + std::to_string(zone_count) +
+              "; zone health machines reset");
+    healths.clear();
+  }
+  healths.resize(zone_count);
+
+  bool theft = false;
+  bool healthy_miss = false;
+  bool quarantined_miss = false;
+  for (std::size_t z = 0; z < zone_count; ++z) {
+    const fleet::ZoneReport& report = reports[z];
+    storage::DaemonZoneHealthRecord& health = healths[z];
+    const bool was_quarantined = health.quarantined;
+    if (report.status == fleet::ZoneStatus::kIntact) {
+      health.miss_streak = 0;
+      if (health.quarantined) {
+        ++health.intact_streak;
+        if (health.intact_streak >= config_.quarantine_cooldown_epochs) {
+          raise(DaemonAlertKind::kZoneRecovered, z,
+                "recovered after " + std::to_string(health.intact_streak) +
+                    " intact epoch(s); quarantined since epoch " +
+                    std::to_string(health.quarantined_at));
+          health = storage::DaemonZoneHealthRecord{};
+        }
+      } else {
+        health.intact_streak = 0;
+        health.violated = false;  // incident over; a new one re-alerts
+      }
+      continue;
+    }
+
+    health.intact_streak = 0;
+    ++health.miss_streak;
+    if (report.status == fleet::ZoneStatus::kViolated) {
+      theft = true;
+      if (!health.violated) {
+        health.violated = true;
+        raise(DaemonAlertKind::kZoneViolated, z,
+              "theft evidence: zone verdict violated");
+      }
+    } else if (was_quarantined) {
+      quarantined_miss = true;
+    } else {
+      healthy_miss = true;
+    }
+    if (health.miss_streak == config_.debounce_epochs) {
+      raise(DaemonAlertKind::kZoneEscalated, z,
+            "missed " + std::to_string(health.miss_streak) +
+                " consecutive epoch(s); last failure: " +
+                std::string(wire::to_string(report.last_failure)));
+    }
+    if (!health.quarantined &&
+        health.miss_streak >= config_.quarantine_after_epochs) {
+      health.quarantined = true;
+      health.quarantined_at = epoch;
+      raise(DaemonAlertKind::kZoneQuarantined, z,
+            "quarantined after " + std::to_string(health.miss_streak) +
+                " consecutive misses; failures now degrade (not void) the "
+                "epoch verdict");
+    }
+  }
+
+  const EpochVerdict verdict = theft            ? EpochVerdict::kViolated
+                               : healthy_miss   ? EpochVerdict::kInconclusive
+                               : quarantined_miss ? EpochVerdict::kDegraded
+                                                  : EpochVerdict::kIntact;
+
+  storage::DaemonCheckpointRecord record;
+  record.epoch = epoch;
+  record.verdict = static_cast<std::uint8_t>(verdict);
+  record.next_alert_sequence = sequence;
+  record.zones = healths;
+  record.alerts = raised;
+
+  if (faults != nullptr) {
+    faults->at(epoch, fault::DaemonCrashPoint::kBeforeCheckpoint);
+  }
+  journal_->checkpoint(record);
+  if (faults != nullptr) {
+    faults->at(epoch, fault::DaemonCrashPoint::kAfterCheckpoint);
+  }
+
+  // ---- commit (the epoch is durable; in-memory state catches up) ----
+  healths_ = std::move(healths);
+  for (storage::DaemonAlertRecord& alert : raised) {
+    alerts_.push_back(std::move(alert));
+  }
+  pending_alerts_.clear();
+  verdicts_.push_back(verdict);
+  next_alert_sequence_ = sequence;
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    obs::catalog::daemon_epochs_total(m, to_string(verdict)).inc();
+    obs::catalog::daemon_checkpoints_total(m).inc();
+    for (const storage::DaemonAlertRecord& alert : record.alerts) {
+      obs::catalog::daemon_alerts_total(
+          m, to_string(static_cast<DaemonAlertKind>(alert.kind)))
+          .inc();
+    }
+  }
+  epochs_committed_.store(epoch + 1, std::memory_order_release);
+  {
+    // Empty critical section: pairs the progress publication with the
+    // watchdog's predicate re-check so the notify cannot race past it.
+    const std::lock_guard<std::mutex> lock(wd_mu_);
+  }
+  wd_cv_.notify_all();
+}
+
+void MonitorDaemon::monitor_main() {
+  try {
+    while (epochs_committed_.load(std::memory_order_acquire) <
+           config_.epochs) {
+      run_epoch(epochs_committed_.load(std::memory_order_acquire));
+    }
+  } catch (...) {
+    monitor_error_ = std::current_exception();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(wd_mu_);
+    monitor_done_ = true;
+  }
+  wd_cv_.notify_all();
+}
+
+void MonitorDaemon::supervise() {
+  std::unique_lock<std::mutex> lock(wd_mu_);
+  std::uint64_t last = epochs_committed_.load(std::memory_order_acquire);
+  while (!monitor_done_) {
+    const bool progressed = wd_cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.hang_timeout_ms), [&] {
+          return monitor_done_ ||
+                 epochs_committed_.load(std::memory_order_acquire) != last;
+        });
+    if (monitor_done_) break;
+    if (progressed) {
+      last = epochs_committed_.load(std::memory_order_acquire);
+      continue;
+    }
+    // The progress deadline passed with no checkpoint: the monitor is
+    // wedged. Kill cooperatively — the abort switch drains the fleet run,
+    // the injector kill wakes a scripted hang — then wait for the unwind.
+    kill_requested_ = true;
+    abort_.store(true, std::memory_order_release);
+    if (config_.faults != nullptr) config_.faults->kill();
+    wd_cv_.wait(lock, [this] { return monitor_done_; });
+  }
+}
+
+DaemonResult MonitorDaemon::run() {
+  RFID_EXPECT(!ran_, "run() may only be called once");
+  ran_ = true;
+
+  journal_ = std::make_unique<storage::DaemonJournal>(*config_.backend,
+                                                      config_.journal_name);
+  DaemonResult result;
+  std::uint64_t backoff_ms = config_.backoff_initial_ms;
+
+  // Books one supervised death (crash or hang), applies backoff, and
+  // reports whether the daemon may try again.
+  const auto register_restart = [&](DaemonEventKind cause) -> bool {
+    result.events.push_back(DaemonEvent{
+        cause, epochs_committed_.load(std::memory_order_acquire)});
+    ++result.restarts;
+    if (cause == DaemonEventKind::kHangRestart) {
+      ++result.hang_restarts;
+    } else {
+      ++result.crash_restarts;
+    }
+    if (config_.metrics != nullptr) {
+      obs::catalog::daemon_restarts_total(*config_.metrics,
+                                          restart_cause(cause))
+          .inc();
+    }
+    if (result.restarts > config_.max_restarts) {
+      result.gave_up = true;
+      result.events.push_back(DaemonEvent{
+          DaemonEventKind::kGaveUp,
+          epochs_committed_.load(std::memory_order_acquire)});
+      return false;
+    }
+    if (config_.crash_hook) config_.crash_hook();
+    if (config_.faults != nullptr) config_.faults->reset_kill();
+    abort_.store(false, std::memory_order_release);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    backoff_ms = std::min(std::max<std::uint64_t>(backoff_ms, 1) * 2,
+                          std::max<std::uint64_t>(config_.backoff_cap_ms, 1));
+    return true;
+  };
+
+  for (bool alive = true; alive;) {
+    // Resume is itself under supervision: a crash while opening or
+    // compacting the journal is still the process dying, and the next life
+    // starts from whatever the backend durably holds.
+    try {
+      resume_from_journal(result);
+    } catch (const fault::CrashInjected&) {
+      alive = register_restart(DaemonEventKind::kCrashRestart);
+      continue;
+    }
+    if (epochs_committed_.load(std::memory_order_acquire) >= config_.epochs) {
+      break;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(wd_mu_);
+      monitor_done_ = false;
+      kill_requested_ = false;
+    }
+    monitor_error_ = nullptr;
+    std::thread monitor([this] { monitor_main(); });
+    supervise();
+    monitor.join();
+
+    if (monitor_error_ == nullptr) break;  // all epochs checkpointed
+    try {
+      std::rethrow_exception(monitor_error_);
+    } catch (const fault::CrashInjected&) {
+      // The supervised failure mode; fall through to the restart path.
+      // Anything else is a genuine bug and propagates to the caller.
+    }
+    alive = register_restart(kill_requested_ ? DaemonEventKind::kHangRestart
+                                             : DaemonEventKind::kCrashRestart);
+  }
+
+  result.epochs_completed =
+      epochs_committed_.load(std::memory_order_acquire);
+  result.epoch_verdicts = verdicts_;
+  result.alerts.reserve(alerts_.size());
+  for (const storage::DaemonAlertRecord& alert : alerts_) {
+    result.alerts.push_back(
+        DaemonAlert{alert.sequence,
+                    static_cast<DaemonAlertKind>(alert.kind), alert.epoch,
+                    alert.zone, alert.detail});
+  }
+  result.journal_append_failures = journal_->append_failures();
+  return result;
+}
+
+}  // namespace rfid::daemon

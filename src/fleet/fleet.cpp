@@ -89,6 +89,7 @@ std::string_view to_string(AlertKind kind) noexcept {
   switch (kind) {
     case AlertKind::kZoneEscalated: return "zone_escalated";
     case AlertKind::kInventoryRejected: return "inventory_rejected";
+    case AlertKind::kRecoveredRunQuarantined: return "recovered_run_quarantined";
   }
   return "unknown";
 }
@@ -102,6 +103,7 @@ struct FleetOrchestrator::ZoneState {
   double deadline_us = std::numeric_limits<double>::infinity();
   std::vector<wire::SessionOutcome> attempts_log;
   ZoneReport report;
+  bool finalized = false;  // report filled (terminal or abort-synthesized)
 };
 
 struct FleetOrchestrator::Inventory {
@@ -227,6 +229,28 @@ Admission FleetOrchestrator::submit(InventorySpec spec) {
   return admission;
 }
 
+bool FleetOrchestrator::should_abort() const noexcept {
+  return task_failed_.load(std::memory_order_acquire) ||
+         (config_.abort != nullptr &&
+          config_.abort->load(std::memory_order_acquire));
+}
+
+std::uint64_t FleetOrchestrator::config_fingerprint() const {
+  // Everything zone-record reuse depends on: which inventories exist, how
+  // many zones each has, and each zone's (size, tolerance). Mixed through
+  // the same splitmix chain the seed derivation uses; |1 keeps the result
+  // distinguishable from the "unknown" sentinel 0.
+  std::uint64_t h = 0x666c656574636667ULL;  // "fleetcfg"
+  for (const auto& inventory : inventories_) {
+    h = util::derive_seed(h, inventory->name_hash,
+                          inventory->spec.plan.zones.size());
+    for (const server::ZonePlan& zone : inventory->spec.plan.zones) {
+      h = util::derive_seed(h, zone.tags, zone.tolerance);
+    }
+  }
+  return h | 1;
+}
+
 tag::TagSet FleetOrchestrator::audit_set(const ZoneState& state) const {
   // The zone as a physical audit would re-enroll it: present tags at their
   // current counters, stolen tags frozen at the last value the server saw
@@ -246,6 +270,39 @@ tag::TagSet FleetOrchestrator::audit_set(const ZoneState& state) const {
 
 void FleetOrchestrator::run_zone_attempt(std::size_t inv, std::size_t zone,
                                          std::uint32_t attempt) {
+  ZoneState& state = inventories_[inv]->zones[zone];
+
+  if (should_abort()) {
+    // Killed before this attempt started: report the zone as crashed but
+    // journal nothing — a journaled "failed" would be reused on resume as
+    // if the zone had genuinely exhausted its attempts.
+    state.report.zone = zone;
+    state.report.status = ZoneStatus::kFailed;
+    state.report.last_failure = wire::FailureReason::kCrashed;
+    state.report.attempts = static_cast<std::uint32_t>(
+        state.attempts_log.size());
+    state.finalized = true;
+    return;
+  }
+
+  try {
+    run_zone_attempt_body(inv, zone, attempt);
+  } catch (...) {
+    // A throwing zone (sick journal disk delivering a scripted crash, a
+    // bug in a protocol engine) must not terminate the worker thread: park
+    // the exception, flip the kill switch so the rest of the run drains
+    // fast, and let run() rethrow on the caller's thread.
+    {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    task_failed_.store(true, std::memory_order_release);
+  }
+}
+
+void FleetOrchestrator::run_zone_attempt_body(std::size_t inv,
+                                              std::size_t zone,
+                                              std::uint32_t attempt) {
   Inventory& inventory = *inventories_[inv];
   ZoneState& state = inventory.zones[zone];
   const InventorySpec& s = inventory.spec;
@@ -297,13 +354,15 @@ void FleetOrchestrator::run_zone_attempt(std::size_t inv, std::size_t zone,
                        });
     return;
   }
-  finalize_zone(inv, zone);
+  finalize_zone(inv, zone, /*aborted=*/false);
 }
 
-void FleetOrchestrator::finalize_zone(std::size_t inv, std::size_t zone) {
+void FleetOrchestrator::finalize_zone(std::size_t inv, std::size_t zone,
+                                      bool aborted) {
   Inventory& inventory = *inventories_[inv];
   ZoneState& state = inventory.zones[zone];
   const wire::SessionOutcome& last = state.attempts_log.back();
+  state.finalized = true;
 
   ZoneReport& report = state.report;
   report.zone = zone;
@@ -340,7 +399,7 @@ void FleetOrchestrator::finalize_zone(std::size_t inv, std::size_t zone) {
                   : last.completed   ? ZoneStatus::kIntact
                                      : ZoneStatus::kFailed;
 
-  if (journal_ != nullptr) {
+  if (journal_ != nullptr && !aborted) {
     storage::FleetZoneRecord record;
     record.inventory = inventory.spec.name;
     record.zone = zone;
@@ -368,14 +427,25 @@ FleetResult FleetOrchestrator::run() {
   // Harvest an interrupted run before overwriting the journal: matching
   // zone records are folded in as-is (determinism makes them exactly what
   // re-execution would produce) and carried into the fresh journal so a
-  // second crash still sees them.
+  // second crash still sees them. A recorded run whose config fingerprint
+  // conflicts with the current plan is quarantined instead — stale zone
+  // records must never leak into a re-planned fleet.
   std::map<std::pair<std::string, std::uint64_t>, storage::FleetZoneRecord>
       recovered;
+  const std::uint64_t fingerprint = config_fingerprint();
   if (config_.journal_backend != nullptr) {
     journal_ = std::make_unique<storage::FleetJournal>(
         *config_.journal_backend, config_.journal_name);
-    recovered = storage::recover_interrupted_run(
-        journal_->load(), config_.seed, config_.fleet_name);
+    storage::FleetRecovery recovery = storage::recover_interrupted_run_checked(
+        journal_->load(), config_.seed, config_.fleet_name, fingerprint);
+    if (recovery.stale) {
+      result.alerts.push_back(FleetAlert{
+          AlertKind::kRecoveredRunQuarantined, config_.fleet_name, 0,
+          std::to_string(recovery.stale_records) +
+              " journaled zone record(s) from a run with a different plan "
+              "were quarantined; every zone re-executes"});
+    }
+    recovered = std::move(recovery.zones);
     std::vector<storage::FleetZoneRecord> carried;
     for (const auto& inventory : inventories_) {
       for (std::size_t z = 0; z < inventory->zones.size(); ++z) {
@@ -383,7 +453,7 @@ FleetResult FleetOrchestrator::run() {
         if (it != recovered.end()) carried.push_back(it->second);
       }
     }
-    journal_->begin({config_.seed, config_.fleet_name}, carried);
+    journal_->begin({config_.seed, config_.fleet_name, fingerprint}, carried);
   }
 
   scheduler_ = std::make_unique<FleetScheduler>(config_.threads);
@@ -422,12 +492,52 @@ FleetResult FleetOrchestrator::run() {
       }
     }
     // The wave barrier IS the backpressure: the next wave's zones are not
-    // offered to the pool until the saturated one drains.
-    scheduler_->wait_idle();
+    // offered to the pool until the saturated one drains. With a kill
+    // switch wired in, the wait is deadline-bounded so a wedged zone
+    // cannot strand the watchdog behind an unbounded wait_idle().
+    if (config_.abort == nullptr) {
+      scheduler_->wait_idle();
+      if (should_abort()) break;  // a zone threw; tasks drained fast
+    } else {
+      while (!scheduler_->wait_idle_for(std::chrono::milliseconds(1))) {
+        if (should_abort()) break;
+      }
+      if (should_abort()) {
+        scheduler_->stop(/*drain=*/false);
+        break;
+      }
+    }
   }
+  result.aborted = should_abort();
 
   result.tasks_stolen = scheduler_->stolen();
   scheduler_.reset();  // join workers; all zone state is quiescent below
+
+  // Zones whose task (or requeue) was abandoned before running have no
+  // finalized report; give them an explicit crashed one so aggregation
+  // (and the operator) see them as not-monitored rather than defaults.
+  if (result.aborted) {
+    for (const auto& inventory : inventories_) {
+      for (std::size_t z = 0; z < inventory->zones.size(); ++z) {
+        ZoneState& state = inventory->zones[z];
+        if (state.finalized || state.report.recovered) continue;
+        state.report.zone = z;
+        state.report.status = ZoneStatus::kFailed;
+        state.report.last_failure = wire::FailureReason::kCrashed;
+        state.report.attempts =
+            static_cast<std::uint32_t>(state.attempts_log.size());
+      }
+    }
+  }
+
+  if (first_error_ != nullptr) {
+    std::exception_ptr error;
+    {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      error = first_error_;
+    }
+    std::rethrow_exception(error);
+  }
 
   result.waves = wave_count;
   result.deferred_inventories = deferred_count_;
@@ -492,7 +602,9 @@ FleetResult FleetOrchestrator::run() {
     result.verdict = worse(result.verdict, GlobalVerdict::kInconclusive);
   }
 
-  if (journal_ != nullptr) {
+  // An aborted run journals no end record: the next orchestrator with the
+  // same (seed, fleet, plan) resumes it, reusing every journaled zone.
+  if (journal_ != nullptr && !result.aborted) {
     journal_->append(storage::FleetRunEndRecord{
         static_cast<std::uint8_t>(result.verdict)});
   }

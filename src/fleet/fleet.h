@@ -45,8 +45,11 @@
 // instead of re-running them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <map>
+#include <mutex>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -91,6 +94,11 @@ enum class Admission : std::uint8_t {
 enum class AlertKind : std::uint8_t {
   kZoneEscalated = 0,      // a zone exhausted its attempts without completing
   kInventoryRejected = 1,  // an inventory was refused admission
+  /// An interrupted run was found in the journal but its recorded config
+  /// fingerprint (zone counts / tolerances) no longer matches the current
+  /// plan. Its zone records are quarantined — never folded into this run —
+  /// and every zone re-executes.
+  kRecoveredRunQuarantined = 2,
 };
 
 [[nodiscard]] std::string_view to_string(Protocol protocol) noexcept;
@@ -123,6 +131,12 @@ struct FleetConfig {
   /// Durable fleet-run journal (not owned; may be null for no durability).
   storage::StorageBackend* journal_backend = nullptr;
   std::string journal_name = "fleet.journal";
+  /// Cooperative kill switch (not owned; may be null). When it reads true,
+  /// zones that have not started are abandoned, in-flight zones finish, and
+  /// run() returns early with FleetResult::aborted set — no end record is
+  /// journaled, so a restart resumes the run. This is how a watchdog stops
+  /// an orchestrator without inheriting a wedged wait_idle().
+  const std::atomic<bool>* abort = nullptr;
 };
 
 /// One inventory: a planned population plus everything needed to run its
@@ -205,6 +219,10 @@ struct FleetResult {
   std::uint64_t zones_recovered = 0;  // reused from the journal
   std::uint64_t deferred_inventories = 0;
   std::uint64_t waves = 1;
+  /// The abort switch fired (or a zone task threw): zones that never ran
+  /// are reported kFailed/kCrashed, no end record was journaled, and the
+  /// verdict is at best inconclusive. A restart resumes from the journal.
+  bool aborted = false;
   // Diagnostics only — timing-dependent, excluded from summary().
   std::uint64_t tasks_stolen = 0;
   unsigned threads = 0;
@@ -237,8 +255,12 @@ class FleetOrchestrator {
 
   void run_zone_attempt(std::size_t inv, std::size_t zone,
                         std::uint32_t attempt);
-  void finalize_zone(std::size_t inv, std::size_t zone);
+  void run_zone_attempt_body(std::size_t inv, std::size_t zone,
+                             std::uint32_t attempt);
+  void finalize_zone(std::size_t inv, std::size_t zone, bool aborted);
   [[nodiscard]] tag::TagSet audit_set(const ZoneState& state) const;
+  [[nodiscard]] bool should_abort() const noexcept;
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
   void record_observability(const FleetResult& result);
 
   FleetConfig config_;
@@ -247,6 +269,13 @@ class FleetOrchestrator {
   std::vector<std::uint64_t> wave_zones_;  // zones admitted per wave
   std::uint64_t deferred_count_ = 0;
   bool ran_ = false;
+
+  /// Set when a zone task throws (first exception wins; rethrown from
+  /// run() after the pool stops) — the crash story a long-running daemon
+  /// supervises, not a path normal monitoring ever takes.
+  std::atomic<bool> task_failed_{false};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
 
   std::unique_ptr<class FleetScheduler> scheduler_;
   std::unique_ptr<storage::FleetJournal> journal_;

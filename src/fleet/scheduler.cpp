@@ -31,11 +31,39 @@ FleetScheduler::FleetScheduler(unsigned threads) {
   }
 }
 
-FleetScheduler::~FleetScheduler() {
-  wait_idle();
+FleetScheduler::~FleetScheduler() { stop(/*drain=*/true); }
+
+void FleetScheduler::stop(bool drain) {
+  if (drain) {
+    wait_idle();
+  } else {
+    // Abandon everything still queued. in-flight tasks (taken but not
+    // finished) run to completion; a requeue they race in after the sweep
+    // is caught by the stopped_ gate in submit().
+    stopped_.store(true, std::memory_order_release);
+    std::size_t cleared = 0;
+    for (auto& worker : workers_) {
+      const std::lock_guard<std::mutex> lock(worker->mu);
+      cleared += worker->queue.size();
+      while (!worker->queue.empty()) worker->queue.pop();
+    }
+    if (cleared > 0) {
+      abandoned_.fetch_add(cleared, std::memory_order_relaxed);
+      pending_.fetch_sub(cleared, std::memory_order_relaxed);
+      if (outstanding_.fetch_sub(cleared, std::memory_order_acq_rel) ==
+          cleared) {
+        const std::lock_guard<std::mutex> lock(wake_mu_);
+        idle_cv_.notify_all();
+      }
+    }
+    wait_idle();  // in-flight stragglers only; bounded by task length
+  }
   {
     const std::lock_guard<std::mutex> lock(wake_mu_);
+    if (joined_) return;
+    joined_ = true;
     shutdown_ = true;
+    stopped_.store(true, std::memory_order_release);
   }
   wake_cv_.notify_all();
   for (auto& t : threads_) t.join();
@@ -43,6 +71,10 @@ FleetScheduler::~FleetScheduler() {
 
 void FleetScheduler::submit(double deadline_us, Task fn) {
   RFID_EXPECT(fn != nullptr, "null fleet task");
+  if (stopped_.load(std::memory_order_acquire)) {
+    abandoned_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::uint64_t seq =
       next_sequence_.fetch_add(1, std::memory_order_relaxed);
   // A requeue from inside a task stays on the submitting worker; external
@@ -139,6 +171,13 @@ void FleetScheduler::worker_loop(std::size_t self) {
 void FleetScheduler::wait_idle() {
   std::unique_lock<std::mutex> lock(wake_mu_);
   idle_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool FleetScheduler::wait_idle_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  return idle_cv_.wait_for(lock, timeout, [this] {
     return outstanding_.load(std::memory_order_acquire) == 0;
   });
 }

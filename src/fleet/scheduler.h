@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -56,6 +57,25 @@ class FleetScheduler {
   /// Blocks until every task submitted so far — and every task those tasks
   /// submitted — has finished.
   void wait_idle();
+
+  /// Deadline-bounded wait_idle(): returns true if the pool went idle
+  /// within `timeout`, false if work is still outstanding. A watchdog that
+  /// must not inherit a wedged session's hang polls this instead of
+  /// blocking forever.
+  [[nodiscard]] bool wait_idle_for(std::chrono::milliseconds timeout);
+
+  /// Deterministic shutdown. drain=true executes every queued task first
+  /// (equivalent to wait_idle() then join); drain=false abandons tasks that
+  /// have not started — in-flight tasks still run to completion, queued
+  /// ones are discarded and counted in abandoned(). Idempotent; after
+  /// stop() further submits are discarded (counted as abandoned), so a
+  /// racing requeue from an in-flight task cannot resurrect the pool.
+  void stop(bool drain);
+
+  /// Tasks discarded by stop(drain=false) or submitted after stop().
+  [[nodiscard]] std::uint64_t abandoned() const noexcept {
+    return abandoned_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] unsigned threads() const noexcept {
     return static_cast<unsigned>(workers_.size());
@@ -97,12 +117,15 @@ class FleetScheduler {
   std::condition_variable wake_cv_;
   std::condition_variable idle_cv_;
   bool shutdown_ = false;
+  bool joined_ = false;  // threads reaped (stop() or destructor ran)
 
+  std::atomic<bool> stopped_{false};  // discard further submissions
   std::atomic<std::uint64_t> next_sequence_{0};
   std::atomic<std::size_t> pending_{0};      // queued, not yet taken
   std::atomic<std::size_t> outstanding_{0};  // submitted, not yet finished
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
 };
 
 }  // namespace rfid::fleet

@@ -273,6 +273,54 @@ inline Histogram& fleet_zone_duration_us(MetricsRegistry& r,
       .with({protocol});
 }
 
+// ------------------------------------------------------------- daemon ----
+
+inline Counter& daemon_epochs_total(MetricsRegistry& r,
+                                    std::string_view verdict) {
+  return r.counter_family(
+           "rfidmon_daemon_epochs_total",
+           "Monitoring epochs the daemon checkpointed, by epoch verdict "
+           "(intact | violated | inconclusive | degraded).",
+           {"verdict"})
+      .with({verdict});
+}
+
+inline Counter& daemon_alerts_total(MetricsRegistry& r,
+                                    std::string_view kind) {
+  return r.counter_family(
+           "rfidmon_daemon_alerts_total",
+           "Daemon alerts raised (replayed alerts are never re-counted), by "
+           "kind.",
+           {"kind"})
+      .with({kind});
+}
+
+inline Counter& daemon_restarts_total(MetricsRegistry& r,
+                                      std::string_view cause) {
+  return r.counter_family(
+           "rfidmon_daemon_restarts_total",
+           "Supervised monitor restarts, by cause (crash | hang).", {"cause"})
+      .with({cause});
+}
+
+inline Counter& daemon_checkpoints_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_daemon_checkpoints_total",
+                   "Epoch checkpoints made durable in the daemon journal.");
+}
+
+inline Counter& daemon_replayed_alerts_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_daemon_replayed_alerts_total",
+                   "Alerts restored from the daemon journal on resume "
+                   "(already counted by the run that raised them).");
+}
+
+inline Histogram& daemon_resume_duration_us(MetricsRegistry& r) {
+  return r.histogram("rfidmon_daemon_resume_duration_us",
+                     "Wall-clock time to replay the daemon journal and "
+                     "rebuild monitor state after a restart.",
+                     Histogram::exponential_bounds(10.0, 4.0, 12));
+}
+
 // ------------------------------------------------------------ storage ----
 
 inline Counter& journal_appends_total(MetricsRegistry& r) {

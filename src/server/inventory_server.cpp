@@ -51,6 +51,35 @@ GroupId InventoryServer::enroll(const tag::TagSet& tags, GroupConfig config) {
   return id;
 }
 
+void InventoryServer::re_enroll(GroupId id, const tag::TagSet& tags,
+                                GroupConfig config) {
+  RFID_EXPECT(!tags.empty(), "cannot re-enroll an empty group");
+  Group& g = group(id);
+  if (config.protocol == ProtocolKind::kTrp) {
+    g.engine = protocol::TrpServer(tags.ids(), config.policy, hasher_);
+  } else {
+    g.engine = protocol::UtrpServer(tags, config.policy, config.comm_budget,
+                                    config.slack_slots, hasher_);
+  }
+  g.config = std::move(config);
+  g.rounds = 0;
+  g.active = true;
+  if (metrics_ != nullptr) {
+    std::visit([&](auto& engine) { engine.set_metrics(metrics_); }, g.engine);
+    obs::catalog::groups_enrolled_total(*metrics_,
+                                        protocol_label(g.config.protocol))
+        .inc();
+  }
+}
+
+void InventoryServer::decommission(GroupId id) {
+  Group& g = group(id);
+  RFID_EXPECT(g.active, "group is already decommissioned");
+  g.active = false;
+}
+
+bool InventoryServer::active(GroupId id) const { return group(id).active; }
+
 void InventoryServer::attach_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
   for (Group& g : groups_) {
@@ -95,6 +124,7 @@ std::uint64_t InventoryServer::rounds_completed(GroupId id) const {
 protocol::TrpChallenge InventoryServer::challenge_trp(GroupId id,
                                                       util::Rng& rng) const {
   const Group& g = group(id);
+  RFID_EXPECT(g.active, "group is decommissioned");
   const auto* trp = std::get_if<protocol::TrpServer>(&g.engine);
   RFID_EXPECT(trp != nullptr, "group is not a TRP group");
   return trp->issue_challenge(rng);
@@ -104,6 +134,7 @@ protocol::Verdict InventoryServer::submit_trp(
     GroupId id, const protocol::TrpChallenge& challenge,
     const bits::Bitstring& reported) {
   Group& g = group(id);
+  RFID_EXPECT(g.active, "group is decommissioned");
   const auto* trp = std::get_if<protocol::TrpServer>(&g.engine);
   RFID_EXPECT(trp != nullptr, "group is not a TRP group");
   const protocol::Verdict verdict = trp->verify(challenge, reported);
@@ -120,6 +151,7 @@ protocol::Verdict InventoryServer::submit_trp(
 protocol::UtrpChallenge InventoryServer::challenge_utrp(GroupId id,
                                                         util::Rng& rng) const {
   const Group& g = group(id);
+  RFID_EXPECT(g.active, "group is decommissioned");
   const auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
   RFID_EXPECT(utrp != nullptr, "group is not a UTRP group");
   return utrp->issue_challenge(rng);
@@ -129,6 +161,7 @@ protocol::Verdict InventoryServer::submit_utrp(
     GroupId id, const protocol::UtrpChallenge& challenge,
     const bits::Bitstring& reported, bool deadline_met) {
   Group& g = group(id);
+  RFID_EXPECT(g.active, "group is decommissioned");
   auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
   RFID_EXPECT(utrp != nullptr, "group is not a UTRP group");
   const protocol::Verdict verdict = utrp->verify(challenge, reported, deadline_met);
@@ -192,7 +225,7 @@ tag::TagSet InventoryServer::group_tags(GroupId id) const {
 }
 
 InventoryServer::GroupState InventoryServer::group_state(GroupId id) const {
-  return GroupState{rounds_completed(id), needs_resync(id)};
+  return GroupState{rounds_completed(id), needs_resync(id), active(id)};
 }
 
 void InventoryServer::restore_history(std::vector<Alert> alerts,
@@ -205,6 +238,7 @@ void InventoryServer::restore_history(std::vector<Alert> alerts,
     Group& g = groups_[i];
     RFID_EXPECT(g.rounds == 0, "restore_history applies before any rounds");
     g.rounds = states[i].rounds;
+    g.active = states[i].active;
     if (states[i].needs_resync) {
       auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
       RFID_EXPECT(utrp != nullptr, "needs_resync restored onto a TRP group");

@@ -79,6 +79,21 @@ class InventoryServer {
   /// snapshot includes tag counters.
   GroupId enroll(const tag::TagSet& tags, GroupConfig config);
 
+  /// Replaces a group's protocol engine in place from a fresh physical
+  /// audit: same GroupId, same alert history (sequences keep counting), new
+  /// membership and config. Rounds and the resync flag reset — the new
+  /// engine has verified nothing yet. Re-enrolling a decommissioned group
+  /// reactivates it. This is how a long-running daemon applies tag churn
+  /// (enrollments, migrations) without rebuilding the whole server.
+  void re_enroll(GroupId id, const tag::TagSet& tags, GroupConfig config);
+
+  /// Tombstones a group: challenging or submitting against it becomes API
+  /// misuse, but the GroupId stays valid — history keeps referencing it,
+  /// and persistence round-trips the flag — so group indices (and with
+  /// them every other GroupId) never shift.
+  void decommission(GroupId id);
+  [[nodiscard]] bool active(GroupId id) const;
+
   [[nodiscard]] std::size_t group_count() const noexcept { return groups_.size(); }
   [[nodiscard]] const GroupConfig& config(GroupId id) const;
   [[nodiscard]] std::uint64_t group_size(GroupId id) const;
@@ -123,6 +138,7 @@ class InventoryServer {
   struct GroupState {
     std::uint64_t rounds = 0;
     bool needs_resync = false;
+    bool active = true;  // false = decommissioned tombstone
   };
   [[nodiscard]] GroupState group_state(GroupId id) const;
 
@@ -144,6 +160,7 @@ class InventoryServer {
     GroupConfig config;
     std::variant<protocol::TrpServer, protocol::UtrpServer> engine;
     std::uint64_t rounds = 0;
+    bool active = true;
   };
 
   [[nodiscard]] const Group& group(GroupId id) const;

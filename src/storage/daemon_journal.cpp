@@ -1,0 +1,322 @@
+#include "storage/daemon_journal.h"
+
+#include <bit>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "hash/fnv.h"
+#include "util/expect.h"
+
+namespace rfid::storage {
+
+namespace {
+
+enum class RecordKind : std::uint8_t {
+  kStart = 1,
+  kCheckpoint = 2,
+};
+
+// Private little-endian scalar encoding, same shape as the WAL's and the
+// fleet journal's — each format stays free to drift independently.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+    }
+  }
+  void bytes(std::string_view v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_.append(v);
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    return static_cast<std::uint8_t>(take(1)[0]);
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const std::string_view b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const std::string_view b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  }
+  [[nodiscard]] std::string_view bytes() { return take(u32()); }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  [[nodiscard]] std::string_view take(std::size_t n) {
+    RFID_EXPECT(data_.size() - pos_ >= n, "daemon journal payload truncated");
+    const std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] std::uint64_t checksum_of(std::string_view payload) noexcept {
+  return hash::fnv1a64(std::as_bytes(std::span(payload.data(), payload.size())));
+}
+
+[[nodiscard]] std::string encode_payload(const DaemonJournalRecord& record) {
+  ByteWriter w;
+  std::visit(
+      [&w](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, DaemonStartRecord>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kStart));
+          w.u64(r.seed);
+          w.bytes(r.daemon);
+          w.u64(r.config_hash);
+        } else {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kCheckpoint));
+          w.u64(r.epoch);
+          w.u8(r.verdict);
+          w.u64(r.next_alert_sequence);
+          w.u32(static_cast<std::uint32_t>(r.zones.size()));
+          for (const DaemonZoneHealthRecord& zone : r.zones) {
+            w.u32(zone.miss_streak);
+            w.u32(zone.intact_streak);
+            w.u8(zone.violated ? 1 : 0);
+            w.u8(zone.quarantined ? 1 : 0);
+            w.u64(zone.quarantined_at);
+          }
+          w.u32(static_cast<std::uint32_t>(r.alerts.size()));
+          for (const DaemonAlertRecord& alert : r.alerts) {
+            w.u64(alert.sequence);
+            w.u8(alert.kind);
+            w.u64(alert.epoch);
+            w.u64(alert.zone);
+            w.bytes(alert.detail);
+          }
+        }
+      },
+      record);
+  return w.take();
+}
+
+[[nodiscard]] DaemonJournalRecord decode_payload(std::string_view payload) {
+  ByteReader r(payload);
+  const auto kind = static_cast<RecordKind>(r.u8());
+  DaemonJournalRecord out;
+  switch (kind) {
+    case RecordKind::kStart: {
+      DaemonStartRecord rec;
+      rec.seed = r.u64();
+      rec.daemon = std::string(r.bytes());
+      rec.config_hash = r.u64();
+      out = std::move(rec);
+      break;
+    }
+    case RecordKind::kCheckpoint: {
+      DaemonCheckpointRecord rec;
+      rec.epoch = r.u64();
+      rec.verdict = r.u8();
+      rec.next_alert_sequence = r.u64();
+      const std::uint32_t zones = r.u32();
+      rec.zones.reserve(zones);
+      for (std::uint32_t i = 0; i < zones; ++i) {
+        DaemonZoneHealthRecord zone;
+        zone.miss_streak = r.u32();
+        zone.intact_streak = r.u32();
+        zone.violated = r.u8() != 0;
+        zone.quarantined = r.u8() != 0;
+        zone.quarantined_at = r.u64();
+        rec.zones.push_back(zone);
+      }
+      const std::uint32_t alerts = r.u32();
+      rec.alerts.reserve(alerts);
+      for (std::uint32_t i = 0; i < alerts; ++i) {
+        DaemonAlertRecord alert;
+        alert.sequence = r.u64();
+        alert.kind = r.u8();
+        alert.epoch = r.u64();
+        alert.zone = r.u64();
+        alert.detail = std::string(r.bytes());
+        rec.alerts.push_back(std::move(alert));
+      }
+      out = std::move(rec);
+      break;
+    }
+    default:
+      throw std::invalid_argument("unknown daemon journal record kind");
+  }
+  RFID_EXPECT(r.exhausted(), "trailing bytes in daemon journal payload");
+  return out;
+}
+
+}  // namespace
+
+std::string encode_daemon_record(const DaemonJournalRecord& record) {
+  const std::string payload = encode_payload(record);
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u64(checksum_of(payload));
+  std::string out = frame.take();
+  out += payload;
+  return out;
+}
+
+DaemonJournalScan scan_daemon_journal(std::string_view bytes) {
+  DaemonJournalScan scan;
+  if (bytes.substr(0, kDaemonJournalMagic.size()) != kDaemonJournalMagic) {
+    scan.dropped_bytes = bytes.size();
+    return scan;
+  }
+  scan.header_valid = true;
+  std::size_t pos = kDaemonJournalMagic.size();
+  scan.valid_bytes = pos;
+  constexpr std::size_t kFrameHeader = 4 + 8;
+  while (bytes.size() - pos >= kFrameHeader) {
+    ByteReader frame(bytes.substr(pos, kFrameHeader));
+    const std::uint32_t len = frame.u32();
+    const std::uint64_t declared = frame.u64();
+    if (bytes.size() - pos - kFrameHeader < len) break;  // torn tail
+    const std::string_view payload = bytes.substr(pos + kFrameHeader, len);
+    if (checksum_of(payload) != declared) break;  // torn or rotted
+    try {
+      scan.records.push_back(decode_payload(payload));
+    } catch (const std::invalid_argument&) {
+      break;  // checksum collision on garbage; treat as corruption
+    }
+    pos += kFrameHeader + len;
+    scan.valid_bytes = pos;
+  }
+  scan.dropped_bytes = bytes.size() - scan.valid_bytes;
+  return scan;
+}
+
+DaemonReplay DaemonJournal::open(const DaemonStartRecord& start) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  DaemonReplay replay;
+
+  DaemonJournalScan scan;
+  if (backend_.exists(name_)) {
+    try {
+      scan = scan_daemon_journal(backend_.read(name_));
+    } catch (const IoError&) {
+      scan = {};
+    }
+  }
+
+  // Only the suffix after the LAST start record describes a resumable
+  // daemon (an earlier daemon under the same name left the prefix).
+  std::size_t start_index = scan.records.size();
+  for (std::size_t i = scan.records.size(); i-- > 0;) {
+    if (std::holds_alternative<DaemonStartRecord>(scan.records[i])) {
+      start_index = i;
+      break;
+    }
+  }
+
+  bool resumable = false;
+  if (start_index < scan.records.size()) {
+    const auto& begun = std::get<DaemonStartRecord>(scan.records[start_index]);
+    if (begun.seed == start.seed && begun.daemon == start.daemon) {
+      std::uint64_t prior_epochs = 0;
+      for (std::size_t i = start_index + 1; i < scan.records.size(); ++i) {
+        ++prior_epochs;
+      }
+      if (start.config_hash != 0 && begun.config_hash != 0 &&
+          begun.config_hash != start.config_hash) {
+        // Same daemon, different monitoring plan: its health machines and
+        // epoch numbering describe zones that may no longer exist.
+        replay.stale = true;
+        replay.stale_checkpoints = prior_epochs;
+      } else {
+        resumable = true;
+      }
+    }
+  }
+
+  if (!resumable) {
+    begin_fresh_locked(start);
+    return replay;
+  }
+
+  replay.fresh = false;
+  for (std::size_t i = start_index + 1; i < scan.records.size(); ++i) {
+    replay.checkpoints.push_back(
+        std::get<DaemonCheckpointRecord>(std::move(scan.records[i])));
+  }
+
+  if (scan.dropped_bytes > 0) {
+    // A torn tail must not stay: appending after it would bury every later
+    // checkpoint behind unreadable bytes. Compact — atomically rewrite the
+    // journal as exactly the records replay just accepted.
+    replay.compacted_bytes = scan.dropped_bytes;
+    const std::string tmp = name_ + ".tmp";
+    try {
+      if (backend_.exists(tmp)) backend_.remove(tmp);
+      std::string bytes(kDaemonJournalMagic);
+      bytes += encode_daemon_record(start);
+      for (const DaemonCheckpointRecord& checkpoint : replay.checkpoints) {
+        bytes += encode_daemon_record(checkpoint);
+      }
+      backend_.append(tmp, bytes);
+      backend_.flush(tmp);
+      backend_.rename(tmp, name_);
+    } catch (const IoError&) {
+      ++append_failures_;
+    }
+  }
+  return replay;
+}
+
+void DaemonJournal::begin_fresh_locked(const DaemonStartRecord& start) {
+  // temp -> flush -> rename: either the old journal or the complete new one
+  // is readable at every point.
+  const std::string tmp = name_ + ".tmp";
+  try {
+    if (backend_.exists(tmp)) backend_.remove(tmp);
+    std::string bytes(kDaemonJournalMagic);
+    bytes += encode_daemon_record(start);
+    backend_.append(tmp, bytes);
+    backend_.flush(tmp);
+    backend_.rename(tmp, name_);
+  } catch (const IoError&) {
+    ++append_failures_;
+  }
+}
+
+void DaemonJournal::checkpoint(const DaemonCheckpointRecord& record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  try {
+    backend_.append(name_, encode_daemon_record(record));
+    backend_.flush(name_);
+  } catch (const IoError&) {
+    ++append_failures_;
+  }
+}
+
+}  // namespace rfid::storage

@@ -1,0 +1,140 @@
+// Durable daemon journal: the continuous-monitoring loop's checkpoint log.
+//
+// The fleet journal (fleet_journal.h) makes one *run* resumable; this one
+// makes the *daemon driving runs forever* resumable. Per completed epoch
+// the daemon appends exactly ONE checkpoint record carrying everything a
+// restarted daemon needs to continue without losing or double-counting
+// state:
+//
+//   * the epoch counter and that epoch's verdict;
+//   * the next alert sequence number (alert numbering survives restarts);
+//   * every zone's health-state-machine fields (miss streaks, quarantine);
+//   * the alerts raised during that epoch, inline.
+//
+// Alerts live INSIDE the checkpoint on purpose: a separate alert record
+// would open a crash window between "alert durable" and "epoch durable" in
+// which a restarted daemon re-runs the epoch and raises the alert again.
+// One atomic record means an epoch either happened (alerts and health
+// together) or it did not — the bit-identity the torture sweep pins down.
+//
+// Framing is the fleet journal's: magic header, then
+// [u32 len][u64 fnv1a64(payload)][payload], truncate-at-first-tear.
+// Replay folds every checkpoint after the last matching start record;
+// a torn tail is compacted away on open() so later appends never extend
+// garbage into an unreadable journal.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "storage/backend.h"
+
+namespace rfid::storage {
+
+inline constexpr std::string_view kDaemonJournalMagic = "RFIDMON-DAEMON 1\n";
+
+struct DaemonStartRecord {
+  std::uint64_t seed = 0;
+  std::string daemon;
+  /// Fingerprint of the daemon's monitoring configuration (same 0=unknown
+  /// sentinel convention as FleetRunStartRecord::config_hash).
+  std::uint64_t config_hash = 0;
+};
+
+/// One zone's health-state-machine snapshot (implicit index: position in
+/// DaemonCheckpointRecord::zones).
+struct DaemonZoneHealthRecord {
+  std::uint32_t miss_streak = 0;    // consecutive epochs failed/violated
+  std::uint32_t intact_streak = 0;  // consecutive intact epochs (cooldown)
+  bool violated = false;            // theft evidence seen (latched)
+  bool quarantined = false;
+  std::uint64_t quarantined_at = 0; // epoch the quarantine began
+};
+
+/// One alert, exactly as the daemon raised it. Sequence numbers are
+/// strictly monotonic across the daemon's whole life, restarts included.
+struct DaemonAlertRecord {
+  std::uint64_t sequence = 0;
+  std::uint8_t kind = 0;    // daemon::DaemonAlertKind raw value
+  std::uint64_t epoch = 0;
+  std::uint64_t zone = 0;
+  std::string detail;
+};
+
+struct DaemonCheckpointRecord {
+  std::uint64_t epoch = 0;               // 0-based epoch just completed
+  std::uint8_t verdict = 0;              // daemon::EpochVerdict raw value
+  std::uint64_t next_alert_sequence = 0; // first sequence a later epoch uses
+  std::vector<DaemonZoneHealthRecord> zones;
+  std::vector<DaemonAlertRecord> alerts; // raised by THIS epoch only
+};
+
+using DaemonJournalRecord =
+    std::variant<DaemonStartRecord, DaemonCheckpointRecord>;
+
+[[nodiscard]] std::string encode_daemon_record(
+    const DaemonJournalRecord& record);
+
+struct DaemonJournalScan {
+  std::vector<DaemonJournalRecord> records;
+  bool header_valid = false;
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+/// Truncate-at-first-tear scan; never throws on damaged input.
+[[nodiscard]] DaemonJournalScan scan_daemon_journal(std::string_view bytes);
+
+/// What open() reconstructed.
+struct DaemonReplay {
+  /// No usable prior state: missing journal, unreadable journal, or a start
+  /// record for a different (seed, daemon). Checkpoints is empty.
+  bool fresh = true;
+  /// A prior journal for this (seed, daemon) exists but its config_hash
+  /// conflicts: its checkpoints were quarantined (not replayed) and the
+  /// journal was begun fresh. The caller should raise an alert.
+  bool stale = false;
+  std::uint64_t stale_checkpoints = 0;
+  /// Every checkpoint of the resumed daemon, in epoch order.
+  std::vector<DaemonCheckpointRecord> checkpoints;
+  /// Torn/rotted tail bytes dropped (and compacted away) during open().
+  std::uint64_t compacted_bytes = 0;
+};
+
+/// Single-writer appender (the daemon's supervisor thread). Append failures
+/// are swallowed and counted — a sick journal disk must not take continuous
+/// monitoring down — but a scripted CrashInjected propagates: it is the
+/// process dying, not the disk failing.
+class DaemonJournal {
+ public:
+  DaemonJournal(StorageBackend& backend, std::string name)
+      : backend_(backend), name_(std::move(name)) {}
+
+  /// Loads and replays the journal. A matching interrupted daemon resumes
+  /// (checkpoints returned, torn tail compacted away); anything else —
+  /// missing, foreign, or config-stale — atomically begins a fresh journal
+  /// holding only the new start record.
+  [[nodiscard]] DaemonReplay open(const DaemonStartRecord& start);
+
+  /// Appends one epoch checkpoint and flushes it durable.
+  void checkpoint(const DaemonCheckpointRecord& record);
+
+  [[nodiscard]] std::uint64_t append_failures() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return append_failures_;
+  }
+
+ private:
+  void begin_fresh_locked(const DaemonStartRecord& start);
+
+  StorageBackend& backend_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::uint64_t append_failures_ = 0;
+};
+
+}  // namespace rfid::storage

@@ -100,6 +100,7 @@ class ByteReader {
           w.u8(static_cast<std::uint8_t>(RecordKind::kRunStart));
           w.u64(r.seed);
           w.bytes(r.fleet);
+          w.u64(r.config_hash);
         } else if constexpr (std::is_same_v<T, FleetZoneRecord>) {
           w.u8(static_cast<std::uint8_t>(RecordKind::kZone));
           w.bytes(r.inventory);
@@ -133,6 +134,7 @@ class ByteReader {
       FleetRunStartRecord rec;
       rec.seed = r.u64();
       rec.fleet = std::string(r.bytes());
+      rec.config_hash = r.u64();
       out = std::move(rec);
       break;
     }
@@ -211,6 +213,13 @@ FleetJournalScan scan_fleet_journal(std::string_view bytes) {
 std::map<std::pair<std::string, std::uint64_t>, FleetZoneRecord>
 recover_interrupted_run(const FleetJournalScan& scan, std::uint64_t seed,
                         std::string_view fleet) {
+  return recover_interrupted_run_checked(scan, seed, fleet, 0).zones;
+}
+
+FleetRecovery recover_interrupted_run_checked(const FleetJournalScan& scan,
+                                              std::uint64_t seed,
+                                              std::string_view fleet,
+                                              std::uint64_t config_hash) {
   // Find the last start record; only its suffix describes the current run.
   std::size_t start = scan.records.size();
   for (std::size_t i = scan.records.size(); i-- > 0;) {
@@ -219,19 +228,29 @@ recover_interrupted_run(const FleetJournalScan& scan, std::uint64_t seed,
       break;
     }
   }
-  std::map<std::pair<std::string, std::uint64_t>, FleetZoneRecord> zones;
-  if (start == scan.records.size()) return zones;
+  FleetRecovery recovery;
+  if (start == scan.records.size()) return recovery;
   const auto& begun = std::get<FleetRunStartRecord>(scan.records[start]);
-  if (begun.seed != seed || begun.fleet != fleet) return zones;
+  if (begun.seed != seed || begun.fleet != fleet) return recovery;
   for (std::size_t i = start + 1; i < scan.records.size(); ++i) {
     if (std::holds_alternative<FleetRunEndRecord>(scan.records[i])) {
-      zones.clear();  // the run finished; nothing to resume
-      return zones;
+      recovery.zones.clear();  // the run finished; nothing to resume
+      return recovery;
     }
     const auto& zone = std::get<FleetZoneRecord>(scan.records[i]);
-    zones.insert_or_assign({zone.inventory, zone.zone}, zone);
+    recovery.zones.insert_or_assign({zone.inventory, zone.zone}, zone);
   }
-  return zones;
+  // A hash of 0 on either side means "unknown" (hand-built journal or a
+  // caller that opted out) — folding proceeds unchecked, preserving the
+  // pre-fingerprint behavior. Two known-but-different hashes mean the plan
+  // changed between crash and restart: quarantine, never merge.
+  if (config_hash != 0 && begun.config_hash != 0 &&
+      begun.config_hash != config_hash) {
+    recovery.stale = true;
+    recovery.stale_records = recovery.zones.size();
+    recovery.zones.clear();
+  }
+  return recovery;
 }
 
 FleetJournalScan FleetJournal::load() const {

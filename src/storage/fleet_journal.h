@@ -39,6 +39,10 @@ inline constexpr std::string_view kFleetJournalMagic = "RFIDMON-FLEET 1\n";
 struct FleetRunStartRecord {
   std::uint64_t seed = 0;
   std::string fleet;
+  /// Fingerprint of the submitted plan (inventory names, zone counts,
+  /// per-zone tolerances and sizes). 0 = unknown (hand-built journals,
+  /// pre-fingerprint records): recovery then skips the config check.
+  std::uint64_t config_hash = 0;
 };
 
 /// A zone that reached a terminal state (verified, violated, or failed for
@@ -87,6 +91,23 @@ struct FleetJournalScan {
 [[nodiscard]] std::map<std::pair<std::string, std::uint64_t>, FleetZoneRecord>
 recover_interrupted_run(const FleetJournalScan& scan, std::uint64_t seed,
                         std::string_view fleet);
+
+/// Config-checked recovery: an interrupted run whose recorded config_hash
+/// no longer matches the restarted plan must NOT be folded in — its zone
+/// records describe zones that may no longer exist (different zone count)
+/// or carry different tolerances, so reusing them would silently break the
+/// pigeonhole argument. Such a run is surfaced as stale instead: the caller
+/// records a quarantined-run alert and re-executes every zone.
+struct FleetRecovery {
+  std::map<std::pair<std::string, std::uint64_t>, FleetZoneRecord> zones;
+  /// An interrupted run for this (seed, fleet) exists but its config_hash
+  /// conflicts with `config_hash`; zones is empty in that case.
+  bool stale = false;
+  std::uint64_t stale_records = 0;  // zone records quarantined, not folded
+};
+[[nodiscard]] FleetRecovery recover_interrupted_run_checked(
+    const FleetJournalScan& scan, std::uint64_t seed, std::string_view fleet,
+    std::uint64_t config_hash);
 
 /// Thread-safe appender: workers race to journal terminal zones, so every
 /// append serializes under a mutex and flushes before returning (a record

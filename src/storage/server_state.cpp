@@ -24,8 +24,8 @@ constexpr std::string_view kAuxMagic = "AUX 1";
 [[nodiscard]] std::string format_state_line(
     std::size_t index, const server::InventoryServer::GroupState& gs) {
   char buf[96];
-  std::snprintf(buf, sizeof(buf), "STATE %zu %" PRIu64 " %d\n", index,
-                gs.rounds, gs.needs_resync ? 1 : 0);
+  std::snprintf(buf, sizeof(buf), "STATE %zu %" PRIu64 " %d %d\n", index,
+                gs.rounds, gs.needs_resync ? 1 : 0, gs.active ? 1 : 0);
   return buf;
 }
 
@@ -128,10 +128,15 @@ PersistedState read_state(std::istream& is) {
       int needs_resync = 0;
       fields >> index >> gs.rounds >> needs_resync;
       RFID_EXPECT(!fields.fail(), at("malformed STATE line"));
+      // Optional 4th field (active flag); snapshots from before group
+      // decommissioning carry three fields and mean "active".
+      int active = 1;
+      if (!(fields >> active)) active = 1;
       RFID_EXPECT(index < state.group_states.size(),
                   at("STATE index out of range"));
       RFID_EXPECT(index == states_seen, at("STATE lines out of order"));
       gs.needs_resync = needs_resync != 0;
+      gs.active = active != 0;
       state.group_states[index] = gs;
       ++states_seen;
     } else if (line.rfind("ALERT ", 0) == 0) {

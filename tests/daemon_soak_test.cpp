@@ -1,0 +1,113 @@
+// Bounded soak: a long daemon run through a scripted fault storm — crashes
+// at every crash point, hangs, churn, theft, and zone outages — must end
+// with the exact alert history of an undisturbed run. This is the CI job's
+// sanitizer workload: ~seconds of wall clock, dozens of epochs, >= 5 forced
+// restarts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "fault/daemon_fault.h"
+#include "fault/fault.h"
+#include "storage/backend.h"
+
+namespace {
+
+using namespace rfid;
+
+constexpr std::uint64_t kEpochs = 24;
+
+daemon::WarehouseConfig soak_warehouse() {
+  daemon::WarehouseConfig warehouse;
+  warehouse.initial_tags = 24;
+  warehouse.tolerance = 2;
+  warehouse.zone_capacity = 8;
+  warehouse.rounds = 1;
+  // Continuous churn: growth, retirement, and two thefts.
+  warehouse.churn.push_back(daemon::ChurnEvent{.epoch = 3, .enroll = 16});
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 7, .enroll = 0, .decommission = 0, .steal = 5, .steal_from = 0});
+  warehouse.churn.push_back(daemon::ChurnEvent{.epoch = 11, .decommission = 16});
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 15, .enroll = 8, .decommission = 4, .steal = 0, .steal_from = 0});
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 19, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 8});
+  // A reader outage long enough to escalate and quarantine zone 1.
+  fault::FaultPlan dead;
+  dead.reader_crashes.push_back(fault::CrashWindow{0.0, 0.0});
+  for (std::uint64_t epoch = 4; epoch < 10; ++epoch) {
+    warehouse.zone_faults.push_back({.epoch = epoch, .zone = 1, .plan = dead});
+  }
+  return warehouse;
+}
+
+daemon::DaemonConfig soak_config(storage::MemoryBackend& backend) {
+  daemon::DaemonConfig config;
+  config.seed = 23;
+  config.epochs = kEpochs;
+  config.threads = 2;
+  config.backend = &backend;
+  config.faults_on_retries = true;
+  config.debounce_epochs = 2;
+  config.quarantine_after_epochs = 3;
+  config.quarantine_cooldown_epochs = 2;
+  config.hang_timeout_ms = 100;
+  config.backoff_initial_ms = 0;
+  config.backoff_cap_ms = 1;
+  config.max_restarts = 32;
+  return config;
+}
+
+TEST(DaemonSoak, FaultStormLosesNoAlerts) {
+  std::string baseline_history;
+  std::vector<daemon::EpochVerdict> baseline_verdicts;
+  {
+    storage::MemoryBackend backend;
+    daemon::MonitorDaemon d(soak_config(backend), soak_warehouse());
+    const daemon::DaemonResult result = d.run();
+    baseline_history = daemon::render_alert_history(result.alerts);
+    baseline_verdicts = result.epoch_verdicts;
+    ASSERT_EQ(result.epochs_completed, kEpochs);
+    ASSERT_GE(result.alerts.size(), 6u);
+  }
+
+  // The storm: 8 crashes spread over every crash point plus 2 hangs.
+  fault::DaemonFaultPlan plan;
+  plan.crashes.push_back({1, fault::DaemonCrashPoint::kEpochStart});
+  plan.crashes.push_back({4, fault::DaemonCrashPoint::kBeforeCheckpoint});
+  plan.crashes.push_back({6, fault::DaemonCrashPoint::kAfterFleetRun});
+  plan.crashes.push_back({8, fault::DaemonCrashPoint::kAfterCheckpoint});
+  plan.crashes.push_back({11, fault::DaemonCrashPoint::kBeforeCheckpoint});
+  plan.crashes.push_back({15, fault::DaemonCrashPoint::kEpochStart});
+  plan.crashes.push_back({19, fault::DaemonCrashPoint::kBeforeCheckpoint});
+  plan.crashes.push_back({22, fault::DaemonCrashPoint::kAfterCheckpoint});
+  plan.hang_epochs.push_back(9);
+  plan.hang_epochs.push_back(17);
+  fault::DaemonFaultInjector faults(plan);
+
+  storage::MemoryBackend backend;
+  daemon::DaemonConfig config = soak_config(backend);
+  config.faults = &faults;
+  config.crash_hook = [&backend] { backend.crash(); };
+  daemon::MonitorDaemon d(config, soak_warehouse());
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(result.epochs_completed, kEpochs);
+  EXPECT_FALSE(result.gave_up);
+  EXPECT_EQ(result.crash_restarts, 8u);
+  EXPECT_EQ(result.hang_restarts, 2u);
+  EXPECT_GE(result.restarts, 5u);  // the ISSUE acceptance floor
+  EXPECT_GT(result.replayed_alerts, 0u);
+
+  // Zero lost, zero duplicated: bit-identical history, gapless sequences.
+  EXPECT_EQ(result.epoch_verdicts, baseline_verdicts);
+  EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline_history);
+  for (std::size_t i = 0; i < result.alerts.size(); ++i) {
+    EXPECT_EQ(result.alerts[i].sequence, i) << "alert " << i;
+  }
+}
+
+}  // namespace

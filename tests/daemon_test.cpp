@@ -1,0 +1,398 @@
+// MonitorDaemon tests: epoch scheduling, tag churn and re-planning, alert
+// debounce/escalation/quarantine/recovery, supervised crash and hang
+// restarts with journal-replay resume, and stale-journal quarantine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "fault/daemon_fault.h"
+#include "fault/fault.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+#include "storage/backend.h"
+
+namespace {
+
+using namespace rfid;
+
+// 30 tags, capacity 10 -> 3 zones, M = 2. Small enough that a full epoch is
+// milliseconds of simulated protocol work.
+daemon::WarehouseConfig small_warehouse() {
+  daemon::WarehouseConfig warehouse;
+  warehouse.initial_tags = 30;
+  warehouse.tolerance = 2;
+  warehouse.zone_capacity = 10;
+  warehouse.rounds = 2;
+  return warehouse;
+}
+
+daemon::DaemonConfig base_config(storage::MemoryBackend& backend) {
+  daemon::DaemonConfig config;
+  config.seed = 7;
+  config.epochs = 3;
+  config.backend = &backend;
+  config.backoff_initial_ms = 0;  // no need to pace restarts in tests
+  config.backoff_cap_ms = 1;
+  return config;
+}
+
+// A zone fault that makes the reader never come back: the zone fails its
+// whole epoch when paired with faults_on_retries.
+fault::FaultPlan dead_reader() {
+  fault::FaultPlan plan;
+  plan.reader_crashes.push_back(fault::CrashWindow{0.0, 0.0});
+  return plan;
+}
+
+std::vector<daemon::DaemonAlertKind> kinds_of(
+    const std::vector<daemon::DaemonAlert>& alerts) {
+  std::vector<daemon::DaemonAlertKind> kinds;
+  kinds.reserve(alerts.size());
+  for (const daemon::DaemonAlert& alert : alerts) kinds.push_back(alert.kind);
+  return kinds;
+}
+
+void expect_monotonic_sequences(
+    const std::vector<daemon::DaemonAlert>& alerts) {
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    EXPECT_EQ(alerts[i].sequence, i) << "alert " << i;
+  }
+}
+
+TEST(MonitorDaemon, QuietWarehouseStaysIntact) {
+  storage::MemoryBackend backend;
+  daemon::MonitorDaemon d(base_config(backend), small_warehouse());
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(result.epochs_completed, 3u);
+  ASSERT_EQ(result.epoch_verdicts.size(), 3u);
+  for (const daemon::EpochVerdict verdict : result.epoch_verdicts) {
+    EXPECT_EQ(verdict, daemon::EpochVerdict::kIntact);
+  }
+  EXPECT_TRUE(result.alerts.empty());
+  EXPECT_EQ(result.restarts, 0u);
+  EXPECT_FALSE(result.gave_up);
+  EXPECT_EQ(result.replayed_alerts, 0u);
+  EXPECT_EQ(result.journal_append_failures, 0u);
+
+  // The registry mirrors the plan: one active group per zone.
+  EXPECT_EQ(d.registry().group_count(), 3u);
+  for (std::size_t z = 0; z < 3; ++z) {
+    EXPECT_TRUE(d.registry().active(server::GroupId{z}));
+  }
+}
+
+TEST(MonitorDaemon, TheftLatchesOneViolationAlert) {
+  storage::MemoryBackend backend;
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  // From epoch 1 on, 6 of zone 0's 10 tags are gone — far over its share of
+  // M = 2, so the zone verdict is violated (and stays violated).
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 1, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+
+  daemon::MonitorDaemon d(base_config(backend), warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  ASSERT_EQ(result.epoch_verdicts.size(), 3u);
+  EXPECT_EQ(result.epoch_verdicts[0], daemon::EpochVerdict::kIntact);
+  EXPECT_EQ(result.epoch_verdicts[1], daemon::EpochVerdict::kViolated);
+  EXPECT_EQ(result.epoch_verdicts[2], daemon::EpochVerdict::kViolated);
+
+  // The violation latches: one kZoneViolated at epoch 1, no re-alert at
+  // epoch 2 while the incident is still open. The continued misses do feed
+  // the debounce machine (escalation at the default 2-epoch streak).
+  std::size_t violated = 0;
+  for (const daemon::DaemonAlert& alert : result.alerts) {
+    if (alert.kind == daemon::DaemonAlertKind::kZoneViolated) {
+      ++violated;
+      EXPECT_EQ(alert.epoch, 1u);
+      EXPECT_EQ(alert.zone, 0u);
+    }
+  }
+  EXPECT_EQ(violated, 1u);
+  expect_monotonic_sequences(result.alerts);
+}
+
+TEST(MonitorDaemon, ChurnReplansAndResyncsRegistry) {
+  storage::MemoryBackend backend;
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  // Epoch 1: +20 tags -> 50 tags -> 5 zones. Epoch 2: retire 20 -> 30 tags
+  // -> back to 3 zones; the two extra registry groups are decommissioned.
+  warehouse.churn.push_back(daemon::ChurnEvent{.epoch = 1, .enroll = 20});
+  warehouse.churn.push_back(
+      daemon::ChurnEvent{.epoch = 2, .decommission = 20});
+
+  daemon::MonitorDaemon d(base_config(backend), warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(result.epochs_completed, 3u);
+  std::vector<daemon::DaemonAlertKind> replans;
+  for (const daemon::DaemonAlert& alert : result.alerts) {
+    if (alert.kind == daemon::DaemonAlertKind::kReplanned) {
+      replans.push_back(alert.kind);
+    }
+  }
+  EXPECT_EQ(replans.size(), 2u);  // 3 -> 5 zones, then 5 -> 3
+
+  // GroupIds never shift: the registry grew to 5 groups and tombstoned the
+  // last two when the zone count shrank back.
+  EXPECT_EQ(d.registry().group_count(), 5u);
+  EXPECT_TRUE(d.registry().active(server::GroupId{0}));
+  EXPECT_TRUE(d.registry().active(server::GroupId{2}));
+  EXPECT_FALSE(d.registry().active(server::GroupId{3}));
+  EXPECT_FALSE(d.registry().active(server::GroupId{4}));
+}
+
+TEST(MonitorDaemon, DebounceEscalatesOnConsecutiveMisses) {
+  storage::MemoryBackend backend;
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.zone_faults.push_back({.epoch = 0, .zone = 1, .plan = dead_reader()});
+  warehouse.zone_faults.push_back({.epoch = 1, .zone = 1, .plan = dead_reader()});
+
+  daemon::DaemonConfig config = base_config(backend);
+  config.faults_on_retries = true;  // the outage outlives retries
+  config.debounce_epochs = 2;
+  config.quarantine_after_epochs = 4;
+
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  ASSERT_EQ(result.epoch_verdicts.size(), 3u);
+  EXPECT_EQ(result.epoch_verdicts[0], daemon::EpochVerdict::kInconclusive);
+  EXPECT_EQ(result.epoch_verdicts[1], daemon::EpochVerdict::kInconclusive);
+  EXPECT_EQ(result.epoch_verdicts[2], daemon::EpochVerdict::kIntact);
+
+  // One miss is noise — the only alert is the escalation when the streak
+  // reaches debounce_epochs.
+  const std::vector<daemon::DaemonAlertKind> kinds = kinds_of(result.alerts);
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0], daemon::DaemonAlertKind::kZoneEscalated);
+  EXPECT_EQ(result.alerts[0].epoch, 1u);
+  EXPECT_EQ(result.alerts[0].zone, 1u);
+}
+
+TEST(MonitorDaemon, QuarantineDegradesVerdictThenRecovers) {
+  storage::MemoryBackend backend;
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    warehouse.zone_faults.push_back(
+        {.epoch = epoch, .zone = 0, .plan = dead_reader()});
+  }
+
+  daemon::DaemonConfig config = base_config(backend);
+  config.epochs = 5;
+  config.faults_on_retries = true;
+  config.debounce_epochs = 1;
+  config.quarantine_after_epochs = 2;
+  config.quarantine_cooldown_epochs = 2;
+
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  ASSERT_EQ(result.epoch_verdicts.size(), 5u);
+  // Epochs 0-1: healthy-zone failures void the pigeonhole -> inconclusive.
+  // Epoch 2: the zone was quarantined before the epoch -> degraded only.
+  // Epochs 3-4: outage over -> intact (recovery completes at epoch 4).
+  EXPECT_EQ(result.epoch_verdicts[0], daemon::EpochVerdict::kInconclusive);
+  EXPECT_EQ(result.epoch_verdicts[1], daemon::EpochVerdict::kInconclusive);
+  EXPECT_EQ(result.epoch_verdicts[2], daemon::EpochVerdict::kDegraded);
+  EXPECT_EQ(result.epoch_verdicts[3], daemon::EpochVerdict::kIntact);
+  EXPECT_EQ(result.epoch_verdicts[4], daemon::EpochVerdict::kIntact);
+
+  const std::vector<daemon::DaemonAlertKind> kinds = kinds_of(result.alerts);
+  const std::vector<daemon::DaemonAlertKind> expected = {
+      daemon::DaemonAlertKind::kZoneEscalated,    // epoch 0 (debounce = 1)
+      daemon::DaemonAlertKind::kZoneQuarantined,  // epoch 1 (streak = 2)
+      daemon::DaemonAlertKind::kZoneRecovered,    // epoch 4 (cooldown = 2)
+  };
+  EXPECT_EQ(kinds, expected);
+  expect_monotonic_sequences(result.alerts);
+}
+
+TEST(MonitorDaemon, CrashRestartsReplayIdenticalHistory) {
+  // Baseline: no faults.
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 1, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+  std::string baseline;
+  std::vector<daemon::EpochVerdict> baseline_verdicts;
+  {
+    storage::MemoryBackend backend;
+    daemon::MonitorDaemon d(base_config(backend), warehouse);
+    const daemon::DaemonResult result = d.run();
+    baseline = daemon::render_alert_history(result.alerts);
+    baseline_verdicts = result.epoch_verdicts;
+    EXPECT_FALSE(baseline.empty());
+  }
+
+  // Crash on both sides of the checkpoint write.
+  fault::DaemonFaultPlan plan;
+  plan.crashes.push_back({1, fault::DaemonCrashPoint::kBeforeCheckpoint});
+  plan.crashes.push_back({2, fault::DaemonCrashPoint::kAfterCheckpoint});
+  fault::DaemonFaultInjector faults(plan);
+
+  storage::MemoryBackend backend;
+  daemon::DaemonConfig config = base_config(backend);
+  config.faults = &faults;
+  config.crash_hook = [&backend] { backend.crash(); };
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(result.crash_restarts, 2u);
+  EXPECT_EQ(result.hang_restarts, 0u);
+  EXPECT_FALSE(result.gave_up);
+  EXPECT_GT(result.replayed_alerts, 0u);
+  EXPECT_EQ(result.epoch_verdicts, baseline_verdicts);
+  EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline);
+  expect_monotonic_sequences(result.alerts);
+}
+
+TEST(MonitorDaemon, WatchdogKillsAndRestartsHungMonitor) {
+  std::string baseline;
+  {
+    storage::MemoryBackend backend;
+    daemon::MonitorDaemon d(base_config(backend), small_warehouse());
+    baseline = daemon::render_alert_history(d.run().alerts);
+  }
+
+  fault::DaemonFaultPlan plan;
+  plan.hang_epochs.push_back(1);
+  fault::DaemonFaultInjector faults(plan);
+
+  storage::MemoryBackend backend;
+  daemon::DaemonConfig config = base_config(backend);
+  config.faults = &faults;
+  config.hang_timeout_ms = 50;
+  daemon::MonitorDaemon d(config, small_warehouse());
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(result.hang_restarts, 1u);
+  EXPECT_EQ(faults.hangs_delivered(), 1u);
+  EXPECT_EQ(result.epochs_completed, 3u);
+  EXPECT_FALSE(result.gave_up);
+  ASSERT_EQ(result.events.size(), 1u);
+  EXPECT_EQ(result.events[0].kind, daemon::DaemonEventKind::kHangRestart);
+  EXPECT_EQ(result.events[0].epoch, 1u);
+  EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline);
+}
+
+TEST(MonitorDaemon, GivesUpLoudlyWhenRestartsExhaust) {
+  fault::DaemonFaultPlan plan;
+  for (int i = 0; i < 4; ++i) {
+    plan.crashes.push_back({1, fault::DaemonCrashPoint::kEpochStart});
+  }
+  fault::DaemonFaultInjector faults(plan);
+
+  storage::MemoryBackend backend;
+  daemon::DaemonConfig config = base_config(backend);
+  config.faults = &faults;
+  config.max_restarts = 2;
+  daemon::MonitorDaemon d(config, small_warehouse());
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_EQ(result.restarts, 3u);  // the attempt that exceeded the cap counts
+  EXPECT_EQ(result.epochs_completed, 1u);  // epoch 0 committed before dying
+  ASSERT_FALSE(result.events.empty());
+  EXPECT_EQ(result.events.back().kind, daemon::DaemonEventKind::kGaveUp);
+}
+
+TEST(MonitorDaemon, ResumesAcrossProcessLives) {
+  // One backend, two daemon lives: the first checkpoints 2 epochs, the
+  // second opens the same journal and finishes 4 — and must match a daemon
+  // that lived through all 4 epochs in one process, bit for bit.
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 2, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+
+  std::string baseline;
+  {
+    storage::MemoryBackend backend;
+    daemon::DaemonConfig config = base_config(backend);
+    config.epochs = 4;
+    daemon::MonitorDaemon d(config, warehouse);
+    baseline = daemon::render_alert_history(d.run().alerts);
+  }
+
+  storage::MemoryBackend backend;
+  {
+    daemon::DaemonConfig config = base_config(backend);
+    config.epochs = 2;
+    daemon::MonitorDaemon d(config, warehouse);
+    const daemon::DaemonResult result = d.run();
+    EXPECT_EQ(result.epochs_completed, 2u);
+  }
+  daemon::DaemonConfig config = base_config(backend);
+  config.epochs = 4;
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(result.epochs_completed, 4u);
+  EXPECT_EQ(result.restarts, 0u);
+  EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline);
+  expect_monotonic_sequences(result.alerts);
+}
+
+TEST(MonitorDaemon, StaleJournalIsQuarantinedNotReplayed) {
+  storage::MemoryBackend backend;
+  {
+    daemon::DaemonConfig config = base_config(backend);
+    config.epochs = 2;
+    daemon::MonitorDaemon d(config, small_warehouse());
+    EXPECT_EQ(d.run().epochs_completed, 2u);
+  }
+
+  // Same (seed, name), different monitoring plan: the recorded health
+  // machines describe zones that no longer mean the same thing.
+  daemon::WarehouseConfig changed = small_warehouse();
+  changed.tolerance = 3;
+  daemon::DaemonConfig config = base_config(backend);
+  config.epochs = 2;
+  daemon::MonitorDaemon d(config, changed);
+  const daemon::DaemonResult result = d.run();
+
+  // Monitoring restarted at epoch 0 and the refusal reached the operator.
+  EXPECT_EQ(result.epochs_completed, 2u);
+  EXPECT_EQ(result.replayed_alerts, 0u);
+  ASSERT_FALSE(result.alerts.empty());
+  EXPECT_EQ(result.alerts[0].kind,
+            daemon::DaemonAlertKind::kStaleJournalQuarantined);
+  EXPECT_EQ(result.alerts[0].sequence, 0u);
+  EXPECT_EQ(result.alerts[0].epoch, 0u);
+}
+
+TEST(MonitorDaemon, MetricsCountEpochsAlertsAndRestarts) {
+  fault::DaemonFaultPlan plan;
+  plan.crashes.push_back({1, fault::DaemonCrashPoint::kBeforeCheckpoint});
+  fault::DaemonFaultInjector faults(plan);
+
+  storage::MemoryBackend backend;
+  obs::MetricsRegistry metrics;
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 1, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+  daemon::DaemonConfig config = base_config(backend);
+  config.faults = &faults;
+  config.crash_hook = [&backend] { backend.crash(); };
+  config.metrics = &metrics;
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(obs::catalog::daemon_epochs_total(metrics, "intact").value(), 1u);
+  EXPECT_EQ(obs::catalog::daemon_epochs_total(metrics, "violated").value(),
+            2u);
+  EXPECT_EQ(obs::catalog::daemon_checkpoints_total(metrics).value(), 3u);
+  EXPECT_EQ(obs::catalog::daemon_restarts_total(metrics, "crash").value(),
+            1u);
+  EXPECT_EQ(
+      obs::catalog::daemon_alerts_total(metrics, "zone_violated").value(),
+      1u);
+  // Replayed alerts are counted separately, never re-counted as raised.
+  EXPECT_EQ(obs::catalog::daemon_replayed_alerts_total(metrics).value(),
+            result.replayed_alerts);
+}
+
+}  // namespace

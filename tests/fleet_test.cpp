@@ -599,6 +599,159 @@ TEST(FleetOrchestrator, RejectsDuplicateInventoryNames) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------- supervised shutdown ----
+
+TEST(FleetScheduler, WaitIdleForTimesOutWhileWorkIsStuck) {
+  fleet::FleetScheduler pool(1);
+  Gate gate;
+  pool.submit(0.0, [&gate] { gate.wait(); });
+  EXPECT_FALSE(pool.wait_idle_for(std::chrono::milliseconds(10)));
+  gate.open();
+  pool.wait_idle();
+  EXPECT_TRUE(pool.wait_idle_for(std::chrono::milliseconds(0)));
+}
+
+TEST(FleetScheduler, StopWithoutDrainAbandonsQueuedTasks) {
+  fleet::FleetScheduler pool(1);
+  Gate gate;
+  std::atomic<bool> started{false};
+  std::atomic<int> done{0};
+  pool.submit(0.0, [&gate, &started, &done] {
+    started.store(true, std::memory_order_release);
+    gate.wait();
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  // Make sure the worker has TAKEN the gated task before queueing behind
+  // it — otherwise the sweep below could abandon the gated task too.
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 5; ++i) {
+    pool.submit(1.0, [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // stop(false) sweeps the queue immediately (the worker is parked), then
+  // waits for the in-flight task — release it once the sweep is visible.
+  std::thread opener([&pool, &gate] {
+    while (pool.abandoned() < 5) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    gate.open();
+  });
+  pool.stop(false);
+  opener.join();
+  EXPECT_EQ(done.load(), 1);  // only the in-flight task ran
+  EXPECT_EQ(pool.abandoned(), 5u);
+  // The pool is dead: later submissions are discarded, not lost silently.
+  pool.submit(0.0, [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(pool.abandoned(), 6u);
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(FleetOrchestrator, AbortSwitchAbandonsRunWithoutEndRecord) {
+  storage::MemoryBackend backend;
+  const std::atomic<bool> abort{true};  // killed before any zone starts
+  {
+    util::Rng rng(114);
+    fleet::FleetConfig config{.seed = 53, .threads = 2};
+    config.journal_backend = &backend;
+    config.abort = &abort;
+    fleet::FleetOrchestrator orchestrator(std::move(config));
+    orchestrator.submit(make_trp_spec("ware", 90, 3, 30, rng));
+    const fleet::FleetResult result = orchestrator.run();
+
+    EXPECT_TRUE(result.aborted);
+    EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kInconclusive);
+    for (const fleet::ZoneReport& zone : result.inventories[0].zones) {
+      EXPECT_EQ(zone.status, fleet::ZoneStatus::kFailed);
+      EXPECT_EQ(zone.last_failure, wire::FailureReason::kCrashed);
+    }
+  }
+  // No end record was journaled, so a restart treats the run as
+  // interrupted and completes it.
+  const auto scan = storage::scan_fleet_journal(backend.read("fleet.journal"));
+  EXPECT_FALSE(std::holds_alternative<storage::FleetRunEndRecord>(
+      scan.records.back()));
+
+  util::Rng rng(114);
+  fleet::FleetConfig config{.seed = 53, .threads = 2};
+  config.journal_backend = &backend;
+  fleet::FleetOrchestrator orchestrator(std::move(config));
+  orchestrator.submit(make_trp_spec("ware", 90, 3, 30, rng));
+  const fleet::FleetResult result = orchestrator.run();
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+}
+
+TEST(FleetOrchestrator, RecoveredRunWithChangedPlanIsQuarantined) {
+  // Interrupt a journaled run mid-flight with an injected storage crash...
+  storage::MemoryBackend inner;
+  {
+    fault::StorageFaultPlan plan;
+    plan.crash_at_op = 5;  // past journal begin, inside the zone records
+    fault::FaultyBackend backend(inner, plan);
+    util::Rng rng(115);
+    fleet::FleetConfig config{.seed = 59, .threads = 1};
+    config.journal_backend = &backend;
+    fleet::FleetOrchestrator orchestrator(std::move(config));
+    orchestrator.submit(make_trp_spec("ware", 90, 3, 30, rng));
+    EXPECT_THROW((void)orchestrator.run(), fault::CrashInjected);
+  }
+  inner.crash();  // the process died; unflushed bytes are gone
+
+  // ...then restart with a CHANGED plan (different tolerance): the
+  // journaled zones carry tolerances from the old plan, so folding them in
+  // would silently break the pigeonhole argument. They must be quarantined
+  // and every zone re-executed.
+  {
+    util::Rng rng(115);
+    fleet::FleetConfig config{.seed = 59, .threads = 2};
+    config.journal_backend = &inner;
+    fleet::FleetOrchestrator orchestrator(std::move(config));
+    orchestrator.submit(make_trp_spec("ware", 90, 2, 30, rng));
+    const fleet::FleetResult result = orchestrator.run();
+
+    EXPECT_EQ(result.zones_recovered, 0u);
+    EXPECT_EQ(result.attempts, 3u);  // everything ran fresh
+    bool quarantined = false;
+    for (const fleet::FleetAlert& alert : result.alerts) {
+      if (alert.kind == fleet::AlertKind::kRecoveredRunQuarantined) {
+        quarantined = true;
+      }
+    }
+    EXPECT_TRUE(quarantined);
+    EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+  }
+}
+
+TEST(FleetOrchestrator, RecoveredRunWithSamePlanIsResumed) {
+  // Positive control for the quarantine: same crash, same plan on restart —
+  // the journaled zone is reused, no quarantine alert.
+  storage::MemoryBackend inner;
+  {
+    fault::StorageFaultPlan plan;
+    plan.crash_at_op = 5;
+    fault::FaultyBackend backend(inner, plan);
+    util::Rng rng(116);
+    fleet::FleetConfig config{.seed = 61, .threads = 1};
+    config.journal_backend = &backend;
+    fleet::FleetOrchestrator orchestrator(std::move(config));
+    orchestrator.submit(make_trp_spec("ware", 90, 3, 30, rng));
+    EXPECT_THROW((void)orchestrator.run(), fault::CrashInjected);
+  }
+  inner.crash();
+
+  util::Rng rng(116);
+  fleet::FleetConfig config{.seed = 61, .threads = 2};
+  config.journal_backend = &inner;
+  fleet::FleetOrchestrator orchestrator(std::move(config));
+  orchestrator.submit(make_trp_spec("ware", 90, 3, 30, rng));
+  const fleet::FleetResult result = orchestrator.run();
+
+  EXPECT_GE(result.zones_recovered, 1u);
+  EXPECT_TRUE(result.alerts.empty());
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+}
+
 TEST(FleetOrchestrator, SixtyFourZonesAcrossFourInventories) {
   // The acceptance scenario: >= 64 zones over >= 4 inventories, mixed
   // verdicts, completed in one run.

@@ -1,11 +1,13 @@
 // Tests for the multi-group InventoryServer front-end.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
 
 #include "protocol/utrp.h"
 #include "server/inventory_server.h"
 #include "server/snapshot.h"
+#include "storage/server_state.h"
 #include "tag/tag_set.h"
 #include "util/random.h"
 
@@ -303,6 +305,81 @@ TEST(InventoryServer, UtrpMirrorTracksCommittedCounters) {
     EXPECT_EQ(mirror.at(i).id(), set.at(i).id());
     EXPECT_EQ(mirror.at(i).counter(), set.at(i).counter());
   }
+}
+
+// -------------------------------------------------- group lifecycle ----
+
+TEST(InventoryServer, ReEnrollReplacesMembershipInPlace) {
+  rfid::util::Rng rng(20);
+  InventoryServer server;
+  TagSet original = TagSet::make_random(100, rng);
+  const GroupId id = server.enroll(original, trp_config("aisle", 2));
+
+  // Complete one round, then re-enroll with a fresh (smaller) audit.
+  const rfid::protocol::TrpReader reader;
+  const auto c1 = server.challenge_trp(id, rng);
+  EXPECT_TRUE(
+      server.submit_trp(id, c1, reader.scan(original.tags(), c1, rng)).intact);
+  EXPECT_EQ(server.rounds_completed(id), 1u);
+
+  TagSet replaced = TagSet::make_random(60, rng);
+  server.re_enroll(id, replaced, trp_config("aisle-v2", 1));
+  EXPECT_EQ(server.group_count(), 1u);  // same identity, no new group
+  EXPECT_EQ(server.group_size(id), 60u);
+  EXPECT_EQ(server.config(id).name, "aisle-v2");
+  EXPECT_EQ(server.rounds_completed(id), 0u);  // the new engine starts fresh
+
+  // The replaced membership is what rounds verify against now.
+  const auto c2 = server.challenge_trp(id, rng);
+  EXPECT_TRUE(
+      server.submit_trp(id, c2, reader.scan(replaced.tags(), c2, rng)).intact);
+}
+
+TEST(InventoryServer, DecommissionTombstonesWithoutShiftingIds) {
+  rfid::util::Rng rng(21);
+  InventoryServer server;
+  const TagSet a = TagSet::make_random(50, rng);
+  const TagSet b = TagSet::make_random(50, rng);
+  const GroupId ga = server.enroll(a, trp_config("a", 1));
+  const GroupId gb = server.enroll(b, trp_config("b", 1));
+
+  server.decommission(ga);
+  EXPECT_FALSE(server.active(ga));
+  EXPECT_TRUE(server.active(gb));
+  EXPECT_EQ(server.group_count(), 2u);  // the index space never shrinks
+  EXPECT_THROW((void)server.challenge_trp(ga, rng), std::invalid_argument);
+  EXPECT_THROW(server.decommission(ga), std::invalid_argument);  // once only
+
+  // The live group is untouched by its neighbor's tombstone.
+  const rfid::protocol::TrpReader reader;
+  const auto cb = server.challenge_trp(gb, rng);
+  EXPECT_TRUE(server.submit_trp(gb, cb, reader.scan(b.tags(), cb, rng)).intact);
+
+  // Re-enrollment reactivates the tombstone in place.
+  const TagSet fresh = TagSet::make_random(40, rng);
+  server.re_enroll(ga, fresh, trp_config("a-v2", 1));
+  EXPECT_TRUE(server.active(ga));
+  const auto ca = server.challenge_trp(ga, rng);
+  EXPECT_TRUE(
+      server.submit_trp(ga, ca, reader.scan(fresh.tags(), ca, rng)).intact);
+}
+
+TEST(InventoryServer, ActiveFlagSurvivesPersistenceRoundTrip) {
+  rfid::util::Rng rng(22);
+  InventoryServer server;
+  const TagSet a = TagSet::make_random(40, rng);
+  const TagSet b = TagSet::make_random(40, rng);
+  const GroupId ga = server.enroll(a, trp_config("kept", 1));
+  const GroupId gb = server.enroll(b, trp_config("retired", 1));
+  server.decommission(gb);
+
+  const std::string dump = rfid::storage::dump_state(server);
+  std::istringstream is(dump);
+  const InventoryServer rebuilt =
+      rfid::storage::build_server(rfid::storage::read_state(is));
+  EXPECT_TRUE(rebuilt.active(ga));
+  EXPECT_FALSE(rebuilt.active(gb));
+  EXPECT_EQ(rfid::storage::dump_state(rebuilt), dump);
 }
 
 }  // namespace
