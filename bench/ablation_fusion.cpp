@@ -1,0 +1,145 @@
+// Ablation — reader fusion: detection through an adversarial reader.
+//
+// The paper's guarantee assumes the reader faithfully reports what it
+// hears. One compromised reader voids that: it forges the expected
+// bitstring of the full enrolled set and a k = 1 deployment verifies a
+// robbed zone "intact" with probability 1. This bench sweeps the fusion
+// degree k (one zone, one forged reader, Gilbert-Elliott burst loss on the
+// backhaul) and reports, per k:
+//   * detection_rate — robbed zone (theft > m) flagged violated. The claim
+//     under test: k >= 3 meets the alpha target the paper promises while
+//     k = 1 detects nothing (the forger IS the evidence channel).
+//   * suspect_rate   — runs whose persistently-outvoted forger ends flagged
+//     suspect (the trust tier naming the compromised reader).
+//   * degraded_rate  — runs with at least one round committed below the
+//     q-of-k quorum (burst loss knocking readers out mid-round).
+//   * mean_slots     — fused slots put through the vote: the evidence-side
+//     cost of redundancy (k sessions hear the same frames; the per-zone
+//     frame plan itself is sized by math/fused_detection).
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "bench_common.h"
+#include "fault/fault.h"
+#include "fleet/fleet.h"
+#include "server/group_planner.h"
+#include "sim/trial_runner.h"
+#include "tag/tag_set.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rfid;
+
+constexpr std::uint64_t kTags = 60;
+constexpr std::uint64_t kTolerance = 2;
+constexpr std::uint64_t kStolen = 8;  // well beyond m: must be detected
+constexpr std::uint64_t kRounds = 2;
+
+fleet::FleetResult run_one(util::Rng& rng, std::uint64_t fleet_seed,
+                           std::uint32_t k, bool steal) {
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = fleet_seed, .threads = 1, .fleet_name = "ablation"});
+
+  fleet::InventorySpec spec;
+  spec.name = "zone";
+  spec.tags = tag::TagSet::make_random(kTags, rng);
+  spec.plan = server::plan_groups({.total_tags = kTags,
+                                   .total_tolerance = kTolerance,
+                                   .alpha = 0.95,
+                                   .max_group_size = 0});
+  spec.rounds = kRounds;
+  spec.fusion.readers = k;
+  // The sizing-side faulty budget needs the quorum to outvote it
+  // (quorum > 2a); only k = 5's majority quorum of 3 affords a = 1.
+  spec.fusion.assumed_faulty = k >= 5 ? 1 : 0;
+  spec.fusion.slot_loss = 0.005;
+  if (steal) {
+    for (std::uint64_t t = 0; t < kStolen; ++t) spec.stolen.push_back(t);
+  }
+  // The last reader is compromised: it forges "every enrolled tag present".
+  spec.dishonest_readers.emplace_back(0, k - 1);
+  // Correlated burst loss on the backhaul — mean burst 4 frames, ~9%
+  // stationary loss, hitting every reader's link in lockstep (the shared
+  // RF environment, the worst case for quorum).
+  spec.zone_faults.emplace_back(
+      0, fault::parse_multi_reader_fault_plan(
+             "correlated\nburst 0.025 0.25 1.0 0.0\n"));
+  orchestrator.submit(std::move(spec));
+  return orchestrator.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_figure_options(argc, argv);
+  const sim::TrialRunner runner(opt.threads);
+
+  bench::banner(
+      "Ablation: fusion degree k vs one adversarial reader (TRP, n = " +
+      std::to_string(kTags) + ", m = " + std::to_string(kTolerance) +
+      ", stolen = " + std::to_string(kStolen) + ", GE burst loss, " +
+      std::to_string(opt.trials) + " trials/point)");
+
+  util::Table table({"k", "detection_rate", "suspect_rate", "degraded_rate",
+                     "mean_slots"});
+  std::uint64_t point = 0;
+  for (const std::uint32_t k : {1u, 2u, 3u, 5u}) {
+    ++point;
+    const std::uint64_t seed = util::derive_seed(opt.seed, point);
+    const auto detection = runner.run_boolean(
+        opt.trials, util::derive_seed(seed, 1),
+        [&](std::uint64_t trial, util::Rng& rng) {
+          return run_one(rng, util::derive_seed(seed, 1, trial), k,
+                         /*steal=*/true)
+                     .verdict == fleet::GlobalVerdict::kViolated;
+        });
+    const auto suspects = runner.run_boolean(
+        opt.trials, util::derive_seed(seed, 2),
+        [&](std::uint64_t trial, util::Rng& rng) {
+          return run_one(rng, util::derive_seed(seed, 2, trial), k,
+                         /*steal=*/true)
+                     .readers_suspected > 0;
+        });
+    const auto degraded = runner.run_boolean(
+        opt.trials, util::derive_seed(seed, 3),
+        [&](std::uint64_t trial, util::Rng& rng) {
+          return run_one(rng, util::derive_seed(seed, 3, trial), k,
+                         /*steal=*/false)
+                     .degraded_zones > 0;
+        });
+    const auto slots = runner.run_metric(
+        opt.trials, util::derive_seed(seed, 4),
+        [&](std::uint64_t trial, util::Rng& rng) {
+          const fleet::FleetResult result = run_one(
+              rng, util::derive_seed(seed, 4, trial), k, /*steal=*/false);
+          std::uint64_t fused = 0;
+          for (const fleet::ZoneReport& zone :
+               result.inventories.at(0).zones) {
+            fused += zone.fused_slots;
+          }
+          return static_cast<double>(fused);
+        });
+    table.begin_row();
+    table.add_cell(std::to_string(k));
+    table.add_cell(detection.proportion(), 4);
+    table.add_cell(suspects.proportion(), 4);
+    table.add_cell(degraded.proportion(), 4);
+    table.add_cell(slots.mean(), 1);
+  }
+  bench::emit(table, opt);
+
+  std::cout
+      << "k = 1 trusts the forged bitstring outright: detection is 0 no\n"
+         "matter how large the theft. From k = 2 the honest side (ties fuse\n"
+         "empty) overrules the forger, detection clears alpha, and the trust\n"
+         "tier names the compromised reader — but k = 2's 2-of-2 vote turns\n"
+         "any single lost reply into a false empty, so the generalized\n"
+         "Theorem 1 inflates the frame ~26x to keep the alarm budget. k = 3\n"
+         "is the knee: one reader can be lost (or lie) per slot with eps ~\n"
+         "p^2, frames shrink back to the k = 1 scale, and the correlated\n"
+         "burst never drives committed rounds below quorum (retransmission\n"
+         "absorbs it; degraded_rate stays 0 at these loss rates).\n";
+  return 0;
+}

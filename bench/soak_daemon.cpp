@@ -5,9 +5,10 @@
 //
 //   1. Resume latency: how long does a restarted daemon spend replaying its
 //      journal before monitoring continues, as a function of how many
-//      epochs it had checkpointed? (The daemon replays EVERY checkpoint —
-//      there is no rotation yet — so this is the curve that would motivate
-//      one.)
+//      epochs it had checkpointed? Without rotation the daemon replays
+//      EVERY checkpoint (the O(epochs) column); with journal_rotate_after
+//      set the journal folds itself into [start][snapshot] and the resume
+//      cost is O(1) in the daemon's lifetime (the rotated columns).
 //   2. Soak: a long run through a scripted fault storm — crashes at every
 //      daemon crash point plus watchdog-killed hangs — reporting restarts,
 //      replayed alerts, and verifying the alert history is bit-identical
@@ -29,6 +30,7 @@
 #include "fault/daemon_fault.h"
 #include "fault/fault.h"
 #include "storage/backend.h"
+#include "storage/daemon_journal.h"
 #include "util/table.h"
 
 namespace {
@@ -45,7 +47,8 @@ daemon::WarehouseConfig make_warehouse(std::uint64_t tags) {
 }
 
 daemon::DaemonConfig make_config(storage::MemoryBackend& backend,
-                                 std::uint64_t seed, std::uint64_t epochs) {
+                                 std::uint64_t seed, std::uint64_t epochs,
+                                 std::uint64_t rotate_after = 0) {
   daemon::DaemonConfig config;
   config.seed = seed;
   config.epochs = epochs;
@@ -54,26 +57,36 @@ daemon::DaemonConfig make_config(storage::MemoryBackend& backend,
   config.backoff_cap_ms = 1;
   config.max_restarts = 64;
   config.hang_timeout_ms = 100;
+  config.journal_rotate_after = rotate_after;
   return config;
 }
 
-/// Checkpoints `epochs` epochs, then times a fresh daemon life opening the
-/// journal and replaying all of them (best of `repeats`).
+/// Checkpoints `epochs` epochs (folding the journal every `rotate_after`
+/// checkpoints; 0 = never), then times a fresh daemon life opening the
+/// journal and resuming from it (best of `repeats`). Also reports the
+/// record count that resume had to parse.
 double resume_latency_us(std::uint64_t tags, std::uint64_t epochs,
-                         std::uint64_t seed, std::uint64_t repeats) {
+                         std::uint64_t seed, std::uint64_t repeats,
+                         std::uint64_t rotate_after,
+                         std::uint64_t* records_out) {
   storage::MemoryBackend backend;
   {
-    daemon::MonitorDaemon d(make_config(backend, seed, epochs),
+    daemon::MonitorDaemon d(make_config(backend, seed, epochs, rotate_after),
                             make_warehouse(tags));
     const daemon::DaemonResult result = d.run();
     RFID_EXPECT(result.epochs_completed == epochs, "soak bench: epochs");
+  }
+  if (records_out != nullptr) {
+    *records_out = storage::scan_daemon_journal(
+                       backend.read(daemon::DaemonConfig{}.journal_name))
+                       .records.size();
   }
   double best = 0.0;
   for (std::uint64_t r = 0; r < repeats; ++r) {
     // Same config: the journal is already complete, so run() replays every
     // checkpoint and returns without executing an epoch — the measured
     // interval is exactly resume cost.
-    daemon::MonitorDaemon d(make_config(backend, seed, epochs),
+    daemon::MonitorDaemon d(make_config(backend, seed, epochs, rotate_after),
                             make_warehouse(tags));
     const daemon::DaemonResult result = d.run();
     RFID_EXPECT(result.epochs_completed == epochs, "soak bench: resume");
@@ -95,19 +108,34 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(extra->get_int_or("repeats", 5));
 
   // ---- resume latency vs checkpointed epochs --------------------------
-  util::Table table({"epochs", "journal_checkpoints", "resume_us"});
+  // Side by side: an unrotated journal (replay cost grows with the
+  // daemon's lifetime) vs journal_rotate_after = 8 (the journal folds into
+  // [start][snapshot] every 8 checkpoints, so resume parses a bounded
+  // record count no matter how long the daemon has lived).
+  constexpr std::uint64_t kRotateAfter = 8;
+  util::Table table({"epochs", "records_unrotated", "resume_us_unrotated",
+                     "records_rotated", "resume_us_rotated"});
   for (const std::uint64_t n : {4u, 8u, 16u, 32u, 64u}) {
-    const double us = resume_latency_us(tags, n, opt.seed, repeats);
+    std::uint64_t records_plain = 0;
+    std::uint64_t records_rotated = 0;
+    const double plain_us =
+        resume_latency_us(tags, n, opt.seed, repeats, 0, &records_plain);
+    const double rotated_us = resume_latency_us(tags, n, opt.seed, repeats,
+                                                kRotateAfter,
+                                                &records_rotated);
     table.begin_row();
     table.add_cell(static_cast<unsigned long long>(n));
-    table.add_cell(static_cast<unsigned long long>(n));
-    table.add_cell(us, 1);
+    table.add_cell(static_cast<unsigned long long>(records_plain));
+    table.add_cell(plain_us, 1);
+    table.add_cell(static_cast<unsigned long long>(records_rotated));
+    table.add_cell(rotated_us, 1);
   }
   if (opt.csv) {
     table.write_csv(std::cout);
   } else {
     std::cout << "Resume latency (journal replay + state rebuild, best of "
-              << repeats << "):\n";
+              << repeats << "; rotated = journal_rotate_after "
+              << kRotateAfter << "):\n";
     table.print(std::cout);
   }
 

@@ -1,6 +1,7 @@
 #include "daemon/daemon.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <utility>
 
@@ -42,6 +43,8 @@ std::string_view to_string(DaemonAlertKind kind) noexcept {
     case DaemonAlertKind::kReplanned: return "replanned";
     case DaemonAlertKind::kStaleJournalQuarantined:
       return "stale_journal_quarantined";
+    case DaemonAlertKind::kReaderQuarantined: return "reader_quarantined";
+    case DaemonAlertKind::kReaderRecovered: return "reader_recovered";
   }
   return "unknown";
 }
@@ -110,6 +113,21 @@ std::uint64_t MonitorDaemon::config_fingerprint() const {
   for (const WarehouseConfig::ZoneFault& zf : warehouse_.zone_faults) {
     h = util::derive_seed(h, zf.epoch, zf.zone);
   }
+  const fusion::FusionConfig& fu = warehouse_.fusion;
+  h = util::derive_seed(h, fu.readers, fu.quorum);
+  h = util::derive_seed(h, fu.assumed_faulty, fu.suspect_after_rounds);
+  h = util::derive_seed(h, std::bit_cast<std::uint64_t>(fu.slot_loss),
+                        std::bit_cast<std::uint64_t>(fu.alert_budget));
+  h = util::derive_seed(h, std::bit_cast<std::uint64_t>(fu.trust_decay),
+                        std::bit_cast<std::uint64_t>(fu.min_trust));
+  h = util::derive_seed(
+      h, std::bit_cast<std::uint64_t>(fu.suspect_overruled), 2);
+  for (const auto& [zone, reader] : warehouse_.dishonest_readers) {
+    h = util::derive_seed(h, zone, reader);
+  }
+  // journal_rotate_after is deliberately absent: rotation changes the
+  // journal's layout, never its replay, so a restart may change the knob
+  // and still resume.
   return h | 1;
 }
 
@@ -169,19 +187,17 @@ void MonitorDaemon::resume_from_journal(DaemonResult& result) {
   pending_alerts_.clear();
   verdicts_.clear();
   next_alert_sequence_ = 0;
-  std::uint64_t committed = 0;
-  std::uint64_t restored = 0;
-  for (storage::DaemonCheckpointRecord& checkpoint : replay.checkpoints) {
-    verdicts_.push_back(static_cast<EpochVerdict>(checkpoint.verdict));
-    healths_ = checkpoint.zones;
-    next_alert_sequence_ = checkpoint.next_alert_sequence;
-    committed = checkpoint.epoch + 1;
-    restored += checkpoint.alerts.size();
-    for (storage::DaemonAlertRecord& alert : checkpoint.alerts) {
-      alerts_.push_back(std::move(alert));
-    }
+  // The journal hands back already-folded state (O(1) in the daemon's
+  // lifetime once rotation is on): adopting it IS the replay.
+  verdicts_.reserve(replay.verdicts.size());
+  for (const std::uint8_t verdict : replay.verdicts) {
+    verdicts_.push_back(static_cast<EpochVerdict>(verdict));
   }
-  epochs_committed_.store(committed, std::memory_order_release);
+  healths_ = std::move(replay.zones);
+  alerts_ = std::move(replay.alerts);
+  next_alert_sequence_ = replay.next_alert_sequence;
+  const std::uint64_t restored = alerts_.size();
+  epochs_committed_.store(replay.verdicts.size(), std::memory_order_release);
 
   if (replay.stale) {
     // The refusal itself must reach the operator — but an alert is only
@@ -294,6 +310,26 @@ void MonitorDaemon::run_epoch(std::uint64_t epoch) {
       spec.zone_faults.emplace_back(zf.zone, zf.plan);
     }
   }
+  spec.fusion = warehouse_.fusion;
+  const std::uint32_t k = warehouse_.fusion.readers;
+  for (const auto& [zone, reader] : warehouse_.dishonest_readers) {
+    if (zone < zone_count && reader < k) {
+      spec.dishonest_readers.emplace_back(zone, reader);
+    }
+  }
+  if (k > 1) {
+    // Quarantined readers sit out the scan entirely — no evidence, no
+    // vote, no chance to poison the fusion while on the bench.
+    for (std::size_t z = 0; z < std::min<std::size_t>(healths_.size(),
+                                                      zone_count); ++z) {
+      for (std::size_t r = 0; r < healths_[z].readers.size(); ++r) {
+        if (healths_[z].readers[r].quarantined) {
+          spec.excluded_readers.emplace_back(z,
+                                             static_cast<std::uint32_t>(r));
+        }
+      }
+    }
+  }
   spec.tags = std::move(tags);
 
   fleet::FleetConfig fleet_config;
@@ -361,10 +397,61 @@ void MonitorDaemon::run_epoch(std::uint64_t epoch) {
   bool theft = false;
   bool healthy_miss = false;
   bool quarantined_miss = false;
+  std::uint64_t readers_quarantined = 0;
   for (std::size_t z = 0; z < zone_count; ++z) {
     const fleet::ZoneReport& report = reports[z];
     storage::DaemonZoneHealthRecord& health = healths[z];
     const bool was_quarantined = health.quarantined;
+
+    // Reader tier first: a zone can verify intact while one reader inside
+    // it is being persistently outvoted — exactly the adversary the bench
+    // exists for. A reader suspect (or incomplete) quarantine_after_epochs
+    // epochs in a row sits out subsequent scans; after the cooldown it is
+    // reinstated (benched readers produce no evidence to re-judge them by,
+    // so parole is the only way back). The last active reader is never
+    // benched — a zone must keep at least one working radio.
+    if (k > 1) {
+      health.readers.resize(k);
+      std::uint32_t active = 0;
+      for (const storage::DaemonReaderHealthRecord& rh : health.readers) {
+        if (!rh.quarantined) ++active;
+      }
+      for (std::uint32_t r = 0; r < k; ++r) {
+        storage::DaemonReaderHealthRecord& rh = health.readers[r];
+        if (rh.quarantined) {
+          if (epoch - rh.quarantined_at >=
+              config_.quarantine_cooldown_epochs) {
+            raise(DaemonAlertKind::kReaderRecovered, z,
+                  "reader " + std::to_string(r) +
+                      " reinstated; quarantined since epoch " +
+                      std::to_string(rh.quarantined_at));
+            rh = storage::DaemonReaderHealthRecord{};
+            ++active;
+          }
+          continue;
+        }
+        const bool bad =
+            r < report.readers.size() &&
+            (report.readers[r].suspect || !report.readers[r].completed);
+        if (bad) {
+          ++rh.bad_streak;
+        } else {
+          rh.bad_streak = 0;
+        }
+        if (rh.bad_streak >= config_.quarantine_after_epochs && active > 1) {
+          rh.quarantined = true;
+          rh.quarantined_at = epoch;
+          --active;
+          ++readers_quarantined;
+          raise(DaemonAlertKind::kReaderQuarantined, z,
+                "reader " + std::to_string(r) + " suspect or incomplete " +
+                    std::to_string(rh.bad_streak) +
+                    " consecutive epoch(s); excluded from scans until "
+                    "cooldown");
+        }
+      }
+    }
+
     if (report.status == fleet::ZoneStatus::kIntact) {
       health.miss_streak = 0;
       if (health.quarantined) {
@@ -374,12 +461,26 @@ void MonitorDaemon::run_epoch(std::uint64_t epoch) {
                 "recovered after " + std::to_string(health.intact_streak) +
                     " intact epoch(s); quarantined since epoch " +
                     std::to_string(health.quarantined_at));
+          // Zone forgiveness must not reinstate benched readers: the
+          // reader tier keeps its own clock.
+          std::vector<storage::DaemonReaderHealthRecord> readers =
+              std::move(health.readers);
           health = storage::DaemonZoneHealthRecord{};
+          health.readers = std::move(readers);
         }
       } else {
         health.intact_streak = 0;
         health.violated = false;  // incident over; a new one re-alerts
       }
+      continue;
+    }
+    if (report.status == fleet::ZoneStatus::kDegraded) {
+      // Rounds committed below the q-of-k quorum but no committed round
+      // showed theft: evidence exists (not a miss — the zone machine holds
+      // where it is), yet the guarantee stands on fewer readers than
+      // configured, so the epoch verdict degrades.
+      health.intact_streak = 0;
+      quarantined_miss = true;
       continue;
     }
 
@@ -451,6 +552,10 @@ void MonitorDaemon::run_epoch(std::uint64_t epoch) {
           m, to_string(static_cast<DaemonAlertKind>(alert.kind)))
           .inc();
     }
+    if (readers_quarantined > 0) {
+      obs::catalog::fusion_readers_quarantined_total(m).inc(
+          readers_quarantined);
+    }
   }
   epochs_committed_.store(epoch + 1, std::memory_order_release);
   {
@@ -505,8 +610,8 @@ DaemonResult MonitorDaemon::run() {
   RFID_EXPECT(!ran_, "run() may only be called once");
   ran_ = true;
 
-  journal_ = std::make_unique<storage::DaemonJournal>(*config_.backend,
-                                                      config_.journal_name);
+  journal_ = std::make_unique<storage::DaemonJournal>(
+      *config_.backend, config_.journal_name, config_.journal_rotate_after);
   DaemonResult result;
   std::uint64_t backoff_ms = config_.backoff_initial_ms;
 

@@ -89,6 +89,9 @@ enum class DaemonAlertKind : std::uint8_t {
   kZoneRecovered = 3,    // quarantined zone served its intact cooldown
   kReplanned = 4,        // churn changed the zone count; health reset
   kStaleJournalQuarantined = 5,  // recovered state refused (config changed)
+  /// Fused (k > 1) zones only: the per-reader quarantine tier.
+  kReaderQuarantined = 6,  // reader suspect/incomplete too many epochs
+  kReaderRecovered = 7,    // quarantined reader reinstated after cooldown
 };
 
 [[nodiscard]] std::string_view to_string(EpochVerdict verdict) noexcept;
@@ -143,6 +146,16 @@ struct WarehouseConfig {
     fault::FaultPlan plan;
   };
   std::vector<ZoneFault> zone_faults;
+  /// Reader redundancy per zone (fusion.readers > 1 runs k overlapping
+  /// sessions with trust-weighted vote fusion; see fusion/fusion.h). The
+  /// daemon adds the per-reader quarantine tier on top: a reader suspect
+  /// or incomplete quarantine_after_epochs epochs in a row is excluded
+  /// from subsequent scans until its cooldown passes.
+  fusion::FusionConfig fusion;
+  /// Persistently adversarial readers, as (zone, reader) pairs — every
+  /// epoch those readers forge "all enrolled tags present". The scenario
+  /// the quarantine tier exists for.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> dishonest_readers;
 };
 
 struct DaemonConfig {
@@ -166,6 +179,11 @@ struct DaemonConfig {
   storage::StorageBackend* backend = nullptr;
   std::string journal_name = "daemon.journal";
   std::string fleet_journal_name = "fleet.journal";
+  /// Fold the daemon journal into [start][snapshot] every N checkpoints
+  /// (0 = never): keeps resume O(1) in the daemon's lifetime. Pure storage
+  /// layout — replay is bit-identical with or without rotation, so this
+  /// knob is deliberately outside the config fingerprint.
+  std::uint64_t journal_rotate_after = 0;
   /// Scripted crashes/hangs (not owned; may be null).
   fault::DaemonFaultInjector* faults = nullptr;
   /// Invoked between a caught crash and the journal replay — the torture

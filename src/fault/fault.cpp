@@ -1,5 +1,6 @@
 #include "fault/fault.h"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -66,10 +67,9 @@ namespace {
   return v;
 }
 
-}  // namespace
-
-FaultPlan parse_fault_plan(std::string_view text) {
-  FaultPlan plan;
+/// Applies the script in `text` on top of `plan` (the layered-merge
+/// primitive behind both the single- and multi-reader parsers).
+void apply_fault_plan_lines(FaultPlan& plan, std::string_view text) {
   std::istringstream lines{std::string(text)};
   std::string line;
   while (std::getline(lines, line)) {
@@ -129,6 +129,89 @@ FaultPlan parse_fault_plan(std::string_view text) {
     }
     std::string trailing;
     RFID_EXPECT(!(is >> trailing), "trailing tokens on fault-plan line: " + line);
+  }
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  apply_fault_plan_lines(plan, text);
+  return plan;
+}
+
+FaultPlan MultiReaderFaultPlan::for_reader(std::uint32_t reader) const {
+  FaultPlan plan = shared;
+  for (const auto& [index, override_plan] : overrides) {
+    if (index == reader) {
+      plan = override_plan;
+      break;
+    }
+  }
+  // Reader 0 keeps the scripted seed so a k = 1 zone is bit-identical to
+  // the legacy single-reader path; higher readers fork their own stream
+  // unless the script pinned them together with `correlated`.
+  if (!correlated && reader > 0) {
+    plan.seed = util::derive_seed(plan.seed, reader, 0x72656164ULL /* "read" */);
+  }
+  return plan;
+}
+
+MultiReaderFaultPlan parse_multi_reader_fault_plan(std::string_view text) {
+  MultiReaderFaultPlan plan;
+  std::string shared_text;
+  std::vector<std::pair<std::uint32_t, std::string>> reader_texts;
+
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string body = line;
+    if (const auto hash = body.find('#'); hash != std::string::npos) {
+      body.erase(hash);
+    }
+    const auto start = body.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+
+    if (body.compare(start, 7, "reader=") == 0) {
+      const auto index_begin = start + 7;
+      const auto colon = body.find(':', index_begin);
+      RFID_EXPECT(colon != std::string::npos && colon > index_begin,
+                  "malformed reader prefix (want reader=<n>:): " + line);
+      std::uint32_t index = 0;
+      for (auto pos = index_begin; pos < colon; ++pos) {
+        RFID_EXPECT(body[pos] >= '0' && body[pos] <= '9',
+                    "malformed reader prefix (want reader=<n>:): " + line);
+        index = index * 10 + static_cast<std::uint32_t>(body[pos] - '0');
+      }
+      auto it = std::find_if(reader_texts.begin(), reader_texts.end(),
+                             [&](const auto& e) { return e.first == index; });
+      if (it == reader_texts.end()) {
+        it = reader_texts.emplace(reader_texts.end(), index, std::string());
+      }
+      it->second.append(body, colon + 1, std::string::npos);
+      it->second.push_back('\n');
+      continue;
+    }
+
+    std::istringstream is(body);
+    std::string directive;
+    is >> directive;
+    if (directive == "correlated") {
+      std::string trailing;
+      RFID_EXPECT(!(is >> trailing),
+                  "trailing tokens on fault-plan line: " + line);
+      plan.correlated = true;
+      continue;
+    }
+    shared_text += body;
+    shared_text.push_back('\n');
+  }
+
+  plan.shared = parse_fault_plan(shared_text);
+  for (const auto& [index, reader_text] : reader_texts) {
+    FaultPlan merged = plan.shared;
+    apply_fault_plan_lines(merged, reader_text);
+    plan.overrides.emplace_back(index, merged);
   }
   return plan;
 }

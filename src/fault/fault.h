@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/random.h"
@@ -148,5 +149,41 @@ class FaultInjector {
 /// Throws std::invalid_argument on unknown directives, malformed numbers,
 /// or out-of-range probabilities.
 [[nodiscard]] FaultPlan parse_fault_plan(std::string_view text);
+
+/// A zone fault script addressed to k overlapping readers. `shared` is the
+/// base plan every reader runs; `overrides` holds fully-merged replacement
+/// plans for individual readers (script lines layered over the shared
+/// plan). By default each reader's injector draws from its own stream —
+/// the seed is re-derived from (shared-or-override seed, reader index) for
+/// reader > 0 — so k radios on one backhaul fade independently; setting
+/// `correlated` keeps the scripted seed verbatim, giving every reader the
+/// same Gilbert–Elliott sample path (a shared physical obstruction).
+struct MultiReaderFaultPlan {
+  FaultPlan shared;
+  std::vector<std::pair<std::uint32_t, FaultPlan>> overrides;
+  bool correlated = false;
+
+  MultiReaderFaultPlan() = default;
+  /// Implicit: a plain FaultPlan is "the same script for every reader",
+  /// which keeps existing single-reader call sites working unchanged.
+  MultiReaderFaultPlan(FaultPlan plan) : shared(plan) {}  // NOLINT
+
+  /// The plan reader `reader` actually executes (override or shared, with
+  /// the per-reader seed derivation applied unless `correlated`).
+  [[nodiscard]] FaultPlan for_reader(std::uint32_t reader) const;
+};
+
+/// Parses the multi-reader script format: every single-reader directive
+/// plus
+///
+///   correlated                  # share one burst-loss sample path
+///   reader=<n>: <directive...>  # apply only to reader n (0-based)
+///
+/// `reader=` lines layer over the shared lines regardless of order of
+/// appearance; repeated `reader=<n>:` lines accumulate into that reader's
+/// override. Throws std::invalid_argument on a malformed prefix (missing
+/// colon, non-numeric index) or any single-reader parse error.
+[[nodiscard]] MultiReaderFaultPlan parse_multi_reader_fault_plan(
+    std::string_view text);
 
 }  // namespace rfid::fault

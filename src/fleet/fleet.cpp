@@ -8,6 +8,7 @@
 #include "fleet/scheduler.h"
 #include "hash/fnv.h"
 #include "math/frame_optimizer.h"
+#include "math/fused_detection.h"
 #include "obs/catalog.h"
 #include "obs/expose.h"
 #include "protocol/trp.h"
@@ -23,6 +24,14 @@ namespace {
 [[nodiscard]] std::uint64_t name_hash_of(std::string_view name) noexcept {
   return hash::fnv1a64(std::as_bytes(std::span(name.data(), name.size())));
 }
+
+/// Salt for a fused zone's challenge stream: derived from (seed, inventory,
+/// zone) but NOT the attempt, so a reader retrying answers the same
+/// challenges its peers saw (a TRP re-scan of one (f, r) is idempotent).
+inline constexpr std::uint64_t kChallengeSalt = 0x6368616cULL;  // "chal"
+/// Salt separating a fused reader's RNG stream from the legacy zone stream
+/// (reader 0 of a k = 1 zone keeps the legacy derivation bit for bit).
+inline constexpr std::uint64_t kReaderSalt = 0x72647273ULL;  // "rdrs"
 
 [[nodiscard]] bool is_retryable(wire::FailureReason reason) noexcept {
   // Deadline misses are a verification outcome (Alg. 5's timer), not an
@@ -63,6 +72,7 @@ std::string_view to_string(ZoneStatus status) noexcept {
     case ZoneStatus::kIntact: return "intact";
     case ZoneStatus::kViolated: return "violated";
     case ZoneStatus::kFailed: return "failed";
+    case ZoneStatus::kDegraded: return "degraded";
   }
   return "unknown";
 }
@@ -90,6 +100,7 @@ std::string_view to_string(AlertKind kind) noexcept {
     case AlertKind::kZoneEscalated: return "zone_escalated";
     case AlertKind::kInventoryRejected: return "inventory_rejected";
     case AlertKind::kRecoveredRunQuarantined: return "recovered_run_quarantined";
+    case AlertKind::kZoneDegraded: return "zone_degraded";
   }
   return "unknown";
 }
@@ -99,11 +110,28 @@ struct FleetOrchestrator::ZoneState {
   std::vector<bool> absent;        // zone-local: true = stolen
   std::vector<tag::Tag> present;   // live tag state across attempts
   math::UtrpPlan utrp_plan;        // solved once at submit (UTRP only)
-  const fault::FaultPlan* faults = nullptr;
   double deadline_us = std::numeric_limits<double>::infinity();
   std::vector<wire::SessionOutcome> attempts_log;
   ZoneReport report;
   bool finalized = false;  // report filled (terminal or abort-synthesized)
+
+  // Per-reader fault plans, materialized from the zone's (possibly
+  // multi-reader) script at submit; empty when the zone has no faults.
+  std::vector<fault::FaultPlan> reader_fault_plans;
+  // Per-reader behavior flags, always sized to the zone's k (k = 1 zones
+  // consult reader 0 for the forge hook).
+  std::vector<bool> reader_dishonest;
+  std::vector<bool> reader_excluded;
+
+  // Fusion (k > 1) only: the fixed challenge schedule every reader answers,
+  // the generalized-Theorem-1 alarm threshold, per-reader attempt logs, and
+  // the completion fan-in counter. The LAST reader task to reach a terminal
+  // state runs the fused finalize — deterministic because the fused verdict
+  // depends only on terminal per-reader state, never on finishing order.
+  std::vector<protocol::TrpChallenge> challenges;
+  std::uint64_t fused_threshold = 1;
+  std::vector<std::vector<wire::SessionOutcome>> reader_attempts;
+  std::unique_ptr<std::atomic<std::uint32_t>> readers_pending;
 };
 
 struct FleetOrchestrator::Inventory {
@@ -133,6 +161,13 @@ Admission FleetOrchestrator::submit(InventorySpec spec) {
   }
   for (const std::uint64_t idx : spec.stolen) {
     RFID_EXPECT(idx < spec.tags.size(), "stolen index out of range");
+  }
+  spec.fusion.validate();
+  if (spec.fusion.readers > 1) {
+    // A UTRP scan advances tag counters, so k simultaneous scans of one
+    // zone are physically inconsistent: fusion is TRP-only.
+    RFID_EXPECT(spec.protocol == Protocol::kTrp,
+                "fused (k > 1) zones require the TRP protocol");
   }
 
   // Admission: bin zones into waves of at most admission_capacity each.
@@ -178,9 +213,13 @@ Admission FleetOrchestrator::submit(InventorySpec spec) {
 
   // Eq. (3) solves cost tens of milliseconds; zones share the few distinct
   // (n, m) shapes the near-equal split produces, so solve each shape once —
-  // here, sequentially, before any worker thread exists.
+  // here, sequentially, before any worker thread exists. Fused sizing
+  // (generalized Theorem 1) is deduped the same way.
   std::map<std::pair<std::uint64_t, std::uint64_t>, math::UtrpPlan> solved;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, math::TrpPlan>
+      fused_solved;
 
+  const std::uint32_t k = s.fusion.readers;
   inventory->zones.resize(slices.size());
   std::size_t offset = 0;
   for (std::size_t z = 0; z < slices.size(); ++z) {
@@ -212,6 +251,36 @@ Admission FleetOrchestrator::submit(InventorySpec spec) {
       state.utrp_plan = it->second;
     }
 
+    if (k > 1) {
+      // Generalized Eq. (2) frame plus the fixed challenge stream every
+      // reader answers. The stream derives from (seed, inventory, zone) but
+      // NOT the attempt: a retrying reader re-scans the same (f, r) pairs
+      // its peers saw, which TRP makes idempotent.
+      const std::pair<std::uint64_t, std::uint64_t> key{
+          n, s.plan.zones[z].tolerance};
+      auto it = fused_solved.find(key);
+      if (it == fused_solved.end()) {
+        it = fused_solved
+                 .emplace(key, math::optimize_fused_trp_frame(
+                                   key.first, key.second, s.alpha,
+                                   s.fusion.sizing(), s.model))
+                 .first;
+      }
+      state.fused_threshold = math::fused_mismatch_threshold(
+          n, it->second.frame_size, s.fusion.sizing());
+      util::Rng crng(util::derive_seed(
+          util::derive_seed(config_.seed, inventory->name_hash, z),
+          kChallengeSalt));
+      state.challenges.reserve(s.rounds);
+      for (std::uint64_t round = 0; round < s.rounds; ++round) {
+        state.challenges.push_back(
+            protocol::TrpChallenge{it->second.frame_size, crng()});
+      }
+      state.reader_attempts.resize(k);
+    }
+    state.reader_dishonest.assign(k, false);
+    state.reader_excluded.assign(k, false);
+
     if (s.deadline_us > 0.0) {
       state.deadline_us = s.deadline_us;
     } else if (s.protocol == Protocol::kUtrp &&
@@ -222,7 +291,39 @@ Admission FleetOrchestrator::submit(InventorySpec spec) {
   }
   for (const auto& [zone, plan] : s.zone_faults) {
     RFID_EXPECT(zone < inventory->zones.size(), "fault zone out of range");
-    inventory->zones[static_cast<std::size_t>(zone)].faults = &plan;
+    ZoneState& state = inventory->zones[static_cast<std::size_t>(zone)];
+    state.reader_fault_plans.clear();
+    state.reader_fault_plans.reserve(k);
+    for (std::uint32_t r = 0; r < k; ++r) {
+      state.reader_fault_plans.push_back(plan.for_reader(r));
+    }
+  }
+  for (const auto& [zone, reader] : s.dishonest_readers) {
+    RFID_EXPECT(zone < inventory->zones.size(),
+                "dishonest reader zone out of range");
+    RFID_EXPECT(reader < k, "dishonest reader index out of range");
+    inventory->zones[static_cast<std::size_t>(zone)]
+        .reader_dishonest[reader] = true;
+  }
+  for (const auto& [zone, reader] : s.excluded_readers) {
+    RFID_EXPECT(k > 1, "excluded readers require a fused (k > 1) zone");
+    RFID_EXPECT(zone < inventory->zones.size(),
+                "excluded reader zone out of range");
+    RFID_EXPECT(reader < k, "excluded reader index out of range");
+    inventory->zones[static_cast<std::size_t>(zone)]
+        .reader_excluded[reader] = true;
+  }
+  if (k > 1) {
+    for (ZoneState& state : inventory->zones) {
+      std::uint32_t active = 0;
+      for (std::uint32_t r = 0; r < k; ++r) {
+        if (!state.reader_excluded[r]) ++active;
+      }
+      RFID_EXPECT(active >= 1,
+                  "every reader of a zone is excluded; nothing can scan it");
+      state.readers_pending =
+          std::make_unique<std::atomic<std::uint32_t>>(active);
+    }
   }
 
   inventories_.push_back(std::move(inventory));
@@ -319,14 +420,23 @@ void FleetOrchestrator::run_zone_attempt_body(std::size_t inv,
   session.tracer = nullptr;
   session.session_log = nullptr;
   session.group_name = s.name + "/zone" + std::to_string(zone);
-  session.faults =
-      (attempt == 0 || config_.faults_on_retries) ? state.faults : nullptr;
+  session.faults = (attempt == 0 || config_.faults_on_retries) &&
+                           !state.reader_fault_plans.empty()
+                       ? &state.reader_fault_plans[0]
+                       : nullptr;
 
   const protocol::MonitoringPolicy policy{s.plan.zones[zone].tolerance,
                                           s.alpha, s.model};
   wire::SessionOutcome outcome;
   if (s.protocol == Protocol::kTrp) {
     const protocol::TrpServer server(state.enrolled.ids(), policy);
+    if (state.reader_dishonest[0]) {
+      // The split-attack reader: forge the expected bitstring of the FULL
+      // enrolled set — "nothing missing" — instead of scanning.
+      session.trp_forge = [&server](const protocol::TrpChallenge& c) {
+        return server.expected_bitstring(c);
+      };
+    }
     outcome = wire::run_trp_session(
         queue, server, std::span<const tag::Tag>(state.present), s.rounds,
         session, rng);
@@ -399,23 +509,224 @@ void FleetOrchestrator::finalize_zone(std::size_t inv, std::size_t zone,
                   : last.completed   ? ZoneStatus::kIntact
                                      : ZoneStatus::kFailed;
 
-  if (journal_ != nullptr && !aborted) {
-    storage::FleetZoneRecord record;
-    record.inventory = inventory.spec.name;
-    record.zone = zone;
-    record.status = static_cast<std::uint8_t>(report.status);
-    record.attempts = report.attempts;
-    record.last_failure = static_cast<std::uint8_t>(report.last_failure);
-    record.resynced = report.resynced;
-    record.rounds_completed = report.rounds_completed;
-    record.intact_rounds = report.intact_rounds;
-    record.mismatched_rounds = report.mismatched_rounds;
-    record.deadline_missed_rounds = report.deadline_missed_rounds;
-    record.frames_sent = report.frames_sent;
-    record.retransmissions = report.retransmissions;
-    record.duration_us = report.duration_us;
-    journal_->append(record);
+  if (!aborted) journal_zone(inv, zone);
+}
+
+void FleetOrchestrator::journal_zone(std::size_t inv, std::size_t zone) {
+  if (journal_ == nullptr) return;
+  const Inventory& inventory = *inventories_[inv];
+  const ZoneReport& report = inventory.zones[zone].report;
+  storage::FleetZoneRecord record;
+  record.inventory = inventory.spec.name;
+  record.zone = zone;
+  record.status = static_cast<std::uint8_t>(report.status);
+  record.attempts = report.attempts;
+  record.last_failure = static_cast<std::uint8_t>(report.last_failure);
+  record.resynced = report.resynced;
+  record.rounds_completed = report.rounds_completed;
+  record.intact_rounds = report.intact_rounds;
+  record.mismatched_rounds = report.mismatched_rounds;
+  record.deadline_missed_rounds = report.deadline_missed_rounds;
+  record.frames_sent = report.frames_sent;
+  record.retransmissions = report.retransmissions;
+  record.duration_us = report.duration_us;
+  record.readers = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(report.readers.size()));
+  record.degraded_rounds = report.degraded_rounds;
+  for (const ReaderReport& reader : report.readers) {
+    if (reader.suspect) ++record.suspected_readers;
   }
+  journal_->append(record);
+}
+
+void FleetOrchestrator::run_reader_attempt(std::size_t inv, std::size_t zone,
+                                           std::uint32_t reader,
+                                           std::uint32_t attempt) {
+  // Killed before this attempt started: return WITHOUT decrementing the
+  // zone's fan-in counter, so the fused finalize never runs on partial
+  // evidence — run() synthesizes a crashed report for unfinalized zones.
+  if (should_abort()) return;
+  try {
+    run_reader_attempt_body(inv, zone, reader, attempt);
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    task_failed_.store(true, std::memory_order_release);
+  }
+}
+
+void FleetOrchestrator::run_reader_attempt_body(std::size_t inv,
+                                                std::size_t zone,
+                                                std::uint32_t reader,
+                                                std::uint32_t attempt) {
+  Inventory& inventory = *inventories_[inv];
+  ZoneState& state = inventory.zones[zone];
+  const InventorySpec& s = inventory.spec;
+
+  // The fused determinism contract extends the zone derivation with the
+  // reader index: (fleet seed, inventory, zone, attempt, reader). The +1
+  // and salt keep every reader stream disjoint from the k = 1 legacy
+  // stream, which reader 0 would otherwise collide with.
+  util::Rng rng(util::derive_seed(
+      util::derive_seed(
+          util::derive_seed(config_.seed, inventory.name_hash, zone),
+          attempt),
+      reader + 1, kReaderSalt));
+  sim::EventQueue queue;
+
+  wire::SessionConfig session = s.session;
+  session.metrics = nullptr;  // recorded post-run, in deterministic order
+  session.tracer = nullptr;
+  session.session_log = nullptr;
+  session.group_name = s.name + "/zone" + std::to_string(zone);
+  session.trp_challenges = &state.challenges;
+  session.faults = (attempt == 0 || config_.faults_on_retries) &&
+                           !state.reader_fault_plans.empty()
+                       ? &state.reader_fault_plans[reader]
+                       : nullptr;
+
+  const protocol::MonitoringPolicy policy{s.plan.zones[zone].tolerance,
+                                          s.alpha, s.model};
+  const protocol::TrpServer server(state.enrolled.ids(), policy);
+  if (state.reader_dishonest[reader]) {
+    session.trp_forge = [&server](const protocol::TrpChallenge& c) {
+      return server.expected_bitstring(c);
+    };
+  }
+  wire::SessionOutcome outcome = wire::run_trp_session(
+      queue, server, std::span<const tag::Tag>(state.present), s.rounds,
+      session, rng);
+  std::vector<wire::SessionOutcome>& log = state.reader_attempts[reader];
+  log.push_back(std::move(outcome));
+
+  const wire::SessionOutcome& last = log.back();
+  if (!last.completed && is_retryable(last.failure) &&
+      attempt + 1 < config_.max_zone_attempts) {
+    scheduler_->submit(state.deadline_us,
+                       [this, inv, zone, reader, next = attempt + 1] {
+                         run_reader_attempt(inv, zone, reader, next);
+                       });
+    return;
+  }
+  // This reader is terminal. The LAST reader to arrive owns the fused
+  // finalize; fusion consumes only terminal per-reader state, so the
+  // verdict is independent of which reader that happens to be.
+  if (state.readers_pending->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    finalize_fused_zone(inv, zone);
+  }
+}
+
+void FleetOrchestrator::finalize_fused_zone(std::size_t inv,
+                                            std::size_t zone) {
+  Inventory& inventory = *inventories_[inv];
+  ZoneState& state = inventory.zones[zone];
+  const InventorySpec& s = inventory.spec;
+  const std::uint32_t k = s.fusion.readers;
+  const std::uint32_t quorum = s.fusion.effective_quorum();
+  state.finalized = true;
+
+  const protocol::MonitoringPolicy policy{s.plan.zones[zone].tolerance,
+                                          s.alpha, s.model};
+  const protocol::TrpServer server(state.enrolled.ids(), policy);
+  fusion::TrustTracker tracker(s.fusion);
+
+  ZoneReport& report = state.report;
+  report.zone = zone;
+
+  // Per-session verdicts are NOT authoritative here: an honest reader's
+  // reply loss produces false per-session mismatches by design. Only the
+  // fused evidence, judged against the generalized-Theorem-1 threshold,
+  // decides the zone.
+  bool violated = false;
+  std::uint64_t committed = 0;
+  for (std::uint64_t round = 0; round < s.rounds; ++round) {
+    // Each reader's freshest scan of this round: retries answer the same
+    // challenge stream, so the last attempt supersedes earlier ones.
+    std::vector<const bits::Bitstring*> observed(k, nullptr);
+    for (std::uint32_t r = 0; r < k; ++r) {
+      if (state.reader_excluded[r]) continue;
+      const auto& log = state.reader_attempts[r];
+      if (log.empty()) continue;
+      const wire::SessionOutcome& last = log.back();
+      if (last.reported.size() <= round) continue;
+      observed[r] = &last.reported[round];
+    }
+    std::uint32_t valid = 0;
+    for (const bits::Bitstring* b : observed) {
+      if (b != nullptr) ++valid;
+    }
+    if (valid == 0) continue;  // no reader reached this round
+    const fusion::FusedRound fused = fusion::fuse_round(
+        std::span<const bits::Bitstring* const>(observed.data(),
+                                                observed.size()),
+        tracker.trust());
+    report.fused_slots += fused.slots_fused;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      report.phantom_votes += fused.phantom_busy[r];
+      report.missed_votes += fused.missed_busy[r];
+    }
+    tracker.observe_round(fused);
+    if (valid < quorum) {
+      // Below quorum the majority-masking guarantee is void (a lone
+      // adversary could frame or whitewash the zone): no verdict, the
+      // round is surfaced as degraded instead.
+      ++report.degraded_rounds;
+      continue;
+    }
+    ++committed;
+    const bits::Bitstring expected =
+        server.expected_bitstring(state.challenges[round]);
+    std::uint64_t mismatches = 0;
+    for (std::uint64_t slot = 0; slot < state.challenges[round].frame_size;
+         ++slot) {
+      if (expected.test(slot) && !fused.fused.test(slot)) ++mismatches;
+    }
+    if (mismatches >= state.fused_threshold) {
+      violated = true;
+      ++report.mismatched_rounds;
+    } else {
+      ++report.intact_rounds;
+    }
+  }
+  report.rounds_completed = committed;
+
+  report.readers.resize(k);
+  bool failure_set = false;
+  for (std::uint32_t r = 0; r < k; ++r) {
+    ReaderReport& rr = report.readers[r];
+    rr.reader = r;
+    rr.excluded = state.reader_excluded[r];
+    rr.suspect = tracker.suspect(r);
+    rr.trust = tracker.trust()[r];
+    rr.votes_overruled = tracker.overruled_votes(r);
+    const auto& log = state.reader_attempts[r];
+    rr.attempts = static_cast<std::uint32_t>(log.size());
+    report.attempts += rr.attempts;
+    if (!log.empty()) {
+      const wire::SessionOutcome& last = log.back();
+      rr.completed = last.completed;
+      rr.last_failure = last.failure;
+      report.duration_us = std::max(report.duration_us, last.finished_at_us);
+      for (const wire::SessionOutcome& a : log) {
+        report.frames_sent += a.frames_sent;
+        report.retransmissions += a.retransmissions;
+      }
+    } else if (!rr.excluded) {
+      rr.last_failure = wire::FailureReason::kCrashed;
+    }
+    if (!rr.excluded && !failure_set) {
+      report.last_failure = rr.last_failure;
+      failure_set = true;
+    }
+  }
+
+  report.status = violated                ? ZoneStatus::kViolated
+                  : committed == s.rounds ? ZoneStatus::kIntact
+                  : committed > 0         ? ZoneStatus::kDegraded
+                                          : ZoneStatus::kFailed;
+  journal_zone(inv, zone);
 }
 
 FleetResult FleetOrchestrator::run() {
@@ -483,12 +794,32 @@ FleetResult FleetOrchestrator::run() {
           report.frames_sent = rec.frames_sent;
           report.retransmissions = rec.retransmissions;
           report.duration_us = rec.duration_us;
+          if (rec.readers > 1) {
+            // The journal keeps per-reader detail only in aggregate; the
+            // synthesized reports preserve the counts (indices are lost).
+            report.degraded_rounds = rec.degraded_rounds;
+            report.readers.resize(rec.readers);
+            for (std::uint32_t r = 0; r < rec.readers; ++r) {
+              report.readers[r].reader = r;
+              report.readers[r].suspect = r < rec.suspected_readers;
+            }
+          }
           continue;
         }
         ZoneState& state = inventory.zones[z];
-        scheduler_->submit(state.deadline_us, [this, i, z] {
-          run_zone_attempt(i, z, 0);
-        });
+        const std::uint32_t k = inventory.spec.fusion.readers;
+        if (k > 1) {
+          for (std::uint32_t r = 0; r < k; ++r) {
+            if (state.reader_excluded[r]) continue;
+            scheduler_->submit(state.deadline_us, [this, i, z, r] {
+              run_reader_attempt(i, z, r, 0);
+            });
+          }
+        } else {
+          scheduler_->submit(state.deadline_us, [this, i, z] {
+            run_zone_attempt(i, z, 0);
+          });
+        }
       }
     }
     // The wave barrier IS the backpressure: the next wave's zones are not
@@ -524,8 +855,12 @@ FleetResult FleetOrchestrator::run() {
         state.report.zone = z;
         state.report.status = ZoneStatus::kFailed;
         state.report.last_failure = wire::FailureReason::kCrashed;
-        state.report.attempts =
+        std::uint32_t attempts =
             static_cast<std::uint32_t>(state.attempts_log.size());
+        for (const auto& log : state.reader_attempts) {
+          attempts += static_cast<std::uint32_t>(log.size());
+        }
+        state.report.attempts = attempts;
       }
     }
   }
@@ -569,6 +904,13 @@ FleetResult FleetOrchestrator::run() {
       if (state.attempts_log.size() > 1) {
         result.requeues += state.attempts_log.size() - 1;
       }
+      for (const auto& log : state.reader_attempts) {
+        result.attempts += log.size();
+        if (log.size() > 1) result.requeues += log.size() - 1;
+      }
+      for (const ReaderReport& reader : report.readers) {
+        if (reader.suspect) ++result.readers_suspected;
+      }
       if (report.resynced) ++result.resyncs;
       if (report.recovered) ++result.zones_recovered;
       switch (report.status) {
@@ -582,6 +924,23 @@ FleetResult FleetOrchestrator::run() {
                                " after " + std::to_string(report.attempts) +
                                " attempt(s)";
           result.alerts.push_back(FleetAlert{AlertKind::kZoneEscalated,
+                                             inventory->spec.name, z,
+                                             std::move(detail)});
+          break;
+        }
+        case ZoneStatus::kDegraded: {
+          // The verdict stands on fewer readers than configured: no
+          // violation seen, but the pigeonhole guarantee did not close at
+          // full strength — inconclusive, never silently intact.
+          verdict = worse(verdict, GlobalVerdict::kInconclusive);
+          ++result.degraded_zones;
+          std::string detail =
+              std::to_string(report.degraded_rounds) +
+              " round(s) committed below the " +
+              std::to_string(inventory->spec.fusion.effective_quorum()) +
+              "-of-" + std::to_string(inventory->spec.fusion.readers) +
+              " quorum";
+          result.alerts.push_back(FleetAlert{AlertKind::kZoneDegraded,
                                              inventory->spec.name, z,
                                              std::move(detail)});
           break;
@@ -654,6 +1013,35 @@ void FleetOrchestrator::record_observability(const FleetResult& result) {
     if (result.zones_recovered > 0) {
       obs::catalog::fleet_zones_recovered_total(m).inc(result.zones_recovered);
     }
+    std::uint64_t fused_slots = 0;
+    std::uint64_t phantom = 0;
+    std::uint64_t missed = 0;
+    std::uint64_t degraded_rounds = 0;
+    for (const InventoryReport& inventory : result.inventories) {
+      for (const ZoneReport& zone : inventory.zones) {
+        fused_slots += zone.fused_slots;
+        phantom += zone.phantom_votes;
+        missed += zone.missed_votes;
+        degraded_rounds += zone.degraded_rounds;
+      }
+    }
+    if (fused_slots > 0) {
+      obs::catalog::fusion_slots_fused_total(m).inc(fused_slots);
+    }
+    if (phantom > 0) {
+      obs::catalog::fusion_votes_overruled_total(m, "phantom_busy")
+          .inc(phantom);
+    }
+    if (missed > 0) {
+      obs::catalog::fusion_votes_overruled_total(m, "missed_busy").inc(missed);
+    }
+    if (degraded_rounds > 0) {
+      obs::catalog::fusion_rounds_degraded_total(m).inc(degraded_rounds);
+    }
+    if (result.readers_suspected > 0) {
+      obs::catalog::fusion_readers_suspected_total(m)
+          .inc(result.readers_suspected);
+    }
     obs::catalog::fleet_runs_total(m, to_string(result.verdict)).inc();
   }
 
@@ -692,6 +1080,22 @@ void FleetOrchestrator::record_observability(const FleetResult& result) {
                                 : wire::to_string(outcome.failure));
             tracer.end_span(session_span);
           }
+          for (std::size_t r = 0; r < state.reader_attempts.size(); ++r) {
+            for (std::size_t a = 0; a < state.reader_attempts[r].size();
+                 ++a) {
+              const wire::SessionOutcome& outcome =
+                  state.reader_attempts[r][a];
+              const std::uint64_t session_span =
+                  tracer.begin_span("session", zone_span);
+              tracer.annotate(session_span, "reader", std::to_string(r));
+              tracer.annotate(session_span, "attempt", std::to_string(a));
+              tracer.annotate(session_span, "outcome",
+                              outcome.completed
+                                  ? std::string_view("completed")
+                                  : wire::to_string(outcome.failure));
+              tracer.end_span(session_span);
+            }
+          }
         }
         tracer.end_span(zone_span);
       }
@@ -723,6 +1127,33 @@ void FleetOrchestrator::record_observability(const FleetResult& result) {
           summary.duration_us = outcome.finished_at_us;
           config_.session_log->record(std::move(summary));
         }
+        const std::uint32_t k =
+            static_cast<std::uint32_t>(state.reader_attempts.size());
+        for (std::uint32_t r = 0; r < k; ++r) {
+          for (std::size_t a = 0; a < state.reader_attempts[r].size(); ++a) {
+            const wire::SessionOutcome& outcome = state.reader_attempts[r][a];
+            obs::SessionSummary summary;
+            summary.protocol =
+                std::string(to_string(inventory->spec.protocol));
+            summary.group =
+                inventory->spec.name + "/zone" + std::to_string(z);
+            summary.fleet = config_.fleet_name;
+            summary.attempt = a;
+            summary.reader = r;
+            summary.readers = k;
+            summary.completed = outcome.completed;
+            summary.outcome =
+                outcome.completed
+                    ? "completed"
+                    : std::string(wire::to_string(outcome.failure));
+            summary.rounds_completed = outcome.rounds_completed;
+            summary.round_failures = outcome.round_failures.size();
+            summary.frames_sent = outcome.frames_sent;
+            summary.retransmissions = outcome.retransmissions;
+            summary.duration_us = outcome.finished_at_us;
+            config_.session_log->record(std::move(summary));
+          }
+        }
       }
     }
   }
@@ -740,11 +1171,13 @@ std::string summary(const FleetResult& result) {
   for (const InventoryReport& inventory : result.inventories) {
     std::uint64_t intact = 0;
     std::uint64_t violated = 0;
+    std::uint64_t degraded = 0;
     std::uint64_t failed = 0;
     for (const ZoneReport& zone : inventory.zones) {
       switch (zone.status) {
         case ZoneStatus::kIntact: ++intact; break;
         case ZoneStatus::kViolated: ++violated; break;
+        case ZoneStatus::kDegraded: ++degraded; break;
         case ZoneStatus::kFailed: ++failed; break;
       }
     }
@@ -754,7 +1187,8 @@ std::string summary(const FleetResult& result) {
            std::string(to_string(inventory.verdict)) + " - zones " +
            std::to_string(inventory.zones.size()) + " (intact " +
            std::to_string(intact) + ", violated " + std::to_string(violated) +
-           ", failed " + std::to_string(failed) + "), tags " +
+           ", degraded " + std::to_string(degraded) + ", failed " +
+           std::to_string(failed) + "), tags " +
            std::to_string(inventory.tags) + ", tolerance " +
            std::to_string(inventory.tolerance) + ", worst-zone detection " +
            obs::format_double(inventory.worst_zone_detection) + '\n';
@@ -764,11 +1198,14 @@ std::string summary(const FleetResult& result) {
          std::to_string(result.requeues) + ", escalations: " +
          std::to_string(result.escalations) + ", resyncs: " +
          std::to_string(result.resyncs) + ", recovered: " +
-         std::to_string(result.zones_recovered) + '\n';
+         std::to_string(result.zones_recovered) + ", degraded: " +
+         std::to_string(result.degraded_zones) + ", suspects: " +
+         std::to_string(result.readers_suspected) + '\n';
   for (const FleetAlert& alert : result.alerts) {
     out += "alert [" + std::string(to_string(alert.kind)) + "] " +
            alert.inventory;
-    if (alert.kind == AlertKind::kZoneEscalated) {
+    if (alert.kind == AlertKind::kZoneEscalated ||
+        alert.kind == AlertKind::kZoneDegraded) {
       out += "/zone" + std::to_string(alert.zone);
     }
     out += ": " + alert.detail + '\n';

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "fusion/fusion.h"
 #include "math/detection.h"
 #include "obs/metrics.h"
 #include "obs/session_log.h"
@@ -76,6 +77,11 @@ enum class ZoneStatus : std::uint8_t {
   kIntact = 0,    // completed; every round verified intact
   kViolated = 1,  // some round mismatched or missed the Alg. 5 deadline
   kFailed = 2,    // never completed a session (escalated as an alert)
+  /// Fused zones only: no violation seen, but some round committed below
+  /// the completion quorum (or not at all), so the pigeonhole guarantee
+  /// holds at reduced confidence. Aggregates as inconclusive — never
+  /// silently voided, never promoted to intact.
+  kDegraded = 3,
 };
 
 enum class GlobalVerdict : std::uint8_t {
@@ -99,6 +105,9 @@ enum class AlertKind : std::uint8_t {
   /// plan. Its zone records are quarantined — never folded into this run —
   /// and every zone re-executes.
   kRecoveredRunQuarantined = 2,
+  /// A fused zone committed below its completion quorum (ZoneStatus::
+  /// kDegraded): the verdict stands on fewer readers than configured.
+  kZoneDegraded = 3,
 };
 
 [[nodiscard]] std::string_view to_string(Protocol protocol) noexcept;
@@ -166,8 +175,37 @@ struct InventorySpec {
   /// Alg. 5 budget expiry run first); TRP zones default to "whenever".
   double deadline_us = 0.0;
   /// Sparse per-zone fault scripts, applied on attempt 0 (and on retries
-  /// iff FleetConfig::faults_on_retries).
-  std::vector<std::pair<std::uint64_t, fault::FaultPlan>> zone_faults;
+  /// iff FleetConfig::faults_on_retries). A plain FaultPlan converts
+  /// implicitly ("same script for every reader"); multi-reader scripts can
+  /// address readers individually and correlate burst loss across them.
+  std::vector<std::pair<std::uint64_t, fault::MultiReaderFaultPlan>>
+      zone_faults;
+  /// Reader redundancy: fusion.readers > 1 runs k concurrent sessions per
+  /// zone against one precomputed challenge stream, fuses their bitstrings
+  /// per slot, and takes the pigeonhole verdict on the fused evidence
+  /// (TRP only — a UTRP scan advances tag counters, so k simultaneous
+  /// scans of one zone are physically inconsistent).
+  fusion::FusionConfig fusion;
+  /// (zone, reader) pairs that behave adversarially: instead of scanning,
+  /// the reader forges the expected bitstring of the full enrolled set —
+  /// the split-attack reader of src/attack hiding a theft.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> dishonest_readers;
+  /// (zone, reader) pairs excluded from the run (e.g. quarantined by the
+  /// daemon's per-reader health tier): no session, no vote. The zone still
+  /// runs with its remaining readers and degrades below quorum.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> excluded_readers;
+};
+
+/// Per-reader outcome inside a fused zone (ZoneReport::readers, k > 1).
+struct ReaderReport {
+  std::uint32_t reader = 0;
+  bool completed = false;  // last attempt finished every round
+  wire::FailureReason last_failure = wire::FailureReason::kNone;
+  std::uint32_t attempts = 0;
+  bool excluded = false;  // never ran (quarantined at submit)
+  bool suspect = false;   // persistently outvoted or phantom evidence
+  double trust = 1.0;     // final fusion weight
+  std::uint64_t votes_overruled = 0;
 };
 
 struct ZoneReport {
@@ -186,6 +224,12 @@ struct ZoneReport {
   std::uint64_t frames_sent = 0;
   std::uint64_t retransmissions = 0;
   double duration_us = 0.0;  // simulated time of the final attempt
+  // Fused zones (k > 1) only; all empty/zero for single-reader zones.
+  std::vector<ReaderReport> readers;
+  std::uint64_t degraded_rounds = 0;  // committed below quorum (no verdict)
+  std::uint64_t fused_slots = 0;      // slots put through the majority vote
+  std::uint64_t phantom_votes = 0;    // busy votes the fusion overruled
+  std::uint64_t missed_votes = 0;     // empty votes the fusion overruled
 };
 
 struct InventoryReport {
@@ -217,6 +261,8 @@ struct FleetResult {
   std::uint64_t escalations = 0;      // zones that ended kFailed
   std::uint64_t resyncs = 0;          // UTRP mirrors re-audited before a retry
   std::uint64_t zones_recovered = 0;  // reused from the journal
+  std::uint64_t degraded_zones = 0;   // fused zones committed below quorum
+  std::uint64_t readers_suspected = 0;  // across all fused zones
   std::uint64_t deferred_inventories = 0;
   std::uint64_t waves = 1;
   /// The abort switch fired (or a zone task threw): zones that never ran
@@ -258,6 +304,12 @@ class FleetOrchestrator {
   void run_zone_attempt_body(std::size_t inv, std::size_t zone,
                              std::uint32_t attempt);
   void finalize_zone(std::size_t inv, std::size_t zone, bool aborted);
+  void run_reader_attempt(std::size_t inv, std::size_t zone,
+                          std::uint32_t reader, std::uint32_t attempt);
+  void run_reader_attempt_body(std::size_t inv, std::size_t zone,
+                               std::uint32_t reader, std::uint32_t attempt);
+  void finalize_fused_zone(std::size_t inv, std::size_t zone);
+  void journal_zone(std::size_t inv, std::size_t zone);
   [[nodiscard]] tag::TagSet audit_set(const ZoneState& state) const;
   [[nodiscard]] bool should_abort() const noexcept;
   [[nodiscard]] std::uint64_t config_fingerprint() const;

@@ -1,0 +1,130 @@
+#include "fusion/fusion.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace rfid::fusion {
+
+void FusionConfig::validate() const {
+  RFID_EXPECT(readers >= 1, "fusion needs at least one reader");
+  RFID_EXPECT(quorum <= readers, "quorum cannot exceed the reader count");
+  RFID_EXPECT(2 * assumed_faulty < readers,
+              "assumed_faulty must be a strict minority of the readers");
+  RFID_EXPECT(effective_quorum() > 2 * assumed_faulty,
+              "quorum too small to outvote the assumed-faulty coalition");
+  RFID_EXPECT(slot_loss >= 0.0 && slot_loss < 1.0,
+              "slot_loss must be in [0, 1)");
+  RFID_EXPECT(alert_budget > 0.0 && alert_budget < 1.0,
+              "alert_budget must be in (0, 1)");
+  RFID_EXPECT(trust_decay >= 0.0 && trust_decay <= 1.0,
+              "trust_decay must be in [0, 1]");
+  RFID_EXPECT(min_trust > 0.0 && min_trust <= 1.0,
+              "min_trust must be in (0, 1]");
+  RFID_EXPECT(suspect_overruled > 0.0 && suspect_overruled < 1.0,
+              "suspect_overruled must be in (0, 1)");
+  RFID_EXPECT(suspect_after_rounds >= 1,
+              "suspect_after_rounds must be at least 1");
+}
+
+FusedRound fuse_round(std::span<const bits::Bitstring* const> observed,
+                      std::span<const double> trust) {
+  RFID_EXPECT(observed.size() == trust.size(),
+              "need one trust weight per reader");
+  std::size_t frame = 0;
+  std::uint32_t valid = 0;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (observed[i] == nullptr) continue;
+    if (valid == 0) {
+      frame = observed[i]->size();
+    } else {
+      RFID_EXPECT(observed[i]->size() == frame,
+                  "all observations in a round must share the frame size");
+    }
+    ++valid;
+    total_weight += trust[i];
+  }
+  RFID_EXPECT(valid >= 1, "cannot fuse a round with no observations");
+
+  FusedRound round;
+  round.fused = bits::Bitstring(frame);
+  round.valid_readers = valid;
+  round.slots_fused = frame;
+  round.phantom_busy.assign(observed.size(), 0);
+  round.missed_busy.assign(observed.size(), 0);
+
+  for (std::size_t slot = 0; slot < frame; ++slot) {
+    double busy_weight = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      if (observed[i] != nullptr && observed[i]->test(slot)) {
+        busy_weight += trust[i];
+      }
+    }
+    // Busy needs a strict weight majority; ties read empty, so a faulty
+    // minority can never phantom a slot past equally-trusted honest radios.
+    const bool busy = busy_weight * 2.0 > total_weight;
+    round.fused.set(slot, busy);
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      if (observed[i] == nullptr) continue;
+      const bool vote = observed[i]->test(slot);
+      if (vote == busy) continue;
+      ++round.votes_overruled;
+      if (vote) {
+        ++round.phantom_busy[i];
+      } else {
+        ++round.missed_busy[i];
+      }
+    }
+  }
+  return round;
+}
+
+TrustTracker::TrustTracker(const FusionConfig& config)
+    : config_(config),
+      trust_(config.readers, 1.0),
+      bad_rounds_(config.readers, 0),
+      overruled_(config.readers, 0) {
+  config.validate();
+}
+
+void TrustTracker::observe_round(const FusedRound& round) {
+  RFID_EXPECT(round.phantom_busy.size() == trust_.size() &&
+                  round.missed_busy.size() == trust_.size(),
+              "fused round and tracker disagree on the reader count");
+  if (round.slots_fused == 0) return;
+  const double slots = static_cast<double>(round.slots_fused);
+  for (std::size_t i = 0; i < trust_.size(); ++i) {
+    const std::uint64_t overruled =
+        round.phantom_busy[i] + round.missed_busy[i];
+    overruled_[i] += overruled;
+    const double frac = static_cast<double>(overruled) / slots;
+    trust_[i] = std::max(config_.min_trust,
+                         trust_[i] * (1.0 - config_.trust_decay * frac));
+    const double missed_frac =
+        static_cast<double>(round.missed_busy[i]) / slots;
+    if (round.phantom_busy[i] > 0 || missed_frac > config_.suspect_overruled) {
+      ++bad_rounds_[i];
+    }
+  }
+}
+
+bool TrustTracker::suspect(std::uint32_t reader) const {
+  RFID_EXPECT(reader < bad_rounds_.size(), "reader index out of range");
+  return bad_rounds_[reader] >= config_.suspect_after_rounds;
+}
+
+std::uint32_t TrustTracker::suspect_count() const {
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < bad_rounds_.size(); ++i) {
+    if (suspect(i)) ++count;
+  }
+  return count;
+}
+
+std::uint64_t TrustTracker::overruled_votes(std::uint32_t reader) const {
+  RFID_EXPECT(reader < overruled_.size(), "reader index out of range");
+  return overruled_[reader];
+}
+
+}  // namespace rfid::fusion

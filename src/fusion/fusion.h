@@ -1,0 +1,114 @@
+// Per-slot evidence fusion for k overlapping readers covering one zone.
+//
+// Each reader runs an independent wire session against the same challenge
+// stream and reports its own observed bitstring per round. Before the
+// pigeonhole verdict is taken, the k observations are fused slot-by-slot
+// with a trust-weighted vote: a slot reads busy when the trust mass voting
+// busy strictly outweighs the trust mass voting empty. With equal trust
+// this is the strict majority floor(valid/2)+1 that the generalized
+// Theorem 1 sizing (math/fused_detection.h) is computed for, so a strict
+// minority of faulty readers can never fake a busy slot into the fused
+// string — honest radios lose replies but never phantom them.
+//
+// That one-directional error model is also what makes suspects cheap to
+// spot: a reader outvoted busy-vs-empty (it claimed a reply in a slot the
+// quorum heard as silent) cast a physically impossible vote, so a single
+// phantom marks the round bad; a reader outvoted empty-vs-busy merely
+// missed replies and is only bad when the miss fraction is persistent.
+// TrustTracker folds both signals into per-reader trust decay and a
+// suspect flag that the fleet surfaces and the daemon's per-reader
+// quarantine tier consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "math/fused_detection.h"
+
+namespace rfid::fusion {
+
+/// Zone-level reader-redundancy configuration. Defaults reproduce the
+/// single-trustworthy-reader protocol exactly (k = 1, no noise budget).
+struct FusionConfig {
+  std::uint32_t readers = 1;  // k: concurrent sessions per zone
+  /// Sessions that must complete for a zone round to commit; 0 selects the
+  /// strict majority floor(k/2)+1. Rounds below quorum report degraded
+  /// instead of voiding the zone.
+  std::uint32_t quorum = 0;
+  std::uint32_t assumed_faulty = 0;  // a: sizing's faulty-reader budget
+  double slot_loss = 0.0;            // p: per-reader busy-slot miss prob
+  double alert_budget = 0.025;       // false-alarm budget behind threshold T
+  /// Per-round trust update: trust *= 1 - trust_decay * overruled_fraction,
+  /// floored at min_trust so no reader's vote fully vanishes.
+  double trust_decay = 0.5;
+  double min_trust = 0.05;
+  /// A round is bad for a reader when it cast a phantom busy vote, or was
+  /// outvoted empty-vs-busy in more than suspect_overruled of the fused
+  /// slots; suspect_after_rounds bad rounds flag the reader suspect.
+  double suspect_overruled = 0.25;
+  std::uint32_t suspect_after_rounds = 1;
+
+  /// Sessions required per round: `quorum`, or floor(k/2)+1 when 0.
+  [[nodiscard]] std::uint32_t effective_quorum() const noexcept {
+    return quorum != 0 ? quorum : readers / 2 + 1;
+  }
+
+  /// The sizing-model view of this config (math/fused_detection.h).
+  [[nodiscard]] math::FusedSizingParams sizing() const noexcept {
+    return {readers, assumed_faulty, slot_loss, alert_budget};
+  }
+
+  /// Throws std::invalid_argument on inconsistent parameters (quorum above
+  /// k or unable to outvote the faulty budget, probabilities out of range).
+  void validate() const;
+};
+
+/// One fused round: the majority bitstring plus the vote accounting the
+/// trust tracker and the fusion_* metrics consume.
+struct FusedRound {
+  bits::Bitstring fused;
+  std::uint32_t valid_readers = 0;  // observations that actually voted
+  std::uint64_t slots_fused = 0;    // frame slots put through the vote
+  std::uint64_t votes_overruled = 0;  // reader-slot votes != fused bit
+  /// Per reader (index-aligned with the input span; zero for readers with
+  /// no observation this round): votes overruled in each direction.
+  std::vector<std::uint64_t> phantom_busy;   // voted busy, fused empty
+  std::vector<std::uint64_t> missed_busy;    // voted empty, fused busy
+};
+
+/// Trust-weighted per-slot vote over the valid observations. `observed[i]`
+/// may be null (reader i contributed nothing this round); all non-null
+/// bitstrings must share one size. `trust` must hold one weight per reader.
+/// At least one observation must be valid. Deterministic: accumulation is
+/// in reader-index order on identical inputs.
+[[nodiscard]] FusedRound fuse_round(
+    std::span<const bits::Bitstring* const> observed,
+    std::span<const double> trust);
+
+/// Per-reader trust and suspicion state, fed one FusedRound at a time.
+class TrustTracker {
+ public:
+  explicit TrustTracker(const FusionConfig& config);
+
+  /// Current weights, index-aligned with the zone's readers.
+  [[nodiscard]] const std::vector<double>& trust() const noexcept {
+    return trust_;
+  }
+
+  /// Folds one fused round into trust decay and bad-round accounting.
+  void observe_round(const FusedRound& round);
+
+  [[nodiscard]] bool suspect(std::uint32_t reader) const;
+  [[nodiscard]] std::uint32_t suspect_count() const;
+  [[nodiscard]] std::uint64_t overruled_votes(std::uint32_t reader) const;
+
+ private:
+  FusionConfig config_;
+  std::vector<double> trust_;
+  std::vector<std::uint32_t> bad_rounds_;
+  std::vector<std::uint64_t> overruled_;
+};
+
+}  // namespace rfid::fusion

@@ -11,44 +11,6 @@
 
 namespace rfid::math {
 
-namespace {
-
-/// Finds the minimal f in [1, kMaxFrameSize] with pred(f) true, assuming
-/// pred is (effectively) monotone nondecreasing in f: exponential search for
-/// a bracket, binary search inside it, then a downward walk to absorb any
-/// residual non-monotonic wobble near the boundary.
-template <typename Pred>
-std::uint32_t minimal_satisfying_frame(Pred&& pred, std::uint32_t start_hint) {
-  std::uint32_t hi = start_hint == 0 ? 1 : start_hint;
-  while (!pred(hi)) {
-    if (hi >= kMaxFrameSize) {
-      throw std::invalid_argument(
-          "frame optimization: no frame size up to 2^24 satisfies the "
-          "accuracy constraint; relax alpha or m");
-    }
-    hi = hi > kMaxFrameSize / 2 ? kMaxFrameSize : hi * 2;
-  }
-  // Establish pred(lo) == false. If the hint already satisfied pred, keep
-  // halving so the binary search has a genuine bracket.
-  std::uint32_t lo = hi / 2;
-  while (lo >= 1 && pred(lo)) {
-    hi = lo;
-    lo /= 2;
-  }
-  while (lo + 1 < hi) {
-    const std::uint32_t mid = lo + (hi - lo) / 2;
-    if (pred(mid)) {
-      hi = mid;
-    } else {
-      lo = mid;
-    }
-  }
-  while (hi > 1 && pred(hi - 1)) --hi;
-  return hi;
-}
-
-}  // namespace
-
 TrpPlan optimize_trp_frame(std::uint64_t n, std::uint64_t m, double alpha,
                            EmptySlotModel model) {
   RFID_EXPECT(n >= 1, "need at least one tag");

@@ -1,0 +1,95 @@
+// Generalized Theorem 1: pigeonhole detection fused from k noisy readers.
+//
+// One trustworthy reader makes Theorem 1's per-slot evidence exact: an
+// expected-busy slot read empty IS a missing tag, so a single mismatched
+// slot flags the zone. k real readers are neither exact nor trustworthy —
+// each misses a busy slot's replies with probability p (fades, blocked
+// antennas), and up to `assumed_faulty` of them may vote arbitrarily
+// (crashed mid-frame, or adversarially forging "everything present"). The
+// fusion layer (src/fusion) reduces the k observed bitstrings to one by
+// strict-majority vote per slot; this header sizes the frame for that
+// fused bitstring. Two effects enter the sizing:
+//
+//   * False empties. A truly-busy slot is fused empty when fewer than
+//     t = floor(k/2)+1 readers hear it. With h = k - a honest readers each
+//     hearing independently w.p. 1-p (worst case: the a faulty readers
+//     vote empty), that happens with probability
+//
+//       eps = P( Binom(h, 1-p) < t ).
+//
+//     Exact-match verify would flag every such slot on an INTACT zone, so
+//     the fused verdict only alarms at >= T mismatched slots, with T the
+//     smallest threshold keeping the per-round false-alarm probability
+//     within `alert_budget`:  T = min{ T : P(Binom(B, eps) >= T) <=
+//     alert_budget }, B = min(n, f) an upper bound on busy slots.
+//
+//   * Missed detections. A truly-empty slot (a missing tag's slot) is
+//     fused busy only when >= t readers vote busy; honest readers never
+//     phantom a reply, so a <= floor((k-1)/2) faulty readers can never
+//     mask it — the strict majority is exactly what the adversarial-reader
+//     guarantee rests on. What CAN hide a theft is T itself: fewer than T
+//     missing tags landing in present-empty slots is indistinguishable
+//     from noise. Hence
+//
+//       g_k(n, x, f) = 1 - Sigma_i P(N0 = i) * P( Binom(x, i/f) < T )
+//
+//     with N0 ~ Binom(f, p_empty) exactly as in detection.h. At k = 1,
+//     a = 0, p = 0: eps = 0, T = 1, and P(Binom(x, i/f) < 1) =
+//     (1 - i/f)^x — the sum collapses to Eq. 2 verbatim.
+//
+// tests/fusion_test.cpp checks both reductions and validates g_k against
+// Monte-Carlo ground truth of the full fuse-then-threshold pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "math/detection.h"
+#include "math/frame_optimizer.h"
+
+namespace rfid::math {
+
+/// The reader-redundancy model the generalized sizing is computed for.
+struct FusedSizingParams {
+  std::uint32_t readers = 1;         // k: observations fused per slot
+  std::uint32_t assumed_faulty = 0;  // a: crashed-or-adversarial budget
+  double slot_loss = 0.0;            // p: per-reader busy-slot miss prob
+  /// Per-round probability budget for flagging an INTACT zone (drives the
+  /// mismatch threshold T). Conventionally (1 - alpha) / 2.
+  double alert_budget = 0.025;
+};
+
+/// Busy votes required for a fused slot to read busy: strict majority of
+/// the `valid` observations, floor(valid/2) + 1.
+[[nodiscard]] constexpr std::uint32_t fused_vote_threshold(
+    std::uint32_t valid) noexcept {
+  return valid / 2 + 1;
+}
+
+/// eps: probability a truly-busy slot is fused empty (worst case: every
+/// faulty reader votes empty, single-occupancy slot).
+[[nodiscard]] double fused_slot_false_empty(const FusedSizingParams& params);
+
+/// T: smallest mismatch count that is alarm-worthy — P(Binom(B, eps) >= T)
+/// <= alert_budget with B = min(n, f). Returns 1 when eps == 0 (the exact
+/// single-trustworthy-reader verify).
+[[nodiscard]] std::uint64_t fused_mismatch_threshold(
+    std::uint64_t n, std::uint64_t f, const FusedSizingParams& params);
+
+/// g_k(n, x, f): probability that x missing tags push the fused mismatch
+/// count to the alarm threshold. Reduces to detection_probability (Eq. 2's
+/// g) when the params are the trustworthy-reader point (k=1, a=0, p=0).
+[[nodiscard]] double fused_detection_probability(
+    std::uint64_t n, std::uint64_t x, std::uint64_t f,
+    const FusedSizingParams& params,
+    EmptySlotModel model = EmptySlotModel::kPoissonApprox);
+
+/// Generalized Eq. (2): minimal f with g_k(n, m+1, f) > alpha. Throws
+/// std::invalid_argument when no f up to kMaxFrameSize satisfies it (noise
+/// too high for the requested confidence) — same contract as
+/// optimize_trp_frame, to which it reduces at the trustworthy-reader point.
+[[nodiscard]] TrpPlan optimize_fused_trp_frame(
+    std::uint64_t n, std::uint64_t m, double alpha,
+    const FusedSizingParams& params,
+    EmptySlotModel model = EmptySlotModel::kPoissonApprox);
+
+}  // namespace rfid::math

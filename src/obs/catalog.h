@@ -273,6 +273,40 @@ inline Histogram& fleet_zone_duration_us(MetricsRegistry& r,
       .with({protocol});
 }
 
+// ------------------------------------------------------------- fusion ----
+
+inline Counter& fusion_slots_fused_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_fusion_slots_fused_total",
+                   "Frame slots put through the multi-reader majority vote.");
+}
+
+inline Counter& fusion_votes_overruled_total(MetricsRegistry& r,
+                                             std::string_view direction) {
+  return r.counter_family(
+           "rfidmon_fusion_votes_overruled_total",
+           "Per-reader slot votes the fused majority overruled, by "
+           "direction (phantom_busy | missed_busy).",
+           {"direction"})
+      .with({direction});
+}
+
+inline Counter& fusion_rounds_degraded_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_fusion_rounds_degraded_total",
+                   "Zone rounds committed below the completion quorum.");
+}
+
+inline Counter& fusion_readers_suspected_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_fusion_readers_suspected_total",
+                   "Readers flagged suspect for persistently outvoted or "
+                   "phantom slot evidence.");
+}
+
+inline Counter& fusion_readers_quarantined_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_fusion_readers_quarantined_total",
+                   "Readers the daemon's per-reader health tier placed in "
+                   "quarantine.");
+}
+
 // ------------------------------------------------------------- daemon ----
 
 inline Counter& daemon_epochs_total(MetricsRegistry& r,

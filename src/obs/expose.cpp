@@ -229,6 +229,11 @@ std::string render_json(const Snapshot& snapshot, const SessionLog* sessions) {
         append_json_string(out, s.fleet);
         out += ",\"attempt\":" + std::to_string(s.attempt);
       }
+      // Likewise the reader index appears only for fused (k > 1) zones.
+      if (s.readers > 1) {
+        out += ",\"reader\":" + std::to_string(s.reader);
+        out += ",\"readers\":" + std::to_string(s.readers);
+      }
       out += ",\"completed\":";
       out += s.completed ? "true" : "false";
       out += ",\"outcome\":";

@@ -21,6 +21,8 @@ struct SessionSummary {
   std::string group;
   std::string fleet;          // fleet name when run by an orchestrator
   std::uint64_t attempt = 0;  // zone attempt index (0 = first try)
+  std::uint32_t reader = 0;   // reader index within the zone's fused set
+  std::uint32_t readers = 1;  // zone's reader count k (labels render at k > 1)
   bool completed = false;
   std::string outcome;        // "completed" or the FailureReason string
   std::uint64_t rounds_completed = 0;

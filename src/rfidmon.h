@@ -24,11 +24,13 @@
 #include "fault/storage_fault.h"      // IWYU pragma: export
 #include "fleet/fleet.h"              // IWYU pragma: export
 #include "fleet/scheduler.h"          // IWYU pragma: export
+#include "fusion/fusion.h"            // IWYU pragma: export
 #include "hash/slot_hash.h"           // IWYU pragma: export
 #include "math/approximation.h"       // IWYU pragma: export
 #include "math/binomial.h"            // IWYU pragma: export
 #include "math/detection.h"           // IWYU pragma: export
 #include "math/frame_optimizer.h"     // IWYU pragma: export
+#include "math/fused_detection.h"     // IWYU pragma: export
 #include "protocol/air_driver.h"      // IWYU pragma: export
 #include "protocol/collect_all.h"     // IWYU pragma: export
 #include "protocol/identify.h"        // IWYU pragma: export

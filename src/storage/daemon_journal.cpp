@@ -15,6 +15,7 @@ namespace {
 enum class RecordKind : std::uint8_t {
   kStart = 1,
   kCheckpoint = 2,
+  kSnapshot = 3,
 };
 
 // Private little-endian scalar encoding, same shape as the WAL's and the
@@ -88,6 +89,28 @@ class ByteReader {
   return hash::fnv1a64(std::as_bytes(std::span(payload.data(), payload.size())));
 }
 
+void write_zone_health(ByteWriter& w, const DaemonZoneHealthRecord& zone) {
+  w.u32(zone.miss_streak);
+  w.u32(zone.intact_streak);
+  w.u8(zone.violated ? 1 : 0);
+  w.u8(zone.quarantined ? 1 : 0);
+  w.u64(zone.quarantined_at);
+  w.u32(static_cast<std::uint32_t>(zone.readers.size()));
+  for (const DaemonReaderHealthRecord& reader : zone.readers) {
+    w.u32(reader.bad_streak);
+    w.u8(reader.quarantined ? 1 : 0);
+    w.u64(reader.quarantined_at);
+  }
+}
+
+void write_alert(ByteWriter& w, const DaemonAlertRecord& alert) {
+  w.u64(alert.sequence);
+  w.u8(alert.kind);
+  w.u64(alert.epoch);
+  w.u64(alert.zone);
+  w.bytes(alert.detail);
+}
+
 [[nodiscard]] std::string encode_payload(const DaemonJournalRecord& record) {
   ByteWriter w;
   std::visit(
@@ -98,31 +121,65 @@ class ByteReader {
           w.u64(r.seed);
           w.bytes(r.daemon);
           w.u64(r.config_hash);
-        } else {
+        } else if constexpr (std::is_same_v<T, DaemonCheckpointRecord>) {
           w.u8(static_cast<std::uint8_t>(RecordKind::kCheckpoint));
           w.u64(r.epoch);
           w.u8(r.verdict);
           w.u64(r.next_alert_sequence);
           w.u32(static_cast<std::uint32_t>(r.zones.size()));
           for (const DaemonZoneHealthRecord& zone : r.zones) {
-            w.u32(zone.miss_streak);
-            w.u32(zone.intact_streak);
-            w.u8(zone.violated ? 1 : 0);
-            w.u8(zone.quarantined ? 1 : 0);
-            w.u64(zone.quarantined_at);
+            write_zone_health(w, zone);
           }
           w.u32(static_cast<std::uint32_t>(r.alerts.size()));
           for (const DaemonAlertRecord& alert : r.alerts) {
-            w.u64(alert.sequence);
-            w.u8(alert.kind);
-            w.u64(alert.epoch);
-            w.u64(alert.zone);
-            w.bytes(alert.detail);
+            write_alert(w, alert);
+          }
+        } else {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kSnapshot));
+          w.u64(r.next_alert_sequence);
+          w.u32(static_cast<std::uint32_t>(r.verdicts.size()));
+          for (const std::uint8_t verdict : r.verdicts) w.u8(verdict);
+          w.u32(static_cast<std::uint32_t>(r.zones.size()));
+          for (const DaemonZoneHealthRecord& zone : r.zones) {
+            write_zone_health(w, zone);
+          }
+          w.u32(static_cast<std::uint32_t>(r.alerts.size()));
+          for (const DaemonAlertRecord& alert : r.alerts) {
+            write_alert(w, alert);
           }
         }
       },
       record);
   return w.take();
+}
+
+[[nodiscard]] DaemonZoneHealthRecord read_zone_health(ByteReader& r) {
+  DaemonZoneHealthRecord zone;
+  zone.miss_streak = r.u32();
+  zone.intact_streak = r.u32();
+  zone.violated = r.u8() != 0;
+  zone.quarantined = r.u8() != 0;
+  zone.quarantined_at = r.u64();
+  const std::uint32_t readers = r.u32();
+  zone.readers.reserve(readers);
+  for (std::uint32_t i = 0; i < readers; ++i) {
+    DaemonReaderHealthRecord reader;
+    reader.bad_streak = r.u32();
+    reader.quarantined = r.u8() != 0;
+    reader.quarantined_at = r.u64();
+    zone.readers.push_back(reader);
+  }
+  return zone;
+}
+
+[[nodiscard]] DaemonAlertRecord read_alert(ByteReader& r) {
+  DaemonAlertRecord alert;
+  alert.sequence = r.u64();
+  alert.kind = r.u8();
+  alert.epoch = r.u64();
+  alert.zone = r.u64();
+  alert.detail = std::string(r.bytes());
+  return alert;
 }
 
 [[nodiscard]] DaemonJournalRecord decode_payload(std::string_view payload) {
@@ -146,24 +203,33 @@ class ByteReader {
       const std::uint32_t zones = r.u32();
       rec.zones.reserve(zones);
       for (std::uint32_t i = 0; i < zones; ++i) {
-        DaemonZoneHealthRecord zone;
-        zone.miss_streak = r.u32();
-        zone.intact_streak = r.u32();
-        zone.violated = r.u8() != 0;
-        zone.quarantined = r.u8() != 0;
-        zone.quarantined_at = r.u64();
-        rec.zones.push_back(zone);
+        rec.zones.push_back(read_zone_health(r));
       }
       const std::uint32_t alerts = r.u32();
       rec.alerts.reserve(alerts);
       for (std::uint32_t i = 0; i < alerts; ++i) {
-        DaemonAlertRecord alert;
-        alert.sequence = r.u64();
-        alert.kind = r.u8();
-        alert.epoch = r.u64();
-        alert.zone = r.u64();
-        alert.detail = std::string(r.bytes());
-        rec.alerts.push_back(std::move(alert));
+        rec.alerts.push_back(read_alert(r));
+      }
+      out = std::move(rec);
+      break;
+    }
+    case RecordKind::kSnapshot: {
+      DaemonSnapshotRecord rec;
+      rec.next_alert_sequence = r.u64();
+      const std::uint32_t verdicts = r.u32();
+      rec.verdicts.reserve(verdicts);
+      for (std::uint32_t i = 0; i < verdicts; ++i) {
+        rec.verdicts.push_back(r.u8());
+      }
+      const std::uint32_t zones = r.u32();
+      rec.zones.reserve(zones);
+      for (std::uint32_t i = 0; i < zones; ++i) {
+        rec.zones.push_back(read_zone_health(r));
+      }
+      const std::uint32_t alerts = r.u32();
+      rec.alerts.reserve(alerts);
+      for (std::uint32_t i = 0; i < alerts; ++i) {
+        rec.alerts.push_back(read_alert(r));
       }
       out = std::move(rec);
       break;
@@ -219,6 +285,9 @@ DaemonJournalScan scan_daemon_journal(std::string_view bytes) {
 DaemonReplay DaemonJournal::open(const DaemonStartRecord& start) {
   const std::lock_guard<std::mutex> lock(mu_);
   DaemonReplay replay;
+  start_ = start;
+  folded_ = {};
+  checkpoints_since_snapshot_ = 0;
 
   DaemonJournalScan scan;
   if (backend_.exists(name_)) {
@@ -239,20 +308,38 @@ DaemonReplay DaemonJournal::open(const DaemonStartRecord& start) {
     }
   }
 
+  // Fold the suffix: a snapshot (rotation's output) resets the folded
+  // state wholesale, each checkpoint extends it — the same reduction the
+  // daemon itself would perform, done once here.
+  DaemonSnapshotRecord folded;
+  std::uint64_t tail_checkpoints = 0;
   bool resumable = false;
   if (start_index < scan.records.size()) {
     const auto& begun = std::get<DaemonStartRecord>(scan.records[start_index]);
     if (begun.seed == start.seed && begun.daemon == start.daemon) {
-      std::uint64_t prior_epochs = 0;
       for (std::size_t i = start_index + 1; i < scan.records.size(); ++i) {
-        ++prior_epochs;
+        if (auto* snapshot =
+                std::get_if<DaemonSnapshotRecord>(&scan.records[i])) {
+          folded = std::move(*snapshot);
+          tail_checkpoints = 0;
+          continue;
+        }
+        auto& checkpoint =
+            std::get<DaemonCheckpointRecord>(scan.records[i]);
+        folded.verdicts.push_back(checkpoint.verdict);
+        folded.zones = std::move(checkpoint.zones);
+        folded.next_alert_sequence = checkpoint.next_alert_sequence;
+        for (DaemonAlertRecord& alert : checkpoint.alerts) {
+          folded.alerts.push_back(std::move(alert));
+        }
+        ++tail_checkpoints;
       }
       if (start.config_hash != 0 && begun.config_hash != 0 &&
           begun.config_hash != start.config_hash) {
         // Same daemon, different monitoring plan: its health machines and
         // epoch numbering describe zones that may no longer exist.
         replay.stale = true;
-        replay.stale_checkpoints = prior_epochs;
+        replay.stale_checkpoints = folded.verdicts.size();
       } else {
         resumable = true;
       }
@@ -265,30 +352,20 @@ DaemonReplay DaemonJournal::open(const DaemonStartRecord& start) {
   }
 
   replay.fresh = false;
-  for (std::size_t i = start_index + 1; i < scan.records.size(); ++i) {
-    replay.checkpoints.push_back(
-        std::get<DaemonCheckpointRecord>(std::move(scan.records[i])));
-  }
+  folded_ = std::move(folded);
+  checkpoints_since_snapshot_ = tail_checkpoints;
+  replay.verdicts = folded_.verdicts;
+  replay.zones = folded_.zones;
+  replay.alerts = folded_.alerts;
+  replay.next_alert_sequence = folded_.next_alert_sequence;
 
   if (scan.dropped_bytes > 0) {
     // A torn tail must not stay: appending after it would bury every later
-    // checkpoint behind unreadable bytes. Compact — atomically rewrite the
-    // journal as exactly the records replay just accepted.
+    // checkpoint behind unreadable bytes. Compact — rotation's rewrite is
+    // exactly the right tool: the journal becomes [start][snapshot] holding
+    // precisely the state replay just accepted.
     replay.compacted_bytes = scan.dropped_bytes;
-    const std::string tmp = name_ + ".tmp";
-    try {
-      if (backend_.exists(tmp)) backend_.remove(tmp);
-      std::string bytes(kDaemonJournalMagic);
-      bytes += encode_daemon_record(start);
-      for (const DaemonCheckpointRecord& checkpoint : replay.checkpoints) {
-        bytes += encode_daemon_record(checkpoint);
-      }
-      backend_.append(tmp, bytes);
-      backend_.flush(tmp);
-      backend_.rename(tmp, name_);
-    } catch (const IoError&) {
-      ++append_failures_;
-    }
+    rotate_locked();
   }
   return replay;
 }
@@ -309,6 +386,36 @@ void DaemonJournal::begin_fresh_locked(const DaemonStartRecord& start) {
   }
 }
 
+void DaemonJournal::rotate_locked() {
+  // Atomically rewrite the journal as [magic][start][snapshot]. The old
+  // journal stays readable until the new one is durable, so a crash at any
+  // point of the rotation resumes to the same state (the torture sweep
+  // crosses crash points with rotation points).
+  const std::string tmp = name_ + ".tmp";
+  try {
+    if (backend_.exists(tmp)) backend_.remove(tmp);
+    std::string bytes(kDaemonJournalMagic);
+    bytes += encode_daemon_record(start_);
+    bytes += encode_daemon_record(folded_);
+    backend_.append(tmp, bytes);
+    backend_.flush(tmp);
+    backend_.rename(tmp, name_);
+    checkpoints_since_snapshot_ = 0;
+    ++rotations_;
+  } catch (const IoError&) {
+    ++append_failures_;
+  }
+}
+
+void DaemonJournal::fold_locked(const DaemonCheckpointRecord& record) {
+  folded_.verdicts.push_back(record.verdict);
+  folded_.zones = record.zones;
+  folded_.next_alert_sequence = record.next_alert_sequence;
+  for (const DaemonAlertRecord& alert : record.alerts) {
+    folded_.alerts.push_back(alert);
+  }
+}
+
 void DaemonJournal::checkpoint(const DaemonCheckpointRecord& record) {
   const std::lock_guard<std::mutex> lock(mu_);
   try {
@@ -316,6 +423,15 @@ void DaemonJournal::checkpoint(const DaemonCheckpointRecord& record) {
     backend_.flush(name_);
   } catch (const IoError&) {
     ++append_failures_;
+  }
+  // Fold BEFORE deciding to rotate: the snapshot must cover this epoch.
+  // Folding happens even when the append failed — the folded image mirrors
+  // what the daemon believes, and a later successful rotation repairs the
+  // journal to match it.
+  fold_locked(record);
+  ++checkpoints_since_snapshot_;
+  if (rotate_after_ > 0 && checkpoints_since_snapshot_ >= rotate_after_) {
+    rotate_locked();
   }
 }
 

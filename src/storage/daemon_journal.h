@@ -22,6 +22,17 @@
 // Replay folds every checkpoint after the last matching start record;
 // a torn tail is compacted away on open() so later appends never extend
 // garbage into an unreadable journal.
+//
+// Rotation. A checkpoint-per-epoch journal grows without bound, and replay
+// cost grows with it — a daemon alive for 10k epochs pays 10k record parses
+// on every restart. With rotate_after > 0 the journal folds itself every N
+// checkpoints: the whole record stream is atomically rewritten as
+// [magic][start][snapshot], where the snapshot record carries the SAME
+// folded state replay would have produced (verdicts, full alert history,
+// latest zone healths, next alert sequence). Resume cost is then O(1) in
+// the daemon's lifetime — one snapshot plus at most N checkpoint parses —
+// and replay is bit-identical with or without rotation (the torture sweep
+// crosses crash points with rotation points to pin this down).
 #pragma once
 
 #include <cstdint>
@@ -35,7 +46,11 @@
 
 namespace rfid::storage {
 
-inline constexpr std::string_view kDaemonJournalMagic = "RFIDMON-DAEMON 1\n";
+/// Format 2 added snapshot records and the per-reader health sub-records.
+/// Decoders reject trailing payload bytes, so the version lives in the
+/// magic: an old journal fails the header check and the daemon begins
+/// fresh (the safe direction — monitoring restarts at epoch 0, loudly).
+inline constexpr std::string_view kDaemonJournalMagic = "RFIDMON-DAEMON 2\n";
 
 struct DaemonStartRecord {
   std::uint64_t seed = 0;
@@ -43,6 +58,14 @@ struct DaemonStartRecord {
   /// Fingerprint of the daemon's monitoring configuration (same 0=unknown
   /// sentinel convention as FleetRunStartRecord::config_hash).
   std::uint64_t config_hash = 0;
+};
+
+/// One reader's health-state-machine snapshot inside a fused zone
+/// (implicit index: position in DaemonZoneHealthRecord::readers).
+struct DaemonReaderHealthRecord {
+  std::uint32_t bad_streak = 0;  // consecutive epochs suspect or incomplete
+  bool quarantined = false;      // excluded from scans until parole
+  std::uint64_t quarantined_at = 0;  // epoch the quarantine began
 };
 
 /// One zone's health-state-machine snapshot (implicit index: position in
@@ -53,6 +76,8 @@ struct DaemonZoneHealthRecord {
   bool violated = false;            // theft evidence seen (latched)
   bool quarantined = false;
   std::uint64_t quarantined_at = 0; // epoch the quarantine began
+  /// Fused (k > 1) zones: the per-reader quarantine tier; empty otherwise.
+  std::vector<DaemonReaderHealthRecord> readers;
 };
 
 /// One alert, exactly as the daemon raised it. Sequence numbers are
@@ -73,8 +98,20 @@ struct DaemonCheckpointRecord {
   std::vector<DaemonAlertRecord> alerts; // raised by THIS epoch only
 };
 
+/// The folded image of every checkpoint up to (and including) some epoch —
+/// exactly what replaying them would produce. Written during rotation so
+/// the rewritten journal resumes to the same state as the full record
+/// stream it replaced.
+struct DaemonSnapshotRecord {
+  std::vector<std::uint8_t> verdicts;  // one per committed epoch, in order
+  std::vector<DaemonZoneHealthRecord> zones;  // latest health machines
+  std::vector<DaemonAlertRecord> alerts;      // FULL history, sequence order
+  std::uint64_t next_alert_sequence = 0;
+};
+
 using DaemonJournalRecord =
-    std::variant<DaemonStartRecord, DaemonCheckpointRecord>;
+    std::variant<DaemonStartRecord, DaemonCheckpointRecord,
+                 DaemonSnapshotRecord>;
 
 [[nodiscard]] std::string encode_daemon_record(
     const DaemonJournalRecord& record);
@@ -89,18 +126,23 @@ struct DaemonJournalScan {
 /// Truncate-at-first-tear scan; never throws on damaged input.
 [[nodiscard]] DaemonJournalScan scan_daemon_journal(std::string_view bytes);
 
-/// What open() reconstructed.
+/// What open() reconstructed — already folded over the snapshot (if the
+/// journal rotated) and every checkpoint after it, so the caller's resume
+/// cost does not grow with the daemon's lifetime.
 struct DaemonReplay {
   /// No usable prior state: missing journal, unreadable journal, or a start
-  /// record for a different (seed, daemon). Checkpoints is empty.
+  /// record for a different (seed, daemon). The folded fields are empty.
   bool fresh = true;
   /// A prior journal for this (seed, daemon) exists but its config_hash
   /// conflicts: its checkpoints were quarantined (not replayed) and the
   /// journal was begun fresh. The caller should raise an alert.
   bool stale = false;
   std::uint64_t stale_checkpoints = 0;
-  /// Every checkpoint of the resumed daemon, in epoch order.
-  std::vector<DaemonCheckpointRecord> checkpoints;
+  /// Folded resume state: epochs 0..verdicts.size()-1 are committed.
+  std::vector<std::uint8_t> verdicts;         // epoch order
+  std::vector<DaemonZoneHealthRecord> zones;  // latest health machines
+  std::vector<DaemonAlertRecord> alerts;      // full history, sequence order
+  std::uint64_t next_alert_sequence = 0;
   /// Torn/rotted tail bytes dropped (and compacted away) during open().
   std::uint64_t compacted_bytes = 0;
 };
@@ -111,16 +153,22 @@ struct DaemonReplay {
 /// process dying, not the disk failing.
 class DaemonJournal {
  public:
-  DaemonJournal(StorageBackend& backend, std::string name)
-      : backend_(backend), name_(std::move(name)) {}
+  /// rotate_after > 0 folds the journal into [start][snapshot] every that
+  /// many checkpoints (and on torn-tail compaction); 0 never rotates.
+  DaemonJournal(StorageBackend& backend, std::string name,
+                std::uint64_t rotate_after = 0)
+      : backend_(backend),
+        name_(std::move(name)),
+        rotate_after_(rotate_after) {}
 
   /// Loads and replays the journal. A matching interrupted daemon resumes
-  /// (checkpoints returned, torn tail compacted away); anything else —
+  /// (folded state returned, torn tail compacted away); anything else —
   /// missing, foreign, or config-stale — atomically begins a fresh journal
   /// holding only the new start record.
   [[nodiscard]] DaemonReplay open(const DaemonStartRecord& start);
 
-  /// Appends one epoch checkpoint and flushes it durable.
+  /// Appends one epoch checkpoint and flushes it durable; rotates first
+  /// when the checkpoint-since-snapshot budget is spent.
   void checkpoint(const DaemonCheckpointRecord& record);
 
   [[nodiscard]] std::uint64_t append_failures() const {
@@ -128,13 +176,30 @@ class DaemonJournal {
     return append_failures_;
   }
 
+  /// Snapshot rewrites performed (rotation budget spent or tail compacted).
+  [[nodiscard]] std::uint64_t rotations() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return rotations_;
+  }
+
  private:
   void begin_fresh_locked(const DaemonStartRecord& start);
+  void rotate_locked();
+  void fold_locked(const DaemonCheckpointRecord& record);
 
   StorageBackend& backend_;
   std::string name_;
+  std::uint64_t rotate_after_ = 0;
   mutable std::mutex mu_;
   std::uint64_t append_failures_ = 0;
+  std::uint64_t rotations_ = 0;
+
+  // The folded image of everything durable under this journal, maintained
+  // through open() and every checkpoint() so rotation can rewrite the
+  // journal without re-reading the backend.
+  DaemonStartRecord start_;
+  DaemonSnapshotRecord folded_;
+  std::uint64_t checkpoints_since_snapshot_ = 0;
 };
 
 }  // namespace rfid::storage

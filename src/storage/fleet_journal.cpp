@@ -116,6 +116,9 @@ class ByteReader {
           w.u64(r.frames_sent);
           w.u64(r.retransmissions);
           w.f64(r.duration_us);
+          w.u32(r.readers);
+          w.u64(r.degraded_rounds);
+          w.u32(r.suspected_readers);
         } else {
           w.u8(static_cast<std::uint8_t>(RecordKind::kRunEnd));
           w.u8(r.verdict);
@@ -153,6 +156,9 @@ class ByteReader {
       rec.frames_sent = r.u64();
       rec.retransmissions = r.u64();
       rec.duration_us = r.f64();
+      rec.readers = r.u32();
+      rec.degraded_rounds = r.u64();
+      rec.suspected_readers = r.u32();
       out = std::move(rec);
       break;
     }

@@ -34,7 +34,11 @@
 
 namespace rfid::storage {
 
-inline constexpr std::string_view kFleetJournalMagic = "RFIDMON-FLEET 1\n";
+/// Format 2 added the fused-reader fields to FleetZoneRecord. The decoder
+/// rejects any payload with trailing bytes, so the version lives in the
+/// magic: a journal written by an older build fails the header check and
+/// every zone simply re-executes (the safe direction).
+inline constexpr std::string_view kFleetJournalMagic = "RFIDMON-FLEET 2\n";
 
 struct FleetRunStartRecord {
   std::uint64_t seed = 0;
@@ -63,6 +67,10 @@ struct FleetZoneRecord {
   std::uint64_t frames_sent = 0;
   std::uint64_t retransmissions = 0;
   double duration_us = 0.0;         // simulated time of the final attempt
+  // Fused zones (k > 1); defaults describe a single-reader zone.
+  std::uint32_t readers = 1;            // reader count k
+  std::uint64_t degraded_rounds = 0;    // rounds committed below quorum
+  std::uint32_t suspected_readers = 0;  // flagged by the trust tracker
 };
 
 struct FleetRunEndRecord {

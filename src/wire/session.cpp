@@ -44,7 +44,12 @@ struct TrpAdapter {
   using Challenge = protocol::TrpChallenge;
   static constexpr std::string_view kProtocol{"trp"};
 
-  [[nodiscard]] Challenge issue(util::Rng& rng) const {
+  [[nodiscard]] Challenge issue(std::uint64_t round, util::Rng& rng) const {
+    if (config.trp_challenges != nullptr) {
+      RFID_EXPECT(round < config.trp_challenges->size(),
+                  "fixed challenge schedule does not cover this round");
+      return (*config.trp_challenges)[round];
+    }
     return server.issue_challenge(rng);
   }
   [[nodiscard]] std::vector<std::byte> encode_challenge(std::uint64_t round,
@@ -62,7 +67,16 @@ struct TrpAdapter {
   /// Returns (bitstring, scan duration). `rng` drives channel randomness.
   [[nodiscard]] std::pair<bits::Bitstring, double> scan(const Challenge& c,
                                                         util::Rng& rng) const {
-    const protocol::TrpReader reader;
+    if (config.trp_forge) {
+      // Adversarial reader: no scan happens; the forged string still prices
+      // air time so the timeline stays physically plausible.
+      bits::Bitstring forged = config.trp_forge(c);
+      const std::uint64_t replies = forged.count();
+      const double us =
+          config.timing.trp_scan_us(c.frame_size - replies, replies);
+      return {std::move(forged), us};
+    }
+    const protocol::TrpReader reader{hash::SlotHasher{}, config.channel};
     const auto observed = reader.scan_observed(present, c, rng);
     const std::uint64_t replies =
         observed.single_slots + observed.collision_slots;
@@ -90,7 +104,7 @@ struct UtrpAdapter {
   using Challenge = protocol::UtrpChallenge;
   static constexpr std::string_view kProtocol{"utrp"};
 
-  [[nodiscard]] Challenge issue(util::Rng& rng) const {
+  [[nodiscard]] Challenge issue(std::uint64_t /*round*/, util::Rng& rng) const {
     return server.issue_challenge(rng);
   }
   [[nodiscard]] std::vector<std::byte> encode_challenge(std::uint64_t round,
@@ -370,7 +384,7 @@ void server_on_frame(const StatePtr<Adapter>& state, std::vector<std::byte> fram
       // the deadline clock starts at FIRST issue.
       auto [it, inserted] = state->issued.try_emplace(request.round);
       if (inserted) {
-        it->second = state->adapter.issue(state->rng);
+        it->second = state->adapter.issue(request.round, state->rng);
         state->issued_at_us[request.round] = state->queue.now();
       }
       server_send(state, state->adapter.encode_challenge(request.round, it->second));
@@ -388,6 +402,7 @@ void server_on_frame(const StatePtr<Adapter>& state, std::vector<std::byte> fram
         it->second =
             state->adapter.verify(issued_it->second, report.bitstring, elapsed);
         state->outcome.verdicts.push_back(it->second);
+        state->outcome.reported.push_back(report.bitstring);
         if (!it->second.deadline_met) {
           state->outcome.round_failures.push_back(
               {report.round, FailureReason::kDeadlineMissed});

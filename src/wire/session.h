@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "obs/trace.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
+#include "radio/channel.h"
 #include "radio/timing.h"
 #include "sim/event_queue.h"
 #include "wire/link.h"
@@ -67,6 +69,19 @@ struct SessionConfig {
   /// eat into this budget — an honest reader on a bad link can miss it,
   /// which is precisely the paper's STmax-calibration problem.
   double utrp_deadline_us = 0.0;
+  /// Radio channel this reader's antenna observes during TRP scans (reply
+  /// loss, capture). Defaults to the ideal channel, which reproduces the
+  /// paper's noiseless reader bit for bit.
+  radio::ChannelModel channel = {};
+  /// TRP only: when set, round r is issued (*trp_challenges)[r] instead of
+  /// fresh randomness (must cover every round; not owned). This is how the
+  /// fusion layer aims k independent reader sessions at one challenge
+  /// stream so their bitstrings are comparable slot by slot.
+  const std::vector<protocol::TrpChallenge>* trp_challenges = nullptr;
+  /// TRP only: adversarial reader hook. When set, the reader skips the tag
+  /// field entirely and reports forge(challenge) — e.g. the expected
+  /// bitstring of the full enrolled set, hiding a theft (src/attack).
+  std::function<bits::Bitstring(const protocol::TrpChallenge&)> trp_forge;
   /// Optional scripted faults (not owned; must outlive the session run).
   /// Crash windows are in absolute queue time and must not lie in the past.
   const fault::FaultPlan* faults = nullptr;
@@ -107,6 +122,9 @@ struct SessionOutcome {
   std::vector<RoundFailure> round_failures;
   std::uint64_t rounds_completed = 0;
   std::vector<protocol::Verdict> verdicts;  // one per completed round
+  /// The bitstring the server verified each round, index-aligned with
+  /// `verdicts` — the per-reader evidence the fusion layer votes over.
+  std::vector<bits::Bitstring> reported;
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_dropped = 0;
   std::uint64_t retransmissions = 0;

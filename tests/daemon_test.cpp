@@ -7,12 +7,15 @@
 #include <string>
 #include <vector>
 
+#include <variant>
+
 #include "daemon/daemon.h"
 #include "fault/daemon_fault.h"
 #include "fault/fault.h"
 #include "obs/catalog.h"
 #include "obs/metrics.h"
 #include "storage/backend.h"
+#include "storage/daemon_journal.h"
 
 namespace {
 
@@ -362,6 +365,122 @@ TEST(MonitorDaemon, StaleJournalIsQuarantinedNotReplayed) {
             daemon::DaemonAlertKind::kStaleJournalQuarantined);
   EXPECT_EQ(result.alerts[0].sequence, 0u);
   EXPECT_EQ(result.alerts[0].epoch, 0u);
+}
+
+TEST(MonitorDaemon, PersistentlyDishonestReaderIsBenchedAndParoled) {
+  // A k = 3 warehouse where zone 0's reader 1 forges "all present" every
+  // epoch, over a real theft. The fused vote overrules it (verdicts stay
+  // violated throughout), and the reader tier benches it: quarantined after
+  // 2 suspect epochs, excluded from scans, paroled after the cooldown —
+  // and, still dishonest, benched again.
+  storage::MemoryBackend backend;
+  obs::MetricsRegistry metrics;
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.fusion.readers = 3;
+  warehouse.dishonest_readers.emplace_back(0, 1);
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 0, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+
+  daemon::DaemonConfig config = base_config(backend);
+  config.epochs = 6;
+  config.metrics = &metrics;
+  config.debounce_epochs = 1;
+  config.quarantine_after_epochs = 2;
+  config.quarantine_cooldown_epochs = 2;
+
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  // The forger never hides the theft: two honest readers outvote it in
+  // every epoch, benched or not.
+  ASSERT_EQ(result.epoch_verdicts.size(), 6u);
+  for (const daemon::EpochVerdict verdict : result.epoch_verdicts) {
+    EXPECT_EQ(verdict, daemon::EpochVerdict::kViolated);
+  }
+
+  // Epoch 0: violation latches + escalation (debounce = 1). Epoch 1: the
+  // reader's second suspect epoch benches it (reader tier runs before the
+  // zone tier, which quarantines the still-missing zone in the same
+  // epoch). Epoch 3: cooldown served, paroled on faith. Epochs 4-5: it
+  // forges again, two more suspect epochs, benched again.
+  const std::vector<daemon::DaemonAlertKind> kinds = kinds_of(result.alerts);
+  const std::vector<daemon::DaemonAlertKind> expected = {
+      daemon::DaemonAlertKind::kZoneViolated,      // epoch 0
+      daemon::DaemonAlertKind::kZoneEscalated,     // epoch 0
+      daemon::DaemonAlertKind::kReaderQuarantined, // epoch 1
+      daemon::DaemonAlertKind::kZoneQuarantined,   // epoch 1
+      daemon::DaemonAlertKind::kReaderRecovered,   // epoch 3
+      daemon::DaemonAlertKind::kReaderQuarantined, // epoch 5
+  };
+  EXPECT_EQ(kinds, expected);
+  expect_monotonic_sequences(result.alerts);
+  for (const daemon::DaemonAlert& alert : result.alerts) {
+    if (alert.kind == daemon::DaemonAlertKind::kReaderQuarantined ||
+        alert.kind == daemon::DaemonAlertKind::kReaderRecovered) {
+      EXPECT_EQ(alert.zone, 0u);
+      EXPECT_NE(alert.detail.find("reader 1"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(
+      obs::catalog::fusion_readers_quarantined_total(metrics).value(), 2u);
+}
+
+TEST(MonitorDaemon, JournalRotationKeepsResumeO1AndHistoryIdentical) {
+  // rotate_after = 2 folds the journal into [start][snapshot] every two
+  // checkpoints, so the on-disk record count is bounded no matter how long
+  // the daemon lives — and a resumed life must still reconstruct the exact
+  // history an unrotated straight-through run produces.
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 2, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+
+  std::string baseline;
+  std::vector<daemon::EpochVerdict> baseline_verdicts;
+  {
+    storage::MemoryBackend backend;
+    daemon::DaemonConfig config = base_config(backend);
+    config.epochs = 6;
+    daemon::MonitorDaemon d(config, warehouse);
+    const daemon::DaemonResult result = d.run();
+    baseline = daemon::render_alert_history(result.alerts);
+    baseline_verdicts = result.epoch_verdicts;
+    const auto scan = storage::scan_daemon_journal(backend.read(
+        daemon::DaemonConfig{}.journal_name));
+    EXPECT_EQ(scan.records.size(), 7u);  // start + one checkpoint per epoch
+  }
+
+  storage::MemoryBackend backend;
+  {
+    daemon::DaemonConfig config = base_config(backend);
+    config.epochs = 4;
+    config.journal_rotate_after = 2;
+    daemon::MonitorDaemon d(config, warehouse);
+    EXPECT_EQ(d.run().epochs_completed, 4u);
+  }
+  // Epoch 4's checkpoint triggered the second rotation, so the journal a
+  // resuming life opens is exactly [start][snapshot] — O(1) records to
+  // replay, not O(epochs).
+  {
+    const auto scan = storage::scan_daemon_journal(backend.read(
+        daemon::DaemonConfig{}.journal_name));
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_TRUE(std::holds_alternative<storage::DaemonSnapshotRecord>(
+        scan.records[1]));
+    const auto& snapshot =
+        std::get<storage::DaemonSnapshotRecord>(scan.records[1]);
+    EXPECT_EQ(snapshot.verdicts.size(), 4u);
+  }
+
+  daemon::DaemonConfig config = base_config(backend);
+  config.epochs = 6;
+  config.journal_rotate_after = 2;
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(result.epochs_completed, 6u);
+  EXPECT_EQ(result.epoch_verdicts, baseline_verdicts);
+  EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline);
+  expect_monotonic_sequences(result.alerts);
 }
 
 TEST(MonitorDaemon, MetricsCountEpochsAlertsAndRestarts) {

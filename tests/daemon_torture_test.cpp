@@ -12,11 +12,14 @@
 #include <string>
 #include <vector>
 
+#include <variant>
+
 #include "daemon/daemon.h"
 #include "fault/daemon_fault.h"
 #include "fault/fault.h"
 #include "fault/storage_fault.h"
 #include "storage/backend.h"
+#include "storage/daemon_journal.h"
 
 namespace {
 
@@ -140,6 +143,92 @@ TEST(DaemonTorture, EveryStorageOpCrashResumesIdentically) {
       fault::FaultyBackend backend(inner, plan);
 
       daemon::DaemonConfig config = torture_config(backend);
+      config.crash_hook = [&inner] { inner.crash(); };
+      daemon::MonitorDaemon d(config, eventful_warehouse());
+      const daemon::DaemonResult result = d.run();
+
+      EXPECT_EQ(result.crash_restarts, 1u) << label;
+      expect_equivalent(baseline, result, label);
+    }
+  }
+}
+
+// Rotation crossed with the crash sweeps. rotate_after = 1 folds the
+// journal after EVERY checkpoint, so every epoch boundary carries a
+// rotation rewrite (tmp write, flush, rename) — and every crash point
+// lands either mid-rotation or between a checkpoint and its fold. The
+// rotated journal must resume to the same history the unrotated baseline
+// produces: rotation is pure storage layout, invisible to replay.
+TEST(DaemonTorture, RotationCrossedWithEveryDaemonCrashPoint) {
+  const Baseline baseline = uncrashed_baseline();
+  const fault::DaemonCrashPoint points[] = {
+      fault::DaemonCrashPoint::kEpochStart,
+      fault::DaemonCrashPoint::kAfterFleetRun,
+      fault::DaemonCrashPoint::kBeforeCheckpoint,
+      fault::DaemonCrashPoint::kAfterCheckpoint,
+  };
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    for (const fault::DaemonCrashPoint point : points) {
+      const std::string label = "rotating epoch " + std::to_string(epoch) +
+                                " @ " + std::string(fault::to_string(point));
+      fault::DaemonFaultPlan plan;
+      plan.crashes.push_back({epoch, point});
+      fault::DaemonFaultInjector faults(plan);
+
+      storage::MemoryBackend backend;
+      daemon::DaemonConfig config = torture_config(backend);
+      config.journal_rotate_after = 1;
+      config.faults = &faults;
+      config.crash_hook = [&backend] { backend.crash(); };
+      daemon::MonitorDaemon d(config, eventful_warehouse());
+      const daemon::DaemonResult result = d.run();
+
+      EXPECT_EQ(result.crash_restarts, 1u) << label;
+      expect_equivalent(baseline, result, label);
+
+      // The journal really did stay folded: [start][snapshot] holding all
+      // three verdicts, not start + a checkpoint per epoch.
+      const auto scan = storage::scan_daemon_journal(
+          backend.read(config.journal_name));
+      ASSERT_EQ(scan.records.size(), 2u) << label;
+      const auto* snapshot =
+          std::get_if<storage::DaemonSnapshotRecord>(&scan.records[1]);
+      ASSERT_NE(snapshot, nullptr) << label;
+      EXPECT_EQ(snapshot->verdicts.size(), 3u) << label;
+    }
+  }
+}
+
+TEST(DaemonTorture, RotationCrossedWithEveryStorageOpCrash) {
+  const Baseline baseline = uncrashed_baseline();
+
+  // The census re-learns the op count with rotation on: each epoch now
+  // appends its checkpoint AND rewrites the folded journal, so the sweep
+  // below crashes inside the rotation's own tmp/flush/rename traffic too.
+  std::uint64_t total_ops = 0;
+  {
+    storage::MemoryBackend inner;
+    fault::FaultyBackend backend(inner, fault::StorageFaultPlan{});
+    daemon::DaemonConfig config = torture_config(backend);
+    config.journal_rotate_after = 1;
+    daemon::MonitorDaemon d(config, eventful_warehouse());
+    expect_equivalent(baseline, d.run(), "rotating op census");
+    total_ops = backend.mutating_ops();
+  }
+  ASSERT_GT(total_ops, 10u);
+
+  for (std::uint64_t op = 1; op <= total_ops; ++op) {
+    for (const bool before : {false, true}) {
+      const std::string label = "rotating op " + std::to_string(op) +
+                                (before ? " before" : " after") + " effect";
+      storage::MemoryBackend inner;
+      fault::StorageFaultPlan plan;
+      plan.crash_at_op = op;
+      plan.crash_before_effect = before;
+      fault::FaultyBackend backend(inner, plan);
+
+      daemon::DaemonConfig config = torture_config(backend);
+      config.journal_rotate_after = 1;
       config.crash_hook = [&inner] { inner.crash(); };
       daemon::MonitorDaemon d(config, eventful_warehouse());
       const daemon::DaemonResult result = d.run();

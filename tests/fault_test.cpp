@@ -127,6 +127,82 @@ TEST(FaultPlanParser, RejectsMalformedInput) {
   EXPECT_THROW((void)fault::parse_fault_plan("seed 1 extra\n"), std::invalid_argument);
 }
 
+// ------------------------------------------------- multi-reader fault plans --
+
+TEST(MultiReaderFaultPlanParser, ReaderLinesLayerOverSharedLines) {
+  const auto plan = fault::parse_multi_reader_fault_plan(
+      "seed 7\n"
+      "burst 0.05 0.2 1.0 0.01   # every reader's backhaul fades\n"
+      "reader=1: corrupt 0.2\n"
+      "reader=1: duplicate 0.1   # repeated lines accumulate\n"
+      "reader=2: crash 5000 never\n");
+  EXPECT_FALSE(plan.correlated);
+
+  // Reader 0 runs the shared plan with the scripted seed verbatim, so a
+  // k = 1 zone is bit-identical to the legacy single-reader path.
+  const fault::FaultPlan r0 = plan.for_reader(0);
+  EXPECT_EQ(r0.seed, 7u);
+  EXPECT_TRUE(r0.burst.enabled());
+  EXPECT_DOUBLE_EQ(r0.corrupt_prob, 0.0);
+
+  // Reader 1's overrides layer over the shared lines (burst retained).
+  const fault::FaultPlan r1 = plan.for_reader(1);
+  EXPECT_TRUE(r1.burst.enabled());
+  EXPECT_DOUBLE_EQ(r1.corrupt_prob, 0.2);
+  EXPECT_DOUBLE_EQ(r1.duplicate_prob, 0.1);
+  EXPECT_TRUE(r1.reader_crashes.empty());
+
+  const fault::FaultPlan r2 = plan.for_reader(2);
+  ASSERT_EQ(r2.reader_crashes.size(), 1u);
+  EXPECT_TRUE(std::isinf(r2.reader_crashes[0].end_us));
+
+  // Readers above 0 fork their own fault stream: k radios on one backhaul
+  // fade independently by default.
+  EXPECT_NE(r1.seed, r0.seed);
+  EXPECT_NE(plan.for_reader(3).seed, r0.seed);
+  EXPECT_NE(plan.for_reader(3).seed, r1.seed);
+}
+
+TEST(MultiReaderFaultPlanParser, CorrelatedPinsEveryReaderToOneStream) {
+  const auto plan = fault::parse_multi_reader_fault_plan(
+      "correlated\n"
+      "seed 9\n"
+      "burst 0.05 0.2 1.0 0.0\n");
+  EXPECT_TRUE(plan.correlated);
+  EXPECT_EQ(plan.for_reader(0).seed, 9u);
+  EXPECT_EQ(plan.for_reader(1).seed, 9u);  // same burst realization
+  EXPECT_EQ(plan.for_reader(5).seed, 9u);
+}
+
+TEST(MultiReaderFaultPlanParser, PlainPlanConvertsToSameScriptForAllReaders) {
+  const fault::MultiReaderFaultPlan plan =
+      fault::parse_fault_plan("corrupt 0.1\n");  // implicit conversion
+  EXPECT_DOUBLE_EQ(plan.for_reader(0).corrupt_prob, 0.1);
+  EXPECT_DOUBLE_EQ(plan.for_reader(2).corrupt_prob, 0.1);
+}
+
+// Regression: a malformed reader prefix must be a parse error, not a
+// silently-shared directive named "reader=..." (the failure mode before the
+// prefix was validated).
+TEST(MultiReaderFaultPlanParser, RejectsMalformedReaderPrefixes) {
+  EXPECT_THROW((void)fault::parse_multi_reader_fault_plan("reader=: corrupt 0.1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_multi_reader_fault_plan("reader=x: corrupt 0.1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_multi_reader_fault_plan("reader=1corrupt 0.1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_multi_reader_fault_plan("reader=1\n"),
+               std::invalid_argument);
+  // Single-reader parse errors inside a reader line still propagate.
+  EXPECT_THROW((void)fault::parse_multi_reader_fault_plan("reader=0: warp 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_multi_reader_fault_plan("reader=0: corrupt 1.5\n"),
+               std::invalid_argument);
+  // `correlated` takes no arguments.
+  EXPECT_THROW((void)fault::parse_multi_reader_fault_plan("correlated 1\n"),
+               std::invalid_argument);
+}
+
 // --------------------------------------------------------- frame corruption --
 
 TEST(FaultInjector, CorruptFlipsExactlyOneBit) {

@@ -129,4 +129,59 @@ TEST(FleetConcurrencyHammer, SixtyFourZoneFleetUnderTsan) {
   EXPECT_FALSE(fleet::summary(result).empty());
 }
 
+// A fused fleet at 8 threads: every zone fans out k = 3 reader sessions
+// that race to the atomic fan-in counter, and the LAST terminal reader
+// runs the fusion on state written by all three — the happens-before edge
+// this hammer exists to check under TSan. Crash faults on individual
+// readers add retry traffic through the same fan-in, and an adversarial
+// reader exercises the trust/suspect accounting concurrently.
+TEST(FleetConcurrencyHammer, FusedReaderFanInUnderTsan) {
+  obs::MetricsRegistry metrics;
+  obs::SessionLog log(512);
+  storage::MemoryBackend backend;
+
+  fleet::FleetOrchestrator orchestrator({.seed = 4711,
+                                         .threads = 8,
+                                         .max_zone_attempts = 3,
+                                         .fleet_name = "fused-hammer",
+                                         .metrics = &metrics,
+                                         .session_log = &log,
+                                         .journal_backend = &backend});
+
+  util::Rng rng(2718);
+  for (int i = 0; i < 2; ++i) {
+    fleet::InventorySpec spec;
+    spec.name = "inv" + std::to_string(i);
+    spec.tags = tag::TagSet::make_random(240, rng);
+    spec.plan = server::plan_groups({.total_tags = 240,
+                                     .total_tolerance = 6,
+                                     .alpha = 0.95,
+                                     .max_group_size = 20});
+    spec.rounds = 2;
+    spec.fusion.readers = 3;
+    if (i == 1) {
+      for (std::uint64_t t = 0; t < 9; ++t) spec.stolen.push_back(t);
+    }
+    // Zone 0 holds inventory 1's stolen tags, so that forger casts real
+    // phantom votes; inventory 0's forger forges the truth and stays
+    // invisible (correctly so).
+    spec.dishonest_readers.emplace_back(0, 2);
+    for (std::uint64_t z = 0; z < 12; z += 4) {
+      // One reader of the zone crashes and retries; the other two cross
+      // the fan-in while its replacement attempt is still in flight.
+      spec.zone_faults.emplace_back(
+          z, fault::parse_multi_reader_fault_plan(
+                 "reader=1: crash 10000 never\n"));
+    }
+    orchestrator.submit(std::move(spec));
+  }
+
+  const fleet::FleetResult result = orchestrator.run();
+  EXPECT_EQ(result.zones, 24u);
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kViolated);
+  EXPECT_GT(result.requeues, 0u);
+  EXPECT_GE(result.readers_suspected, 1u);
+  EXPECT_FALSE(fleet::summary(result).empty());
+}
+
 }  // namespace

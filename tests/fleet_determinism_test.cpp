@@ -201,4 +201,78 @@ TEST(FleetDeterminism, SixtyFourZoneFleetIsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one.trace, eight.trace);
 }
 
+// A fused fleet (k = 3 readers per zone): per-reader sessions fan out to
+// the pool and race to finalize the zone, so this pins down the fan-in
+// path specifically — the LAST terminal reader runs the fusion, whichever
+// thread that lands on, and the fused verdict, trust/suspect flags,
+// fusion_* metrics, per-reader session-log entries, and degraded-round
+// accounting must not care. One zone carries an adversarial reader, one a
+// correlated Gilbert-Elliott burst, and one is clean.
+Rendered run_fused_fleet(unsigned threads) {
+  obs::MetricsRegistry metrics;
+  double clock = 0.0;
+  obs::Tracer tracer([&clock] { return clock += 1.0; });
+  obs::SessionLog log(256);
+  storage::MemoryBackend backend;
+
+  fleet::FleetOrchestrator orchestrator({.seed = 9000,
+                                         .threads = threads,
+                                         .max_zone_attempts = 2,
+                                         .fleet_name = "fused-fleet",
+                                         .metrics = &metrics,
+                                         .tracer = &tracer,
+                                         .session_log = &log,
+                                         .journal_backend = &backend});
+  util::Rng rng(808);
+  fleet::InventorySpec spec;
+  spec.name = "triplex";
+  spec.tags = tag::TagSet::make_random(120, rng);
+  spec.plan = server::plan_groups({.total_tags = 120,
+                                   .total_tolerance = 4,
+                                   .alpha = 0.95,
+                                   .max_group_size = 40});
+  spec.rounds = 2;
+  spec.fusion.readers = 3;
+  spec.fusion.slot_loss = 0.005;
+  // The theft and the forger share zone 0: an adversary forging "all
+  // present" is only visible (and only harmful) where tags are missing.
+  for (std::uint64_t t = 0; t < 6; ++t) spec.stolen.push_back(t);
+  spec.dishonest_readers.emplace_back(0, 2);
+  spec.zone_faults.emplace_back(
+      0, fault::parse_multi_reader_fault_plan(
+             "correlated\nburst 0.02 0.3 1.0 0.0\n"));
+  orchestrator.submit(std::move(spec));
+
+  const fleet::FleetResult result = orchestrator.run();
+  EXPECT_EQ(result.readers_suspected, 1u);  // the zone-1 forger
+  return Rendered{result.verdict,
+                  fleet::summary(result),
+                  obs::render_prometheus(metrics.snapshot()),
+                  obs::render_json(metrics.snapshot(), &log),
+                  tracer.render(),
+                  backend.read("fleet.journal")};
+}
+
+TEST(FleetDeterminism, FusedFleetIsBitIdenticalAcrossThreadCounts) {
+  const Rendered one = run_fused_fleet(1);
+  const Rendered eight = run_fused_fleet(8);
+  EXPECT_EQ(one.verdict, fleet::GlobalVerdict::kViolated);
+  EXPECT_EQ(one.verdict, eight.verdict);
+  EXPECT_EQ(one.summary, eight.summary);
+  EXPECT_EQ(one.prometheus, eight.prometheus);
+  EXPECT_EQ(one.json, eight.json);
+  EXPECT_EQ(one.trace, eight.trace);
+  const auto scan_one = storage::scan_fleet_journal(one.journal);
+  const auto scan_eight = storage::scan_fleet_journal(eight.journal);
+  EXPECT_EQ(scan_one.records.size(), scan_eight.records.size());
+
+  // The fused paths really ran and really rendered.
+  EXPECT_NE(one.prometheus.find("rfidmon_fusion_slots_fused_total"),
+            std::string::npos);
+  EXPECT_NE(one.prometheus.find("rfidmon_fusion_votes_overruled_total"),
+            std::string::npos);
+  EXPECT_NE(one.json.find("\"reader\":"), std::string::npos);
+  EXPECT_NE(one.summary.find("suspects: 1"), std::string::npos);
+}
+
 }  // namespace

@@ -1,0 +1,428 @@
+// The fusion subsystem, bottom to top: the per-slot trust-weighted vote
+// (fusion/fusion.h), the generalized Theorem 1 sizing it is computed for
+// (math/fused_detection.h) — including the exact reduction to Eq. 2 at the
+// trustworthy-reader point and Monte-Carlo validation of g_k against the
+// full fuse-then-threshold pipeline — and the end-to-end adversarial
+// guarantee: a fleet with k = 3 readers per zone detects a theft that a
+// single adversarial reader hides completely at k = 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "fault/fault.h"
+#include "fleet/fleet.h"
+#include "fusion/fusion.h"
+#include "math/binomial.h"
+#include "math/detection.h"
+#include "math/frame_optimizer.h"
+#include "math/fused_detection.h"
+#include "server/group_planner.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace rfid;
+
+// ---------------------------------------------------------------------------
+// fuse_round: the per-slot vote.
+
+bits::Bitstring make_bits(std::size_t size,
+                          std::initializer_list<std::size_t> busy) {
+  bits::Bitstring b(size);
+  for (const std::size_t slot : busy) b.set(slot);
+  return b;
+}
+
+TEST(FuseRound, EqualTrustTakesStrictMajority) {
+  const bits::Bitstring a = make_bits(4, {0, 1});
+  const bits::Bitstring b = make_bits(4, {0, 2});
+  const bits::Bitstring c = make_bits(4, {0});
+  const std::vector<const bits::Bitstring*> observed{&a, &b, &c};
+  const std::vector<double> trust{1.0, 1.0, 1.0};
+
+  const fusion::FusedRound round = fusion::fuse_round(observed, trust);
+  EXPECT_EQ(round.valid_readers, 3u);
+  EXPECT_EQ(round.slots_fused, 4u);
+  EXPECT_TRUE(round.fused.test(0));    // 3 of 3
+  EXPECT_FALSE(round.fused.test(1));   // 1 of 3
+  EXPECT_FALSE(round.fused.test(2));   // 1 of 3
+  EXPECT_FALSE(round.fused.test(3));   // 0 of 3
+  // Readers a and b each phantomed one slot; c missed nothing and
+  // phantomed nothing.
+  EXPECT_EQ(round.phantom_busy[0], 1u);
+  EXPECT_EQ(round.phantom_busy[1], 1u);
+  EXPECT_EQ(round.phantom_busy[2], 0u);
+  EXPECT_EQ(round.missed_busy[2], 0u);
+  EXPECT_EQ(round.votes_overruled, 2u);
+}
+
+TEST(FuseRound, TiesFuseEmpty) {
+  // Honest radios lose replies but never phantom them, so an even split is
+  // resolved toward empty: busy requires a STRICT weight majority.
+  const bits::Bitstring busy = make_bits(1, {0});
+  const bits::Bitstring quiet = make_bits(1, {});
+  const std::vector<const bits::Bitstring*> observed{&busy, &quiet};
+  const std::vector<double> trust{1.0, 1.0};
+  EXPECT_FALSE(fusion::fuse_round(observed, trust).fused.test(0));
+}
+
+TEST(FuseRound, TrustWeightsOutvoteHeadcount) {
+  // Two distrusted readers phantom a slot against one trusted reader: the
+  // trust mass, not the headcount, decides.
+  const bits::Bitstring phantom = make_bits(1, {0});
+  const bits::Bitstring honest = make_bits(1, {});
+  const std::vector<const bits::Bitstring*> observed{&phantom, &phantom,
+                                                     &honest};
+  const std::vector<double> trust{0.2, 0.2, 1.0};
+  EXPECT_FALSE(fusion::fuse_round(observed, trust).fused.test(0));
+}
+
+TEST(FuseRound, NullObservationsDoNotVote) {
+  const bits::Bitstring busy = make_bits(2, {0});
+  const std::vector<const bits::Bitstring*> observed{&busy, nullptr, nullptr};
+  const std::vector<double> trust{1.0, 1.0, 1.0};
+  const fusion::FusedRound round = fusion::fuse_round(observed, trust);
+  EXPECT_EQ(round.valid_readers, 1u);
+  EXPECT_TRUE(round.fused.test(0));  // 1 of 1 valid: unanimous
+  EXPECT_FALSE(round.fused.test(1));
+  EXPECT_EQ(round.phantom_busy[1], 0u);  // absent readers are never judged
+}
+
+// ---------------------------------------------------------------------------
+// TrustTracker: decay and suspicion.
+
+TEST(TrustTracker, SinglePhantomVoteMarksTheRoundBad) {
+  fusion::FusionConfig config;
+  config.readers = 3;
+  config.suspect_after_rounds = 2;
+  fusion::TrustTracker tracker(config);
+
+  fusion::FusedRound round;
+  round.slots_fused = 100;
+  round.phantom_busy = {1, 0, 0};  // one physically impossible vote
+  round.missed_busy = {0, 0, 0};
+  tracker.observe_round(round);
+  EXPECT_FALSE(tracker.suspect(0));  // one bad round, threshold is two
+  tracker.observe_round(round);
+  EXPECT_TRUE(tracker.suspect(0));
+  EXPECT_FALSE(tracker.suspect(1));
+  EXPECT_EQ(tracker.suspect_count(), 1u);
+  EXPECT_EQ(tracker.overruled_votes(0), 2u);
+}
+
+TEST(TrustTracker, OccasionalMissedRepliesAreNotSuspicious) {
+  fusion::FusionConfig config;
+  config.readers = 2;
+  config.suspect_overruled = 0.25;
+  fusion::TrustTracker tracker(config);
+
+  fusion::FusedRound round;
+  round.slots_fused = 100;
+  round.phantom_busy = {0, 0};
+  round.missed_busy = {10, 60};  // 10% is fading; 60% is persistent
+  tracker.observe_round(round);
+  EXPECT_FALSE(tracker.suspect(0));
+  EXPECT_TRUE(tracker.suspect(1));
+  // Trust decays with the overruled fraction and stays above the floor.
+  EXPECT_LT(tracker.trust()[1], tracker.trust()[0]);
+  EXPECT_GE(tracker.trust()[1], config.min_trust);
+}
+
+TEST(TrustTracker, TrustIsFlooredAtMinTrust) {
+  fusion::FusionConfig config;
+  config.readers = 1;
+  config.trust_decay = 1.0;
+  config.min_trust = 0.05;
+  fusion::TrustTracker tracker(config);
+  fusion::FusedRound round;
+  round.slots_fused = 10;
+  round.phantom_busy = {10};
+  round.missed_busy = {0};
+  for (int i = 0; i < 5; ++i) tracker.observe_round(round);
+  EXPECT_DOUBLE_EQ(tracker.trust()[0], config.min_trust);
+}
+
+// ---------------------------------------------------------------------------
+// Generalized Theorem 1 sizing.
+
+TEST(FusedSizing, VoteThresholdIsStrictMajority) {
+  EXPECT_EQ(math::fused_vote_threshold(1), 1u);
+  EXPECT_EQ(math::fused_vote_threshold(2), 2u);
+  EXPECT_EQ(math::fused_vote_threshold(3), 2u);
+  EXPECT_EQ(math::fused_vote_threshold(5), 3u);
+}
+
+TEST(FusedSizing, SlotFalseEmptyMatchesClosedForm) {
+  // k = 3, a = 0, p = 0.2: eps = P(Binom(3, 0.8) < 2) = 0.008 + 0.096.
+  EXPECT_NEAR(math::fused_slot_false_empty({3, 0, 0.2, 0.025}), 0.104, 1e-12);
+  // k = 3, a = 1, p = 0.2: two honest readers must BOTH hear the slot.
+  EXPECT_NEAR(math::fused_slot_false_empty({3, 1, 0.2, 0.025}),
+              1.0 - 0.8 * 0.8, 1e-12);
+  // The trustworthy-reader point is exact.
+  EXPECT_EQ(math::fused_slot_false_empty({1, 0, 0.0, 0.025}), 0.0);
+  EXPECT_EQ(math::fused_slot_false_empty({5, 2, 0.0, 0.025}), 0.0);
+}
+
+TEST(FusedSizing, MismatchThresholdIsMinimalForTheBudget) {
+  const math::FusedSizingParams params{3, 1, 0.1, 0.025};
+  const std::uint64_t n = 150;
+  const std::uint64_t f = 256;
+  const double eps = math::fused_slot_false_empty(params);
+  const std::uint64_t threshold = math::fused_mismatch_threshold(n, f, params);
+  ASSERT_GT(threshold, 1u);  // noisy enough that T = 1 would always alarm
+
+  const std::uint64_t busy = std::min(n, f);
+  const auto tail_at_least = [&](std::uint64_t t) {
+    double below = 0.0;
+    for (std::uint64_t j = 0; j < t; ++j) {
+      below += math::binomial_pmf(busy, j, eps);
+    }
+    return 1.0 - below;
+  };
+  EXPECT_LE(tail_at_least(threshold), params.alert_budget);
+  EXPECT_GT(tail_at_least(threshold - 1), params.alert_budget);
+}
+
+TEST(FusedSizing, NoiselessThresholdIsOne) {
+  EXPECT_EQ(math::fused_mismatch_threshold(100, 256, {1, 0, 0.0, 0.025}), 1u);
+  EXPECT_EQ(math::fused_mismatch_threshold(100, 256, {3, 1, 0.0, 0.025}), 1u);
+}
+
+TEST(FusedSizing, ReducesToEquationTwoAtTheTrustworthyReaderPoint) {
+  // g_k at (k=1, a=0, p=0) must repeat Eq. 2's arithmetic bit for bit —
+  // not merely approximate it — so the optimizer's frame-size boundaries
+  // cannot drift between the legacy and the fused paths.
+  const math::FusedSizingParams point{1, 0, 0.0, 0.025};
+  for (const std::uint64_t n : {25ULL, 120ULL, 500ULL}) {
+    for (const std::uint64_t x : {1ULL, 3ULL, 9ULL}) {
+      for (const std::uint64_t f : {32ULL, 101ULL, 1024ULL}) {
+        for (const auto model :
+             {math::EmptySlotModel::kPoissonApprox,
+              math::EmptySlotModel::kExact}) {
+          EXPECT_DOUBLE_EQ(
+              math::fused_detection_probability(n, x, f, point, model),
+              math::detection_probability(n, x, f, model))
+              << "n=" << n << " x=" << x << " f=" << f;
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedSizing, OptimizerReducesToEquationTwoOptimizer) {
+  const math::FusedSizingParams point{1, 0, 0.0, 0.025};
+  for (const auto& [n, m] : {std::pair<std::uint64_t, std::uint64_t>{50, 2},
+                             {120, 4},
+                             {400, 10}}) {
+    const math::TrpPlan legacy = math::optimize_trp_frame(n, m, 0.95);
+    const math::TrpPlan fused = math::optimize_fused_trp_frame(
+        n, m, 0.95, point);
+    EXPECT_EQ(fused.frame_size, legacy.frame_size) << "n=" << n;
+    EXPECT_DOUBLE_EQ(fused.predicted_detection, legacy.predicted_detection);
+  }
+}
+
+TEST(FusedSizing, NoiseAndFaultBudgetOnlyEnlargeTheFrame) {
+  // m must clear the mismatch threshold the noise forces (T = 29 busy
+  // slots can read falsely empty at the hostile point below), or no frame
+  // satisfies alpha at all — itself a property worth pinning down first.
+  const std::uint64_t n = 200;
+  const std::uint64_t m = 30;
+  EXPECT_THROW(
+      (void)math::optimize_fused_trp_frame(n, 10, 0.95, {3, 1, 0.05, 0.025}),
+      std::invalid_argument);
+  const auto clean = math::optimize_fused_trp_frame(n, m, 0.95,
+                                                    {1, 0, 0.0, 0.025});
+  const auto noisy = math::optimize_fused_trp_frame(n, m, 0.95,
+                                                    {3, 0, 0.05, 0.025});
+  const auto hostile = math::optimize_fused_trp_frame(n, m, 0.95,
+                                                      {3, 1, 0.05, 0.025});
+  EXPECT_GT(noisy.frame_size, clean.frame_size);
+  EXPECT_GT(hostile.frame_size, noisy.frame_size);
+  EXPECT_GT(noisy.predicted_detection, 0.95);
+  EXPECT_GT(hostile.predicted_detection, 0.95);
+}
+
+TEST(FusedSizing, RejectsFaultyMajorities) {
+  EXPECT_THROW((void)math::fused_slot_false_empty({2, 1, 0.0, 0.025}),
+               std::invalid_argument);
+  EXPECT_THROW((void)math::fused_slot_false_empty({4, 2, 0.0, 0.025}),
+               std::invalid_argument);
+}
+
+// Monte-Carlo ground truth of the full pipeline: n tags balls-in-bins into
+// f slots, x of them missing, k readers observing with per-slot loss p, a
+// adversarial readers forging the full expected bitstring, strict-majority
+// fusion, alarm at >= T mismatches. g_k's analytic value must sit within
+// Monte-Carlo noise of the measured detection rate.
+TEST(FusedSizing, DetectionProbabilityMatchesMonteCarlo) {
+  const std::uint64_t n = 120;
+  const std::uint64_t x = 6;
+  const std::uint64_t f = 256;
+  const math::FusedSizingParams params{3, 1, 0.1, 0.025};
+  const std::uint64_t threshold = math::fused_mismatch_threshold(n, f, params);
+  const std::uint32_t honest = params.readers - params.assumed_faulty;
+  const std::uint32_t votes_needed =
+      math::fused_vote_threshold(params.readers);
+
+  util::Rng rng(0xf05edULL);
+  const int trials = 4000;
+  int detected = 0;
+  std::vector<std::uint32_t> slot_of(n);
+  std::vector<std::uint32_t> present_count(f);
+  std::vector<std::uint32_t> expected_busy(f);
+  for (int trial = 0; trial < trials; ++trial) {
+    std::fill(present_count.begin(), present_count.end(), 0u);
+    std::fill(expected_busy.begin(), expected_busy.end(), 0u);
+    for (std::uint64_t t = 0; t < n; ++t) {
+      slot_of[t] = static_cast<std::uint32_t>(rng() % f);
+      expected_busy[slot_of[t]] = 1;
+      if (t >= x) ++present_count[slot_of[t]];  // tags 0..x-1 are missing
+    }
+    std::uint64_t mismatches = 0;
+    for (std::uint64_t s = 0; s < f; ++s) {
+      if (expected_busy[s] == 0) continue;
+      std::uint32_t votes = params.assumed_faulty;  // forged expected-busy
+      if (present_count[s] > 0) {
+        for (std::uint32_t r = 0; r < honest; ++r) {
+          if (!rng.chance(params.slot_loss)) ++votes;
+        }
+      }
+      if (votes < votes_needed) ++mismatches;
+    }
+    if (mismatches >= threshold) ++detected;
+  }
+  const double measured = static_cast<double>(detected) / trials;
+  const double analytic = math::fused_detection_probability(
+      n, x, f, params, math::EmptySlotModel::kExact);
+  // Binomial noise at 4000 trials is ~0.008 sigma; the analytic value also
+  // treats empty slots as independent (the paper's approximation), so allow
+  // a generous-but-meaningful band. The analytic side may only UNDERSTATE
+  // detection: noise mismatches on present-busy slots add alarms it ignores.
+  EXPECT_NEAR(measured, analytic, 0.04);
+  EXPECT_GE(measured + 0.03, analytic);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the adversarial-reader guarantee the subsystem exists for.
+
+fleet::FleetResult run_heist(std::uint32_t readers,
+                             std::uint32_t dishonest_reader) {
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 99, .threads = 2, .fleet_name = "heist"});
+  util::Rng rng(1234);
+  fleet::InventorySpec spec;
+  spec.name = "vault";
+  spec.tags = tag::TagSet::make_random(80, rng);
+  spec.plan = server::plan_groups(
+      {.total_tags = 80, .total_tolerance = 2, .alpha = 0.95,
+       .max_group_size = 0});
+  spec.rounds = 2;
+  for (std::uint64_t t = 0; t < 10; ++t) spec.stolen.push_back(t);
+  spec.fusion.readers = readers;
+  spec.dishonest_readers.emplace_back(0, dishonest_reader);
+  orchestrator.submit(std::move(spec));
+  return orchestrator.run();
+}
+
+TEST(FusionEndToEnd, SingleAdversarialReaderHidesTheftAtKEqualsOne) {
+  // Baseline: the lone reader forges "everything present" and the theft of
+  // 10 tags vanishes. This is the failure mode fusion exists to close.
+  const fleet::FleetResult result = run_heist(1, 0);
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+}
+
+TEST(FusionEndToEnd, MajorityOfHonestReadersDetectsThroughTheAdversary) {
+  const fleet::FleetResult result = run_heist(3, 1);
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kViolated);
+  const fleet::ZoneReport& zone = result.inventories.at(0).zones.at(0);
+  EXPECT_EQ(zone.status, fleet::ZoneStatus::kViolated);
+  ASSERT_EQ(zone.readers.size(), 3u);
+  // The forger voted busy in slots the honest quorum heard silent —
+  // physically impossible for an honest radio — and is flagged suspect.
+  EXPECT_TRUE(zone.readers[1].suspect);
+  EXPECT_FALSE(zone.readers[0].suspect);
+  EXPECT_FALSE(zone.readers[2].suspect);
+  EXPECT_GT(zone.phantom_votes, 0u);
+  EXPECT_EQ(result.readers_suspected, 1u);
+}
+
+fleet::FleetResult run_quorum_zone(std::uint64_t rounds,
+                                   double crash_reader2_at_us) {
+  fleet::FleetOrchestrator orchestrator({.seed = 7,
+                                         .threads = 1,
+                                         .max_zone_attempts = 1,
+                                         .fleet_name = "benched"});
+  util::Rng rng(42);
+  fleet::InventorySpec spec;
+  spec.name = "inv";
+  spec.tags = tag::TagSet::make_random(60, rng);
+  spec.plan = server::plan_groups(
+      {.total_tags = 60, .total_tolerance = 2, .alpha = 0.95,
+       .max_group_size = 0});
+  spec.rounds = rounds;
+  spec.fusion.readers = 3;
+  spec.fusion.quorum = 3;  // demand every reader per round
+  if (crash_reader2_at_us > 0.0) {
+    spec.zone_faults.emplace_back(
+        0, fault::parse_multi_reader_fault_plan(
+               "reader=2: crash " + std::to_string(crash_reader2_at_us) +
+               " never\n"));
+  }
+  orchestrator.submit(std::move(spec));
+  return orchestrator.run();
+}
+
+TEST(FusionEndToEnd, ReaderLostMidSessionDegradesRoundsBelowQuorum) {
+  // Probe a clean one-round session for its duration, then kill reader 2
+  // midway through round 1 of a two-round session: round 0 commits with
+  // all three readers, round 1 falls below the 3-of-3 quorum.
+  const fleet::FleetResult probe = run_quorum_zone(1, 0.0);
+  const double round_us =
+      probe.inventories.at(0).zones.at(0).duration_us;
+  ASSERT_GT(round_us, 0.0);
+
+  const fleet::FleetResult result = run_quorum_zone(2, round_us * 1.5);
+  const fleet::ZoneReport& zone = result.inventories.at(0).zones.at(0);
+  EXPECT_EQ(zone.status, fleet::ZoneStatus::kDegraded);
+  EXPECT_EQ(zone.rounds_completed, 1u);
+  EXPECT_EQ(zone.degraded_rounds, 1u);
+  ASSERT_EQ(zone.readers.size(), 3u);
+  EXPECT_FALSE(zone.readers.at(2).completed);
+  EXPECT_TRUE(zone.readers.at(0).completed);
+  // Degradation is never silently voided and never promoted to intact.
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kInconclusive);
+  EXPECT_EQ(result.degraded_zones, 1u);
+}
+
+TEST(FusionEndToEnd, FusedCleanZoneStaysIntact) {
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 11, .threads = 4, .fleet_name = "calm"});
+  util::Rng rng(77);
+  fleet::InventorySpec spec;
+  spec.name = "inv";
+  spec.tags = tag::TagSet::make_random(100, rng);
+  spec.plan = server::plan_groups(
+      {.total_tags = 100, .total_tolerance = 4, .alpha = 0.95,
+       .max_group_size = 50});
+  spec.rounds = 2;
+  spec.fusion.readers = 3;
+  orchestrator.submit(std::move(spec));
+  const fleet::FleetResult result = orchestrator.run();
+  EXPECT_EQ(result.verdict, fleet::GlobalVerdict::kIntact);
+  for (const fleet::ZoneReport& zone : result.inventories.at(0).zones) {
+    EXPECT_EQ(zone.status, fleet::ZoneStatus::kIntact);
+    EXPECT_EQ(zone.degraded_rounds, 0u);
+    EXPECT_EQ(zone.phantom_votes, 0u);
+    for (const fleet::ReaderReport& reader : zone.readers) {
+      EXPECT_FALSE(reader.suspect);
+      EXPECT_TRUE(reader.completed);
+    }
+  }
+}
+
+}  // namespace

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
+#include "fleet/fleet.h"
 #include "obs/catalog.h"
 #include "obs/expose.h"
 #include "obs/metrics.h"
@@ -23,6 +25,7 @@
 #include "protocol/multi_round.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
+#include "server/group_planner.h"
 #include "server/inventory_server.h"
 #include "sim/event_queue.h"
 #include "storage/backend.h"
@@ -626,6 +629,95 @@ TEST(ObsStorage, JournalRotationAndRecoveryCounters) {
     EXPECT_EQ(cat::verdicts_total(reg, "trp", "intact").value(), 0u);
     EXPECT_EQ(cat::recovery_records_replayed_total(reg).value(), 0u);
   }
+}
+
+// --------------------------------------------------------------- fusion --
+
+// A fused fleet's fusion_* counters must equal the sums of the per-zone
+// report fields exactly — the metrics are re-recorded post-run from the
+// same reports, so any drift is a bookkeeping bug, not noise.
+TEST(ObsFusion, FusedFleetLandsExactCounterDeltasAndReaderJson) {
+  obs::MetricsRegistry reg;
+  obs::SessionLog log(64);
+  fleet::FleetOrchestrator orchestrator({.seed = 515,
+                                         .threads = 2,
+                                         .fleet_name = "fused-obs",
+                                         .metrics = &reg,
+                                         .session_log = &log});
+  util::Rng rng(616);
+  fleet::InventorySpec spec;
+  spec.name = "inv";
+  spec.tags = tag::TagSet::make_random(80, rng);
+  spec.plan = server::plan_groups({.total_tags = 80,
+                                   .total_tolerance = 2,
+                                   .alpha = 0.95,
+                                   .max_group_size = 40});
+  spec.rounds = 2;
+  spec.fusion.readers = 3;
+  for (std::uint64_t t = 0; t < 8; ++t) spec.stolen.push_back(t);
+  spec.dishonest_readers.emplace_back(0, 1);  // forger inside the theft zone
+  orchestrator.submit(std::move(spec));
+  const fleet::FleetResult result = orchestrator.run();
+
+  std::uint64_t fused_slots = 0;
+  std::uint64_t phantom = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t degraded = 0;
+  for (const fleet::ZoneReport& zone : result.inventories.at(0).zones) {
+    fused_slots += zone.fused_slots;
+    phantom += zone.phantom_votes;
+    missed += zone.missed_votes;
+    degraded += zone.degraded_rounds;
+  }
+  ASSERT_GT(fused_slots, 0u);
+  ASSERT_GT(phantom, 0u);  // the forger's physically impossible votes
+  EXPECT_EQ(cat::fusion_slots_fused_total(reg).value(), fused_slots);
+  EXPECT_EQ(cat::fusion_votes_overruled_total(reg, "phantom_busy").value(),
+            phantom);
+  EXPECT_EQ(cat::fusion_votes_overruled_total(reg, "missed_busy").value(),
+            missed);
+  EXPECT_EQ(cat::fusion_rounds_degraded_total(reg).value(), degraded);
+  EXPECT_EQ(cat::fusion_readers_suspected_total(reg).value(),
+            result.readers_suspected);
+  EXPECT_EQ(result.readers_suspected, 1u);
+
+  // Per-reader session entries: every (zone, reader, attempt) is logged,
+  // and the JSON carries reader/readers fields for fused sessions only.
+  const std::string json = obs::render_json(reg.snapshot(), &log);
+  EXPECT_NE(json.find("\"reader\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"reader\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"readers\":3"), std::string::npos);
+}
+
+// The reader field is a fused-only concept: single-reader sessions must
+// render byte-identically to the pre-fusion format (no reader/readers
+// keys), so dashboards built on the k = 1 schema never see a new field.
+TEST(ObsFusion, SingleReaderSessionsCarryNoReaderJsonField) {
+  obs::MetricsRegistry reg;
+  obs::SessionLog log(64);
+  fleet::FleetOrchestrator orchestrator({.seed = 515,
+                                         .threads = 1,
+                                         .fleet_name = "plain-obs",
+                                         .metrics = &reg,
+                                         .session_log = &log});
+  util::Rng rng(616);
+  fleet::InventorySpec spec;
+  spec.name = "inv";
+  spec.tags = tag::TagSet::make_random(40, rng);
+  spec.plan = server::plan_groups({.total_tags = 40,
+                                   .total_tolerance = 1,
+                                   .alpha = 0.95,
+                                   .max_group_size = 0});
+  spec.rounds = 1;
+  orchestrator.submit(std::move(spec));
+  (void)orchestrator.run();
+
+  const std::string json = obs::render_json(reg.snapshot(), &log);
+  EXPECT_EQ(json.find("\"reader\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"readers\":"), std::string::npos);
+  // And none of the fusion counters were ever registered.
+  const std::string prometheus = obs::render_prometheus(reg.snapshot());
+  EXPECT_EQ(prometheus.find("rfidmon_fusion_"), std::string::npos);
 }
 
 }  // namespace
