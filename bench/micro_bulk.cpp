@@ -1,0 +1,170 @@
+// Scalar-vs-bulk microbenchmarks for the columnar kernels: slots/sec for
+// the TRP slot choice, frame-fill throughput for the expected-bitstring
+// path, the expected-cache fast path, and a fleet-scale end-to-end run with
+// bulk mode on vs. off. items_per_second reads as tag-slots/sec (or zones
+// for the fleet case); the acceptance bar is >= 5x bulk over scalar at
+// n = 10^6 on the frame path. Numbers are recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "fleet/fleet.h"
+#include "hash/slot_hash.h"
+#include "protocol/trp.h"
+#include "server/group_planner.h"
+#include "server/inventory_server.h"
+#include "tag/columnar.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace rfid;
+
+/// Frame sized like a realistic Eq. (2) plan at this n (about n slots).
+std::uint32_t frame_for(std::uint64_t n) {
+  return static_cast<std::uint32_t>(n < 64 ? 64 : n);
+}
+
+void BM_ScalarTrpSlots(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  util::Rng rng(1);
+  const tag::TagSet set = tag::TagSet::make_random(n, rng);
+  const hash::SlotHasher hasher;
+  const std::uint32_t f = frame_for(n);
+  std::vector<std::uint32_t> out(n);
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    ++r;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      out[i] = set.at(i).trp_slot(hasher, r, f);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_BulkTrpSlots(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  util::Rng rng(1);
+  const tag::TagSet set = tag::TagSet::make_random(n, rng);
+  const tag::ColumnarTagSet columnar = tag::ColumnarTagSet::from_tag_set(set);
+  const hash::SlotHasher hasher;
+  const std::uint32_t f = frame_for(n);
+  std::vector<std::uint32_t> out(n);
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    ++r;
+    tag::bulk_trp_slots(hasher, columnar.slot_words(), r, f, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ScalarExpectedBitstring(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  util::Rng rng(2);
+  const tag::TagSet set = tag::TagSet::make_random(n, rng);
+  protocol::TrpServer server(set.ids(),
+                             {.tolerated_missing = n / 100 + 1,
+                              .confidence = 0.95});
+  server.set_bulk_mode(false);
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        server.expected_bitstring({server.frame_size(), ++r}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_BulkExpectedBitstring(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  util::Rng rng(2);
+  const tag::TagSet set = tag::TagSet::make_random(n, rng);
+  protocol::TrpServer server(set.ids(),
+                             {.tolerated_missing = n / 100 + 1,
+                              .confidence = 0.95});
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        server.expected_bitstring({server.frame_size(), ++r}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// The repeated-challenge path the InventoryServer cache serves: after the
+/// first submission, every verify is O(f/64) word compares — no hashing.
+void BM_CachedRepeatVerify(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  util::Rng rng(3);
+  const tag::TagSet set = tag::TagSet::make_random(n, rng);
+  server::InventoryServer inv;
+  server::GroupConfig cfg;
+  cfg.name = "bench";
+  cfg.policy = {.tolerated_missing = n / 100 + 1, .confidence = 0.95};
+  const auto id = inv.enroll(set, cfg);
+  const auto challenge = inv.challenge_trp(id, rng);
+  const protocol::TrpServer oracle(set.ids(), cfg.policy);
+  const bits::Bitstring honest = oracle.expected_bitstring(challenge);
+  (void)inv.submit_trp(id, challenge, honest);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inv.submit_trp(id, challenge, honest));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// One fleet inventory at 10^6 tags per zone, bulk vs. scalar: the end-to-
+/// end cost of a full multi-zone monitoring run at the ROADMAP scale.
+void BM_FleetMillionTagZones(benchmark::State& state) {
+  const bool bulk = state.range(0) != 0;
+  constexpr std::uint64_t kTags = 2000000;  // 2 zones x 10^6
+  constexpr std::uint64_t kZoneCapacity = 1000000;
+  util::Rng rng(4);
+  const tag::TagSet population = tag::TagSet::make_random(kTags, rng);
+  const server::GroupPlan plan =
+      server::plan_groups({.total_tags = kTags,
+                           .total_tolerance = kTags / 100,
+                           .alpha = 0.95,
+                           .max_group_size = kZoneCapacity});
+  std::uint64_t zones = 0;
+  for (auto _ : state) {
+    fleet::FleetConfig config;
+    config.seed = 99;
+    config.threads = 2;
+    fleet::FleetOrchestrator orchestrator(std::move(config));
+    fleet::InventorySpec spec;
+    spec.name = "warehouse";
+    spec.tags = population;
+    spec.plan = plan;
+    spec.rounds = 1;
+    spec.bulk_mode = bulk;
+    (void)orchestrator.submit(std::move(spec));
+    const fleet::FleetResult result = orchestrator.run();
+    benchmark::DoNotOptimize(result.verdict);
+    zones += result.zones;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(zones));
+  state.SetLabel(bulk ? "bulk" : "scalar");
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScalarTrpSlots)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Arg(10000000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BulkTrpSlots)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Arg(10000000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScalarExpectedBitstring)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BulkExpectedBitstring)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CachedRepeatVerify)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FleetMillionTagZones)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,18 @@ class Bitstring {
 
   /// "0101..." rendering, index 0 first — handy in tests and examples.
   [[nodiscard]] std::string to_binary_string() const;
+
+  /// Raw 64-bit storage words, bit i living at word i/64, bit i%64. The
+  /// mutable overload is the seam the bulk kernels scatter through
+  /// (tag/columnar.h): callers must never set a bit at or beyond size() —
+  /// the tail-masking invariant behind count()/equality is not re-checked.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+
+  /// Bits per storage word (the granularity of words()).
+  static constexpr std::size_t kBitsPerWord = 64;
 
  private:
   static constexpr std::size_t kWordBits = 64;

@@ -107,6 +107,7 @@ std::string_view to_string(AlertKind kind) noexcept {
 
 struct FleetOrchestrator::ZoneState {
   tag::TagSet enrolled;            // zone slice, counters as enrolled
+  tag::ColumnarTagSet columnar;    // same slice, slot words precomputed once
   std::vector<bool> absent;        // zone-local: true = stolen
   std::vector<tag::Tag> present;   // live tag state across attempts
   math::UtrpPlan utrp_plan;        // solved once at submit (UTRP only)
@@ -203,8 +204,13 @@ Admission FleetOrchestrator::submit(InventorySpec spec) {
   const InventorySpec& s = inventory->spec;
   inventory->name_hash = name_hash_of(s.name);
 
-  // Zone slices (validates that the population matches the plan).
+  // Zone slices (validates that the population matches the plan). The
+  // columnar twin carries the slot words: every zone server (and every
+  // retry) reuses them instead of re-hashing the population per attempt.
   std::vector<tag::TagSet> slices = server::split_by_plan(s.tags, s.plan);
+  std::vector<tag::ColumnarTagSet> columnar_slices =
+      server::split_columnar_by_plan(tag::ColumnarTagSet::from_tag_set(s.tags),
+                                     s.plan);
 
   std::vector<bool> absent(s.tags.size(), false);
   for (const std::uint64_t idx : s.stolen) {
@@ -225,6 +231,7 @@ Admission FleetOrchestrator::submit(InventorySpec spec) {
   for (std::size_t z = 0; z < slices.size(); ++z) {
     ZoneState& state = inventory->zones[z];
     state.enrolled = std::move(slices[z]);
+    state.columnar = std::move(columnar_slices[z]);
     const std::size_t n = state.enrolled.size();
     state.absent.assign(n, false);
     state.present.reserve(n);
@@ -429,7 +436,8 @@ void FleetOrchestrator::run_zone_attempt_body(std::size_t inv,
                                           s.alpha, s.model};
   wire::SessionOutcome outcome;
   if (s.protocol == Protocol::kTrp) {
-    const protocol::TrpServer server(state.enrolled.ids(), policy);
+    protocol::TrpServer server(state.columnar, policy);
+    server.set_bulk_mode(s.bulk_mode);
     if (state.reader_dishonest[0]) {
       // The split-attack reader: forge the expected bitstring of the FULL
       // enrolled set — "nothing missing" — instead of scanning.
@@ -447,6 +455,7 @@ void FleetOrchestrator::run_zone_attempt_body(std::size_t inv,
     const tag::TagSet audited = audit_set(state);
     protocol::UtrpServer server(audited, policy, s.comm_budget,
                                 state.utrp_plan);
+    server.set_bulk_mode(s.bulk_mode);
     outcome = wire::run_utrp_session(queue, server,
                                      std::span<tag::Tag>(state.present),
                                      s.rounds, session, rng);
@@ -589,7 +598,8 @@ void FleetOrchestrator::run_reader_attempt_body(std::size_t inv,
 
   const protocol::MonitoringPolicy policy{s.plan.zones[zone].tolerance,
                                           s.alpha, s.model};
-  const protocol::TrpServer server(state.enrolled.ids(), policy);
+  protocol::TrpServer server(state.columnar, policy);
+  server.set_bulk_mode(s.bulk_mode);
   if (state.reader_dishonest[reader]) {
     session.trp_forge = [&server](const protocol::TrpChallenge& c) {
       return server.expected_bitstring(c);
@@ -629,7 +639,8 @@ void FleetOrchestrator::finalize_fused_zone(std::size_t inv,
 
   const protocol::MonitoringPolicy policy{s.plan.zones[zone].tolerance,
                                           s.alpha, s.model};
-  const protocol::TrpServer server(state.enrolled.ids(), policy);
+  protocol::TrpServer server(state.columnar, policy);
+  server.set_bulk_mode(s.bulk_mode);
   fusion::TrustTracker tracker(s.fusion);
 
   ZoneReport& report = state.report;

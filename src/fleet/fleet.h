@@ -166,6 +166,9 @@ struct InventorySpec {
   std::uint64_t comm_budget = 100;
   std::uint32_t slack_slots = 8;
   std::uint64_t rounds = 1;  // monitoring rounds per zone session
+  /// Execution knob (never affects results): zone servers compute expected
+  /// bitstrings with the columnar bulk kernels. Off = scalar per-tag loops.
+  bool bulk_mode = true;
   /// Session template. Observability hooks and the fault plan are
   /// overridden per zone; everything else (links, retry policy, timing,
   /// UTRP deadline) applies to every zone of this inventory.

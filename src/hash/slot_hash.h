@@ -34,6 +34,10 @@ class SlotHasher {
       : kind_(kind), key_(key) {}
 
   [[nodiscard]] constexpr HashKind kind() const noexcept { return kind_; }
+  /// The SipHash key (meaningful only when kind() == kSipHash24). Exposed so
+  /// bulk kernels (tag/columnar.h) can hoist the per-kind dispatch out of
+  /// their hot loops and call the underlying hash directly.
+  [[nodiscard]] constexpr SipKey sip_key() const noexcept { return key_; }
 
   /// Raw 64-bit hash of the mixed word `id ^ r ^ ct`.
   [[nodiscard]] std::uint64_t mix(std::uint64_t id_word, std::uint64_t r,

@@ -78,6 +78,15 @@ inline Counter& multi_round_campaigns_total(MetricsRegistry& r,
       .with({outcome});
 }
 
+inline Counter& bulk_slots_total(MetricsRegistry& r, std::string_view kernel) {
+  return r.counter_family(
+           "rfidmon_bulk_slots_total",
+           "Tag slot computations executed by a columnar bulk kernel, by "
+           "kernel (trp_frame | utrp_seed).",
+           {"kernel"})
+      .with({kernel});
+}
+
 // --------------------------------------------------------------- wire ----
 
 inline Counter& frames_sent_total(MetricsRegistry& r,
@@ -188,6 +197,22 @@ inline Counter& groups_enrolled_total(MetricsRegistry& r,
                           "Groups enrolled on the inventory server.",
                           {"protocol"})
       .with({protocol});
+}
+
+inline Counter& expected_cache_total(MetricsRegistry& r,
+                                     std::string_view result) {
+  return r.counter_family(
+           "rfidmon_expected_cache_total",
+           "Expected-bitstring cache lookups on TRP submissions, by result "
+           "(hit | miss).",
+           {"result"})
+      .with({result});
+}
+
+inline Counter& expected_cache_invalidations_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_expected_cache_invalidations_total",
+                   "Expected-bitstring cache entries dropped because their "
+                   "group was re-enrolled, resynced, or decommissioned.");
 }
 
 // -------------------------------------------------------------- fleet ----

@@ -7,11 +7,15 @@ namespace rfid::protocol {
 
 TrpServer::TrpServer(std::vector<tag::TagId> ids, MonitoringPolicy policy,
                      hash::SlotHasher hasher)
-    : ids_(std::move(ids)), policy_(policy), hasher_(hasher) {
-  RFID_EXPECT(!ids_.empty(), "cannot monitor an empty group");
-  RFID_EXPECT(policy_.tolerated_missing + 1 <= ids_.size(),
+    : TrpServer(tag::ColumnarTagSet::from_ids(ids), policy, hasher) {}
+
+TrpServer::TrpServer(tag::ColumnarTagSet enrolled, MonitoringPolicy policy,
+                     hash::SlotHasher hasher)
+    : tags_(std::move(enrolled)), policy_(policy), hasher_(hasher) {
+  RFID_EXPECT(!tags_.empty(), "cannot monitor an empty group");
+  RFID_EXPECT(policy_.tolerated_missing + 1 <= tags_.size(),
               "tolerance m must satisfy m + 1 <= n");
-  plan_ = math::optimize_trp_frame(ids_.size(), policy_.tolerated_missing,
+  plan_ = math::optimize_trp_frame(tags_.size(), policy_.tolerated_missing,
                                    policy_.confidence, policy_.model);
 }
 
@@ -27,6 +31,7 @@ void TrpServer::set_metrics(obs::MetricsRegistry* registry) {
       &cat::rounds_total(*registry, "trp", "mismatch");
   instruments_.slots = &cat::slots_total(*registry, "trp");
   instruments_.mismatched_slots = &cat::mismatched_slots_total(*registry, "trp");
+  instruments_.bulk_slots = &cat::bulk_slots_total(*registry, "trp_frame");
   instruments_.frame_size = &cat::frame_size(*registry, "trp");
 }
 
@@ -40,8 +45,15 @@ TrpChallenge TrpServer::issue_challenge(util::Rng& rng) const {
 
 bits::Bitstring TrpServer::expected_bitstring(const TrpChallenge& challenge) const {
   RFID_EXPECT(challenge.frame_size >= 1, "challenge has no slots");
+  if (bulk_) {
+    if (instruments_.bulk_slots != nullptr) {
+      instruments_.bulk_slots->inc(tags_.size());
+    }
+    return tag::bulk_trp_frame(hasher_, tags_.slot_words(), challenge.r,
+                               challenge.frame_size);
+  }
   bits::Bitstring bs(challenge.frame_size);
-  for (const tag::TagId& id : ids_) {
+  for (const tag::TagId& id : tags_.ids()) {
     bs.set(hasher_.slot(id.slot_word(), challenge.r, challenge.frame_size));
   }
   return bs;
@@ -49,7 +61,20 @@ bits::Bitstring TrpServer::expected_bitstring(const TrpChallenge& challenge) con
 
 Verdict TrpServer::verify(const TrpChallenge& challenge,
                           const bits::Bitstring& reported) const {
-  const bits::Bitstring expected = expected_bitstring(challenge);
+  return verify_against(challenge, expected_bitstring(challenge), reported);
+}
+
+Verdict TrpServer::verify_with_expected(const TrpChallenge& challenge,
+                                        const bits::Bitstring& expected,
+                                        const bits::Bitstring& reported) const {
+  RFID_EXPECT(expected.size() == challenge.frame_size,
+              "cached expectation does not match the challenge frame");
+  return verify_against(challenge, expected, reported);
+}
+
+Verdict TrpServer::verify_against(const TrpChallenge& challenge,
+                                  const bits::Bitstring& expected,
+                                  const bits::Bitstring& reported) const {
   RFID_EXPECT(reported.size() == expected.size(),
               "reported bitstring has wrong length");
   Verdict verdict;

@@ -25,6 +25,7 @@
 #include "protocol/messages.h"
 #include "radio/channel.h"
 #include "radio/frame.h"
+#include "tag/columnar.h"
 #include "tag/tag_id.h"
 #include "tag/tag_set.h"
 #include "util/random.h"
@@ -45,10 +46,18 @@ class TrpServer {
   TrpServer(std::vector<tag::TagId> ids, MonitoringPolicy policy,
             hash::SlotHasher hasher = hash::SlotHasher{});
 
-  [[nodiscard]] std::uint64_t group_size() const noexcept { return ids_.size(); }
+  /// Enrolls from an already-columnarized population (slot words reused, not
+  /// re-derived) — the handoff the fleet uses when it slices one warehouse
+  /// population into many zone servers.
+  TrpServer(tag::ColumnarTagSet enrolled, MonitoringPolicy policy,
+            hash::SlotHasher hasher = hash::SlotHasher{});
+
+  [[nodiscard]] std::uint64_t group_size() const noexcept { return tags_.size(); }
   /// The enrolled IDs, in enrollment order (persistence reads these back
   /// when snapshotting a running server).
-  [[nodiscard]] std::span<const tag::TagId> ids() const noexcept { return ids_; }
+  [[nodiscard]] std::span<const tag::TagId> ids() const noexcept {
+    return tags_.ids();
+  }
   [[nodiscard]] const MonitoringPolicy& policy() const noexcept { return policy_; }
   /// The Eq. (2) frame size used by every challenge from this server.
   [[nodiscard]] std::uint32_t frame_size() const noexcept { return plan_.frame_size; }
@@ -68,6 +77,21 @@ class TrpServer {
   [[nodiscard]] Verdict verify(const TrpChallenge& challenge,
                                const bits::Bitstring& reported) const;
 
+  /// verify() with the expectation supplied by the caller — the seam the
+  /// InventoryServer's (group, r, f) expected-bitstring cache goes through.
+  /// `expected` must be exactly expected_bitstring(challenge); instruments
+  /// record the round identically to verify().
+  [[nodiscard]] Verdict verify_with_expected(const TrpChallenge& challenge,
+                                             const bits::Bitstring& expected,
+                                             const bits::Bitstring& reported) const;
+
+  /// Bulk execution mode (default on): expected bitstrings are computed by
+  /// the fused columnar kernel (tag::bulk_trp_frame) instead of the per-tag
+  /// scalar loop. Both paths are bit-identical — the flag exists so the
+  /// differential battery (tests/columnar_diff_test.cpp) can prove it.
+  void set_bulk_mode(bool on) noexcept { bulk_ = on; }
+  [[nodiscard]] bool bulk_mode() const noexcept { return bulk_; }
+
   /// Attaches an observability registry: issue_challenge/verify start
   /// recording challenge counts, round outcomes, slot totals, and frame
   /// sizes under protocol="trp". Family lookups happen once, here; the hot
@@ -83,13 +107,19 @@ class TrpServer {
     obs::Counter* rounds_mismatch = nullptr;
     obs::Counter* slots = nullptr;
     obs::Counter* mismatched_slots = nullptr;
+    obs::Counter* bulk_slots = nullptr;  // hashes done by the bulk kernel
     obs::Histogram* frame_size = nullptr;
   };
 
-  std::vector<tag::TagId> ids_;
+  [[nodiscard]] Verdict verify_against(const TrpChallenge& challenge,
+                                       const bits::Bitstring& expected,
+                                       const bits::Bitstring& reported) const;
+
+  tag::ColumnarTagSet tags_;  // ids + precomputed slot words
   MonitoringPolicy policy_;
   hash::SlotHasher hasher_;
   math::TrpPlan plan_;
+  bool bulk_ = true;
   Instruments instruments_;
 };
 

@@ -33,6 +33,8 @@ UtrpScanResult walk(std::span<tag::Tag> tags, const hash::SlotHasher& hasher,
   }
   result.seeds_consumed = 1;
 
+  result.slots_hashed = tags.size();
+
   std::uint32_t subframe_start = 0;  // global slot where the current sub-frame begins
 
   while (!active.empty()) {
@@ -76,11 +78,90 @@ UtrpScanResult walk(std::span<tag::Tag> tags, const hash::SlotHasher& hasher,
     for (const std::size_t i : active) {
       pick[i] = tags[i].utrp_receive_seed(hasher, seed, sub_frame);
     }
+    result.slots_hashed += active.size();
   }
   return result;
 }
 
 }  // namespace
+
+UtrpScanResult utrp_scan_columnar(tag::ColumnarTagSet& tags,
+                                  const hash::SlotHasher& hasher,
+                                  const UtrpChallenge& challenge) {
+  const std::uint32_t f = challenge.frame_size;
+  RFID_EXPECT(f >= 1, "challenge has no slots");
+  RFID_EXPECT(challenge.seeds.size() >= 1, "challenge has no seeds");
+
+  UtrpScanResult result;
+  result.bitstring = bits::Bitstring(f);
+
+  const std::size_t n = tags.size();
+  std::vector<std::uint32_t> pick(n, 0);
+
+  // Initial broadcast: clear silenced flags, then one bulk pass increments
+  // every counter and picks a slot in the full frame.
+  tags.begin_round();
+  tag::bulk_utrp_receive_seed(hasher, tags, challenge.seeds[0], f, pick);
+  result.seeds_consumed = 1;
+  result.slots_hashed = n;
+  std::size_t active_count = n;
+
+  const std::span<const std::uint64_t> silenced = tags.silenced_words();
+  std::uint32_t subframe_start = 0;
+
+  while (active_count > 0) {
+    // Next reply event: the minimum pick among unsilenced tags. The bitmap
+    // word-skips fully-silenced blocks of 64.
+    std::uint32_t min_pick = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t base = 0; base < n; base += 64) {
+      std::uint64_t live = ~silenced[base / 64];
+      const std::size_t limit = (n - base < 64) ? n - base : 64;
+      if (limit < 64) live &= (std::uint64_t{1} << limit) - 1;
+      while (live != 0) {
+        const std::size_t i =
+            base + static_cast<std::size_t>(std::countr_zero(live));
+        live &= live - 1;
+        min_pick = std::min(min_pick, pick[i]);
+      }
+    }
+
+    const std::uint32_t global = subframe_start + min_pick;
+    RFID_ENSURE(global < f, "tag picked a slot beyond the frame");
+
+    // Every tag that chose this slot transmits and keeps silent afterwards.
+    std::uint32_t occupancy = 0;
+    for (std::size_t base = 0; base < n; base += 64) {
+      std::uint64_t live = ~silenced[base / 64];
+      const std::size_t limit = (n - base < 64) ? n - base : 64;
+      if (limit < 64) live &= (std::uint64_t{1} << limit) - 1;
+      while (live != 0) {
+        const std::size_t i =
+            base + static_cast<std::size_t>(std::countr_zero(live));
+        live &= live - 1;
+        if (pick[i] == min_pick) {
+          tags.silence(i);
+          ++occupancy;
+        }
+      }
+    }
+    result.replies += occupancy;
+    active_count -= occupancy;
+
+    // Ideal channel: any occupancy is observed (kSingle / kCollision).
+    result.bitstring.set(global);
+
+    if (global + 1 >= f) break;  // reply in the last slot: frame over
+    ++result.reseeds;
+    RFID_ENSURE(result.seeds_consumed < challenge.seeds.size(),
+                "server issued too few seeds for this frame");
+    const std::uint64_t seed = challenge.seeds[result.seeds_consumed++];
+    const std::uint32_t sub_frame = f - (global + 1);
+    subframe_start = global + 1;
+    tag::bulk_utrp_receive_seed(hasher, tags, seed, sub_frame, pick);
+    result.slots_hashed += active_count;
+  }
+  return result;
+}
 
 UtrpScanResult utrp_scan(std::span<tag::Tag> tags, const hash::SlotHasher& hasher,
                          const UtrpChallenge& challenge) {
@@ -139,6 +220,7 @@ void UtrpServer::set_metrics(obs::MetricsRegistry* registry) {
   instruments_.mismatched_slots =
       &cat::mismatched_slots_total(*registry, "utrp");
   instruments_.mirror_reseeds = &cat::reseeds_total(*registry, "mirror");
+  instruments_.bulk_slots = &cat::bulk_slots_total(*registry, "utrp_seed");
   instruments_.frame_size = &cat::frame_size(*registry, "utrp");
 }
 
@@ -157,6 +239,14 @@ UtrpChallenge UtrpServer::issue_challenge(util::Rng& rng) const {
 }
 
 bits::Bitstring UtrpServer::expected_bitstring(const UtrpChallenge& challenge) const {
+  if (bulk_) {
+    tag::ColumnarTagSet columnar = tag::ColumnarTagSet::from_tags(mirror_);
+    UtrpScanResult scan = utrp_scan_columnar(columnar, hasher_, challenge);
+    if (instruments_.bulk_slots != nullptr) {
+      instruments_.bulk_slots->inc(scan.slots_hashed);
+    }
+    return std::move(scan.bitstring);
+  }
   std::vector<tag::Tag> copy = mirror_;
   return utrp_scan(copy, hasher_, challenge).bitstring;
 }
@@ -194,6 +284,26 @@ void UtrpServer::commit_round(const UtrpChallenge& challenge,
     // The real walk may have diverged from the expected one at the first
     // mismatch; counters beyond that point are unknowable remotely.
     needs_resync_ = true;
+    return;
+  }
+  if (bulk_) {
+    tag::ColumnarTagSet columnar = tag::ColumnarTagSet::from_tags(mirror_);
+    const UtrpScanResult replay = utrp_scan_columnar(columnar, hasher_, challenge);
+    // Write the advanced counters (and transient silenced flags) back so the
+    // row-oriented mirror stays byte-equal to what the scalar in-place walk
+    // would have produced — mirror(), snapshots, and dump_state never see a
+    // difference between the two modes.
+    for (std::size_t i = 0; i < mirror_.size(); ++i) {
+      tag::Tag t(columnar.id(i), columnar.counter(i));
+      if (columnar.silenced(i)) t.silence();
+      mirror_[i] = t;
+    }
+    if (instruments_.mirror_reseeds != nullptr) {
+      instruments_.mirror_reseeds->inc(replay.reseeds);
+    }
+    if (instruments_.bulk_slots != nullptr) {
+      instruments_.bulk_slots->inc(replay.slots_hashed);
+    }
     return;
   }
   const UtrpScanResult replay = utrp_scan(mirror_, hasher_, challenge);

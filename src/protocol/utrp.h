@@ -37,6 +37,7 @@
 #include "protocol/messages.h"
 #include "protocol/trp.h"
 #include "radio/channel.h"
+#include "tag/columnar.h"
 #include "tag/tag_set.h"
 #include "util/random.h"
 
@@ -48,6 +49,7 @@ struct UtrpScanResult {
   std::uint64_t reseeds = 0;          // re-seed broadcasts sent (Alg. 6 line 7)
   std::uint64_t seeds_consumed = 0;   // initial broadcast + re-seeds
   std::uint64_t replies = 0;          // tags that transmitted (and went silent)
+  std::uint64_t slots_hashed = 0;     // (counter++, hash) receptions executed
 };
 
 /// Executes Algs. 6 + 7 jointly over `tags`, mutating their counters and
@@ -63,6 +65,16 @@ struct UtrpScanResult {
                                        const UtrpChallenge& challenge,
                                        const radio::ChannelModel& channel,
                                        util::Rng& rng);
+
+/// The columnar twin of the ideal-channel utrp_scan: identical algorithm,
+/// identical results (bitstring, reseeds, seeds, replies, and the tags'
+/// counters/silenced flags), but the per-reseed reception runs as one bulk
+/// kernel pass (tag::bulk_utrp_receive_seed) over contiguous columns instead
+/// of per-tag calls. Only the ideal channel is offered — this is the
+/// server-side mirror walk; physical reader scans keep the scalar path.
+[[nodiscard]] UtrpScanResult utrp_scan_columnar(tag::ColumnarTagSet& tags,
+                                                const hash::SlotHasher& hasher,
+                                                const UtrpChallenge& challenge);
 
 class UtrpServer {
  public:
@@ -120,6 +132,13 @@ class UtrpServer {
   /// Re-enrolls from a trusted physical audit of the tags (counters copied).
   void resync(const tag::TagSet& audited);
 
+  /// Bulk execution mode (default on): expected_bitstring and commit_round
+  /// run the columnar mirror walk (utrp_scan_columnar) instead of the
+  /// per-tag scalar walk. Bit-identical either way — proven by the
+  /// differential battery in tests/columnar_diff_test.cpp.
+  void set_bulk_mode(bool on) noexcept { bulk_ = on; }
+  [[nodiscard]] bool bulk_mode() const noexcept { return bulk_; }
+
   /// The mirrored database (IDs + counters as the server believes them).
   /// Read-only: exposed so recovery flows can audit counter drift.
   [[nodiscard]] std::span<const tag::Tag> mirror() const noexcept {
@@ -143,6 +162,7 @@ class UtrpServer {
     obs::Counter* slots = nullptr;
     obs::Counter* mismatched_slots = nullptr;
     obs::Counter* mirror_reseeds = nullptr;
+    obs::Counter* bulk_slots = nullptr;  // receptions run by the bulk walk
     obs::Histogram* frame_size = nullptr;
   };
 
@@ -152,6 +172,7 @@ class UtrpServer {
   hash::SlotHasher hasher_;
   math::UtrpPlan plan_;
   bool needs_resync_ = false;
+  bool bulk_ = true;
   Instruments instruments_;
 };
 

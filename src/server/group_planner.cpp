@@ -78,4 +78,20 @@ std::vector<tag::TagSet> split_by_plan(const tag::TagSet& tags,
   return out;
 }
 
+std::vector<tag::ColumnarTagSet> split_columnar_by_plan(
+    const tag::ColumnarTagSet& tags, const GroupPlan& plan) {
+  std::uint64_t total = 0;
+  for (const ZonePlan& zone : plan.zones) total += zone.tags;
+  RFID_EXPECT(tags.size() == total,
+              "population size does not match the plan's zone totals");
+  std::vector<tag::ColumnarTagSet> out;
+  out.reserve(plan.zones.size());
+  std::size_t offset = 0;
+  for (const ZonePlan& zone : plan.zones) {
+    out.push_back(tags.slice(offset, static_cast<std::size_t>(zone.tags)));
+    offset += static_cast<std::size_t>(zone.tags);
+  }
+  return out;
+}
+
 }  // namespace rfid::server

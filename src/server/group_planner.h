@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "math/detection.h"
+#include "tag/columnar.h"
 #include "tag/tag_set.h"
 
 namespace rfid::server {
@@ -64,5 +65,12 @@ struct GroupPlan {
 /// the fleet orchestrator scans each returned set with its zone's reader.
 [[nodiscard]] std::vector<tag::TagSet> split_by_plan(const tag::TagSet& tags,
                                                      const GroupPlan& plan);
+
+/// The columnar twin of split_by_plan: contiguous column slices, one per
+/// zone, with the precomputed slot words carried over instead of re-derived.
+/// This is the handoff the fleet uses to seed per-zone TrpServers without a
+/// per-tag AoS round trip.
+[[nodiscard]] std::vector<tag::ColumnarTagSet> split_columnar_by_plan(
+    const tag::ColumnarTagSet& tags, const GroupPlan& plan);
 
 }  // namespace rfid::server

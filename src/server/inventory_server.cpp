@@ -41,8 +41,10 @@ GroupId InventoryServer::enroll(const tag::TagSet& tags, GroupConfig config) {
                                 config.slack_slots, hasher_);
     groups_.push_back(Group{std::move(config), std::move(engine), 0});
   }
+  Group& g = groups_.back();
+  std::visit([&](auto& engine) { engine.set_bulk_mode(g.config.bulk_mode); },
+             g.engine);
   if (metrics_ != nullptr) {
-    Group& g = groups_.back();
     std::visit([&](auto& engine) { engine.set_metrics(metrics_); }, g.engine);
     obs::catalog::groups_enrolled_total(*metrics_,
                                         protocol_label(g.config.protocol))
@@ -64,6 +66,9 @@ void InventoryServer::re_enroll(GroupId id, const tag::TagSet& tags,
   g.config = std::move(config);
   g.rounds = 0;
   g.active = true;
+  invalidate_expected(id);
+  std::visit([&](auto& engine) { engine.set_bulk_mode(g.config.bulk_mode); },
+             g.engine);
   if (metrics_ != nullptr) {
     std::visit([&](auto& engine) { engine.set_metrics(metrics_); }, g.engine);
     obs::catalog::groups_enrolled_total(*metrics_,
@@ -76,6 +81,7 @@ void InventoryServer::decommission(GroupId id) {
   Group& g = group(id);
   RFID_EXPECT(g.active, "group is already decommissioned");
   g.active = false;
+  invalidate_expected(id);
 }
 
 bool InventoryServer::active(GroupId id) const { return group(id).active; }
@@ -137,7 +143,20 @@ protocol::Verdict InventoryServer::submit_trp(
   RFID_EXPECT(g.active, "group is decommissioned");
   const auto* trp = std::get_if<protocol::TrpServer>(&g.engine);
   RFID_EXPECT(trp != nullptr, "group is not a TRP group");
-  const protocol::Verdict verdict = trp->verify(challenge, reported);
+  protocol::Verdict verdict;
+  if (const bits::Bitstring* cached = find_expected(id, challenge)) {
+    if (metrics_ != nullptr) {
+      obs::catalog::expected_cache_total(*metrics_, "hit").inc();
+    }
+    verdict = trp->verify_with_expected(challenge, *cached, reported);
+  } else {
+    if (metrics_ != nullptr) {
+      obs::catalog::expected_cache_total(*metrics_, "miss").inc();
+    }
+    bits::Bitstring expected = trp->expected_bitstring(challenge);
+    verdict = trp->verify_with_expected(challenge, expected, reported);
+    store_expected(id, challenge, std::move(expected));
+  }
   ++g.rounds;
   if (metrics_ != nullptr) {
     obs::catalog::verdicts_total(*metrics_, "trp",
@@ -189,6 +208,7 @@ void InventoryServer::resync(GroupId id, const tag::TagSet& audited) {
   auto* utrp = std::get_if<protocol::UtrpServer>(&g.engine);
   RFID_EXPECT(utrp != nullptr, "only UTRP groups carry a mirror to resync");
   utrp->resync(audited);
+  invalidate_expected(id);
 
   Alert alert;
   alert.sequence = next_alert_sequence_++;
@@ -253,6 +273,42 @@ void InventoryServer::restore_history(std::vector<Alert> alerts,
   }
   if (!alerts.empty()) next_alert_sequence_ = alerts.back().sequence + 1;
   alerts_ = std::move(alerts);
+}
+
+const bits::Bitstring* InventoryServer::find_expected(
+    GroupId id, const protocol::TrpChallenge& challenge) const {
+  for (const CachedExpectation& entry : expected_cache_) {
+    if (entry.group == id.index && entry.r == challenge.r &&
+        entry.frame_size == challenge.frame_size) {
+      return &entry.expected;
+    }
+  }
+  return nullptr;
+}
+
+void InventoryServer::store_expected(GroupId id,
+                                     const protocol::TrpChallenge& challenge,
+                                     bits::Bitstring expected) {
+  CachedExpectation entry{id.index, challenge.r, challenge.frame_size,
+                          std::move(expected)};
+  if (expected_cache_.size() < kExpectedCacheCapacity) {
+    expected_cache_.push_back(std::move(entry));
+    return;
+  }
+  expected_cache_[expected_cache_next_] = std::move(entry);
+  expected_cache_next_ = (expected_cache_next_ + 1) % kExpectedCacheCapacity;
+}
+
+void InventoryServer::invalidate_expected(GroupId id) {
+  const std::size_t before = expected_cache_.size();
+  std::erase_if(expected_cache_, [&](const CachedExpectation& entry) {
+    return entry.group == id.index;
+  });
+  const std::size_t dropped = before - expected_cache_.size();
+  expected_cache_next_ = 0;  // cache shrank; resume FIFO from the front
+  if (dropped > 0 && metrics_ != nullptr) {
+    obs::catalog::expected_cache_invalidations_total(*metrics_).inc(dropped);
+  }
 }
 
 void InventoryServer::record_alert(GroupId id, const protocol::Verdict& verdict,

@@ -36,6 +36,10 @@ struct GroupConfig {
   ProtocolKind protocol = ProtocolKind::kTrp;
   std::uint64_t comm_budget = 20;  // UTRP: adversary communication budget c
   std::uint32_t slack_slots = 8;   // UTRP: extra slots over the Eq. (3) optimum
+  /// Execution knob, not protocol state (never persisted): run the group's
+  /// engine through the columnar bulk kernels. Off = scalar per-tag loops,
+  /// bit-identical output (tests/columnar_diff_test.cpp).
+  bool bulk_mode = true;
 };
 
 /// Opaque handle to an enrolled group.
@@ -155,6 +159,12 @@ class InventoryServer {
   /// Pass nullptr to detach. The registry must outlive this server.
   void attach_metrics(obs::MetricsRegistry* registry);
 
+  /// Live entries in the expected-bitstring cache (introspection for the
+  /// invalidation tests; not part of the monitoring API).
+  [[nodiscard]] std::size_t expected_cache_entries() const noexcept {
+    return expected_cache_.size();
+  }
+
  private:
   struct Group {
     GroupConfig config;
@@ -163,15 +173,36 @@ class InventoryServer {
     bool active = true;
   };
 
+  /// One memoized TRP expectation. Deterministic slot choice (Sec. 4.1)
+  /// makes the expected bitstring a pure function of (group membership, r,
+  /// f), so repeated challenges — retries after wire failures, periodic
+  /// re-verification under a pinned challenge — reduce to O(f/64) word
+  /// compares. Bounded FIFO; membership changes invalidate by group.
+  struct CachedExpectation {
+    std::size_t group = 0;
+    std::uint64_t r = 0;
+    std::uint32_t frame_size = 0;
+    bits::Bitstring expected;
+  };
+  static constexpr std::size_t kExpectedCacheCapacity = 64;
+
   [[nodiscard]] const Group& group(GroupId id) const;
   [[nodiscard]] Group& group(GroupId id);
   void record_alert(GroupId id, const protocol::Verdict& verdict,
                     const bits::Bitstring& reported);
+  [[nodiscard]] const bits::Bitstring* find_expected(
+      GroupId id, const protocol::TrpChallenge& challenge) const;
+  void store_expected(GroupId id, const protocol::TrpChallenge& challenge,
+                      bits::Bitstring expected);
+  /// Drops every cached expectation for `id` (membership or engine changed).
+  void invalidate_expected(GroupId id);
 
   hash::SlotHasher hasher_;
   std::vector<Group> groups_;
   std::vector<Alert> alerts_;
   std::uint64_t next_alert_sequence_ = 0;
+  std::vector<CachedExpectation> expected_cache_;
+  std::size_t expected_cache_next_ = 0;  // overwrite cursor once full
   obs::MetricsRegistry* metrics_ = nullptr;
 };
 

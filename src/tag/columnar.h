@@ -1,0 +1,144 @@
+// ColumnarTagSet: the struct-of-arrays twin of tag::TagSet, plus the bulk
+// kernels that make million-tag populations practical.
+//
+// The object model (tag::Tag) is the right shape for the paper's per-tag
+// state machine, but its hot loops — computing h(id ⊕ r) mod f over a whole
+// population, advancing UTRP counters on a re-seed, scattering slot picks
+// into a frame bitstring — pay a 32-byte stride, a per-call hash-kind
+// switch, and a non-inlined Bitstring::set per tag. At the ROADMAP's
+// million-tag target that overhead dominates the actual hashing.
+//
+// ColumnarTagSet stores the same state as contiguous columns:
+//   * ids        — the full 96-bit TagIds (identity; round-trip fidelity),
+//   * slot_words — TagId::slot_word() precomputed once (the only per-tag
+//                  input the slot hash consumes),
+//   * counters   — the UTRP monotone query counters,
+//   * silenced   — a packed 64-tags-per-word bitmap ("replied this round").
+//
+// The bulk kernels below hoist the hash-kind dispatch out of the loop
+// (one switch per call, not per tag), stream the 8-byte slot_word column,
+// and accumulate frame bitstrings with branchless 64-bit word ORs. They are
+// exact drop-ins: every kernel computes bit-identical results to the scalar
+// Tag::trp_slot / Tag::utrp_receive_seed / Bitstring::set paths — pinned by
+// tests/columnar_test.cpp (element-wise equivalence) and
+// tests/columnar_diff_test.cpp (whole-session equivalence).
+//
+// Conversion is lossless both ways: TagSet -> ColumnarTagSet -> TagSet
+// preserves ids, counters, and silenced flags for any population.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "hash/slot_hash.h"
+#include "tag/tag.h"
+#include "tag/tag_id.h"
+#include "tag/tag_set.h"
+
+namespace rfid::tag {
+
+class ColumnarTagSet {
+ public:
+  ColumnarTagSet() = default;
+
+  /// Columnarizes `tags` (state copied: ids, counters, silenced flags).
+  [[nodiscard]] static ColumnarTagSet from_tags(std::span<const Tag> tags);
+  [[nodiscard]] static ColumnarTagSet from_tag_set(const TagSet& set) {
+    return from_tags(set.tags());
+  }
+  /// Fresh tags at counter 0, not silenced (a TRP enrollment: counters are
+  /// not protocol state there).
+  [[nodiscard]] static ColumnarTagSet from_ids(std::span<const TagId> ids);
+
+  /// Materializes the row-oriented twin (ids, counters, silenced preserved).
+  [[nodiscard]] TagSet to_tag_set() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+
+  [[nodiscard]] std::span<const TagId> ids() const noexcept { return ids_; }
+  [[nodiscard]] std::span<const std::uint64_t> slot_words() const noexcept {
+    return slot_words_;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] std::span<std::uint64_t> counters() noexcept {
+    return counters_;
+  }
+  /// The packed silenced bitmap, tag i at word i/64, bit i%64. Words beyond
+  /// the last tag are kept zero (an invariant bulk kernels rely on).
+  [[nodiscard]] std::span<const std::uint64_t> silenced_words() const noexcept {
+    return silenced_;
+  }
+
+  [[nodiscard]] TagId id(std::size_t i) const { return ids_[i]; }
+  [[nodiscard]] std::uint64_t counter(std::size_t i) const {
+    return counters_[i];
+  }
+  [[nodiscard]] bool silenced(std::size_t i) const {
+    return (silenced_[i / 64] >> (i % 64)) & 1U;
+  }
+
+  void silence(std::size_t i) { silenced_[i / 64] |= std::uint64_t{1} << (i % 64); }
+
+  /// New inventory round: clears every silenced flag, counters persist —
+  /// the columnar mirror of TagSet::begin_round().
+  void begin_round() noexcept {
+    for (auto& w : silenced_) w = 0;
+  }
+
+  /// Number of tags currently silenced (popcount over the bitmap).
+  [[nodiscard]] std::size_t silenced_count() const noexcept;
+
+  /// Contiguous sub-population [first, first + count) — how the group
+  /// planner hands per-zone columnar slices to the fleet (split_by_plan's
+  /// slicing, without re-deriving slot words per zone).
+  [[nodiscard]] ColumnarTagSet slice(std::size_t first, std::size_t count) const;
+
+ private:
+  std::vector<TagId> ids_;
+  std::vector<std::uint64_t> slot_words_;  // ids_[i].slot_word(), cached
+  std::vector<std::uint64_t> counters_;
+  std::vector<std::uint64_t> silenced_;    // packed, 64 tags per word
+};
+
+// ------------------------------------------------------------ kernels ----
+//
+// All kernels are deterministic, allocation-free on their hot path, and
+// bit-identical to the scalar reference (same hash, same multiply-shift
+// range reduction). frame_size must be >= 1.
+
+/// TRP slot choice for a whole population:  out[i] = h(slot_words[i] ⊕ r)
+/// mod frame_size — the bulk twin of Tag::trp_slot. `out.size()` must equal
+/// `slot_words.size()`.
+void bulk_trp_slots(const hash::SlotHasher& hasher,
+                    std::span<const std::uint64_t> slot_words, std::uint64_t r,
+                    std::uint32_t frame_size, std::span<std::uint32_t> out);
+
+/// UTRP (f, r) reception for every tag NOT currently silenced: increments
+/// its counter, then picks  h(slot_word ⊕ r ⊕ ct) mod frame_size — counter
+/// increment and slot pick fused into one pass (the bulk twin of
+/// Tag::utrp_receive_seed). Silenced tags are untouched and their `out`
+/// entries are left unmodified. `out.size()` must equal `tags.size()`.
+void bulk_utrp_receive_seed(const hash::SlotHasher& hasher, ColumnarTagSet& tags,
+                            std::uint64_t r, std::uint32_t frame_size,
+                            std::span<std::uint32_t> out);
+
+/// Scatters slot picks into `frame` (1 = slot occupied) using direct 64-bit
+/// word ORs — no per-bit bounds-checked call. Every slot must be
+/// < frame.size(); `frame` is OR-accumulated, not cleared.
+void bulk_fill_frame(std::span<const std::uint32_t> slots,
+                     bits::Bitstring& frame);
+
+/// Fused hash + scatter: the bitstring an intact population produces for a
+/// TRP challenge (f, r), without materializing the slot array. This is the
+/// server-side expected-bitstring hot path at bulk scale.
+[[nodiscard]] bits::Bitstring bulk_trp_frame(
+    const hash::SlotHasher& hasher, std::span<const std::uint64_t> slot_words,
+    std::uint64_t r, std::uint32_t frame_size);
+
+}  // namespace rfid::tag

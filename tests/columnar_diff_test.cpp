@@ -1,0 +1,396 @@
+// The scalar-vs-bulk differential battery: every observable artifact of a
+// monitoring run — expected bitstrings, verdicts, wire SessionOutcomes,
+// dump_state() fingerprints, Prometheus exposition — must be bit-identical
+// with bulk execution on and off, across a grid of population sizes
+// (straddling the 64-tag bitmap word, up to 10^5), protocols (TRP, UTRP,
+// multi-round), seeds, and fault scripts.
+//
+// One deliberate exception: the rfidmon_bulk_slots_total family counts work
+// done BY the bulk kernels, so it necessarily differs between modes; the
+// exposition comparison strips rfidmon_bulk_ lines and keeps everything
+// else (including the expected-cache counters, which are mode-independent).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "obs/expose.h"
+#include "obs/metrics.h"
+#include "protocol/multi_round.h"
+#include "protocol/trp.h"
+#include "protocol/utrp.h"
+#include "server/inventory_server.h"
+#include "sim/event_queue.h"
+#include "storage/server_state.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+#include "wire/session.h"
+
+namespace {
+
+using namespace rfid;
+
+const std::size_t kGrid[] = {1, 2, 63, 64, 65, 1000, 100000};
+
+/// Tolerance scaled so Eq. (2) frames stay sane across the whole grid.
+std::uint64_t tolerance_for(std::size_t n) { return n < 10 ? 0 : n / 10; }
+
+std::string strip_bulk_families(const std::string& exposition) {
+  std::istringstream in(exposition);
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.find("rfidmon_bulk_") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void expect_verdicts_equal(const protocol::Verdict& a,
+                           const protocol::Verdict& b) {
+  EXPECT_EQ(a.intact, b.intact);
+  EXPECT_EQ(a.mismatched_slots, b.mismatched_slots);
+  if (!a.intact && !b.intact) {
+    EXPECT_EQ(a.first_mismatch_slot, b.first_mismatch_slot);
+  }
+  EXPECT_EQ(a.deadline_met, b.deadline_met);
+}
+
+void expect_outcomes_equal(const wire::SessionOutcome& a,
+                           const wire::SessionOutcome& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.rounds_completed, b.rounds_completed);
+  ASSERT_EQ(a.round_failures.size(), b.round_failures.size());
+  for (std::size_t i = 0; i < a.round_failures.size(); ++i) {
+    EXPECT_EQ(a.round_failures[i].round, b.round_failures[i].round);
+    EXPECT_EQ(a.round_failures[i].reason, b.round_failures[i].reason);
+  }
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    expect_verdicts_equal(a.verdicts[i], b.verdicts[i]);
+  }
+  ASSERT_EQ(a.reported.size(), b.reported.size());
+  for (std::size_t i = 0; i < a.reported.size(); ++i) {
+    EXPECT_EQ(a.reported[i], b.reported[i]);
+  }
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_dropped, b.frames_dropped);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.finished_at_us, b.finished_at_us);
+  EXPECT_EQ(a.corrupt_frames_dropped, b.corrupt_frames_dropped);
+  EXPECT_EQ(a.burst_frames_dropped, b.burst_frames_dropped);
+  EXPECT_EQ(a.frames_duplicated, b.frames_duplicated);
+  EXPECT_EQ(a.reader_crashes, b.reader_crashes);
+}
+
+// ----------------------------------------------------- protocol engines ----
+
+TEST(ColumnarDiff, TrpServerBitIdenticalAcrossGrid) {
+  for (const std::size_t n : kGrid) {
+    util::Rng rng(util::derive_seed(100, n));
+    const tag::TagSet set = tag::TagSet::make_random(n, rng);
+    const protocol::MonitoringPolicy policy{tolerance_for(n), 0.9};
+    protocol::TrpServer bulk(set.ids(), policy);
+    protocol::TrpServer scalar(set.ids(), policy);
+    scalar.set_bulk_mode(false);
+    ASSERT_TRUE(bulk.bulk_mode());
+    ASSERT_FALSE(scalar.bulk_mode());
+
+    for (int round = 0; round < 3; ++round) {
+      const protocol::TrpChallenge c = bulk.issue_challenge(rng);
+      const bits::Bitstring eb = bulk.expected_bitstring(c);
+      const bits::Bitstring es = scalar.expected_bitstring(c);
+      ASSERT_EQ(eb, es) << "n=" << n << " round=" << round;
+
+      // Honest report, then a perturbed one: verdicts must agree bit for
+      // bit, including the first-mismatch slot.
+      expect_verdicts_equal(bulk.verify(c, eb), scalar.verify(c, eb));
+      bits::Bitstring perturbed = eb;
+      perturbed.set(c.frame_size / 2, !perturbed.test(c.frame_size / 2));
+      expect_verdicts_equal(bulk.verify(c, perturbed),
+                            scalar.verify(c, perturbed));
+    }
+  }
+}
+
+TEST(ColumnarDiff, UtrpServerBitIdenticalWithCommits) {
+  // UTRP's walk is O(n^2) in total hash work by design (every re-seed
+  // re-hashes the remaining active tags), so the grid caps at 10^3 here.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{63},
+                              std::size_t{64}, std::size_t{65},
+                              std::size_t{1000}}) {
+    util::Rng rng(util::derive_seed(200, n));
+    const tag::TagSet set = tag::TagSet::make_random(n, rng);
+    const protocol::MonitoringPolicy policy{tolerance_for(n), 0.9};
+    protocol::UtrpServer bulk(set, policy, 20);
+    protocol::UtrpServer scalar(set, policy, 20);
+    scalar.set_bulk_mode(false);
+
+    tag::TagSet present_bulk = set;
+    tag::TagSet present_scalar = set;
+    const protocol::UtrpReader reader;
+    for (int round = 0; round < 3; ++round) {
+      const protocol::UtrpChallenge c = bulk.issue_challenge(rng);
+      ASSERT_EQ(bulk.expected_bitstring(c), scalar.expected_bitstring(c))
+          << "n=" << n << " round=" << round;
+
+      const auto scan_b = reader.scan(present_bulk.tags(), c);
+      const auto scan_s = reader.scan(present_scalar.tags(), c);
+      ASSERT_EQ(scan_b.bitstring, scan_s.bitstring);
+
+      const protocol::Verdict vb = bulk.verify(c, scan_b.bitstring);
+      const protocol::Verdict vs = scalar.verify(c, scan_s.bitstring);
+      expect_verdicts_equal(vb, vs);
+      // Commit advances the mirror counters: after this the NEXT round's
+      // expectation depends on the walk having replayed identically.
+      bulk.commit_round(c, vb);
+      scalar.commit_round(c, vs);
+      ASSERT_EQ(bulk.needs_resync(), scalar.needs_resync());
+      const auto mb = bulk.mirror();
+      const auto ms = scalar.mirror();
+      ASSERT_EQ(mb.size(), ms.size());
+      for (std::size_t i = 0; i < mb.size(); ++i) {
+        ASSERT_EQ(mb[i].id(), ms[i].id()) << "n=" << n << " i=" << i;
+        ASSERT_EQ(mb[i].counter(), ms[i].counter());
+        ASSERT_EQ(mb[i].silenced(), ms[i].silenced());
+      }
+      present_bulk.begin_round();
+      present_scalar.begin_round();
+    }
+  }
+}
+
+TEST(ColumnarDiff, MultiRoundCampaignsBitIdentical) {
+  for (const std::size_t n : {std::size_t{100}, std::size_t{1000}}) {
+    util::Rng rng_a(util::derive_seed(300, n));
+    util::Rng rng_b(util::derive_seed(300, n));
+    tag::TagSet set = tag::TagSet::make_random(n, rng_a);
+    (void)tag::TagSet::make_random(n, rng_b);  // keep the streams aligned
+    const protocol::MonitoringPolicy policy{0, 0.99};
+    protocol::MultiRoundTrpServer bulk(set.ids(), policy, 4);
+    protocol::MultiRoundTrpServer scalar(set.ids(), policy, 4);
+    scalar.set_bulk_mode(false);
+    ASSERT_FALSE(scalar.bulk_mode());
+
+    const tag::TagSet stolen = set.steal_random(1, rng_a);
+    (void)rng_b();  // steal_random consumed rng_a; realign
+    const auto challenges_a = bulk.issue_challenges(rng_a);
+
+    const protocol::TrpReader reader;
+    std::vector<bits::Bitstring> reported;
+    for (const auto& c : challenges_a) {
+      reported.push_back(reader.scan(set.tags(), c, rng_a));
+    }
+    expect_verdicts_equal(bulk.verify(challenges_a, reported),
+                          scalar.verify(challenges_a, reported));
+  }
+}
+
+// ------------------------------------ wire sessions under fault scripts ----
+
+fault::FaultPlan noisy_plan(std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.burst.p_enter_bad = 0.05;
+  plan.burst.p_exit_bad = 0.5;
+  plan.corrupt_prob = 0.02;
+  plan.duplicate_prob = 0.05;
+  plan.reorder_prob = 0.03;
+  return plan;
+}
+
+TEST(ColumnarDiff, TrpWireSessionsMatchUnderFaults) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63},
+                              std::size_t{65}, std::size_t{1000}}) {
+    for (const bool faulty : {false, true}) {
+      const fault::FaultPlan plan = noisy_plan(util::derive_seed(7, n));
+      util::Rng rng_theft(util::derive_seed(400, n));
+      tag::TagSet set = tag::TagSet::make_random(n, rng_theft);
+      if (n > 10) (void)set.steal_random(2, rng_theft);
+
+      wire::SessionOutcome outcomes[2];
+      for (const bool bulk_on : {true, false}) {
+        protocol::TrpServer server(set.ids(),
+                                   {tolerance_for(n), 0.9});
+        server.set_bulk_mode(bulk_on);
+        wire::SessionConfig session;
+        session.uplink.drop_prob = 0.1;
+        session.downlink.drop_prob = 0.1;
+        if (faulty) session.faults = &plan;
+        sim::EventQueue queue;
+        util::Rng rng(util::derive_seed(500, n));
+        outcomes[bulk_on ? 0 : 1] = wire::run_trp_session(
+            queue, server, set.tags(), 3, session, rng);
+      }
+      expect_outcomes_equal(outcomes[0], outcomes[1]);
+    }
+  }
+}
+
+TEST(ColumnarDiff, UtrpWireSessionsMatchUnderFaults) {
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{64}, std::size_t{1000}}) {
+    for (const bool faulty : {false, true}) {
+      const fault::FaultPlan plan = noisy_plan(util::derive_seed(8, n));
+      util::Rng rng_make(util::derive_seed(600, n));
+      const tag::TagSet set = tag::TagSet::make_random(n, rng_make);
+
+      wire::SessionOutcome outcomes[2];
+      for (const bool bulk_on : {true, false}) {
+        protocol::UtrpServer server(set, {tolerance_for(n), 0.9}, 20);
+        server.set_bulk_mode(bulk_on);
+        tag::TagSet present = set;  // sessions mutate counters
+        wire::SessionConfig session;
+        session.uplink.drop_prob = 0.05;
+        session.downlink.drop_prob = 0.05;
+        if (faulty) session.faults = &plan;
+        sim::EventQueue queue;
+        util::Rng rng(util::derive_seed(700, n));
+        outcomes[bulk_on ? 0 : 1] = wire::run_utrp_session(
+            queue, server, present.tags(), 2, session, rng);
+      }
+      expect_outcomes_equal(outcomes[0], outcomes[1]);
+    }
+  }
+}
+
+TEST(ColumnarDiff, TrpSessionAtHundredThousandTags) {
+  const std::size_t n = 100000;
+  util::Rng rng_make(9100);
+  tag::TagSet set = tag::TagSet::make_random(n, rng_make);
+  (void)set.steal_random(n / 10 + 5, rng_make);  // beyond tolerance
+
+  wire::SessionOutcome outcomes[2];
+  for (const bool bulk_on : {true, false}) {
+    protocol::TrpServer server(set.ids(), {tolerance_for(n), 0.9});
+    server.set_bulk_mode(bulk_on);
+    sim::EventQueue queue;
+    util::Rng rng(9200);
+    outcomes[bulk_on ? 0 : 1] =
+        wire::run_trp_session(queue, server, set.tags(), 2, {}, rng);
+  }
+  expect_outcomes_equal(outcomes[0], outcomes[1]);
+  EXPECT_TRUE(outcomes[0].completed);
+}
+
+// ------------- the full InventoryServer, fingerprinted after every step ----
+
+TEST(ColumnarDiff, InventoryServerStateAndExpositionBitIdentical) {
+  // Two servers — bulk on and off — driven by the identical operation
+  // script with identical RNG streams. After EVERY operation the
+  // dump_state() fingerprint and the Prometheus exposition (minus the
+  // rfidmon_bulk_ families, which count kernel-internal work) must match.
+  obs::MetricsRegistry reg_bulk, reg_scalar;
+  server::InventoryServer bulk, scalar;
+  bulk.attach_metrics(&reg_bulk);
+  scalar.attach_metrics(&reg_scalar);
+
+  util::Rng rng_bulk(4242), rng_scalar(4242);
+  const auto check = [&](const char* where) {
+    ASSERT_EQ(storage::dump_state(bulk), storage::dump_state(scalar)) << where;
+    ASSERT_EQ(strip_bulk_families(obs::render_prometheus(reg_bulk.snapshot())),
+              strip_bulk_families(obs::render_prometheus(reg_scalar.snapshot())))
+        << where;
+  };
+
+  // Enroll one group per protocol, mirrored configs except the bulk knob.
+  tag::TagSet trp_tags_b = tag::TagSet::make_random(65, rng_bulk);
+  tag::TagSet trp_tags_s = tag::TagSet::make_random(65, rng_scalar);
+  server::GroupConfig trp_cfg;
+  trp_cfg.name = "aisle";
+  trp_cfg.policy = {2, 0.9};
+  server::GroupConfig scalar_trp_cfg = trp_cfg;
+  scalar_trp_cfg.bulk_mode = false;
+  const server::GroupId gt = bulk.enroll(trp_tags_b, trp_cfg);
+  const server::GroupId gt2 = scalar.enroll(trp_tags_s, scalar_trp_cfg);
+  ASSERT_EQ(gt, gt2);
+
+  tag::TagSet utrp_tags_b = tag::TagSet::make_random(200, rng_bulk);
+  tag::TagSet utrp_tags_s = tag::TagSet::make_random(200, rng_scalar);
+  server::GroupConfig utrp_cfg;
+  utrp_cfg.name = "cage";
+  utrp_cfg.policy = {3, 0.9};
+  utrp_cfg.protocol = server::ProtocolKind::kUtrp;
+  server::GroupConfig scalar_utrp_cfg = utrp_cfg;
+  scalar_utrp_cfg.bulk_mode = false;
+  const server::GroupId gu = bulk.enroll(utrp_tags_b, utrp_cfg);
+  (void)scalar.enroll(utrp_tags_s, scalar_utrp_cfg);
+  check("after enroll");
+
+  const protocol::TrpReader trp_reader;
+  const protocol::UtrpReader utrp_reader;
+
+  // Honest TRP rounds — including a repeated challenge, which both servers
+  // must serve from their expected-bitstring cache identically.
+  for (int round = 0; round < 3; ++round) {
+    const auto cb = bulk.challenge_trp(gt, rng_bulk);
+    const auto cs = scalar.challenge_trp(gt, rng_scalar);
+    ASSERT_EQ(cb.r, cs.r);
+    expect_verdicts_equal(
+        bulk.submit_trp(gt, cb, trp_reader.scan(trp_tags_b.tags(), cb, rng_bulk)),
+        scalar.submit_trp(gt, cs,
+                          trp_reader.scan(trp_tags_s.tags(), cs, rng_scalar)));
+    if (round == 1) {  // replay: second submission of the same challenge
+      expect_verdicts_equal(
+          bulk.submit_trp(gt, cb,
+                          trp_reader.scan(trp_tags_b.tags(), cb, rng_bulk)),
+          scalar.submit_trp(gt, cs,
+                            trp_reader.scan(trp_tags_s.tags(), cs, rng_scalar)));
+    }
+    check("after TRP round");
+  }
+
+  // Theft beyond tolerance, then a round that should alarm identically.
+  (void)trp_tags_b.steal_random(5, rng_bulk);
+  (void)trp_tags_s.steal_random(5, rng_scalar);
+  {
+    const auto cb = bulk.challenge_trp(gt, rng_bulk);
+    const auto cs = scalar.challenge_trp(gt, rng_scalar);
+    expect_verdicts_equal(
+        bulk.submit_trp(gt, cb, trp_reader.scan(trp_tags_b.tags(), cb, rng_bulk)),
+        scalar.submit_trp(gt, cs,
+                          trp_reader.scan(trp_tags_s.tags(), cs, rng_scalar)));
+    check("after theft round");
+  }
+
+  // UTRP rounds with commits.
+  for (int round = 0; round < 2; ++round) {
+    const auto cb = bulk.challenge_utrp(gu, rng_bulk);
+    const auto cs = scalar.challenge_utrp(gu, rng_scalar);
+    const auto scan_b = utrp_reader.scan(utrp_tags_b.tags(), cb);
+    const auto scan_s = utrp_reader.scan(utrp_tags_s.tags(), cs);
+    expect_verdicts_equal(bulk.submit_utrp(gu, cb, scan_b.bitstring, true),
+                          scalar.submit_utrp(gu, cs, scan_s.bitstring, true));
+    utrp_tags_b.begin_round();
+    utrp_tags_s.begin_round();
+    check("after UTRP round");
+  }
+
+  // Re-enrollment (must invalidate the TRP cache in both) and a fresh round.
+  bulk.re_enroll(gt, trp_tags_b, trp_cfg);
+  scalar.re_enroll(gt, trp_tags_s, scalar_trp_cfg);
+  EXPECT_EQ(bulk.expected_cache_entries(), scalar.expected_cache_entries());
+  check("after re_enroll");
+  {
+    const auto cb = bulk.challenge_trp(gt, rng_bulk);
+    const auto cs = scalar.challenge_trp(gt, rng_scalar);
+    expect_verdicts_equal(
+        bulk.submit_trp(gt, cb, trp_reader.scan(trp_tags_b.tags(), cb, rng_bulk)),
+        scalar.submit_trp(gt, cs,
+                          trp_reader.scan(trp_tags_s.tags(), cs, rng_scalar)));
+    check("after post-re_enroll round");
+  }
+
+  // UTRP resync and decommission, mirrored.
+  bulk.resync(gu, utrp_tags_b);
+  scalar.resync(gu, utrp_tags_s);
+  check("after resync");
+  bulk.decommission(gt);
+  scalar.decommission(gt);
+  check("after decommission");
+}
+
+}  // namespace

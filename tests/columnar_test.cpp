@@ -1,0 +1,193 @@
+// Property sweep for tag::ColumnarTagSet and the bulk kernels: lossless
+// round-trip against tag::TagSet, and element-wise agreement between every
+// bulk kernel and its scalar reference (Tag::trp_slot /
+// Tag::utrp_receive_seed / Bitstring::set) across hash kinds, frame sizes
+// (including frame_size = 1), population sizes straddling the 64-tag bitmap
+// word boundary, and duplicate-slot collisions. Whole-session equivalence
+// lives in tests/columnar_diff_test.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitstring/bitstring.h"
+#include "hash/slot_hash.h"
+#include "tag/columnar.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace rfid;
+using tag::ColumnarTagSet;
+
+const hash::HashKind kAllKinds[] = {hash::HashKind::kFnv1a64,
+                                    hash::HashKind::kMurmurFmix64,
+                                    hash::HashKind::kSipHash24};
+
+// Sizes straddling the packed-bitmap word boundary plus a bulk-scale one.
+const std::size_t kSizes[] = {1, 2, 63, 64, 65, 100, 1000};
+
+/// A population with non-trivial state: random counters, every third tag
+/// silenced — exercises every column the round-trip must preserve.
+tag::TagSet messy_population(std::size_t n, util::Rng& rng) {
+  tag::TagSet set = tag::TagSet::make_random(n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    set.at(i) = tag::Tag(set.at(i).id(), rng.below(1000));
+    if (i % 3 == 0) set.at(i).silence();
+  }
+  return set;
+}
+
+TEST(ColumnarTagSet, RoundTripPreservesAllState) {
+  util::Rng rng(7);
+  for (const std::size_t n : kSizes) {
+    const tag::TagSet original = messy_population(n, rng);
+    const ColumnarTagSet columnar = ColumnarTagSet::from_tag_set(original);
+    ASSERT_EQ(columnar.size(), n);
+    const tag::TagSet back = columnar.to_tag_set();
+    ASSERT_EQ(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(back.at(i).id(), original.at(i).id()) << "n=" << n << " i=" << i;
+      EXPECT_EQ(back.at(i).counter(), original.at(i).counter());
+      EXPECT_EQ(back.at(i).silenced(), original.at(i).silenced());
+      EXPECT_EQ(columnar.slot_words()[i], original.at(i).id().slot_word());
+    }
+  }
+}
+
+TEST(ColumnarTagSet, FromIdsStartsFresh) {
+  util::Rng rng(8);
+  const tag::TagSet set = tag::TagSet::make_random(65, rng);
+  const std::vector<tag::TagId> ids = set.ids();
+  const ColumnarTagSet columnar = ColumnarTagSet::from_ids(ids);
+  ASSERT_EQ(columnar.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(columnar.id(i), ids[i]);
+    EXPECT_EQ(columnar.counter(i), 0u);
+    EXPECT_FALSE(columnar.silenced(i));
+  }
+}
+
+TEST(ColumnarTagSet, SilenceBeginRoundAndCount) {
+  util::Rng rng(9);
+  const tag::TagSet set = tag::TagSet::make_random(130, rng);
+  ColumnarTagSet columnar = ColumnarTagSet::from_tag_set(set);
+  EXPECT_EQ(columnar.silenced_count(), 0u);
+  columnar.silence(0);
+  columnar.silence(63);
+  columnar.silence(64);
+  columnar.silence(129);
+  EXPECT_EQ(columnar.silenced_count(), 4u);
+  EXPECT_TRUE(columnar.silenced(63));
+  EXPECT_TRUE(columnar.silenced(64));
+  EXPECT_FALSE(columnar.silenced(1));
+  columnar.begin_round();
+  EXPECT_EQ(columnar.silenced_count(), 0u);
+}
+
+TEST(ColumnarTagSet, SliceMatchesSubrange) {
+  util::Rng rng(10);
+  const tag::TagSet set = messy_population(200, rng);
+  const ColumnarTagSet whole = ColumnarTagSet::from_tag_set(set);
+  // Slice offsets deliberately misaligned with the 64-bit bitmap words.
+  const ColumnarTagSet part = whole.slice(70, 90);
+  ASSERT_EQ(part.size(), 90u);
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    EXPECT_EQ(part.id(i), whole.id(70 + i));
+    EXPECT_EQ(part.counter(i), whole.counter(70 + i));
+    EXPECT_EQ(part.silenced(i), whole.silenced(70 + i));
+    EXPECT_EQ(part.slot_words()[i], whole.slot_words()[70 + i]);
+  }
+}
+
+TEST(BulkKernels, TrpSlotsMatchScalarEverywhere) {
+  util::Rng rng(11);
+  const std::uint32_t frames[] = {1, 2, 7, 64, 101, 4096};
+  for (const hash::HashKind kind : kAllKinds) {
+    const hash::SlotHasher hasher(kind);
+    for (const std::size_t n : kSizes) {
+      const tag::TagSet set = tag::TagSet::make_random(n, rng);
+      const ColumnarTagSet columnar = ColumnarTagSet::from_tag_set(set);
+      for (const std::uint32_t f : frames) {
+        const std::uint64_t r = rng();
+        std::vector<std::uint32_t> slots(n);
+        tag::bulk_trp_slots(hasher, columnar.slot_words(), r, f, slots);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(slots[i], set.at(i).trp_slot(hasher, r, f))
+              << to_string(kind) << " n=" << n << " f=" << f << " i=" << i;
+          ASSERT_LT(slots[i], f);
+        }
+      }
+    }
+  }
+}
+
+TEST(BulkKernels, UtrpReceiveSeedMatchesScalarAndSkipsSilenced) {
+  util::Rng rng(12);
+  for (const hash::HashKind kind : kAllKinds) {
+    const hash::SlotHasher hasher(kind);
+    for (const std::size_t n : kSizes) {
+      tag::TagSet scalar = messy_population(n, rng);
+      ColumnarTagSet columnar = ColumnarTagSet::from_tag_set(scalar);
+      for (const std::uint32_t f : {1u, 33u, 512u}) {
+        const std::uint64_t r = rng();
+        // Scalar reference: only non-silenced tags receive the seed.
+        std::vector<std::uint32_t> want(n, 0xdeadbeef);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!scalar.at(i).silenced()) {
+            want[i] = scalar.at(i).utrp_receive_seed(hasher, r, f);
+          }
+        }
+        std::vector<std::uint32_t> got(n, 0xdeadbeef);
+        tag::bulk_utrp_receive_seed(hasher, columnar, r, f, got);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(got[i], want[i])
+              << to_string(kind) << " n=" << n << " f=" << f << " i=" << i;
+          ASSERT_EQ(columnar.counter(i), scalar.at(i).counter());
+          ASSERT_EQ(columnar.silenced(i), scalar.at(i).silenced());
+        }
+      }
+    }
+  }
+}
+
+TEST(BulkKernels, FillFrameMatchesPerBitSetWithCollisions) {
+  util::Rng rng(13);
+  for (const std::uint32_t f : {1u, 2u, 64u, 65u, 1000u}) {
+    // Heavily loaded frame: n >> f forces duplicate-slot collisions, n < f
+    // leaves holes; both must OR identically to the scalar loop.
+    for (const std::size_t n : {std::size_t{3}, std::size_t{2000}}) {
+      std::vector<std::uint32_t> slots(n);
+      for (auto& s : slots) s = static_cast<std::uint32_t>(rng.below(f));
+      bits::Bitstring scalar(f);
+      for (const std::uint32_t s : slots) scalar.set(s);
+      bits::Bitstring bulk(f);
+      tag::bulk_fill_frame(slots, bulk);
+      ASSERT_EQ(bulk, scalar) << "f=" << f << " n=" << n;
+    }
+  }
+}
+
+TEST(BulkKernels, TrpFrameEqualsSlotsPlusFill) {
+  util::Rng rng(14);
+  for (const hash::HashKind kind : kAllKinds) {
+    const hash::SlotHasher hasher(kind);
+    for (const std::size_t n : kSizes) {
+      const tag::TagSet set = tag::TagSet::make_random(n, rng);
+      const ColumnarTagSet columnar = ColumnarTagSet::from_tag_set(set);
+      for (const std::uint32_t f : {1u, 97u, 8192u}) {
+        const std::uint64_t r = rng();
+        const bits::Bitstring fused =
+            tag::bulk_trp_frame(hasher, columnar.slot_words(), r, f);
+        bits::Bitstring reference(f);
+        for (std::size_t i = 0; i < n; ++i) {
+          reference.set(set.at(i).trp_slot(hasher, r, f));
+        }
+        ASSERT_EQ(fused, reference) << to_string(kind) << " n=" << n
+                                    << " f=" << f;
+      }
+    }
+  }
+}
+
+}  // namespace

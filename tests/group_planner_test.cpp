@@ -224,4 +224,38 @@ TEST(SplitByPlan, RejectsMismatchedPopulation) {
   EXPECT_THROW((void)split_by_plan(tags, plan), std::invalid_argument);
 }
 
+TEST(SplitColumnarByPlan, SlicesAgreeWithRowSplit) {
+  rfid::util::Rng rng(13);
+  const auto tags = rfid::tag::TagSet::make_random(1003, rng);
+  const GroupPlan plan = plan_groups({.total_tags = 1003,
+                                      .total_tolerance = 17,
+                                      .alpha = 0.95,
+                                      .max_group_size = 250});
+  const auto row_sets = split_by_plan(tags, plan);
+  const auto col_sets = rfid::server::split_columnar_by_plan(
+      rfid::tag::ColumnarTagSet::from_tag_set(tags), plan);
+  ASSERT_EQ(col_sets.size(), row_sets.size());
+  for (std::size_t z = 0; z < col_sets.size(); ++z) {
+    ASSERT_EQ(col_sets[z].size(), row_sets[z].size());
+    for (std::size_t i = 0; i < col_sets[z].size(); ++i) {
+      EXPECT_EQ(col_sets[z].id(i), row_sets[z].tags()[i].id());
+      EXPECT_EQ(col_sets[z].counter(i), row_sets[z].tags()[i].counter());
+      EXPECT_EQ(col_sets[z].slot_words()[i],
+                row_sets[z].tags()[i].id().slot_word());
+    }
+  }
+}
+
+TEST(SplitColumnarByPlan, RejectsMismatchedPopulation) {
+  rfid::util::Rng rng(14);
+  const auto tags = rfid::tag::TagSet::make_random(99, rng);
+  const GroupPlan plan = plan_groups({.total_tags = 100,
+                                      .total_tolerance = 3,
+                                      .alpha = 0.95,
+                                      .max_group_size = 40});
+  EXPECT_THROW((void)rfid::server::split_columnar_by_plan(
+                   rfid::tag::ColumnarTagSet::from_tag_set(tags), plan),
+               std::invalid_argument);
+}
+
 }  // namespace

@@ -500,6 +500,64 @@ TEST(ObsServer, VerdictAlertAndResyncCounters) {
   EXPECT_EQ(cat::alerts_total(reg, "resync").value(), 1u);
 }
 
+TEST(ObsProtocol, BulkKernelSlotCountersMoveOnlyInBulkMode) {
+  util::Rng rng(11);
+  const tag::TagSet set = tag::TagSet::make_random(100, rng);
+  protocol::TrpServer server(set.ids(),
+                             {.tolerated_missing = 2, .confidence = 0.9});
+  obs::MetricsRegistry reg;
+  server.set_metrics(&reg);
+
+  const auto challenge = server.issue_challenge(rng);
+  (void)server.expected_bitstring(challenge);
+  EXPECT_EQ(cat::bulk_slots_total(reg, "trp_frame").value(), 100u);
+  (void)server.expected_bitstring(challenge);
+  EXPECT_EQ(cat::bulk_slots_total(reg, "trp_frame").value(), 200u);
+
+  server.set_bulk_mode(false);
+  (void)server.expected_bitstring(challenge);
+  EXPECT_EQ(cat::bulk_slots_total(reg, "trp_frame").value(), 200u);
+}
+
+TEST(ObsServer, ExpectedCacheHitMissAndInvalidationDeltas) {
+  util::Rng rng(12);
+  server::InventoryServer inv;
+  obs::MetricsRegistry reg;
+  inv.attach_metrics(&reg);
+
+  const tag::TagSet tags = tag::TagSet::make_random(60, rng);
+  server::GroupConfig cfg;
+  cfg.name = "cached";
+  cfg.policy = {.tolerated_missing = 1, .confidence = 0.9};
+  const auto id = inv.enroll(tags, cfg);
+
+  const protocol::TrpReader reader;
+  const auto c1 = inv.challenge_trp(id, rng);
+  (void)inv.submit_trp(id, c1, reader.scan(tags.tags(), c1, rng));
+  EXPECT_EQ(cat::expected_cache_total(reg, "miss").value(), 1u);
+  EXPECT_EQ(cat::expected_cache_total(reg, "hit").value(), 0u);
+
+  // Replay twice: two hits, no further misses.
+  (void)inv.submit_trp(id, c1, reader.scan(tags.tags(), c1, rng));
+  (void)inv.submit_trp(id, c1, reader.scan(tags.tags(), c1, rng));
+  EXPECT_EQ(cat::expected_cache_total(reg, "miss").value(), 1u);
+  EXPECT_EQ(cat::expected_cache_total(reg, "hit").value(), 2u);
+
+  // A second distinct challenge misses once; re-enrollment then drops both
+  // entries — the invalidation counter records exactly the entries dropped.
+  const auto c2 = inv.challenge_trp(id, rng);
+  (void)inv.submit_trp(id, c2, reader.scan(tags.tags(), c2, rng));
+  EXPECT_EQ(cat::expected_cache_total(reg, "miss").value(), 2u);
+  EXPECT_EQ(cat::expected_cache_invalidations_total(reg).value(), 0u);
+  inv.re_enroll(id, tags, cfg);
+  EXPECT_EQ(cat::expected_cache_invalidations_total(reg).value(), 2u);
+
+  // Cold after invalidation: the replayed challenge misses again.
+  (void)inv.submit_trp(id, c1, reader.scan(tags.tags(), c1, rng));
+  EXPECT_EQ(cat::expected_cache_total(reg, "miss").value(), 3u);
+  EXPECT_EQ(cat::expected_cache_total(reg, "hit").value(), 2u);
+}
+
 // --------------------------------------------------------- wire session --
 
 TEST(ObsWire, SessionMetricsTracesAndLogAgreeWithOutcome) {

@@ -364,6 +364,113 @@ TEST(InventoryServer, DecommissionTombstonesWithoutShiftingIds) {
       server.submit_trp(ga, ca, reader.scan(fresh.tags(), ca, rng)).intact);
 }
 
+TEST(InventoryServer, ExpectedCacheServesRepeatsAndDropsOnReEnroll) {
+  rfid::util::Rng rng(31);
+  InventoryServer server;
+  const TagSet a = TagSet::make_random(80, rng);
+  const GroupId g = server.enroll(a, trp_config("cached", 2));
+  EXPECT_EQ(server.expected_cache_entries(), 0u);
+
+  const rfid::protocol::TrpReader reader;
+  const auto c = server.challenge_trp(g, rng);
+  EXPECT_TRUE(server.submit_trp(g, c, reader.scan(a.tags(), c, rng)).intact);
+  EXPECT_EQ(server.expected_cache_entries(), 1u);
+  // Replaying the same challenge hits the cache; a fresh one adds an entry.
+  EXPECT_TRUE(server.submit_trp(g, c, reader.scan(a.tags(), c, rng)).intact);
+  EXPECT_EQ(server.expected_cache_entries(), 1u);
+  const auto c2 = server.challenge_trp(g, rng);
+  EXPECT_TRUE(server.submit_trp(g, c2, reader.scan(a.tags(), c2, rng)).intact);
+  EXPECT_EQ(server.expected_cache_entries(), 2u);
+
+  // Re-enroll with DIFFERENT membership, then replay the pinned challenge:
+  // a stale cached expectation (computed from the old membership) would
+  // alarm against the new group's honest scan.
+  const TagSet fresh = TagSet::make_random(80, rng);
+  server.re_enroll(g, fresh, trp_config("cached-v2", 2));
+  EXPECT_EQ(server.expected_cache_entries(), 0u);
+  EXPECT_TRUE(server.submit_trp(g, c, reader.scan(fresh.tags(), c, rng)).intact);
+}
+
+TEST(InventoryServer, ExpectedCacheInvalidatesPerGroupOnDecommission) {
+  rfid::util::Rng rng(32);
+  InventoryServer server;
+  const TagSet a = TagSet::make_random(50, rng);
+  const TagSet b = TagSet::make_random(50, rng);
+  const GroupId ga = server.enroll(a, trp_config("going", 1));
+  const GroupId gb = server.enroll(b, trp_config("staying", 1));
+
+  const rfid::protocol::TrpReader reader;
+  const auto ca = server.challenge_trp(ga, rng);
+  const auto cb = server.challenge_trp(gb, rng);
+  (void)server.submit_trp(ga, ca, reader.scan(a.tags(), ca, rng));
+  (void)server.submit_trp(gb, cb, reader.scan(b.tags(), cb, rng));
+  EXPECT_EQ(server.expected_cache_entries(), 2u);
+
+  // Tombstoning drops ONLY the decommissioned group's entries; its
+  // neighbor's cached expectation keeps serving repeats.
+  server.decommission(ga);
+  EXPECT_EQ(server.expected_cache_entries(), 1u);
+  EXPECT_TRUE(server.submit_trp(gb, cb, reader.scan(b.tags(), cb, rng)).intact);
+}
+
+TEST(InventoryServer, ExpectedCacheEmptyAfterResyncAndSnapshotLoad) {
+  rfid::util::Rng rng(33);
+  InventoryServer server;
+  const TagSet trp_tags = TagSet::make_random(60, rng);
+  TagSet utrp_tags = TagSet::make_random(60, rng);
+  const GroupId gt = server.enroll(trp_tags, trp_config("shelf", 1));
+  const GroupId gu = server.enroll(utrp_tags, utrp_config("cage", 1));
+
+  const rfid::protocol::TrpReader reader;
+  const auto c = server.challenge_trp(gt, rng);
+  (void)server.submit_trp(gt, c, reader.scan(trp_tags.tags(), c, rng));
+  EXPECT_EQ(server.expected_cache_entries(), 1u);
+
+  // Resync rebuilds the UTRP mirror; the TRP group's cache entry is
+  // untouched (the invalidation is keyed by group).
+  server.resync(gu, utrp_tags);
+  EXPECT_EQ(server.expected_cache_entries(), 1u);
+
+  // A server rebuilt from persistence starts with a cold cache and still
+  // verifies the pinned challenge correctly from scratch.
+  const std::string dump = rfid::storage::dump_state(server);
+  std::istringstream is(dump);
+  InventoryServer rebuilt =
+      rfid::storage::build_server(rfid::storage::read_state(is));
+  EXPECT_EQ(rebuilt.expected_cache_entries(), 0u);
+  rfid::util::Rng rng2(34);
+  EXPECT_TRUE(
+      rebuilt.submit_trp(gt, c, reader.scan(trp_tags.tags(), c, rng2)).intact);
+  EXPECT_EQ(rebuilt.expected_cache_entries(), 1u);
+}
+
+TEST(InventoryServer, BulkModeConfigReachesEngines) {
+  rfid::util::Rng rng(35);
+  InventoryServer server;
+  const TagSet tags = TagSet::make_random(64, rng);
+  GroupConfig scalar_cfg = trp_config("scalar-group", 1);
+  scalar_cfg.bulk_mode = false;
+  const GroupId g = server.enroll(tags, scalar_cfg);
+  EXPECT_FALSE(server.config(g).bulk_mode);
+
+  // Scalar and bulk groups must behave identically; run an honest round to
+  // show the scalar engine is live and correct.
+  const rfid::protocol::TrpReader reader;
+  const auto c = server.challenge_trp(g, rng);
+  EXPECT_TRUE(server.submit_trp(g, c, reader.scan(tags.tags(), c, rng)).intact);
+
+  // The knob is an execution detail, not protocol state: the persistence
+  // fingerprint of a scalar group matches a bulk group's bit for bit.
+  InventoryServer twin;
+  (void)twin.enroll(tags, trp_config("scalar-group", 1));
+  InventoryServer twin_scalar;
+  GroupConfig cfg2 = trp_config("scalar-group", 1);
+  cfg2.bulk_mode = false;
+  (void)twin_scalar.enroll(tags, cfg2);
+  EXPECT_EQ(rfid::storage::dump_state(twin),
+            rfid::storage::dump_state(twin_scalar));
+}
+
 TEST(InventoryServer, ActiveFlagSurvivesPersistenceRoundTrip) {
   rfid::util::Rng rng(22);
   InventoryServer server;

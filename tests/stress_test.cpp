@@ -194,6 +194,32 @@ TEST(Stress, ChallengeBookNeverDoubleVerifies) {
   EXPECT_EQ(book.remaining(), 0u);
 }
 
+TEST(Stress, MillionTagTrpBulkSmoke) {
+  // The ROADMAP's million-tag scale target, end to end: enroll 10^6 tags,
+  // run a bulk-mode TRP round honestly (must verify intact), then steal
+  // beyond tolerance and run another (must alarm). The scalar path at this
+  // size is what the columnar kernels exist to replace — only bulk mode is
+  // exercised here; bit-identity is pinned at smaller n by
+  // tests/columnar_diff_test.cpp.
+  constexpr std::size_t kMillion = 1000000;
+  util::Rng rng(777);
+  tag::TagSet set = tag::TagSet::make_random(kMillion, rng);
+  const protocol::TrpServer server(
+      set.ids(), {.tolerated_missing = kMillion / 100, .confidence = 0.9});
+  ASSERT_TRUE(server.bulk_mode());
+
+  const auto c1 = server.issue_challenge(rng);
+  const bits::Bitstring expected = server.expected_bitstring(c1);
+  EXPECT_TRUE(server.verify(c1, expected).intact);
+
+  // Steal 2x the tolerance: detection at alpha = 0.9 is probabilistic per
+  // round, but the theft evidence is overwhelming at this margin.
+  (void)set.steal_random(kMillion / 50, rng);
+  const auto c2 = server.issue_challenge(rng);
+  const protocol::TrpReader reader;
+  EXPECT_FALSE(server.verify(c2, reader.scan(set.tags(), c2, rng)).intact);
+}
+
 TEST(Stress, ChallengeBookRejectsBadInputs) {
   util::Rng rng(45);
   const tag::TagSet set = tag::TagSet::make_random(10, rng);

@@ -50,7 +50,8 @@ TEST(TrpServer, FreshChallengesHaveFreshRandomness) {
 TEST(TrpServer, RejectsEmptyGroupAndBadTolerance) {
   rfid::util::Rng rng(4);
   const TagSet set = TagSet::make_random(5, rng);
-  EXPECT_THROW(TrpServer({}, policy(0)), std::invalid_argument);
+  EXPECT_THROW(TrpServer(std::vector<rfid::tag::TagId>{}, policy(0)),
+               std::invalid_argument);
   EXPECT_THROW(TrpServer(set.ids(), policy(5)), std::invalid_argument);
 }
 
