@@ -41,6 +41,9 @@ echo "== continuous-monitoring daemon (crashes, churn, supervised resume) =="
 echo "== reader fusion (adversarial reader overruled by k = 3 vote) =="
 "${BUILD_DIR}/examples/fusion_drill" | tee "${RESULTS_DIR}/fusion_drill.txt"
 
+echo "== identification drill-down (violated zone -> named stolen tags) =="
+"${BUILD_DIR}/examples/identify_drill" | tee "${RESULTS_DIR}/identify_drill.txt"
+
 echo "== observability (final metrics dump) =="
 "${BUILD_DIR}/examples/metrics_dump" | tee "${RESULTS_DIR}/metrics_prometheus.txt" | tail -5
 "${BUILD_DIR}/examples/metrics_dump" --json > "${RESULTS_DIR}/metrics_json.txt"

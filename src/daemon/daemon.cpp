@@ -72,6 +72,15 @@ std::string render_alert_history(std::span<const DaemonAlert> alerts) {
     out += ": ";
     out += alert.detail;
     out += '\n';
+    // Named stolen tags (identification drill-down): part of the canonical
+    // rendering, so kill-resume equivalence covers them too. Absent (and
+    // the rendering byte-identical to older daemons') when the feature is
+    // off or the alert predates it.
+    for (const tag::TagId& id : alert.missing_tags) {
+      out += "    missing ";
+      out += id.to_string();
+      out += '\n';
+    }
   }
   return out;
 }
@@ -311,6 +320,7 @@ void MonitorDaemon::run_epoch(std::uint64_t epoch) {
     }
   }
   spec.fusion = warehouse_.fusion;
+  spec.identify = warehouse_.identify;
   const std::uint32_t k = warehouse_.fusion.readers;
   for (const auto& [zone, reader] : warehouse_.dishonest_readers) {
     if (zone < zone_count && reader < k) {
@@ -490,8 +500,15 @@ void MonitorDaemon::run_epoch(std::uint64_t epoch) {
       theft = true;
       if (!health.violated) {
         health.violated = true;
-        raise(DaemonAlertKind::kZoneViolated, z,
-              "theft evidence: zone verdict violated");
+        const fleet::ZoneIdentification& id = report.identification;
+        std::string detail = "theft evidence: zone verdict violated";
+        if (id.ran) {
+          detail += "; identified " + std::to_string(id.missing.size()) +
+                    " missing tag(s) [" + id.protocol + "], " +
+                    std::to_string(id.unresolved) + " unresolved";
+        }
+        raise(DaemonAlertKind::kZoneViolated, z, std::move(detail));
+        if (id.ran) raised.back().missing = id.missing;
       }
     } else if (was_quarantined) {
       quarantined_miss = true;
@@ -692,7 +709,7 @@ DaemonResult MonitorDaemon::run() {
     result.alerts.push_back(
         DaemonAlert{alert.sequence,
                     static_cast<DaemonAlertKind>(alert.kind), alert.epoch,
-                    alert.zone, alert.detail});
+                    alert.zone, alert.detail, alert.missing});
   }
   result.journal_append_failures = journal_->append_failures();
   return result;

@@ -105,6 +105,9 @@ struct DaemonAlert {
   std::uint64_t epoch = 0;
   std::uint64_t zone = 0;  // meaningful for the kZone* kinds
   std::string detail;
+  /// kZoneViolated with the identification drill-down enabled: the stolen
+  /// tags the campaign named, in enrolled order. Empty otherwise.
+  std::vector<tag::TagId> missing_tags;
 };
 
 /// Canonical one-line-per-alert rendering; the string two daemon lives must
@@ -156,6 +159,14 @@ struct WarehouseConfig {
   /// epoch those readers forge "all enrolled tags present". The scenario
   /// the quarantine tier exists for.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> dishonest_readers;
+  /// Identification drill-down, passed through to every epoch's fleet run:
+  /// when enabled, a zone verdict of violated triggers a missing-tag
+  /// identification campaign and the kZoneViolated alert carries the named
+  /// stolen tags (DaemonAlert::missing_tags), durably, through the
+  /// checkpoint. Deliberately OUTSIDE the config fingerprint: it enriches
+  /// future alerts without changing what any replayed health state means,
+  /// so flipping it across a restart must not quarantine the journal.
+  fleet::IdentifyDrillConfig identify;
 };
 
 struct DaemonConfig {

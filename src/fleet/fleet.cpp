@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <span>
 #include <utility>
 
 #include "fleet/scheduler.h"
 #include "hash/fnv.h"
+#include "hash/slot_hash.h"
 #include "math/frame_optimizer.h"
 #include "math/fused_detection.h"
 #include "obs/catalog.h"
 #include "obs/expose.h"
+#include "protocol/identification.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
+#include "radio/timing.h"
 #include "sim/event_queue.h"
 #include "util/expect.h"
 #include "util/random.h"
@@ -32,6 +36,10 @@ inline constexpr std::uint64_t kChallengeSalt = 0x6368616cULL;  // "chal"
 /// Salt separating a fused reader's RNG stream from the legacy zone stream
 /// (reader 0 of a k = 1 zone keeps the legacy derivation bit for bit).
 inline constexpr std::uint64_t kReaderSalt = 0x72647273ULL;  // "rdrs"
+/// Salt for a violated zone's identification drill-down: derived from
+/// (seed, inventory, zone) only, so the campaign replays identically on a
+/// journal-recovered zone and regardless of worker-thread count.
+inline constexpr std::uint64_t kIdentifySalt = 0x69646e74ULL;  // "idnt"
 
 [[nodiscard]] bool is_retryable(wire::FailureReason reason) noexcept {
   // Deadline misses are a verification outcome (Alg. 5's timer), not an
@@ -885,6 +893,46 @@ FleetResult FleetOrchestrator::run() {
     std::rethrow_exception(error);
   }
 
+  // Identification drill-down: for every violated zone of an inventory that
+  // opted in, run a missing-tag identification campaign so the escalation
+  // names the stolen tags instead of just flagging the zone. This is a
+  // sequential post-pass over quiescent zone state with an RNG derived from
+  // (seed, inventory, zone): a pure function of the fleet seed, so it
+  // produces identical output on 1 or 64 threads and on zones recovered
+  // from an interrupted run's journal.
+  for (const auto& inventory : inventories_) {
+    const InventorySpec& s = inventory->spec;
+    if (!s.identify.enabled) continue;
+    const std::unique_ptr<protocol::IdentificationProtocol> identifier =
+        protocol::make_identification_protocol(s.identify.protocol,
+                                               s.identify.config);
+    const hash::SlotHasher hasher{};
+    for (std::size_t z = 0; z < inventory->zones.size(); ++z) {
+      ZoneState& state = inventory->zones[z];
+      if (state.report.status != ZoneStatus::kViolated) continue;
+      util::Rng rng(util::derive_seed(
+          util::derive_seed(config_.seed, inventory->name_hash, z),
+          kIdentifySalt));
+      protocol::IdentifyResult campaign = identifier->identify(
+          state.columnar.ids(), std::span<const tag::Tag>(state.present),
+          hasher, rng);
+      ZoneIdentification& id = state.report.identification;
+      id.ran = true;
+      id.protocol = std::string(identifier->name());
+      id.present = campaign.present.size();
+      id.unresolved = campaign.unresolved.size();
+      id.rounds = campaign.rounds;
+      id.slots = campaign.total_slots;
+      id.tree_queries = campaign.tree_queries;
+      id.filter_bits = campaign.filter_bits;
+      id.estimated_missing = campaign.estimated_missing;
+      id.duration_us = campaign.elapsed_us(radio::TimingModel{});
+      id.missing = std::move(campaign.missing);
+      ++result.zones_identified;
+      result.tags_named += id.missing.size();
+    }
+  }
+
   result.waves = wave_count;
   result.deferred_inventories = deferred_count_;
   result.rejected = rejected_;
@@ -1053,6 +1101,28 @@ void FleetOrchestrator::record_observability(const FleetResult& result) {
       obs::catalog::fusion_readers_suspected_total(m)
           .inc(result.readers_suspected);
     }
+    for (const InventoryReport& inventory : result.inventories) {
+      for (const ZoneReport& zone : inventory.zones) {
+        const ZoneIdentification& id = zone.identification;
+        if (!id.ran) continue;
+        obs::catalog::identify_campaigns_total(
+            m, id.protocol, id.unresolved == 0 ? "resolved" : "capped")
+            .inc();
+        obs::catalog::identify_rounds_total(m, id.protocol).inc(id.rounds);
+        obs::catalog::identify_slots_total(m, id.protocol, "frame")
+            .inc(id.slots - id.tree_queries);
+        obs::catalog::identify_slots_total(m, id.protocol, "tree")
+            .inc(id.tree_queries);
+        if (id.filter_bits > 0) {
+          obs::catalog::identify_filter_bits_total(m).inc(id.filter_bits);
+        }
+        obs::catalog::identify_tags_total(m, "missing")
+            .inc(id.missing.size());
+        obs::catalog::identify_tags_total(m, "present").inc(id.present);
+        obs::catalog::identify_tags_total(m, "unresolved")
+            .inc(id.unresolved);
+      }
+    }
     obs::catalog::fleet_runs_total(m, to_string(result.verdict)).inc();
   }
 
@@ -1203,6 +1273,26 @@ std::string summary(const FleetResult& result) {
            std::to_string(inventory.tags) + ", tolerance " +
            std::to_string(inventory.tolerance) + ", worst-zone detection " +
            obs::format_double(inventory.worst_zone_detection) + '\n';
+    for (const ZoneReport& zone : inventory.zones) {
+      const ZoneIdentification& id = zone.identification;
+      if (!id.ran) continue;
+      out += "    zone" + std::to_string(zone.zone) + " identified [" +
+             id.protocol + "]: " + std::to_string(id.missing.size()) +
+             " missing, " + std::to_string(id.present) + " present, " +
+             std::to_string(id.unresolved) + " unresolved in " +
+             std::to_string(id.rounds) + " round(s), " +
+             std::to_string(id.slots) + " slot(s)\n";
+      // Name the stolen tags (capped: the full list is in the report).
+      constexpr std::size_t kNamedCap = 8;
+      const std::size_t named = std::min(id.missing.size(), kNamedCap);
+      for (std::size_t i = 0; i < named; ++i) {
+        out += "      missing " + id.missing[i].to_string() + '\n';
+      }
+      if (id.missing.size() > named) {
+        out += "      ... +" + std::to_string(id.missing.size() - named) +
+               " more\n";
+      }
+    }
   }
   out += "zones: " + std::to_string(result.zones) + "; attempts: " +
          std::to_string(result.attempts) + ", requeues: " +

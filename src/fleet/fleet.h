@@ -62,6 +62,7 @@
 #include "obs/metrics.h"
 #include "obs/session_log.h"
 #include "obs/trace.h"
+#include "protocol/identification.h"
 #include "server/group_planner.h"
 #include "storage/backend.h"
 #include "storage/fleet_journal.h"
@@ -151,6 +152,19 @@ struct FleetConfig {
 /// One inventory: a planned population plus everything needed to run its
 /// zones. The spec owns its tags and fault plans; the orchestrator keeps
 /// the spec alive for the whole run.
+/// Identification drill-down policy: after a zone's verdict comes back
+/// kViolated, run a missing-tag identification campaign over that zone's
+/// enrolled slice so the escalation names the stolen tags instead of just
+/// flagging the zone. Runs as a deterministic sequential post-pass (RNG
+/// derived from the fleet seed, independent of thread count and of whether
+/// the zone was recovered from a journal).
+struct IdentifyDrillConfig {
+  bool enabled = false;
+  protocol::IdentifyProtocolKind protocol =
+      protocol::IdentifyProtocolKind::kFilterFirst;
+  protocol::IdentifyConfig config;
+};
+
 struct InventorySpec {
   std::string name;  // stable across restarts (keys the journal)
   Protocol protocol = Protocol::kTrp;
@@ -197,6 +211,8 @@ struct InventorySpec {
   /// daemon's per-reader health tier): no session, no vote. The zone still
   /// runs with its remaining readers and degrades below quorum.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> excluded_readers;
+  /// Post-verdict identification drill-down for violated zones.
+  IdentifyDrillConfig identify;
 };
 
 /// Per-reader outcome inside a fused zone (ZoneReport::readers, k > 1).
@@ -209,6 +225,23 @@ struct ReaderReport {
   bool suspect = false;   // persistently outvoted or phantom evidence
   double trust = 1.0;     // final fusion weight
   std::uint64_t votes_overruled = 0;
+};
+
+/// Outcome of the post-verdict identification drill-down on one violated
+/// zone (ZoneReport::identification; `ran` false when the drill-down was
+/// disabled or the zone was not violated).
+struct ZoneIdentification {
+  bool ran = false;
+  std::string protocol;  // family member name ("iterative", "filter_first")
+  std::vector<tag::TagId> missing;  // the named stolen tags
+  std::uint64_t present = 0;        // tags proven present
+  std::uint64_t unresolved = 0;     // round cap hit before classification
+  std::uint64_t rounds = 0;
+  std::uint64_t slots = 0;          // framed slots + tree queries
+  std::uint64_t tree_queries = 0;
+  std::uint64_t filter_bits = 0;
+  double estimated_missing = 0.0;   // zero-estimator after the first frame
+  double duration_us = 0.0;         // honest air time of the campaign
 };
 
 struct ZoneReport {
@@ -233,6 +266,8 @@ struct ZoneReport {
   std::uint64_t fused_slots = 0;      // slots put through the majority vote
   std::uint64_t phantom_votes = 0;    // busy votes the fusion overruled
   std::uint64_t missed_votes = 0;     // empty votes the fusion overruled
+  /// Post-verdict identification drill-down (violated zones only).
+  ZoneIdentification identification;
 };
 
 struct InventoryReport {
@@ -266,6 +301,8 @@ struct FleetResult {
   std::uint64_t zones_recovered = 0;  // reused from the journal
   std::uint64_t degraded_zones = 0;   // fused zones committed below quorum
   std::uint64_t readers_suspected = 0;  // across all fused zones
+  std::uint64_t zones_identified = 0;  // violated zones drilled down
+  std::uint64_t tags_named = 0;        // stolen tags named by drill-downs
   std::uint64_t deferred_inventories = 0;
   std::uint64_t waves = 1;
   /// The abort switch fired (or a zone task threw): zones that never ran

@@ -440,4 +440,53 @@ inline Counter& recovery_healed_total(MetricsRegistry& r) {
                    "damage (RecoveryReport::rotated_after_recovery).");
 }
 
+// ---------------------------------------------------- identification ----
+
+inline Counter& identify_campaigns_total(MetricsRegistry& r,
+                                         std::string_view protocol,
+                                         std::string_view outcome) {
+  return r
+      .counter_family("rfidmon_identify_campaigns_total",
+                      "Missing-tag identification campaigns by family "
+                      "member and outcome (resolved vs round-capped).",
+                      {"protocol", "outcome"})
+      .with({protocol, outcome});
+}
+
+inline Counter& identify_rounds_total(MetricsRegistry& r,
+                                      std::string_view protocol) {
+  return r
+      .counter_family("rfidmon_identify_rounds_total",
+                      "Framed rounds spent by identification campaigns.",
+                      {"protocol"})
+      .with({protocol});
+}
+
+inline Counter& identify_slots_total(MetricsRegistry& r,
+                                     std::string_view protocol,
+                                     std::string_view kind) {
+  return r
+      .counter_family("rfidmon_identify_slots_total",
+                      "Air slots consumed by identification campaigns: "
+                      "framed slots vs tree-split prefix queries.",
+                      {"protocol", "kind"})
+      .with({protocol, kind});
+}
+
+inline Counter& identify_tags_total(MetricsRegistry& r,
+                                    std::string_view verdict) {
+  return r
+      .counter_family("rfidmon_identify_tags_total",
+                      "Tags classified by identification campaigns: "
+                      "missing, present, or unresolved at the round cap.",
+                      {"verdict"})
+      .with({verdict});
+}
+
+inline Counter& identify_filter_bits_total(MetricsRegistry& r) {
+  return r.counter("rfidmon_identify_filter_bits_total",
+                   "Reader-to-tag ACK-filter bits broadcast by "
+                   "filter-first identification campaigns.");
+}
+
 }  // namespace rfid::obs::catalog

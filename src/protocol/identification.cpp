@@ -1,0 +1,466 @@
+#include "protocol/identification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "estimate/cardinality.h"
+#include "obs/catalog.h"
+#include "protocol/tree_walk.h"
+#include "tag/columnar.h"
+#include "util/expect.h"
+
+namespace rfid::protocol {
+namespace {
+
+enum class Status : std::uint8_t { kUnknown, kMissing, kPresent };
+
+void partition_verdicts(std::span<const tag::TagId> enrolled,
+                        std::span<const Status> status,
+                        IdentifyResult& result) {
+  for (std::size_t i = 0; i < enrolled.size(); ++i) {
+    switch (status[i]) {
+      case Status::kMissing: result.missing.push_back(enrolled[i]); break;
+      case Status::kPresent: result.present.push_back(enrolled[i]); break;
+      case Status::kUnknown: result.unresolved.push_back(enrolled[i]); break;
+    }
+  }
+}
+
+[[nodiscard]] std::uint32_t sized_frame(double load, double repliers) {
+  const auto f = std::llround(load * std::max(repliers, 1.0));
+  return static_cast<std::uint32_t>(std::max<long long>(1, f));
+}
+
+// --------------------------------------------------------- iterative ----
+
+class IterativeProtocol final : public IdentificationProtocol {
+ public:
+  explicit IterativeProtocol(IdentifyConfig config)
+      : IdentificationProtocol(std::move(config)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "iterative";
+  }
+
+  [[nodiscard]] IdentifyResult identify(std::span<const tag::TagId> enrolled,
+                                        std::span<const tag::Tag> present_tags,
+                                        const hash::SlotHasher& hasher,
+                                        util::Rng& rng) const override;
+};
+
+IdentifyResult IterativeProtocol::identify(std::span<const tag::TagId> enrolled,
+                                           std::span<const tag::Tag> present_tags,
+                                           const hash::SlotHasher& hasher,
+                                           util::Rng& rng) const {
+  RFID_EXPECT(!enrolled.empty(), "nothing enrolled");
+
+  IdentifyResult result;
+  const std::uint32_t confirmations =
+      required_confirmations(config_, enrolled.size());
+  result.confirmations_required = confirmations;
+
+  const std::size_t n = enrolled.size();
+  std::vector<Status> status(n, Status::kUnknown);
+  std::vector<std::uint32_t> streak(n, 0);
+  std::size_t unknown_count = n;
+  std::size_t candidate_count = n;  // everyone not proven missing
+
+  std::vector<std::uint64_t> replier_words;
+  replier_words.reserve(present_tags.size());
+  for (const tag::Tag& t : present_tags) {
+    replier_words.push_back(t.id().slot_word());
+  }
+
+  std::vector<std::uint32_t> cand_idx;
+  std::vector<std::uint64_t> cand_words;
+  std::vector<std::uint32_t> cand_slots;
+  std::vector<std::uint32_t> replier_slots(replier_words.size());
+  std::vector<std::uint32_t> occupancy;
+  std::vector<std::uint32_t> mappers;
+  std::vector<std::uint8_t> observed;
+
+  while (unknown_count > 0 && result.rounds < config_.max_rounds) {
+    ++result.rounds;
+    // Frames are sized to the tags that still REPLY — proven-present tags
+    // cannot be silenced (the reader has no per-tag addressing without
+    // IDs), so they keep occupying slots and would swamp a frame sized only
+    // to the unknowns.
+    const std::uint32_t f =
+        sized_frame(config_.frame_load, static_cast<double>(candidate_count));
+    result.total_slots += f;
+    const std::uint64_t r = rng();
+
+    // What the reader observes: every physically present tag replies in its
+    // slot (tags have no notion of their classification status).
+    tag::bulk_trp_slots(hasher, replier_words, r, f, replier_slots);
+    occupancy.assign(f, 0);
+    for (const std::uint32_t s : replier_slots) ++occupancy[s];
+
+    observed.assign(f, 0);
+    std::uint64_t empties = 0;
+    if (config_.channel.ideal()) {
+      for (std::uint32_t s = 0; s < f; ++s) {
+        observed[s] = occupancy[s] > 0 ? 1 : 0;
+        if (observed[s] == 0) ++empties;
+      }
+    } else {
+      for (std::uint32_t s = 0; s < f; ++s) {
+        observed[s] = radio::occupied(radio::resolve_slot(
+                          occupancy[s], config_.channel, rng))
+                          ? 1
+                          : 0;
+        if (observed[s] == 0) ++empties;
+      }
+    }
+    result.frame_empty_slots += empties;
+    result.frame_reply_slots += f - empties;
+
+    // What the server expects: slots of every tag not yet proven missing
+    // (proven-missing tags cannot reply; proven-present ones still do and
+    // can mask an unknown tag sharing their slot).
+    cand_idx.clear();
+    cand_words.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (status[i] == Status::kMissing) continue;
+      cand_idx.push_back(i);
+      cand_words.push_back(enrolled[i].slot_word());
+    }
+    cand_slots.resize(cand_words.size());
+    tag::bulk_trp_slots(hasher, cand_words, r, f, cand_slots);
+    mappers.assign(f, 0);
+    for (const std::uint32_t s : cand_slots) ++mappers[s];
+
+    if (result.rounds == 1) {
+      const auto est = estimate::estimate_cardinality(empties, f);
+      result.estimated_missing = std::max(
+          0.0, static_cast<double>(candidate_count) -
+                   (est.saturated ? static_cast<double>(candidate_count)
+                                  : est.estimate));
+    }
+
+    for (std::size_t k = 0; k < cand_idx.size(); ++k) {
+      const std::uint32_t i = cand_idx[k];
+      if (status[i] != Status::kUnknown) continue;
+      const std::uint32_t s = cand_slots[k];
+      if (!observed[s]) {
+        // Nobody replied where this tag must have: one unit of absence
+        // evidence. A streak of `confirmations` proves it absent.
+        if (++streak[i] >= confirmations) {
+          status[i] = Status::kMissing;
+          --unknown_count;
+          --candidate_count;
+        }
+      } else {
+        streak[i] = 0;  // an occupied slot is consistent with presence
+        if (mappers[s] == 1) {
+          // Occupied, and this tag is the only possible replier: present.
+          status[i] = Status::kPresent;
+          --unknown_count;
+        }
+      }
+    }
+  }
+
+  partition_verdicts(enrolled, status, result);
+  return result;
+}
+
+// ------------------------------------------------------- filter-first ----
+
+class FilterFirstProtocol final : public IdentificationProtocol {
+ public:
+  explicit FilterFirstProtocol(IdentifyConfig config)
+      : IdentificationProtocol(std::move(config)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "filter_first";
+  }
+
+  [[nodiscard]] IdentifyResult identify(std::span<const tag::TagId> enrolled,
+                                        std::span<const tag::Tag> present_tags,
+                                        const hash::SlotHasher& hasher,
+                                        util::Rng& rng) const override;
+};
+
+IdentifyResult FilterFirstProtocol::identify(
+    std::span<const tag::TagId> enrolled,
+    std::span<const tag::Tag> present_tags, const hash::SlotHasher& hasher,
+    util::Rng& rng) const {
+  RFID_EXPECT(!enrolled.empty(), "nothing enrolled");
+
+  IdentifyResult result;
+  const std::uint32_t confirmations =
+      required_confirmations(config_, enrolled.size());
+  result.confirmations_required = confirmations;
+
+  const std::size_t n = enrolled.size();
+  std::vector<std::uint64_t> words(n);
+  for (std::size_t i = 0; i < n; ++i) words[i] = enrolled[i].slot_word();
+  std::vector<Status> status(n, Status::kUnknown);
+  std::vector<std::uint32_t> streak(n, 0);
+  std::size_t unknown = n;
+
+  // Tags still answering: ACK-silenced tags drop out for the campaign.
+  std::vector<std::uint64_t> replier_words;
+  replier_words.reserve(present_tags.size());
+  for (const tag::Tag& t : present_tags) {
+    replier_words.push_back(t.id().slot_word());
+  }
+
+  double est_repliers = -1.0;  // no estimate before the first frame
+
+  std::vector<std::uint32_t> active_idx;
+  std::vector<std::uint64_t> active_words;
+  std::vector<std::uint32_t> active_slots;
+  std::vector<std::uint32_t> replier_slots;
+  std::vector<std::uint32_t> occupancy;
+  std::vector<std::uint32_t> mappers;
+  std::vector<std::uint8_t> observed;
+  std::vector<std::uint8_t> acked;
+  std::vector<std::uint64_t> split_proven_words;
+
+  while (unknown > 0 && result.rounds < config_.max_rounds) {
+    ++result.rounds;
+    // Only the unknowns map into the frame on either side of the link:
+    // proven-missing tags cannot reply, proven-present ones were silenced
+    // by an ACK filter the round they were proven.
+    active_idx.clear();
+    active_words.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (status[i] != Status::kUnknown) continue;
+      active_idx.push_back(i);
+      active_words.push_back(words[i]);
+    }
+
+    // Size the frame by the ESTIMATED repliers (zero-estimator on the
+    // previous frame), not the candidate count: when most candidates are
+    // already stolen, estimate-sized frames collapse instead of burning
+    // population-sized runs of empty slots. The +2σ keeps undersizing —
+    // which would starve sole-replier proofs — unlikely.
+    double sized = static_cast<double>(active_idx.size());
+    if (est_repliers >= 0.0) sized = std::min(sized, est_repliers);
+    const std::uint32_t f = sized_frame(config_.frame_load, sized);
+    result.total_slots += f;
+    const std::uint64_t r = rng();
+
+    active_slots.resize(active_words.size());
+    tag::bulk_trp_slots(hasher, active_words, r, f, active_slots);
+    replier_slots.resize(replier_words.size());
+    tag::bulk_trp_slots(hasher, replier_words, r, f, replier_slots);
+
+    occupancy.assign(f, 0);
+    for (const std::uint32_t s : replier_slots) ++occupancy[s];
+    mappers.assign(f, 0);
+    for (const std::uint32_t s : active_slots) ++mappers[s];
+
+    observed.assign(f, 0);
+    std::uint64_t empties = 0;
+    if (config_.channel.ideal()) {
+      for (std::uint32_t s = 0; s < f; ++s) {
+        observed[s] = occupancy[s] > 0 ? 1 : 0;
+        if (observed[s] == 0) ++empties;
+      }
+    } else {
+      for (std::uint32_t s = 0; s < f; ++s) {
+        observed[s] = radio::occupied(radio::resolve_slot(
+                          occupancy[s], config_.channel, rng))
+                          ? 1
+                          : 0;
+        if (observed[s] == 0) ++empties;
+      }
+    }
+    result.frame_empty_slots += empties;
+    result.frame_reply_slots += f - empties;
+
+    // Classify on the frame alone. The ACK bitmap covers ONLY sole-mapper
+    // slots: ACKing a collision slot would silence unproven tags sharing it
+    // and turn their silence into false accusations later.
+    std::size_t newly_present = 0;
+    acked.assign(f, 0);
+    for (std::size_t k = 0; k < active_idx.size(); ++k) {
+      const std::uint32_t i = active_idx[k];
+      const std::uint32_t s = active_slots[k];
+      if (!observed[s]) {
+        if (++streak[i] >= confirmations) {
+          status[i] = Status::kMissing;
+          --unknown;
+        }
+      } else {
+        streak[i] = 0;
+        if (mappers[s] == 1) {
+          status[i] = Status::kPresent;
+          --unknown;
+          ++newly_present;
+          acked[s] = 1;
+        }
+      }
+    }
+
+    // Tree-split the ambiguous slots in-round once few unknowns remain:
+    // a directed prefix walk separates each collision instead of paying an
+    // O(log n) tail of ever-smaller re-framing rounds.
+    split_proven_words.clear();
+    if (unknown > 0 && unknown <= config_.tree_split_below) {
+      std::map<std::uint32_t, std::vector<std::uint32_t>> ambiguous;
+      for (std::size_t k = 0; k < active_idx.size(); ++k) {
+        if (status[active_idx[k]] != Status::kUnknown) continue;
+        const std::uint32_t s = active_slots[k];
+        if (observed[s] && mappers[s] >= 2) {
+          ambiguous[s].push_back(static_cast<std::uint32_t>(k));
+        }
+      }
+      std::map<std::uint32_t, std::vector<std::uint64_t>> slot_repliers;
+      if (!ambiguous.empty()) {
+        for (std::size_t j = 0; j < replier_words.size(); ++j) {
+          const auto it = ambiguous.find(replier_slots[j]);
+          if (it != ambiguous.end()) {
+            slot_repliers[replier_slots[j]].push_back(replier_words[j]);
+          }
+        }
+      }
+      std::vector<std::uint64_t> cand_w;
+      for (const auto& [s, ks] : ambiguous) {
+        cand_w.clear();
+        for (const std::uint32_t k : ks) cand_w.push_back(active_words[k]);
+        const auto reps = slot_repliers.find(s);
+        const auto split = split_collision_slot(
+            cand_w,
+            reps == slot_repliers.end()
+                ? std::span<const std::uint64_t>{}
+                : std::span<const std::uint64_t>(reps->second),
+            config_.channel, rng);
+        result.tree_queries += split.queries;
+        result.tree_empty_queries += split.empty_queries;
+        result.total_slots += split.queries;
+        for (std::size_t c = 0; c < ks.size(); ++c) {
+          const std::uint32_t i = active_idx[ks[c]];
+          if (split.proven_present[c]) {
+            status[i] = Status::kPresent;
+            streak[i] = 0;
+            --unknown;
+            ++newly_present;
+            split_proven_words.push_back(words[i]);
+          } else if (split.observed_absent[c]) {
+            // At most one unit of absence evidence per tag per round, so
+            // the consecutive-round soundness bound still applies.
+            if (++streak[i] >= confirmations) {
+              status[i] = Status::kMissing;
+              --unknown;
+            }
+          }
+        }
+      }
+    }
+
+    // ACK filter: one broadcast bit per slot; tags that answered in an
+    // ACKed (sole-mapper) slot go silent, and a tag proven by a singleton
+    // tree reply is ACKed at its prefix (word match).
+    if (newly_present > 0) {
+      result.filter_bits += f;
+      std::sort(split_proven_words.begin(), split_proven_words.end());
+      std::size_t kept = 0;
+      for (std::size_t j = 0; j < replier_words.size(); ++j) {
+        const bool silence =
+            acked[replier_slots[j]] ||
+            std::binary_search(split_proven_words.begin(),
+                               split_proven_words.end(), replier_words[j]);
+        if (!silence) {
+          replier_words[kept] = replier_words[j];
+          ++kept;
+        }
+      }
+      replier_words.resize(kept);
+    }
+
+    // Update the replier estimate for the next frame's sizing.
+    const auto est = estimate::estimate_cardinality(empties, f);
+    if (result.rounds == 1) {
+      result.estimated_missing = std::max(
+          0.0, static_cast<double>(n) -
+                   (est.saturated ? static_cast<double>(n) : est.estimate));
+    }
+    if (est.saturated) {
+      est_repliers = -1.0;  // no information: fall back to the unknown count
+    } else {
+      est_repliers =
+          std::max(0.0, est.estimate + 2.0 * est.std_error -
+                            static_cast<double>(newly_present));
+    }
+  }
+
+  partition_verdicts(enrolled, status, result);
+  return result;
+}
+
+}  // namespace
+
+std::string_view to_string(IdentifyProtocolKind kind) noexcept {
+  switch (kind) {
+    case IdentifyProtocolKind::kIterative: return "iterative";
+    case IdentifyProtocolKind::kFilterFirst: return "filter_first";
+  }
+  return "unknown";
+}
+
+std::uint32_t required_confirmations(const IdentifyConfig& config,
+                                     std::size_t enrolled_count) noexcept {
+  if (config.confirmations > 0) return config.confirmations;
+  const double loss = config.channel.reply_loss_prob;
+  if (loss <= 0.0) return 1;
+  // P(false accusation of one present tag) <= max_rounds · loss^C (union
+  // bound over streak start positions); demand the campaign-wide bound
+  // n · max_rounds · loss^C <= accusation_error.
+  const double n = static_cast<double>(std::max<std::size_t>(1, enrolled_count));
+  const double rounds =
+      static_cast<double>(std::max<std::uint32_t>(1, config.max_rounds));
+  const double target = config.accusation_error / (n * rounds);
+  const double c = std::ceil(std::log(target) / std::log(loss));
+  if (!(c >= 1.0)) return 1;
+  return static_cast<std::uint32_t>(std::min(c, 1e6));
+}
+
+IdentificationProtocol::IdentificationProtocol(IdentifyConfig config)
+    : config_(std::move(config)) {
+  RFID_EXPECT(config_.frame_load > 0.0, "frame load must be positive");
+  RFID_EXPECT(config_.max_rounds >= 1, "need at least one round");
+  RFID_EXPECT(config_.accusation_error > 0.0 && config_.accusation_error < 1.0,
+              "accusation error budget must be in (0, 1)");
+  RFID_EXPECT(config_.channel.reply_loss_prob < 1.0,
+              "a channel that loses every reply cannot identify anything");
+}
+
+std::unique_ptr<IdentificationProtocol> make_identification_protocol(
+    IdentifyProtocolKind kind, IdentifyConfig config) {
+  switch (kind) {
+    case IdentifyProtocolKind::kIterative:
+      return std::make_unique<IterativeProtocol>(std::move(config));
+    case IdentifyProtocolKind::kFilterFirst:
+      return std::make_unique<FilterFirstProtocol>(std::move(config));
+  }
+  RFID_EXPECT(false, "unknown identification protocol kind");
+  return nullptr;
+}
+
+void record_identify_metrics(obs::MetricsRegistry& registry,
+                             std::string_view protocol,
+                             const IdentifyResult& result) {
+  obs::catalog::identify_campaigns_total(
+      registry, protocol, result.unresolved.empty() ? "resolved" : "capped")
+      .inc();
+  obs::catalog::identify_rounds_total(registry, protocol).inc(result.rounds);
+  obs::catalog::identify_slots_total(registry, protocol, "frame")
+      .inc(result.frame_empty_slots + result.frame_reply_slots);
+  obs::catalog::identify_slots_total(registry, protocol, "tree")
+      .inc(result.tree_queries);
+  obs::catalog::identify_filter_bits_total(registry).inc(result.filter_bits);
+  obs::catalog::identify_tags_total(registry, "missing")
+      .inc(result.missing.size());
+  obs::catalog::identify_tags_total(registry, "present")
+      .inc(result.present.size());
+  obs::catalog::identify_tags_total(registry, "unresolved")
+      .inc(result.unresolved.size());
+}
+
+}  // namespace rfid::protocol

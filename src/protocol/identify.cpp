@@ -1,10 +1,5 @@
 #include "protocol/identify.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "util/expect.h"
-
 namespace rfid::protocol {
 
 IdentifyResult identify_missing_tags(const std::vector<tag::TagId>& enrolled,
@@ -12,76 +7,9 @@ IdentifyResult identify_missing_tags(const std::vector<tag::TagId>& enrolled,
                                      const hash::SlotHasher& hasher,
                                      const IdentifyConfig& config,
                                      util::Rng& rng) {
-  RFID_EXPECT(!enrolled.empty(), "nothing enrolled");
-  RFID_EXPECT(config.frame_load > 0.0, "frame load must be positive");
-  RFID_EXPECT(config.max_rounds >= 1, "need at least one round");
-
-  IdentifyResult result;
-
-  enum class Status : std::uint8_t { kUnknown, kMissing, kPresent };
-  std::vector<Status> status(enrolled.size(), Status::kUnknown);
-  std::size_t unknown_count = enrolled.size();
-
-  std::vector<std::uint32_t> slot_of(enrolled.size());
-  std::size_t candidate_count = enrolled.size();  // everyone not proven missing
-  while (unknown_count > 0 && result.rounds < config.max_rounds) {
-    ++result.rounds;
-    // Frames must be sized to the tags that still REPLY — proven-present
-    // tags cannot be silenced (the reader has no per-tag addressing without
-    // IDs), so they keep occupying slots and would swamp a frame sized only
-    // to the unknowns.
-    const auto f = static_cast<std::uint32_t>(std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(std::llround(
-               config.frame_load * static_cast<double>(candidate_count)))));
-    result.total_slots += f;
-    const std::uint64_t r = rng();
-
-    // What the reader observes: every physically present tag replies in its
-    // slot (tags have no notion of their classification status).
-    std::vector<std::uint32_t> occupancy(f, 0);
-    for (const tag::Tag& t : present_tags) {
-      ++occupancy[t.trp_slot(hasher, r, f)];
-    }
-    std::vector<bool> observed(f);
-    for (std::uint32_t s = 0; s < f; ++s) {
-      observed[s] =
-          radio::occupied(radio::resolve_slot(occupancy[s], config.channel, rng));
-    }
-
-    // What the server expects: slots of every tag not yet proven missing
-    // (proven-missing tags cannot reply; proven-present ones still do and
-    // can mask an unknown tag sharing their slot).
-    std::vector<std::uint32_t> candidate_mappers(f, 0);
-    for (std::size_t i = 0; i < enrolled.size(); ++i) {
-      if (status[i] == Status::kMissing) continue;
-      slot_of[i] = hasher.slot(enrolled[i].slot_word(), r, f);
-      ++candidate_mappers[slot_of[i]];
-    }
-
-    for (std::size_t i = 0; i < enrolled.size(); ++i) {
-      if (status[i] != Status::kUnknown) continue;
-      const std::uint32_t s = slot_of[i];
-      if (!observed[s]) {
-        // Nobody replied where this tag must have: proven absent.
-        status[i] = Status::kMissing;
-        --unknown_count;
-        --candidate_count;
-      } else if (candidate_mappers[s] == 1) {
-        // Occupied, and this tag is the only possible replier: present.
-        status[i] = Status::kPresent;
-        --unknown_count;
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < enrolled.size(); ++i) {
-    switch (status[i]) {
-      case Status::kMissing: result.missing.push_back(enrolled[i]); break;
-      case Status::kPresent: result.present.push_back(enrolled[i]); break;
-      case Status::kUnknown: result.unresolved.push_back(enrolled[i]); break;
-    }
-  }
-  return result;
+  const auto protocol =
+      make_identification_protocol(IdentifyProtocolKind::kIterative, config);
+  return protocol->identify(enrolled, present_tags, hasher, rng);
 }
 
 }  // namespace rfid::protocol

@@ -2,13 +2,14 @@
 // but "these exact tags are missing" — still without transmitting any ID
 // over the air.
 //
-// This paper founded the missing-tag detection line; the natural follow-up
-// problem (addressed by later work in the same line) is identification. The
-// same bitstring machinery solves it:
+// This header is the original entry point, kept as a thin wrapper over the
+// pluggable protocol family in protocol/identification.h (which see for the
+// algorithm catalogue). `identify_missing_tags` runs the ITERATIVE family
+// member — the paper-faithful baseline:
 //
 //   Per round, with challenge (f, r), the server knows every tag's slot.
-//   * A slot the server expects occupied but observes EMPTY proves that
-//     every tag mapping to it is absent (present tags always reply).
+//   * A slot the server expects occupied but observes EMPTY is absence
+//     evidence against every tag mapping to it.
 //   * A slot with exactly ONE expected mapper observed OCCUPIED proves that
 //     tag present (nobody else could have replied there).
 //   * Slots with several expected mappers observed occupied are ambiguous;
@@ -22,45 +23,27 @@
 //   the unknowns (sole-mapper / empty-slot probabilities are both ≈ e^{-1}),
 //   so the round count is O(log n) and total slots O(n log n).
 //
-// The verdicts are *proofs* under the ideal-channel model: no false
-// accusations and no false clearances (tests assert exactness). Reply loss
-// turns "missing" verdicts into suspicions — callers on lossy links should
-// re-run or demand the same verdict twice.
+// The verdicts are *proofs* under the channel model, lossy or not: replies
+// can be lost but never fabricated, so "present" verdicts are always sound,
+// and "missing" verdicts require a consecutive-round absence streak sized
+// so the campaign-wide false-accusation probability stays below
+// IdentifyConfig::accusation_error (see required_confirmations). No false
+// accusations, no false clearances; tags the campaign cannot decide in time
+// are reported `unresolved`, never guessed. On heavily lossy links the
+// iterative member mostly returns unresolved (present tags keep colliding
+// with the suspects); the filter-first member silences proven-present tags
+// and stays conclusive — prefer it there.
 #pragma once
 
-#include <cstdint>
 #include <vector>
 
-#include "hash/slot_hash.h"
-#include "radio/channel.h"
-#include "tag/tag.h"
-#include "tag/tag_id.h"
-#include "util/random.h"
+#include "protocol/identification.h"
 
 namespace rfid::protocol {
 
-struct IdentifyConfig {
-  /// Per-round frame size as a multiple of the tags still replying (enrolled
-  /// minus proven-missing). Load factor 1 is near-optimal; larger trades
-  /// slots for rounds.
-  double frame_load = 1.0;
-  /// Give up after this many rounds (0 slots left unknown on exit is the
-  /// common case well before this cap).
-  std::uint32_t max_rounds = 64;
-  radio::ChannelModel channel = {};
-};
-
-struct IdentifyResult {
-  std::vector<tag::TagId> missing;    // proven absent
-  std::vector<tag::TagId> present;    // proven present
-  std::vector<tag::TagId> unresolved; // round cap hit before classification
-  std::uint64_t rounds = 0;
-  std::uint64_t total_slots = 0;
-};
-
-/// Runs the identification campaign: `enrolled` is the server's ID list,
-/// `present_tags` the physically present population the reader can reach.
-/// `rng` drives challenge randomness (and channel noise, if any).
+/// Runs one iterative identification campaign: `enrolled` is the server's
+/// ID list, `present_tags` the physically present population the reader can
+/// reach. `rng` drives challenge randomness (and channel noise, if any).
 [[nodiscard]] IdentifyResult identify_missing_tags(
     const std::vector<tag::TagId>& enrolled,
     std::span<const tag::Tag> present_tags, const hash::SlotHasher& hasher,

@@ -1,6 +1,7 @@
 #include "protocol/tree_walk.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "util/expect.h"
@@ -58,13 +59,98 @@ TreeWalkResult run_tree_walk(std::span<const tag::Tag> present,
       ++result.collected;
     } else {
       ++result.collision_queries;
-      RFID_ENSURE(node.length < 64, "distinct tags share a full 64-bit word");
+      if (node.length == 64) {
+        // Distinct tags share a full 64-bit slot word; no deeper prefix can
+        // separate them, so the reader abandons the leaf instead of looping.
+        result.unresolvable += matching;
+        continue;
+      }
       // Push 1-child first so the 0-child is broadcast next (DFS order).
       stack.push_back({(node.prefix << 1) | 1, node.length + 1});
       stack.push_back({node.prefix << 1, node.length + 1});
     }
   }
   return result;
+}
+
+SlotSplitOutcome split_collision_slot(
+    std::span<const std::uint64_t> candidate_words,
+    std::span<const std::uint64_t> present_words,
+    const radio::ChannelModel& channel, util::Rng& rng) {
+  SlotSplitOutcome out;
+  out.proven_present.assign(candidate_words.size(), 0);
+  out.observed_absent.assign(candidate_words.size(), 0);
+  if (candidate_words.empty()) return out;
+
+  // Sort candidate words carrying their original index, and the replier
+  // words alone; every prefix is then a contiguous range in each.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> cands;
+  cands.reserve(candidate_words.size());
+  for (std::uint32_t i = 0; i < candidate_words.size(); ++i) {
+    cands.emplace_back(candidate_words[i], i);
+  }
+  std::sort(cands.begin(), cands.end());
+  std::vector<std::uint64_t> repliers(present_words.begin(),
+                                      present_words.end());
+  std::sort(repliers.begin(), repliers.end());
+
+  struct Node {
+    std::uint64_t prefix;
+    std::uint32_t length;
+  };
+  // The framed slot already observed the root occupied, so the walk starts
+  // at the root's children (1-child pushed first: DFS broadcasts 0 first).
+  std::vector<Node> stack{{1, 1}, {0, 1}};
+
+  while (!stack.empty()) {
+    const Node node = stack.back();
+    stack.pop_back();
+
+    const std::uint64_t lo_word = node.prefix << (64 - node.length);
+    const std::uint64_t span_mask =
+        node.length == 64 ? 0 : (~std::uint64_t{0} >> node.length);
+    const std::uint64_t hi_word = lo_word | span_mask;
+
+    const auto cand_lo = std::lower_bound(
+        cands.begin(), cands.end(),
+        std::pair<std::uint64_t, std::uint32_t>{lo_word, 0});
+    const auto cand_hi = std::upper_bound(
+        cands.begin(), cands.end(),
+        std::pair<std::uint64_t, std::uint32_t>{hi_word, ~std::uint32_t{0}});
+    const auto possible = static_cast<std::uint64_t>(cand_hi - cand_lo);
+    // The server knows no enrolled tag can answer here: skip the broadcast.
+    if (possible == 0) continue;
+
+    const auto rep_lo =
+        std::lower_bound(repliers.begin(), repliers.end(), lo_word);
+    const auto rep_hi =
+        std::upper_bound(repliers.begin(), repliers.end(), hi_word);
+    const auto replying = static_cast<std::uint32_t>(rep_hi - rep_lo);
+
+    ++out.queries;
+    out.max_depth = std::max(out.max_depth, node.length);
+    const bool occupied =
+        radio::occupied(radio::resolve_slot(replying, channel, rng));
+    if (!occupied) {
+      ++out.empty_queries;
+      for (auto it = cand_lo; it != cand_hi; ++it) {
+        out.observed_absent[it->second] = 1;
+      }
+      continue;
+    }
+    if (possible == 1) {
+      // Occupied and only one enrolled tag could have replied: proven.
+      out.proven_present[cand_lo->second] = 1;
+      continue;
+    }
+    if (node.length == 64) {
+      out.unresolvable += possible;
+      continue;
+    }
+    stack.push_back({(node.prefix << 1) | 1, node.length + 1});
+    stack.push_back({node.prefix << 1, node.length + 1});
+  }
+  return out;
 }
 
 }  // namespace rfid::protocol

@@ -16,8 +16,11 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
+#include "radio/channel.h"
 #include "tag/tag.h"
+#include "util/random.h"
 
 namespace rfid::protocol {
 
@@ -27,6 +30,10 @@ struct TreeWalkResult {
   std::uint64_t empty_queries = 0;
   std::uint64_t singleton_queries = 0;
   std::uint64_t collision_queries = 0;
+  /// Tags abandoned because distinct tags share a full 64-bit slot word:
+  /// the walk cannot separate them at any depth, so the reader gives up on
+  /// that leaf instead of looping forever.
+  std::uint64_t unresolvable = 0;
   std::uint32_t max_depth = 0;  // longest prefix broadcast
 };
 
@@ -34,5 +41,38 @@ struct TreeWalkResult {
 /// `stop_after_collected` IDs are collected (<= present.size()).
 [[nodiscard]] TreeWalkResult run_tree_walk(std::span<const tag::Tag> present,
                                            std::uint64_t stop_after_collected);
+
+/// Outcome of splitting one collision slot with a directed prefix walk
+/// (see `split_collision_slot`). The per-candidate vectors run parallel to
+/// the `candidate_words` span passed in.
+struct SlotSplitOutcome {
+  /// Candidate proven present: an occupied prefix the candidate was the
+  /// sole possible replier under (replies cannot be fabricated, so this is
+  /// sound even on a lossy channel).
+  std::vector<std::uint8_t> proven_present;
+  /// Candidate covered by at least one prefix observed empty — one unit of
+  /// absence evidence (a present tag can look absent only if its reply was
+  /// lost, probability <= reply_loss_prob).
+  std::vector<std::uint8_t> observed_absent;
+  std::uint64_t queries = 0;
+  std::uint64_t empty_queries = 0;
+  /// Candidates abandoned at depth 64 because they share a slot word with
+  /// another candidate under an occupied leaf — forever inseparable.
+  std::uint64_t unresolvable = 0;
+  std::uint32_t max_depth = 0;
+};
+
+/// Splits one ambiguous framed-slot with a *directed* query-tree walk: the
+/// server knows exactly which enrolled tags could have replied in the slot
+/// (`candidate_words`), so the reader only broadcasts prefixes that cover at
+/// least one candidate — impossible subtrees cost nothing. `present_words`
+/// are the slot words of the tags actually still answering (a subset of the
+/// candidates); `channel` models per-reply loss and capture on each prefix
+/// query. The root query is skipped: the framed slot itself already observed
+/// the root as occupied.
+[[nodiscard]] SlotSplitOutcome split_collision_slot(
+    std::span<const std::uint64_t> candidate_words,
+    std::span<const std::uint64_t> present_words,
+    const radio::ChannelModel& channel, util::Rng& rng);
 
 }  // namespace rfid::protocol

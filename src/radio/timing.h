@@ -24,6 +24,9 @@ struct TimingModel {
   double id_reply_slot_us = 2400.0;     // collect-all: EPC96 + CRC + framing
   double reseed_broadcast_us = 800.0;   // UTRP (f, r) re-broadcast to tags
   double query_broadcast_us = 800.0;    // initial (f, r) frame announcement
+  /// One bit of a reader→tag broadcast filter (ACK bitmaps in the
+  /// filter-first identification protocol) at the 40 kbps forward link.
+  double filter_bit_us = 25.0;
 
   /// Honest scan time of one TRP frame with the given composition.
   [[nodiscard]] double trp_scan_us(std::uint64_t empty_slots,
@@ -52,6 +55,25 @@ struct TimingModel {
     return static_cast<double>(rounds) * query_broadcast_us +
            static_cast<double>(empty_slots) * empty_slot_us +
            static_cast<double>(id_slots + collision_slots) * id_reply_slot_us;
+  }
+
+  /// Identification-campaign time: framed slots are short replies, each tree
+  /// prefix query costs its own broadcast plus a reply window, and ACK
+  /// filters are charged per broadcast bit.
+  [[nodiscard]] double identify_us(std::uint64_t frame_empty_slots,
+                                   std::uint64_t frame_reply_slots,
+                                   std::uint64_t tree_empty_queries,
+                                   std::uint64_t tree_reply_queries,
+                                   std::uint64_t filter_bits,
+                                   std::uint64_t rounds) const noexcept {
+    return static_cast<double>(rounds + tree_empty_queries +
+                               tree_reply_queries) *
+               query_broadcast_us +
+           static_cast<double>(frame_empty_slots + tree_empty_queries) *
+               empty_slot_us +
+           static_cast<double>(frame_reply_slots + tree_reply_queries) *
+               short_reply_slot_us +
+           static_cast<double>(filter_bits) * filter_bit_us;
   }
 };
 

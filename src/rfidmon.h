@@ -33,6 +33,7 @@
 #include "math/fused_detection.h"     // IWYU pragma: export
 #include "protocol/air_driver.h"      // IWYU pragma: export
 #include "protocol/collect_all.h"     // IWYU pragma: export
+#include "protocol/identification.h"  // IWYU pragma: export
 #include "protocol/identify.h"        // IWYU pragma: export
 #include "protocol/messages.h"        // IWYU pragma: export
 #include "protocol/multi_round.h"     // IWYU pragma: export

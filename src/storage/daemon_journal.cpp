@@ -109,6 +109,11 @@ void write_alert(ByteWriter& w, const DaemonAlertRecord& alert) {
   w.u64(alert.epoch);
   w.u64(alert.zone);
   w.bytes(alert.detail);
+  w.u32(static_cast<std::uint32_t>(alert.missing.size()));
+  for (const tag::TagId& id : alert.missing) {
+    w.u32(id.hi());
+    w.u64(id.lo());
+  }
 }
 
 [[nodiscard]] std::string encode_payload(const DaemonJournalRecord& record) {
@@ -172,17 +177,28 @@ void write_alert(ByteWriter& w, const DaemonAlertRecord& alert) {
   return zone;
 }
 
-[[nodiscard]] DaemonAlertRecord read_alert(ByteReader& r) {
+[[nodiscard]] DaemonAlertRecord read_alert(ByteReader& r,
+                                           std::uint32_t version) {
   DaemonAlertRecord alert;
   alert.sequence = r.u64();
   alert.kind = r.u8();
   alert.epoch = r.u64();
   alert.zone = r.u64();
   alert.detail = std::string(r.bytes());
+  if (version >= 3) {
+    const std::uint32_t missing = r.u32();
+    alert.missing.reserve(missing);
+    for (std::uint32_t i = 0; i < missing; ++i) {
+      const std::uint32_t hi = r.u32();
+      const std::uint64_t lo = r.u64();
+      alert.missing.emplace_back(hi, lo);
+    }
+  }
   return alert;
 }
 
-[[nodiscard]] DaemonJournalRecord decode_payload(std::string_view payload) {
+[[nodiscard]] DaemonJournalRecord decode_payload(std::string_view payload,
+                                                 std::uint32_t version) {
   ByteReader r(payload);
   const auto kind = static_cast<RecordKind>(r.u8());
   DaemonJournalRecord out;
@@ -208,7 +224,7 @@ void write_alert(ByteWriter& w, const DaemonAlertRecord& alert) {
       const std::uint32_t alerts = r.u32();
       rec.alerts.reserve(alerts);
       for (std::uint32_t i = 0; i < alerts; ++i) {
-        rec.alerts.push_back(read_alert(r));
+        rec.alerts.push_back(read_alert(r, version));
       }
       out = std::move(rec);
       break;
@@ -229,7 +245,7 @@ void write_alert(ByteWriter& w, const DaemonAlertRecord& alert) {
       const std::uint32_t alerts = r.u32();
       rec.alerts.reserve(alerts);
       for (std::uint32_t i = 0; i < alerts; ++i) {
-        rec.alerts.push_back(read_alert(r));
+        rec.alerts.push_back(read_alert(r, version));
       }
       out = std::move(rec);
       break;
@@ -255,7 +271,12 @@ std::string encode_daemon_record(const DaemonJournalRecord& record) {
 
 DaemonJournalScan scan_daemon_journal(std::string_view bytes) {
   DaemonJournalScan scan;
-  if (bytes.substr(0, kDaemonJournalMagic.size()) != kDaemonJournalMagic) {
+  if (bytes.substr(0, kDaemonJournalMagic.size()) == kDaemonJournalMagic) {
+    scan.version = 3;
+  } else if (bytes.substr(0, kDaemonJournalMagicV2.size()) ==
+             kDaemonJournalMagicV2) {
+    scan.version = 2;
+  } else {
     scan.dropped_bytes = bytes.size();
     return scan;
   }
@@ -271,7 +292,7 @@ DaemonJournalScan scan_daemon_journal(std::string_view bytes) {
     const std::string_view payload = bytes.substr(pos + kFrameHeader, len);
     if (checksum_of(payload) != declared) break;  // torn or rotted
     try {
-      scan.records.push_back(decode_payload(payload));
+      scan.records.push_back(decode_payload(payload, scan.version));
     } catch (const std::invalid_argument&) {
       break;  // checksum collision on garbage; treat as corruption
     }
@@ -359,11 +380,13 @@ DaemonReplay DaemonJournal::open(const DaemonStartRecord& start) {
   replay.alerts = folded_.alerts;
   replay.next_alert_sequence = folded_.next_alert_sequence;
 
-  if (scan.dropped_bytes > 0) {
+  if (scan.dropped_bytes > 0 || scan.version < 3) {
     // A torn tail must not stay: appending after it would bury every later
-    // checkpoint behind unreadable bytes. Compact — rotation's rewrite is
-    // exactly the right tool: the journal becomes [start][snapshot] holding
-    // precisely the state replay just accepted.
+    // checkpoint behind unreadable bytes. Likewise a legacy-format journal:
+    // checkpoint() appends current-format frames, which a later scan would
+    // mis-decode under the old magic. Compact — rotation's rewrite is
+    // exactly the right tool: the journal becomes [start][snapshot] in the
+    // current format holding precisely the state replay just accepted.
     replay.compacted_bytes = scan.dropped_bytes;
     rotate_locked();
   }

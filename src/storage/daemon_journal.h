@@ -43,14 +43,21 @@
 #include <vector>
 
 #include "storage/backend.h"
+#include "tag/tag_id.h"
 
 namespace rfid::storage {
 
 /// Format 2 added snapshot records and the per-reader health sub-records.
-/// Decoders reject trailing payload bytes, so the version lives in the
-/// magic: an old journal fails the header check and the daemon begins
-/// fresh (the safe direction — monitoring restarts at epoch 0, loudly).
-inline constexpr std::string_view kDaemonJournalMagic = "RFIDMON-DAEMON 2\n";
+/// Format 3 added the named missing-tag list to alert records (the fleet's
+/// identification drill-down). Decoders reject trailing payload bytes, so
+/// the version lives in the magic. Format 2 journals are still READ
+/// (alerts decode with an empty missing list); anything older fails the
+/// header check and the daemon begins fresh (the safe direction —
+/// monitoring restarts at epoch 0, loudly). Writers always produce format
+/// 3, so a resumable format-2 journal is rotated on open(): mixing v3
+/// frames under a v2 magic would corrupt every later scan.
+inline constexpr std::string_view kDaemonJournalMagic = "RFIDMON-DAEMON 3\n";
+inline constexpr std::string_view kDaemonJournalMagicV2 = "RFIDMON-DAEMON 2\n";
 
 struct DaemonStartRecord {
   std::uint64_t seed = 0;
@@ -88,6 +95,9 @@ struct DaemonAlertRecord {
   std::uint64_t epoch = 0;
   std::uint64_t zone = 0;
   std::string detail;
+  /// Stolen tags named by the identification drill-down (format 3+; empty
+  /// when the drill-down was off or the record predates it).
+  std::vector<tag::TagId> missing;
 };
 
 struct DaemonCheckpointRecord {
@@ -119,6 +129,8 @@ using DaemonJournalRecord =
 struct DaemonJournalScan {
   std::vector<DaemonJournalRecord> records;
   bool header_valid = false;
+  /// Format the magic declared (3 current, 2 legacy read-only, 0 invalid).
+  std::uint32_t version = 0;
   std::uint64_t valid_bytes = 0;
   std::uint64_t dropped_bytes = 0;
 };

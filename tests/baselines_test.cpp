@@ -86,6 +86,114 @@ TEST(TreeWalk, EdgeCases) {
   EXPECT_THROW((void)run_tree_walk(five.tags(), 6), std::invalid_argument);
 }
 
+TEST(TreeWalk, ZeroTargetCostsNothing) {
+  // stop_after_collected = 0 must not broadcast a single query, whatever
+  // the population size.
+  rfid::util::Rng rng(61);
+  const TagSet set = TagSet::make_random(64, rng);
+  const auto r = run_tree_walk(set.tags(), 0);
+  EXPECT_EQ(r.total_queries, 0u);
+  EXPECT_EQ(r.collected, 0u);
+  EXPECT_EQ(r.empty_queries, 0u);
+  EXPECT_EQ(r.singleton_queries, 0u);
+  EXPECT_EQ(r.collision_queries, 0u);
+  EXPECT_EQ(r.unresolvable, 0u);
+  EXPECT_EQ(r.max_depth, 0u);
+}
+
+// Two distinct TagIds engineered to share one 64-bit slot word:
+// slot_word() = lo ^ (hi * K), so (0, w) and (1, w ^ K) collide forever.
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+TEST(TreeWalk, DuplicateSlotWordsAreUnresolvableNotFatal) {
+  const std::uint64_t w = 0x0123456789abcdefULL;
+  const rfid::tag::TagId a(0, w);
+  const rfid::tag::TagId b(1, w ^ kGolden);
+  ASSERT_EQ(a.slot_word(), b.slot_word());
+  ASSERT_NE(a, b);
+
+  const std::vector<rfid::tag::Tag> twins{rfid::tag::Tag(a),
+                                          rfid::tag::Tag(b)};
+  const auto r = run_tree_walk(twins, 2);
+  // The walk must terminate (no infinite descent, no throw), give up on the
+  // inseparable pair, and report it.
+  EXPECT_EQ(r.collected, 0u);
+  EXPECT_EQ(r.unresolvable, 2u);
+  EXPECT_EQ(r.max_depth, 64u);
+
+  // A distinguishable third tag is still collected alongside the twins.
+  const std::vector<rfid::tag::Tag> mixed{
+      rfid::tag::Tag(a), rfid::tag::Tag(b),
+      rfid::tag::Tag(rfid::tag::TagId(7, ~w))};
+  const auto m = run_tree_walk(mixed, 3);
+  EXPECT_EQ(m.collected, 1u);
+  EXPECT_EQ(m.unresolvable, 2u);
+}
+
+TEST(TreeWalkSplit, SeparatesCollidingTagsWithDirectedQueries) {
+  // Two candidates differing in the top bit, both answering: one directed
+  // query per root child proves each present — impossible prefixes are
+  // never broadcast.
+  rfid::util::Rng rng(62);
+  const std::vector<std::uint64_t> words{0x1000000000000000ULL,
+                                         0x9000000000000000ULL};
+  const auto out = rfid::protocol::split_collision_slot(words, words, {}, rng);
+  EXPECT_EQ(out.queries, 2u);
+  EXPECT_EQ(out.empty_queries, 0u);
+  EXPECT_EQ(out.unresolvable, 0u);
+  EXPECT_EQ(out.proven_present, (std::vector<std::uint8_t>{1, 1}));
+  EXPECT_EQ(out.observed_absent, (std::vector<std::uint8_t>{0, 0}));
+}
+
+TEST(TreeWalkSplit, EmptySubtreeIsAbsenceEvidence) {
+  rfid::util::Rng rng(63);
+  const std::vector<std::uint64_t> candidates{0x1000000000000000ULL,
+                                              0x9000000000000000ULL};
+  const std::vector<std::uint64_t> answering{0x9000000000000000ULL};
+  const auto out =
+      rfid::protocol::split_collision_slot(candidates, answering, {}, rng);
+  EXPECT_EQ(out.observed_absent, (std::vector<std::uint8_t>{1, 0}));
+  EXPECT_EQ(out.proven_present, (std::vector<std::uint8_t>{0, 1}));
+  EXPECT_EQ(out.empty_queries, 1u);
+}
+
+TEST(TreeWalkSplit, DuplicateWordsReportedUnresolvable) {
+  // Both candidates share one word and both answer: the walk descends the
+  // single live path (sibling prefixes cost nothing) and gives up at the
+  // 64-bit leaf instead of looping.
+  rfid::util::Rng rng(64);
+  const std::uint64_t w = 0xfeedfacecafebeefULL;
+  const std::vector<std::uint64_t> words{w, w};
+  const auto out = rfid::protocol::split_collision_slot(words, words, {}, rng);
+  EXPECT_EQ(out.unresolvable, 2u);
+  EXPECT_EQ(out.proven_present, (std::vector<std::uint8_t>{0, 0}));
+  EXPECT_EQ(out.observed_absent, (std::vector<std::uint8_t>{0, 0}));
+  EXPECT_EQ(out.max_depth, 64u);
+  // One live node per depth 1..64; every empty sibling is pruned unqueried.
+  EXPECT_EQ(out.queries, 64u);
+}
+
+TEST(TreeWalkSplit, LostRepliesNeverFabricatePresence) {
+  // Under heavy reply loss the split may mark answering tags absent (that
+  // is only *evidence*, the caller demands a confirmation streak), but it
+  // must never prove a silent tag present.
+  rfid::util::Rng rng(65);
+  const std::vector<std::uint64_t> candidates{0x1000000000000000ULL,
+                                              0x9000000000000000ULL,
+                                              0xd000000000000000ULL};
+  const std::vector<std::uint64_t> answering{0x9000000000000000ULL};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto out = rfid::protocol::split_collision_slot(
+        candidates, answering, {.reply_loss_prob = 0.4}, rng);
+    EXPECT_EQ(out.proven_present[0], 0u);
+    EXPECT_EQ(out.proven_present[2], 0u);
+    // And a tag the walk proved present was really answering.
+    if (out.proven_present[1]) {
+      EXPECT_EQ(out.observed_absent[1], 0u);
+    }
+  }
+}
+
 TEST(TreeWalk, WorseThanDynamicAlohaForUniformIds) {
   // The reason the paper's collect-all baseline is framed-ALOHA: QT costs
   // ~2.885n vs ~e*n, and every QT query carries a prefix too.

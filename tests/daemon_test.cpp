@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
 #include <vector>
 
-#include <variant>
-
 #include "daemon/daemon.h"
+#include "hash/fnv.h"
 #include "fault/daemon_fault.h"
 #include "fault/fault.h"
 #include "obs/catalog.h"
@@ -481,6 +484,218 @@ TEST(MonitorDaemon, JournalRotationKeepsResumeO1AndHistoryIdentical) {
   EXPECT_EQ(result.epoch_verdicts, baseline_verdicts);
   EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline);
   expect_monotonic_sequences(result.alerts);
+}
+
+TEST(MonitorDaemon, TheftAlertNamesTheStolenTagsWhenDrillDownEnabled) {
+  storage::MemoryBackend backend;
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 1, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+  warehouse.identify.enabled = true;
+
+  daemon::MonitorDaemon d(base_config(backend), warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  const daemon::DaemonAlert* violated = nullptr;
+  for (const daemon::DaemonAlert& alert : result.alerts) {
+    if (alert.kind == daemon::DaemonAlertKind::kZoneViolated) {
+      EXPECT_EQ(violated, nullptr) << "violation must still latch once";
+      violated = &alert;
+    }
+  }
+  ASSERT_NE(violated, nullptr);
+  EXPECT_EQ(violated->zone, 0u);
+  // The drill-down named all 6 stolen tags and the detail says so.
+  EXPECT_EQ(violated->missing_tags.size(), 6u);
+  EXPECT_NE(violated->detail.find("identified 6 missing tag(s)"),
+            std::string::npos);
+  EXPECT_NE(violated->detail.find("[filter_first]"), std::string::npos);
+
+  // The canonical rendering carries the names (one line per tag).
+  const std::string history = daemon::render_alert_history(result.alerts);
+  EXPECT_NE(history.find("    missing urn:epc:raw:"), std::string::npos);
+  EXPECT_NE(history.find(violated->missing_tags[0].to_string()),
+            std::string::npos);
+
+  // And the journal made them durable: the checkpoint's alert record holds
+  // the same list a fresh scan decodes back.
+  const auto scan = storage::scan_daemon_journal(
+      backend.read(daemon::DaemonConfig{}.journal_name));
+  EXPECT_EQ(scan.version, 3u);
+  bool found = false;
+  for (const auto& record : scan.records) {
+    const auto* checkpoint =
+        std::get_if<storage::DaemonCheckpointRecord>(&record);
+    if (checkpoint == nullptr) continue;
+    for (const storage::DaemonAlertRecord& alert : checkpoint->alerts) {
+      if (alert.kind ==
+          static_cast<std::uint8_t>(daemon::DaemonAlertKind::kZoneViolated)) {
+        found = true;
+        ASSERT_EQ(alert.missing.size(), 6u);
+        for (std::size_t i = 0; i < 6; ++i) {
+          EXPECT_EQ(alert.missing[i], violated->missing_tags[i]);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MonitorDaemon, KillResumeStaysBitIdenticalWithNamedTagAlerts) {
+  // The acceptance scenario: crash on both sides of the checkpoint while
+  // the drill-down is naming tags — the resumed history, named tags
+  // included, must match an uncrashed daemon bit for bit.
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 1, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+  warehouse.identify.enabled = true;
+
+  std::string baseline;
+  std::vector<daemon::EpochVerdict> baseline_verdicts;
+  {
+    storage::MemoryBackend backend;
+    daemon::MonitorDaemon d(base_config(backend), warehouse);
+    const daemon::DaemonResult result = d.run();
+    baseline = daemon::render_alert_history(result.alerts);
+    baseline_verdicts = result.epoch_verdicts;
+    ASSERT_NE(baseline.find("    missing urn:epc:raw:"), std::string::npos);
+  }
+
+  fault::DaemonFaultPlan plan;
+  plan.crashes.push_back({1, fault::DaemonCrashPoint::kBeforeCheckpoint});
+  plan.crashes.push_back({2, fault::DaemonCrashPoint::kAfterCheckpoint});
+  fault::DaemonFaultInjector faults(plan);
+
+  storage::MemoryBackend backend;
+  daemon::DaemonConfig config = base_config(backend);
+  config.faults = &faults;
+  config.crash_hook = [&backend] { backend.crash(); };
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_EQ(result.crash_restarts, 2u);
+  EXPECT_FALSE(result.gave_up);
+  EXPECT_EQ(result.epoch_verdicts, baseline_verdicts);
+  EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline);
+  expect_monotonic_sequences(result.alerts);
+}
+
+// Byte-level helpers for forging a format-2 daemon journal (the layout an
+// old build actually wrote: v3 minus the per-alert missing-tag list).
+std::uint32_t le32_at(const std::string& b, std::size_t at) {
+  return static_cast<std::uint32_t>(
+      static_cast<unsigned char>(b[at]) |
+      (static_cast<unsigned char>(b[at + 1]) << 8) |
+      (static_cast<unsigned char>(b[at + 2]) << 16) |
+      (static_cast<unsigned char>(b[at + 3]) << 24));
+}
+
+void append_daemon_frame(std::string& out, std::string_view payload) {
+  const std::uint64_t sum = hash::fnv1a64(
+      std::as_bytes(std::span(payload.data(), payload.size())));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((len >> (8 * i)) & 0xffU));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((sum >> (8 * i)) & 0xffU));
+  }
+  out.append(payload);
+}
+
+// Strips each alert's (empty) missing-list count from a v3 checkpoint
+// payload, yielding the byte-identical v2 encoding. Layout: header 22 bytes
+// (kind u8, epoch u64, verdict u8, next_seq u64, zones u32), per-zone
+// health 22 + 13*readers bytes, alerts u32, then per alert seq u64 +
+// kind u8 + epoch u64 + zone u64 + detail (u32 len + bytes) +
+// missing u32 — the last field being what v2 lacks.
+std::string downgrade_checkpoint_payload(std::string payload) {
+  std::size_t at = 1 + 8 + 1 + 8;
+  const std::uint32_t zones = le32_at(payload, at);
+  at += 4;
+  for (std::uint32_t z = 0; z < zones; ++z) {
+    const std::uint32_t readers = le32_at(payload, at + 18);
+    at += 22 + 13 * static_cast<std::size_t>(readers);
+  }
+  const std::uint32_t alerts = le32_at(payload, at);
+  at += 4;
+  for (std::uint32_t a = 0; a < alerts; ++a) {
+    at += 8 + 1 + 8 + 8;                       // seq, kind, epoch, zone
+    at += 4 + le32_at(payload, at);            // detail
+    EXPECT_EQ(le32_at(payload, at), 0u);       // empty missing list
+    payload.erase(at, 4);
+  }
+  EXPECT_EQ(at, payload.size());
+  return payload;
+}
+
+TEST(MonitorDaemon, ResumesALegacyFormat2JournalAndRewritesIt) {
+  // A daemon that checkpointed under the format-2 magic must still resume
+  // (alerts decode with empty missing lists), and open() must rewrite the
+  // journal to the current format before appending anything: v3 frames
+  // under a v2 magic would corrupt every later scan.
+  daemon::WarehouseConfig warehouse = small_warehouse();
+  warehouse.churn.push_back(daemon::ChurnEvent{
+      .epoch = 1, .enroll = 0, .decommission = 0, .steal = 6, .steal_from = 0});
+
+  std::string baseline;
+  {
+    storage::MemoryBackend backend;
+    daemon::DaemonConfig config = base_config(backend);
+    config.epochs = 4;
+    daemon::MonitorDaemon d(config, warehouse);
+    baseline = daemon::render_alert_history(d.run().alerts);
+  }
+
+  storage::MemoryBackend backend;
+  {
+    daemon::DaemonConfig config = base_config(backend);
+    config.epochs = 2;
+    daemon::MonitorDaemon d(config, warehouse);
+    ASSERT_EQ(d.run().epochs_completed, 2u);
+  }
+
+  // Downgrade the journal on disk to format 2: swap the magic and strip
+  // the zero missing-count after every alert detail, re-framing each
+  // record's [len][checksum] header.
+  const std::string name = daemon::DaemonConfig{}.journal_name;
+  const std::string bytes = backend.read(name);
+  ASSERT_EQ(storage::scan_daemon_journal(bytes).version, 3u);
+  std::string v2(storage::kDaemonJournalMagicV2);
+  std::size_t pos = storage::kDaemonJournalMagic.size();
+  while (pos < bytes.size()) {
+    const std::uint32_t len = le32_at(bytes, pos);
+    std::string payload = bytes.substr(pos + 12, len);
+    if (!payload.empty() && static_cast<std::uint8_t>(payload[0]) == 2) {
+      payload = downgrade_checkpoint_payload(std::move(payload));
+    }
+    append_daemon_frame(v2, payload);
+    pos += 12 + len;
+  }
+  backend.remove(name);
+  backend.append(name, v2);
+  backend.flush(name);
+
+  // Sanity: the downgraded journal scans as format 2 with intact records.
+  {
+    const auto scan = storage::scan_daemon_journal(backend.read(name));
+    EXPECT_EQ(scan.version, 2u);
+    EXPECT_EQ(scan.dropped_bytes, 0u);
+    ASSERT_EQ(scan.records.size(), 3u);  // start + 2 checkpoints
+  }
+
+  // The second life resumes it and finishes epochs 2..3; the history must
+  // match the straight-through baseline, and the journal on disk must now
+  // carry the current magic (rotated on open, before any append).
+  daemon::DaemonConfig config = base_config(backend);
+  config.epochs = 4;
+  daemon::MonitorDaemon d(config, warehouse);
+  const daemon::DaemonResult result = d.run();
+  EXPECT_EQ(result.epochs_completed, 4u);
+  EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline);
+  const auto scan = storage::scan_daemon_journal(backend.read(name));
+  EXPECT_EQ(scan.version, 3u);
+  EXPECT_EQ(scan.dropped_bytes, 0u);
 }
 
 TEST(MonitorDaemon, MetricsCountEpochsAlertsAndRestarts) {

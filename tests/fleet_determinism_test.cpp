@@ -83,6 +83,9 @@ Rendered run_fleet(unsigned threads) {
     for (std::uint64_t i = 0; i < 8; ++i) spec.stolen.push_back(i);
     spec.zone_faults.emplace_back(
         1, fault::parse_fault_plan("crash 10000 never\n"));
+    // Drill-down on the theft: its named-tag list, identify_* metrics, and
+    // summary lines must all be thread-count invariant too.
+    spec.identify.enabled = true;
     orchestrator.submit(std::move(spec));
   }
   {
@@ -145,6 +148,9 @@ TEST(FleetDeterminism, MixedFleetIsBitIdenticalAcrossThreadCounts) {
   // The interesting paths really ran.
   EXPECT_NE(one.summary.find("requeues: "), std::string::npos);
   EXPECT_NE(one.summary.find("zone_escalated"), std::string::npos);
+  EXPECT_NE(one.summary.find("identified [filter_first]"), std::string::npos);
+  EXPECT_NE(one.prometheus.find("rfidmon_identify_campaigns_total"),
+            std::string::npos);
   EXPECT_NE(one.prometheus.find("rfidmon_fleet_runs_total"),
             std::string::npos);
   EXPECT_NE(one.json.find("\"fleet\":\"det-fleet\""), std::string::npos);

@@ -214,6 +214,92 @@ TEST(FleetOrchestrator, TheftBeyondToleranceAggregatesViolated) {
   EXPECT_EQ(result.inventories[0].zones[0].status,
             fleet::ZoneStatus::kViolated);
   EXPECT_GT(result.inventories[0].zones[0].mismatched_rounds, 0u);
+  // Drill-down is opt-in: a violated zone without it reports no campaign.
+  EXPECT_FALSE(result.inventories[0].zones[0].identification.ran);
+  EXPECT_EQ(result.zones_identified, 0u);
+}
+
+// ----------------------------------------------- identification drill ----
+
+TEST(FleetOrchestrator, DrillDownNamesExactlyTheStolenTags) {
+  util::Rng rng(110);
+  obs::MetricsRegistry metrics;
+  fleet::FleetOrchestrator orchestrator(
+      {.seed = 9, .threads = 2, .metrics = &metrics});
+  fleet::InventorySpec looted = make_trp_spec("looted", 120, 3, 40, rng);
+  for (std::uint64_t i = 0; i < 10; ++i) looted.stolen.push_back(i);
+  // Remember the stolen IDs before the spec is consumed: indices 0..9 all
+  // land in zone 0 (split_by_plan slices in order).
+  std::vector<tag::TagId> stolen_ids;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    stolen_ids.push_back(looted.tags.at(i).id());
+  }
+  looted.identify.enabled = true;
+  orchestrator.submit(std::move(looted));
+  const fleet::FleetResult result = orchestrator.run();
+
+  ASSERT_EQ(result.verdict, fleet::GlobalVerdict::kViolated);
+  const fleet::ZoneIdentification& id =
+      result.inventories[0].zones[0].identification;
+  ASSERT_TRUE(id.ran);
+  EXPECT_EQ(id.protocol, "filter_first");
+  ASSERT_EQ(id.missing.size(), stolen_ids.size());
+  // Both lists are in enrolled order, so they compare element-wise.
+  for (std::size_t i = 0; i < stolen_ids.size(); ++i) {
+    EXPECT_EQ(id.missing[i], stolen_ids[i]) << "tag " << i;
+  }
+  EXPECT_EQ(id.present, 30u);  // zone 0 holds 40 tags, 10 stolen
+  EXPECT_EQ(id.unresolved, 0u);
+  EXPECT_GT(id.rounds, 0u);
+  EXPECT_GT(id.slots, 0u);
+  EXPECT_GT(id.duration_us, 0.0);
+  EXPECT_EQ(result.zones_identified, 1u);
+  EXPECT_EQ(result.tags_named, 10u);
+  // Intact zones are never drilled.
+  for (std::size_t z = 1; z < result.inventories[0].zones.size(); ++z) {
+    EXPECT_FALSE(result.inventories[0].zones[z].identification.ran);
+  }
+
+  // The campaign lands in the identify_* metric family.
+  namespace cat = obs::catalog;
+  EXPECT_EQ(
+      cat::identify_campaigns_total(metrics, "filter_first", "resolved")
+          .value(),
+      1u);
+  EXPECT_EQ(cat::identify_tags_total(metrics, "missing").value(), 10u);
+  EXPECT_EQ(cat::identify_tags_total(metrics, "present").value(), 30u);
+
+  // And the summary names the stolen tags (capped at 8, so "+2 more").
+  const std::string text = fleet::summary(result);
+  EXPECT_NE(text.find("identified [filter_first]"), std::string::npos);
+  EXPECT_NE(text.find(stolen_ids[0].to_string()), std::string::npos);
+  EXPECT_NE(text.find("+2 more"), std::string::npos);
+}
+
+TEST(FleetOrchestrator, DrillDownSupportsTheIterativeFamilyMember) {
+  util::Rng rng(111);
+  fleet::FleetOrchestrator orchestrator({.seed = 13, .threads = 1});
+  fleet::InventorySpec looted = make_trp_spec("aisle", 80, 2, 40, rng);
+  for (std::uint64_t i = 0; i < 6; ++i) looted.stolen.push_back(i);
+  const std::vector<tag::TagId> stolen_ids = [&] {
+    std::vector<tag::TagId> ids;
+    for (std::uint64_t i = 0; i < 6; ++i) ids.push_back(looted.tags.at(i).id());
+    return ids;
+  }();
+  looted.identify.enabled = true;
+  looted.identify.protocol = protocol::IdentifyProtocolKind::kIterative;
+  orchestrator.submit(std::move(looted));
+  const fleet::FleetResult result = orchestrator.run();
+
+  const fleet::ZoneIdentification& id =
+      result.inventories[0].zones[0].identification;
+  ASSERT_TRUE(id.ran);
+  EXPECT_EQ(id.protocol, "iterative");
+  ASSERT_EQ(id.missing.size(), stolen_ids.size());
+  for (std::size_t i = 0; i < stolen_ids.size(); ++i) {
+    EXPECT_EQ(id.missing[i], stolen_ids[i]) << "tag " << i;
+  }
+  EXPECT_EQ(id.filter_bits, 0u);  // iterative never broadcasts ACK filters
 }
 
 // ------------------------------------------------------ retry/escalate ----

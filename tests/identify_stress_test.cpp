@@ -1,0 +1,135 @@
+// Identification stress battery (ctest label `slow`): the soundness
+// invariants of the protocol family at population scales and channel
+// conditions the fast battery (identify_test.cpp) doesn't reach.
+//
+// The invariants under stress — never weakened by load:
+//   * partition: missing + present + unresolved == enrolled, no tag twice;
+//   * no false accusation: a physically present tag never lands in
+//     `missing`, however lossy the channel;
+//   * no false clearance: a stolen tag never lands in `present` (a
+//     fabricated reply is physically impossible);
+//   * exactness on a clean channel: the missing set IS the stolen set.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "hash/slot_hash.h"
+#include "protocol/collect_all.h"
+#include "protocol/identification.h"
+#include "radio/timing.h"
+#include "tag/tag_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace rfid;
+using protocol::IdentifyProtocolKind;
+
+std::unordered_set<std::uint64_t> words_of(
+    const std::vector<tag::TagId>& ids) {
+  std::unordered_set<std::uint64_t> out;
+  out.reserve(ids.size());
+  for (const tag::TagId& id : ids) out.insert(id.slot_word());
+  return out;
+}
+
+/// Checks the partition + soundness invariants of one campaign against the
+/// ground-truth stolen set.
+void check_sound(const protocol::IdentifyResult& result,
+                 const std::vector<tag::TagId>& enrolled,
+                 const std::unordered_set<std::uint64_t>& stolen_words) {
+  ASSERT_EQ(result.missing.size() + result.present.size() +
+                result.unresolved.size(),
+            enrolled.size());
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(enrolled.size());
+  for (const auto* bucket : {&result.missing, &result.present,
+                             &result.unresolved}) {
+    for (const tag::TagId& id : *bucket) {
+      ASSERT_TRUE(seen.insert(id.slot_word()).second)
+          << "tag classified twice";
+    }
+  }
+  for (const tag::TagId& accused : result.missing) {
+    ASSERT_TRUE(stolen_words.contains(accused.slot_word()))
+        << "present tag falsely accused";
+  }
+  for (const tag::TagId& cleared : result.present) {
+    ASSERT_FALSE(stolen_words.contains(cleared.slot_word()))
+        << "stolen tag falsely cleared";
+  }
+}
+
+TEST(IdentifyStress, QuarterMillionTagsExactOnACleanChannel) {
+  const hash::SlotHasher hasher;
+  for (const IdentifyProtocolKind kind : {IdentifyProtocolKind::kIterative,
+                                          IdentifyProtocolKind::kFilterFirst}) {
+    util::Rng rng(util::derive_seed(60, static_cast<std::uint64_t>(kind)));
+    tag::TagSet set = tag::TagSet::make_random(250'000, rng);
+    const std::vector<tag::TagId> enrolled = set.ids();
+    const tag::TagSet stolen = set.steal_random(700, rng);
+    const auto identifier = protocol::make_identification_protocol(kind, {});
+    const protocol::IdentifyResult result =
+        identifier->identify(enrolled, set.tags(), hasher, rng);
+    EXPECT_TRUE(result.unresolved.empty());
+    EXPECT_EQ(result.missing.size(), 700u);
+    EXPECT_EQ(words_of(result.missing), words_of(stolen.ids()));
+    check_sound(result, enrolled, words_of(stolen.ids()));
+  }
+}
+
+TEST(IdentifyStress, RandomizedLossyCampaignsStaySound) {
+  // 60 randomized campaigns per member: population, theft fraction, loss,
+  // and capture all drawn per seed. Soundness must hold in every single
+  // one — a lossy channel may leave tags unresolved, never misclassified.
+  const hash::SlotHasher hasher;
+  for (const IdentifyProtocolKind kind : {IdentifyProtocolKind::kIterative,
+                                          IdentifyProtocolKind::kFilterFirst}) {
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+      util::Rng rng(util::derive_seed(61, static_cast<std::uint64_t>(kind),
+                                      seed));
+      const std::uint64_t n = 500 + rng.below(4'500);
+      tag::TagSet set = tag::TagSet::make_random(n, rng);
+      const std::vector<tag::TagId> enrolled = set.ids();
+      const tag::TagSet stolen =
+          set.steal_random(static_cast<std::size_t>(rng.below(n / 2)), rng);
+      protocol::IdentifyConfig config;
+      config.channel.reply_loss_prob =
+          static_cast<double>(rng.below(40)) / 100.0;  // 0.00 .. 0.39
+      config.channel.capture_prob =
+          static_cast<double>(rng.below(20)) / 100.0;  // 0.00 .. 0.19
+      const auto identifier =
+          protocol::make_identification_protocol(kind, config);
+      const protocol::IdentifyResult result =
+          identifier->identify(enrolled, set.tags(), hasher, rng);
+      check_sound(result, enrolled, words_of(stolen.ids()));
+    }
+  }
+}
+
+TEST(IdentifyStress, FilterFirstBeatsCollectAllAtScale) {
+  // The bench's headline claim, pinned as a test at one heavyweight point:
+  // n = 200k, m = 1k (a 0.5% theft), filter-first must finish every tag
+  // and spend under half of collect-all's air time.
+  const hash::SlotHasher hasher;
+  const radio::TimingModel timing;
+  util::Rng rng(62);
+  tag::TagSet set = tag::TagSet::make_random(200'000, rng);
+  const std::vector<tag::TagId> enrolled = set.ids();
+  const tag::TagSet stolen = set.steal_random(1'000, rng);
+  const auto identifier = protocol::make_identification_protocol(
+      IdentifyProtocolKind::kFilterFirst, {});
+  const protocol::IdentifyResult result =
+      identifier->identify(enrolled, set.tags(), hasher, rng);
+  EXPECT_TRUE(result.unresolved.empty());
+  EXPECT_EQ(words_of(result.missing), words_of(stolen.ids()));
+
+  util::Rng collect_rng(62);
+  const auto collect = protocol::run_collect_all(
+      set.tags(), hasher, {.stop_after_collected = set.size()}, collect_rng);
+  EXPECT_GT(collect.elapsed_us(timing), 2.0 * result.elapsed_us(timing));
+}
+
+}  // namespace

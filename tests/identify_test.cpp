@@ -5,7 +5,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/catalog.h"
 #include "protocol/identify.h"
+#include "radio/timing.h"
 #include "tag/tag_set.h"
 #include "util/random.h"
 
@@ -13,6 +15,9 @@ namespace {
 
 using rfid::protocol::identify_missing_tags;
 using rfid::protocol::IdentifyConfig;
+using rfid::protocol::IdentifyProtocolKind;
+using rfid::protocol::make_identification_protocol;
+using rfid::protocol::to_string;
 using rfid::tag::TagId;
 using rfid::tag::TagSet;
 
@@ -132,20 +137,194 @@ TEST(Identify, RoundCapLeavesUnresolvedNotWrong) {
             enrolled.size());
 }
 
-TEST(Identify, LossyChannelCausesFalseAccusations) {
-  // The documented caveat: a lost reply looks like absence. Expect at least
-  // one present tag accused under heavy loss.
-  rfid::util::Rng rng(6);
-  TagSet set = TagSet::make_random(300, rng);
-  const auto enrolled = set.ids();
-  (void)set.steal_random(5, rng);
-  const auto result = identify_missing_tags(
-      enrolled, set.tags(), rfid::hash::SlotHasher{},
+TEST(Identify, LossyChannelNeverFalselyAccusesOrClears) {
+  // The header's promise, for BOTH family members: reply loss may delay or
+  // withhold verdicts (unresolved), but an accused tag is really absent and
+  // a cleared tag is really present — the confirmation streak absorbs loss.
+  for (const auto kind : {IdentifyProtocolKind::kIterative,
+                          IdentifyProtocolKind::kFilterFirst}) {
+    const auto protocol = make_identification_protocol(
+        kind, {.frame_load = 1.0,
+               .max_rounds = 64,
+               .channel = {.reply_loss_prob = 0.2, .capture_prob = 0.1}});
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      rfid::util::Rng rng(rfid::util::derive_seed(60, seed));
+      TagSet set = TagSet::make_random(300, rng);
+      const auto enrolled = set.ids();
+      const TagSet stolen = set.steal_random(5, rng);
+      const auto result =
+          protocol->identify(enrolled, set.tags(), rfid::hash::SlotHasher{}, rng);
+      EXPECT_GT(result.confirmations_required, 1u);
+      const auto stolen_words = words_of(stolen.ids());
+      const auto present_words = words_of(set.ids());
+      for (const TagId& accused : result.missing) {
+        EXPECT_TRUE(stolen_words.contains(accused.slot_word()))
+            << to_string(kind) << " falsely accused a present tag (seed "
+            << seed << ")";
+      }
+      for (const TagId& cleared : result.present) {
+        EXPECT_TRUE(present_words.contains(cleared.slot_word()))
+            << to_string(kind) << " falsely cleared a stolen tag (seed "
+            << seed << ")";
+      }
+    }
+  }
+}
+
+TEST(Identify, FilterFirstStaysConclusiveUnderLoss) {
+  // The iterative member mostly returns `unresolved` on a lossy link
+  // (present tags keep colliding with the suspects); filter-first silences
+  // proven-present tags, so the suspects' slots go quiet and the streak
+  // completes inside the round cap.
+  const auto protocol = make_identification_protocol(
+      IdentifyProtocolKind::kFilterFirst,
       {.frame_load = 1.0,
        .max_rounds = 64,
-       .channel = {.reply_loss_prob = 0.2, .capture_prob = 0.0}},
-      rng);
-  EXPECT_GT(result.missing.size(), 5u);
+       .channel = {.reply_loss_prob = 0.2, .capture_prob = 0.0}});
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    rfid::util::Rng rng(rfid::util::derive_seed(61, seed));
+    TagSet set = TagSet::make_random(300, rng);
+    const auto enrolled = set.ids();
+    const TagSet stolen = set.steal_random(5, rng);
+    const auto result =
+        protocol->identify(enrolled, set.tags(), rfid::hash::SlotHasher{}, rng);
+    EXPECT_TRUE(result.unresolved.empty()) << "seed " << seed;
+    EXPECT_EQ(words_of(result.missing), words_of(stolen.ids()));
+    EXPECT_EQ(result.present.size(), 295u);
+  }
+}
+
+TEST(Identify, FilterFirstExactlyIdentifiesTheStolenTags) {
+  const auto protocol =
+      make_identification_protocol(IdentifyProtocolKind::kFilterFirst, {});
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    rfid::util::Rng rng(rfid::util::derive_seed(62, seed));
+    TagSet set = TagSet::make_random(400, rng);
+    const auto enrolled = set.ids();
+    const TagSet stolen = set.steal_random(25, rng);
+    const auto result =
+        protocol->identify(enrolled, set.tags(), rfid::hash::SlotHasher{}, rng);
+    EXPECT_TRUE(result.unresolved.empty());
+    EXPECT_EQ(words_of(result.missing), words_of(stolen.ids()));
+    EXPECT_EQ(result.present.size(), 375u);
+  }
+}
+
+TEST(Identify, FilterFirstHandlesDegenerateTheftSizes) {
+  const auto protocol =
+      make_identification_protocol(IdentifyProtocolKind::kFilterFirst, {});
+  rfid::util::Rng rng(63);
+  const TagSet intact = TagSet::make_random(200, rng);
+  const auto all_there =
+      protocol->identify(intact.ids(), intact.tags(), rfid::hash::SlotHasher{}, rng);
+  EXPECT_TRUE(all_there.missing.empty());
+  EXPECT_TRUE(all_there.unresolved.empty());
+  EXPECT_EQ(all_there.present.size(), 200u);
+
+  const auto all_gone =
+      protocol->identify(intact.ids(), {}, rfid::hash::SlotHasher{}, rng);
+  EXPECT_EQ(all_gone.missing.size(), 200u);
+  EXPECT_TRUE(all_gone.present.empty());
+  EXPECT_EQ(all_gone.rounds, 1u);  // every slot empty: one frame settles it
+}
+
+TEST(Identify, FilterFirstBeatsIterativeOnAirTime) {
+  // The point of the refactor: silencing proven-present tags shrinks the
+  // frames, so filter-first spends a constant factor of the iterative
+  // member's slots — and materially less simulated air time.
+  rfid::util::Rng make_rng(64);
+  TagSet set = TagSet::make_random(5000, make_rng);
+  const auto enrolled = set.ids();
+  (void)set.steal_random(10, make_rng);
+
+  const rfid::radio::TimingModel timing;
+  rfid::util::Rng rng_a(7);
+  rfid::util::Rng rng_b(7);
+  const auto iterative =
+      make_identification_protocol(IdentifyProtocolKind::kIterative, {})
+          ->identify(enrolled, set.tags(), rfid::hash::SlotHasher{}, rng_a);
+  const auto filtered =
+      make_identification_protocol(IdentifyProtocolKind::kFilterFirst, {})
+          ->identify(enrolled, set.tags(), rfid::hash::SlotHasher{}, rng_b);
+  EXPECT_TRUE(filtered.unresolved.empty());
+  EXPECT_EQ(filtered.missing.size(), 10u);
+  EXPECT_LT(filtered.total_slots, iterative.total_slots / 2);
+  EXPECT_LT(filtered.elapsed_us(timing), iterative.elapsed_us(timing));
+}
+
+TEST(Identify, FilterFirstEstimatesTheftSizeFromFirstFrame) {
+  const auto protocol =
+      make_identification_protocol(IdentifyProtocolKind::kFilterFirst, {});
+  rfid::util::Rng rng(65);
+  TagSet set = TagSet::make_random(2000, rng);
+  const auto enrolled = set.ids();
+  (void)set.steal_random(400, rng);
+  const auto result =
+      protocol->identify(enrolled, set.tags(), rfid::hash::SlotHasher{}, rng);
+  // Zero-estimator on the first frame: coarse, but near the true theft.
+  EXPECT_GT(result.estimated_missing, 200.0);
+  EXPECT_LT(result.estimated_missing, 600.0);
+  EXPECT_EQ(result.missing.size(), 400u);
+}
+
+TEST(Identify, RequiredConfirmationsScalesWithLoss) {
+  using rfid::protocol::required_confirmations;
+  EXPECT_EQ(required_confirmations({}, 1000), 1u);
+  const IdentifyConfig mild{.channel = {.reply_loss_prob = 0.05}};
+  const IdentifyConfig heavy{.channel = {.reply_loss_prob = 0.5}};
+  EXPECT_GT(required_confirmations(mild, 1000), 1u);
+  EXPECT_GT(required_confirmations(heavy, 1000),
+            required_confirmations(mild, 1000));
+  const IdentifyConfig pinned{.channel = {.reply_loss_prob = 0.5},
+                              .confirmations = 3};
+  EXPECT_EQ(required_confirmations(pinned, 1000), 3u);
+}
+
+TEST(Identify, FamilyFactoryNamesAndValidation) {
+  using rfid::protocol::IdentificationProtocol;
+  EXPECT_EQ(to_string(IdentifyProtocolKind::kIterative), "iterative");
+  EXPECT_EQ(to_string(IdentifyProtocolKind::kFilterFirst), "filter_first");
+  for (const auto kind : {IdentifyProtocolKind::kIterative,
+                          IdentifyProtocolKind::kFilterFirst}) {
+    const auto protocol = make_identification_protocol(kind, {});
+    EXPECT_EQ(protocol->name(), to_string(kind));
+    EXPECT_THROW((void)make_identification_protocol(kind, {.frame_load = 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)make_identification_protocol(
+            kind, {.channel = {.reply_loss_prob = 1.0}}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        (void)make_identification_protocol(kind, {.accusation_error = 0.0}),
+        std::invalid_argument);
+  }
+}
+
+TEST(Identify, MetricsRecordOneCampaign) {
+  rfid::util::Rng rng(66);
+  TagSet set = TagSet::make_random(100, rng);
+  const auto enrolled = set.ids();
+  (void)set.steal_random(4, rng);
+  const auto protocol =
+      make_identification_protocol(IdentifyProtocolKind::kFilterFirst, {});
+  const auto result =
+      protocol->identify(enrolled, set.tags(), rfid::hash::SlotHasher{}, rng);
+
+  rfid::obs::MetricsRegistry registry;
+  rfid::protocol::record_identify_metrics(registry, protocol->name(), result);
+  EXPECT_EQ(rfid::obs::catalog::identify_campaigns_total(registry,
+                                                         "filter_first",
+                                                         "resolved")
+                .value(),
+            1u);
+  EXPECT_EQ(rfid::obs::catalog::identify_tags_total(registry, "missing").value(),
+            4u);
+  EXPECT_EQ(rfid::obs::catalog::identify_tags_total(registry, "present").value(),
+            96u);
+  EXPECT_EQ(
+      rfid::obs::catalog::identify_slots_total(registry, "filter_first", "frame")
+          .value(),
+      result.frame_empty_slots + result.frame_reply_slots);
 }
 
 TEST(Identify, RejectsBadConfig) {

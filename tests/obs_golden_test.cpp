@@ -15,11 +15,15 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "fault/fault.h"
+#include "hash/slot_hash.h"
 #include "obs/expose.h"
 #include "obs/metrics.h"
 #include "obs/session_log.h"
 #include "obs/trace.h"
+#include "protocol/identification.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
 #include "server/inventory_server.h"
@@ -90,6 +94,22 @@ struct Scenario {
       const auto outcome =
           wire::run_utrp_session(queue, server, set.tags(), 2, config, rng);
       ASSERT_TRUE(outcome.completed);
+    }
+
+    // --- Identification campaign (the drill-down metric family) ------
+    {
+      util::Rng rng(1004);
+      tag::TagSet set = tag::TagSet::make_random(120, rng);
+      const std::vector<tag::TagId> enrolled = set.ids();
+      (void)set.steal_random(5, rng);
+      const hash::SlotHasher hasher;
+      const auto identifier = protocol::make_identification_protocol(
+          protocol::IdentifyProtocolKind::kFilterFirst, {});
+      const protocol::IdentifyResult result =
+          identifier->identify(enrolled, set.tags(), hasher, rng);
+      ASSERT_EQ(result.missing.size(), 5u);
+      ASSERT_TRUE(result.unresolved.empty());
+      protocol::record_identify_metrics(registry, identifier->name(), result);
     }
 
     // --- Durable server: rounds, rotation, bit rot, healed recovery --

@@ -118,7 +118,11 @@ TEST(ObsRegistry, SeriesReferencesAreStable) {
   obs::Counter& first = family.with({"v0"});
   first.inc();
   for (int i = 1; i < 200; ++i) {
-    family.with({"v" + std::to_string(i)}).inc(2);
+    // std::string + append, not "v" + to_string(...): the const char* +
+    // string&& overload trips a GCC 12 -Wrestrict false positive at -O2.
+    std::string label("v");
+    label += std::to_string(i);
+    family.with({label}).inc(2);
   }
   EXPECT_EQ(first.value(), 1u);
   EXPECT_EQ(&first, &family.with({"v0"}));
