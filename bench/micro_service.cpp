@@ -1,0 +1,199 @@
+// Multi-tenant service sweep: N concurrent tenants, each on its own real
+// loopback connection, enroll a small inventory and drive a monitoring run
+// to its verdict. Reports end-to-end throughput (runs/sec over the run
+// phase), client-observed admission-to-verdict latency quantiles (p50/p99,
+// including any time spent deferred), and peak RSS — the numbers quoted in
+// EXPERIMENTS.md. The top rung (1000 tenants) is the PR's acceptance bar:
+// the service must sustain it with bounded memory and a sane p99.
+//
+// Takes no meaningful flags; unknown flags (e.g. the --benchmark_min_time
+// scripts/run_all.sh passes to micro_* binaries) are ignored. --tenants N
+// replaces the sweep with a single rung.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace rfid;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kTagsPerTenant = 40;
+
+service::EnrollRequest tenant_inventory() {
+  service::EnrollRequest req;
+  req.inventory = "inv";
+  req.tolerance = 1;
+  req.zone_capacity = 0;  // single zone per tenant
+  req.rounds = 1;
+  req.tags.reserve(kTagsPerTenant);
+  for (std::uint32_t i = 0; i < kTagsPerTenant; ++i) {
+    req.tags.emplace_back(i, 0xb000 + i);
+  }
+  return req;
+}
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+struct RungResult {
+  int tenants = 0;
+  int completed = 0;
+  int failed = 0;
+  double connect_s = 0.0;
+  double run_s = 0.0;
+  double runs_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  long rss_kb = 0;
+};
+
+RungResult run_rung(int tenants) {
+  service::ServiceConfig config;
+  config.workers = std::max(2u, std::thread::hardware_concurrency());
+  config.max_inflight = 64;
+  config.max_inflight_per_tenant = 1;
+  config.max_deferred = static_cast<std::size_t>(tenants) + 64;
+  config.token_capacity = 1e12;  // saturation, not rate, is the subject
+  config.tokens_per_sec = 1e12;
+  service::MonitorService svc{config};
+  svc.start();
+
+  std::vector<std::unique_ptr<service::ServiceClient>> clients(
+      static_cast<std::size_t>(tenants));
+  std::vector<double> latencies_ms(static_cast<std::size_t>(tenants), -1.0);
+  std::atomic<int> failures{0};
+
+  // Phase 1: every tenant connects, authenticates, and enrolls; all
+  // connections stay open so the run phase really is N concurrent tenants.
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(tenants));
+    for (int i = 0; i < tenants; ++i) {
+      threads.emplace_back([&, i] {
+        try {
+          auto client = std::make_unique<service::ServiceClient>(
+              svc.port(), std::chrono::milliseconds(60000));
+          client->hello("tenant-" + std::to_string(i));
+          client->enroll(tenant_inventory());
+          clients[static_cast<std::size_t>(i)] = std::move(client);
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = Clock::now();
+
+  // Phase 2: everyone fires a run at once and blocks for its verdict.
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(tenants));
+    for (int i = 0; i < tenants; ++i) {
+      if (clients[static_cast<std::size_t>(i)] == nullptr) continue;
+      threads.emplace_back([&, i] {
+        service::ServiceClient& client = *clients[static_cast<std::size_t>(i)];
+        try {
+          service::StartRunRequest run;
+          run.inventory = "inv";
+          run.seed = static_cast<std::uint64_t>(i) + 1;
+          const auto start = Clock::now();
+          const service::StartOutcome outcome = client.start_run(run);
+          if (!outcome.admitted.has_value()) {
+            failures.fetch_add(1);
+            return;
+          }
+          (void)client.await_verdict(outcome.admitted->run_id);
+          latencies_ms[static_cast<std::size_t>(i)] =
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count();
+          client.goodbye();
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto t2 = Clock::now();
+  clients.clear();
+  (void)svc.stop();
+
+  RungResult r;
+  r.tenants = tenants;
+  r.failed = failures.load();
+  r.connect_s = std::chrono::duration<double>(t1 - t0).count();
+  r.run_s = std::chrono::duration<double>(t2 - t1).count();
+  std::vector<double> done;
+  done.reserve(latencies_ms.size());
+  for (const double ms : latencies_ms) {
+    if (ms >= 0.0) done.push_back(ms);
+  }
+  r.completed = static_cast<int>(done.size());
+  std::sort(done.begin(), done.end());
+  r.runs_per_s = r.run_s > 0.0 ? static_cast<double>(done.size()) / r.run_s
+                               : 0.0;
+  r.p50_ms = quantile(done, 0.50);
+  r.p99_ms = quantile(done, 0.99);
+  r.rss_kb = peak_rss_kb();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)service::raise_fd_limit();
+  std::vector<int> sweep = {128, 512, 1000};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      sweep = {std::atoi(argv[++i])};
+    }
+    // anything else (e.g. --benchmark_min_time from run_all.sh): ignored
+  }
+
+  std::printf("micro_service: concurrent-tenant sweep "
+              "(%u tags/tenant, 1 zone, 1 round each)\n\n",
+              kTagsPerTenant);
+  std::printf("%8s %10s %8s %11s %11s %10s %10s %10s\n", "tenants",
+              "completed", "failed", "connect_s", "run_s", "runs/s",
+              "p50_ms", "p99_ms");
+  bool ok = true;
+  for (const int tenants : sweep) {
+    const RungResult r = run_rung(tenants);
+    std::printf("%8d %10d %8d %11.3f %11.3f %10.0f %10.2f %10.2f\n",
+                r.tenants, r.completed, r.failed, r.connect_s, r.run_s,
+                r.runs_per_s, r.p50_ms, r.p99_ms);
+    std::printf("%8s peak RSS %.1f MiB\n", "",
+                static_cast<double>(r.rss_kb) / 1024.0);
+    ok = ok && r.failed == 0 && r.completed == r.tenants;
+  }
+  if (!ok) {
+    std::printf("\nFAILED: not every tenant completed a run\n");
+    return 1;
+  }
+  return 0;
+}

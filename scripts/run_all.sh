@@ -44,6 +44,9 @@ echo "== reader fusion (adversarial reader overruled by k = 3 vote) =="
 echo "== identification drill-down (violated zone -> named stolen tags) =="
 "${BUILD_DIR}/examples/identify_drill" | tee "${RESULTS_DIR}/identify_drill.txt"
 
+echo "== multi-tenant service (framed protocol, admission, streamed verdicts) =="
+"${BUILD_DIR}/examples/service_drill" | tee "${RESULTS_DIR}/service_drill.txt"
+
 echo "== observability (final metrics dump) =="
 "${BUILD_DIR}/examples/metrics_dump" | tee "${RESULTS_DIR}/metrics_prometheus.txt" | tail -5
 "${BUILD_DIR}/examples/metrics_dump" --json > "${RESULTS_DIR}/metrics_json.txt"

@@ -489,4 +489,82 @@ inline Counter& identify_filter_bits_total(MetricsRegistry& r) {
                    "filter-first identification campaigns.");
 }
 
+// ------------------------------------------------------------ service ----
+
+inline Counter& service_connections_total(MetricsRegistry& r,
+                                          std::string_view kind) {
+  return r.counter_family(
+           "rfidmon_service_connections_total",
+           "Connections the monitoring service accepted, by listener "
+           "(client | http).",
+           {"kind"})
+      .with({kind});
+}
+
+inline Gauge& service_active_connections(MetricsRegistry& r) {
+  return r.gauge("rfidmon_service_active_connections",
+                 "Client and HTTP connections currently open.");
+}
+
+inline Counter& service_frames_total(MetricsRegistry& r,
+                                     std::string_view direction) {
+  return r.counter_family("rfidmon_service_frames_total",
+                          "Service frames parsed from (in) or queued to "
+                          "(out) client connections.",
+                          {"direction"})
+      .with({direction});
+}
+
+inline Counter& service_frame_errors_total(MetricsRegistry& r,
+                                           std::string_view kind) {
+  return r.counter_family(
+           "rfidmon_service_frame_errors_total",
+           "Typed protocol errors sent to clients (oversized_frame, "
+           "bad_checksum, unknown_type, malformed_payload, ...).",
+           {"kind"})
+      .with({kind});
+}
+
+inline Counter& service_admissions_total(MetricsRegistry& r,
+                                         std::string_view result) {
+  return r.counter_family(
+           "rfidmon_service_admissions_total",
+           "Tenant run/watch requests through admission control, by "
+           "result (accepted | deferred | rejected).",
+           {"result"})
+      .with({result});
+}
+
+inline Counter& service_runs_total(MetricsRegistry& r,
+                                   std::string_view verdict) {
+  return r.counter_family(
+           "rfidmon_service_runs_total",
+           "Monitoring runs the service completed, by global verdict "
+           "(intact | violated | inconclusive | aborted).",
+           {"verdict"})
+      .with({verdict});
+}
+
+inline Histogram& service_run_latency_us(MetricsRegistry& r) {
+  return r.histogram("rfidmon_service_run_latency_us",
+                     "Admission-to-verdict latency of a monitoring run "
+                     "(wall clock, HDR buckets).",
+                     Histogram::hdr_bounds(64.0, 6.7e7, 8));
+}
+
+inline Gauge& service_active_streams(MetricsRegistry& r) {
+  return r.gauge("rfidmon_service_active_streams",
+                 "Connections currently subscribed to a tenant alert feed.");
+}
+
+inline Counter& service_http_requests_total(MetricsRegistry& r,
+                                            std::string_view path) {
+  return r.counter_family(
+           "rfidmon_service_http_requests_total",
+           "Scrape-endpoint HTTP requests, by path (metrics | "
+           "metrics_json | healthz | other).",
+           {"path"})
+      .with({path});
+}
+
 }  // namespace rfid::obs::catalog

@@ -1,0 +1,295 @@
+#include "service/client.h"
+
+#include <cstring>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+namespace rfid::service {
+
+namespace {
+
+constexpr std::uint32_t kClientMaxPayload = 8u << 20;
+
+[[noreturn]] void unexpected(const Frame& frame) {
+  if (static_cast<FrameType>(frame.type) == FrameType::kError) {
+    const ErrorMsg err = decode_error(frame.payload);
+    throw std::runtime_error("service error: " +
+                             std::string(to_string(err.code)) + ": " +
+                             err.message);
+  }
+  throw std::runtime_error(
+      "unexpected frame: " +
+      std::string(to_string(static_cast<FrameType>(frame.type))));
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(std::uint16_t port,
+                             std::chrono::milliseconds timeout)
+    : sock_(connect_loopback(port, timeout)),
+      timeout_(timeout),
+      reader_(kClientMaxPayload) {
+  sock_.set_receive_timeout(timeout_);
+}
+
+void ServiceClient::send_frame(FrameType type,
+                               std::span<const std::byte> payload) {
+  send_raw(encode_frame(type, payload));
+}
+
+void ServiceClient::send_raw(std::span<const std::byte> bytes) {
+  if (!sock_.send_all(bytes)) {
+    throw std::runtime_error("service connection closed while sending");
+  }
+}
+
+Frame ServiceClient::read_frame() {
+  if (!pending_.empty()) {
+    Frame frame = std::move(pending_.front());
+    pending_.erase(pending_.begin());
+    return frame;
+  }
+  std::vector<Frame> frames;
+  std::byte buf[4096];
+  for (;;) {
+    if (!frames.empty()) break;
+    if (!sock_.recv_all(std::span<std::byte>(buf, 1))) {
+      throw std::runtime_error("service connection closed or timed out");
+    }
+    // Drain whatever else is already readable without blocking again.
+    sock_.set_nonblocking(true);
+    long extra = 0;
+    try {
+      extra = sock_.read_some(std::span<std::byte>(buf + 1, sizeof(buf) - 1));
+    } catch (...) {
+      extra = 0;
+    }
+    sock_.set_nonblocking(false);
+    const std::size_t got = 1 + (extra > 0 ? static_cast<std::size_t>(extra) : 0);
+    const ErrorCode err =
+        reader_.feed(std::span<const std::byte>(buf, got), frames);
+    if (err != ErrorCode::kNone) {
+      throw std::runtime_error("framing error from server: " +
+                               std::string(to_string(err)));
+    }
+  }
+  Frame first = std::move(frames.front());
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    pending_.push_back(std::move(frames[i]));
+  }
+  return first;
+}
+
+bool ServiceClient::is_stream_frame(FrameType type) {
+  return type == FrameType::kRunAlert || type == FrameType::kTenantAlert ||
+         type == FrameType::kRunVerdict || type == FrameType::kWatchDone ||
+         type == FrameType::kShutdown;
+}
+
+void ServiceClient::restore(std::vector<Frame>& aside) {
+  pending_.insert(pending_.begin(), std::make_move_iterator(aside.begin()),
+                  std::make_move_iterator(aside.end()));
+}
+
+Frame ServiceClient::next_of(FrameType wanted) {
+  // Stream frames may interleave ahead of a response; set them aside for the
+  // await_* helpers and restore them on return. Re-queueing them directly
+  // would make read_frame() hand the same frame straight back without ever
+  // touching the socket — an infinite loop. Anything else is a protocol
+  // surprise.
+  std::vector<Frame> aside;
+  for (;;) {
+    Frame frame = read_frame();
+    const auto type = static_cast<FrameType>(frame.type);
+    if (type == wanted) {
+      restore(aside);
+      return frame;
+    }
+    if (is_stream_frame(type)) {
+      aside.push_back(std::move(frame));
+      continue;
+    }
+    unexpected(frame);
+  }
+}
+
+HelloOk ServiceClient::hello(const std::string& tenant) {
+  send_frame(FrameType::kHello,
+             encode(HelloRequest{kProtocolVersion, tenant}));
+  const HelloOk ok = decode_hello_ok(next_of(FrameType::kHelloOk).payload);
+  session_id_ = ok.session_id;
+  return ok;
+}
+
+EnrollOk ServiceClient::enroll(const EnrollRequest& request) {
+  send_frame(FrameType::kEnroll, encode(request));
+  return decode_enroll_ok(next_of(FrameType::kEnrollOk).payload);
+}
+
+StartOutcome ServiceClient::await_start_outcome() {
+  std::vector<Frame> aside;
+  for (;;) {
+    Frame frame = read_frame();
+    const auto type = static_cast<FrameType>(frame.type);
+    if (type == FrameType::kRunAdmitted) {
+      restore(aside);
+      return StartOutcome{decode_run_admitted(frame.payload), std::nullopt};
+    }
+    if (type == FrameType::kBackpressure) {
+      restore(aside);
+      return StartOutcome{std::nullopt, decode_backpressure(frame.payload)};
+    }
+    if (is_stream_frame(type)) {
+      aside.push_back(std::move(frame));
+      continue;
+    }
+    unexpected(frame);
+  }
+}
+
+StartOutcome ServiceClient::start_run(const StartRunRequest& request) {
+  send_frame(FrameType::kStartRun, encode(request));
+  return await_start_outcome();
+}
+
+StartOutcome ServiceClient::start_watch(const StartWatchRequest& request) {
+  send_frame(FrameType::kStartWatch, encode(request));
+  return await_start_outcome();
+}
+
+RunOutcome ServiceClient::await_verdict(std::uint64_t run_id) {
+  RunOutcome outcome;
+  // Frames that belong to OTHER runs are set aside (not re-queued, which
+  // would make this loop chase its own tail) and restored on return.
+  std::vector<Frame> aside;
+  for (;;) {
+    Frame frame = read_frame();
+    const auto type = static_cast<FrameType>(frame.type);
+    if (type == FrameType::kRunVerdict) {
+      RunVerdictMsg verdict = decode_run_verdict(frame.payload);
+      if (verdict.run_id != run_id) {
+        aside.push_back(std::move(frame));
+        continue;
+      }
+      outcome.verdict = std::move(verdict);
+      restore(aside);
+      return outcome;
+    }
+    if (type == FrameType::kRunAlert) {
+      RunAlertMsg alert = decode_run_alert(frame.payload);
+      if (alert.run_id == run_id) {
+        outcome.alerts.push_back(std::move(alert));
+      } else {
+        aside.push_back(std::move(frame));
+      }
+      continue;
+    }
+    if (type == FrameType::kWatchDone) {
+      aside.push_back(std::move(frame));
+      continue;
+    }
+    if (type == FrameType::kTenantAlert || type == FrameType::kShutdown) {
+      continue;  // feed traffic; the verdict is still coming
+    }
+    unexpected(frame);
+  }
+}
+
+WatchDone ServiceClient::await_watch_done(std::uint64_t run_id) {
+  std::vector<Frame> aside;
+  for (;;) {
+    Frame frame = read_frame();
+    const auto type = static_cast<FrameType>(frame.type);
+    if (type == FrameType::kWatchDone) {
+      const WatchDone done = decode_watch_done(frame.payload);
+      if (done.run_id == run_id) {
+        restore(aside);
+        return done;
+      }
+      aside.push_back(std::move(frame));
+      continue;
+    }
+    if (type == FrameType::kRunVerdict) {
+      aside.push_back(std::move(frame));
+      continue;
+    }
+    if (type == FrameType::kTenantAlert || type == FrameType::kRunAlert ||
+        type == FrameType::kShutdown) {
+      continue;
+    }
+    unexpected(frame);
+  }
+}
+
+std::vector<TenantAlert> ServiceClient::subscribe() {
+  send_frame(FrameType::kSubscribe, {});
+  const SubscribeOk ok =
+      decode_subscribe_ok(next_of(FrameType::kSubscribeOk).payload);
+  std::vector<TenantAlert> backlog;
+  backlog.reserve(ok.backlog);
+  while (backlog.size() < ok.backlog) {
+    backlog.push_back(
+        decode_tenant_alert(next_of(FrameType::kTenantAlert).payload));
+  }
+  return backlog;
+}
+
+std::uint64_t ServiceClient::ping(std::uint64_t nonce) {
+  send_frame(FrameType::kPing, encode(PingMsg{nonce}));
+  return decode_ping(next_of(FrameType::kPong).payload).nonce;
+}
+
+void ServiceClient::goodbye() {
+  send_frame(FrameType::kGoodbye, {});
+}
+
+std::string http_get(std::uint16_t port, const std::string& path,
+                     int* status_out, std::chrono::milliseconds timeout) {
+  Socket sock = connect_loopback(port, timeout);
+  sock.set_receive_timeout(timeout);
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  if (!sock.send_all({reinterpret_cast<const std::byte*>(request.data()),
+                      request.size()})) {
+    throw std::runtime_error("http connection closed while sending");
+  }
+  // HTTP/1.0, Connection: close — read until EOF.
+  std::string response;
+  std::byte buf[8192];
+  sock.set_nonblocking(false);
+  for (;;) {
+    if (!sock.recv_all(std::span<std::byte>(buf, 1))) break;
+    response.push_back(static_cast<char>(buf[0]));
+    sock.set_nonblocking(true);
+    long extra = 0;
+    try {
+      extra = sock.read_some(std::span<std::byte>(buf, sizeof(buf)));
+    } catch (...) {
+      extra = 0;
+    }
+    sock.set_nonblocking(false);
+    if (extra > 0) {
+      response.append(reinterpret_cast<const char*>(buf),
+                      static_cast<std::size_t>(extra));
+    } else if (extra == 0) {
+      break;
+    }
+  }
+  const std::size_t line_end = response.find("\r\n");
+  if (status_out != nullptr) {
+    *status_out = 0;
+    const std::size_t sp = response.find(' ');
+    if (sp != std::string::npos && line_end != std::string::npos &&
+        sp + 4 <= line_end) {
+      *status_out = std::stoi(response.substr(sp + 1, 3));
+    }
+  }
+  const std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    throw std::runtime_error("malformed http response");
+  }
+  return response.substr(body_at + 4);
+}
+
+}  // namespace rfid::service

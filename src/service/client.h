@@ -1,0 +1,91 @@
+// Blocking loopback client for MonitorService — the other endpoint of every
+// hermetic two-endpoint test, the bench driver, and the example. One frame
+// in flight at a time: send_frame() writes a whole frame, read_frame()
+// blocks (bounded by the receive timeout) until one complete frame arrives.
+// Stream frames (RunAlert, TenantAlert) interleave with responses, so the
+// typed helpers skip-and-collect: start_run() returns everything up to the
+// verdict, subscribe() drains the advertised backlog.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/framing.h"
+#include "service/messages.h"
+#include "service/socket.h"
+
+namespace rfid::service {
+
+/// Admission outcome of start_run/start_watch: exactly one of `admitted` /
+/// `backpressure` is set.
+struct StartOutcome {
+  std::optional<RunAdmitted> admitted;
+  std::optional<Backpressure> backpressure;
+};
+
+/// A completed run as observed from the client side.
+struct RunOutcome {
+  RunVerdictMsg verdict;
+  std::vector<RunAlertMsg> alerts;
+};
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(
+      std::uint16_t port,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Raw frame IO (the fuzz/robustness tests drive these directly).
+  void send_frame(FrameType type, std::span<const std::byte> payload);
+  void send_raw(std::span<const std::byte> bytes);
+  /// Blocks for the next frame. Throws std::runtime_error on timeout or
+  /// peer close.
+  [[nodiscard]] Frame read_frame();
+
+  // ---- typed conversation helpers (each throws std::runtime_error on an
+  // unexpected reply; a kError reply surfaces as "service error: ...") ----
+
+  HelloOk hello(const std::string& tenant);
+  EnrollOk enroll(const EnrollRequest& request);
+  /// Sends the request and returns the admission outcome; stream frames
+  /// arriving first are buffered for later read_frame()/await_* calls.
+  StartOutcome start_run(const StartRunRequest& request);
+  StartOutcome start_watch(const StartWatchRequest& request);
+  /// Blocks until the verdict for `run_id` arrives, collecting that run's
+  /// alert frames on the way.
+  RunOutcome await_verdict(std::uint64_t run_id);
+  WatchDone await_watch_done(std::uint64_t run_id);
+  /// Subscribes and drains the advertised backlog.
+  std::vector<TenantAlert> subscribe();
+  std::uint64_t ping(std::uint64_t nonce);
+  void goodbye();
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+
+ private:
+  [[nodiscard]] static bool is_stream_frame(FrameType type);
+  /// Puts frames a typed helper skipped back at the head of `pending_`.
+  void restore(std::vector<Frame>& aside);
+  [[nodiscard]] Frame next_of(FrameType wanted);
+  [[nodiscard]] StartOutcome await_start_outcome();
+
+  Socket sock_;
+  std::chrono::milliseconds timeout_;
+  std::vector<std::byte> rx_;
+  FrameReader reader_;
+  std::vector<Frame> pending_;  // stream frames skipped by a typed helper
+  std::uint64_t session_id_ = 0;
+};
+
+/// Minimal blocking HTTP GET against the service scrape port. Returns the
+/// response body; `status_out` (optional) receives the status line's code.
+[[nodiscard]] std::string http_get(
+    std::uint16_t port, const std::string& path, int* status_out = nullptr,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+}  // namespace rfid::service

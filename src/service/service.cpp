@@ -1,0 +1,1047 @@
+#include "service/service.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "daemon/daemon.h"
+#include "fleet/fleet.h"
+#include "fleet/scheduler.h"
+#include "obs/catalog.h"
+#include "obs/expose.h"
+#include "server/group_planner.h"
+#include "service/framing.h"
+#include "service/messages.h"
+#include "service/socket.h"
+#include "storage/backend.h"
+#include "tag/tag_set.h"
+
+namespace rfid::service {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+constexpr std::size_t kHttpHeaderLimit = 8 * 1024;
+
+}  // namespace
+
+struct MonitorService::Impl {
+  // ------------------------------------------------------------ types ----
+
+  struct Enrolled {
+    tag::TagSet tags;
+    server::GroupPlan plan;
+    fleet::Protocol protocol = fleet::Protocol::kTrp;
+    std::uint64_t tolerance = 1;
+    double alpha = 0.95;
+    std::uint64_t zone_capacity = 0;
+    std::uint64_t rounds = 1;
+  };
+
+  struct Tenant {
+    double tokens = 0.0;
+    bool bucket_primed = false;
+    std::uint64_t last_refill_us = 0;
+    std::uint64_t inflight = 0;
+    std::uint64_t next_sequence = 0;
+    std::map<std::string, Enrolled> inventories;
+    std::deque<TenantAlert> feed;  // bounded retained backlog
+  };
+
+  struct PendingRun {
+    bool watch = false;
+    std::string tenant;
+    std::uint64_t session_id = 0;
+    std::uint64_t run_id = 0;
+    std::uint64_t admitted_us = 0;
+    StartRunRequest run;
+    StartWatchRequest watch_req;
+  };
+
+  /// Everything a worker task needs, built on the IO thread so the task
+  /// never touches shared tenant state.
+  struct RunWork {
+    PendingRun pending;
+    fleet::InventorySpec spec;       // runs only
+    daemon::DaemonConfig dcfg;       // watches only
+    daemon::WarehouseConfig dwarehouse;
+  };
+
+  struct Completion {
+    PendingRun pending;
+    bool failed = false;  // non-crash exception escaped the run
+    std::string failure;
+    fleet::FleetResult fleet;  // runs
+    std::vector<daemon::DaemonAlert> daemon_alerts;  // watches
+    std::uint64_t epochs_completed = 0;
+    bool gave_up = false;
+  };
+
+  struct Conn {
+    enum class Kind : std::uint8_t { kClient, kHttp };
+    Kind kind = Kind::kClient;
+    Socket sock;
+    FrameReader reader;
+    std::string http_buf;
+    std::deque<std::vector<std::byte>> outbox;
+    std::size_t outbox_offset = 0;  // sent bytes of outbox.front()
+    std::size_t outbox_bytes = 0;
+    bool hello = false;
+    std::string tenant;
+    std::uint64_t session_id = 0;
+    bool subscribed = false;
+    bool closing = false;  // flush outbox, then close
+    bool dead = false;     // drop immediately, peer is gone
+
+    Conn(Kind k, Socket s, std::uint32_t max_payload)
+        : kind(k), sock(std::move(s)), reader(max_payload) {}
+  };
+
+  // ------------------------------------------------------------ state ----
+
+  ServiceConfig config;
+  std::unique_ptr<Listener> listener;
+  std::unique_ptr<Listener> http_listener;
+  WakePipe wake;
+  std::unique_ptr<fleet::FleetScheduler> pool;
+  std::thread io_thread;
+  std::chrono::steady_clock::time_point epoch_tp;
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopped{false};
+  std::atomic<bool> draining{false};
+  std::atomic<bool> io_stop{false};
+  std::atomic<bool> abort_runs{false};
+  std::atomic<std::uint64_t> inflight{0};
+  std::atomic<std::uint64_t> deferred_size{0};
+  std::atomic<std::uint64_t> done_pending{0};
+
+  std::mutex done_mu;
+  std::vector<Completion> done;
+
+  // IO-thread-only state.
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::map<std::uint64_t, Conn*> sessions;
+  std::map<std::string, Tenant> tenants;
+  std::deque<PendingRun> deferred;
+  std::uint64_t next_session = 1;
+  std::uint64_t next_run = 1;
+  bool announced_shutdown = false;
+
+  ServiceStats stats;  // IO thread writes; stop() reads after join
+
+  explicit Impl(ServiceConfig cfg) : config(std::move(cfg)) {}
+
+  // ------------------------------------------------------------ clock ----
+
+  [[nodiscard]] std::uint64_t now_us() const {
+    if (config.clock_us) return config.clock_us();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_tp)
+            .count());
+  }
+
+  // ---------------------------------------------------------- metrics ----
+
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return config.metrics;
+  }
+
+  void count_frame_error(ErrorCode code) {
+    ++stats.frame_errors;
+    if (metrics() != nullptr) {
+      obs::catalog::service_frame_errors_total(*metrics(), to_string(code))
+          .inc();
+    }
+  }
+
+  // ----------------------------------------------------------- outbox ----
+
+  void queue_bytes(Conn& c, std::vector<std::byte> bytes) {
+    if (c.closing || c.dead) return;
+    c.outbox_bytes += bytes.size();
+    if (c.outbox_bytes > config.outbox_limit_bytes) {
+      // Slow consumer: cut the connection instead of buffering unboundedly.
+      c.outbox.clear();
+      c.outbox_offset = 0;
+      c.outbox_bytes = 0;
+      c.dead = true;
+      count_frame_error(ErrorCode::kOverloaded);
+      return;
+    }
+    c.outbox.push_back(std::move(bytes));
+  }
+
+  template <typename Msg>
+  void send(Conn& c, FrameType type, const Msg& msg) {
+    if (c.closing || c.dead) return;
+    queue_bytes(c, encode_frame(type, encode(msg)));
+    ++stats.frames_out;
+    if (metrics() != nullptr) {
+      obs::catalog::service_frames_total(*metrics(), "out").inc();
+    }
+  }
+
+  void send_error(Conn& c, ErrorCode code, std::string message) {
+    count_frame_error(code);
+    send(c, FrameType::kError, ErrorMsg{code, std::move(message)});
+    if (is_fatal(code)) c.closing = true;
+  }
+
+  // ------------------------------------------------------- tenant feed ----
+
+  void publish_alert(const std::string& tenant_name, TenantAlert alert) {
+    Tenant& tenant = tenants[tenant_name];
+    alert.sequence = tenant.next_sequence++;
+    tenant.feed.push_back(alert);
+    while (tenant.feed.size() > config.alert_backlog) tenant.feed.pop_front();
+    for (const auto& conn : conns) {
+      if (conn->subscribed && !conn->closing && !conn->dead &&
+          conn->tenant == tenant_name) {
+        send(*conn, FrameType::kTenantAlert, alert);
+      }
+    }
+  }
+
+  // -------------------------------------------------------- admission ----
+
+  void refill(Tenant& tenant, std::uint64_t now) {
+    if (!tenant.bucket_primed) {
+      tenant.tokens = config.token_capacity;
+      tenant.last_refill_us = now;
+      tenant.bucket_primed = true;
+      return;
+    }
+    const double elapsed_s =
+        static_cast<double>(now - tenant.last_refill_us) / 1e6;
+    tenant.tokens = std::min(config.token_capacity,
+                             tenant.tokens + elapsed_s * config.tokens_per_sec);
+    tenant.last_refill_us = now;
+  }
+
+  void count_admission(const char* result) {
+    if (metrics() != nullptr) {
+      obs::catalog::service_admissions_total(*metrics(), result).inc();
+    }
+  }
+
+  void reject(Conn& c, std::uint64_t retry_after_ms, std::string reason) {
+    ++stats.rejected;
+    count_admission("rejected");
+    send(c, FrameType::kBackpressure,
+         Backpressure{retry_after_ms, std::move(reason)});
+  }
+
+  void handle_start(Conn& c, PendingRun pending) {
+    Tenant& tenant = tenants[c.tenant];
+    const std::string& inventory_name =
+        pending.watch ? pending.watch_req.inventory : pending.run.inventory;
+    const auto it = tenant.inventories.find(inventory_name);
+    if (it == tenant.inventories.end()) {
+      send_error(c, ErrorCode::kUnknownInventory,
+                 "inventory not enrolled: " + inventory_name);
+      return;
+    }
+    if (pending.watch && pending.watch_req.epochs > config.max_watch_epochs) {
+      send_error(c, ErrorCode::kBadRequest, "watch epochs over limit");
+      return;
+    }
+    if (!pending.watch) {
+      for (const std::uint64_t idx : pending.run.stolen) {
+        if (idx >= it->second.tags.size()) {
+          send_error(c, ErrorCode::kBadRequest, "stolen index out of range");
+          return;
+        }
+      }
+    }
+    if (draining.load(std::memory_order_relaxed)) {
+      reject(c, static_cast<std::uint64_t>(config.drain_timeout.count()),
+             "shutting down");
+      return;
+    }
+
+    const std::uint64_t now = now_us();
+    refill(tenant, now);
+    if (tenant.tokens < 1.0) {
+      const double deficit_s =
+          (1.0 - tenant.tokens) / std::max(config.tokens_per_sec, 1e-9);
+      reject(c, static_cast<std::uint64_t>(deficit_s * 1000.0) + 1,
+             "rate limited");
+      return;
+    }
+    tenant.tokens -= 1.0;
+
+    pending.tenant = c.tenant;
+    pending.session_id = c.session_id;
+    pending.run_id = next_run++;
+    pending.admitted_us = now;
+
+    if (inflight.load(std::memory_order_relaxed) < config.max_inflight &&
+        tenant.inflight < config.max_inflight_per_tenant) {
+      ++stats.admitted;
+      count_admission("accepted");
+      send(c, FrameType::kRunAdmitted,
+           RunAdmitted{pending.run_id,
+                       static_cast<std::uint8_t>(fleet::Admission::kAccepted),
+                       0});
+      launch(std::move(pending));
+      return;
+    }
+    if (deferred.size() < config.max_deferred) {
+      ++stats.deferred;
+      count_admission("deferred");
+      deferred.push_back(std::move(pending));
+      deferred_size.store(deferred.size(), std::memory_order_relaxed);
+      send(c, FrameType::kRunAdmitted,
+           RunAdmitted{deferred.back().run_id,
+                       static_cast<std::uint8_t>(fleet::Admission::kDeferred),
+                       deferred.size()});
+      return;
+    }
+    reject(c, config.reject_retry_ms * (deferred.size() + 1),
+           "admission queue full");
+  }
+
+  void launch_deferred() {
+    while (inflight.load(std::memory_order_relaxed) < config.max_inflight) {
+      auto it = std::find_if(deferred.begin(), deferred.end(),
+                             [this](const PendingRun& p) {
+                               return tenants[p.tenant].inflight <
+                                      config.max_inflight_per_tenant;
+                             });
+      if (it == deferred.end()) break;
+      PendingRun pending = std::move(*it);
+      deferred.erase(it);
+      deferred_size.store(deferred.size(), std::memory_order_relaxed);
+      launch(std::move(pending));
+    }
+  }
+
+  // ---------------------------------------------------------- execute ----
+
+  void launch(PendingRun pending) {
+    Tenant& tenant = tenants[pending.tenant];
+    ++tenant.inflight;
+    inflight.fetch_add(1, std::memory_order_relaxed);
+
+    auto work = std::make_shared<RunWork>();
+    const Enrolled& enrolled =
+        tenant.inventories.at(pending.watch ? pending.watch_req.inventory
+                                            : pending.run.inventory);
+    if (pending.watch) {
+      const StartWatchRequest& req = pending.watch_req;
+      work->dwarehouse.protocol = enrolled.protocol;
+      work->dwarehouse.initial_tags = enrolled.tags.size();
+      work->dwarehouse.tolerance = enrolled.tolerance;
+      work->dwarehouse.zone_capacity = enrolled.zone_capacity;
+      work->dwarehouse.alpha = enrolled.alpha;
+      work->dwarehouse.rounds = enrolled.rounds;
+      work->dwarehouse.identify.enabled = req.identify;
+      if (req.steal > 0) {
+        work->dwarehouse.churn.push_back(daemon::ChurnEvent{
+            .epoch = req.steal_epoch,
+            .enroll = 0,
+            .decommission = 0,
+            .steal = req.steal,
+            .steal_from = req.steal_from});
+      }
+      work->dcfg.seed = req.seed;
+      work->dcfg.name = pending.tenant + "/" + req.inventory;
+      work->dcfg.epochs = req.epochs;
+      work->dcfg.threads = config.run_threads;
+      work->dcfg.metrics = config.metrics;
+    } else {
+      const StartRunRequest& req = pending.run;
+      fleet::InventorySpec spec;
+      spec.name = req.inventory;
+      spec.protocol = enrolled.protocol;
+      spec.tags = enrolled.tags;  // copy: the task owns its population
+      spec.plan = enrolled.plan;
+      spec.stolen = req.stolen;
+      spec.alpha = enrolled.alpha;
+      spec.rounds = enrolled.rounds;
+      spec.identify.enabled = req.identify;
+      work->spec = std::move(spec);
+    }
+    work->pending = std::move(pending);
+
+    // Admission-stamp EDF: earlier-admitted runs schedule first, so the
+    // deferred wave drains FIFO through whichever worker frees up.
+    pool->submit(static_cast<double>(work->pending.admitted_us),
+                 [this, work] { execute(*work); });
+  }
+
+  void execute(RunWork& work) {
+    Completion comp;
+    comp.pending = work.pending;
+    try {
+      if (work.pending.watch) {
+        // Directory name derives from the server-generated run id only —
+        // tenant/inventory strings are client-controlled and must never
+        // reach the filesystem.
+        std::unique_ptr<storage::StorageBackend> backend;
+        if (config.journal_dir.empty()) {
+          backend = std::make_unique<storage::MemoryBackend>();
+        } else {
+          backend = std::make_unique<storage::FileBackend>(
+              config.journal_dir + "/watch-" +
+              std::to_string(work.pending.run_id));
+        }
+        work.dcfg.backend = backend.get();
+        daemon::MonitorDaemon watch(work.dcfg, work.dwarehouse);
+        daemon::DaemonResult result = watch.run();
+        comp.daemon_alerts = std::move(result.alerts);
+        comp.epochs_completed = result.epochs_completed;
+        comp.gave_up = result.gave_up;
+      } else {
+        fleet::FleetConfig fcfg;
+        fcfg.seed = work.pending.run.seed;
+        fcfg.threads = config.run_threads;
+        fcfg.fleet_name = work.pending.tenant;
+        fcfg.metrics = config.metrics;
+        fcfg.abort = &abort_runs;
+        fleet::FleetOrchestrator orchestrator(fcfg);
+        orchestrator.submit(std::move(work.spec));
+        comp.fleet = orchestrator.run();
+      }
+    } catch (const std::exception& e) {
+      comp.failed = true;
+      comp.failure = e.what();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(done_mu);
+      done.push_back(std::move(comp));
+    }
+    done_pending.fetch_add(1, std::memory_order_release);
+    wake.wake();
+  }
+
+  // ------------------------------------------------------ completions ----
+
+  void process_completions() {
+    std::vector<Completion> batch;
+    {
+      const std::lock_guard<std::mutex> lock(done_mu);
+      batch.swap(done);
+    }
+    if (batch.empty()) return;
+    done_pending.fetch_sub(batch.size(), std::memory_order_release);
+    for (Completion& comp : batch) finish(comp);
+    launch_deferred();
+  }
+
+  void finish(Completion& comp) {
+    Tenant& tenant = tenants[comp.pending.tenant];
+    if (tenant.inflight > 0) --tenant.inflight;
+    inflight.fetch_sub(1, std::memory_order_relaxed);
+
+    const std::uint64_t latency = now_us() - comp.pending.admitted_us;
+    if (metrics() != nullptr) {
+      obs::catalog::service_run_latency_us(*metrics())
+          .observe(static_cast<double>(latency));
+    }
+
+    const auto session = sessions.find(comp.pending.session_id);
+    Conn* conn = session == sessions.end() ? nullptr : session->second;
+
+    if (comp.failed) {
+      ++stats.runs_aborted;
+      if (metrics() != nullptr) {
+        obs::catalog::service_runs_total(*metrics(), "aborted").inc();
+      }
+      if (conn != nullptr) {
+        send_error(*conn, ErrorCode::kInternal,
+                   "run failed: " + comp.failure);
+      }
+      return;
+    }
+
+    if (comp.pending.watch) {
+      finish_watch(comp, tenant, conn);
+    } else {
+      finish_run(comp, conn);
+    }
+  }
+
+  void finish_run(Completion& comp, Conn* conn) {
+    const fleet::FleetResult& result = comp.fleet;
+    ++stats.runs_completed;
+    const char* verdict_label =
+        result.aborted ? "aborted" : fleet::to_string(result.verdict).data();
+    if (result.aborted) ++stats.runs_aborted;
+    if (metrics() != nullptr) {
+      obs::catalog::service_runs_total(*metrics(), verdict_label).inc();
+    }
+
+    RunVerdictMsg verdict;
+    verdict.run_id = comp.pending.run_id;
+    verdict.inventory = comp.pending.run.inventory;
+    verdict.verdict = static_cast<std::uint8_t>(result.verdict);
+    verdict.zones = result.zones;
+    verdict.attempts = result.attempts;
+    verdict.tags_named = result.tags_named;
+    verdict.aborted = result.aborted;
+    for (const fleet::InventoryReport& inv : result.inventories) {
+      for (const fleet::ZoneReport& zone : inv.zones) {
+        if (zone.status == fleet::ZoneStatus::kViolated) ++verdict.zones_violated;
+        if (zone.identification.ran) {
+          verdict.missing.insert(verdict.missing.end(),
+                                 zone.identification.missing.begin(),
+                                 zone.identification.missing.end());
+        }
+      }
+    }
+
+    if (conn != nullptr) {
+      for (const fleet::FleetAlert& alert : result.alerts) {
+        send(*conn, FrameType::kRunAlert,
+             RunAlertMsg{comp.pending.run_id,
+                         std::string(fleet::to_string(alert.kind)),
+                         alert.inventory, alert.zone, alert.detail});
+      }
+      send(*conn, FrameType::kRunVerdict, verdict);
+    }
+
+    // The tenant feed keeps theft evidence (with the drill-down's named
+    // tags) and fleet alerts even if the requesting connection is gone.
+    if (result.verdict == fleet::GlobalVerdict::kViolated) {
+      TenantAlert alert;
+      alert.kind = "run_violated";
+      alert.run_id = comp.pending.run_id;
+      alert.detail = comp.pending.run.inventory;
+      alert.missing = verdict.missing;
+      for (const fleet::InventoryReport& inv : result.inventories) {
+        for (const fleet::ZoneReport& zone : inv.zones) {
+          if (zone.status == fleet::ZoneStatus::kViolated) {
+            alert.zone = zone.zone;
+            break;
+          }
+        }
+      }
+      publish_alert(comp.pending.tenant, std::move(alert));
+    }
+    for (const fleet::FleetAlert& fleet_alert : result.alerts) {
+      TenantAlert alert;
+      alert.kind = std::string(fleet::to_string(fleet_alert.kind));
+      alert.run_id = comp.pending.run_id;
+      alert.zone = fleet_alert.zone;
+      alert.detail = fleet_alert.detail;
+      publish_alert(comp.pending.tenant, std::move(alert));
+    }
+  }
+
+  void finish_watch(Completion& comp, Tenant&, Conn* conn) {
+    ++stats.runs_completed;
+    if (metrics() != nullptr) {
+      obs::catalog::service_runs_total(*metrics(), "watch").inc();
+    }
+    for (const daemon::DaemonAlert& da : comp.daemon_alerts) {
+      TenantAlert alert;
+      alert.kind = std::string(daemon::to_string(da.kind));
+      alert.run_id = comp.pending.run_id;
+      alert.epoch = da.epoch;
+      alert.zone = da.zone;
+      alert.detail = da.detail;
+      alert.missing = da.missing_tags;
+      publish_alert(comp.pending.tenant, std::move(alert));
+    }
+    if (conn != nullptr) {
+      send(*conn, FrameType::kWatchDone,
+           WatchDone{comp.pending.run_id, comp.epochs_completed,
+                     comp.daemon_alerts.size(), comp.gave_up});
+    }
+  }
+
+  // ----------------------------------------------------- frame dispatch ----
+
+  void handle_frame(Conn& c, const Frame& frame) {
+    ++stats.frames_in;
+    if (metrics() != nullptr) {
+      obs::catalog::service_frames_total(*metrics(), "in").inc();
+    }
+    const auto type = static_cast<FrameType>(frame.type);
+    try {
+      switch (type) {
+        case FrameType::kHello: {
+          const HelloRequest req = decode_hello(frame.payload);
+          if (req.version != kProtocolVersion) {
+            send_error(c, ErrorCode::kBadVersion, "unsupported version");
+            return;
+          }
+          if (req.tenant.empty()) {
+            send_error(c, ErrorCode::kMalformedPayload, "empty tenant");
+            return;
+          }
+          c.hello = true;
+          c.tenant = req.tenant;
+          c.session_id = next_session++;
+          sessions[c.session_id] = &c;
+          (void)tenants[c.tenant];
+          send(c, FrameType::kHelloOk,
+               HelloOk{kProtocolVersion, c.session_id, config.max_frame_bytes,
+                       static_cast<std::uint64_t>(config.token_capacity),
+                       config.max_inflight_per_tenant});
+          return;
+        }
+        case FrameType::kPing:
+          send(c, FrameType::kPong, decode_ping(frame.payload));
+          return;
+        case FrameType::kGoodbye:
+          c.closing = true;
+          return;
+        default:
+          break;
+      }
+      if (!c.hello) {
+        send_error(c, ErrorCode::kHelloRequired, "hello first");
+        return;
+      }
+      switch (type) {
+        case FrameType::kEnroll:
+          handle_enroll(c, decode_enroll(frame.payload));
+          return;
+        case FrameType::kStartRun: {
+          PendingRun pending;
+          pending.watch = false;
+          pending.run = decode_start_run(frame.payload);
+          handle_start(c, std::move(pending));
+          return;
+        }
+        case FrameType::kStartWatch: {
+          PendingRun pending;
+          pending.watch = true;
+          pending.watch_req = decode_start_watch(frame.payload);
+          handle_start(c, std::move(pending));
+          return;
+        }
+        case FrameType::kSubscribe: {
+          Tenant& tenant = tenants[c.tenant];
+          if (!c.subscribed) {
+            c.subscribed = true;
+            if (metrics() != nullptr) {
+              obs::catalog::service_active_streams(*metrics()).add(1.0);
+            }
+          }
+          send(c, FrameType::kSubscribeOk, SubscribeOk{tenant.feed.size()});
+          for (const TenantAlert& alert : tenant.feed) {
+            send(c, FrameType::kTenantAlert, alert);
+          }
+          return;
+        }
+        default:
+          send_error(c, ErrorCode::kUnknownType, "unknown frame type");
+          return;
+      }
+    } catch (const std::invalid_argument& e) {
+      send_error(c, ErrorCode::kMalformedPayload, e.what());
+    }
+  }
+
+  void handle_enroll(Conn& c, EnrollRequest req) {
+    Tenant& tenant = tenants[c.tenant];
+    if (req.tags.empty()) {
+      send_error(c, ErrorCode::kBadRequest, "no tags to enroll");
+      return;
+    }
+    if (req.protocol > 1) {
+      send_error(c, ErrorCode::kBadRequest, "unknown protocol");
+      return;
+    }
+    if (tenant.inventories.size() >= config.max_inventories_per_tenant &&
+        tenant.inventories.find(req.inventory) == tenant.inventories.end()) {
+      send_error(c, ErrorCode::kBadRequest, "inventory quota exhausted");
+      return;
+    }
+    Enrolled enrolled;
+    try {
+      enrolled.plan = server::plan_groups(
+          {.total_tags = req.tags.size(),
+           .total_tolerance = req.tolerance,
+           .alpha = req.alpha,
+           .max_group_size = req.zone_capacity,
+           .model = math::EmptySlotModel::kPoissonApprox});
+    } catch (const std::invalid_argument& e) {
+      send_error(c, ErrorCode::kBadRequest, e.what());
+      return;
+    }
+    std::vector<tag::Tag> population;
+    population.reserve(req.tags.size());
+    for (const tag::TagId& id : req.tags) population.emplace_back(id);
+    enrolled.tags = tag::TagSet(std::move(population));
+    enrolled.protocol = static_cast<fleet::Protocol>(req.protocol);
+    enrolled.tolerance = req.tolerance;
+    enrolled.alpha = req.alpha;
+    enrolled.zone_capacity = req.zone_capacity;
+    enrolled.rounds = std::max<std::uint64_t>(1, req.rounds);
+    EnrollOk ok{req.inventory, enrolled.tags.size(),
+                enrolled.plan.zones.size(), enrolled.plan.total_slots};
+    tenant.inventories[req.inventory] = std::move(enrolled);
+    send(c, FrameType::kEnrollOk, ok);
+  }
+
+  // -------------------------------------------------------------- http ----
+
+  void handle_http(Conn& c) {
+    const std::size_t header_end = c.http_buf.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (c.http_buf.size() > kHttpHeaderLimit) c.dead = true;
+      return;
+    }
+    std::string path = "";
+    const std::size_t sp1 = c.http_buf.find(' ');
+    if (sp1 != std::string::npos) {
+      const std::size_t sp2 = c.http_buf.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) path = c.http_buf.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+
+    std::string status = "200 OK";
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+    const char* path_label = "other";
+    if (path == "/metrics") {
+      path_label = "metrics";
+    } else if (path == "/metrics.json") {
+      path_label = "metrics_json";
+    } else if (path == "/healthz") {
+      path_label = "healthz";
+    }
+    // Count the scrape before rendering, so a scrape observes itself — the
+    // exposition always reflects every request the service has served.
+    if (metrics() != nullptr) {
+      obs::catalog::service_http_requests_total(*metrics(), path_label).inc();
+    }
+    if (path == "/metrics") {
+      if (metrics() == nullptr) {
+        status = "503 Service Unavailable";
+        body = "no metrics registry configured\n";
+      } else {
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        body = obs::render_prometheus(metrics()->snapshot());
+      }
+    } else if (path == "/metrics.json") {
+      if (metrics() == nullptr) {
+        status = "503 Service Unavailable";
+        body = "no metrics registry configured\n";
+      } else {
+        content_type = "application/json";
+        body = obs::render_json(metrics()->snapshot());
+      }
+    } else if (path == "/healthz") {
+      body = draining.load(std::memory_order_relaxed) ? "draining\n" : "ok\n";
+    } else {
+      status = "404 Not Found";
+      body = "unknown path\n";
+    }
+
+    std::string response = "HTTP/1.0 " + status +
+                           "\r\nContent-Type: " + content_type +
+                           "\r\nContent-Length: " + std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n" + body;
+    std::vector<std::byte> bytes(response.size());
+    std::memcpy(bytes.data(), response.data(), response.size());
+    queue_bytes(c, std::move(bytes));
+    c.closing = true;
+  }
+
+  // ----------------------------------------------------------- IO loop ----
+
+  void accept_loop(Listener& from, Conn::Kind kind) {
+    while (auto sock = from.accept()) {
+      if (conns.size() >= config.max_connections) {
+        // Refuse politely: a frame for clients, nothing for HTTP.
+        if (kind == Conn::Kind::kClient) {
+          auto conn = std::make_unique<Conn>(kind, std::move(*sock),
+                                             config.max_frame_bytes);
+          send_error(*conn, ErrorCode::kOverloaded, "connection limit");
+          conn->closing = true;
+          conns.push_back(std::move(conn));
+        }
+        continue;
+      }
+      ++stats.connections;
+      if (metrics() != nullptr) {
+        obs::catalog::service_connections_total(
+            *metrics(), kind == Conn::Kind::kClient ? "client" : "http")
+            .inc();
+        obs::catalog::service_active_connections(*metrics()).add(1.0);
+      }
+      conns.push_back(std::make_unique<Conn>(kind, std::move(*sock),
+                                             config.max_frame_bytes));
+      if (draining.load(std::memory_order_relaxed) &&
+          conns.back()->kind == Conn::Kind::kClient) {
+        send(*conns.back(), FrameType::kShutdown,
+             ShutdownMsg{static_cast<std::uint64_t>(
+                 config.drain_timeout.count())});
+      }
+    }
+  }
+
+  void read_conn(Conn& c) {
+    std::byte buf[kReadChunk];
+    std::vector<Frame> frames;
+    for (;;) {
+      long n = 0;
+      try {
+        n = c.sock.read_some(buf);
+      } catch (const std::system_error&) {
+        c.dead = true;
+        return;
+      }
+      if (n < 0) break;  // would block
+      if (n == 0) {      // orderly close
+        if (c.outbox.empty()) c.dead = true;
+        c.closing = true;
+        break;
+      }
+      const std::span<const std::byte> data(buf, static_cast<std::size_t>(n));
+      if (c.kind == Conn::Kind::kHttp) {
+        c.http_buf.append(reinterpret_cast<const char*>(data.data()),
+                          data.size());
+        handle_http(c);
+        if (c.closing || c.dead) break;
+        continue;
+      }
+      frames.clear();
+      const ErrorCode err = c.reader.feed(data, frames);
+      for (const Frame& frame : frames) {
+        if (c.closing || c.dead) break;
+        handle_frame(c, frame);
+      }
+      if (err != ErrorCode::kNone) {
+        send_error(c, err, "malformed frame");
+        break;
+      }
+      if (c.closing || c.dead) break;
+    }
+  }
+
+  void write_conn(Conn& c) {
+    while (!c.outbox.empty()) {
+      const std::vector<std::byte>& front = c.outbox.front();
+      const std::span<const std::byte> rest(front.data() + c.outbox_offset,
+                                            front.size() - c.outbox_offset);
+      long n = 0;
+      try {
+        n = c.sock.write_some(rest);
+      } catch (const std::system_error&) {
+        c.dead = true;
+        return;
+      }
+      if (n < 0) return;  // would block
+      c.outbox_offset += static_cast<std::size_t>(n);
+      c.outbox_bytes -= static_cast<std::size_t>(n);
+      if (c.outbox_offset == front.size()) {
+        c.outbox.pop_front();
+        c.outbox_offset = 0;
+      }
+    }
+  }
+
+  void reap_conns() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      Conn& c = **it;
+      if (c.dead || (c.closing && c.outbox.empty())) {
+        if (c.session_id != 0) sessions.erase(c.session_id);
+        if (metrics() != nullptr) {
+          obs::catalog::service_active_connections(*metrics()).add(-1.0);
+          if (c.subscribed) {
+            obs::catalog::service_active_streams(*metrics()).add(-1.0);
+          }
+        }
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void announce_shutdown_once() {
+    if (announced_shutdown) return;
+    announced_shutdown = true;
+    for (const auto& conn : conns) {
+      if (conn->kind == Conn::Kind::kClient && !conn->closing && !conn->dead) {
+        send(*conn, FrameType::kShutdown,
+             ShutdownMsg{
+                 static_cast<std::uint64_t>(config.drain_timeout.count())});
+      }
+    }
+  }
+
+  void io_loop() {
+    std::vector<pollfd> pfds;
+    std::vector<Conn*> polled;
+    std::chrono::steady_clock::time_point flush_deadline{};
+    bool flushing = false;
+
+    for (;;) {
+      pfds.clear();
+      polled.clear();
+      pfds.push_back(pollfd{wake.read_fd(), POLLIN, 0});
+      const bool accepting = !io_stop.load(std::memory_order_relaxed);
+      std::size_t listener_at = SIZE_MAX;
+      std::size_t http_at = SIZE_MAX;
+      if (accepting) {
+        listener_at = pfds.size();
+        pfds.push_back(pollfd{listener->fd(), POLLIN, 0});
+        http_at = pfds.size();
+        pfds.push_back(pollfd{http_listener->fd(), POLLIN, 0});
+      }
+      const std::size_t conns_from = pfds.size();
+      for (const auto& conn : conns) {
+        short events = 0;
+        if (!conn->closing && !conn->dead) events |= POLLIN;
+        if (!conn->outbox.empty() && !conn->dead) events |= POLLOUT;
+        pfds.push_back(pollfd{conn->sock.fd(), events, 0});
+        polled.push_back(conn.get());
+      }
+
+      (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 20);
+      wake.drain();
+
+      process_completions();
+      if (draining.load(std::memory_order_relaxed)) announce_shutdown_once();
+
+      if (accepting) {
+        if (pfds[listener_at].revents != 0) {
+          accept_loop(*listener, Conn::Kind::kClient);
+        }
+        if (pfds[http_at].revents != 0) {
+          accept_loop(*http_listener, Conn::Kind::kHttp);
+        }
+      }
+
+      for (std::size_t i = 0; i < polled.size(); ++i) {
+        Conn& c = *polled[i];
+        const short revents = pfds[conns_from + i].revents;
+        if ((revents & (POLLERR | POLLNVAL)) != 0) {
+          c.dead = true;
+          continue;
+        }
+        if ((revents & (POLLIN | POLLHUP)) != 0 && !c.closing && !c.dead) {
+          read_conn(c);
+        }
+        if ((revents & POLLOUT) != 0 && !c.dead) write_conn(c);
+        // Also opportunistically flush frames queued this round.
+        if (!c.outbox.empty() && !c.dead) write_conn(c);
+      }
+
+      reap_conns();
+      if (!io_stop.load(std::memory_order_relaxed)) launch_deferred();
+
+      if (io_stop.load(std::memory_order_relaxed)) {
+        if (!flushing) {
+          flushing = true;
+          flush_deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(1);
+        }
+        const bool quiet =
+            done_pending.load(std::memory_order_acquire) == 0 &&
+            std::all_of(conns.begin(), conns.end(), [](const auto& conn) {
+              return conn->outbox.empty() || conn->dead;
+            });
+        if (quiet || std::chrono::steady_clock::now() >= flush_deadline) {
+          break;
+        }
+      }
+    }
+    conns.clear();
+    sessions.clear();
+  }
+
+  // --------------------------------------------------------- lifecycle ----
+
+  void start() {
+    if (started.exchange(true)) {
+      throw std::logic_error("MonitorService started twice");
+    }
+    raise_fd_limit();
+    epoch_tp = std::chrono::steady_clock::now();
+    listener = std::make_unique<Listener>(config.port);
+    http_listener = std::make_unique<Listener>(config.http_port);
+    pool = std::make_unique<fleet::FleetScheduler>(config.workers);
+    io_thread = std::thread([this] { io_loop(); });
+  }
+
+  ServiceStats stop() {
+    if (!started.load() || stopped.exchange(true)) return stats;
+
+    draining.store(true, std::memory_order_relaxed);
+    wake.wake();
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + config.drain_timeout;
+    auto quiesced = [this] {
+      return inflight.load(std::memory_order_relaxed) == 0 &&
+             deferred_size.load(std::memory_order_relaxed) == 0 &&
+             done_pending.load(std::memory_order_acquire) == 0;
+    };
+    while (!quiesced() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const bool clean = quiesced();
+    if (!clean) {
+      // Budget blown: flip the fleet abort switch so in-flight runs bail
+      // cooperatively, then abandon whatever never started.
+      abort_runs.store(true, std::memory_order_relaxed);
+    }
+    pool->stop(clean);
+    if (!clean) {
+      // In-flight tasks finished (aborted); give the IO thread a moment to
+      // deliver their completions before tearing it down.
+      const auto flush_by =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      while (done_pending.load(std::memory_order_acquire) != 0 &&
+             std::chrono::steady_clock::now() < flush_by) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+
+    io_stop.store(true, std::memory_order_relaxed);
+    wake.wake();
+    if (io_thread.joinable()) io_thread.join();
+    stats.drained_cleanly = clean;
+    return stats;
+  }
+};
+
+MonitorService::MonitorService(ServiceConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+MonitorService::~MonitorService() {
+  try {
+    (void)impl_->stop();
+  } catch (...) {
+    // Destructors must not throw; the OS reclaims the sockets regardless.
+  }
+}
+
+void MonitorService::start() { impl_->start(); }
+
+std::uint16_t MonitorService::port() const noexcept {
+  return impl_->listener ? impl_->listener->port() : 0;
+}
+
+std::uint16_t MonitorService::http_port() const noexcept {
+  return impl_->http_listener ? impl_->http_listener->port() : 0;
+}
+
+ServiceStats MonitorService::stop() { return impl_->stop(); }
+
+bool MonitorService::running() const noexcept {
+  return impl_->started.load() && !impl_->stopped.load();
+}
+
+}  // namespace rfid::service

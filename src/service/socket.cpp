@@ -1,0 +1,231 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace rfid::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nonblocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void Socket::set_receive_timeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+long Socket::read_some(std::span<std::byte> out) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    // Treat a reset peer like an orderly close: the connection is simply
+    // gone, which the caller already handles.
+    if (errno == ECONNRESET) return 0;
+    throw_errno("recv");
+  }
+}
+
+long Socket::write_some(std::span<const std::byte> data) {
+  for (;;) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("send");
+  }
+}
+
+bool Socket::send_all(std::span<const std::byte> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Blocking socket with a send buffer full of a slow peer: wait for
+      // writability rather than spinning.
+      pollfd pfd{fd_, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Socket::recv_all(std::span<std::byte> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // close, timeout, or error
+  }
+  return true;
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  socket_ = Socket(fd);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, 1024) < 0) throw_errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  socket_.set_nonblocking(true);
+}
+
+std::optional<Socket> Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      conn.set_nonblocking(true);
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    if (errno == ECONNABORTED) continue;  // peer gave up while queued
+    throw_errno("accept");
+  }
+}
+
+Socket connect_loopback(std::uint16_t port, std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  sock.set_nonblocking(true);
+  sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready <= 0) {
+      errno = ETIMEDOUT;
+      throw_errno("connect (timeout)");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (soerr != 0) {
+      errno = soerr;
+      throw_errno("connect");
+    }
+  }
+  sock.set_nonblocking(false);
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) throw_errno("pipe");
+  read_end_ = Socket(fds[0]);
+  write_end_ = Socket(fds[1]);
+  read_end_.set_nonblocking(true);
+  write_end_.set_nonblocking(true);
+}
+
+void WakePipe::wake() noexcept {
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  (void)!::write(write_end_.fd(), &byte, 1);
+}
+
+void WakePipe::drain() noexcept {
+  char buf[256];
+  while (::read(read_end_.fd(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+std::uint64_t raise_fd_limit() noexcept {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur < lim.rlim_max) {
+    rlimit raised = lim;
+    raised.rlim_cur = lim.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return static_cast<std::uint64_t>(lim.rlim_cur);
+}
+
+}  // namespace rfid::service

@@ -1,0 +1,104 @@
+// Thin RAII layer over POSIX loopback TCP sockets.
+//
+// The service front-end needs exactly four things from the OS: a listener
+// bound to an ephemeral loopback port (tests and benches never collide on a
+// fixed port), non-blocking accepted connections it can multiplex with
+// poll(2), a blocking client connect with a deadline, and a self-pipe that
+// lets worker threads interrupt the IO loop's poll. Everything above this
+// header is byte-in/byte-out — no socket API leaks past it.
+//
+// All sends use MSG_NOSIGNAL: a peer that vanished mid-write must surface
+// as an error return, never as a process-killing SIGPIPE.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace rfid::service {
+
+/// Move-only owner of one socket (or pipe end) file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  void set_nonblocking(bool on);
+  /// Blocking-socket receive deadline (SO_RCVTIMEO); 0 disables it.
+  void set_receive_timeout(std::chrono::milliseconds timeout);
+
+  /// Non-blocking read. Returns bytes read, 0 on orderly peer close,
+  /// -1 when the call would block; throws std::system_error on hard errors.
+  [[nodiscard]] long read_some(std::span<std::byte> out);
+  /// Non-blocking write (MSG_NOSIGNAL). Returns bytes written or -1 when
+  /// the call would block; throws std::system_error when the peer is gone.
+  [[nodiscard]] long write_some(std::span<const std::byte> data);
+
+  /// Blocking whole-buffer send; returns false if the peer vanished.
+  [[nodiscard]] bool send_all(std::span<const std::byte> data);
+  /// Blocking whole-buffer receive; returns false on close/timeout before
+  /// `out` is full.
+  [[nodiscard]] bool recv_all(std::span<std::byte> out);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket on 127.0.0.1. Port 0 (the default, and what every
+/// hermetic test uses) asks the kernel for an ephemeral port; port() reports
+/// what was actually bound.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port = 0);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
+
+  /// Non-blocking accept; the returned socket is already non-blocking.
+  [[nodiscard]] std::optional<Socket> accept();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking loopback connect with a deadline. Throws std::system_error on
+/// refusal or timeout.
+[[nodiscard]] Socket connect_loopback(std::uint16_t port,
+                                      std::chrono::milliseconds timeout);
+
+/// Self-pipe for interrupting a poll loop from another thread. wake() is
+/// async-signal-safe-ish (a single write); drain() empties the pipe.
+class WakePipe {
+ public:
+  WakePipe();
+
+  [[nodiscard]] int read_fd() const noexcept { return read_end_.fd(); }
+  void wake() noexcept;
+  void drain() noexcept;
+
+ private:
+  Socket read_end_;
+  Socket write_end_;
+};
+
+/// Best-effort bump of RLIMIT_NOFILE to its hard limit; returns the soft
+/// limit after the attempt. A thousand concurrent loopback tenants cost two
+/// descriptors each (client + accepted side), which outruns the classic
+/// 1024 default.
+std::uint64_t raise_fd_limit() noexcept;
+
+}  // namespace rfid::service

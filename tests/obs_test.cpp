@@ -23,6 +23,8 @@
 #include "obs/session_log.h"
 #include "obs/trace.h"
 #include "protocol/multi_round.h"
+#include "service/client.h"
+#include "service/service.h"
 #include "protocol/trp.h"
 #include "protocol/utrp.h"
 #include "server/group_planner.h"
@@ -780,6 +782,87 @@ TEST(ObsFusion, SingleReaderSessionsCarryNoReaderJsonField) {
   // And none of the fusion counters were ever registered.
   const std::string prometheus = obs::render_prometheus(reg.snapshot());
   EXPECT_EQ(prometheus.find("rfidmon_fusion_"), std::string::npos);
+}
+
+// ------------------------------------------------- monitoring service ----
+
+// A scripted loopback conversation with known frame and admission counts:
+// every service_* series must land on its exact expected delta. The IO
+// thread has necessarily processed each request frame before its response
+// reached the client, so reading the (atomic) counters between steps is
+// race-free.
+TEST(ObsService, ScriptedSessionLandsExactServiceDeltas) {
+  obs::MetricsRegistry reg;
+  service::ServiceConfig config;
+  config.metrics = &reg;
+  service::MonitorService svc{config};
+  svc.start();
+
+  service::ServiceClient client(svc.port());
+  client.hello("acme");
+  service::EnrollRequest inv;
+  inv.inventory = "inv";
+  inv.tolerance = 2;
+  inv.zone_capacity = 30;
+  inv.rounds = 2;
+  for (std::uint32_t i = 0; i < 60; ++i) inv.tags.emplace_back(i, 0x900 + i);
+  client.enroll(inv);
+
+  service::StartRunRequest run;
+  run.inventory = "inv";
+  run.seed = 7;
+  const service::StartOutcome outcome = client.start_run(run);
+  ASSERT_TRUE(outcome.admitted.has_value());
+  const service::RunOutcome result =
+      client.await_verdict(outcome.admitted->run_id);
+  EXPECT_EQ(result.verdict.verdict,
+            static_cast<std::uint8_t>(fleet::GlobalVerdict::kIntact));
+  (void)client.subscribe();
+
+  // hello + enroll + start_run + subscribe parsed; HelloOk + EnrollOk +
+  // RunAdmitted + RunVerdict + SubscribeOk queued (intact -> no alerts).
+  EXPECT_EQ(cat::service_frames_total(reg, "in").value(), 4u);
+  EXPECT_EQ(cat::service_frames_total(reg, "out").value(), 5u);
+  EXPECT_EQ(cat::service_admissions_total(reg, "accepted").value(), 1u);
+  EXPECT_EQ(cat::service_admissions_total(reg, "deferred").value(), 0u);
+  EXPECT_EQ(cat::service_admissions_total(reg, "rejected").value(), 0u);
+  EXPECT_EQ(cat::service_runs_total(reg, "intact").value(), 1u);
+  EXPECT_EQ(cat::service_runs_total(reg, "aborted").value(), 0u);
+  EXPECT_EQ(cat::service_run_latency_us(reg).count(), 1u);
+  EXPECT_EQ(cat::service_active_connections(reg).value(), 1.0);
+  EXPECT_EQ(cat::service_active_streams(reg).value(), 1.0);
+
+  // One hostile peer: a flipped checksum costs exactly one typed error
+  // (sent as a frame, so frames_out moves too) and never parses as input.
+  {
+    service::ServiceClient hostile(svc.port(),
+                                   std::chrono::milliseconds(2000));
+    std::vector<std::byte> bent = service::encode_frame(
+        service::FrameType::kPing, service::encode(service::PingMsg{1}));
+    bent.back() ^= std::byte{0xff};
+    hostile.send_raw(bent);
+    try {
+      for (;;) (void)hostile.read_frame();
+    } catch (const std::runtime_error&) {
+      // server closed the connection after the typed error
+    }
+  }
+  EXPECT_EQ(cat::service_frame_errors_total(reg, "bad_checksum").value(), 1u);
+  EXPECT_EQ(cat::service_frames_total(reg, "in").value(), 4u);
+  EXPECT_EQ(cat::service_frames_total(reg, "out").value(), 6u);
+  EXPECT_EQ(cat::service_connections_total(reg, "client").value(), 2u);
+
+  // Scrapes count themselves (before rendering, so each sees its own hit).
+  (void)service::http_get(svc.http_port(), "/metrics");
+  const std::string health = service::http_get(svc.http_port(), "/healthz");
+  EXPECT_EQ(health, "ok\n");
+  EXPECT_EQ(cat::service_http_requests_total(reg, "metrics").value(), 1u);
+  EXPECT_EQ(cat::service_http_requests_total(reg, "healthz").value(), 1u);
+  EXPECT_EQ(cat::service_http_requests_total(reg, "metrics_json").value(),
+            0u);
+  EXPECT_EQ(cat::service_connections_total(reg, "http").value(), 2u);
+
+  svc.stop();
 }
 
 }  // namespace

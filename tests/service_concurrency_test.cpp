@@ -1,0 +1,155 @@
+// Concurrency hammer: many tenants connecting, enrolling, running, and
+// disconnecting mid-run while scrapes hit the HTTP port — the binary the
+// ASan and TSan CI jobs run directly. Nothing here asserts on timing; the
+// invariants are "every admitted run resolves", "abrupt disconnects never
+// wedge or crash the service", and "stop() drains cleanly under load".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "service/service.h"
+#include "tag/tag_id.h"
+
+namespace {
+
+using namespace rfid;
+using service::MonitorService;
+using service::ServiceClient;
+using service::ServiceConfig;
+
+service::EnrollRequest tiny_inventory(const std::string& name) {
+  service::EnrollRequest req;
+  req.inventory = name;
+  req.tolerance = 1;
+  req.zone_capacity = 0;  // single zone: the cheapest possible run
+  req.rounds = 1;
+  req.tags.reserve(20);
+  for (std::uint32_t i = 0; i < 20; ++i) req.tags.emplace_back(i, i);
+  return req;
+}
+
+TEST(ServiceConcurrency, ManyTenantsHammerAndDisconnectMidRun) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 4;
+  config.max_inflight = 6;
+  config.max_inflight_per_tenant = 1;
+  config.max_deferred = 256;
+  config.token_capacity = 1e9;  // admission bounds are the subject, not rate
+  config.metrics = &registry;
+  MonitorService svc{config};
+  svc.start();
+
+  constexpr int kThreads = 8;
+  constexpr int kSessionsPerThread = 6;
+  std::atomic<std::uint64_t> verdicts{0};
+  std::atomic<std::uint64_t> pushbacks{0};
+  std::atomic<std::uint64_t> abandoned{0};
+  std::atomic<std::uint64_t> failures{0};
+
+  std::vector<std::thread> tenants;
+  tenants.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    tenants.emplace_back([&, t] {
+      for (int s = 0; s < kSessionsPerThread; ++s) {
+        const std::string tenant =
+            "tenant-" + std::to_string(t) + "-" + std::to_string(s);
+        try {
+          ServiceClient client(svc.port(), std::chrono::milliseconds(30000));
+          client.hello(tenant);
+          client.enroll(tiny_inventory("inv"));
+          service::StartRunRequest run;
+          run.inventory = "inv";
+          run.seed = static_cast<std::uint64_t>(t * 100 + s + 1);
+          const service::StartOutcome outcome = client.start_run(run);
+          if (!outcome.admitted.has_value()) {
+            pushbacks.fetch_add(1);
+            continue;
+          }
+          // A third of the sessions vanish without reading their verdict —
+          // the server must reap them without stranding the run.
+          if (s % 3 == 2) {
+            abandoned.fetch_add(1);
+            continue;  // destructor closes the socket abruptly
+          }
+          const service::RunOutcome result =
+              client.await_verdict(outcome.admitted->run_id);
+          if (result.verdict.verdict ==
+              static_cast<std::uint8_t>(fleet::GlobalVerdict::kIntact)) {
+            verdicts.fetch_add(1);
+          }
+          client.goodbye();
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Scrapes race the whole hammer.
+  std::atomic<bool> stop_scraping{false};
+  std::thread scraper([&] {
+    while (!stop_scraping.load()) {
+      try {
+        (void)service::http_get(svc.http_port(), "/metrics",
+                                nullptr, std::chrono::milliseconds(5000));
+      } catch (const std::exception&) {
+      }
+    }
+  });
+
+  for (std::thread& t : tenants) t.join();
+  stop_scraping.store(true);
+  scraper.join();
+
+  const service::ServiceStats stats = svc.stop();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(verdicts.load(), 0u);
+  // Every admitted or deferred run resolved before stop() returned.
+  EXPECT_EQ(stats.admitted + stats.deferred, stats.runs_completed);
+  EXPECT_TRUE(stats.drained_cleanly);
+  EXPECT_GE(stats.connections,
+            static_cast<std::uint64_t>(kThreads * kSessionsPerThread));
+}
+
+TEST(ServiceConcurrency, ChurningSubscribersSurviveStop) {
+  ServiceConfig config;
+  config.workers = 2;
+  MonitorService svc{config};
+  svc.start();
+
+  std::atomic<bool> halt{false};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 4; ++t) {
+    churners.emplace_back([&, t] {
+      int i = 0;
+      while (!halt.load()) {
+        try {
+          ServiceClient client(svc.port(), std::chrono::milliseconds(10000));
+          client.hello("tenant-" + std::to_string(t));
+          (void)client.subscribe();
+          if (++i % 2 == 0) client.goodbye();  // odd ones just vanish
+        } catch (const std::exception&) {
+          // Connection refused after stop() begins is expected; anything
+          // else would surface in the final clean-session check below.
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  halt.store(true);
+  for (std::thread& t : churners) t.join();
+  const service::ServiceStats stats = svc.stop();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(stats.connections, 0u);
+  EXPECT_TRUE(stats.drained_cleanly);
+}
+
+}  // namespace
