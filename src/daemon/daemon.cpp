@@ -266,7 +266,9 @@ void MonitorDaemon::sync_registry(const tag::TagSet& tags,
 }
 
 void MonitorDaemon::run_epoch(std::uint64_t epoch) {
-  if (abort_.load(std::memory_order_acquire)) {
+  if (abort_.load(std::memory_order_acquire) ||
+      (config_.abort != nullptr &&
+       config_.abort->load(std::memory_order_acquire))) {
     throw fault::CrashInjected("monitor killed before epoch " +
                                std::to_string(epoch));
   }
@@ -602,24 +604,45 @@ void MonitorDaemon::monitor_main() {
 void MonitorDaemon::supervise() {
   std::unique_lock<std::mutex> lock(wd_mu_);
   std::uint64_t last = epochs_committed_.load(std::memory_order_acquire);
-  while (!monitor_done_) {
-    const bool progressed = wd_cv_.wait_for(
-        lock, std::chrono::milliseconds(config_.hang_timeout_ms), [&] {
-          return monitor_done_ ||
-                 epochs_committed_.load(std::memory_order_acquire) != last;
-        });
-    if (monitor_done_) break;
-    if (progressed) {
-      last = epochs_committed_.load(std::memory_order_acquire);
-      continue;
-    }
-    // The progress deadline passed with no checkpoint: the monitor is
-    // wedged. Kill cooperatively — the abort switch drains the fleet run,
-    // the injector kill wakes a scripted hang — then wait for the unwind.
-    kill_requested_ = true;
+  const auto hang = std::chrono::milliseconds(config_.hang_timeout_ms);
+  auto deadline = std::chrono::steady_clock::now() + hang;
+  // Kill cooperatively — the abort switch drains the fleet run, the
+  // injector kill wakes a scripted hang — then wait for the unwind.
+  const auto kill_and_wait = [&] {
     abort_.store(true, std::memory_order_release);
     if (config_.faults != nullptr) config_.faults->kill();
     wd_cv_.wait(lock, [this] { return monitor_done_; });
+  };
+  while (!monitor_done_) {
+    // With an external stop switch wired in, wake in short slices so a
+    // blown drain budget interrupts the watch mid-epoch instead of waiting
+    // for the next checkpoint or the hang deadline.
+    auto wake_at = deadline;
+    if (config_.abort != nullptr) {
+      wake_at = std::min(wake_at, std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(10));
+    }
+    (void)wd_cv_.wait_until(lock, wake_at, [&] {
+      return monitor_done_ ||
+             epochs_committed_.load(std::memory_order_acquire) != last;
+    });
+    if (monitor_done_) break;
+    if (config_.abort != nullptr &&
+        config_.abort->load(std::memory_order_acquire)) {
+      // External stop: unwind the monitor; run() gives up, no restart.
+      kill_and_wait();
+      break;
+    }
+    if (epochs_committed_.load(std::memory_order_acquire) != last) {
+      last = epochs_committed_.load(std::memory_order_acquire);
+      deadline = std::chrono::steady_clock::now() + hang;
+      continue;
+    }
+    if (std::chrono::steady_clock::now() < deadline) continue;  // slice wake
+    // The progress deadline passed with no checkpoint: the monitor is
+    // wedged.
+    kill_requested_ = true;
+    kill_and_wait();
   }
 }
 
@@ -696,6 +719,16 @@ DaemonResult MonitorDaemon::run() {
     } catch (const fault::CrashInjected&) {
       // The supervised failure mode; fall through to the restart path.
       // Anything else is a genuine bug and propagates to the caller.
+    }
+    if (config_.abort != nullptr &&
+        config_.abort->load(std::memory_order_acquire)) {
+      // Externally stopped: give up instead of restarting. Checkpointed
+      // epochs are durable; a later daemon resumes from them as usual.
+      result.gave_up = true;
+      result.events.push_back(DaemonEvent{
+          DaemonEventKind::kGaveUp,
+          epochs_committed_.load(std::memory_order_acquire)});
+      break;
     }
     alive = register_restart(kill_requested_ ? DaemonEventKind::kHangRestart
                                              : DaemonEventKind::kCrashRestart);

@@ -195,6 +195,13 @@ struct DaemonConfig {
   /// layout — replay is bit-identical with or without rotation, so this
   /// knob is deliberately outside the config fingerprint.
   std::uint64_t journal_rotate_after = 0;
+  /// External stop switch (not owned; may be null). When it flips, the
+  /// in-flight epoch aborts cooperatively, no restart is attempted, and
+  /// run() returns early with gave_up = true — every checkpointed epoch
+  /// stays durable and resumable, exactly as after a supervisor kill. The
+  /// service wires its drain-budget abort flag here so a blown stop()
+  /// budget also unwinds in-flight watches.
+  std::atomic<bool>* abort = nullptr;
   /// Scripted crashes/hangs (not owned; may be null).
   fault::DaemonFaultInjector* faults = nullptr;
   /// Invoked between a caught crash and the journal replay — the torture

@@ -99,6 +99,7 @@ struct MonitorService::Impl {
     std::size_t outbox_offset = 0;  // sent bytes of outbox.front()
     std::size_t outbox_bytes = 0;
     bool hello = false;
+    bool counted = false;  // active-connections gauge was incremented
     std::string tenant;
     std::uint64_t session_id = 0;
     bool subscribed = false;
@@ -170,8 +171,10 @@ struct MonitorService::Impl {
 
   // ----------------------------------------------------------- outbox ----
 
-  void queue_bytes(Conn& c, std::vector<std::byte> bytes) {
-    if (c.closing || c.dead) return;
+  /// Returns whether the bytes were actually enqueued: false when the
+  /// connection is already going away or the slow-consumer cut fired.
+  bool queue_bytes(Conn& c, std::vector<std::byte> bytes) {
+    if (c.closing || c.dead) return false;
     c.outbox_bytes += bytes.size();
     if (c.outbox_bytes > config.outbox_limit_bytes) {
       // Slow consumer: cut the connection instead of buffering unboundedly.
@@ -180,15 +183,15 @@ struct MonitorService::Impl {
       c.outbox_bytes = 0;
       c.dead = true;
       count_frame_error(ErrorCode::kOverloaded);
-      return;
+      return false;
     }
     c.outbox.push_back(std::move(bytes));
+    return true;
   }
 
   template <typename Msg>
   void send(Conn& c, FrameType type, const Msg& msg) {
-    if (c.closing || c.dead) return;
-    queue_bytes(c, encode_frame(type, encode(msg)));
+    if (!queue_bytes(c, encode_frame(type, encode(msg)))) return;
     ++stats.frames_out;
     if (metrics() != nullptr) {
       obs::catalog::service_frames_total(*metrics(), "out").inc();
@@ -363,6 +366,9 @@ struct MonitorService::Impl {
       work->dcfg.epochs = req.epochs;
       work->dcfg.threads = config.run_threads;
       work->dcfg.metrics = config.metrics;
+      // Drain contract: a blown stop() budget aborts in-flight watches
+      // just like fleet runs — the daemon gives up instead of restarting.
+      work->dcfg.abort = &abort_runs;
     } else {
       const StartRunRequest& req = pending.run;
       fleet::InventorySpec spec;
@@ -422,10 +428,13 @@ struct MonitorService::Impl {
       comp.failure = e.what();
     }
     {
+      // The increment must land before the completion becomes swappable:
+      // process_completions() decrements by batch size after the swap, and
+      // an increment arriving late would transiently wrap the counter.
       const std::lock_guard<std::mutex> lock(done_mu);
+      done_pending.fetch_add(1, std::memory_order_release);
       done.push_back(std::move(comp));
     }
-    done_pending.fetch_add(1, std::memory_order_release);
     wake.wake();
   }
 
@@ -576,6 +585,14 @@ struct MonitorService::Impl {
     try {
       switch (type) {
         case FrameType::kHello: {
+          if (c.hello) {
+            // A second Hello would re-register the session under a fresh id
+            // and leave the old sessions entry dangling after the reap —
+            // one session per connection, full stop.
+            send_error(c, ErrorCode::kBadRequest,
+                       "hello already received on this connection");
+            return;
+          }
           const HelloRequest req = decode_hello(frame.payload);
           if (req.version != kProtocolVersion) {
             send_error(c, ErrorCode::kBadVersion, "unsupported version");
@@ -780,6 +797,7 @@ struct MonitorService::Impl {
       }
       conns.push_back(std::make_unique<Conn>(kind, std::move(*sock),
                                              config.max_frame_bytes));
+      conns.back()->counted = true;
       if (draining.load(std::memory_order_relaxed) &&
           conns.back()->kind == Conn::Kind::kClient) {
         send(*conns.back(), FrameType::kShutdown,
@@ -856,7 +874,11 @@ struct MonitorService::Impl {
       if (c.dead || (c.closing && c.outbox.empty())) {
         if (c.session_id != 0) sessions.erase(c.session_id);
         if (metrics() != nullptr) {
-          obs::catalog::service_active_connections(*metrics()).add(-1.0);
+          // Over-limit refusals were never counted in; decrementing them
+          // out would drift the gauge negative under overload.
+          if (c.counted) {
+            obs::catalog::service_active_connections(*metrics()).add(-1.0);
+          }
           if (c.subscribed) {
             obs::catalog::service_active_streams(*metrics()).add(-1.0);
           }

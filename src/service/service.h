@@ -37,9 +37,11 @@
 //      clients receive a Shutdown frame naming the drain budget;
 //   2. in-flight AND already-admitted deferred runs drain through
 //      FleetScheduler — their verdicts still stream out;
-//   3. if the drain budget expires, the fleet abort switch flips and the
-//      pool stops without draining (FleetScheduler::stop(false)) — aborted
-//      runs report themselves as such, exactly like a daemon watchdog kill;
+//   3. if the drain budget expires, the shared abort switch flips and the
+//      pool stops without draining (FleetScheduler::stop(false)) — fleet
+//      runs report themselves aborted, and in-flight watches observe the
+//      same switch via DaemonConfig::abort and give up (their checkpointed
+//      epochs stay durable), exactly like a daemon watchdog kill;
 //   4. outboxes are flushed best-effort, sockets close, stats come back.
 #pragma once
 

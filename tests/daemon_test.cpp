@@ -3,10 +3,13 @@
 // restarts with journal-replay resume, and stale-journal quarantine.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -340,6 +343,49 @@ TEST(MonitorDaemon, ResumesAcrossProcessLives) {
   EXPECT_EQ(result.restarts, 0u);
   EXPECT_EQ(daemon::render_alert_history(result.alerts), baseline);
   expect_monotonic_sequences(result.alerts);
+}
+
+TEST(MonitorDaemon, ExternalAbortGivesUpInsteadOfRestarting) {
+  // The external stop switch (DaemonConfig::abort — the service's drain
+  // path) must not be treated as a crash to supervise: no restarts, no
+  // backoff, just an early gave_up return.
+  storage::MemoryBackend backend;
+  daemon::DaemonConfig config = base_config(backend);
+  std::atomic<bool> abort{true};  // stopped before the first epoch
+  config.abort = &abort;
+  daemon::MonitorDaemon d(config, small_warehouse());
+  const daemon::DaemonResult result = d.run();
+
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_EQ(result.epochs_completed, 0u);
+  EXPECT_EQ(result.restarts, 0u);
+  ASSERT_FALSE(result.events.empty());
+  EXPECT_EQ(result.events.back().kind, daemon::DaemonEventKind::kGaveUp);
+}
+
+TEST(MonitorDaemon, ExternalAbortMidRunKeepsCheckpointedEpochsDurable) {
+  storage::MemoryBackend backend;
+  daemon::DaemonConfig config = base_config(backend);
+  config.epochs = 1000000;  // far more than the abort window allows
+  std::atomic<bool> abort{false};
+  config.abort = &abort;
+  daemon::MonitorDaemon d(config, small_warehouse());
+  std::thread stopper([&abort] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    abort.store(true, std::memory_order_release);
+  });
+  const daemon::DaemonResult result = d.run();
+  stopper.join();
+
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_LT(result.epochs_completed, 1000000u);
+  // Whatever was checkpointed before the stop is durable and scannable —
+  // a later daemon resumes from it exactly as after a supervisor kill.
+  const storage::DaemonJournalScan scan =
+      storage::scan_daemon_journal(backend.read("daemon.journal"));
+  EXPECT_TRUE(scan.header_valid);
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+  EXPECT_GE(scan.records.size(), result.epochs_completed);
 }
 
 TEST(MonitorDaemon, StaleJournalIsQuarantinedNotReplayed) {

@@ -104,6 +104,38 @@ TEST(ServiceSession, HelloEnrollRunIntact) {
   EXPECT_TRUE(stats.drained_cleanly);
 }
 
+TEST(ServiceSession, SecondHelloIsRejectedAndSessionSurvives) {
+  MonitorService svc{ServiceConfig{}};
+  svc.start();
+  ServiceClient client(svc.port());
+  const service::HelloOk first = client.hello("acme");
+
+  // A second Hello must not mint a new session — it would leave the first
+  // sessions entry dangling behind a reused connection. The service answers
+  // bad_request and the original session keeps working.
+  client.send_frame(
+      service::FrameType::kHello,
+      encode(service::HelloRequest{service::kProtocolVersion, "acme"}));
+  const service::Frame frame = client.read_frame();
+  ASSERT_EQ(static_cast<service::FrameType>(frame.type),
+            service::FrameType::kError);
+  EXPECT_EQ(service::decode_error(frame.payload).code,
+            service::ErrorCode::kBadRequest);
+
+  client.enroll(small_inventory("aisle1"));
+  StartRunRequest run;
+  run.inventory = "aisle1";
+  const service::StartOutcome outcome = client.start_run(run);
+  ASSERT_TRUE(outcome.admitted.has_value());
+  const service::RunOutcome result =
+      client.await_verdict(outcome.admitted->run_id);
+  EXPECT_EQ(result.verdict.verdict,
+            static_cast<std::uint8_t>(fleet::GlobalVerdict::kIntact));
+  EXPECT_EQ(client.ping(9), 9u);
+  EXPECT_NE(first.session_id, 0u);
+  svc.stop();
+}
+
 TEST(ServiceSession, TheftVerdictNamesStolenTags) {
   MonitorService svc{ServiceConfig{}};
   svc.start();
@@ -403,6 +435,35 @@ TEST(ServiceShutdown, DrainTimeoutAbortsInFlightRun) {
   const service::ServiceStats stats = svc.stop();
   EXPECT_FALSE(stats.drained_cleanly);
   EXPECT_GE(stats.runs_aborted, 1u);
+}
+
+TEST(ServiceShutdown, DrainTimeoutAbortsInFlightWatch) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.drain_timeout = std::chrono::milliseconds(1);
+  config.max_watch_epochs = 100000;
+  MonitorService svc{config};
+  svc.start();
+  ServiceClient client(svc.port());
+  client.hello("tenant");
+  EnrollRequest inv = small_inventory("floor", 2000);
+  inv.zone_capacity = 40;
+  inv.tolerance = 20;
+  client.enroll(inv);
+
+  StartWatchRequest watch;
+  watch.inventory = "floor";
+  watch.epochs = 100000;
+  const service::StartOutcome outcome = client.start_watch(watch);
+  ASSERT_TRUE(outcome.admitted.has_value());
+
+  // 100000 epochs cannot drain inside a 1 ms budget: the service abort
+  // switch must reach the in-flight MonitorDaemon (DaemonConfig::abort),
+  // which gives up instead of grinding through every remaining epoch — so
+  // stop() returns promptly instead of exceeding its drain contract by
+  // minutes.
+  const service::ServiceStats stats = svc.stop();
+  EXPECT_FALSE(stats.drained_cleanly);
 }
 
 TEST(ServiceHttp, ScrapeEndpointsRenderRegistry) {
